@@ -1,0 +1,271 @@
+package workbench
+
+// Benchmark harness: one benchmark per paper table/figure (DESIGN.md §4)
+// plus the ablations (§5). Each benchmark drives the same experiment
+// runner as cmd/benchreport, times it with testing.B, and — once per run
+// — reports the experiment's headline quantities as custom metrics so
+// `go test -bench` output doubles as the reproduction record.
+//
+// Shape assertions (who wins, rough factors) live in the eval/core test
+// suites; benchmarks only measure.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/harmony"
+	"repro/internal/match"
+	"repro/internal/registry"
+)
+
+// benchPairs builds the standard evaluation pair set once per benchmark.
+func benchPairs(n int) eval.PairSet {
+	return eval.BuildPairSetSized(n, 12, 60, 90, registry.HardPerturb())
+}
+
+// BenchmarkTable1RegistryStats regenerates Table 1: synthesize the
+// registry corpus (at 5% scale per iteration; see -scale in
+// cmd/benchreport for the full corpus) and compute the documentation
+// statistics.
+func BenchmarkTable1RegistryStats(b *testing.B) {
+	var res eval.Table1Result
+	for i := 0; i < b.N; i++ {
+		res = eval.RunTable1(0.05)
+	}
+	b.ReportMetric(float64(res.Measured[0].ItemCount), "elements")
+	b.ReportMetric(float64(res.Measured[1].ItemCount), "attributes")
+	b.ReportMetric(res.Measured[1].WordsPerDefined, "attr-words/def")
+}
+
+// BenchmarkFigure1PipelineStages runs the full Harmony pipeline (Figure
+// 1: preprocess → voters → merger → flooding) over one registry-density
+// schema pair per iteration.
+func BenchmarkFigure1PipelineStages(b *testing.B) {
+	ps := benchPairs(1)
+	p := ps.Pairs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := harmony.NewEngine(p.Source, p.Target, harmony.Options{Flooding: true})
+		e.Run()
+	}
+}
+
+// BenchmarkFigure1VoterStages times each voter stage separately.
+func BenchmarkFigure1VoterStages(b *testing.B) {
+	ps := benchPairs(1)
+	p := ps.Pairs[0]
+	for _, v := range match.DefaultVoters() {
+		v := v
+		b.Run(v.Name(), func(b *testing.B) {
+			ctx := match.NewContext(p.Source, p.Target)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Vote(ctx)
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2SchemaGraphs loads the Figure 2 schemata from XSD text
+// and renders the schema graphs.
+func BenchmarkFigure2SchemaGraphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		src, tgt, err := core.Figure2Schemata()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = src.String()
+		_ = tgt.String()
+	}
+}
+
+// BenchmarkFigure3MappingMatrix recreates the annotated Figure 3 mapping
+// matrix on the blackboard and assembles + executes its code.
+func BenchmarkFigure3MappingMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunFigure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4CaseStudy runs the §5.3 pilot study end to end: two
+// tools, one blackboard, transactions, events, codegen, execution.
+func BenchmarkFigure4CaseStudy(b *testing.B) {
+	var res *core.CaseStudyResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = core.RunCaseStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.MachineCells), "machine-cells")
+	b.ReportMetric(float64(len(res.Output.Records)), "records")
+	b.ReportMetric(float64(res.MergedRecords), "after-linking")
+}
+
+// BenchmarkMatcherQuality runs the E6 lineup over the evaluation pairs
+// and reports the headline F1s.
+func BenchmarkMatcherQuality(b *testing.B) {
+	ps := benchPairs(3)
+	var rows []eval.QualityRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = eval.RunMatcherQuality(ps, eval.StandardMatchers())
+	}
+	for _, r := range rows {
+		switch r.Matcher {
+		case "harmony-full":
+			b.ReportMetric(r.PRF.F1, "harmony-F1")
+		case "name-equality":
+			b.ReportMetric(r.PRF.F1, "name-eq-F1")
+		case "coma-style":
+			b.ReportMetric(r.PRF.F1, "coma-F1")
+		}
+	}
+}
+
+// BenchmarkVoterPR measures per-voter raw-vote quality (the §4.1 recall/
+// precision claim).
+func BenchmarkVoterPR(b *testing.B) {
+	ps := benchPairs(2)
+	var rows []eval.VoterRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = eval.RunVoterPR(ps, 0.1)
+	}
+	for _, r := range rows {
+		if r.Voter == "documentation" {
+			b.ReportMetric(r.PRF.Recall, "doc-recall")
+			b.ReportMetric(r.PRF.Precision, "doc-precision")
+		}
+	}
+}
+
+// BenchmarkIterativeLearning runs the E7 feedback loop (4 rounds × 8
+// decisions) with learning enabled.
+func BenchmarkIterativeLearning(b *testing.B) {
+	ps := benchPairs(1)
+	var rounds []eval.LearningRound
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rounds = eval.RunIterativeLearning(ps.Pairs[0], 4, 8, true)
+	}
+	b.ReportMetric(rounds[0].PRF.F1, "round0-F1")
+	b.ReportMetric(rounds[len(rounds)-1].PRF.F1, "final-F1")
+}
+
+// BenchmarkFilterEffectiveness measures the E8 clutter-reduction table.
+func BenchmarkFilterEffectiveness(b *testing.B) {
+	ps := benchPairs(1)
+	var rows []eval.FilterRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = eval.RunFilterEffectiveness(ps.Pairs[0])
+	}
+	for _, r := range rows {
+		if r.Config == "max+conf>=0.25" {
+			b.ReportMetric(float64(r.Shown), "links-shown")
+			b.ReportMetric(float64(r.Total), "links-total")
+		}
+	}
+}
+
+// BenchmarkTaskCoverage evaluates the E9 coverage matrix.
+func BenchmarkTaskCoverage(b *testing.B) {
+	var all bool
+	for i := 0; i < b.N; i++ {
+		w := core.WorkbenchProfile()
+		all = w.CoversAll()
+	}
+	if !all {
+		b.Fatal("workbench must cover all 13 tasks")
+	}
+	b.ReportMetric(float64(core.HarmonyProfile().CoverageCount(core.ManualSupport)), "harmony-tasks")
+	b.ReportMetric(13, "workbench-tasks")
+}
+
+// BenchmarkUsabilityAnalysis runs the E10 simulated-engineer conditions.
+func BenchmarkUsabilityAnalysis(b *testing.B) {
+	cfg := registry.DefaultConfig()
+	cfg.Models = 1
+	cfg.ElementsTotal = 10
+	cfg.AttributesTotal = 50
+	cfg.DomainValuesTotal = 70
+	reg := registry.Generate(cfg)
+	src := reg.Models[0]
+	tgt, gt := registry.Perturb(src, registry.DefaultPerturb())
+	var rows []core.EffortRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = core.RunUsability(src, tgt, gt)
+	}
+	b.ReportMetric(float64(rows[0].Total), "manual-ops")
+	b.ReportMetric(float64(rows[1].Total), "assisted-ops")
+	b.ReportMetric(float64(rows[2].Total), "workbench-ops")
+}
+
+// BenchmarkMappingReuse plays the E11 reuse loop: 4 projects against a
+// fixed target standard with a growing mapping library.
+func BenchmarkMappingReuse(b *testing.B) {
+	var rounds []eval.ReuseRound
+	for i := 0; i < b.N; i++ {
+		rounds = eval.RunMappingReuse(4, registry.HardPerturb())
+	}
+	b.ReportMetric(rounds[1].WithoutF1, "p1-without-F1")
+	b.ReportMetric(rounds[1].WithF1, "p1-with-F1")
+}
+
+// BenchmarkAutoIntegration runs E12: the unattended match→map→generate→
+// execute→verify pipeline over one pair with synthesized instances.
+func BenchmarkAutoIntegration(b *testing.B) {
+	ps := benchPairs(1)
+	var res *eval.AutoResult
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = eval.RunAutoIntegration(ps.Pairs[0], 0.25, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MatchF1, "match-F1")
+	b.ReportMetric(float64(res.RecordsOut), "records-out")
+	b.ReportMetric(float64(res.AbsorbedErrors), "errors-absorbed")
+}
+
+// ---- Ablation benches (DESIGN.md §5) ----
+
+func ablationF1(b *testing.B, pick string) {
+	ps := benchPairs(2)
+	var rows []eval.AblationRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = eval.RunAblations(ps)
+	}
+	for _, r := range rows {
+		if r.Config == "full" {
+			b.ReportMetric(r.PRF.F1, "full-F1")
+		}
+		if r.Config == pick {
+			b.ReportMetric(r.PRF.F1, pick+"-F1")
+		}
+	}
+}
+
+// BenchmarkAblationFlooding compares full Harmony against no-flooding.
+func BenchmarkAblationFlooding(b *testing.B) { ablationF1(b, "no-flooding") }
+
+// BenchmarkAblationMergerWeighting compares magnitude weighting on/off.
+func BenchmarkAblationMergerWeighting(b *testing.B) { ablationF1(b, "no-magnitude-weighting") }
+
+// BenchmarkAblationThesaurus compares thesaurus expansion on/off.
+func BenchmarkAblationThesaurus(b *testing.B) { ablationF1(b, "no-thesaurus") }
+
+// BenchmarkAblationStemming compares stemming on/off.
+func BenchmarkAblationStemming(b *testing.B) { ablationF1(b, "no-stemming") }
+
+// BenchmarkAblationDomainVoter compares the domain-value voter on/off.
+func BenchmarkAblationDomainVoter(b *testing.B) { ablationF1(b, "no-domain-voter") }

@@ -1,0 +1,336 @@
+package workbench
+
+// End-to-end tests for the command-line tools: each test builds the
+// binary once (cached by the Go toolchain) and drives it the way an
+// integration engineer would, including cmd/workbench's snapshot
+// persistence across invocations.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildCLIs compiles the four binaries into a shared temp dir.
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "wbcli")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"workbench", "harmony", "registry", "benchreport"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v\n%s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+// run executes a built binary and returns stdout+stderr.
+func run(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), tool), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+// runExpectError executes a binary expecting a non-zero exit.
+func runExpectError(t *testing.T, dir, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), tool), args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v should have failed:\n%s", tool, args, out)
+	}
+	return string(out)
+}
+
+const cliPOXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="shipTo">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="firstName" type="xs:string"/>
+        <xs:element name="lastName" type="xs:string"/>
+        <xs:element name="subtotal" type="xs:decimal"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const cliSIXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="shippingInfo">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="name" type="xs:string"/>
+        <xs:element name="total" type="xs:decimal"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func writeSchemas(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "po.xsd"), []byte(cliPOXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "si.xsd"), []byte(cliSIXSD), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestWorkbenchCLIEndToEnd drives load → map → match → accept → code →
+// gen → query across separate process invocations, with state persisted
+// in the N-Triples snapshot between them.
+func TestWorkbenchCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+
+	out := run(t, dir, "workbench", "load", "po.xsd")
+	if !strings.Contains(out, `loaded schema "po"`) {
+		t.Fatalf("load: %s", out)
+	}
+	run(t, dir, "workbench", "load", "si.xsd")
+
+	out = run(t, dir, "workbench", "schemas")
+	if !strings.Contains(out, "po (v1)") || !strings.Contains(out, "si (v1)") {
+		t.Fatalf("schemas: %s", out)
+	}
+
+	run(t, dir, "workbench", "map", "m1", "po", "si")
+	out = run(t, dir, "workbench", "match", "m1", "0.2")
+	if !strings.Contains(out, "published") {
+		t.Fatalf("match: %s", out)
+	}
+
+	run(t, dir, "workbench", "accept", "m1", "po/shipTo/subtotal", "si/shippingInfo/total")
+	out = run(t, dir, "workbench", "cells", "m1")
+	if !strings.Contains(out, "+1.00 (user, by engineer)") {
+		t.Fatalf("cells: %s", out)
+	}
+
+	run(t, dir, "workbench", "code", "m1", "po/shipTo", "$s",
+		"si/shippingInfo/total", "data($s/subtotal) * 1.05")
+	run(t, dir, "workbench", "code", "m1", "po/shipTo", "$s",
+		"si/shippingInfo/name", `concat($s/lastName, ", ", $s/firstName)`)
+
+	out = run(t, dir, "workbench", "gen", "m1", "po/shipTo", "si/shippingInfo")
+	for _, want := range []string{"for $s in //shipTo", "element total { data($s/subtotal) * 1.05 }"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gen missing %q:\n%s", want, out)
+		}
+	}
+
+	// Ad hoc query over the persisted blackboard.
+	out = run(t, dir, "workbench", "query", `?s <urn:workbench:name> "subtotal"`, "s")
+	if !strings.Contains(out, "1 rows") {
+		t.Fatalf("query: %s", out)
+	}
+
+	// The snapshot file exists and reloads.
+	if _, err := os.Stat(filepath.Join(dir, "workbench.nt")); err != nil {
+		t.Fatalf("snapshot missing: %v", err)
+	}
+
+	// Schema versioning across invocations.
+	run(t, dir, "workbench", "load", "po.xsd")
+	out = run(t, dir, "workbench", "schemas")
+	if !strings.Contains(out, "po (v2)") {
+		t.Fatalf("versioning: %s", out)
+	}
+}
+
+func TestWorkbenchCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	runExpectError(t, dir, "workbench", "load", "missing.xsd")
+	runExpectError(t, dir, "workbench", "map", "m1", "ghost", "also-ghost")
+	runExpectError(t, dir, "workbench", "nonsense")
+	run(t, dir, "workbench", "load", "po.xsd")
+	run(t, dir, "workbench", "load", "si.xsd")
+	run(t, dir, "workbench", "map", "m1", "po", "si")
+	runExpectError(t, dir, "workbench", "code", "m1", "po/shipTo", "$s",
+		"si/shippingInfo/total", "((bad code")
+}
+
+func TestHarmonyCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	out := run(t, dir, "harmony", "-threshold", "0.2", "po.xsd", "si.xsd")
+	if !strings.Contains(out, "correspondences at threshold") {
+		t.Fatalf("harmony: %s", out)
+	}
+	if !strings.Contains(out, "po/shipTo/subtotal ↔ si/shippingInfo/total") {
+		t.Fatalf("expected subtotal↔total link:\n%s", out)
+	}
+	out = run(t, dir, "harmony", "-one-to-one", "-timings", "po.xsd", "si.xsd")
+	if !strings.Contains(out, "pipeline stages:") || !strings.Contains(out, "voter:name") {
+		t.Fatalf("timings: %s", out)
+	}
+	runExpectError(t, dir, "harmony", "po.xsd")                // one arg
+	runExpectError(t, dir, "harmony", "po.txt", "si.xsd")      // unknown ext
+	runExpectError(t, dir, "harmony", "missing.xsd", "si.xsd") // missing file
+}
+
+func TestRegistryCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	out := run(t, dir, "registry", "-scale", "0.01")
+	for _, want := range []string{"Paper Table 1", "Measured on the synthetic registry", "Element", "Attribute", "Domain"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("registry output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, dir, "registry", "-scale", "0.01", "-table1=false", "-dump", "0")
+	if !strings.Contains(out, "schema model000") {
+		t.Fatalf("dump: %s", out)
+	}
+	out = run(t, dir, "registry", "-scale", "0.01", "-table1=false", "-pair", "0")
+	if !strings.Contains(out, "true correspondences") {
+		t.Fatalf("pair: %s", out)
+	}
+	runExpectError(t, dir, "registry", "-scale", "0.01", "-dump", "9999")
+}
+
+// TestWorkbenchCLIDot renders the mapping as Graphviz DOT.
+func TestWorkbenchCLIDot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	run(t, dir, "workbench", "load", "po.xsd")
+	run(t, dir, "workbench", "load", "si.xsd")
+	run(t, dir, "workbench", "map", "m1", "po", "si")
+	run(t, dir, "workbench", "accept", "m1", "po/shipTo/subtotal", "si/shippingInfo/total")
+	out := run(t, dir, "workbench", "dot", "m1")
+	for _, want := range []string{"digraph mapping", "cluster_src", "forestgreen", `style="bold"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTwoWorkbenchInstancesShareBlackboard exercises the §5.1.3 goal
+// ("the blackboard should be shared across multiple workbench
+// instances") through the snapshot mechanism: instance A loads and
+// matches, instance B (a different state file seeded from A's snapshot)
+// continues the mapping.
+func TestTwoWorkbenchInstancesShareBlackboard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	// Instance A.
+	run(t, dir, "workbench", "-state", "a.nt", "load", "po.xsd")
+	run(t, dir, "workbench", "-state", "a.nt", "load", "si.xsd")
+	run(t, dir, "workbench", "-state", "a.nt", "map", "m1", "po", "si")
+	run(t, dir, "workbench", "-state", "a.nt", "match", "m1", "0.2")
+
+	// Hand the blackboard to instance B.
+	snap, err := os.ReadFile(filepath.Join(dir, "a.nt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.nt"), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Instance B sees A's work and continues it.
+	out := run(t, dir, "workbench", "-state", "b.nt", "cells", "m1")
+	if !strings.Contains(out, "harmony") {
+		t.Fatalf("instance B missing A's cells:\n%s", out)
+	}
+	run(t, dir, "workbench", "-state", "b.nt", "code", "m1", "po/shipTo", "$s",
+		"si/shippingInfo/total", "data($s/subtotal)")
+	out = run(t, dir, "workbench", "-state", "b.nt", "gen", "m1", "po/shipTo", "si/shippingInfo")
+	if !strings.Contains(out, "element total { data($s/subtotal) }") {
+		t.Fatalf("instance B generation:\n%s", out)
+	}
+	// A's snapshot is untouched by B's work.
+	out = run(t, dir, "workbench", "-state", "a.nt", "cells", "m1")
+	if strings.Contains(out, "data($s/subtotal)") {
+		t.Fatal("instance isolation broken")
+	}
+}
+
+// TestHarmonyCLIMatrixDotThesaurus exercises the display flags and the
+// thesaurus file on the shipped testdata.
+func TestHarmonyCLIMatrixDotThesaurus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	repoRoot, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, repoRoot, "harmony", "-matrix",
+		"testdata/purchaseOrder.xsd", "testdata/shippingInfo.xsd")
+	if !strings.Contains(out, "shipTo") || !strings.Contains(out, "+") {
+		t.Fatalf("matrix: %s", out)
+	}
+	out = run(t, repoRoot, "harmony", "-dot", "-threshold", "0.2",
+		"testdata/purchaseOrder.xsd", "testdata/shippingInfo.xsd")
+	if !strings.Contains(out, "digraph mapping") {
+		t.Fatalf("dot: %s", out)
+	}
+	out = run(t, repoRoot, "harmony",
+		"-thesaurus", "testdata/aviation.thesaurus", "-threshold", "0.2",
+		"testdata/faa.er", "testdata/eurocontrol.er")
+	if !strings.Contains(out, "FAA/Facility ↔ Eurocontrol/Aerodrome") {
+		t.Fatalf("thesaurus run:\n%s", out)
+	}
+}
+
+// TestBenchreportCLIQuick smoke-runs the full experiment report.
+func TestBenchreportCLIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs experiments")
+	}
+	out := run(t, t.TempDir(), "benchreport", "-quick")
+	for _, want := range []string{
+		"E1 — Table 1", "E2b — matcher scaling", "E5 — Figure 4",
+		"E6 — matcher quality", "harmony-full", "cupid-style",
+		"E7 — iterative refinement", "E8 — filter effectiveness",
+		"E9 — task coverage", "workbench  covers 13/13 tasks (all: true)",
+		"E9b — literature systems", "E10 — usability", "E11 — mapping reuse",
+		"E12 — fully automated", "Ablations",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("benchreport missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Command harmony runs the Harmony schema matcher on two schema files
+// and prints the proposed correspondences.
+//
+// Schema formats are detected by extension: .xsd (XML Schema), .sql
+// (SQL DDL), .er (ER text format).
+//
+// Usage:
+//
+//	harmony [flags] source target
+//
+//	-threshold f   only print links with confidence ≥ f (default 0.25)
+//	-max           only each source element's best link(s)
+//	-one-to-one    greedy one-to-one selection instead of all links
+//	-no-flooding   disable the similarity-flooding stage
+//	-thesaurus f   load extra synonym sets (one comma-separated set/line)
+//	-depth n       only elements at depth ≤ n
+//	-timings       print per-stage timings (the Figure 1 pipeline)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	workbench "repro"
+	"repro/internal/harmony"
+	"repro/internal/lingo"
+	"repro/internal/match"
+	"repro/internal/model"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "minimum confidence to print")
+	maxOnly := flag.Bool("max", false, "only max-confidence link(s) per source element")
+	oneToOne := flag.Bool("one-to-one", false, "greedy one-to-one selection")
+	noFlood := flag.Bool("no-flooding", false, "disable similarity flooding")
+	thesaurusPath := flag.String("thesaurus", "", "extra thesaurus file")
+	depth := flag.Int("depth", 0, "only elements at depth <= n (0 = all)")
+	timings := flag.Bool("timings", false, "print pipeline stage timings")
+	matrix := flag.Bool("matrix", false, "print the full confidence matrix")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT of schemata + links")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: harmony [flags] source-schema target-schema")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := loadSchema(flag.Arg(0))
+	exitIf(err)
+	tgt, err := loadSchema(flag.Arg(1))
+	exitIf(err)
+
+	var ctxOpts []match.ContextOption
+	if *thesaurusPath != "" {
+		th := lingo.DefaultThesaurus()
+		f, err := os.Open(*thesaurusPath)
+		exitIf(err)
+		err = th.Load(f)
+		f.Close()
+		exitIf(err)
+		ctxOpts = append(ctxOpts, match.WithThesaurus(th))
+	}
+
+	engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{
+		Flooding:       !*noFlood,
+		ContextOptions: ctxOpts,
+	})
+	stages := engine.Run()
+	if *timings {
+		fmt.Println("pipeline stages:")
+		for _, st := range stages {
+			fmt.Printf("  %-24s %v\n", st.Stage, st.Duration)
+		}
+	}
+
+	if *matrix {
+		fmt.Print(engine.Matrix())
+		return
+	}
+	if *oneToOne {
+		for _, c := range engine.Matrix().StableMatching(*threshold) {
+			fmt.Println(" ", c)
+		}
+		return
+	}
+	if *dot {
+		var cells []model.MappingDOTCell
+		for _, l := range engine.Links(workbench.View{
+			LinkFilters: []workbench.LinkFilter{workbench.ConfidenceFilter(*threshold)},
+		}) {
+			cells = append(cells, model.MappingDOTCell{
+				SourceID: l.Source.ID, TargetID: l.Target.ID,
+				Confidence: l.Confidence, UserDefined: l.UserDefined,
+			})
+		}
+		fmt.Print(model.MappingToDOT(src, tgt, cells))
+		return
+	}
+	view := workbench.View{
+		MaxConfidence: *maxOnly,
+		LinkFilters:   []workbench.LinkFilter{workbench.ConfidenceFilter(*threshold)},
+	}
+	if *depth > 0 {
+		view.SourceNodeFilters = []workbench.NodeFilter{harmony.DepthFilter(*depth)}
+		view.TargetNodeFilters = []workbench.NodeFilter{harmony.DepthFilter(*depth)}
+	}
+	links := engine.Links(view)
+	fmt.Printf("%d correspondences at threshold %.2f:\n", len(links), *threshold)
+	for _, l := range links {
+		fmt.Println(" ", l.Correspondence)
+	}
+}
+
+func loadSchema(path string) (*model.Schema, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xsd", ".xml":
+		return workbench.LoadXSDFile(path)
+	case ".sql", ".ddl":
+		return workbench.LoadSQLFile(path)
+	case ".er":
+		return workbench.LoadERFile(path)
+	default:
+		return nil, fmt.Errorf("harmony: unknown schema extension on %q (want .xsd, .sql or .er)", path)
+	}
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "harmony:", err)
+		os.Exit(1)
+	}
+}

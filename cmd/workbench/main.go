@@ -1,0 +1,206 @@
+// Command workbench is a stateful CLI over the integration blackboard.
+// The blackboard persists between invocations as an N-Triples snapshot
+// (default workbench.nt), exercising the §5.1.3 goal of a blackboard
+// shared across workbench instances.
+//
+// Subcommands:
+//
+//	workbench load <schema-file>             import a schema (.xsd/.sql/.er)
+//	workbench schemas                        list stored schemata
+//	workbench map <id> <source> <target>     create a mapping
+//	workbench match <id> [-threshold f]      run Harmony, publish cells
+//	workbench accept <id> <srcElem> <tgtElem>
+//	workbench reject <id> <srcElem> <tgtElem>
+//	workbench cells <id>                     print the mapping matrix cells
+//	workbench code <id> <row> <var> <col> <expr>  attach column code
+//	workbench gen <id> <srcEntity> <tgtEntity>    assemble + print XQuery
+//	workbench query '<pattern lines>' v1 v2       ad hoc IB query
+//
+// Global flag: -state <file> (default workbench.nt).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	workbench "repro"
+	"repro/internal/blackboard"
+	"repro/internal/mapgen"
+	"repro/internal/model"
+	"repro/internal/wbmgr"
+)
+
+func main() {
+	state := flag.String("state", "workbench.nt", "blackboard snapshot file")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	bb := blackboard.New()
+	if f, err := os.Open(*state); err == nil {
+		err = bb.Restore(f)
+		f.Close()
+		exitIf(err)
+	}
+	m := wbmgr.NewWith(bb)
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "load":
+		need(rest, 1, "load <schema-file>")
+		s, err := loadSchema(rest[0])
+		exitIf(err)
+		v, err := bb.PutSchema(s)
+		exitIf(err)
+		fmt.Printf("loaded schema %q (version %d, %d elements)\n", s.Name, v, s.Len())
+	case "schemas":
+		for _, n := range bb.Schemas() {
+			fmt.Printf("  %s (v%d)\n", n, bb.SchemaVersion(n))
+		}
+	case "map":
+		need(rest, 3, "map <id> <source> <target>")
+		_, err := bb.NewMapping(rest[0], rest[1], rest[2])
+		exitIf(err)
+		fmt.Printf("created mapping %q: %s → %s\n", rest[0], rest[1], rest[2])
+	case "match":
+		need(rest, 1, "match <id> [threshold]")
+		threshold := 0.25
+		if len(rest) > 1 {
+			t, err := strconv.ParseFloat(rest[1], 64)
+			exitIf(err)
+			threshold = t
+		}
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		src, err := bb.GetSchema(mp.SourceSchema)
+		exitIf(err)
+		tgt, err := bb.GetSchema(mp.TargetSchema)
+		exitIf(err)
+		engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{Flooding: true})
+		engine.Run()
+		links := engine.Matrix().Above(threshold)
+		for _, l := range links {
+			mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony")
+			fmt.Println(" ", l)
+		}
+		fmt.Printf("published %d cells at threshold %.2f\n", len(links), threshold)
+	case "accept", "reject":
+		need(rest, 3, cmd+" <id> <srcElem> <tgtElem>")
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		conf := 1.0
+		if cmd == "reject" {
+			conf = -1.0
+		}
+		mp.SetCell(rest[1], rest[2], conf, true, "engineer")
+		fmt.Printf("%sed %s ↔ %s\n", cmd, rest[1], rest[2])
+	case "cells":
+		need(rest, 1, "cells <id>")
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		for _, c := range mp.Cells() {
+			origin := "machine"
+			if c.UserDefined {
+				origin = "user"
+			}
+			fmt.Printf("  %-40s ↔ %-40s %+.2f (%s, by %s)\n",
+				c.SourceID, c.TargetID, c.Confidence, origin, c.SetBy)
+		}
+	case "code":
+		need(rest, 5, "code <id> <rowElem> <var> <colElem> <expr>")
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		if _, err := mapgen.Parse(rest[4]); err != nil {
+			exitIf(err)
+		}
+		mp.SetRowVariable(rest[1], rest[2])
+		mp.SetColumnCode(rest[3], rest[4], "cli")
+		fmt.Printf("column %s: %s\n", rest[3], rest[4])
+	case "gen":
+		need(rest, 3, "gen <id> <srcEntity> <tgtEntity>")
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		prog, err := mapgen.AssembleProgram(bb, mp, rest[1], rest[2])
+		exitIf(err)
+		code := prog.GenerateXQuery()
+		mp.SetCode(code, "cli")
+		fmt.Println(code)
+	case "dot":
+		// dot <mapping-id>: render the mapping as Graphviz DOT with
+		// color-coded correspondence lines (the GUI stand-in).
+		need(rest, 1, "dot <mapping-id>")
+		mp, err := bb.GetMapping(rest[0])
+		exitIf(err)
+		src, err := bb.GetSchema(mp.SourceSchema)
+		exitIf(err)
+		tgt, err := bb.GetSchema(mp.TargetSchema)
+		exitIf(err)
+		var cells []model.MappingDOTCell
+		for _, c := range mp.Cells() {
+			cells = append(cells, model.MappingDOTCell{
+				SourceID: c.SourceID, TargetID: c.TargetID,
+				Confidence: c.Confidence, UserDefined: c.UserDefined,
+			})
+		}
+		fmt.Print(model.MappingToDOT(src, tgt, cells))
+	case "query":
+		if len(rest) < 2 {
+			usage()
+		}
+		rows, err := m.Query(rest[0], rest[1:]...)
+		exitIf(err)
+		for _, r := range rows {
+			fmt.Println(" ", strings.Join(r, "  "))
+		}
+		fmt.Printf("%d rows\n", len(rows))
+	default:
+		usage()
+	}
+
+	// Persist the blackboard.
+	f, err := os.Create(*state)
+	exitIf(err)
+	err = bb.Snapshot(f)
+	cerr := f.Close()
+	exitIf(err)
+	exitIf(cerr)
+}
+
+func loadSchema(path string) (*model.Schema, error) {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xsd", ".xml":
+		return workbench.LoadXSDFile(path)
+	case ".sql", ".ddl":
+		return workbench.LoadSQLFile(path)
+	case ".er":
+		return workbench.LoadERFile(path)
+	default:
+		return nil, fmt.Errorf("unknown schema extension on %q", path)
+	}
+}
+
+func need(args []string, n int, usageLine string) {
+	if len(args) < n {
+		fmt.Fprintln(os.Stderr, "usage: workbench", usageLine)
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: workbench [-state file] <command> ...
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query`)
+	os.Exit(2)
+}
+
+func exitIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "workbench:", err)
+		os.Exit(1)
+	}
+}

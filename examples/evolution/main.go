@@ -1,0 +1,135 @@
+// Evolution: schema change, metadata sync, and enrichment — the paper's
+// §3.1 ("one needs a means to keep the metadata in synch, as the actual
+// systems change", "one may enrich the schemata, e.g., by defining
+// coding schemes as domains") and §5.1.3 ("schemata inevitably change;
+// the blackboard should track schemata across versions").
+//
+// The example:
+//
+//  1. loads v1 of an operational schema and maps it;
+//  2. enriches it with coding schemes inferred from instance data
+//     (recovering what the DDL lost, §2);
+//  3. loads v2 (a column dropped, one retyped, a code added), lets the
+//     blackboard archive v1, diffs the versions, and flags the mapping
+//     rows an engineer must re-review.
+//
+// Run:
+//
+//	go run ./examples/evolution
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	workbench "repro"
+)
+
+const v1DDL = `
+CREATE TABLE shipment (
+  ship_id   INTEGER PRIMARY KEY,
+  carrier   CHAR(4),
+  weight_lb DECIMAL(8,2),
+  status    VARCHAR(10),
+  legacy_no VARCHAR(20)
+);
+COMMENT ON TABLE shipment IS 'A shipment moving through the logistics network';
+COMMENT ON COLUMN shipment.carrier IS 'Code of the carrier moving the shipment';
+COMMENT ON COLUMN shipment.status IS 'Current movement status of the shipment';
+`
+
+const v2DDL = `
+CREATE TABLE shipment (
+  ship_id   INTEGER PRIMARY KEY,
+  carrier   CHAR(4),
+  weight_kg DECIMAL(8,2),
+  status    CHAR(2) NOT NULL,
+  eta       DATE
+);
+COMMENT ON TABLE shipment IS 'A shipment moving through the logistics network';
+COMMENT ON COLUMN shipment.status IS 'Current movement status of the shipment, now coded';
+`
+
+func main() {
+	bb := workbench.NewBlackboard()
+
+	// 1. Version 1, stored and mapped.
+	v1, err := workbench.LoadSQL("logistics", strings.NewReader(v1DDL))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Enrichment: the DDL declares no coding schemes, but instance
+	//    data reveals them (§2: the standard SQL encoding "is good for
+	//    referential integrity, but bad for integration efforts").
+	rows := &workbench.Dataset{}
+	carriers := []string{"UPSX", "FDXE", "DHLX"}
+	statuses := []string{"IN_TRANSIT", "DELIVERED", "HELD"}
+	for i := 0; i < 40; i++ {
+		rows.Records = append(rows.Records, workbench.NewRecord("shipment").
+			Set("ship_id", fmt.Sprint(i)).
+			Set("carrier", carriers[i%3]).
+			Set("weight_lb", "12.5").
+			Set("status", statuses[i%3]).
+			Set("legacy_no", fmt.Sprintf("L-%04d", i)))
+	}
+	inferred := workbench.InferDomains(v1, rows, workbench.InferOptions{})
+	fmt.Println("== Inferred coding schemes from instance data ==")
+	for _, name := range inferred {
+		d := v1.Domains[name]
+		fmt.Printf("  %-30s %v\n", name, codes(d))
+	}
+
+	if _, err := bb.PutSchema(v1); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstored %q v%d\n", v1.Name, bb.SchemaVersion("logistics"))
+
+	// 3. Version 2 arrives: archive, diff, flag affected mapping rows.
+	v2, err := workbench.LoadSQL("logistics", strings.NewReader(v2DDL))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ver, err := bb.PutSchema(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stored %q v%d (v1 archived as logistics@v1)\n\n", v2.Name, ver)
+
+	old, err := bb.GetSchema("logistics@v1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	current, err := bb.GetSchema("logistics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	diff := workbench.DiffSchemas(old, current)
+	fmt.Println("== Schema diff v1 → v2 ==")
+	for _, d := range diff {
+		fmt.Println(" ", d)
+	}
+
+	fmt.Println("\n== Mapping rows to re-review ==")
+	for _, id := range affectedRows(diff) {
+		fmt.Println(" ", id)
+	}
+}
+
+func codes(d *workbench.Domain) []string {
+	if d == nil {
+		return nil
+	}
+	return d.Codes()
+}
+
+func affectedRows(diff []workbench.SchemaDiff) []string {
+	var out []string
+	for _, d := range diff {
+		if d.Kind == "element-removed" || d.Kind == "element-changed" {
+			out = append(out, d.ID+"  ("+string(d.Kind)+")")
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+// Quickstart: from two schemata to an executable mapping in one sitting.
+//
+// This example loads a relational source (SQL DDL) and an XML target
+// (XSD), lets Harmony propose correspondences, confirms the good ones,
+// attaches transformation code, and runs the generated mapping over
+// sample rows — the full §3 pipeline on the workbench's public API.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	workbench "repro"
+)
+
+const sourceDDL = `
+CREATE TABLE customer (
+  cust_id    INTEGER PRIMARY KEY,
+  first_name VARCHAR(40) NOT NULL,
+  last_name  VARCHAR(40) NOT NULL,
+  balance    DECIMAL(10,2)
+);
+COMMENT ON TABLE customer IS 'A person who places orders with the company';
+COMMENT ON COLUMN customer.first_name IS 'Given name of the customer';
+COMMENT ON COLUMN customer.last_name IS 'Family name of the customer';
+COMMENT ON COLUMN customer.balance IS 'Outstanding account balance in dollars';
+`
+
+const targetXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="client">
+    <xs:annotation><xs:documentation>A client of the business who buys goods</xs:documentation></xs:annotation>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="fullName" type="xs:string">
+          <xs:annotation><xs:documentation>Complete name of the client</xs:documentation></xs:annotation>
+        </xs:element>
+        <xs:element name="amountOwed" type="xs:decimal">
+          <xs:annotation><xs:documentation>Dollar balance the client still owes</xs:documentation></xs:annotation>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func main() {
+	// 1. Schema preparation (tasks 1–2): load both schemata.
+	src, err := workbench.LoadSQL("crm", strings.NewReader(sourceDDL))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt, err := workbench.LoadXSD("orders", strings.NewReader(targetXSD))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== Source schema ==")
+	fmt.Print(src)
+	fmt.Println("== Target schema ==")
+	fmt.Print(tgt)
+
+	// 2. Build the integration session: workbench + mapping + tools.
+	session, err := workbench.NewIntegrationSession(
+		"crm-to-orders", src, tgt, "crm/customer", "orders/client")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Schema matching (task 3): Harmony proposes, we review.
+	n, err := session.Match(0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nHarmony published %d candidate correspondences:\n", n)
+	engine, err := session.Engine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range engine.Links(workbench.View{
+		MaxConfidence: true,
+		LinkFilters:   []workbench.LinkFilter{workbench.ConfidenceFilter(0.1)},
+	}) {
+		fmt.Printf("  %s\n", l.Correspondence)
+	}
+
+	// The engineer confirms the real pairs.
+	for _, pair := range [][2]string{
+		{"crm/customer", "orders/client"},
+		{"crm/customer/first_name", "orders/client/fullName"},
+		{"crm/customer/last_name", "orders/client/fullName"},
+		{"crm/customer/balance", "orders/client/amountOwed"},
+	} {
+		if err := session.Accept(pair[0], pair[1]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 4. Schema mapping (tasks 4–8): attach transformation code.
+	if err := session.WriteCode("crm/customer", "$cust", "orders/client/fullName",
+		`concat($cust/first_name, " ", $cust/last_name)`); err != nil {
+		log.Fatal(err)
+	}
+	if err := session.WriteCode("crm/customer", "$cust", "orders/client/amountOwed",
+		`data($cust/balance)`); err != nil {
+		log.Fatal(err)
+	}
+	code, err := session.GeneratedCode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGenerated mapping (task 8):")
+	fmt.Println(code)
+
+	// 5. Execute and verify (task 9) on sample rows.
+	rows := &workbench.Dataset{Records: []*workbench.Record{
+		workbench.NewRecord("customer").
+			Set("cust_id", "1").Set("first_name", "Ada").
+			Set("last_name", "Lovelace").Set("balance", "125.50"),
+		workbench.NewRecord("customer").
+			Set("cust_id", "2").Set("first_name", "Alan").
+			Set("last_name", "Turing").Set("balance", "0"),
+	}}
+	out, violations, err := session.Execute(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Produced %d client documents, %d violations:\n", len(out.Records), len(violations))
+	for _, r := range out.Records {
+		fmt.Print(r.ToXML())
+	}
+}

@@ -1,0 +1,472 @@
+// Package blackboard implements the integration blackboard (IB) of paper
+// §5.1: "a shared repository for information relevant to schema
+// integration ... including schemata, mappings, and their component
+// elements", represented in RDF. Schemata are stored as labeled graphs
+// (§5.1.1) and inter-schema relationships as annotated mapping matrices
+// (§5.1.2), using the paper's controlled vocabulary: confidence-score,
+// is-user-defined, variable-name, code and is-complete.
+//
+// The §5.1.3 enhancements are implemented too: schema versioning, mapping
+// provenance, a mapping library, shared focus context, and snapshot
+// export/import as the stand-in for cross-workbench sharing.
+package blackboard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/rdf"
+)
+
+// Controlled vocabulary for the mapping portion of the IB (§5.1.2).
+const wbNS = "urn:workbench:"
+
+var (
+	classMapping = rdf.IRI(wbNS + "MappingMatrix")
+	classCell    = rdf.IRI(wbNS + "MappingCell")
+	classRow     = rdf.IRI(wbNS + "MappingRow")
+	classColumn  = rdf.IRI(wbNS + "MappingColumn")
+
+	predSourceSchema = rdf.IRI(wbNS + "source-schema")
+	predTargetSchema = rdf.IRI(wbNS + "target-schema")
+	predHasCell      = rdf.IRI(wbNS + "has-cell")
+	predHasRow       = rdf.IRI(wbNS + "has-row")
+	predHasColumn    = rdf.IRI(wbNS + "has-column")
+	predRowElem      = rdf.IRI(wbNS + "row-element")
+	predColElem      = rdf.IRI(wbNS + "column-element")
+	predCellRow      = rdf.IRI(wbNS + "cell-row")
+	predCellCol      = rdf.IRI(wbNS + "cell-column")
+
+	predConfidence  = rdf.IRI(wbNS + "confidence-score")
+	predUserDefined = rdf.IRI(wbNS + "is-user-defined")
+	predVariable    = rdf.IRI(wbNS + "variable-name")
+	predCode        = rdf.IRI(wbNS + "code")
+	predComplete    = rdf.IRI(wbNS + "is-complete")
+
+	predVersion    = rdf.IRI(wbNS + "version")
+	predArchivedAs = rdf.IRI(wbNS + "archived-as")
+	predSetBy      = rdf.IRI(wbNS + "set-by")
+	predRevision   = rdf.IRI(wbNS + "revision")
+	predFocus      = rdf.IRI(wbNS + "focus-subtree")
+)
+
+// Blackboard is the shared knowledge repository. It is not itself
+// transactional: the workbench manager (package wbmgr) provides
+// transactions, events and locking on top.
+type Blackboard struct {
+	g *rdf.Graph
+	// revision counts mutations for provenance ordering.
+	revision int
+}
+
+// New returns an empty blackboard.
+func New() *Blackboard { return &Blackboard{g: rdf.NewGraph()} }
+
+// Graph exposes the underlying RDF graph for queries and snapshots.
+func (b *Blackboard) Graph() *rdf.Graph { return b.g }
+
+// nextRevision advances and returns the provenance counter.
+func (b *Blackboard) nextRevision() int {
+	b.revision++
+	return b.revision
+}
+
+// Revision returns the current mutation counter.
+func (b *Blackboard) Revision() int { return b.revision }
+
+// ---- Schemata ----
+
+// PutSchema stores a schema. Re-putting a schema with an existing name
+// archives the previous version under "name@v<n>" and bumps the version
+// counter (§5.1.3: "the blackboard should track schemata across
+// versions"). It returns the new version number (1 for first put).
+func (b *Blackboard) PutSchema(s *model.Schema) (int, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	node := model.SchemaIRI(s.Name)
+	version := 1
+	if rdf.TypeOf(b.g, node) != (rdf.Term{}) {
+		// Existing schema: archive under a versioned name.
+		old, err := model.FromRDF(b.g, s.Name)
+		if err != nil {
+			return 0, fmt.Errorf("blackboard: archiving %q: %w", s.Name, err)
+		}
+		prevVersion, _ := b.g.One(node, predVersion).Int()
+		if prevVersion == 0 {
+			prevVersion = 1
+		}
+		version = prevVersion + 1
+		archived := *old
+		archived.Name = fmt.Sprintf("%s@v%d", s.Name, prevVersion)
+		b.deleteSchemaTriples(s.Name)
+		archNode := model.ToRDF(b.g, &archived)
+		b.g.SetOne(archNode, predVersion, rdf.IntLiteral(prevVersion))
+		b.g.Add(rdf.Triple{S: node, P: predArchivedAs, O: archNode})
+	}
+	model.ToRDF(b.g, s)
+	b.g.SetOne(node, predVersion, rdf.IntLiteral(version))
+	b.nextRevision()
+	return version, nil
+}
+
+// deleteSchemaTriples removes all triples whose subject is the schema
+// node or one of its elements/domains (identified by IRI prefix).
+func (b *Blackboard) deleteSchemaTriples(name string) {
+	prefix := model.SchemaIRI(name).Value()
+	var victims []rdf.Triple
+	b.g.Visit(rdf.Wild, rdf.Wild, rdf.Wild, func(t rdf.Triple) bool {
+		sv := t.S.Value()
+		if t.S.Kind() == rdf.IRIKind &&
+			(sv == prefix || strings.HasPrefix(sv, prefix+"#") || strings.HasPrefix(sv, prefix+"/domain/")) {
+			// Keep archive links on the head node.
+			if t.P == predArchivedAs {
+				return true
+			}
+			victims = append(victims, t)
+		}
+		return true
+	})
+	for _, t := range victims {
+		b.g.Remove(t)
+	}
+}
+
+// GetSchema reconstructs a stored schema by name.
+func (b *Blackboard) GetSchema(name string) (*model.Schema, error) {
+	return model.FromRDF(b.g, name)
+}
+
+// SchemaVersion returns the current version of a schema (0 if absent).
+func (b *Blackboard) SchemaVersion(name string) int {
+	v, _ := b.g.One(model.SchemaIRI(name), predVersion).Int()
+	return v
+}
+
+// Schemas lists stored schema names (current versions only; archived
+// versions carry "@v" in their names and are filtered).
+func (b *Blackboard) Schemas() []string {
+	var out []string
+	for _, n := range model.SchemaNames(b.g) {
+		if !strings.Contains(n, "@v") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ---- Mappings ----
+
+// mappingIRI names a mapping matrix node.
+func mappingIRI(id string) rdf.Term { return rdf.IRI(wbNS + "mapping/" + id) }
+
+// Mapping is a handle on one mapping matrix in the IB.
+type Mapping struct {
+	b    *Blackboard
+	node rdf.Term
+	// ID is the mapping's identifier in the library.
+	ID string
+	// SourceSchema and TargetSchema name the mapped schemata.
+	SourceSchema, TargetSchema string
+}
+
+// NewMapping creates a mapping matrix between two stored schemata. The id
+// must be unique in the mapping library.
+func (b *Blackboard) NewMapping(id, sourceSchema, targetSchema string) (*Mapping, error) {
+	for _, name := range []string{sourceSchema, targetSchema} {
+		if rdf.TypeOf(b.g, model.SchemaIRI(name)).IsZero() {
+			return nil, fmt.Errorf("blackboard: schema %q not in blackboard", name)
+		}
+	}
+	node := mappingIRI(id)
+	if !rdf.TypeOf(b.g, node).IsZero() {
+		return nil, fmt.Errorf("blackboard: mapping %q already exists", id)
+	}
+	b.g.Add(rdf.Triple{S: node, P: rdf.RDFType, O: classMapping})
+	b.g.SetOne(node, predSourceSchema, model.SchemaIRI(sourceSchema))
+	b.g.SetOne(node, predTargetSchema, model.SchemaIRI(targetSchema))
+	b.nextRevision()
+	return &Mapping{b: b, node: node, ID: id, SourceSchema: sourceSchema, TargetSchema: targetSchema}, nil
+}
+
+// GetMapping opens an existing mapping by id.
+func (b *Blackboard) GetMapping(id string) (*Mapping, error) {
+	node := mappingIRI(id)
+	if rdf.TypeOf(b.g, node) != classMapping {
+		return nil, fmt.Errorf("blackboard: no mapping %q", id)
+	}
+	src := b.g.One(node, predSourceSchema).Value()
+	tgt := b.g.One(node, predTargetSchema).Value()
+	return &Mapping{
+		b: b, node: node, ID: id,
+		SourceSchema: strings.TrimPrefix(src, wbNS+"schema/"),
+		TargetSchema: strings.TrimPrefix(tgt, wbNS+"schema/"),
+	}, nil
+}
+
+// Mappings lists mapping IDs — the §5.1.3 "library of mappings".
+func (b *Blackboard) Mappings() []string {
+	var out []string
+	for _, n := range rdf.InstancesOf(b.g, classMapping) {
+		out = append(out, strings.TrimPrefix(n.Value(), wbNS+"mapping/"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeleteMapping removes a mapping and its cells/rows/columns.
+func (b *Blackboard) DeleteMapping(id string) {
+	node := mappingIRI(id)
+	for _, p := range []rdf.Term{predHasCell, predHasRow, predHasColumn} {
+		for _, child := range b.g.Objects(node, p) {
+			b.g.RemoveMatching(child, rdf.Wild, rdf.Wild)
+		}
+	}
+	b.g.RemoveMatching(node, rdf.Wild, rdf.Wild)
+	b.nextRevision()
+}
+
+// ---- Cells ----
+
+// Cell is one mapping-matrix cell: a potential correspondence between a
+// source and a target element, annotated per §5.1.2.
+type Cell struct {
+	SourceID, TargetID string
+	Confidence         float64
+	UserDefined        bool
+	// SetBy names the tool that last wrote the cell (provenance).
+	SetBy string
+	// Revision is the blackboard revision of the last write.
+	Revision int
+}
+
+// cellNode finds or creates the cell node for a pair.
+func (m *Mapping) cellNode(srcID, tgtID string, create bool) rdf.Term {
+	srcElem := model.ElementIRI(m.SourceSchema, srcID)
+	tgtElem := model.ElementIRI(m.TargetSchema, tgtID)
+	for _, c := range m.b.g.Objects(m.node, predHasCell) {
+		if m.b.g.One(c, predCellRow) == srcElem && m.b.g.One(c, predCellCol) == tgtElem {
+			return c
+		}
+	}
+	if !create {
+		return rdf.Term{}
+	}
+	c := rdf.IRI(m.node.Value() + "/cell/" + srcID + "|" + tgtID)
+	m.b.g.Add(rdf.Triple{S: c, P: rdf.RDFType, O: classCell})
+	m.b.g.SetOne(c, predCellRow, srcElem)
+	m.b.g.SetOne(c, predCellCol, tgtElem)
+	m.b.g.Add(rdf.Triple{S: m.node, P: predHasCell, O: c})
+	return c
+}
+
+// SetCell writes a correspondence: confidence in [-1,1] and whether it is
+// user-defined. tool is recorded as provenance.
+func (m *Mapping) SetCell(srcID, tgtID string, confidence float64, userDefined bool, tool string) {
+	c := m.cellNode(srcID, tgtID, true)
+	m.b.g.SetOne(c, predConfidence, rdf.FloatLiteral(confidence))
+	m.b.g.SetOne(c, predUserDefined, rdf.BoolLiteral(userDefined))
+	m.b.g.SetOne(c, predSetBy, rdf.Literal(tool))
+	m.b.g.SetOne(c, predRevision, rdf.IntLiteral(m.b.nextRevision()))
+}
+
+// GetCell reads a cell; ok is false when the pair has never been scored.
+func (m *Mapping) GetCell(srcID, tgtID string) (Cell, bool) {
+	c := m.cellNode(srcID, tgtID, false)
+	if c.IsZero() {
+		return Cell{}, false
+	}
+	return m.readCell(c), true
+}
+
+func (m *Mapping) readCell(c rdf.Term) Cell {
+	conf, _ := m.b.g.One(c, predConfidence).Float()
+	ud, _ := m.b.g.One(c, predUserDefined).Bool()
+	rev, _ := m.b.g.One(c, predRevision).Int()
+	srcElem := m.b.g.One(c, predCellRow).Value()
+	tgtElem := m.b.g.One(c, predCellCol).Value()
+	return Cell{
+		SourceID:    strings.TrimPrefix(srcElem, model.SchemaIRI(m.SourceSchema).Value()+"#"),
+		TargetID:    strings.TrimPrefix(tgtElem, model.SchemaIRI(m.TargetSchema).Value()+"#"),
+		Confidence:  conf,
+		UserDefined: ud,
+		SetBy:       m.b.g.One(c, predSetBy).Value(),
+		Revision:    rev,
+	}
+}
+
+// Cells returns every scored cell, ordered by (SourceID, TargetID).
+func (m *Mapping) Cells() []Cell {
+	var out []Cell
+	for _, c := range m.b.g.Objects(m.node, predHasCell) {
+		out = append(out, m.readCell(c))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SourceID != out[j].SourceID {
+			return out[i].SourceID < out[j].SourceID
+		}
+		return out[i].TargetID < out[j].TargetID
+	})
+	return out
+}
+
+// ---- Rows and columns ----
+
+func (m *Mapping) rowNode(srcID string, create bool) rdf.Term {
+	elem := model.ElementIRI(m.SourceSchema, srcID)
+	for _, r := range m.b.g.Objects(m.node, predHasRow) {
+		if m.b.g.One(r, predRowElem) == elem {
+			return r
+		}
+	}
+	if !create {
+		return rdf.Term{}
+	}
+	r := rdf.IRI(m.node.Value() + "/row/" + srcID)
+	m.b.g.Add(rdf.Triple{S: r, P: rdf.RDFType, O: classRow})
+	m.b.g.SetOne(r, predRowElem, elem)
+	m.b.g.Add(rdf.Triple{S: m.node, P: predHasRow, O: r})
+	return r
+}
+
+func (m *Mapping) colNode(tgtID string, create bool) rdf.Term {
+	elem := model.ElementIRI(m.TargetSchema, tgtID)
+	for _, c := range m.b.g.Objects(m.node, predHasColumn) {
+		if m.b.g.One(c, predColElem) == elem {
+			return c
+		}
+	}
+	if !create {
+		return rdf.Term{}
+	}
+	c := rdf.IRI(m.node.Value() + "/col/" + tgtID)
+	m.b.g.Add(rdf.Triple{S: c, P: rdf.RDFType, O: classColumn})
+	m.b.g.SetOne(c, predColElem, elem)
+	m.b.g.Add(rdf.Triple{S: m.node, P: predHasColumn, O: c})
+	return c
+}
+
+// SetRowVariable annotates a source row with its variable-name (§5.1.2).
+func (m *Mapping) SetRowVariable(srcID, variable string) {
+	m.b.g.SetOne(m.rowNode(srcID, true), predVariable, rdf.Literal(variable))
+	m.b.nextRevision()
+}
+
+// RowVariable returns the row's variable-name ("" when unset).
+func (m *Mapping) RowVariable(srcID string) string {
+	r := m.rowNode(srcID, false)
+	if r.IsZero() {
+		return ""
+	}
+	return m.b.g.One(r, predVariable).Value()
+}
+
+// SetColumnCode annotates a target column with its transformation code —
+// "each column is annotated with code that references these names".
+func (m *Mapping) SetColumnCode(tgtID, code, tool string) {
+	c := m.colNode(tgtID, true)
+	m.b.g.SetOne(c, predCode, rdf.Literal(code))
+	m.b.g.SetOne(c, predSetBy, rdf.Literal(tool))
+	m.b.g.SetOne(c, predRevision, rdf.IntLiteral(m.b.nextRevision()))
+}
+
+// ColumnCode returns the column's code annotation.
+func (m *Mapping) ColumnCode(tgtID string) string {
+	c := m.colNode(tgtID, false)
+	if c.IsZero() {
+		return ""
+	}
+	return m.b.g.One(c, predCode).Value()
+}
+
+// SetRowComplete / SetColumnComplete track matching progress (§5.1.2:
+// "Harmony annotates rows and columns with is-complete").
+func (m *Mapping) SetRowComplete(srcID string, complete bool) {
+	m.b.g.SetOne(m.rowNode(srcID, true), predComplete, rdf.BoolLiteral(complete))
+	m.b.nextRevision()
+}
+
+// RowComplete reports the row's is-complete annotation.
+func (m *Mapping) RowComplete(srcID string) bool {
+	r := m.rowNode(srcID, false)
+	if r.IsZero() {
+		return false
+	}
+	v, _ := m.b.g.One(r, predComplete).Bool()
+	return v
+}
+
+// SetColumnComplete sets the column's is-complete annotation.
+func (m *Mapping) SetColumnComplete(tgtID string, complete bool) {
+	m.b.g.SetOne(m.colNode(tgtID, true), predComplete, rdf.BoolLiteral(complete))
+	m.b.nextRevision()
+}
+
+// ColumnComplete reports the column's is-complete annotation.
+func (m *Mapping) ColumnComplete(tgtID string) bool {
+	c := m.colNode(tgtID, false)
+	if c.IsZero() {
+		return false
+	}
+	v, _ := m.b.g.One(c, predComplete).Bool()
+	return v
+}
+
+// SetCode sets the whole-matrix code annotation — "the matrix as a whole
+// has a code annotation, which represents the mapping from source to
+// target".
+func (m *Mapping) SetCode(code, tool string) {
+	m.b.g.SetOne(m.node, predCode, rdf.Literal(code))
+	m.b.g.SetOne(m.node, predSetBy, rdf.Literal(tool))
+	m.b.g.SetOne(m.node, predRevision, rdf.IntLiteral(m.b.nextRevision()))
+}
+
+// Code returns the whole-matrix code annotation.
+func (m *Mapping) Code() string { return m.b.g.One(m.node, predCode).Value() }
+
+// Provenance returns who last wrote the matrix-level code and at which
+// revision (§5.1.3: "the blackboard should maintain mapping provenance").
+func (m *Mapping) Provenance() (tool string, revision int) {
+	rev, _ := m.b.g.One(m.node, predRevision).Int()
+	return m.b.g.One(m.node, predSetBy).Value(), rev
+}
+
+// ---- Shared context (§5.1.3: focus shared across tools) ----
+
+// SetFocus records the element subtree the engineer is focused on.
+func (b *Blackboard) SetFocus(schemaName, elementID string) {
+	b.g.SetOne(rdf.IRI(wbNS+"context"), predFocus, model.ElementIRI(schemaName, elementID))
+	b.nextRevision()
+}
+
+// Focus returns the current focus element IRI value ("" when unset).
+func (b *Blackboard) Focus() string {
+	return b.g.One(rdf.IRI(wbNS+"context"), predFocus).Value()
+}
+
+// ClearFocus removes the focus annotation.
+func (b *Blackboard) ClearFocus() {
+	b.g.RemoveMatching(rdf.IRI(wbNS+"context"), predFocus, rdf.Wild)
+	b.nextRevision()
+}
+
+// ---- Snapshots ----
+
+// Snapshot writes the whole blackboard as canonical N-Triples.
+func (b *Blackboard) Snapshot(w io.Writer) error { return rdf.WriteNTriples(w, b.g) }
+
+// Restore replaces the blackboard contents from an N-Triples stream —
+// together with Snapshot, the stand-in for sharing one IB across multiple
+// workbench instances.
+func (b *Blackboard) Restore(r io.Reader) error {
+	g, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return err
+	}
+	b.g.ReplaceWith(g)
+	b.nextRevision()
+	return nil
+}

@@ -1,0 +1,314 @@
+package blackboard
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func poSchema() *model.Schema {
+	s := model.NewSchema("purchaseOrder", "xsd")
+	po := s.AddElement(nil, "purchaseOrder", model.KindEntity, model.ContainsElement)
+	shipTo := s.AddElement(po, "shipTo", model.KindEntity, model.ContainsElement)
+	for _, n := range []string{"firstName", "lastName", "subtotal"} {
+		a := s.AddElement(shipTo, n, model.KindAttribute, model.ContainsAttribute)
+		a.DataType = "string"
+	}
+	return s
+}
+
+func siSchema() *model.Schema {
+	s := model.NewSchema("shippingInfo", "xsd")
+	si := s.AddElement(nil, "shippingInfo", model.KindEntity, model.ContainsElement)
+	for _, n := range []string{"name", "total"} {
+		a := s.AddElement(si, n, model.KindAttribute, model.ContainsAttribute)
+		a.DataType = "string"
+	}
+	return s
+}
+
+func boardWithSchemata(t *testing.T) *Blackboard {
+	t.Helper()
+	b := New()
+	if _, err := b.PutSchema(poSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutSchema(siSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestPutGetSchema(t *testing.T) {
+	b := boardWithSchemata(t)
+	got, err := b.GetSchema("purchaseOrder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Errorf("Len = %d", got.Len())
+	}
+	if names := b.Schemas(); len(names) != 2 || names[0] != "purchaseOrder" || names[1] != "shippingInfo" {
+		t.Errorf("Schemas = %v", names)
+	}
+	if _, err := b.GetSchema("ghost"); err == nil {
+		t.Error("missing schema should error")
+	}
+}
+
+func TestPutSchemaRejectsInvalid(t *testing.T) {
+	b := New()
+	bad := model.NewSchema("bad", "er")
+	e := bad.AddElement(nil, "x", model.KindAttribute, model.ContainsAttribute)
+	e.DomainRef = "nope"
+	if _, err := b.PutSchema(bad); err == nil {
+		t.Error("invalid schema should be rejected")
+	}
+}
+
+func TestSchemaVersioning(t *testing.T) {
+	b := New()
+	v1 := poSchema()
+	ver, err := b.PutSchema(v1)
+	if err != nil || ver != 1 {
+		t.Fatalf("first put: v%d, %v", ver, err)
+	}
+	// Evolve: add an attribute.
+	v2 := poSchema()
+	st := v2.Element("purchaseOrder/purchaseOrder/shipTo")
+	v2.AddElement(st, "country", model.KindAttribute, model.ContainsAttribute)
+	ver, err = b.PutSchema(v2)
+	if err != nil || ver != 2 {
+		t.Fatalf("second put: v%d, %v", ver, err)
+	}
+	if b.SchemaVersion("purchaseOrder") != 2 {
+		t.Errorf("version = %d", b.SchemaVersion("purchaseOrder"))
+	}
+	// Current reflects v2.
+	cur, err := b.GetSchema("purchaseOrder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Element("purchaseOrder/purchaseOrder/shipTo/country") == nil {
+		t.Error("current version lost the new attribute")
+	}
+	// v1 is archived and retrievable.
+	old, err := b.GetSchema("purchaseOrder@v1")
+	if err != nil {
+		t.Fatalf("archived version: %v", err)
+	}
+	if old.Len() != 5 {
+		t.Errorf("archived Len = %d", old.Len())
+	}
+	// Archived versions are not listed as current.
+	for _, n := range b.Schemas() {
+		if strings.Contains(n, "@v") {
+			t.Errorf("archived schema listed: %s", n)
+		}
+	}
+	if b.SchemaVersion("ghost") != 0 {
+		t.Error("missing schema version should be 0")
+	}
+}
+
+func TestNewMappingValidation(t *testing.T) {
+	b := boardWithSchemata(t)
+	if _, err := b.NewMapping("m", "ghost", "shippingInfo"); err == nil {
+		t.Error("unknown source schema should error")
+	}
+	if _, err := b.NewMapping("m", "purchaseOrder", "ghost"); err == nil {
+		t.Error("unknown target schema should error")
+	}
+	if _, err := b.NewMapping("m", "purchaseOrder", "shippingInfo"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.NewMapping("m", "purchaseOrder", "shippingInfo"); err == nil {
+		t.Error("duplicate mapping id should error")
+	}
+}
+
+func TestMappingCells(t *testing.T) {
+	b := boardWithSchemata(t)
+	m, _ := b.NewMapping("m", "purchaseOrder", "shippingInfo")
+	const src = "purchaseOrder/purchaseOrder/shipTo"
+	const tgt = "shippingInfo/shippingInfo"
+	m.SetCell(src, tgt, 0.8, false, "harmony")
+	c, ok := m.GetCell(src, tgt)
+	if !ok {
+		t.Fatal("cell missing")
+	}
+	if c.Confidence != 0.8 || c.UserDefined || c.SetBy != "harmony" {
+		t.Errorf("cell = %+v", c)
+	}
+	if c.SourceID != src || c.TargetID != tgt {
+		t.Errorf("cell ids = %q, %q", c.SourceID, c.TargetID)
+	}
+	// Overwrite with a user decision.
+	m.SetCell(src, tgt, 1, true, "engineer")
+	c2, _ := m.GetCell(src, tgt)
+	if c2.Confidence != 1 || !c2.UserDefined || c2.SetBy != "engineer" {
+		t.Errorf("overwritten cell = %+v", c2)
+	}
+	if c2.Revision <= c.Revision {
+		t.Error("revision should advance on overwrite")
+	}
+	if _, ok := m.GetCell("ghost", tgt); ok {
+		t.Error("unset cell should report !ok")
+	}
+}
+
+func TestMappingCellsSortedAndReopened(t *testing.T) {
+	b := boardWithSchemata(t)
+	m, _ := b.NewMapping("m", "purchaseOrder", "shippingInfo")
+	m.SetCell("purchaseOrder/purchaseOrder/shipTo/subtotal", "shippingInfo/shippingInfo/total", -0.6, false, "harmony")
+	m.SetCell("purchaseOrder/purchaseOrder/shipTo/firstName", "shippingInfo/shippingInfo/name", -0.4, false, "harmony")
+
+	// Reopen through the library.
+	m2, err := b.GetMapping("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.SourceSchema != "purchaseOrder" || m2.TargetSchema != "shippingInfo" {
+		t.Errorf("reopened header: %+v", m2)
+	}
+	cells := m2.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("cells = %v", cells)
+	}
+	if cells[0].SourceID >= cells[1].SourceID {
+		t.Error("cells not sorted")
+	}
+	if _, err := b.GetMapping("ghost"); err == nil {
+		t.Error("missing mapping should error")
+	}
+}
+
+func TestRowColumnAnnotations(t *testing.T) {
+	b := boardWithSchemata(t)
+	m, _ := b.NewMapping("m", "purchaseOrder", "shippingInfo")
+	const row = "purchaseOrder/purchaseOrder/shipTo"
+	const col = "shippingInfo/shippingInfo/total"
+
+	m.SetRowVariable(row, "$shipto")
+	if got := m.RowVariable(row); got != "$shipto" {
+		t.Errorf("variable = %q", got)
+	}
+	if m.RowVariable("never-set") != "" {
+		t.Error("unset variable should be empty")
+	}
+
+	m.SetColumnCode(col, "data($shipto/subtotal) * 1.05", "mapper")
+	if got := m.ColumnCode(col); got != "data($shipto/subtotal) * 1.05" {
+		t.Errorf("code = %q", got)
+	}
+	if m.ColumnCode("never-set") != "" {
+		t.Error("unset code should be empty")
+	}
+
+	m.SetRowComplete(row, true)
+	if !m.RowComplete(row) || m.RowComplete("never-set") {
+		t.Error("row completion tracking wrong")
+	}
+	m.SetColumnComplete(col, true)
+	if !m.ColumnComplete(col) || m.ColumnComplete("never-set") {
+		t.Error("column completion tracking wrong")
+	}
+}
+
+func TestMatrixCodeAndProvenance(t *testing.T) {
+	b := boardWithSchemata(t)
+	m, _ := b.NewMapping("m", "purchaseOrder", "shippingInfo")
+	m.SetCode("let $shipto := ...", "codegen")
+	if m.Code() != "let $shipto := ..." {
+		t.Errorf("code = %q", m.Code())
+	}
+	tool, rev := m.Provenance()
+	if tool != "codegen" || rev == 0 {
+		t.Errorf("provenance = %q, %d", tool, rev)
+	}
+}
+
+func TestMappingLibraryAndDelete(t *testing.T) {
+	b := boardWithSchemata(t)
+	_, _ = b.NewMapping("beta", "purchaseOrder", "shippingInfo")
+	_, _ = b.NewMapping("alpha", "purchaseOrder", "shippingInfo")
+	if got := b.Mappings(); len(got) != 2 || got[0] != "alpha" {
+		t.Errorf("Mappings = %v", got)
+	}
+	m, _ := b.GetMapping("alpha")
+	m.SetCell("purchaseOrder/purchaseOrder/shipTo", "shippingInfo/shippingInfo", 0.5, false, "x")
+	before := b.Graph().Len()
+	b.DeleteMapping("alpha")
+	if got := b.Mappings(); len(got) != 1 || got[0] != "beta" {
+		t.Errorf("after delete: %v", got)
+	}
+	if b.Graph().Len() >= before {
+		t.Error("delete should remove triples")
+	}
+	if _, err := b.GetMapping("alpha"); err == nil {
+		t.Error("deleted mapping should be gone")
+	}
+}
+
+func TestFocusContext(t *testing.T) {
+	b := boardWithSchemata(t)
+	if b.Focus() != "" {
+		t.Error("initial focus should be empty")
+	}
+	b.SetFocus("purchaseOrder", "purchaseOrder/purchaseOrder/shipTo")
+	if got := b.Focus(); !strings.Contains(got, "shipTo") {
+		t.Errorf("focus = %q", got)
+	}
+	b.ClearFocus()
+	if b.Focus() != "" {
+		t.Error("focus should clear")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	b := boardWithSchemata(t)
+	m, _ := b.NewMapping("m", "purchaseOrder", "shippingInfo")
+	m.SetCell("purchaseOrder/purchaseOrder/shipTo", "shippingInfo/shippingInfo", 0.8, false, "harmony")
+	m.SetColumnCode("shippingInfo/shippingInfo/total", "code here", "mapper")
+
+	var sb strings.Builder
+	if err := b.Snapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+
+	b2 := New()
+	if err := b2.Restore(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.Schemas(); len(got) != 2 {
+		t.Errorf("restored schemas: %v", got)
+	}
+	m2, err := b2.GetMapping("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := m2.GetCell("purchaseOrder/purchaseOrder/shipTo", "shippingInfo/shippingInfo")
+	if !ok || c.Confidence != 0.8 {
+		t.Errorf("restored cell: %+v (%v)", c, ok)
+	}
+	if m2.ColumnCode("shippingInfo/shippingInfo/total") != "code here" {
+		t.Error("restored code lost")
+	}
+}
+
+func TestRestoreBadInput(t *testing.T) {
+	b := New()
+	if err := b.Restore(strings.NewReader("garbage")); err == nil {
+		t.Error("bad snapshot should error")
+	}
+}
+
+func TestRevisionAdvances(t *testing.T) {
+	b := boardWithSchemata(t)
+	r0 := b.Revision()
+	b.SetFocus("purchaseOrder", "purchaseOrder/purchaseOrder")
+	if b.Revision() <= r0 {
+		t.Error("revision should advance on mutation")
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/harmony"
+	"repro/internal/model"
+)
+
+// Target-schema derivation: the paper's task 2 optional path ("the
+// target schema may be derived from the correspondences identified among
+// the source schemata, as is assumed in [Batini et al.]") and §3.2 ("in
+// the absence of a target schema, correspondences can also be
+// established between pairs of source schemata").
+
+// DerivedCluster is one group of co-referent source elements that merged
+// into a single target element.
+type DerivedCluster struct {
+	// TargetID is the merged element's ID in the derived schema.
+	TargetID string
+	// Members are "schemaName:elementID" provenance entries.
+	Members []string
+}
+
+// Derivation is the result of DeriveTarget.
+type Derivation struct {
+	Target *model.Schema
+	// Clusters maps merged target element IDs to their source members.
+	Clusters []DerivedCluster
+	// PairsMatched counts the cross-schema correspondences used.
+	PairsMatched int
+}
+
+// DeriveTarget builds a unified target schema from correspondences
+// established between every pair of source schemata. Entities whose
+// pairwise confidence reaches threshold are clustered (transitively);
+// each cluster becomes one target entity whose attributes are likewise
+// clustered across the member entities. Unmatched entities and
+// attributes carry over as-is, so the derived target loses nothing.
+func DeriveTarget(name string, sources []*model.Schema, threshold float64) (*Derivation, error) {
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: DeriveTarget needs at least one source")
+	}
+	d := &Derivation{Target: model.NewSchema(name, "derived")}
+
+	// Collect entities with stable global keys.
+	type entRef struct {
+		schema *model.Schema
+		elem   *model.Element
+	}
+	var ents []entRef
+	key := func(r entRef) string { return r.schema.Name + ":" + r.elem.ID }
+	for _, s := range sources {
+		for _, e := range s.ElementsOfKind(model.KindEntity) {
+			// Only top-level entities drive clustering; nested entities
+			// follow their parents.
+			if e.Parent() == nil || e.Parent().Kind == model.KindSchema {
+				ents = append(ents, entRef{s, e})
+			}
+		}
+	}
+	idx := map[string]int{}
+	for i, r := range ents {
+		idx[key(r)] = i
+	}
+
+	// Union-find over entities.
+	parent := make([]int, len(ents))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Pairwise matching between schemata.
+	for i := 0; i < len(sources); i++ {
+		for j := i + 1; j < len(sources); j++ {
+			e := harmony.NewEngine(sources[i], sources[j], harmony.Options{Flooding: true})
+			e.Run()
+			for _, c := range e.Matrix().StableMatching(threshold) {
+				if c.Source.Kind != model.KindEntity || c.Target.Kind != model.KindEntity {
+					continue
+				}
+				a, okA := idx[sources[i].Name+":"+c.Source.ID]
+				b, okB := idx[sources[j].Name+":"+c.Target.ID]
+				if okA && okB {
+					union(a, b)
+					d.PairsMatched++
+				}
+			}
+		}
+	}
+
+	// Build clusters in deterministic order.
+	groups := map[int][]int{}
+	for i := range ents {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	for _, r := range roots {
+		members := groups[r]
+		sort.Ints(members)
+		// Representative name: the most common member name, ties by order.
+		counts := map[string]int{}
+		for _, m := range members {
+			counts[ents[m].elem.Name]++
+		}
+		repName, best := ents[members[0]].elem.Name, 0
+		for _, m := range members {
+			n := ents[m].elem.Name
+			if counts[n] > best {
+				repName, best = n, counts[n]
+			}
+		}
+		tgt := d.Target.AddElement(nil, repName, model.KindEntity, model.ContainsElement)
+		// Longest documentation wins (most information).
+		for _, m := range members {
+			if len(ents[m].elem.Doc) > len(tgt.Doc) {
+				tgt.Doc = ents[m].elem.Doc
+			}
+		}
+
+		cluster := DerivedCluster{TargetID: tgt.ID}
+		for _, m := range members {
+			cluster.Members = append(cluster.Members, key(ents[m]))
+		}
+
+		// Merge attributes across member entities by preprocessed-name
+		// identity (exact clustering would re-run the matcher; name-level
+		// merging matches the Batini methodology's "homonym" handling).
+		seen := map[string]*model.Element{}
+		for _, m := range members {
+			for _, a := range ents[m].elem.Children() {
+				if a.Kind != model.KindAttribute {
+					continue
+				}
+				k := normalizeName(a.Name)
+				if existing, dup := seen[k]; dup {
+					// Enrich the survivor.
+					if existing.Doc == "" {
+						existing.Doc = a.Doc
+					}
+					if existing.DomainRef == "" && a.DomainRef != "" {
+						existing.DomainRef = importDomain(d.Target, ents[m].schema, a.DomainRef)
+					}
+					continue
+				}
+				merged := d.Target.AddElement(tgt, a.Name, model.KindAttribute, model.ContainsAttribute)
+				merged.DataType = a.DataType
+				merged.Doc = a.Doc
+				merged.Key = a.Key
+				merged.Required = a.Required
+				if a.DomainRef != "" {
+					merged.DomainRef = importDomain(d.Target, ents[m].schema, a.DomainRef)
+				}
+				seen[k] = merged
+			}
+		}
+		d.Clusters = append(d.Clusters, cluster)
+	}
+	if err := d.Target.Validate(); err != nil {
+		return nil, fmt.Errorf("core: derived schema invalid: %w", err)
+	}
+	return d, nil
+}
+
+// importDomain copies a coding scheme into the derived schema, renaming
+// on collision, and returns the (possibly renamed) domain name.
+func importDomain(target *model.Schema, src *model.Schema, domName string) string {
+	dom := src.Domains[domName]
+	if dom == nil {
+		return ""
+	}
+	name := domName
+	if existing, clash := target.Domains[name]; clash {
+		if sameDomain(existing, dom) {
+			return name
+		}
+		name = src.Name + "." + domName
+	}
+	copied := &model.Domain{Name: name, Doc: dom.Doc}
+	copied.Values = append(copied.Values, dom.Values...)
+	target.AddDomain(copied)
+	return name
+}
+
+func sameDomain(a, b *model.Domain) bool {
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i].Code != b.Values[i].Code {
+			return false
+		}
+	}
+	return true
+}
+
+// normalizeName maps attribute names to a merge key: lowercase with
+// separators removed, so first_name and firstName merge.
+func normalizeName(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+32)
+		case c == '_' || c == '-' || c == '.':
+			// skip
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}

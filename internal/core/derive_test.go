@@ -1,0 +1,174 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Three overlapping HR-ish source schemata for derivation.
+func deriveSources() []*model.Schema {
+	s1 := model.NewSchema("hr1", "er")
+	e1 := s1.AddElement(nil, "employee", model.KindEntity, model.ContainsElement)
+	e1.Doc = "A person employed by the organization with salary and department"
+	a := s1.AddElement(e1, "employeeID", model.KindAttribute, model.ContainsAttribute)
+	a.Key = true
+	a.DataType = "string"
+	sal := s1.AddElement(e1, "salary", model.KindAttribute, model.ContainsAttribute)
+	sal.DataType = "decimal"
+	sal.Doc = "Annual base salary"
+	dep := s1.AddElement(e1, "dept_code", model.KindAttribute, model.ContainsAttribute)
+	dep.DomainRef = "Dept"
+	s1.AddDomain(&model.Domain{Name: "Dept", Values: []model.DomainValue{
+		{Code: "ENG"}, {Code: "OPS"},
+	}})
+
+	s2 := model.NewSchema("hr2", "er")
+	e2 := s2.AddElement(nil, "staff", model.KindEntity, model.ContainsElement)
+	e2.Doc = "A staff member employed with pay and department information"
+	b := s2.AddElement(e2, "staffNumber", model.KindAttribute, model.ContainsAttribute)
+	b.DataType = "string"
+	pay := s2.AddElement(e2, "salary", model.KindAttribute, model.ContainsAttribute)
+	pay.DataType = "decimal"
+	s2.AddElement(e2, "phone", model.KindAttribute, model.ContainsAttribute)
+
+	s3 := model.NewSchema("fleet", "er")
+	v := s3.AddElement(nil, "vehicle", model.KindEntity, model.ContainsElement)
+	v.Doc = "A vehicle in the motor pool"
+	s3.AddElement(v, "vin", model.KindAttribute, model.ContainsAttribute)
+	return []*model.Schema{s1, s2, s3}
+}
+
+func TestDeriveTargetClustersMatchingEntities(t *testing.T) {
+	d, err := DeriveTarget("unified", deriveSources(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Target.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// employee+staff merge (thesaurus: employee↔staff; docs overlap);
+	// vehicle stays separate → 2 entities.
+	ents := d.Target.ElementsOfKind(model.KindEntity)
+	if len(ents) != 2 {
+		t.Fatalf("derived %d entities, want 2: %v", len(ents), d.Target)
+	}
+	if d.PairsMatched == 0 {
+		t.Error("no cross-schema pairs used")
+	}
+	// The merged cluster has members from both HR schemata.
+	var hrCluster *DerivedCluster
+	for i := range d.Clusters {
+		if len(d.Clusters[i].Members) == 2 {
+			hrCluster = &d.Clusters[i]
+		}
+	}
+	if hrCluster == nil {
+		t.Fatalf("no 2-member cluster: %+v", d.Clusters)
+	}
+	joined := strings.Join(hrCluster.Members, " ")
+	if !strings.Contains(joined, "hr1:") || !strings.Contains(joined, "hr2:") {
+		t.Errorf("cluster members = %v", hrCluster.Members)
+	}
+}
+
+func TestDeriveTargetMergesAttributes(t *testing.T) {
+	d, err := DeriveTarget("unified", deriveSources(), 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the merged HR entity.
+	var hr *model.Element
+	for _, e := range d.Target.ElementsOfKind(model.KindEntity) {
+		if e.Name == "employee" || e.Name == "staff" {
+			hr = e
+		}
+	}
+	if hr == nil {
+		t.Fatal("merged HR entity missing")
+	}
+	names := map[string]bool{}
+	for _, a := range hr.Children() {
+		if names[strings.ToLower(a.Name)] {
+			t.Errorf("duplicate attribute %q in merged entity", a.Name)
+		}
+		names[strings.ToLower(a.Name)] = true
+	}
+	// salary deduplicated; union keeps employeeID, staffNumber, phone,
+	// dept_code.
+	for _, want := range []string{"salary", "employeeid", "staffnumber", "phone", "dept_code"} {
+		if !names[want] {
+			t.Errorf("merged entity missing %q (has %v)", want, names)
+		}
+	}
+	// Coding scheme carried over.
+	var deptAttr *model.Element
+	for _, a := range hr.Children() {
+		if a.Name == "dept_code" {
+			deptAttr = a
+		}
+	}
+	if deptAttr == nil || deptAttr.DomainRef == "" || d.Target.DomainOf(deptAttr) == nil {
+		t.Error("domain reference lost in derivation")
+	}
+}
+
+func TestDeriveTargetDomainCollision(t *testing.T) {
+	// Two sources with same-named but different domains must not merge
+	// them silently.
+	s1 := model.NewSchema("a", "er")
+	e1 := s1.AddElement(nil, "thing", model.KindEntity, model.ContainsElement)
+	x := s1.AddElement(e1, "status", model.KindAttribute, model.ContainsAttribute)
+	x.DomainRef = "Status"
+	s1.AddDomain(&model.Domain{Name: "Status", Values: []model.DomainValue{{Code: "on"}, {Code: "off"}}})
+
+	s2 := model.NewSchema("b", "er")
+	e2 := s2.AddElement(nil, "widget", model.KindEntity, model.ContainsElement)
+	y := s2.AddElement(e2, "condition", model.KindAttribute, model.ContainsAttribute)
+	y.DomainRef = "Status"
+	s2.AddDomain(&model.Domain{Name: "Status", Values: []model.DomainValue{{Code: "new"}, {Code: "used"}}})
+
+	d, err := DeriveTarget("u", []*model.Schema{s1, s2}, 0.99) // no merging
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Target.Domains) != 2 {
+		t.Errorf("conflicting domains should both survive: %v", d.Target.Domains)
+	}
+}
+
+func TestDeriveTargetErrors(t *testing.T) {
+	if _, err := DeriveTarget("x", nil, 0.5); err == nil {
+		t.Error("empty source list should error")
+	}
+}
+
+func TestDeriveTargetSingleSource(t *testing.T) {
+	srcs := deriveSources()[:1]
+	d, err := DeriveTarget("solo", srcs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One source: target mirrors it (1 entity, its attributes).
+	if got := len(d.Target.ElementsOfKind(model.KindEntity)); got != 1 {
+		t.Errorf("entities = %d", got)
+	}
+	if d.PairsMatched != 0 {
+		t.Error("no pairs should match with one source")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"first_name": "firstname",
+		"firstName":  "firstname",
+		"FIRST-NAME": "firstname",
+		"a.b":        "ab",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

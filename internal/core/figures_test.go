@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wbmgr"
+)
+
+func TestFigure2Schemata(t *testing.T) {
+	src, tgt, err := Figure2Schemata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Len() != 5 {
+		t.Errorf("source has %d elements, want 5 (purchaseOrder, shipTo, 3 attrs)", src.Len())
+	}
+	if tgt.Len() != 3 {
+		t.Errorf("target has %d elements, want 3 (shippingInfo, name, total)", tgt.Len())
+	}
+	if src.Element("purchaseOrder/purchaseOrder/shipTo/subtotal") == nil {
+		t.Error("subtotal missing")
+	}
+	if tgt.Element("shippingInfo/shippingInfo/total") == nil {
+		t.Error("total missing")
+	}
+}
+
+// TestFigure3Reproduction checks the executable Figure 3 matrix against
+// the figure's own values.
+func TestFigure3Reproduction(t *testing.T) {
+	res, err := RunFigure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 rows × 3 columns = 12 annotated cells, as drawn in the figure.
+	if res.Cells != 12 {
+		t.Errorf("cells = %d, want 12", res.Cells)
+	}
+	// Executing the figure's code on (John, Doe, 100) gives the figure's
+	// intended semantics: "Doe, John" and 100 × 1.05.
+	if res.Name != "Doe, John" {
+		t.Errorf("name = %q, want \"Doe, John\"", res.Name)
+	}
+	if res.Total != 105 {
+		t.Errorf("total = %v, want 105", res.Total)
+	}
+	for _, want := range []string{
+		`element name { concat($shipto/lastName, concat(", ", $shipto/firstName)) }`,
+		"element total { data($shipto/subtotal) * 1.05 }",
+	} {
+		if !strings.Contains(res.GeneratedCode, want) {
+			t.Errorf("generated code missing %q:\n%s", want, res.GeneratedCode)
+		}
+	}
+}
+
+// TestE5CaseStudy checks the §5.3 pilot-study evidence.
+func TestE5CaseStudy(t *testing.T) {
+	res, err := RunCaseStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MachineCells == 0 {
+		t.Error("Harmony should publish machine-suggested cells")
+	}
+	// The event conversation of §5.2.2 happened: schemata announced,
+	// cells written, vectors written by the mapper, matrices regenerated
+	// by the codegen.
+	if res.Events[wbmgr.EventSchemaGraph] != 2 {
+		t.Errorf("schema-graph events = %d, want 2", res.Events[wbmgr.EventSchemaGraph])
+	}
+	if res.Events[wbmgr.EventMappingCell] < res.MachineCells {
+		t.Errorf("mapping-cell events = %d < machine cells %d",
+			res.Events[wbmgr.EventMappingCell], res.MachineCells)
+	}
+	if res.Events[wbmgr.EventMappingVector] != 2 || res.Events[wbmgr.EventMappingMatrix] != 2 {
+		t.Errorf("vector/matrix events = %d/%d, want 2/2",
+			res.Events[wbmgr.EventMappingVector], res.Events[wbmgr.EventMappingMatrix])
+	}
+	// Three sample documents in, zero violations, duplicate linked away.
+	if len(res.Output.Records) != 3 || len(res.Violations) != 0 {
+		t.Errorf("output: %d records, %d violations", len(res.Output.Records), len(res.Violations))
+	}
+	if res.MergedRecords != 2 {
+		t.Errorf("after linking: %d, want 2 (duplicate merged)", res.MergedRecords)
+	}
+	if !strings.Contains(res.Summary(), "machine-suggested cells") {
+		t.Error("summary rendering broken")
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/blackboard"
+	"repro/internal/harmony"
+	"repro/internal/instance"
+	"repro/internal/mapgen"
+	"repro/internal/model"
+	"repro/internal/wbmgr"
+)
+
+// IntegrationSession drives one end-to-end schema integration through
+// the workbench: the §5.3 case-study choreography as a reusable
+// orchestration. The matcher (Harmony) and the mapper/codegen tools
+// share state only through the blackboard and events, exactly as the
+// paper prescribes.
+type IntegrationSession struct {
+	Manager *wbmgr.Manager
+	// MappingID names the session's mapping in the IB library.
+	MappingID string
+
+	engine  *harmony.Engine
+	mapper  *mapgen.MapperTool
+	codegen *mapgen.CodeGenTool
+
+	sourceName, targetName string
+	sourceEntity           string
+	targetEntity           string
+}
+
+// NewIntegrationSession stores both schemata on a fresh workbench
+// (task 1 and task 2: obtain source and target), creates the mapping and
+// registers the mapper and code generator tools.
+func NewIntegrationSession(mappingID string, source, target *model.Schema, sourceEntityID, targetEntityID string) (*IntegrationSession, error) {
+	m := wbmgr.New()
+	m.EnableEventLog = true
+
+	// Loaders run inside a transaction and announce the schema graphs.
+	txn, err := m.Begin("loader")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := txn.Blackboard().PutSchema(source); err != nil {
+		_ = txn.Abort()
+		return nil, err
+	}
+	txn.Emit(wbmgr.EventSchemaGraph, source.Name)
+	if _, err := txn.Blackboard().PutSchema(target); err != nil {
+		_ = txn.Abort()
+		return nil, err
+	}
+	txn.Emit(wbmgr.EventSchemaGraph, target.Name)
+	if err := txn.Commit(); err != nil {
+		return nil, err
+	}
+
+	if _, err := m.Blackboard().NewMapping(mappingID, source.Name, target.Name); err != nil {
+		return nil, err
+	}
+
+	s := &IntegrationSession{
+		Manager:      m,
+		MappingID:    mappingID,
+		sourceName:   source.Name,
+		targetName:   target.Name,
+		sourceEntity: sourceEntityID,
+		targetEntity: targetEntityID,
+	}
+	s.mapper = mapgen.NewMapperTool(mappingID)
+	s.codegen = mapgen.NewCodeGenTool(mappingID, sourceEntityID, targetEntityID)
+	if err := m.Register(s.mapper); err != nil {
+		return nil, err
+	}
+	if err := m.Register(s.codegen); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Engine returns (building on first use) the Harmony engine over the
+// stored schemata.
+func (s *IntegrationSession) Engine() (*harmony.Engine, error) {
+	if s.engine != nil {
+		return s.engine, nil
+	}
+	src, err := s.Manager.Blackboard().GetSchema(s.sourceName)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := s.Manager.Blackboard().GetSchema(s.targetName)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = harmony.NewEngine(src, tgt, harmony.Options{Flooding: true})
+	return s.engine, nil
+}
+
+// Match runs the Harmony engine and publishes machine-suggested cells to
+// the blackboard in one transaction (task 3). Links below the threshold
+// are not published.
+func (s *IntegrationSession) Match(threshold float64) (int, error) {
+	e, err := s.Engine()
+	if err != nil {
+		return 0, err
+	}
+	e.Run()
+	links := e.Matrix().Above(threshold)
+
+	txn, err := s.Manager.Begin("harmony")
+	if err != nil {
+		return 0, err
+	}
+	mp, err := txn.Blackboard().GetMapping(s.MappingID)
+	if err != nil {
+		_ = txn.Abort()
+		return 0, err
+	}
+	for _, l := range links {
+		mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony")
+		txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", s.MappingID, l.Source.ID, l.Target.ID))
+	}
+	return len(links), txn.Commit()
+}
+
+// Accept records an engineer decision, pinning the engine and publishing
+// the user-defined cell (confidence exactly +1, per §5.1.2).
+func (s *IntegrationSession) Accept(srcID, tgtID string) error {
+	return s.decide(srcID, tgtID, true)
+}
+
+// Reject records a rejection (confidence exactly -1).
+func (s *IntegrationSession) Reject(srcID, tgtID string) error {
+	return s.decide(srcID, tgtID, false)
+}
+
+func (s *IntegrationSession) decide(srcID, tgtID string, accepted bool) error {
+	e, err := s.Engine()
+	if err != nil {
+		return err
+	}
+	if accepted {
+		if err := e.Accept(srcID, tgtID); err != nil {
+			return err
+		}
+	} else {
+		if err := e.Reject(srcID, tgtID); err != nil {
+			return err
+		}
+	}
+	conf := -1.0
+	if accepted {
+		conf = 1.0
+	}
+	txn, err := s.Manager.Begin("engineer")
+	if err != nil {
+		return err
+	}
+	mp, err := txn.Blackboard().GetMapping(s.MappingID)
+	if err != nil {
+		_ = txn.Abort()
+		return err
+	}
+	mp.SetCell(srcID, tgtID, conf, true, "engineer")
+	txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", s.MappingID, srcID, tgtID))
+	return txn.Commit()
+}
+
+// WriteCode records a column transformation via the mapper tool (tasks
+// 4–7), which fires the mapping-vector event and thereby regenerates the
+// assembled mapping (task 8).
+func (s *IntegrationSession) WriteCode(sourceRowID, variable, targetColID, code string) error {
+	return s.Manager.Invoke("mapper", map[string]string{
+		"source":   sourceRowID,
+		"variable": variable,
+		"target":   targetColID,
+		"code":     code,
+	})
+}
+
+// Program returns the assembled executable mapping (nil before any code
+// was written).
+func (s *IntegrationSession) Program() *mapgen.Program { return s.codegen.Program() }
+
+// GeneratedCode returns the whole-matrix code annotation from the IB.
+func (s *IntegrationSession) GeneratedCode() (string, error) {
+	mp, err := s.Manager.Blackboard().GetMapping(s.MappingID)
+	if err != nil {
+		return "", err
+	}
+	return mp.Code(), nil
+}
+
+// Execute runs the assembled mapping over source instances and verifies
+// the output against the target schema (task 9), returning the produced
+// dataset and violations.
+func (s *IntegrationSession) Execute(src *instance.Dataset) (*instance.Dataset, []instance.Violation, error) {
+	prog := s.Program()
+	if prog == nil {
+		return nil, nil, fmt.Errorf("core: no program assembled; write column code first")
+	}
+	tgt, err := s.Manager.Blackboard().GetSchema(s.targetName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog.Verify(src, tgt)
+}
+
+// IntegrateInstances applies tasks 10–11 to a produced dataset: link
+// co-referent records, then clean domain violations.
+func (s *IntegrationSession) IntegrateInstances(ds *instance.Dataset, link instance.LinkOptions) (*instance.Dataset, []instance.Violation, error) {
+	tgt, err := s.Manager.Blackboard().GetSchema(s.targetName)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := instance.Link(ds.Records, link)
+	out := &instance.Dataset{SchemaName: ds.SchemaName, Records: res.Merged}
+	viols := instance.Clean(tgt, out, instance.CleanOptions{DropViolations: true})
+	return out, viols, nil
+}
+
+// Mapping opens the session's mapping handle.
+func (s *IntegrationSession) Mapping() (*blackboard.Mapping, error) {
+	return s.Manager.Blackboard().GetMapping(s.MappingID)
+}

@@ -1,0 +1,261 @@
+// Package core holds the paper's framing contribution as first-class
+// data and orchestration: the 13-task / 5-phase task model for data
+// integration (paper §3), the tool-coverage matrix used to compare tools
+// against tasks (experiment E9), the simulated-engineer usability model
+// proposed as the paper's next step (§6, experiment E10), and an
+// IntegrationSession that drives the full pipeline — load, match, map,
+// generate, execute, verify — through the workbench.
+package core
+
+import "fmt"
+
+// Phase is one of the five phases of §3.
+type Phase int
+
+// The five phases.
+const (
+	PhaseSchemaPreparation Phase = iota + 1
+	PhaseSchemaMatching
+	PhaseSchemaMapping
+	PhaseInstanceIntegration
+	PhaseSystemImplementation
+)
+
+// String names the phase as in the paper.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSchemaPreparation:
+		return "schema preparation"
+	case PhaseSchemaMatching:
+		return "schema matching"
+	case PhaseSchemaMapping:
+		return "schema mapping"
+	case PhaseInstanceIntegration:
+		return "instance integration"
+	case PhaseSystemImplementation:
+		return "system implementation"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// TaskID numbers the 13 tasks exactly as §3 does.
+type TaskID int
+
+// The 13 tasks.
+const (
+	TaskObtainSources TaskID = iota + 1
+	TaskObtainTarget
+	TaskGenerateCorrespondences
+	TaskDomainTransforms
+	TaskAttributeTransforms
+	TaskEntityTransforms
+	TaskObjectIdentity
+	TaskLogicalMappings
+	TaskVerifyMappings
+	TaskLinkInstances
+	TaskCleanData
+	TaskImplementSolution
+	TaskDeploy
+)
+
+// Task describes one subtask of the model.
+type Task struct {
+	ID    TaskID
+	Phase Phase
+	Name  string
+	// Optional marks tasks the paper calls optional (e.g. obtaining the
+	// target schema, which may be derived instead).
+	Optional bool
+}
+
+// Tasks is the complete task model in order.
+var Tasks = []Task{
+	{TaskObtainSources, PhaseSchemaPreparation, "obtain the source schemata", false},
+	{TaskObtainTarget, PhaseSchemaPreparation, "obtain or develop the target schema", true},
+	{TaskGenerateCorrespondences, PhaseSchemaMatching, "generate semantic correspondences", false},
+	{TaskDomainTransforms, PhaseSchemaMapping, "develop domain transformations", false},
+	{TaskAttributeTransforms, PhaseSchemaMapping, "develop attribute transformations", false},
+	{TaskEntityTransforms, PhaseSchemaMapping, "develop entity transformations", false},
+	{TaskObjectIdentity, PhaseSchemaMapping, "determine object identity", false},
+	{TaskLogicalMappings, PhaseSchemaMapping, "create logical mappings", false},
+	{TaskVerifyMappings, PhaseSchemaMapping, "verify mappings against target schema", false},
+	{TaskLinkInstances, PhaseInstanceIntegration, "link instance elements", false},
+	{TaskCleanData, PhaseInstanceIntegration, "clean the data", false},
+	{TaskImplementSolution, PhaseSystemImplementation, "implement a solution", false},
+	{TaskDeploy, PhaseSystemImplementation, "deploy the application", false},
+}
+
+// TaskByID returns the task with the given id.
+func TaskByID(id TaskID) (Task, bool) {
+	for _, t := range Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// PhaseTasks returns the tasks of one phase, in order.
+func PhaseTasks(p Phase) []Task {
+	var out []Task
+	for _, t := range Tasks {
+		if t.Phase == p {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Support grades how much a tool helps with a task.
+type Support int
+
+// Support levels.
+const (
+	// NoSupport means the engineer does the task elsewhere.
+	NoSupport Support = iota
+	// ManualSupport means the tool hosts the task but the engineer does
+	// the work (e.g. drawing lines by hand).
+	ManualSupport
+	// AssistedSupport means the tool semi-automates the task (e.g.
+	// suggested matches the engineer confirms).
+	AssistedSupport
+	// AutomatedSupport means the tool completes the task with at most
+	// parameter input.
+	AutomatedSupport
+)
+
+// String renders the support level.
+func (s Support) String() string {
+	switch s {
+	case NoSupport:
+		return "-"
+	case ManualSupport:
+		return "manual"
+	case AssistedSupport:
+		return "assisted"
+	case AutomatedSupport:
+		return "automated"
+	default:
+		return fmt.Sprintf("Support(%d)", int(s))
+	}
+}
+
+// Coverage maps tasks to a tool's support level.
+type Coverage map[TaskID]Support
+
+// ToolProfile describes one tool's task coverage.
+type ToolProfile struct {
+	Tool     string
+	Coverage Coverage
+}
+
+// HarmonyProfile is Harmony's coverage per §5.3: "Harmony also supports
+// automated matching, but neither mapping nor code generation."
+func HarmonyProfile() ToolProfile {
+	return ToolProfile{Tool: "harmony", Coverage: Coverage{
+		TaskObtainSources:           AssistedSupport, // loaders
+		TaskObtainTarget:            AssistedSupport,
+		TaskGenerateCorrespondences: AutomatedSupport,
+	}}
+}
+
+// MapperProfile is the AquaLogic-stand-in's coverage: "the AquaLogic
+// development environment supports manual mapping and automatic code
+// generation."
+func MapperProfile() ToolProfile {
+	return ToolProfile{Tool: "mapper-sim", Coverage: Coverage{
+		TaskObtainSources:           AssistedSupport,
+		TaskObtainTarget:            AssistedSupport,
+		TaskGenerateCorrespondences: ManualSupport,
+		TaskDomainTransforms:        AssistedSupport,
+		TaskAttributeTransforms:     ManualSupport,
+		TaskEntityTransforms:        ManualSupport,
+		TaskObjectIdentity:          ManualSupport,
+		TaskLogicalMappings:         AutomatedSupport,
+		TaskVerifyMappings:          AutomatedSupport,
+		TaskImplementSolution:       ManualSupport,
+		TaskDeploy:                  ManualSupport,
+	}}
+}
+
+// WorkbenchProfile is the combined suite plus the instance-integration
+// substrate, covering every task — the §5.3 claim under E9.
+func WorkbenchProfile() ToolProfile {
+	combined := Combine("workbench", HarmonyProfile(), MapperProfile())
+	// The workbench's instance layer adds tasks 10–11.
+	combined.Coverage[TaskLinkInstances] = AutomatedSupport
+	combined.Coverage[TaskCleanData] = AutomatedSupport
+	return combined
+}
+
+// LiteratureProfiles encodes the task coverage of the systems the paper
+// validated its model against (§3: "we extended that model to include
+// the subtasks addressed by a variety of systems"), as reported in those
+// systems' publications. The task model's purpose — "among tools, we can
+// ask what each tool contributes to each task" — is exactly this table.
+func LiteratureProfiles() []ToolProfile {
+	return []ToolProfile{
+		{Tool: "clio", Coverage: Coverage{ // Miller et al., SIGMOD Record 2001
+			TaskObtainSources:           AssistedSupport,
+			TaskObtainTarget:            AssistedSupport,
+			TaskGenerateCorrespondences: ManualSupport,
+			TaskAttributeTransforms:     AssistedSupport,
+			TaskEntityTransforms:        AutomatedSupport, // query discovery
+			TaskObjectIdentity:          AutomatedSupport, // Skolem functions
+			TaskLogicalMappings:         AutomatedSupport,
+		}},
+		{Tool: "coma++", Coverage: Coverage{ // Aumueller et al., SIGMOD 2005
+			TaskObtainSources:           AssistedSupport,
+			TaskObtainTarget:            AssistedSupport,
+			TaskGenerateCorrespondences: AutomatedSupport,
+		}},
+		{Tool: "cupid", Coverage: Coverage{ // Madhavan et al., VLDB 2001
+			TaskGenerateCorrespondences: AutomatedSupport,
+		}},
+		{Tool: "similarity-flooding", Coverage: Coverage{ // Melnik et al., ICDE 2002
+			TaskGenerateCorrespondences: AutomatedSupport,
+		}},
+		{Tool: "tsimmis-wrappers", Coverage: Coverage{ // Hammer et al., SIGMOD 1997
+			TaskObtainSources:     AssistedSupport,
+			TaskLogicalMappings:   ManualSupport,
+			TaskImplementSolution: AssistedSupport,
+			TaskDeploy:            AssistedSupport,
+		}},
+	}
+}
+
+// Combine merges tool profiles, keeping the strongest support per task.
+func Combine(name string, profiles ...ToolProfile) ToolProfile {
+	out := ToolProfile{Tool: name, Coverage: Coverage{}}
+	for _, p := range profiles {
+		for id, s := range p.Coverage {
+			if s > out.Coverage[id] {
+				out.Coverage[id] = s
+			}
+		}
+	}
+	return out
+}
+
+// CoverageCount returns how many of the 13 tasks have at least the given
+// support level.
+func (p ToolProfile) CoverageCount(min Support) int {
+	n := 0
+	for _, t := range Tasks {
+		if p.Coverage[t.ID] >= min && p.Coverage[t.ID] != NoSupport {
+			n++
+		}
+	}
+	return n
+}
+
+// CoversAll reports whether every task has some support.
+func (p ToolProfile) CoversAll() bool {
+	for _, t := range Tasks {
+		if p.Coverage[t.ID] == NoSupport {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+// Package erwin loads entity-relationship models into the canonical
+// schema graph. It is the stand-in for the paper's ERWin import (paper §4:
+// "Harmony currently supports ... entity-relationship schemata from ERWin,
+// a popular modeling tool"); the proprietary ERWin file format is replaced
+// by a plain-text ER format that carries the same information content:
+// entities, attributes, relationships, one-sentence definitions and
+// enumerated domains (DESIGN.md substitution table).
+//
+// Format, by example:
+//
+//	schema AirTraffic "Air traffic flow management model"
+//
+//	domain AircraftType "ICAO aircraft type designators" {
+//	  B738 "Boeing 737-800"
+//	  A320 "Airbus A320"
+//	}
+//
+//	entity Flight "A scheduled flight" {
+//	  flightID  string  key       "Unique identifier for the flight"
+//	  acType    string  domain(AircraftType) "Type of aircraft flown"
+//	  departure string  required  "Departure airport code"
+//	}
+//
+//	relationship operatedBy Flight -> Carrier "A flight is operated by a carrier"
+//
+// Entities appear at depth 1 and attributes at depth 2, matching the
+// paper's depth-filter discussion (§4.2).
+package erwin
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Load parses the ER text format from r. The declared schema name (the
+// "schema" line) wins over fallbackName when present.
+func Load(fallbackName string, r io.Reader) (*model.Schema, error) {
+	p := &parser{sc: bufio.NewScanner(r), fallback: fallbackName}
+	p.sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	s, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// LoadFile loads an .er file; the file stem is the fallback schema name.
+func LoadFile(path string) (*model.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Load(name, f)
+}
+
+type parser struct {
+	sc       *bufio.Scanner
+	fallback string
+	line     int
+	schema   *model.Schema
+	// pending relationship endpoints verified after all entities load.
+	relEndpoints []relDecl
+}
+
+type relDecl struct {
+	name, from, to string
+	line           int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("erwin: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// nextLine returns the next non-blank, non-comment line.
+func (p *parser) nextLine() (string, bool) {
+	for p.sc.Scan() {
+		p.line++
+		line := strings.TrimSpace(p.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (p *parser) parse() (*model.Schema, error) {
+	p.schema = model.NewSchema(p.fallback, "er")
+	renamed := false
+	for {
+		line, ok := p.nextLine()
+		if !ok {
+			break
+		}
+		fields, err := splitFields(line)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		switch fields[0] {
+		case "schema":
+			if len(fields) < 2 {
+				return nil, p.errf("schema needs a name")
+			}
+			if renamed {
+				return nil, p.errf("duplicate schema declaration")
+			}
+			// Rebuild with the declared name; must happen before content.
+			if p.schema.Len() > 0 {
+				return nil, p.errf("schema declaration must precede content")
+			}
+			p.schema = model.NewSchema(fields[1], "er")
+			if len(fields) > 2 {
+				p.schema.Doc = fields[2]
+			}
+			renamed = true
+		case "domain":
+			if err := p.parseDomain(fields, line); err != nil {
+				return nil, err
+			}
+		case "entity":
+			if err := p.parseEntity(fields, line); err != nil {
+				return nil, err
+			}
+		case "relationship":
+			if err := p.parseRelationship(fields); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errf("unknown declaration %q", fields[0])
+		}
+	}
+	if err := p.sc.Err(); err != nil {
+		return nil, err
+	}
+	// Verify relationship endpoints.
+	for _, rd := range p.relEndpoints {
+		for _, end := range []string{rd.from, rd.to} {
+			if p.schema.Element(p.schema.Name+"/"+end) == nil {
+				return nil, fmt.Errorf("erwin: line %d: relationship %q references unknown entity %q", rd.line, rd.name, end)
+			}
+		}
+	}
+	return p.schema, nil
+}
+
+func (p *parser) parseDomain(fields []string, line string) error {
+	if len(fields) < 2 {
+		return p.errf("domain needs a name")
+	}
+	d := &model.Domain{Name: fields[1]}
+	if len(fields) > 2 && fields[2] != "{" {
+		d.Doc = fields[2]
+	}
+	if !strings.HasSuffix(line, "{") {
+		return p.errf("domain %q needs a { block", d.Name)
+	}
+	for {
+		vline, ok := p.nextLine()
+		if !ok {
+			return p.errf("unterminated domain %q", d.Name)
+		}
+		if vline == "}" {
+			break
+		}
+		vf, err := splitFields(vline)
+		if err != nil {
+			return p.errf("%v", err)
+		}
+		v := model.DomainValue{Code: vf[0]}
+		if len(vf) > 1 {
+			v.Doc = vf[1]
+		}
+		d.Values = append(d.Values, v)
+	}
+	p.schema.AddDomain(d)
+	return nil
+}
+
+func (p *parser) parseEntity(fields []string, line string) error {
+	if len(fields) < 2 {
+		return p.errf("entity needs a name")
+	}
+	e := p.schema.AddElement(nil, fields[1], model.KindEntity, model.ContainsElement)
+	if len(fields) > 2 && fields[2] != "{" {
+		e.Doc = fields[2]
+	}
+	if brace := strings.Index(line, "{"); brace >= 0 && !strings.HasSuffix(line, "{") {
+		// Inline form: entity E "doc" { a string key; b int }
+		body := strings.TrimSpace(line[brace+1:])
+		if !strings.HasSuffix(body, "}") {
+			return p.errf("unterminated inline entity %q", e.Name)
+		}
+		body = strings.TrimSpace(strings.TrimSuffix(body, "}"))
+		if body == "" {
+			return nil
+		}
+		for _, decl := range strings.Split(body, ";") {
+			if err := p.parseAttribute(e, strings.TrimSpace(decl)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if !strings.HasSuffix(line, "{") {
+		return nil // attribute-less entity
+	}
+	for {
+		aline, ok := p.nextLine()
+		if !ok {
+			return p.errf("unterminated entity %q", e.Name)
+		}
+		if aline == "}" {
+			return nil
+		}
+		if err := p.parseAttribute(e, aline); err != nil {
+			return err
+		}
+	}
+}
+
+// parseAttribute parses one attribute declaration line:
+// name type [key|required|domain(X)]... ["doc"].
+func (p *parser) parseAttribute(e *model.Element, decl string) error {
+	af, err := splitFields(decl)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	if len(af) < 2 {
+		return p.errf("attribute needs: name type [options] [\"doc\"]")
+	}
+	a := p.schema.AddElement(e, af[0], model.KindAttribute, model.ContainsAttribute)
+	a.DataType = af[1]
+	for _, opt := range af[2:] {
+		switch {
+		case opt == "key":
+			a.Key = true
+			a.Required = true
+		case opt == "required":
+			a.Required = true
+		case strings.HasPrefix(opt, "domain(") && strings.HasSuffix(opt, ")"):
+			a.DomainRef = opt[len("domain(") : len(opt)-1]
+		default:
+			if a.Doc != "" {
+				return p.errf("attribute %q: unexpected token %q", a.Name, opt)
+			}
+			a.Doc = opt
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseRelationship(fields []string) error {
+	// relationship name From -> To ["doc"]
+	if len(fields) < 5 || fields[3] != "->" {
+		return p.errf(`relationship syntax: relationship name From -> To ["doc"]`)
+	}
+	rel := p.schema.AddElement(nil, fields[1], model.KindRelationship, model.References)
+	if p.schema.Element(rel.ID) == nil {
+		return p.errf("internal: relationship not registered")
+	}
+	setProp(rel, "from", fields[2])
+	setProp(rel, "to", fields[4])
+	if len(fields) > 5 {
+		rel.Doc = fields[5]
+	}
+	p.relEndpoints = append(p.relEndpoints, relDecl{fields[1], fields[2], fields[4], p.line})
+	return nil
+}
+
+func setProp(e *model.Element, k, v string) {
+	if e.Props == nil {
+		e.Props = map[string]string{}
+	}
+	e.Props[k] = v
+}
+
+// splitFields splits a line into whitespace-separated fields where quoted
+// segments ("...") form a single field with the quotes removed. The
+// option form domain(Some Name) is kept as one field even with spaces.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		switch {
+		case line[i] == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(line) && line[j] != '"' {
+				sb.WriteByte(line[j])
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote in %q", line)
+			}
+			fields = append(fields, sb.String())
+			i = j + 1
+		case strings.HasPrefix(line[i:], "domain("):
+			j := strings.IndexByte(line[i:], ')')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated domain(...) in %q", line)
+			}
+			fields = append(fields, line[i:i+j+1])
+			i += j + 1
+		default:
+			j := i
+			for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+				j++
+			}
+			fields = append(fields, line[i:j])
+			i = j
+		}
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return fields, nil
+}

@@ -1,0 +1,204 @@
+package erwin
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/rdf"
+)
+
+func newGraph() *rdf.Graph { return rdf.NewGraph() }
+
+const atcER = `
+# Air traffic flow management, the paper's running example domain (§4.1).
+schema AirTraffic "Air traffic flow management model"
+
+domain AircraftType "ICAO aircraft type designators" {
+  B738 "Boeing 737-800"
+  A320 "Airbus A320"
+  E145 "Embraer 145"
+}
+
+entity Facility "An airport or other ground facility" {
+  facilityID string key      "Unique facility identifier"
+  name       string required "Official facility name"
+  elevation  int             "Field elevation in feet"
+}
+
+entity Flight "A scheduled flight between facilities" {
+  flightID  string key "Unique flight identifier"
+  acType    string domain(AircraftType) "Type of aircraft flown"
+  departure string required "Departure facility code"
+}
+
+entity Carrier
+
+relationship operatedBy Flight -> Carrier "A flight is operated by a carrier"
+`
+
+func mustLoad(t *testing.T, src string) *model.Schema {
+	t.Helper()
+	s, err := Load("fallback", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadFull(t *testing.T) {
+	s := mustLoad(t, atcER)
+	if s.Name != "AirTraffic" {
+		t.Errorf("declared schema name lost: %q", s.Name)
+	}
+	if s.Doc != "Air traffic flow management model" {
+		t.Errorf("schema doc = %q", s.Doc)
+	}
+	if got := len(s.ElementsOfKind(model.KindEntity)); got != 3 {
+		t.Errorf("entities = %d", got)
+	}
+	fac := s.Element("AirTraffic/Facility")
+	if fac == nil || fac.Doc != "An airport or other ground facility" {
+		t.Fatalf("Facility: %+v", fac)
+	}
+	id := s.Element("AirTraffic/Facility/facilityID")
+	if !id.Key || !id.Required || id.DataType != "string" || id.Doc != "Unique facility identifier" {
+		t.Errorf("facilityID: %+v", id)
+	}
+	elev := s.Element("AirTraffic/Facility/elevation")
+	if elev.Required || elev.DataType != "int" {
+		t.Errorf("elevation: %+v", elev)
+	}
+	// Depths match the paper's convention: entities 1, attributes 2.
+	if fac.Depth() != 1 || id.Depth() != 2 {
+		t.Errorf("depths: entity %d, attribute %d", fac.Depth(), id.Depth())
+	}
+}
+
+func TestDomainsAndRefs(t *testing.T) {
+	s := mustLoad(t, atcER)
+	d := s.Domains["AircraftType"]
+	if d == nil || d.Doc != "ICAO aircraft type designators" || len(d.Values) != 3 {
+		t.Fatalf("domain: %+v", d)
+	}
+	if d.Values[1].Code != "A320" || d.Values[1].Doc != "Airbus A320" {
+		t.Errorf("value: %+v", d.Values[1])
+	}
+	ac := s.Element("AirTraffic/Flight/acType")
+	if ac.DomainRef != "AircraftType" {
+		t.Errorf("acType domain ref = %q", ac.DomainRef)
+	}
+}
+
+func TestRelationships(t *testing.T) {
+	s := mustLoad(t, atcER)
+	rel := s.Element("AirTraffic/operatedBy")
+	if rel == nil || rel.Kind != model.KindRelationship {
+		t.Fatalf("relationship: %+v", rel)
+	}
+	if rel.Props["from"] != "Flight" || rel.Props["to"] != "Carrier" {
+		t.Errorf("endpoints: %v", rel.Props)
+	}
+	if rel.Doc != "A flight is operated by a carrier" {
+		t.Errorf("rel doc = %q", rel.Doc)
+	}
+}
+
+func TestEntityWithoutBlock(t *testing.T) {
+	s := mustLoad(t, atcER)
+	if s.Element("AirTraffic/Carrier") == nil {
+		t.Error("attribute-less entity missing")
+	}
+}
+
+func TestFallbackName(t *testing.T) {
+	s := mustLoad(t, `entity E { a string }`)
+	if s.Name != "fallback" {
+		t.Errorf("Name = %q", s.Name)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown decl":           `widget W`,
+		"schema after content":   "entity E\nschema S",
+		"duplicate schema":       "schema A\nschema B",
+		"schema without name":    `schema`,
+		"entity without name":    `entity`,
+		"domain without name":    `domain`,
+		"domain without block":   `domain D "doc"`,
+		"unterminated domain":    "domain D {\n a \"x\"",
+		"unterminated entity":    "entity E {\n a string",
+		"attr too few fields":    "entity E {\n justname\n}",
+		"attr trailing token":    "entity E {\n a string \"doc\" extra\n}",
+		"bad relationship":       `relationship r A B`,
+		"rel unknown entity":     "entity A\nrelationship r A -> Ghost",
+		"unterminated quote":     `entity E "unclosed`,
+		"unterminated domainref": "entity E {\n a string domain(Unclosed\n}",
+	}
+	for name, src := range cases {
+		if _, err := Load("x", strings.NewReader(src)); err == nil {
+			t.Errorf("%s: Load(%q) should error", name, src)
+		}
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	src := "# hash comment\n// slash comment\nentity E { a string }\n"
+	s := mustLoad(t, src)
+	if s.Element("fallback/E/a") == nil {
+		t.Error("content after comments lost")
+	}
+}
+
+func TestDocWithSpacesAndDomainRefOrder(t *testing.T) {
+	// doc before option and option before doc should both parse.
+	src := `entity E {
+  a string "doc first" required
+  b string required "doc after"
+}`
+	s := mustLoad(t, src)
+	a := s.Element("fallback/E/a")
+	b := s.Element("fallback/E/b")
+	if a.Doc != "doc first" || !a.Required {
+		t.Errorf("a: %+v", a)
+	}
+	if b.Doc != "doc after" || !b.Required {
+		t.Errorf("b: %+v", b)
+	}
+}
+
+func TestLoadFileStem(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/facilities.er"
+	if err := os.WriteFile(path, []byte("entity F { a string }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "facilities" {
+		t.Errorf("Name = %q", s.Name)
+	}
+}
+
+func TestRoundTripThroughRDF(t *testing.T) {
+	// ER → model → RDF → model keeps ER-specific structure.
+	s := mustLoad(t, atcER)
+	g := newGraph()
+	model.ToRDF(g, s)
+	back, err := model.FromRDF(g, "AirTraffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || len(back.Domains) != len(s.Domains) {
+		t.Errorf("round trip: %d/%d elements, %d/%d domains",
+			back.Len(), s.Len(), len(back.Domains), len(s.Domains))
+	}
+	rel := back.Element("AirTraffic/operatedBy")
+	if rel == nil || rel.Props["from"] != "Flight" {
+		t.Errorf("relationship props lost: %+v", rel)
+	}
+}

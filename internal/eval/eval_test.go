@@ -1,0 +1,318 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/registry"
+)
+
+func TestScore(t *testing.T) {
+	src := model.NewSchema("s", "er")
+	a := src.AddElement(nil, "a", model.KindEntity, model.ContainsElement)
+	b := src.AddElement(nil, "b", model.KindEntity, model.ContainsElement)
+	tgt := model.NewSchema("t", "er")
+	x := tgt.AddElement(nil, "x", model.KindEntity, model.ContainsElement)
+	y := tgt.AddElement(nil, "y", model.KindEntity, model.ContainsElement)
+
+	gt := &registry.GroundTruth{Pairs: map[string]string{"s/a": "t/x", "s/b": "t/y"}}
+	pred := []match.Correspondence{
+		{Source: a, Target: x, Confidence: 0.9}, // correct
+		{Source: b, Target: x, Confidence: 0.8}, // wrong target
+		{Source: b, Target: x, Confidence: 0.8}, // duplicate: ignored
+	}
+	s := Score(pred, gt)
+	if s.TP != 1 || s.FP != 1 || s.FN != 1 {
+		t.Fatalf("score = %+v", s)
+	}
+	if s.Precision != 0.5 || s.Recall != 0.5 || s.F1 != 0.5 {
+		t.Errorf("PRF = %+v", s)
+	}
+	_ = y
+	if !strings.Contains(s.String(), "F1=0.50") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestScorePairsAndEdgeCases(t *testing.T) {
+	gt := &registry.GroundTruth{Pairs: map[string]string{"a": "x"}}
+	s := ScorePairs(nil, gt)
+	if s.TP != 0 || s.FN != 1 || s.Precision != 0 || s.Recall != 0 {
+		t.Errorf("empty prediction score = %+v", s)
+	}
+	s = ScorePairs([]registry.MatchedPair{{SourceID: "a", TargetID: "x"}}, gt)
+	if s.F1 != 1 {
+		t.Errorf("perfect score = %+v", s)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"A", "LongHeader"}, [][]string{{"xxxx", "1"}, {"y", "22"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[0], "A     LongHeader") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestRunTable1SmallScale(t *testing.T) {
+	r := RunTable1(0.01)
+	if len(r.Measured) != 3 || len(r.Paper) != 3 {
+		t.Fatal("rows missing")
+	}
+	out := FormatTable1(r)
+	for _, want := range []string{"Element", "Attribute", "Domain", "% With Def"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func smallPairSet(t *testing.T) PairSet {
+	t.Helper()
+	ps := BuildPairSetSized(2, 8, 40, 60, registry.DefaultPerturb())
+	if len(ps.Pairs) != 2 {
+		t.Fatalf("pairs = %d", len(ps.Pairs))
+	}
+	return ps
+}
+
+func TestRunMatcherQualityShape(t *testing.T) {
+	// The E6 headline shapes at miniature scale:
+	//   harmony-full ≥ every baseline (F1),
+	//   doc-voter-only recall ≥ its precision claim direction (good
+	//   recall, weaker precision vs the merged engine).
+	ps := smallPairSet(t)
+	rows := RunMatcherQuality(ps, StandardMatchers())
+	byName := map[string]QualityRow{}
+	for _, r := range rows {
+		byName[r.Matcher] = r
+	}
+	full := byName["harmony-full"]
+	for _, base := range []string{"name-equality", "edit-distance", "similarity-flooding"} {
+		if full.PRF.F1 < byName[base].PRF.F1 {
+			t.Errorf("harmony-full F1 %.3f < %s F1 %.3f", full.PRF.F1, base, byName[base].PRF.F1)
+		}
+	}
+	if full.PRF.F1 <= 0.3 {
+		t.Errorf("harmony-full F1 = %.3f, implausibly low", full.PRF.F1)
+	}
+	out := FormatQuality(rows)
+	if !strings.Contains(out, "harmony-full") {
+		t.Errorf("quality table:\n%s", out)
+	}
+}
+
+func TestRunIterativeLearningMonotoneish(t *testing.T) {
+	ps := smallPairSet(t)
+	rounds := RunIterativeLearning(ps.Pairs[0], 3, 10, true)
+	if len(rounds) != 4 {
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	// Feedback resolves links; overall F1 (resolved + machine) must not
+	// collapse and should end at or above the start.
+	first, last := rounds[0].PRF.F1, rounds[len(rounds)-1].PRF.F1
+	if last < first-0.02 {
+		t.Errorf("learning degraded F1: %.3f → %.3f", first, last)
+	}
+}
+
+func TestRunFilterEffectiveness(t *testing.T) {
+	ps := smallPairSet(t)
+	rows := RunFilterEffectiveness(ps.Pairs[0])
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Config != "none" || rows[0].Shown != rows[0].Total {
+		t.Errorf("baseline row = %+v", rows[0])
+	}
+	for _, r := range rows[1:] {
+		if r.Shown > r.Total {
+			t.Errorf("filter %s shows more than total", r.Config)
+		}
+	}
+	// max-confidence must cut clutter hard while keeping most truth.
+	var maxConf FilterRow
+	for _, r := range rows {
+		if r.Config == "max+conf>=0.25" {
+			maxConf = r
+		}
+	}
+	if maxConf.Shown >= maxConf.Total/2 {
+		t.Errorf("max-confidence barely filtered: %d of %d", maxConf.Shown, maxConf.Total)
+	}
+	out := FormatFilters(rows)
+	if !strings.Contains(out, "Reduction") {
+		t.Errorf("filters table:\n%s", out)
+	}
+}
+
+func TestRunPipelineStages(t *testing.T) {
+	ps := smallPairSet(t)
+	rows := RunPipelineStages(ps.Pairs[0], 2)
+	stages := map[string]bool{}
+	for _, r := range rows {
+		stages[r.Stage] = true
+		if r.Millis < 0 {
+			t.Errorf("negative timing for %s", r.Stage)
+		}
+	}
+	for _, want := range []string{"voter:name", "voter:documentation", "merge", "flooding"} {
+		if !stages[want] {
+			t.Errorf("missing stage %s", want)
+		}
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	ps := smallPairSet(t)
+	rows := RunAblations(ps)
+	if len(rows) != 6 {
+		t.Fatalf("ablation rows = %d", len(rows))
+	}
+	byName := map[string]PRF{}
+	for _, r := range rows {
+		byName[r.Config] = r.PRF
+	}
+	if byName["full"].F1 <= 0 {
+		t.Error("full config scored zero")
+	}
+	out := FormatAblations(rows)
+	if !strings.Contains(out, "no-flooding") {
+		t.Errorf("ablation table:\n%s", out)
+	}
+}
+
+func TestRunMappingReuse(t *testing.T) {
+	rounds := RunMappingReuse(3, registry.HardPerturb())
+	if len(rounds) != 3 {
+		t.Fatalf("rounds = %d", len(rounds))
+	}
+	// Project 0 has an empty library: identical scores.
+	if rounds[0].WithF1 != rounds[0].WithoutF1 {
+		t.Errorf("project 0 should see no library effect: %g vs %g",
+			rounds[0].WithF1, rounds[0].WithoutF1)
+	}
+	// Later projects: the library never hurts and generally helps.
+	for _, r := range rounds[1:] {
+		if r.WithF1 < r.WithoutF1-0.01 {
+			t.Errorf("project %d: library degraded F1 %g → %g", r.Project, r.WithoutF1, r.WithF1)
+		}
+		if r.LibraryCells == 0 {
+			t.Errorf("project %d: library empty", r.Project)
+		}
+	}
+	// At least one later project must improve.
+	improved := false
+	for _, r := range rounds[1:] {
+		if r.WithF1 > r.WithoutF1+0.005 {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("library never improved any project")
+	}
+	out := FormatReuse(rounds)
+	if !strings.Contains(out, "Library cells") {
+		t.Errorf("reuse table:\n%s", out)
+	}
+}
+
+func TestRunAutoIntegration(t *testing.T) {
+	ps := smallPairSet(t)
+	res, err := RunAutoIntegration(ps.Pairs[0], 0.25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MatchF1 <= 0.5 {
+		t.Errorf("auto match F1 = %g, implausibly low", res.MatchF1)
+	}
+	if res.EntityRules == 0 || res.Columns == 0 {
+		t.Fatalf("no mapping assembled: %+v", res)
+	}
+	if res.RecordsIn == 0 || res.RecordsOut == 0 {
+		t.Errorf("no records flowed: in=%d out=%d", res.RecordsIn, res.RecordsOut)
+	}
+	// Every driven source record produces one target record per rule.
+	if res.RecordsOut > res.RecordsIn {
+		t.Errorf("more records out (%d) than in (%d)?", res.RecordsOut, res.RecordsIn)
+	}
+	if !strings.Contains(res.GeneratedCode, "return element") {
+		t.Errorf("generated code:\n%s", res.GeneratedCode)
+	}
+	// Violations are possible (auto mapping may miss required targets)
+	// but must not exceed output records × target attributes.
+	if res.Violations > res.RecordsOut*20 {
+		t.Errorf("violations exploded: %d", res.Violations)
+	}
+}
+
+func TestRunAutoIntegrationNoMatches(t *testing.T) {
+	// Disjoint schemata: graceful empty outcome.
+	src := model.NewSchema("a", "er")
+	e := src.AddElement(nil, "zzz", model.KindEntity, model.ContainsElement)
+	src.AddElement(e, "qqq", model.KindAttribute, model.ContainsAttribute)
+	tgt := model.NewSchema("b", "er")
+	f := tgt.AddElement(nil, "www", model.KindEntity, model.ContainsElement)
+	tgt.AddElement(f, "ppp", model.KindAttribute, model.ContainsAttribute)
+	res, err := RunAutoIntegration(EvalPair{src, tgt, &registry.GroundTruth{Pairs: map[string]string{}}}, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntityRules != 0 || res.RecordsOut != 0 {
+		t.Errorf("disjoint pair should map nothing: %+v", res)
+	}
+}
+
+func TestRunVoterPRShape(t *testing.T) {
+	ps := smallPairSet(t)
+	rows := RunVoterPR(ps, 0.1)
+	if len(rows) != 6 {
+		t.Fatalf("voter rows = %d", len(rows))
+	}
+	byName := map[string]PRF{}
+	for _, r := range rows {
+		byName[r.Voter] = r.PRF
+	}
+	doc := byName["documentation"]
+	// The §4.1 claim at raw-vote granularity: recall clearly above
+	// precision for the documentation voter.
+	if doc.Recall <= doc.Precision {
+		t.Errorf("doc voter P=%.3f R=%.3f, want recall > precision", doc.Precision, doc.Recall)
+	}
+	if doc.Recall < 0.6 {
+		t.Errorf("doc voter recall = %.3f, want 'good recall'", doc.Recall)
+	}
+	out := FormatVoters(rows)
+	if !strings.Contains(out, "documentation") {
+		t.Errorf("voters table:\n%s", out)
+	}
+}
+
+func TestRunScaling(t *testing.T) {
+	rows := RunScaling([]int{20, 40}, registry.DefaultPerturb())
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].Elements <= rows[0].Elements {
+		t.Error("sizes not increasing")
+	}
+	for _, r := range rows {
+		if r.Millis <= 0 {
+			t.Errorf("non-positive timing: %+v", r)
+		}
+		if r.F1 <= 0.3 {
+			t.Errorf("implausible F1 at size %d: %g", r.Elements, r.F1)
+		}
+	}
+	if !strings.Contains(FormatScaling(rows), "ms/pair") {
+		t.Error("scaling table broken")
+	}
+}

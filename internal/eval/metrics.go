@@ -1,0 +1,133 @@
+// Package eval provides the evaluation harness: precision/recall/F1
+// scoring against ground truth, fixed-width table rendering, and the
+// experiment runners behind every table and figure reproduction
+// (DESIGN.md §4). Both the benchmarks in bench_test.go and the
+// cmd/benchreport binary call into this package so that EXPERIMENTS.md
+// and `go test -bench` report identical numbers.
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/match"
+	"repro/internal/registry"
+)
+
+// PRF is a precision/recall/F1 triple with its contingency counts.
+type PRF struct {
+	TP, FP, FN int
+	Precision  float64
+	Recall     float64
+	F1         float64
+}
+
+// Score compares predicted correspondences against ground truth. Only
+// pairs present in the ground truth count as true positives; predicted
+// pairs whose source element has a different true target (or none) are
+// false positives.
+func Score(predicted []match.Correspondence, gt *registry.GroundTruth) PRF {
+	var p PRF
+	seen := map[string]bool{}
+	for _, c := range predicted {
+		key := c.Source.ID + "\x00" + c.Target.ID
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if gt.Pairs[c.Source.ID] == c.Target.ID {
+			p.TP++
+		} else {
+			p.FP++
+		}
+	}
+	p.FN = len(gt.Pairs) - p.TP
+	return p.finish()
+}
+
+// ScorePairs is Score over raw ID pairs.
+func ScorePairs(predicted []registry.MatchedPair, gt *registry.GroundTruth) PRF {
+	var p PRF
+	seen := map[string]bool{}
+	for _, c := range predicted {
+		key := c.SourceID + "\x00" + c.TargetID
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if gt.Pairs[c.SourceID] == c.TargetID {
+			p.TP++
+		} else {
+			p.FP++
+		}
+	}
+	p.FN = len(gt.Pairs) - p.TP
+	return p.finish()
+}
+
+func (p PRF) finish() PRF {
+	if p.TP+p.FP > 0 {
+		p.Precision = float64(p.TP) / float64(p.TP+p.FP)
+	}
+	if p.TP+p.FN > 0 {
+		p.Recall = float64(p.TP) / float64(p.TP+p.FN)
+	}
+	if p.Precision+p.Recall > 0 {
+		p.F1 = 2 * p.Precision * p.Recall / (p.Precision + p.Recall)
+	}
+	return p
+}
+
+// String renders "P=0.82 R=0.75 F1=0.78 (tp=30 fp=7 fn=10)".
+func (p PRF) String() string {
+	return fmt.Sprintf("P=%.2f R=%.2f F1=%.2f (tp=%d fp=%d fn=%d)",
+		p.Precision, p.Recall, p.F1, p.TP, p.FP, p.FN)
+}
+
+// Table renders rows under headers with aligned columns, the output
+// format of cmd/benchreport and the benches.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// F2 formats a float with 2 decimals; F1cell with 3.
+func F2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// F3 formats a float with 3 decimals.
+func F3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// I formats an int.
+func I(n int) string { return fmt.Sprintf("%d", n) }

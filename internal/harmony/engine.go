@@ -1,0 +1,246 @@
+// Package harmony implements the Harmony schema matcher (paper §4): the
+// match engine that bundles linguistic preprocessing, a panel of match
+// voters, the magnitude/performance-weighted vote merger and the
+// similarity-flooding variant — plus the headless equivalents of the GUI:
+// link/node filters (§4.2), accept/reject decisions, learning from
+// feedback, sub-tree completion and progress tracking (§4.3).
+package harmony
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/match"
+	"repro/internal/model"
+)
+
+// pairKey identifies one (source, target) element pair by ID.
+type pairKey struct{ src, tgt string }
+
+// Decision is a user judgment on a pair: accepted pins the confidence at
+// +1, rejected at -1 (paper §4.2: "links that were drawn by the
+// integration engineer, or were explicitly marked as correct, have a
+// confidence score of +1").
+type Decision struct {
+	Accepted bool
+	// Time-ordering sequence, for provenance.
+	Seq int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Voters is the match panel; nil means match.DefaultVoters().
+	Voters []match.Voter
+	// Flooding enables the structural adjustment stage (on by default
+	// via NewEngine).
+	Flooding bool
+	// FloodOptions tunes the flooding stage.
+	FloodOptions match.FloodOptions
+	// ContextOptions customize linguistic preprocessing.
+	ContextOptions []match.ContextOption
+}
+
+// Engine is one Harmony matching session over a (source, target) pair.
+type Engine struct {
+	ctx      *match.Context
+	voters   []match.Voter
+	merger   *match.Merger
+	flooding bool
+	floodOpt match.FloodOptions
+
+	// lastVotes holds each voter's matrix from the most recent Run, used
+	// by Learn.
+	lastVotes []match.Vote
+	// merged is the current confidence matrix including pinned decisions.
+	merged *match.Matrix
+	// decisions holds user accept/reject pins.
+	decisions map[pairKey]Decision
+	decSeq    int
+	// complete marks source elements whose matching is finished (§4.3).
+	complete map[string]bool
+}
+
+// NewEngine preprocesses the schema pair and returns a ready engine.
+func NewEngine(source, target *model.Schema, opts Options) *Engine {
+	voters := opts.Voters
+	if voters == nil {
+		voters = match.DefaultVoters()
+	}
+	return &Engine{
+		ctx:       match.NewContext(source, target, opts.ContextOptions...),
+		voters:    voters,
+		merger:    match.NewMerger(),
+		flooding:  opts.Flooding,
+		floodOpt:  opts.FloodOptions,
+		decisions: map[pairKey]Decision{},
+		complete:  map[string]bool{},
+	}
+}
+
+// Context exposes the linguistic context (for learning experiments).
+func (e *Engine) Context() *match.Context { return e.ctx }
+
+// Merger exposes the vote merger (for learned-weight inspection).
+func (e *Engine) Merger() *match.Merger { return e.merger }
+
+// StageTiming records how long one pipeline stage took — the Figure 1
+// reproduction reports these.
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// Run executes the full match pipeline (Figure 1): every voter votes, the
+// merger combines, flooding adjusts, and user decisions are re-applied as
+// pinned ±1 scores. It returns per-stage timings.
+func (e *Engine) Run() []StageTiming {
+	var timings []StageTiming
+	votes := make([]match.Vote, 0, len(e.voters))
+	for _, v := range e.voters {
+		t0 := time.Now()
+		votes = append(votes, match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)})
+		timings = append(timings, StageTiming{"voter:" + v.Name(), time.Since(t0)})
+	}
+	e.lastVotes = votes
+
+	t0 := time.Now()
+	merged := e.merger.Merge(votes)
+	timings = append(timings, StageTiming{"merge", time.Since(t0)})
+
+	if e.flooding {
+		t0 = time.Now()
+		merged = match.HarmonyFlood(merged, e.ctx.Source, e.ctx.Target, e.floodOpt)
+		timings = append(timings, StageTiming{"flooding", time.Since(t0)})
+	}
+
+	// Re-apply pinned user decisions: "once a link has been accepted or
+	// rejected, the engine will not try to modify that link" (§4.3).
+	t0 = time.Now()
+	for k, d := range e.decisions {
+		v := -1.0
+		if d.Accepted {
+			v = 1.0
+		}
+		merged.Set(k.src, k.tgt, v)
+	}
+	timings = append(timings, StageTiming{"pin-decisions", time.Since(t0)})
+	e.merged = merged
+	return timings
+}
+
+// Matrix returns the current confidence matrix, running the pipeline
+// first if it has never run.
+func (e *Engine) Matrix() *match.Matrix {
+	if e.merged == nil {
+		e.Run()
+	}
+	return e.merged
+}
+
+// Accept pins a pair at +1.
+func (e *Engine) Accept(srcID, tgtID string) error {
+	return e.decide(srcID, tgtID, true)
+}
+
+// Reject pins a pair at -1.
+func (e *Engine) Reject(srcID, tgtID string) error {
+	return e.decide(srcID, tgtID, false)
+}
+
+func (e *Engine) decide(srcID, tgtID string, accepted bool) error {
+	m := e.Matrix()
+	if m.SourceIndex(srcID) < 0 {
+		return fmt.Errorf("harmony: unknown source element %q", srcID)
+	}
+	if m.TargetIndex(tgtID) < 0 {
+		return fmt.Errorf("harmony: unknown target element %q", tgtID)
+	}
+	e.decSeq++
+	e.decisions[pairKey{srcID, tgtID}] = Decision{Accepted: accepted, Seq: e.decSeq}
+	v := -1.0
+	if accepted {
+		v = 1.0
+	}
+	m.Set(srcID, tgtID, v)
+	return nil
+}
+
+// Unpin removes a user decision, letting the engine re-score the pair on
+// the next Run.
+func (e *Engine) Unpin(srcID, tgtID string) {
+	delete(e.decisions, pairKey{srcID, tgtID})
+}
+
+// IsUserDefined reports whether the pair carries a user decision — the
+// is-user-defined annotation of §5.1.2.
+func (e *Engine) IsUserDefined(srcID, tgtID string) bool {
+	_, ok := e.decisions[pairKey{srcID, tgtID}]
+	return ok
+}
+
+// Decisions returns a copy of all user decisions keyed by (src, tgt) IDs.
+func (e *Engine) Decisions() map[[2]string]Decision {
+	out := make(map[[2]string]Decision, len(e.decisions))
+	for k, d := range e.decisions {
+		out[[2]string{k.src, k.tgt}] = d
+	}
+	return out
+}
+
+// Learn updates the engine from accumulated decisions (§4.3): the merger
+// re-weights voters by agreement with the user, and the documentation
+// corpus re-weights words that proved predictive. Call Run afterwards to
+// re-score with the learned parameters.
+func (e *Engine) Learn() {
+	if len(e.lastVotes) == 0 || len(e.decisions) == 0 {
+		return
+	}
+	var fb []match.Feedback
+	for k, d := range e.decisions {
+		fb = append(fb, match.Feedback{SourceID: k.src, TargetID: k.tgt, Accepted: d.Accepted})
+	}
+	e.merger.LearnWeights(e.lastVotes, fb, 0.15)
+
+	// Word-weight learning: words shared by accepted pairs' documentation
+	// were predictive (upweight); words shared by rejected pairs misled
+	// (downweight).
+	srcByID := map[string]*model.Element{}
+	for _, el := range e.ctx.Source.Elements() {
+		srcByID[el.ID] = el
+	}
+	tgtByID := map[string]*model.Element{}
+	for _, el := range e.ctx.Target.Elements() {
+		tgtByID[el.ID] = el
+	}
+	for k, d := range e.decisions {
+		s, t := srcByID[k.src], tgtByID[k.tgt]
+		if s == nil || t == nil {
+			continue
+		}
+		shared := intersectTokens(e.ctx.DocTokens(s), e.ctx.DocTokens(t))
+		factor := 1.15
+		if !d.Accepted {
+			factor = 0.9
+		}
+		for _, w := range shared {
+			e.ctx.Corpus.AdjustWordWeight(w, factor)
+		}
+	}
+	e.ctx.InvalidateVectors()
+}
+
+func intersectTokens(a, b []string) []string {
+	set := make(map[string]bool, len(a))
+	for _, t := range a {
+		set[t] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, t := range b {
+		if set[t] && !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}

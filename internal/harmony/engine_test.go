@@ -1,0 +1,220 @@
+package harmony
+
+import (
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/model"
+)
+
+// Figure 2 fixtures, shared across the harmony tests.
+
+func poSource() *model.Schema {
+	s := model.NewSchema("purchaseOrder", "xsd")
+	po := s.AddElement(nil, "purchaseOrder", model.KindEntity, model.ContainsElement)
+	po.Doc = "A purchase order submitted by a customer"
+	shipTo := s.AddElement(po, "shipTo", model.KindEntity, model.ContainsElement)
+	shipTo.Doc = "Shipping destination address for the order"
+	fn := s.AddElement(shipTo, "firstName", model.KindAttribute, model.ContainsAttribute)
+	fn.DataType = "string"
+	fn.Doc = "Given name of the person receiving the shipment"
+	ln := s.AddElement(shipTo, "lastName", model.KindAttribute, model.ContainsAttribute)
+	ln.DataType = "string"
+	ln.Doc = "Family name of the person receiving the shipment"
+	st := s.AddElement(shipTo, "subtotal", model.KindAttribute, model.ContainsAttribute)
+	st.DataType = "decimal"
+	st.Doc = "Sum of line item prices before tax"
+	return s
+}
+
+func siTarget() *model.Schema {
+	s := model.NewSchema("shippingInfo", "xsd")
+	si := s.AddElement(nil, "shippingInfo", model.KindEntity, model.ContainsElement)
+	si.Doc = "Information about where an order ships"
+	nm := s.AddElement(si, "name", model.KindAttribute, model.ContainsAttribute)
+	nm.DataType = "string"
+	nm.Doc = "Full name of the shipment recipient"
+	tot := s.AddElement(si, "total", model.KindAttribute, model.ContainsAttribute)
+	tot.DataType = "decimal"
+	tot.Doc = "Total price of the order including tax"
+	return s
+}
+
+const (
+	shipToID   = "purchaseOrder/purchaseOrder/shipTo"
+	firstID    = "purchaseOrder/purchaseOrder/shipTo/firstName"
+	lastID     = "purchaseOrder/purchaseOrder/shipTo/lastName"
+	subtotalID = "purchaseOrder/purchaseOrder/shipTo/subtotal"
+	siID       = "shippingInfo/shippingInfo"
+	nameID     = "shippingInfo/shippingInfo/name"
+	totalID    = "shippingInfo/shippingInfo/total"
+)
+
+func newEngine(t *testing.T) *Engine {
+	t.Helper()
+	return NewEngine(poSource(), siTarget(), Options{Flooding: true})
+}
+
+func TestRunProducesSensibleScores(t *testing.T) {
+	e := newEngine(t)
+	timings := e.Run()
+	if len(timings) < 8 { // 6 voters + merge + flooding + pin
+		t.Errorf("timings = %d stages", len(timings))
+	}
+	m := e.Matrix()
+	// The Figure 3 intuition: shipTo↔shippingInfo positive; shipTo vs
+	// name/total (entity vs attribute) negative.
+	if got := m.Get(shipToID, siID); got <= 0 {
+		t.Errorf("shipTo↔shippingInfo = %g, want positive", got)
+	}
+	if got := m.Get(shipToID, nameID); got >= 0 {
+		t.Errorf("shipTo↔name = %g, want negative", got)
+	}
+	// subtotal↔total should beat firstName↔total.
+	if m.Get(subtotalID, totalID) <= m.Get(firstID, totalID) {
+		t.Error("subtotal should prefer total over firstName")
+	}
+}
+
+func TestMatrixLazyRun(t *testing.T) {
+	e := newEngine(t)
+	if e.Matrix() == nil {
+		t.Fatal("Matrix should auto-run")
+	}
+}
+
+func TestAcceptRejectPinning(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Accept(firstID, nameID); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Reject(firstID, totalID); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Matrix()
+	if m.Get(firstID, nameID) != 1 || m.Get(firstID, totalID) != -1 {
+		t.Error("decisions not pinned at ±1")
+	}
+	if !e.IsUserDefined(firstID, nameID) || e.IsUserDefined(lastID, nameID) {
+		t.Error("user-defined tracking wrong")
+	}
+	// Pins survive re-runs (§4.3: links do not mysteriously disappear).
+	e.Run()
+	m = e.Matrix()
+	if m.Get(firstID, nameID) != 1 || m.Get(firstID, totalID) != -1 {
+		t.Error("decisions lost after re-run")
+	}
+}
+
+func TestDecideErrors(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Accept("ghost", nameID); err == nil {
+		t.Error("unknown source should error")
+	}
+	if err := e.Reject(firstID, "ghost"); err == nil {
+		t.Error("unknown target should error")
+	}
+}
+
+func TestUnpin(t *testing.T) {
+	e := newEngine(t)
+	_ = e.Accept(firstID, nameID)
+	e.Unpin(firstID, nameID)
+	e.Run()
+	if e.Matrix().Get(firstID, nameID) == 1 {
+		t.Error("unpinned pair should be re-scored")
+	}
+	if e.IsUserDefined(firstID, nameID) {
+		t.Error("unpinned pair should not be user-defined")
+	}
+}
+
+func TestDecisionsCopy(t *testing.T) {
+	e := newEngine(t)
+	_ = e.Accept(firstID, nameID)
+	d := e.Decisions()
+	if len(d) != 1 || !d[[2]string{firstID, nameID}].Accepted {
+		t.Errorf("Decisions = %v", d)
+	}
+}
+
+func TestLearnAdjustsVoterWeights(t *testing.T) {
+	e := newEngine(t)
+	e.Run()
+	// Confirm pairs the name and doc voters favored.
+	_ = e.Accept(shipToID, siID)
+	_ = e.Accept(subtotalID, totalID)
+	_ = e.Reject(firstID, totalID)
+	before := e.Merger().Weight("name")
+	e.Learn()
+	after := e.Merger().Weight("name")
+	if after == before {
+		t.Errorf("name voter weight unchanged after learning: %g", after)
+	}
+}
+
+func TestLearnNoOpWithoutRunsOrDecisions(t *testing.T) {
+	e := newEngine(t)
+	e.Learn() // no votes yet: must not panic
+	e.Run()
+	e.Learn() // no decisions: no-op
+	if w := e.Merger().Weight("name"); w != 1 {
+		t.Errorf("weight moved without feedback: %g", w)
+	}
+}
+
+func TestLearnWordWeights(t *testing.T) {
+	e := newEngine(t)
+	e.Run()
+	// firstName's and name's docs share recipient/name/shipment words.
+	_ = e.Accept(firstID, nameID)
+	e.Learn()
+	// A shared predictive word got upweighted; "shipment" appears in
+	// firstName's doc and name's doc.
+	if w := e.Context().Corpus.WordWeight("shipment"); w <= 1 {
+		// tokens are stemmed: check the stem too
+		if w2 := e.Context().Corpus.WordWeight("recipi"); w2 <= 1 {
+			t.Errorf("no shared doc word upweighted (shipment=%g, recipi=%g)", w, w2)
+		}
+	}
+}
+
+func TestIterativeLearningIsGentleAndPreservesRanking(t *testing.T) {
+	// §4.3: "learning new weights must be done carefully". One round of
+	// feedback must not swing related scores wildly, and the correct
+	// target must stay top-ranked for the related element.
+	e := newEngine(t)
+	e.Run()
+	before := e.Matrix().Get(lastID, nameID)
+	_ = e.Accept(firstID, nameID) // related pair shares doc vocabulary
+	e.Learn()
+	e.Run()
+	after := e.Matrix().Get(lastID, nameID)
+	if diff := after - before; diff < -0.15 || diff > 0.5 {
+		t.Errorf("learning swung related pair too hard: %g → %g", before, after)
+	}
+	m := e.Matrix()
+	if m.Get(lastID, nameID) <= m.Get(lastID, totalID) {
+		t.Error("correct target no longer top-ranked for lastName")
+	}
+}
+
+func TestStageTimingsCoverVoters(t *testing.T) {
+	e := NewEngine(poSource(), siTarget(), Options{
+		Voters:   []match.Voter{match.NameVoter{}, match.DocVoter{}},
+		Flooding: false,
+	})
+	timings := e.Run()
+	names := map[string]bool{}
+	for _, st := range timings {
+		names[st.Stage] = true
+	}
+	for _, want := range []string{"voter:name", "voter:documentation", "merge", "pin-decisions"} {
+		if !names[want] {
+			t.Errorf("missing stage %q in %v", want, names)
+		}
+	}
+	if names["flooding"] {
+		t.Error("flooding stage present though disabled")
+	}
+}

@@ -1,0 +1,120 @@
+package harmony
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestConfidenceFilter(t *testing.T) {
+	e := newEngine(t)
+	all := e.Links(View{})
+	some := e.Links(View{LinkFilters: []LinkFilter{ConfidenceFilter(0.3)}})
+	if len(some) >= len(all) {
+		t.Errorf("threshold did not filter: %d vs %d", len(some), len(all))
+	}
+	for _, l := range some {
+		if l.Confidence < 0.3 {
+			t.Errorf("link below threshold: %v", l)
+		}
+	}
+}
+
+func TestOriginFilter(t *testing.T) {
+	e := newEngine(t)
+	_ = e.Accept(firstID, nameID)
+	human := e.Links(View{LinkFilters: []LinkFilter{OriginFilter(true)}})
+	if len(human) != 1 || !human[0].UserDefined {
+		t.Errorf("human links = %v", human)
+	}
+	machine := e.Links(View{LinkFilters: []LinkFilter{OriginFilter(false)}})
+	for _, l := range machine {
+		if l.UserDefined {
+			t.Error("machine view shows user link")
+		}
+	}
+	if len(machine)+len(human) != len(e.Links(View{})) {
+		t.Error("origin filters should partition links")
+	}
+}
+
+func TestMaxConfidenceView(t *testing.T) {
+	e := newEngine(t)
+	links := e.Links(View{MaxConfidence: true})
+	// One best link (or ties) per source element.
+	perSource := map[string]float64{}
+	counts := map[string]int{}
+	for _, l := range links {
+		counts[l.Source.ID]++
+		if prev, ok := perSource[l.Source.ID]; ok && prev != l.Confidence {
+			t.Error("non-tied multiple links for one source in max view")
+		}
+		perSource[l.Source.ID] = l.Confidence
+	}
+	if len(perSource) != 5 {
+		t.Errorf("max view covers %d sources, want 5", len(perSource))
+	}
+}
+
+func TestDepthFilterEntitiesOnly(t *testing.T) {
+	e := newEngine(t)
+	// Depth ≤ 2 on source: purchaseOrder (1), shipTo (2); attributes are
+	// depth 3 and disabled.
+	links := e.Links(View{SourceNodeFilters: []NodeFilter{DepthFilter(2)}})
+	for _, l := range links {
+		if l.Source.Depth() > 2 {
+			t.Errorf("disabled element leaked: %s", l.Source.ID)
+		}
+	}
+	if len(links) == 0 {
+		t.Error("depth filter hid everything")
+	}
+}
+
+func TestSubtreeFilter(t *testing.T) {
+	e := newEngine(t)
+	shipTo := e.Context().Source.MustElement(shipToID)
+	links := e.Links(View{SourceNodeFilters: []NodeFilter{SubtreeFilter(shipTo)}})
+	for _, l := range links {
+		if !l.Source.InSubtree(shipTo) {
+			t.Errorf("element outside subtree leaked: %s", l.Source.ID)
+		}
+	}
+	// purchaseOrder (the parent) is excluded: 4 subtree sources × 3 targets.
+	if len(links) != 12 {
+		t.Errorf("links = %d, want 12", len(links))
+	}
+}
+
+func TestKindFilterAndCombination(t *testing.T) {
+	e := newEngine(t)
+	links := e.Links(View{
+		SourceNodeFilters: []NodeFilter{KindFilter(model.KindAttribute)},
+		TargetNodeFilters: []NodeFilter{KindFilter(model.KindAttribute)},
+		LinkFilters:       []LinkFilter{ConfidenceFilter(-0.5)},
+	})
+	for _, l := range links {
+		if l.Source.Kind != model.KindAttribute || l.Target.Kind != model.KindAttribute {
+			t.Errorf("kind filter leaked: %v", l)
+		}
+	}
+	if len(links) == 0 {
+		t.Error("combined filters hid everything")
+	}
+}
+
+func TestFilterClutterReduction(t *testing.T) {
+	// The §4.2 claim, measurable: filters cut displayed links massively.
+	e := newEngine(t)
+	all := len(e.Links(View{}))
+	focused := len(e.Links(View{
+		LinkFilters:   []LinkFilter{ConfidenceFilter(0.25)},
+		MaxConfidence: true,
+	}))
+	if all != 15 {
+		t.Errorf("unfiltered links = %d, want 5×3", all)
+	}
+	if focused >= all/2 {
+		t.Errorf("filters reduced %d only to %d", all, focused)
+	}
+}

@@ -1,0 +1,61 @@
+package harmony
+
+import (
+	"repro/internal/blackboard"
+)
+
+// Session persistence: the paper's large integration problems "involve
+// several dozen iterations" (§4.3) spread over days; the engine's user
+// state — decisions and completion flags — round-trips through the
+// blackboard's mapping annotations so a session can stop and resume
+// (and so other tools see the is-complete/is-user-defined state,
+// §5.1.2).
+
+// SaveTo writes the engine's user decisions and completion flags into a
+// blackboard mapping: decisions as user-defined ±1 cells, completion as
+// row is-complete annotations. Machine scores are not written here — the
+// publishing of machine cells is the matcher tool's transactional job
+// (see core.IntegrationSession.Match).
+func (e *Engine) SaveTo(mp *blackboard.Mapping, tool string) {
+	for pair, d := range e.Decisions() {
+		conf := -1.0
+		if d.Accepted {
+			conf = 1.0
+		}
+		mp.SetCell(pair[0], pair[1], conf, true, tool)
+	}
+	for _, id := range e.CompleteIDs() {
+		mp.SetRowComplete(id, true)
+	}
+}
+
+// LoadFrom restores user decisions and completion flags from a mapping
+// into the engine: user-defined cells at ±1 become pinned decisions, and
+// row is-complete annotations restore the progress state. It returns the
+// number of decisions loaded. Call Run afterwards to re-score the rest.
+func (e *Engine) LoadFrom(mp *blackboard.Mapping) int {
+	loaded := 0
+	for _, cell := range mp.Cells() {
+		if !cell.UserDefined {
+			continue
+		}
+		var err error
+		switch {
+		case cell.Confidence >= 1:
+			err = e.Accept(cell.SourceID, cell.TargetID)
+		case cell.Confidence <= -1:
+			err = e.Reject(cell.SourceID, cell.TargetID)
+		default:
+			continue
+		}
+		if err == nil {
+			loaded++
+		}
+	}
+	for _, s := range e.ctx.Source.Elements() {
+		if mp.RowComplete(s.ID) {
+			e.complete[s.ID] = true
+		}
+	}
+	return loaded
+}

@@ -1,0 +1,80 @@
+package harmony
+
+import (
+	"repro/internal/model"
+
+	"testing"
+)
+
+func TestMarkSubtreeComplete(t *testing.T) {
+	e := newEngine(t)
+	e.Run()
+	shipTo := e.Context().Source.MustElement(shipToID)
+	e.MarkSubtreeComplete(shipTo, 0.3)
+
+	// Every pair involving a subtree source element is now decided.
+	m := e.Matrix()
+	for _, s := range []string{shipToID, firstID, lastID, subtotalID} {
+		for _, tgt := range []string{siID, nameID, totalID} {
+			v := m.Get(s, tgt)
+			if v != 1 && v != -1 {
+				t.Errorf("pair (%s, %s) undecided after completion: %g", s, tgt, v)
+			}
+			if !e.IsUserDefined(s, tgt) {
+				t.Errorf("pair (%s, %s) not marked user-defined", s, tgt)
+			}
+		}
+	}
+	// Visible links accepted: shipTo↔shippingInfo scored > 0.3 pre-completion.
+	if m.Get(shipToID, siID) != 1 {
+		t.Error("visible link should be accepted")
+	}
+	// Elements flagged complete; purchaseOrder itself is not.
+	if !e.IsComplete(shipToID) || !e.IsComplete(firstID) {
+		t.Error("subtree elements not complete")
+	}
+	if e.IsComplete("purchaseOrder/purchaseOrder") {
+		t.Error("parent outside subtree marked complete")
+	}
+}
+
+func TestMarkSubtreeCompletePreservesDecisions(t *testing.T) {
+	e := newEngine(t)
+	e.Run()
+	// The user already rejected a pair that scores above the threshold.
+	_ = e.Reject(shipToID, siID)
+	shipTo := e.Context().Source.MustElement(shipToID)
+	e.MarkSubtreeComplete(shipTo, -2) // everything "visible"
+	if e.Matrix().Get(shipToID, siID) != -1 {
+		t.Error("completion overrode an existing decision")
+	}
+}
+
+func TestProgress(t *testing.T) {
+	e := newEngine(t)
+	if e.Progress() != 0 {
+		t.Errorf("initial progress = %g", e.Progress())
+	}
+	shipTo := e.Context().Source.MustElement(shipToID)
+	e.MarkSubtreeComplete(shipTo, 0.3)
+	// 4 of 5 source elements complete.
+	if got := e.Progress(); got != 0.8 {
+		t.Errorf("progress = %g, want 0.8", got)
+	}
+	if got := len(e.CompleteIDs()); got != 4 {
+		t.Errorf("CompleteIDs = %d", got)
+	}
+	po := e.Context().Source.MustElement("purchaseOrder/purchaseOrder")
+	e.MarkSubtreeComplete(po, 0.3)
+	if e.Progress() != 1 {
+		t.Errorf("final progress = %g", e.Progress())
+	}
+}
+
+func TestProgressEmptySchema(t *testing.T) {
+	// An engine over an element-less source reports complete.
+	empty := NewEngine(model.NewSchema("empty", "er"), siTarget(), Options{})
+	if empty.Progress() != 1 {
+		t.Errorf("empty schema progress = %g", empty.Progress())
+	}
+}

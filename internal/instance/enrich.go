@@ -1,0 +1,118 @@
+package instance
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Schema enrichment from instance data (paper §3.1: "one may enrich the
+// schemata, e.g., by defining coding schemes as domains ... the
+// integration platform may enable richer descriptions than the
+// underlying systems"). When instance data *is* available, scanning it
+// recovers the coding schemes that were lost when "a logical schema is
+// converted into SQL" (§2).
+
+// InferOptions tunes InferDomains.
+type InferOptions struct {
+	// MaxCardinality is the largest distinct-value count treated as a
+	// coding scheme (default 12).
+	MaxCardinality int
+	// MinRecords is the minimum number of non-nil observations required
+	// before inferring (default 10) — a 3-row table proves nothing.
+	MinRecords int
+	// MinRepetition requires averaged value reuse: observations /
+	// distinct ≥ MinRepetition (default 2).
+	MinRepetition float64
+	// MinDistinct is the smallest distinct-value count treated as a
+	// coding scheme (default 2) — a constant column is not a domain.
+	MinDistinct int
+}
+
+func (o *InferOptions) defaults() {
+	if o.MaxCardinality == 0 {
+		o.MaxCardinality = 12
+	}
+	if o.MinRecords == 0 {
+		o.MinRecords = 10
+	}
+	if o.MinRepetition == 0 {
+		o.MinRepetition = 2
+	}
+	if o.MinDistinct == 0 {
+		o.MinDistinct = 2
+	}
+}
+
+// InferDomains scans the dataset and, for each attribute without a
+// declared coding scheme whose observed values look enumerated (few
+// distinct, repeated), adds a Domain named "entity.attr (inferred)" and
+// references it. It returns the names of the domains added.
+func InferDomains(s *model.Schema, ds *Dataset, opts InferOptions) []string {
+	opts.defaults()
+	// Observed values per (entity name, attribute name).
+	type key struct{ entity, attr string }
+	observed := map[key]map[string]int{}
+	counts := map[key]int{}
+
+	var scan func(r *Record)
+	scan = func(r *Record) {
+		for field, v := range r.Fields {
+			if v == nil {
+				continue
+			}
+			k := key{r.Type, field}
+			m := observed[k]
+			if m == nil {
+				m = map[string]int{}
+				observed[k] = m
+			}
+			m[FormatValue(v)]++
+			counts[k]++
+		}
+		for _, c := range r.Children {
+			scan(c)
+		}
+	}
+	for _, r := range ds.Records {
+		scan(r)
+	}
+
+	var added []string
+	s.Walk(func(e *model.Element) bool {
+		if e.Kind != model.KindAttribute || e.DomainRef != "" {
+			return true
+		}
+		parent := e.Parent()
+		if parent == nil {
+			return true
+		}
+		k := key{parent.Name, e.Name}
+		vals := observed[k]
+		n := counts[k]
+		if n < opts.MinRecords || len(vals) < opts.MinDistinct || len(vals) > opts.MaxCardinality {
+			return true
+		}
+		if float64(n)/float64(len(vals)) < opts.MinRepetition {
+			return true
+		}
+		codes := make([]string, 0, len(vals))
+		for c := range vals {
+			codes = append(codes, c)
+		}
+		sort.Strings(codes)
+		d := &model.Domain{
+			Name: parent.Name + "." + e.Name + " (inferred)",
+			Doc:  "coding scheme inferred from instance data",
+		}
+		for _, c := range codes {
+			d.Values = append(d.Values, model.DomainValue{Code: c})
+		}
+		s.AddDomain(d)
+		e.DomainRef = d.Name
+		added = append(added, d.Name)
+		return true
+	})
+	sort.Strings(added)
+	return added
+}

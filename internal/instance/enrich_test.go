@@ -1,0 +1,137 @@
+package instance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func enrichFixture() (*model.Schema, *Dataset) {
+	s := model.NewSchema("ops", "sql")
+	t := s.AddElement(nil, "mission", model.KindEntity, model.ContainsTable)
+	s.AddElement(t, "status", model.KindAttribute, model.ContainsAttribute)
+	s.AddElement(t, "callsign", model.KindAttribute, model.ContainsAttribute)
+	s.AddElement(t, "priority", model.KindAttribute, model.ContainsAttribute)
+
+	ds := &Dataset{SchemaName: "ops"}
+	statuses := []string{"ACTIVE", "PLANNED", "COMPLETE"}
+	for i := 0; i < 30; i++ {
+		ds.Records = append(ds.Records, NewRecord("mission").
+			Set("status", statuses[i%3]).
+			Set("callsign", "CS"+itoa(i)). // all distinct: not a domain
+			Set("priority", []string{"LOW", "HIGH"}[i%2]))
+	}
+	return s, ds
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestInferDomains(t *testing.T) {
+	s, ds := enrichFixture()
+	added := InferDomains(s, ds, InferOptions{})
+	if len(added) != 2 {
+		t.Fatalf("inferred %d domains, want 2 (status, priority): %v", len(added), added)
+	}
+	status := s.Element("ops/mission/status")
+	if status.DomainRef == "" {
+		t.Fatal("status should reference an inferred domain")
+	}
+	d := s.DomainOf(status)
+	if d == nil || len(d.Values) != 3 {
+		t.Fatalf("status domain = %+v", d)
+	}
+	if d.Values[0].Code != "ACTIVE" {
+		t.Errorf("codes not sorted: %+v", d.Values)
+	}
+	if !strings.Contains(d.Name, "(inferred)") {
+		t.Errorf("domain name = %q", d.Name)
+	}
+	// High-cardinality callsign untouched.
+	if s.Element("ops/mission/callsign").DomainRef != "" {
+		t.Error("callsign should not get a domain")
+	}
+	// The schema stays valid.
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferDomainsRespectsExisting(t *testing.T) {
+	s, ds := enrichFixture()
+	st := s.Element("ops/mission/status")
+	st.DomainRef = "Existing"
+	s.AddDomain(&model.Domain{Name: "Existing", Values: []model.DomainValue{{Code: "X"}}})
+	added := InferDomains(s, ds, InferOptions{})
+	for _, a := range added {
+		if strings.HasPrefix(a, "mission.status") {
+			t.Error("declared coding scheme must not be overwritten")
+		}
+	}
+}
+
+func TestInferDomainsMinRecords(t *testing.T) {
+	s := model.NewSchema("s", "sql")
+	e := s.AddElement(nil, "t", model.KindEntity, model.ContainsTable)
+	s.AddElement(e, "c", model.KindAttribute, model.ContainsAttribute)
+	ds := &Dataset{Records: []*Record{
+		NewRecord("t").Set("c", "a"),
+		NewRecord("t").Set("c", "b"),
+		NewRecord("t").Set("c", "a"),
+	}}
+	if added := InferDomains(s, ds, InferOptions{}); len(added) != 0 {
+		t.Errorf("3 rows should not justify a domain: %v", added)
+	}
+	// Lowering the bar allows it.
+	if added := InferDomains(s, ds, InferOptions{MinRecords: 3, MinRepetition: 1.5}); len(added) != 1 {
+		t.Errorf("relaxed options should infer: %v", added)
+	}
+}
+
+func TestInferDomainsRepetitionGate(t *testing.T) {
+	// 12 observations, 11 distinct: repetition ratio ~1.09 < 2 → no domain.
+	s := model.NewSchema("s", "sql")
+	e := s.AddElement(nil, "t", model.KindEntity, model.ContainsTable)
+	s.AddElement(e, "c", model.KindAttribute, model.ContainsAttribute)
+	ds := &Dataset{}
+	for i := 0; i < 12; i++ {
+		v := "v" + itoa(i)
+		if i == 11 {
+			v = "v0"
+		}
+		ds.Records = append(ds.Records, NewRecord("t").Set("c", v))
+	}
+	if added := InferDomains(s, ds, InferOptions{}); len(added) != 0 {
+		t.Errorf("low repetition should not infer: %v", added)
+	}
+}
+
+func TestInferDomainsNestedRecords(t *testing.T) {
+	s := model.NewSchema("po", "xsd")
+	po := s.AddElement(nil, "order", model.KindEntity, model.ContainsElement)
+	line := s.AddElement(po, "line", model.KindEntity, model.ContainsElement)
+	s.AddElement(line, "uom", model.KindAttribute, model.ContainsAttribute)
+	ds := &Dataset{}
+	for i := 0; i < 20; i++ {
+		o := NewRecord("order")
+		o.AddChild(NewRecord("line").Set("uom", []string{"EA", "BX"}[i%2]))
+		ds.Records = append(ds.Records, o)
+	}
+	added := InferDomains(s, ds, InferOptions{})
+	if len(added) != 1 {
+		t.Fatalf("nested attribute not inferred: %v", added)
+	}
+	if s.Element("po/order/line/uom").DomainRef == "" {
+		t.Error("nested attribute missing domain ref")
+	}
+}

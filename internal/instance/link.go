@@ -1,0 +1,255 @@
+package instance
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/lingo"
+	"repro/internal/model"
+)
+
+// Instance integration (paper §3.4): task 10 links instance elements that
+// represent the same real-world object, task 11 cleans erroneous values.
+
+// LinkOptions configures instance linking.
+type LinkOptions struct {
+	// MatchFields are the fields compared to decide whether two records
+	// co-refer. Empty means all shared fields.
+	MatchFields []string
+	// Threshold is the minimum average field similarity in [0,1] for two
+	// records to be linked. Typical: 0.85.
+	Threshold float64
+	// SourcePriority orders provenance: when merging conflicting values,
+	// the record whose "source" field appears earlier in this list wins.
+	SourcePriority []string
+	// BlockOn names a field used as a blocking key: only records whose
+	// normalized first rune of that field agrees are compared, turning
+	// the O(n²) pairwise scan into per-block scans — the standard record-
+	// linkage scaling technique. Empty disables blocking.
+	BlockOn string
+}
+
+// LinkResult reports what Link did.
+type LinkResult struct {
+	// Merged is the deduplicated dataset.
+	Merged []*Record
+	// Groups maps each output record index to the input indices merged
+	// into it (singletons included).
+	Groups [][]int
+}
+
+// Link merges records (of the same Type) that appear to denote the same
+// real-world object: the paper's subtask 10, "two instance elements (with
+// different unique identifiers) may represent the same real-world object;
+// this subtask merges these elements into a single element".
+//
+// Similarity is the mean Jaro-Winkler similarity of the match fields
+// (exact equality for non-strings). Linking is transitive within a type
+// (union-find over pairwise hits above the threshold).
+func Link(records []*Record, opts LinkOptions) LinkResult {
+	if opts.Threshold == 0 {
+		opts.Threshold = 0.85
+	}
+	n := len(records)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Candidate enumeration: full pairwise, or per blocking bucket.
+	comparePair := func(i, j int) {
+		if records[i].Type != records[j].Type {
+			return
+		}
+		if recordSimilarity(records[i], records[j], opts.MatchFields) >= opts.Threshold {
+			union(i, j)
+		}
+	}
+	if opts.BlockOn == "" {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				comparePair(i, j)
+			}
+		}
+	} else {
+		blocks := map[string][]int{}
+		for i, r := range records {
+			blocks[blockKey(r, opts.BlockOn)] = append(blocks[blockKey(r, opts.BlockOn)], i)
+		}
+		for _, members := range blocks {
+			for a := 0; a < len(members); a++ {
+				for b := a + 1; b < len(members); b++ {
+					comparePair(members[a], members[b])
+				}
+			}
+		}
+	}
+
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+
+	var res LinkResult
+	for _, r := range roots {
+		idxs := groups[r]
+		sort.Ints(idxs)
+		members := make([]*Record, len(idxs))
+		for i, idx := range idxs {
+			members[i] = records[idx]
+		}
+		res.Merged = append(res.Merged, mergeRecords(members, opts.SourcePriority))
+		res.Groups = append(res.Groups, idxs)
+	}
+	return res
+}
+
+// blockKey normalizes a record's blocking field to its lowercased first
+// rune (empty values bucket together so they still meet everything in
+// their bucket, conservatively).
+func blockKey(r *Record, field string) string {
+	v := strings.ToLower(strings.TrimSpace(r.GetString(field)))
+	if v == "" {
+		return ""
+	}
+	return v[:1]
+}
+
+// recordSimilarity averages per-field similarity over the chosen fields.
+func recordSimilarity(a, b *Record, fields []string) float64 {
+	if len(fields) == 0 {
+		seen := map[string]bool{}
+		for f := range a.Fields {
+			if _, ok := b.Fields[f]; ok {
+				seen[f] = true
+			}
+		}
+		for f := range seen {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+	}
+	if len(fields) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, f := range fields {
+		va, vb := a.Fields[f], b.Fields[f]
+		switch {
+		case va == nil && vb == nil:
+			sum += 1
+		case va == nil || vb == nil:
+			// one side missing: neutral 0.5 so sparse records can still link
+			sum += 0.5
+		default:
+			sa, okA := va.(string)
+			sb, okB := vb.(string)
+			if okA && okB {
+				sum += lingo.JaroWinkler(strings.ToLower(sa), strings.ToLower(sb))
+			} else if va == vb {
+				sum += 1
+			}
+		}
+	}
+	return sum / float64(len(fields))
+}
+
+// mergeRecords combines co-referent records into one. For each field, the
+// first non-nil value in priority order wins; children are concatenated.
+func mergeRecords(members []*Record, sourcePriority []string) *Record {
+	if len(members) == 1 {
+		return members[0].Clone()
+	}
+	ordered := make([]*Record, len(members))
+	copy(ordered, members)
+	if len(sourcePriority) > 0 {
+		rank := map[string]int{}
+		for i, s := range sourcePriority {
+			rank[s] = i + 1
+		}
+		sort.SliceStable(ordered, func(i, j int) bool {
+			ri, rj := rank[ordered[i].GetString("source")], rank[ordered[j].GetString("source")]
+			if ri == 0 {
+				ri = len(sourcePriority) + 1
+			}
+			if rj == 0 {
+				rj = len(sourcePriority) + 1
+			}
+			return ri < rj
+		})
+	}
+	out := NewRecord(ordered[0].Type)
+	for _, m := range ordered {
+		for k, v := range m.Fields {
+			if cur, ok := out.Fields[k]; !ok || cur == nil || cur == "" {
+				if v != nil && v != "" {
+					out.Fields[k] = v
+				} else if !ok {
+					out.Fields[k] = v
+				}
+			}
+		}
+		for _, c := range m.Children {
+			out.Children = append(out.Children, c.Clone())
+		}
+	}
+	return out
+}
+
+// CleanOptions configures Clean.
+type CleanOptions struct {
+	// DropViolations removes offending field values (sets them to nil)
+	// instead of only reporting them.
+	DropViolations bool
+}
+
+// Clean applies task 11, "removes erroneous values from instance
+// elements": it scans the dataset for domain violations and, when
+// DropViolations is set, nils the offending values so the dataset
+// validates. It returns the violations found (before any dropping).
+func Clean(s *model.Schema, ds *Dataset, opts CleanOptions) []Violation {
+	viols := Validate(s, ds)
+	if !opts.DropViolations {
+		return viols
+	}
+	for _, v := range viols {
+		if v.Rule != "domain" {
+			continue
+		}
+		rec := ds.Records[v.Index]
+		// Path tail is the field name.
+		parts := strings.Split(v.Path, "/")
+		field := parts[len(parts)-1]
+		clearField(rec, field)
+	}
+	return viols
+}
+
+func clearField(rec *Record, field string) {
+	if _, ok := rec.Fields[field]; ok {
+		rec.Fields[field] = nil
+	}
+	for _, c := range rec.Children {
+		clearField(c, field)
+	}
+}

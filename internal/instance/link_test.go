@@ -1,0 +1,198 @@
+package instance
+
+import (
+	"testing"
+)
+
+func TestLinkExactDuplicates(t *testing.T) {
+	recs := []*Record{
+		NewRecord("person").Set("name", "John Smith").Set("city", "Reston"),
+		NewRecord("person").Set("name", "John Smith").Set("city", "Reston"),
+		NewRecord("person").Set("name", "Alice Jones").Set("city", "McLean"),
+	}
+	res := Link(recs, LinkOptions{})
+	if len(res.Merged) != 2 {
+		t.Fatalf("merged to %d records, want 2", len(res.Merged))
+	}
+	if len(res.Groups[0]) != 2 || res.Groups[0][0] != 0 || res.Groups[0][1] != 1 {
+		t.Errorf("groups: %v", res.Groups)
+	}
+}
+
+func TestLinkFuzzyNames(t *testing.T) {
+	recs := []*Record{
+		NewRecord("person").Set("name", "Jonathan Smith"),
+		NewRecord("person").Set("name", "Jonathon Smith"), // typo variant
+		NewRecord("person").Set("name", "Zebulon Pike"),
+	}
+	res := Link(recs, LinkOptions{MatchFields: []string{"name"}, Threshold: 0.9})
+	if len(res.Merged) != 2 {
+		t.Fatalf("merged to %d, want 2 (fuzzy pair linked): %v", len(res.Merged), res.Groups)
+	}
+}
+
+func TestLinkDifferentTypesNeverMerge(t *testing.T) {
+	recs := []*Record{
+		NewRecord("person").Set("name", "X"),
+		NewRecord("company").Set("name", "X"),
+	}
+	res := Link(recs, LinkOptions{})
+	if len(res.Merged) != 2 {
+		t.Error("records of different types must not link")
+	}
+}
+
+func TestLinkTransitive(t *testing.T) {
+	// A≈B and B≈C should group all three even if A vs C is below threshold.
+	recs := []*Record{
+		NewRecord("p").Set("name", "catherine johnson"),
+		NewRecord("p").Set("name", "catharine johnson"),
+		NewRecord("p").Set("name", "catharine jonson"),
+	}
+	res := Link(recs, LinkOptions{MatchFields: []string{"name"}, Threshold: 0.95})
+	if len(res.Merged) != 1 {
+		t.Fatalf("transitive closure failed: %v", res.Groups)
+	}
+}
+
+func TestMergePrefersNonEmptyAndPriority(t *testing.T) {
+	recs := []*Record{
+		NewRecord("p").Set("name", "John Smith").Set("phone", nil).Set("source", "web"),
+		NewRecord("p").Set("name", "John Smith").Set("phone", "555-1234").Set("source", "registry"),
+	}
+	res := Link(recs, LinkOptions{
+		MatchFields:    []string{"name"},
+		SourcePriority: []string{"registry", "web"},
+	})
+	if len(res.Merged) != 1 {
+		t.Fatalf("should merge: %v", res.Groups)
+	}
+	m := res.Merged[0]
+	if m.GetString("phone") != "555-1234" {
+		t.Errorf("phone = %q, want value from higher-priority source", m.GetString("phone"))
+	}
+	if m.GetString("source") != "registry" {
+		t.Errorf("source = %q, want registry first", m.GetString("source"))
+	}
+}
+
+func TestLinkMissingFieldNeutral(t *testing.T) {
+	// A record missing the match field entirely shouldn't auto-link.
+	recs := []*Record{
+		NewRecord("p").Set("name", "Ann"),
+		NewRecord("p"),
+	}
+	res := Link(recs, LinkOptions{MatchFields: []string{"name"}, Threshold: 0.85})
+	if len(res.Merged) != 2 {
+		t.Error("missing field should be neutral (0.5), below threshold")
+	}
+}
+
+func TestLinkNoSharedFields(t *testing.T) {
+	recs := []*Record{
+		NewRecord("p").Set("a", "x"),
+		NewRecord("p").Set("b", "x"),
+	}
+	res := Link(recs, LinkOptions{})
+	if len(res.Merged) != 2 {
+		t.Error("records with no shared fields should not link")
+	}
+}
+
+func TestCleanReportsAndDrops(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{
+		NewRecord("orders").Set("id", "1").Set("customer", "a").Set("status", "bogus"),
+		NewRecord("orders").Set("id", "2").Set("customer", "b").Set("status", "open"),
+	}}
+	// Report only.
+	v := Clean(s, ds, CleanOptions{})
+	if len(v) != 1 || v[0].Rule != "domain" {
+		t.Fatalf("violations: %v", v)
+	}
+	if ds.Records[0].Get("status") != "bogus" {
+		t.Error("report-only clean must not mutate")
+	}
+	// Drop.
+	Clean(s, ds, CleanOptions{DropViolations: true})
+	if ds.Records[0].Get("status") != nil {
+		t.Error("drop should nil the offending value")
+	}
+	// Now valid.
+	if v := Validate(s, ds); len(v) != 0 {
+		t.Errorf("after clean: %v", v)
+	}
+}
+
+func TestCleanNonDomainViolationsNotDropped(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{
+		NewRecord("orders").Set("id", "1"), // missing required customer
+	}}
+	v := Clean(s, ds, CleanOptions{DropViolations: true})
+	if len(v) != 1 || v[0].Rule != "required" {
+		t.Fatalf("violations: %v", v)
+	}
+	// Required violation cannot be fixed by dropping; still reported.
+	if len(Validate(s, ds)) != 1 {
+		t.Error("required violation should persist")
+	}
+}
+
+func TestLinkBlocking(t *testing.T) {
+	recs := []*Record{
+		NewRecord("p").Set("name", "john smith"),
+		NewRecord("p").Set("name", "John Smith"), // same block 'j'
+		NewRecord("p").Set("name", "alice jones"),
+	}
+	res := Link(recs, LinkOptions{MatchFields: []string{"name"}, BlockOn: "name"})
+	if len(res.Merged) != 2 {
+		t.Fatalf("blocked link merged to %d, want 2: %v", len(res.Merged), res.Groups)
+	}
+	// Blocking is an approximation: cross-block duplicates are missed by
+	// construction (that is the documented trade-off).
+	recs2 := []*Record{
+		NewRecord("p").Set("name", "smith, john"),
+		NewRecord("p").Set("name", "jsmith, john"), // still similar, block 'j' vs 's'
+	}
+	res2 := Link(recs2, LinkOptions{MatchFields: []string{"name"}, Threshold: 0.7, BlockOn: "name"})
+	if len(res2.Merged) != 2 {
+		t.Error("cross-block pair should be missed under blocking")
+	}
+}
+
+func TestLinkBlockingEmptyValuesBucket(t *testing.T) {
+	recs := []*Record{
+		NewRecord("p").Set("name", "x").Set("city", nil),
+		NewRecord("p").Set("name", "x").Set("city", nil),
+	}
+	res := Link(recs, LinkOptions{MatchFields: []string{"name"}, BlockOn: "city"})
+	if len(res.Merged) != 1 {
+		t.Error("records with empty blocking field should still compare")
+	}
+}
+
+func BenchmarkLinkPairwise(b *testing.B) {
+	recs := linkBenchRecords(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Link(recs, LinkOptions{MatchFields: []string{"name"}})
+	}
+}
+
+func BenchmarkLinkBlocked(b *testing.B) {
+	recs := linkBenchRecords(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Link(recs, LinkOptions{MatchFields: []string{"name"}, BlockOn: "name"})
+	}
+}
+
+func linkBenchRecords(n int) []*Record {
+	out := make([]*Record, n)
+	for i := 0; i < n; i++ {
+		out[i] = NewRecord("p").Set("name",
+			string(rune('a'+i%26))+"-person-"+FormatValue(i))
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package instance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLinkPartitionsInput: Link's groups always partition the input
+// index set — every index appears in exactly one group.
+func TestLinkPartitionsInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	names := []string{"john smith", "jon smith", "alice jones", "bob brown", "alicia jones"}
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		recs := make([]*Record, n)
+		for i := range recs {
+			recs[i] = NewRecord("p").Set("name", names[rng.Intn(len(names))])
+		}
+		res := Link(recs, LinkOptions{MatchFields: []string{"name"}, Threshold: 0.9})
+		seen := map[int]bool{}
+		for _, g := range res.Groups {
+			for _, idx := range g {
+				if seen[idx] {
+					t.Fatal("index in two groups")
+				}
+				seen[idx] = true
+			}
+		}
+		if len(seen) != n {
+			t.Fatalf("groups cover %d of %d indices", len(seen), n)
+		}
+		if len(res.Merged) != len(res.Groups) {
+			t.Fatal("merged/groups length mismatch")
+		}
+	}
+}
+
+// TestLinkIdempotent: linking the already-linked output changes nothing
+// (exact duplicates were merged on the first pass).
+func TestLinkIdempotent(t *testing.T) {
+	recs := []*Record{
+		NewRecord("p").Set("name", "john smith"),
+		NewRecord("p").Set("name", "john smith"),
+		NewRecord("p").Set("name", "alice jones"),
+	}
+	first := Link(recs, LinkOptions{MatchFields: []string{"name"}})
+	second := Link(first.Merged, LinkOptions{MatchFields: []string{"name"}})
+	if len(second.Merged) != len(first.Merged) {
+		t.Errorf("second pass changed count: %d → %d", len(first.Merged), len(second.Merged))
+	}
+}
+
+// TestValidateAfterCleanConvergence: after Clean with DropViolations,
+// Validate reports no domain violations, for random datasets.
+func TestValidateAfterCleanConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	s := orderSchema()
+	for trial := 0; trial < 30; trial++ {
+		ds := &Dataset{}
+		for i := 0; i < 10; i++ {
+			status := []string{"open", "shipped", "closed", "BOGUS", "???"}[rng.Intn(5)]
+			ds.Records = append(ds.Records, NewRecord("orders").
+				Set("id", string(rune('a'+i))).
+				Set("customer", "c").
+				Set("status", status))
+		}
+		Clean(s, ds, CleanOptions{DropViolations: true})
+		for _, v := range Validate(s, ds) {
+			if v.Rule == "domain" {
+				t.Fatalf("domain violation survived clean: %v", v)
+			}
+		}
+	}
+}
+
+// TestSynthesizeAlwaysValidates: synthesized datasets satisfy their
+// schema for any seed.
+func TestSynthesizeAlwaysValidates(t *testing.T) {
+	s := synthSchema()
+	for seed := int64(0); seed < 20; seed++ {
+		ds := Synthesize(s, 10, seed)
+		if v := Validate(s, ds); len(v) != 0 {
+			t.Fatalf("seed %d: %v", seed, v[0])
+		}
+	}
+}

@@ -1,0 +1,365 @@
+// Package instance implements the instance-side substrate: a generic
+// record model for both relational tuples and nested XML-ish documents,
+// validation of instances against a target schema (paper §3.3 task 9),
+// instance linking (task 10) and data cleaning (task 11).
+//
+// The paper's workbench hands generated mappings "to be tested on sample
+// documents" (§5.3); this package supplies those documents and checks the
+// results.
+package instance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Value is a scalar field value: string, float64, int, bool, or nil.
+type Value any
+
+// Record is an instance element: a tuple or a document node. Fields hold
+// scalar attribute values; Children hold nested records (empty for flat
+// relational data).
+type Record struct {
+	// Type names the entity this record instantiates (table or element
+	// name).
+	Type string
+	// Fields maps attribute names to scalar values.
+	Fields map[string]Value
+	// Children holds nested records in document order.
+	Children []*Record
+}
+
+// NewRecord returns an empty record of the given type.
+func NewRecord(typ string) *Record {
+	return &Record{Type: typ, Fields: make(map[string]Value)}
+}
+
+// Set assigns a field value and returns the record for chaining.
+func (r *Record) Set(field string, v Value) *Record {
+	r.Fields[field] = v
+	return r
+}
+
+// Get returns the field value, or nil.
+func (r *Record) Get(field string) Value { return r.Fields[field] }
+
+// GetString returns the field rendered as a string ("" for nil).
+func (r *Record) GetString(field string) string {
+	return FormatValue(r.Fields[field])
+}
+
+// AddChild appends a nested record and returns the parent for chaining.
+func (r *Record) AddChild(c *Record) *Record {
+	r.Children = append(r.Children, c)
+	return r
+}
+
+// ChildrenOfType returns nested records of the given type.
+func (r *Record) ChildrenOfType(typ string) []*Record {
+	var out []*Record
+	for _, c := range r.Children {
+		if c.Type == typ {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChild returns the first nested record of the given type, or nil.
+func (r *Record) FirstChild(typ string) *Record {
+	for _, c := range r.Children {
+		if c.Type == typ {
+			return c
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the record.
+func (r *Record) Clone() *Record {
+	out := &Record{Type: r.Type, Fields: make(map[string]Value, len(r.Fields))}
+	for k, v := range r.Fields {
+		out.Fields[k] = v
+	}
+	for _, c := range r.Children {
+		out.Children = append(out.Children, c.Clone())
+	}
+	return out
+}
+
+// FormatValue renders a scalar for display and XML output.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return x
+	case float64:
+		// Trim trailing zeros for readability: 1.05 stays, 5.0 → 5.
+		s := fmt.Sprintf("%g", x)
+		return s
+	case int:
+		return fmt.Sprintf("%d", x)
+	case bool:
+		return fmt.Sprintf("%t", x)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+// String renders the record as a compact one-line form, fields sorted.
+func (r *Record) String() string {
+	var b strings.Builder
+	b.WriteString(r.Type)
+	b.WriteString("{")
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s=%s", k, FormatValue(r.Fields[k]))
+	}
+	for _, c := range r.Children {
+		if len(keys) > 0 || c != r.Children[0] {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+// ToXML renders the record as an indented XML document fragment, the
+// output format the case study inspects.
+func (r *Record) ToXML() string {
+	var b strings.Builder
+	r.writeXML(&b, 0)
+	return b.String()
+}
+
+func (r *Record) writeXML(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s<%s>\n", indent, r.Type)
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, "%s  <%s>%s</%s>\n", indent, k, xmlEscape(FormatValue(r.Fields[k])), k)
+	}
+	for _, c := range r.Children {
+		c.writeXML(b, depth+1)
+	}
+	fmt.Fprintf(b, "%s</%s>\n", indent, r.Type)
+}
+
+func xmlEscape(s string) string {
+	replacer := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return replacer.Replace(s)
+}
+
+// Dataset is a set of records conforming (intendedly) to one schema.
+type Dataset struct {
+	SchemaName string
+	Records    []*Record
+}
+
+// Violation describes one constraint violation found by Validate or
+// flagged by Clean.
+type Violation struct {
+	// Record index within the dataset.
+	Index int
+	// Path locates the violating element/field.
+	Path string
+	// Rule names the violated constraint: "required", "domain", "key".
+	Rule string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("record %d: %s: %s violation: %s", v.Index, v.Path, v.Rule, v.Detail)
+}
+
+// Validate checks the dataset against the schema: required attributes are
+// non-nil, domain-constrained attributes hold legal codes, and key
+// attributes are unique across records of the same entity (paper task 9:
+// "verify that the transformations are guaranteed to generate valid data
+// instances").
+func Validate(s *model.Schema, ds *Dataset) []Violation {
+	var out []Violation
+	// Key uniqueness state: entity name → key string → first index.
+	keySeen := map[string]map[string]int{}
+
+	var checkRecord func(idx int, rec *Record, elem *model.Element, path string)
+	checkRecord = func(idx int, rec *Record, elem *model.Element, path string) {
+		if elem == nil {
+			return
+		}
+		var keyParts []string
+		hasKey := false
+		for _, child := range elem.Children() {
+			switch child.Kind {
+			case model.KindAttribute:
+				v, present := rec.Fields[child.Name]
+				if child.Required && (!present || v == nil || v == "") {
+					out = append(out, Violation{idx, path + "/" + child.Name, "required",
+						fmt.Sprintf("attribute %q must be populated", child.Name)})
+				}
+				if d := s.DomainOf(child); d != nil && present && v != nil {
+					code := FormatValue(v)
+					if !domainHas(d, code) {
+						out = append(out, Violation{idx, path + "/" + child.Name, "domain",
+							fmt.Sprintf("value %q not in domain %s", code, d.Name)})
+					}
+				}
+				if child.Key {
+					hasKey = true
+					keyParts = append(keyParts, FormatValue(rec.Fields[child.Name]))
+				}
+			case model.KindEntity:
+				for _, sub := range rec.ChildrenOfType(child.Name) {
+					checkRecord(idx, sub, child, path+"/"+child.Name)
+				}
+				if child.Required && rec.FirstChild(child.Name) == nil {
+					out = append(out, Violation{idx, path + "/" + child.Name, "required",
+						fmt.Sprintf("child element %q must be present", child.Name)})
+				}
+			}
+		}
+		if hasKey {
+			key := strings.Join(keyParts, "\x00")
+			m := keySeen[elem.Name]
+			if m == nil {
+				m = map[string]int{}
+				keySeen[elem.Name] = m
+			}
+			if first, dup := m[key]; dup {
+				out = append(out, Violation{idx, path, "key",
+					fmt.Sprintf("duplicate key %q (first seen in record %d)", strings.Join(keyParts, ","), first)})
+			} else {
+				m[key] = idx
+			}
+		}
+	}
+
+	for idx, rec := range ds.Records {
+		elem := findEntity(s, rec.Type)
+		if elem == nil {
+			out = append(out, Violation{idx, rec.Type, "schema",
+				fmt.Sprintf("no entity %q in schema %s", rec.Type, s.Name)})
+			continue
+		}
+		checkRecord(idx, rec, elem, rec.Type)
+	}
+	out = append(out, checkReferences(s, ds)...)
+	return out
+}
+
+// checkReferences verifies referential integrity: attributes whose
+// Props["references"] names another entity must hold values present
+// among that entity's key values within the dataset (the SQL loader
+// records REFERENCES/FOREIGN KEY clauses in this prop).
+func checkReferences(s *model.Schema, ds *Dataset) []Violation {
+	// Collect key values per entity name.
+	keyAttr := map[string]string{} // entity name → key attribute name
+	s.Walk(func(e *model.Element) bool {
+		if e.Kind == model.KindEntity {
+			for _, c := range e.Children() {
+				if c.Kind == model.KindAttribute && c.Key {
+					keyAttr[e.Name] = c.Name
+					break
+				}
+			}
+		}
+		return true
+	})
+	keyValues := map[string]map[string]bool{} // entity name → key set
+	var collect func(r *Record)
+	collect = func(r *Record) {
+		if ka, ok := keyAttr[r.Type]; ok {
+			m := keyValues[r.Type]
+			if m == nil {
+				m = map[string]bool{}
+				keyValues[r.Type] = m
+			}
+			m[FormatValue(r.Fields[ka])] = true
+		}
+		for _, c := range r.Children {
+			collect(c)
+		}
+	}
+	for _, r := range ds.Records {
+		collect(r)
+	}
+
+	var out []Violation
+	var check func(idx int, r *Record, elem *model.Element, path string)
+	check = func(idx int, r *Record, elem *model.Element, path string) {
+		if elem == nil {
+			return
+		}
+		for _, c := range elem.Children() {
+			switch c.Kind {
+			case model.KindAttribute:
+				ref := ""
+				if c.Props != nil {
+					ref = c.Props["references"]
+				}
+				if ref == "" {
+					continue
+				}
+				v, present := r.Fields[c.Name]
+				if !present || v == nil || v == "" {
+					continue // nullable FK
+				}
+				refKeys := keyValues[ref]
+				if refKeys == nil {
+					continue // referenced entity absent from dataset: no evidence
+				}
+				if !refKeys[FormatValue(v)] {
+					out = append(out, Violation{idx, path + "/" + c.Name, "reference",
+						fmt.Sprintf("value %q not among %s keys", FormatValue(v), ref)})
+				}
+			case model.KindEntity:
+				for _, sub := range r.ChildrenOfType(c.Name) {
+					check(idx, sub, c, path+"/"+c.Name)
+				}
+			}
+		}
+	}
+	for idx, r := range ds.Records {
+		check(idx, r, findEntity(s, r.Type), r.Type)
+	}
+	return out
+}
+
+func domainHas(d *model.Domain, code string) bool {
+	for _, v := range d.Values {
+		if v.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+// findEntity locates an entity element by name anywhere in the schema.
+func findEntity(s *model.Schema, name string) *model.Element {
+	var found *model.Element
+	s.Walk(func(e *model.Element) bool {
+		if e.Kind == model.KindEntity && e.Name == name {
+			found = e
+			return false
+		}
+		return true
+	})
+	return found
+}

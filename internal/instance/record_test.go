@@ -1,0 +1,230 @@
+package instance
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func orderSchema() *model.Schema {
+	s := model.NewSchema("shop", "sql")
+	t := s.AddElement(nil, "orders", model.KindEntity, model.ContainsTable)
+	id := s.AddElement(t, "id", model.KindAttribute, model.ContainsAttribute)
+	id.Key = true
+	id.Required = true
+	cust := s.AddElement(t, "customer", model.KindAttribute, model.ContainsAttribute)
+	cust.Required = true
+	st := s.AddElement(t, "status", model.KindAttribute, model.ContainsAttribute)
+	st.DomainRef = "OrderStatus"
+	s.AddDomain(&model.Domain{Name: "OrderStatus", Values: []model.DomainValue{
+		{Code: "open"}, {Code: "shipped"}, {Code: "closed"},
+	}})
+	return s
+}
+
+func TestRecordBasics(t *testing.T) {
+	r := NewRecord("orders").Set("id", "1").Set("total", 5.25)
+	if r.Get("id") != "1" || r.GetString("total") != "5.25" {
+		t.Errorf("fields: %v", r.Fields)
+	}
+	if r.GetString("missing") != "" {
+		t.Error("missing field should format empty")
+	}
+	child := NewRecord("line").Set("sku", "A")
+	r.AddChild(child)
+	if r.FirstChild("line") != child || len(r.ChildrenOfType("line")) != 1 {
+		t.Error("children accessors broken")
+	}
+	if r.FirstChild("ghost") != nil {
+		t.Error("FirstChild for absent type should be nil")
+	}
+}
+
+func TestRecordClone(t *testing.T) {
+	r := NewRecord("orders").Set("id", "1")
+	r.AddChild(NewRecord("line").Set("sku", "A"))
+	c := r.Clone()
+	c.Set("id", "2")
+	c.Children[0].Set("sku", "B")
+	if r.Get("id") != "1" || r.Children[0].Get("sku") != "A" {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   Value
+		want string
+	}{
+		{nil, ""},
+		{"x", "x"},
+		{3.14, "3.14"},
+		{5.0, "5"},
+		{7, "7"},
+		{true, "true"},
+	}
+	for _, c := range cases {
+		if got := FormatValue(c.in); got != c.want {
+			t.Errorf("FormatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRecordStringAndXML(t *testing.T) {
+	r := NewRecord("shipTo").Set("name", "Doe, John").Set("total", 1.05)
+	s := r.String()
+	if !strings.Contains(s, "name=Doe, John") || !strings.HasPrefix(s, "shipTo{") {
+		t.Errorf("String = %q", s)
+	}
+	r.Set("note", `a<b&"c"`)
+	xml := r.ToXML()
+	for _, want := range []string{"<shipTo>", "<note>a&lt;b&amp;&quot;c&quot;</note>", "</shipTo>"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("ToXML missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{SchemaName: "shop", Records: []*Record{
+		NewRecord("orders").Set("id", "1").Set("customer", "alice").Set("status", "open"),
+		NewRecord("orders").Set("id", "2").Set("customer", "bob"),
+	}}
+	if v := Validate(s, ds); len(v) != 0 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestValidateRequired(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{NewRecord("orders").Set("id", "1")}}
+	v := Validate(s, ds)
+	if len(v) != 1 || v[0].Rule != "required" || !strings.Contains(v[0].Path, "customer") {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestValidateDomain(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{
+		NewRecord("orders").Set("id", "1").Set("customer", "a").Set("status", "bogus"),
+	}}
+	v := Validate(s, ds)
+	if len(v) != 1 || v[0].Rule != "domain" {
+		t.Errorf("violations: %v", v)
+	}
+	if !strings.Contains(v[0].String(), "domain violation") {
+		t.Errorf("violation string = %q", v[0].String())
+	}
+}
+
+func TestValidateKeyUniqueness(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{
+		NewRecord("orders").Set("id", "1").Set("customer", "a"),
+		NewRecord("orders").Set("id", "1").Set("customer", "b"),
+	}}
+	v := Validate(s, ds)
+	if len(v) != 1 || v[0].Rule != "key" || v[0].Index != 1 {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestValidateUnknownEntity(t *testing.T) {
+	s := orderSchema()
+	ds := &Dataset{Records: []*Record{NewRecord("ghosts")}}
+	v := Validate(s, ds)
+	if len(v) != 1 || v[0].Rule != "schema" {
+		t.Errorf("violations: %v", v)
+	}
+}
+
+func TestValidateNested(t *testing.T) {
+	s := model.NewSchema("po", "xsd")
+	po := s.AddElement(nil, "purchaseOrder", model.KindEntity, model.ContainsElement)
+	shipTo := s.AddElement(po, "shipTo", model.KindEntity, model.ContainsElement)
+	shipTo.Required = true
+	nm := s.AddElement(shipTo, "name", model.KindAttribute, model.ContainsAttribute)
+	nm.Required = true
+
+	good := NewRecord("purchaseOrder").AddChild(NewRecord("shipTo").Set("name", "x"))
+	missingChild := NewRecord("purchaseOrder")
+	missingName := NewRecord("purchaseOrder").AddChild(NewRecord("shipTo"))
+
+	ds := &Dataset{Records: []*Record{good, missingChild, missingName}}
+	v := Validate(s, ds)
+	if len(v) != 2 {
+		t.Fatalf("violations = %v", v)
+	}
+	if v[0].Index != 1 || !strings.Contains(v[0].Path, "shipTo") {
+		t.Errorf("first violation: %v", v[0])
+	}
+	if v[1].Index != 2 || !strings.Contains(v[1].Path, "name") {
+		t.Errorf("second violation: %v", v[1])
+	}
+}
+
+func refSchema() *model.Schema {
+	s := model.NewSchema("hr", "sql")
+	d := s.AddElement(nil, "department", model.KindEntity, model.ContainsTable)
+	dk := s.AddElement(d, "code", model.KindAttribute, model.ContainsAttribute)
+	dk.Key = true
+	e := s.AddElement(nil, "employee", model.KindEntity, model.ContainsTable)
+	ek := s.AddElement(e, "id", model.KindAttribute, model.ContainsAttribute)
+	ek.Key = true
+	fk := s.AddElement(e, "dept", model.KindAttribute, model.ContainsAttribute)
+	fk.Props = map[string]string{"references": "department"}
+	return s
+}
+
+func TestValidateReferentialIntegrity(t *testing.T) {
+	s := refSchema()
+	ds := &Dataset{Records: []*Record{
+		NewRecord("department").Set("code", "ENG"),
+		NewRecord("employee").Set("id", "1").Set("dept", "ENG"),  // ok
+		NewRecord("employee").Set("id", "2").Set("dept", "NOPE"), // dangling
+		NewRecord("employee").Set("id", "3").Set("dept", nil),    // nullable
+	}}
+	v := Validate(s, ds)
+	if len(v) != 1 || v[0].Rule != "reference" || v[0].Index != 2 {
+		t.Fatalf("violations = %v", v)
+	}
+}
+
+func TestValidateReferenceNoEvidenceWithoutTargetRecords(t *testing.T) {
+	s := refSchema()
+	// No department records at all: FK values cannot be judged.
+	ds := &Dataset{Records: []*Record{
+		NewRecord("employee").Set("id", "1").Set("dept", "ENG"),
+	}}
+	for _, v := range Validate(s, ds) {
+		if v.Rule == "reference" {
+			t.Fatalf("reference violation without evidence: %v", v)
+		}
+	}
+}
+
+func TestValidateReferenceFromSQLLoader(t *testing.T) {
+	// The loader's REFERENCES clause drives the check end to end.
+	src := `CREATE TABLE dept (code CHAR(4) PRIMARY KEY);
+	CREATE TABLE emp (id INT PRIMARY KEY, d CHAR(4) REFERENCES dept(code));`
+	s, err := sqlLoad(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Records: []*Record{
+		NewRecord("dept").Set("code", "OPS"),
+		NewRecord("emp").Set("id", "1").Set("d", "XXX"),
+	}}
+	found := false
+	for _, v := range Validate(s, ds) {
+		if v.Rule == "reference" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loader-declared FK not enforced")
+	}
+}

@@ -1,0 +1,13 @@
+package instance
+
+import (
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sqlddl"
+)
+
+// sqlLoad is a test helper bridging to the SQL loader.
+func sqlLoad(src string) (*model.Schema, error) {
+	return sqlddl.Load("hr", strings.NewReader(src))
+}

@@ -1,0 +1,105 @@
+package instance
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func synthSchema() *model.Schema {
+	s := model.NewSchema("fleet", "er")
+	v := s.AddElement(nil, "vehicle", model.KindEntity, model.ContainsElement)
+	id := s.AddElement(v, "vin", model.KindAttribute, model.ContainsAttribute)
+	id.Key = true
+	id.DataType = "string"
+	cond := s.AddElement(v, "condition", model.KindAttribute, model.ContainsAttribute)
+	cond.DomainRef = "Cond"
+	mil := s.AddElement(v, "mileage", model.KindAttribute, model.ContainsAttribute)
+	mil.DataType = "int"
+	cost := s.AddElement(v, "cost", model.KindAttribute, model.ContainsAttribute)
+	cost.DataType = "decimal"
+	act := s.AddElement(v, "active", model.KindAttribute, model.ContainsAttribute)
+	act.DataType = "boolean"
+	dt := s.AddElement(v, "purchased", model.KindAttribute, model.ContainsAttribute)
+	dt.DataType = "date"
+	nm := s.AddElement(v, "nickname", model.KindAttribute, model.ContainsAttribute)
+	nm.DataType = "string"
+	s.AddDomain(&model.Domain{Name: "Cond", Values: []model.DomainValue{
+		{Code: "NEW"}, {Code: "USED"},
+	}})
+	// A nested entity.
+	eng := s.AddElement(v, "engine", model.KindEntity, model.ContainsElement)
+	s.AddElement(eng, "hp", model.KindAttribute, model.ContainsAttribute).DataType = "int"
+	return s
+}
+
+func TestSynthesizeConformsToSchema(t *testing.T) {
+	s := synthSchema()
+	ds := Synthesize(s, 25, 1)
+	if len(ds.Records) != 25 {
+		t.Fatalf("records = %d", len(ds.Records))
+	}
+	if v := Validate(s, ds); len(v) != 0 {
+		t.Fatalf("synthesized data violates its own schema: %v", v[:min(3, len(v))])
+	}
+	r := ds.Records[0]
+	// Domain attribute draws from the coding scheme.
+	if c := r.GetString("condition"); c != "NEW" && c != "USED" {
+		t.Errorf("condition = %q", c)
+	}
+	// Typed values.
+	if _, ok := r.Get("mileage").(int); !ok {
+		t.Errorf("mileage type = %T", r.Get("mileage"))
+	}
+	if _, ok := r.Get("cost").(float64); !ok {
+		t.Errorf("cost type = %T", r.Get("cost"))
+	}
+	if _, ok := r.Get("active").(bool); !ok {
+		t.Errorf("active type = %T", r.Get("active"))
+	}
+	// Nested entity populated.
+	if r.FirstChild("engine") == nil {
+		t.Error("nested entity missing")
+	}
+}
+
+func TestSynthesizeKeysUnique(t *testing.T) {
+	s := synthSchema()
+	ds := Synthesize(s, 100, 2)
+	seen := map[string]bool{}
+	for _, r := range ds.Records {
+		k := r.GetString("vin")
+		if seen[k] {
+			t.Fatalf("duplicate key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	s := synthSchema()
+	a := Synthesize(s, 10, 7)
+	b := Synthesize(s, 10, 7)
+	for i := range a.Records {
+		if a.Records[i].String() != b.Records[i].String() {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Synthesize(s, 10, 8)
+	same := true
+	for i := range a.Records {
+		if a.Records[i].String() != c.Records[i].String() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,68 @@
+package lingo
+
+import "testing"
+
+var benchDoc = "The unique identifier assigned to the departure facility " +
+	"that originates the scheduled flight within the national airspace system"
+
+func BenchmarkTokenize(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Tokenize("scheduledDepartureFacilityIdentifierCode")
+	}
+}
+
+func BenchmarkPreprocess(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Preprocess(benchDoc)
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"conditional", "shipping", "identification", "facilities", "departure"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkLevenshtein(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Levenshtein("departureFacility", "facilityDeparture")
+	}
+}
+
+func BenchmarkJaroWinkler(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		JaroWinkler("departureFacility", "facilityDeparture")
+	}
+}
+
+func BenchmarkTrigramSimilarity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TrigramSimilarity("departureFacility", "facilityDeparture")
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	c := NewCorpus()
+	t1 := Preprocess(benchDoc)
+	t2 := Preprocess("Code identifying the facility from which the flight departs")
+	c.AddDocument(t1)
+	c.AddDocument(t2)
+	v1, v2 := c.Vector(t1), c.Vector(t2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cosine(v1, v2)
+	}
+}
+
+func BenchmarkThesaurusExpand(b *testing.B) {
+	th := DefaultThesaurus()
+	toks := []string{"departure", "facility", "identifier"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		th.Expand(toks)
+	}
+}

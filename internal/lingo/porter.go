@@ -1,0 +1,247 @@
+package lingo
+
+// Stem implements the classic Porter stemming algorithm (Porter, 1980),
+// the stemmer conventionally used by bag-of-words schema matchers. Input
+// is expected to be a lowercase ASCII word; other inputs are returned
+// with non-letter content untouched where the algorithm does not apply.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	b := []byte(word)
+	for _, c := range b {
+		if c < 'a' || c > 'z' {
+			return word // digits/punctuation: leave as-is
+		}
+	}
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// 'y' is a consonant when at the start or after a vowel.
+func isConsonant(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isConsonant(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes Porter's m: the number of VC sequences in b[:k].
+func measure(b []byte) int {
+	n := len(b)
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < n && isConsonant(b, i) {
+		i++
+	}
+	for i < n {
+		// Vowel run.
+		for i < n && !isConsonant(b, i) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// Consonant run: one VC found.
+		m++
+		for i < n && isConsonant(b, i) {
+			i++
+		}
+	}
+	return m
+}
+
+// hasVowel reports whether the stem contains a vowel.
+func hasVowel(b []byte) bool {
+	for i := range b {
+		if !isConsonant(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b ends with a doubled consonant.
+func endsDoubleConsonant(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isConsonant(b, n-1)
+}
+
+// endsCVC reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func endsCVC(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isConsonant(b, n-3) || isConsonant(b, n-2) || !isConsonant(b, n-1) {
+		return false
+	}
+	c := b[n-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceSuffix replaces suffix old with new when the stem before old has
+// measure >= minM. It reports whether the suffix matched (regardless of
+// whether the measure condition allowed the replacement).
+func replaceSuffix(b []byte, old, new string, minM int) ([]byte, bool) {
+	if !hasSuffix(b, old) {
+		return b, false
+	}
+	stem := b[:len(b)-len(old)]
+	if measure(stem) >= minM {
+		return append(stem[:len(stem):len(stem)], new...), true
+	}
+	return b, true
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	var stem []byte
+	switch {
+	case hasSuffix(b, "ed") && hasVowel(b[:len(b)-2]):
+		stem = b[:len(b)-2]
+	case hasSuffix(b, "ing") && hasVowel(b[:len(b)-3]):
+		stem = b[:len(b)-3]
+	default:
+		return b
+	}
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem, 'e')
+	case endsDoubleConsonant(stem):
+		c := stem[len(stem)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem, 'e')
+	}
+	return stem
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && hasVowel(b[:len(b)-1]) {
+		b = append(b[:len(b)-1:len(b)-1], 'i')
+	}
+	return b
+}
+
+// step2 suffix table, applied when the stem measure is > 0.
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 1); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if out, matched := replaceSuffix(b, r.old, r.new, 1); matched {
+			return out
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if measure(stem) <= 1 {
+			return b
+		}
+		if s == "ion" {
+			n := len(stem)
+			if n == 0 || (stem[n-1] != 's' && stem[n-1] != 't') {
+				return b
+			}
+		}
+		return stem
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if !hasSuffix(b, "e") {
+		return b
+	}
+	stem := b[:len(b)-1]
+	m := measure(stem)
+	if m > 1 || (m == 1 && !endsCVC(stem)) {
+		return stem
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if hasSuffix(b, "ll") && measure(b) > 1 {
+		return b[:len(b)-1]
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package lingo
+
+import "testing"
+
+// TestStemKnownPairs checks the classic Porter reference examples plus
+// schema-domain vocabulary.
+func TestStemKnownPairs(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// Step 1a.
+		{"caresses", "caress"},
+		{"ponies", "poni"},
+		{"caress", "caress"},
+		{"cats", "cat"},
+		// Step 1b.
+		{"feed", "feed"},
+		{"agreed", "agre"},
+		{"plastered", "plaster"},
+		{"bled", "bled"},
+		{"motoring", "motor"},
+		{"sing", "sing"},
+		{"conflated", "conflat"},
+		{"troubled", "troubl"},
+		{"sized", "size"},
+		{"hopping", "hop"},
+		{"tanned", "tan"},
+		{"falling", "fall"},
+		{"hissing", "hiss"},
+		{"fizzed", "fizz"},
+		{"failing", "fail"},
+		{"filing", "file"},
+		// Step 1c.
+		{"happy", "happi"},
+		{"sky", "sky"},
+		// Step 2.
+		{"relational", "relat"},
+		{"conditional", "condit"},
+		{"rational", "ration"},
+		{"valenci", "valenc"},
+		{"digitizer", "digit"},
+		{"operator", "oper"},
+		{"feudalism", "feudal"},
+		{"decisiveness", "decis"},
+		{"hopefulness", "hope"},
+		{"callousness", "callous"},
+		{"formaliti", "formal"},
+		{"sensitiviti", "sensit"},
+		{"sensibiliti", "sensibl"},
+		// Step 3.
+		{"triplicate", "triplic"},
+		{"formative", "form"},
+		{"formalize", "formal"},
+		{"electriciti", "electr"},
+		{"electrical", "electr"},
+		{"hopeful", "hope"},
+		{"goodness", "good"},
+		// Step 4.
+		{"revival", "reviv"},
+		{"allowance", "allow"},
+		{"inference", "infer"},
+		{"airliner", "airlin"},
+		{"adjustable", "adjust"},
+		{"defensible", "defens"},
+		{"irritant", "irrit"},
+		{"replacement", "replac"},
+		{"adjustment", "adjust"},
+		{"dependent", "depend"},
+		{"adoption", "adopt"},
+		{"communism", "commun"},
+		{"activate", "activ"},
+		{"angulariti", "angular"},
+		{"homologous", "homolog"},
+		{"effective", "effect"},
+		{"bowdlerize", "bowdler"},
+		// Step 5.
+		{"probate", "probat"},
+		{"rate", "rate"},
+		{"cease", "ceas"},
+		{"controll", "control"},
+		{"roll", "roll"},
+		// Schema vocabulary: matching forms should collide.
+		{"shipping", "ship"},
+		{"shipped", "ship"},
+		{"identification", "identif"},
+		{"departure", "departur"},
+	}
+	for _, c := range cases {
+		if got := Stem(c.in); got != c.want {
+			t.Errorf("Stem(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStemCollisions(t *testing.T) {
+	// The property that matters for matching: inflected forms of the same
+	// word stem identically.
+	groups := [][]string{
+		{"connect", "connected", "connecting", "connection", "connections"},
+		{"ship", "ships", "shipped", "shipping"},
+		{"order", "orders", "ordered", "ordering"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, w := range g[1:] {
+			if got := Stem(w); got != base {
+				t.Errorf("Stem(%q) = %q, want %q (same as %q)", w, got, base, g[0])
+			}
+		}
+	}
+}
+
+func TestStemShortAndNonAlpha(t *testing.T) {
+	for _, w := range []string{"a", "is", "go", "42", "a1b", "café"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	words := []string{"shipping", "orders", "conditional", "aircraft",
+		"runway", "departure", "weather", "facilities", "routing"}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		// Porter is not guaranteed idempotent in general, but it must be
+		// stable for our domain vocabulary so that preprocessing applied
+		// twice (name + doc pipelines) agrees.
+		if twice != once {
+			t.Errorf("Stem not stable: %q → %q → %q", w, once, twice)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"tr", 0}, {"ee", 0}, {"tree", 0}, {"y", 0}, {"by", 0},
+		{"trouble", 1}, {"oats", 1}, {"trees", 1}, {"ivy", 1},
+		{"troubles", 2}, {"private", 2}, {"oaten", 2},
+	}
+	for _, c := range cases {
+		if got := measure([]byte(c.in)); got != c.want {
+			t.Errorf("measure(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEndsCVC(t *testing.T) {
+	if !endsCVC([]byte("hop")) {
+		t.Error("hop should be CVC")
+	}
+	for _, w := range []string{"snow", "box", "tray", "ho"} {
+		if endsCVC([]byte(w)) {
+			t.Errorf("%q should not be CVC (w/x/y rule or too short)", w)
+		}
+	}
+}
+
+func TestIsConsonantY(t *testing.T) {
+	// 'y' at start is a consonant; after a vowel it is a consonant; after
+	// a consonant it is a vowel.
+	b := []byte("yoyo")
+	if !isConsonant(b, 0) {
+		t.Error("leading y should be consonant")
+	}
+	s := []byte("syzygy")
+	if isConsonant(s, 1) {
+		t.Error("y after consonant should be vowel")
+	}
+}

@@ -1,0 +1,161 @@
+package lingo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"name", "name", 0},
+		{"shipTo", "shipto", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+	triangle := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(triangle, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error("triangle inequality:", err)
+	}
+}
+
+func TestEditSimilarity(t *testing.T) {
+	if EditSimilarity("abc", "abc") != 1 {
+		t.Error("identical strings should be 1")
+	}
+	if EditSimilarity("", "") != 1 {
+		t.Error("two empties should be 1")
+	}
+	if got := EditSimilarity("abc", "xyz"); got != 0 {
+		t.Errorf("disjoint = %g, want 0", got)
+	}
+	if got := EditSimilarity("abcd", "abce"); got != 0.75 {
+		t.Errorf("EditSimilarity(abcd,abce) = %g, want 0.75", got)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if got := JaroWinkler("martha", "marhta"); math.Abs(got-0.9611) > 0.001 {
+		t.Errorf("JaroWinkler(martha,marhta) = %g, want ≈0.9611", got)
+	}
+	if got := JaroWinkler("dixon", "dicksonx"); math.Abs(got-0.8133) > 0.001 {
+		t.Errorf("JaroWinkler(dixon,dicksonx) = %g, want ≈0.8133", got)
+	}
+	if JaroWinkler("same", "same") != 1 {
+		t.Error("identical should be 1")
+	}
+	if JaroWinkler("abc", "xyz") != 0 {
+		t.Error("disjoint should be 0")
+	}
+	if JaroWinkler("", "") != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	if JaroWinkler("a", "") != 0 {
+		t.Error("one empty should be 0")
+	}
+}
+
+func TestJaroWinklerRange(t *testing.T) {
+	f := func(a, b string) bool {
+		v := JaroWinkler(a, b)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerPrefixBonus(t *testing.T) {
+	// Common-prefix pairs should beat same-distance suffix pairs.
+	if JaroWinkler("airport", "airports") <= JaroWinkler("airport", "xirports") {
+		t.Error("prefix bonus missing")
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	g := NGrams("ab", 3)
+	// Padded: ##ab## → ##a, #ab, ab#, b##
+	want := []string{"##a", "#ab", "ab#", "b##"}
+	if len(g) != 4 {
+		t.Fatalf("NGrams = %v", g)
+	}
+	for _, w := range want {
+		if g[w] != 1 {
+			t.Errorf("missing gram %q in %v", w, g)
+		}
+	}
+	if NGrams("x", 0) != nil {
+		t.Error("n<=0 should be nil")
+	}
+}
+
+func TestTrigramSimilarity(t *testing.T) {
+	if TrigramSimilarity("night", "night") != 1 {
+		t.Error("identical should be 1")
+	}
+	if TrigramSimilarity("", "") != 1 {
+		t.Error("empty-empty should be 1")
+	}
+	a := TrigramSimilarity("night", "nacht")
+	if a <= 0 || a >= 1 {
+		t.Errorf("night/nacht = %g, want in (0,1)", a)
+	}
+	if TrigramSimilarity("abc", "xyz") != 0 {
+		t.Error("disjoint should be 0")
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want float64
+	}{
+		{nil, nil, 1},
+		{[]string{"a"}, nil, 0},
+		{[]string{"a", "b"}, []string{"b", "c"}, 1.0 / 3},
+		{[]string{"a", "a", "b"}, []string{"a", "b"}, 1}, // multiset collapses
+	}
+	for _, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jaccard(%v,%v) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestOverlapCoefficient(t *testing.T) {
+	// Subset should be a perfect overlap — key for coding-scheme subsets.
+	got := OverlapCoefficient([]string{"a", "b"}, []string{"a", "b", "c", "d"})
+	if got != 1 {
+		t.Errorf("subset overlap = %g, want 1", got)
+	}
+	if OverlapCoefficient(nil, []string{"a"}) != 0 {
+		t.Error("empty side should be 0")
+	}
+	if got := OverlapCoefficient([]string{"a", "b"}, []string{"b", "c"}); got != 0.5 {
+		t.Errorf("overlap = %g, want 0.5", got)
+	}
+}

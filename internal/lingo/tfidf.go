@@ -1,0 +1,119 @@
+package lingo
+
+import "math"
+
+// TF-IDF vector space used by the documentation bag-of-words voter. The
+// paper's learning mechanism ("a bag-of-words matcher that weights each
+// word based on inverted frequency increases or decreases word weight
+// based on which words were most predictive", §4.3) is supported through
+// per-word weight overrides.
+
+// Corpus accumulates document frequencies so that IDF can be computed.
+type Corpus struct {
+	docCount int
+	docFreq  map[string]int
+	// wordWeight holds learned multiplicative overrides (default 1.0);
+	// the Harmony engine adjusts these from user feedback.
+	wordWeight map[string]float64
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{
+		docFreq:    make(map[string]int),
+		wordWeight: make(map[string]float64),
+	}
+}
+
+// AddDocument records one document's tokens for document-frequency
+// purposes. Duplicate tokens within a document count once.
+func (c *Corpus) AddDocument(tokens []string) {
+	c.docCount++
+	seen := make(map[string]bool, len(tokens))
+	for _, t := range tokens {
+		if !seen[t] {
+			seen[t] = true
+			c.docFreq[t]++
+		}
+	}
+}
+
+// DocCount returns the number of documents added.
+func (c *Corpus) DocCount() int { return c.docCount }
+
+// IDF returns the smoothed inverse document frequency of a token.
+func (c *Corpus) IDF(token string) float64 {
+	df := c.docFreq[token]
+	return math.Log(float64(c.docCount+1)/float64(df+1)) + 1
+}
+
+// WordWeight returns the learned weight override for a token (1.0 when
+// unlearned).
+func (c *Corpus) WordWeight(token string) float64 {
+	if w, ok := c.wordWeight[token]; ok {
+		return w
+	}
+	return 1
+}
+
+// AdjustWordWeight multiplies a token's learned weight by factor, clamped
+// to [0.1, 10] so that feedback cannot silence or dominate a word forever.
+func (c *Corpus) AdjustWordWeight(token string, factor float64) {
+	w := c.WordWeight(token) * factor
+	if w < 0.1 {
+		w = 0.1
+	}
+	if w > 10 {
+		w = 10
+	}
+	c.wordWeight[token] = w
+}
+
+// ResetWordWeights clears all learned word weights.
+func (c *Corpus) ResetWordWeights() {
+	c.wordWeight = make(map[string]float64)
+}
+
+// Vector is a sparse TF-IDF vector.
+type Vector map[string]float64
+
+// Vector builds the TF-IDF vector of the given tokens against the corpus,
+// applying learned word weights.
+func (c *Corpus) Vector(tokens []string) Vector {
+	if len(tokens) == 0 {
+		return nil
+	}
+	tf := make(map[string]int, len(tokens))
+	for _, t := range tokens {
+		tf[t]++
+	}
+	v := make(Vector, len(tf))
+	for t, f := range tf {
+		v[t] = (1 + math.Log(float64(f))) * c.IDF(t) * c.WordWeight(t)
+	}
+	return v
+}
+
+// Cosine returns the cosine similarity of two sparse vectors in [0,1].
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot, na, nb float64
+	for t, wa := range a {
+		na += wa * wa
+		if wb, ok := b[t]; ok {
+			dot += wa * wb
+		}
+	}
+	for _, wb := range b {
+		nb += wb * wb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}

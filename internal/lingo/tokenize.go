@@ -1,0 +1,121 @@
+// Package lingo provides the linguistic preprocessing used by the Harmony
+// match engine (paper §4, Figure 1: "tokenization, stop-word removal, and
+// stemming" of element names and documentation), plus the string- and
+// vector-similarity primitives the match voters are built from.
+package lingo
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits an identifier or free text into lowercase word tokens.
+// It understands the conventions found in schema element names:
+//
+//   - camelCase and PascalCase boundaries ("shipTo" → ship, to)
+//   - acronym runs ("XMLSchema" → xml, schema; "IDNumber" → id, number)
+//   - snake_case, kebab-case, dotted.names and whitespace
+//   - digit runs become their own tokens ("address2" → address, 2)
+//
+// Punctuation is discarded. The result preserves input order.
+func Tokenize(s string) []string {
+	var tokens []string
+	runes := []rune(s)
+	n := len(runes)
+	i := 0
+	flush := func(start, end int) {
+		if end > start {
+			tokens = append(tokens, strings.ToLower(string(runes[start:end])))
+		}
+	}
+	for i < n {
+		r := runes[i]
+		switch {
+		case unicode.IsDigit(r):
+			start := i
+			for i < n && unicode.IsDigit(runes[i]) {
+				i++
+			}
+			flush(start, i)
+		case unicode.IsLetter(r):
+			start := i
+			if unicode.IsUpper(r) {
+				// Consume an uppercase run. If it is followed by a
+				// lowercase letter, the last upper belongs to the next
+				// word ("XMLSchema" → "XML" + "Schema").
+				j := i
+				for j < n && unicode.IsUpper(runes[j]) {
+					j++
+				}
+				if j-i > 1 && j < n && unicode.IsLower(runes[j]) {
+					flush(start, j-1)
+					i = j - 1
+					continue
+				}
+				if j-i > 1 {
+					flush(start, j)
+					i = j
+					continue
+				}
+			}
+			// Lowercase (or single-upper-then-lowercase) word.
+			i++
+			for i < n && unicode.IsLower(runes[i]) {
+				i++
+			}
+			flush(start, i)
+		default:
+			i++
+		}
+	}
+	return tokens
+}
+
+// stopWords is the default English stop-word list, tuned for schema
+// documentation: function words plus metadata boilerplate ("code",
+// "value", "identifier" stay — they carry signal in coding-scheme
+// definitions).
+var stopWords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true,
+	"have": true, "in": true, "is": true, "it": true, "its": true,
+	"of": true, "on": true, "or": true, "that": true, "the": true,
+	"this": true, "to": true, "was": true, "were": true, "which": true,
+	"will": true, "with": true, "each": true, "used": true, "uses": true,
+	"use": true, "may": true, "can": true, "such": true, "any": true,
+	"all": true, "one": true, "per": true, "into": true, "than": true,
+	"then": true, "when": true, "where": true, "who": true, "whom": true,
+	"i": true, "we": true, "you": true, "they": true, "he": true, "she": true,
+	"not": true, "no": true, "but": true, "if": true, "so": true, "also": true,
+}
+
+// IsStopWord reports whether the (lowercase) token is on the stop list.
+func IsStopWord(tok string) bool { return stopWords[tok] }
+
+// RemoveStopWords filters stop words from a token list, preserving order.
+func RemoveStopWords(tokens []string) []string {
+	out := tokens[:0:0]
+	for _, t := range tokens {
+		if !stopWords[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Preprocess runs the full Harmony preprocessing pipeline over free text:
+// tokenize, drop stop words, stem. This is applied to both element names
+// and documentation before any voter sees them.
+func Preprocess(text string) []string {
+	tokens := RemoveStopWords(Tokenize(text))
+	for i, t := range tokens {
+		tokens[i] = Stem(t)
+	}
+	return tokens
+}
+
+// PreprocessNoStem is Preprocess without stemming; used by the stemming
+// ablation (DESIGN.md §5).
+func PreprocessNoStem(text string) []string {
+	return RemoveStopWords(Tokenize(text))
+}

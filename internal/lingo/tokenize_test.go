@@ -1,0 +1,83 @@
+package lingo
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTokenize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"shipTo", []string{"ship", "to"}},
+		{"firstName", []string{"first", "name"}},
+		{"PurchaseOrder", []string{"purchase", "order"}},
+		{"XMLSchema", []string{"xml", "schema"}},
+		{"IDNumber", []string{"id", "number"}},
+		{"ACID", []string{"acid"}},
+		{"first_name", []string{"first", "name"}},
+		{"first-name", []string{"first", "name"}},
+		{"ship.to.address", []string{"ship", "to", "address"}},
+		{"address2", []string{"address", "2"}},
+		{"2ndLine", []string{"2", "nd", "line"}},
+		{"the quick Brown fox", []string{"the", "quick", "brown", "fox"}},
+		{"", nil},
+		{"___", nil},
+		{"AIRPORT_CODE", []string{"airport", "code"}},
+		{"aircraftTypeID", []string{"aircraft", "type", "id"}},
+	}
+	for _, c := range cases {
+		got := Tokenize(c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRemoveStopWords(t *testing.T) {
+	got := RemoveStopWords([]string{"the", "code", "of", "aircraft", "a"})
+	want := []string{"code", "aircraft"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RemoveStopWords = %v, want %v", got, want)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	if !IsStopWord("the") || IsStopWord("aircraft") {
+		t.Error("stop word classification wrong")
+	}
+}
+
+func TestPreprocess(t *testing.T) {
+	got := Preprocess("The identifier of the shipping address")
+	// "the"/"of" dropped; remaining stemmed.
+	want := []string{"identifi", "ship", "address"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Preprocess = %v, want %v", got, want)
+	}
+}
+
+func TestPreprocessNoStem(t *testing.T) {
+	got := PreprocessNoStem("The shipping address")
+	want := []string{"shipping", "address"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PreprocessNoStem = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePreservesOrder(t *testing.T) {
+	got := Tokenize("sourceTargetMapping")
+	want := []string{"source", "target", "mapping"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order wrong: %v", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("caféBar")
+	want := []string{"café", "bar"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize unicode = %v, want %v", got, want)
+	}
+}

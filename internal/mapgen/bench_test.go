@@ -1,0 +1,106 @@
+package mapgen
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(`concat($shipto/lastName, concat(", ", $shipto/firstName))`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEval(b *testing.B) {
+	e := MustParse(`data($shipto/subtotal) * 1.05 + round(data($shipto/subtotal) div 10)`)
+	env := NewEnv()
+	env.Bind("shipto", instance.NewRecord("shipTo").Set("subtotal", "100"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecuteProgram(b *testing.B) {
+	prog := &Program{
+		Name: "bench",
+		Rules: []*EntityRule{{
+			TargetEntity: "shippingInfo", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{
+				{TargetField: "name", Code: `concat($s/lastName, concat(", ", $s/firstName))`},
+				{TargetField: "total", Code: `data($s/subtotal) * 1.05`},
+			},
+		}},
+	}
+	if err := prog.Compile(); err != nil {
+		b.Fatal(err)
+	}
+	ds := &instance.Dataset{}
+	for i := 0; i < 1000; i++ {
+		ds.Records = append(ds.Records, instance.NewRecord("shipTo").
+			Set("firstName", "John").Set("lastName", "Doe").Set("subtotal", "100"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Execute(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1000, "records/op")
+}
+
+func BenchmarkExecuteJoin(b *testing.B) {
+	prog := &Program{
+		Name: "bench-join",
+		Rules: []*EntityRule{{
+			TargetEntity: "staff", SourceEntity: "employee", Var: "e",
+			Join:    &JoinSpec{Entity: "department", Var: "d", On: `$e/dept = $d/code`},
+			Columns: []ColumnRule{{TargetField: "who", Code: `$e/name`}},
+		}},
+	}
+	ds := &instance.Dataset{}
+	for i := 0; i < 100; i++ {
+		ds.Records = append(ds.Records, instance.NewRecord("employee").
+			Set("name", "x").Set("dept", "D"))
+	}
+	for i := 0; i < 20; i++ {
+		code := "D"
+		if i > 0 {
+			code = "X"
+		}
+		ds.Records = append(ds.Records, instance.NewRecord("department").
+			Set("code", code).Set("title", "t"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Execute(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateXQuery(b *testing.B) {
+	prog := &Program{
+		Name: "bench",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "s", Var: "v",
+			Where: `data($v/x) > 0`,
+			Join:  &JoinSpec{Entity: "j", Var: "w", On: `$v/k = $w/k`},
+			Columns: []ColumnRule{
+				{TargetField: "a", Code: `$v/a`},
+				{TargetField: "b", Code: `lookup("t", $w/b)`},
+			},
+			KeyField: "id", KeyCode: `concat($v/a, $w/b)`,
+		}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.GenerateXQuery()
+	}
+}

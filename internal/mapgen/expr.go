@@ -1,0 +1,736 @@
+// Package mapgen is the workbench's mapping tool and code generator — the
+// stand-in for the commercial mapper (BEA AquaLogic) in the paper's §5.3
+// case study. It provides:
+//
+//   - an XQuery-flavoured expression language for column transformation
+//     code (the code annotations of Figure 3), with a lexer, Pratt parser
+//     and evaluator over instance records;
+//   - the schema-mapping task implementations of §3.3: domain
+//     transformations (lookup tables, unit conversions), attribute
+//     transformations (scalar expressions), entity transformations
+//     (1:1, join, filter/split), and object identity (key rules);
+//   - logical-mapping assembly (task 8) into an executable Program plus
+//     generated XQuery-like text, and verification against the target
+//     schema (task 9).
+package mapgen
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/instance"
+)
+
+// ---- Lexer ----
+
+type exprTokKind int
+
+const (
+	etEOF exprTokKind = iota
+	etNumber
+	etString
+	etVar   // $name
+	etIdent // function names, keywords
+	etPunct // ( ) , / + - * div = != < <= > >= and or
+)
+
+type exprTok struct {
+	kind exprTokKind
+	text string
+	pos  int
+}
+
+type exprLexer struct {
+	src string
+	pos int
+}
+
+func (l *exprLexer) next() (exprTok, error) {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return exprTok{kind: etEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return exprTok{}, fmt.Errorf("mapgen: bare '$' at %d", start)
+		}
+		return exprTok{etVar, l.src[start+1 : l.pos], start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return exprTok{etNumber, l.src[start:l.pos], start}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		var sb strings.Builder
+		for l.pos < len(l.src) && l.src[l.pos] != quote {
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		if l.pos >= len(l.src) {
+			return exprTok{}, fmt.Errorf("mapgen: unterminated string at %d", start)
+		}
+		l.pos++
+		return exprTok{etString, sb.String(), start}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return exprTok{etIdent, l.src[start:l.pos], start}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"!=", "<=", ">="} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += 2
+				return exprTok{etPunct, op, start}, nil
+			}
+		}
+		if strings.ContainsRune("()+-*/,=<>", rune(c)) {
+			l.pos++
+			return exprTok{etPunct, string(c), start}, nil
+		}
+		return exprTok{}, fmt.Errorf("mapgen: unexpected character %q at %d", c, start)
+	}
+}
+
+func isSpace(c byte) bool      { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isIdentStart(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || c >= '0' && c <= '9' || c == '-' }
+
+// ---- AST ----
+
+// Expr is a parsed transformation expression.
+type Expr interface {
+	// Eval computes the expression over an environment.
+	Eval(env *Env) (instance.Value, error)
+	// String renders source-equivalent text.
+	String() string
+}
+
+type numLit float64
+
+func (n numLit) Eval(*Env) (instance.Value, error) { return float64(n), nil }
+func (n numLit) String() string                    { return strconv.FormatFloat(float64(n), 'g', -1, 64) }
+
+type strLit string
+
+func (s strLit) Eval(*Env) (instance.Value, error) { return string(s), nil }
+func (s strLit) String() string                    { return `"` + string(s) + `"` }
+
+// varPath is $var or $var/field (one-level field access, matching the
+// paper's "data($shipto/subtotal)" style).
+type varPath struct {
+	name  string
+	field string // optional
+}
+
+func (v varPath) Eval(env *Env) (instance.Value, error) {
+	val, ok := env.Lookup(v.name)
+	if !ok {
+		return nil, fmt.Errorf("mapgen: unbound variable $%s", v.name)
+	}
+	if v.field == "" {
+		return val, nil
+	}
+	rec, ok := val.(*instance.Record)
+	if !ok {
+		return nil, fmt.Errorf("mapgen: $%s is not a record; cannot access /%s", v.name, v.field)
+	}
+	if f, ok := rec.Fields[v.field]; ok {
+		return f, nil
+	}
+	// Nested child record: $po/shipTo yields the first child.
+	if c := rec.FirstChild(v.field); c != nil {
+		return c, nil
+	}
+	return nil, nil
+}
+
+func (v varPath) String() string {
+	if v.field == "" {
+		return "$" + v.name
+	}
+	return "$" + v.name + "/" + v.field
+}
+
+type binary struct {
+	op   string
+	l, r Expr
+}
+
+func (b binary) String() string {
+	return b.l.String() + " " + b.op + " " + b.r.String()
+}
+
+func (b binary) Eval(env *Env) (instance.Value, error) {
+	lv, err := b.l.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	// Short-circuit logic.
+	switch b.op {
+	case "and":
+		if !truthy(lv) {
+			return false, nil
+		}
+		rv, err := b.r.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(rv), nil
+	case "or":
+		if truthy(lv) {
+			return true, nil
+		}
+		rv, err := b.r.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		return truthy(rv), nil
+	}
+	rv, err := b.r.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	switch b.op {
+	case "+", "-", "*", "div":
+		ln, err := toNumber(lv)
+		if err != nil {
+			return nil, fmt.Errorf("mapgen: left of %s: %w", b.op, err)
+		}
+		rn, err := toNumber(rv)
+		if err != nil {
+			return nil, fmt.Errorf("mapgen: right of %s: %w", b.op, err)
+		}
+		switch b.op {
+		case "+":
+			return ln + rn, nil
+		case "-":
+			return ln - rn, nil
+		case "*":
+			return ln * rn, nil
+		default:
+			if rn == 0 {
+				return nil, fmt.Errorf("mapgen: division by zero")
+			}
+			return ln / rn, nil
+		}
+	case "=", "!=":
+		eq := valueEqual(lv, rv)
+		if b.op == "=" {
+			return eq, nil
+		}
+		return !eq, nil
+	case "<", "<=", ">", ">=":
+		ln, errL := toNumber(lv)
+		rn, errR := toNumber(rv)
+		if errL == nil && errR == nil {
+			switch b.op {
+			case "<":
+				return ln < rn, nil
+			case "<=":
+				return ln <= rn, nil
+			case ">":
+				return ln > rn, nil
+			default:
+				return ln >= rn, nil
+			}
+		}
+		ls, rs := instance.FormatValue(lv), instance.FormatValue(rv)
+		switch b.op {
+		case "<":
+			return ls < rs, nil
+		case "<=":
+			return ls <= rs, nil
+		case ">":
+			return ls > rs, nil
+		default:
+			return ls >= rs, nil
+		}
+	}
+	return nil, fmt.Errorf("mapgen: unknown operator %q", b.op)
+}
+
+type call struct {
+	fn   string
+	args []Expr
+}
+
+func (c call) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return c.fn + "(" + strings.Join(parts, ", ") + ")"
+}
+
+type ifExpr struct {
+	cond, then, els Expr
+}
+
+func (e ifExpr) String() string {
+	return "if(" + e.cond.String() + ", " + e.then.String() + ", " + e.els.String() + ")"
+}
+
+func (e ifExpr) Eval(env *Env) (instance.Value, error) {
+	c, err := e.cond.Eval(env)
+	if err != nil {
+		return nil, err
+	}
+	if truthy(c) {
+		return e.then.Eval(env)
+	}
+	return e.els.Eval(env)
+}
+
+// ---- Parser (Pratt) ----
+
+type exprParser struct {
+	toks []exprTok
+	pos  int
+}
+
+// Parse parses one transformation expression.
+func Parse(src string) (Expr, error) {
+	lx := &exprLexer{src: src}
+	var toks []exprTok
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == etEOF {
+			break
+		}
+	}
+	p := &exprParser{toks: toks}
+	e, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != etEOF {
+		return nil, fmt.Errorf("mapgen: trailing input %q at %d", p.cur().text, p.cur().pos)
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for tests and static program tables.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *exprParser) cur() exprTok { return p.toks[p.pos] }
+
+func (p *exprParser) advance() exprTok {
+	t := p.toks[p.pos]
+	if t.kind != etEOF {
+		p.pos++
+	}
+	return t
+}
+
+// binding powers.
+func bindPower(t exprTok) int {
+	if t.kind == etIdent {
+		switch t.text {
+		case "or":
+			return 1
+		case "and":
+			return 2
+		case "div":
+			return 6
+		}
+		return 0
+	}
+	if t.kind != etPunct {
+		return 0
+	}
+	switch t.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+		return 3
+	case "+", "-":
+		return 5
+	case "*":
+		return 6
+	default:
+		return 0
+	}
+}
+
+func (p *exprParser) parseExpr(minBP int) (Expr, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		bp := bindPower(t)
+		if bp == 0 || bp <= minBP {
+			break
+		}
+		p.advance()
+		right, err := p.parseExpr(bp)
+		if err != nil {
+			return nil, err
+		}
+		left = binary{op: t.text, l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *exprParser) parsePrimary() (Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case etNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mapgen: bad number %q: %w", t.text, err)
+		}
+		return numLit(f), nil
+	case etString:
+		return strLit(t.text), nil
+	case etVar:
+		v := varPath{name: t.text}
+		if p.cur().kind == etPunct && p.cur().text == "/" {
+			p.advance()
+			f := p.advance()
+			if f.kind != etIdent {
+				return nil, fmt.Errorf("mapgen: expected field name after '/' at %d", f.pos)
+			}
+			v.field = f.text
+		}
+		return v, nil
+	case etIdent:
+		name := t.text
+		if p.cur().kind == etPunct && p.cur().text == "(" {
+			p.advance()
+			var args []Expr
+			if !(p.cur().kind == etPunct && p.cur().text == ")") {
+				for {
+					a, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.cur().kind == etPunct && p.cur().text == "," {
+						p.advance()
+						continue
+					}
+					break
+				}
+			}
+			if !(p.cur().kind == etPunct && p.cur().text == ")") {
+				return nil, fmt.Errorf("mapgen: expected ')' at %d", p.cur().pos)
+			}
+			p.advance()
+			if name == "if" {
+				if len(args) != 3 {
+					return nil, fmt.Errorf("mapgen: if() needs 3 arguments, got %d", len(args))
+				}
+				return ifExpr{args[0], args[1], args[2]}, nil
+			}
+			if _, ok := builtins[name]; !ok {
+				return nil, fmt.Errorf("mapgen: unknown function %q", name)
+			}
+			return call{fn: name, args: args}, nil
+		}
+		switch name {
+		case "true":
+			return strLit("true"), nil
+		case "false":
+			return strLit("false"), nil
+		}
+		return nil, fmt.Errorf("mapgen: unexpected identifier %q at %d", name, t.pos)
+	case etPunct:
+		switch t.text {
+		case "(":
+			e, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if !(p.cur().kind == etPunct && p.cur().text == ")") {
+				return nil, fmt.Errorf("mapgen: expected ')' at %d", p.cur().pos)
+			}
+			p.advance()
+			return e, nil
+		case "-":
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return binary{op: "-", l: numLit(0), r: e}, nil
+		}
+	}
+	return nil, fmt.Errorf("mapgen: unexpected token %q at %d", t.text, t.pos)
+}
+
+// ---- Evaluation environment and builtins ----
+
+// Env binds variables to records or scalars and hosts lookup tables.
+type Env struct {
+	vars   map[string]instance.Value
+	tables map[string]*LookupTable
+	parent *Env
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env {
+	return &Env{vars: map[string]instance.Value{}, tables: map[string]*LookupTable{}}
+}
+
+// Child returns a scoped environment inheriting bindings and tables.
+func (e *Env) Child() *Env {
+	return &Env{vars: map[string]instance.Value{}, tables: e.tables, parent: e}
+}
+
+// Bind assigns a variable.
+func (e *Env) Bind(name string, v instance.Value) { e.vars[name] = v }
+
+// Lookup resolves a variable through the scope chain.
+func (e *Env) Lookup(name string) (instance.Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// AddTable registers a lookup table for the lookup() builtin.
+func (e *Env) AddTable(t *LookupTable) { e.tables[t.Name] = t }
+
+// LookupTable is a domain transformation expressed as value pairs (task
+// 4: "the transformation can best be expressed using a lookup table").
+type LookupTable struct {
+	Name    string
+	Entries map[string]string
+	// Default is returned for absent keys; empty Default means absent
+	// keys are an error.
+	Default    string
+	HasDefault bool
+}
+
+// Apply maps one code through the table.
+func (t *LookupTable) Apply(code string) (string, error) {
+	if v, ok := t.Entries[code]; ok {
+		return v, nil
+	}
+	if t.HasDefault {
+		return t.Default, nil
+	}
+	return "", fmt.Errorf("mapgen: lookup table %q has no entry for %q", t.Name, code)
+}
+
+type builtinFn func(env *Env, args []instance.Value) (instance.Value, error)
+
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		"concat": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			var sb strings.Builder
+			for _, a := range args {
+				sb.WriteString(instance.FormatValue(a))
+			}
+			return sb.String(), nil
+		},
+		"data": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: data() needs 1 argument")
+			}
+			return toNumber(args[0])
+		},
+		"string": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: string() needs 1 argument")
+			}
+			return instance.FormatValue(args[0]), nil
+		},
+		"number": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: number() needs 1 argument")
+			}
+			return toNumber(args[0])
+		},
+		"upper-case": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: upper-case() needs 1 argument")
+			}
+			return strings.ToUpper(instance.FormatValue(args[0])), nil
+		},
+		"lower-case": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: lower-case() needs 1 argument")
+			}
+			return strings.ToLower(instance.FormatValue(args[0])), nil
+		},
+		"substring": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("mapgen: substring() needs 3 arguments")
+			}
+			s := instance.FormatValue(args[0])
+			start, err := toNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			length, err := toNumber(args[2])
+			if err != nil {
+				return nil, err
+			}
+			// XQuery-style 1-based start.
+			i := int(start) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i > len(s) {
+				return "", nil
+			}
+			j := i + int(length)
+			if j > len(s) {
+				j = len(s)
+			}
+			return s[i:j], nil
+		},
+		"round": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: round() needs 1 argument")
+			}
+			n, err := toNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			return math.Round(n), nil
+		},
+		"round-half-to-even": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("mapgen: round-half-to-even() needs 2 arguments")
+			}
+			n, err := toNumber(args[0])
+			if err != nil {
+				return nil, err
+			}
+			digits, err := toNumber(args[1])
+			if err != nil {
+				return nil, err
+			}
+			scale := math.Pow(10, digits)
+			return math.RoundToEven(n*scale) / scale, nil
+		},
+		"coalesce": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			for _, a := range args {
+				if a != nil && a != "" {
+					return a, nil
+				}
+			}
+			return nil, nil
+		},
+		"lookup": func(env *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("mapgen: lookup() needs (table, value)")
+			}
+			name := instance.FormatValue(args[0])
+			t, ok := env.tables[name]
+			if !ok {
+				return nil, fmt.Errorf("mapgen: unknown lookup table %q", name)
+			}
+			return t.Apply(instance.FormatValue(args[1]))
+		},
+		"string-length": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: string-length() needs 1 argument")
+			}
+			return float64(len(instance.FormatValue(args[0]))), nil
+		},
+		"normalize-space": func(_ *Env, args []instance.Value) (instance.Value, error) {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("mapgen: normalize-space() needs 1 argument")
+			}
+			return strings.Join(strings.Fields(instance.FormatValue(args[0])), " "), nil
+		},
+	}
+}
+
+func (c call) Eval(env *Env) (instance.Value, error) {
+	fn := builtins[c.fn]
+	if fn == nil {
+		return nil, fmt.Errorf("mapgen: unknown function %q", c.fn)
+	}
+	args := make([]instance.Value, len(c.args))
+	for i, a := range c.args {
+		v, err := a.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return fn(env, args)
+}
+
+// ---- Value coercion ----
+
+func toNumber(v instance.Value) (float64, error) {
+	switch x := v.(type) {
+	case float64:
+		return x, nil
+	case int:
+		return float64(x), nil
+	case bool:
+		if x {
+			return 1, nil
+		}
+		return 0, nil
+	case string:
+		f, err := strconv.ParseFloat(strings.TrimSpace(x), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cannot convert %q to number", x)
+		}
+		return f, nil
+	case nil:
+		return 0, fmt.Errorf("cannot convert empty value to number")
+	default:
+		return 0, fmt.Errorf("cannot convert %T to number", v)
+	}
+}
+
+func truthy(v instance.Value) bool {
+	switch x := v.(type) {
+	case bool:
+		return x
+	case string:
+		return x != "" && x != "false"
+	case float64:
+		return x != 0
+	case int:
+		return x != 0
+	case nil:
+		return false
+	default:
+		return true
+	}
+}
+
+func valueEqual(a, b instance.Value) bool {
+	if an, errA := toNumber(a); errA == nil {
+		if bn, errB := toNumber(b); errB == nil {
+			return an == bn
+		}
+	}
+	return instance.FormatValue(a) == instance.FormatValue(b)
+}

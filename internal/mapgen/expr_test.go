@@ -1,0 +1,392 @@
+package mapgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func evalStr(t *testing.T, src string, env *Env) instance.Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func figure3Env() *Env {
+	env := NewEnv()
+	shipto := instance.NewRecord("shipTo").
+		Set("firstName", "John").
+		Set("lastName", "Doe").
+		Set("subtotal", "100")
+	env.Bind("shipto", shipto)
+	env.Bind("fName", "John")
+	env.Bind("lName", "Doe")
+	return env
+}
+
+func TestFigure3NameCode(t *testing.T) {
+	// The exact code annotation from Figure 3's name column.
+	got := evalStr(t, `concat($lName, concat(", ", $fName))`, figure3Env())
+	if got != "Doe, John" {
+		t.Errorf("name = %v", got)
+	}
+}
+
+func TestFigure3TotalCode(t *testing.T) {
+	// The exact code annotation from Figure 3's total column.
+	got := evalStr(t, `data($shipto/subtotal) * 1.05`, figure3Env())
+	if math.Abs(got.(float64)-105) > 1e-9 {
+		t.Errorf("total = %v", got)
+	}
+}
+
+func TestArithmeticAndPrecedence(t *testing.T) {
+	env := NewEnv()
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3},
+		{"8 div 2", 4},
+		{"-5 + 8", 3},
+		{"2 * 3 + 4 * 5", 26},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, env); got.(float64) != c.want {
+			t.Errorf("%q = %v, want %g", c.src, got, c.want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	env := NewEnv()
+	env.Bind("x", 5.0)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"$x = 5", true},
+		{"$x != 5", false},
+		{"$x < 6", true},
+		{"$x <= 5", true},
+		{"$x > 5", false},
+		{"$x >= 5", true},
+		{`"abc" < "abd"`, true},
+		{"$x = 5 and $x < 6", true},
+		{"$x = 4 or $x = 5", true},
+		{"$x = 4 and $x = 5", false},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// $missing would error if evaluated; and/or must short-circuit.
+	env := NewEnv()
+	env.Bind("x", 0.0)
+	if got := evalStr(t, `$x = 1 and $missing = 2`, env); got != false {
+		t.Errorf("and short-circuit = %v", got)
+	}
+	env.Bind("x", 1.0)
+	if got := evalStr(t, `$x = 1 or $missing = 2`, env); got != true {
+		t.Errorf("or short-circuit = %v", got)
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	env := NewEnv()
+	env.Bind("s", "  hello   world ")
+	cases := []struct {
+		src  string
+		want instance.Value
+	}{
+		{`upper-case("abc")`, "ABC"},
+		{`lower-case("ABC")`, "abc"},
+		{`substring("integration", 1, 5)`, "integ"},
+		{`substring("abc", 2, 10)`, "bc"},
+		{`substring("abc", 9, 2)`, ""},
+		{`string-length("abcd")`, 4.0},
+		{`normalize-space($s)`, "hello world"},
+		{`string(42)`, "42"},
+		{`concat("a", 1, "b")`, "a1b"},
+	}
+	for _, c := range cases {
+		if got := evalStr(t, c.src, env); got != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestNumericBuiltins(t *testing.T) {
+	env := NewEnv()
+	if got := evalStr(t, `round(2.6)`, env); got.(float64) != 3 {
+		t.Errorf("round = %v", got)
+	}
+	if got := evalStr(t, `round-half-to-even(2.5, 0)`, env); got.(float64) != 2 {
+		t.Errorf("round-half-to-even(2.5) = %v, want banker's 2", got)
+	}
+	if got := evalStr(t, `round-half-to-even(3.5, 0)`, env); got.(float64) != 4 {
+		t.Errorf("round-half-to-even(3.5) = %v, want banker's 4", got)
+	}
+	if got := evalStr(t, `number("12.5")`, env); got.(float64) != 12.5 {
+		t.Errorf("number = %v", got)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	env := NewEnv()
+	env.Bind("a", nil)
+	env.Bind("b", "")
+	env.Bind("c", "x")
+	if got := evalStr(t, `coalesce($a, $b, $c)`, env); got != "x" {
+		t.Errorf("coalesce = %v", got)
+	}
+	if got := evalStr(t, `coalesce($a, $b)`, env); got != nil {
+		t.Errorf("all-empty coalesce = %v", got)
+	}
+}
+
+func TestIfExpr(t *testing.T) {
+	env := NewEnv()
+	env.Bind("status", "VIP")
+	got := evalStr(t, `if($status = "VIP", 0.9, 1.0)`, env)
+	if got.(float64) != 0.9 {
+		t.Errorf("if = %v", got)
+	}
+}
+
+func TestLookupBuiltin(t *testing.T) {
+	env := NewEnv()
+	env.AddTable(&LookupTable{
+		Name:    "acType",
+		Entries: map[string]string{"B738": "B737-800", "A320": "A320-200"},
+	})
+	if got := evalStr(t, `lookup("acType", "B738")`, env); got != "B737-800" {
+		t.Errorf("lookup = %v", got)
+	}
+	// Missing key without default errors.
+	e := MustParse(`lookup("acType", "Z999")`)
+	if _, err := e.Eval(env); err == nil {
+		t.Error("missing key should error without default")
+	}
+	// With a default.
+	env.AddTable(&LookupTable{Name: "withDefault", Entries: map[string]string{},
+		Default: "UNKNOWN", HasDefault: true})
+	if got := evalStr(t, `lookup("withDefault", "zz")`, env); got != "UNKNOWN" {
+		t.Errorf("default lookup = %v", got)
+	}
+}
+
+func TestVarPathNestedChild(t *testing.T) {
+	env := NewEnv()
+	po := instance.NewRecord("purchaseOrder")
+	po.AddChild(instance.NewRecord("shipTo").Set("city", "Reston"))
+	env.Bind("po", po)
+	// $po/shipTo yields the child record; a second path step is not
+	// supported in one expression, so bind and access in two steps.
+	v := evalStr(t, `$po/shipTo`, env)
+	rec, ok := v.(*instance.Record)
+	if !ok || rec.GetString("city") != "Reston" {
+		t.Errorf("child access = %v", v)
+	}
+	// Absent field yields nil.
+	if got := evalStr(t, `$po/nothing`, env); got != nil {
+		t.Errorf("absent field = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"$",
+		`"unterminated`,
+		"1 +",
+		"(1 + 2",
+		"foo(1)",       // unknown function
+		"if(1, 2)",     // wrong arity
+		"$x/",          // missing field
+		"$x/123",       // non-ident field
+		"1 2",          // trailing input
+		"@",            // bad character
+		"concat(1, 2,", // unterminated args
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := NewEnv()
+	env.Bind("s", "not-a-number")
+	env.Bind("rec", instance.NewRecord("r"))
+	for _, bad := range []string{
+		"$unbound",
+		"$s + 1",
+		"1 div 0",
+		"$s/field",        // scalar path access
+		"data($s)",        // non-numeric
+		`lookup("no", 1)`, // unknown table
+	} {
+		e, err := Parse(bad)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", bad, err)
+		}
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("Eval(%q) should error", bad)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	// String() output must reparse to an equivalent expression.
+	srcs := []string{
+		`concat($lName, concat(", ", $fName))`,
+		`data($shipto/subtotal) * 1.05`,
+		`if($x = 1, "a", "b")`,
+		`1 + 2 * 3`,
+	}
+	env := figure3Env()
+	env.Bind("x", 1.0)
+	for _, src := range srcs {
+		e1 := MustParse(src)
+		e2, err := Parse(e1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", e1.String(), err)
+		}
+		v1, err1 := e1.Eval(env)
+		v2, err2 := e2.Eval(env)
+		if err1 != nil || err2 != nil || instance.FormatValue(v1) != instance.FormatValue(v2) {
+			t.Errorf("round trip %q: %v/%v vs %v/%v", src, v1, err1, v2, err2)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on bad input should panic")
+		}
+	}()
+	MustParse("(((")
+}
+
+func TestSingleQuoteStrings(t *testing.T) {
+	env := NewEnv()
+	if got := evalStr(t, `concat('a', 'b')`, env); got != "ab" {
+		t.Errorf("single quotes = %v", got)
+	}
+}
+
+func TestTruthyAndEquality(t *testing.T) {
+	if !truthy("yes") || truthy("") || truthy("false") || !truthy(1.0) || truthy(nil) {
+		t.Error("truthy rules wrong")
+	}
+	if !valueEqual("5", 5.0) {
+		t.Error("numeric string should equal number")
+	}
+	if !valueEqual("a", "a") || valueEqual("a", "b") {
+		t.Error("string equality wrong")
+	}
+}
+
+func TestUnitConversionHelper(t *testing.T) {
+	code := UnitConversion("facility", "elevation", 0.3048)
+	if !strings.Contains(code, "0.3048") {
+		t.Errorf("code = %q", code)
+	}
+	env := NewEnv()
+	env.Bind("facility", instance.NewRecord("Facility").Set("elevation", "1000"))
+	got := evalStr(t, code, env)
+	if math.Abs(got.(float64)-304.8) > 1e-9 {
+		t.Errorf("feet→meters = %v", got)
+	}
+}
+
+func TestToNumberVariants(t *testing.T) {
+	env := NewEnv()
+	env.Bind("i", 7)
+	env.Bind("b", true)
+	env.Bind("bf", false)
+	env.Bind("r", instance.NewRecord("x"))
+	if got := evalStr(t, `$i + 1`, env); got.(float64) != 8 {
+		t.Errorf("int coercion = %v", got)
+	}
+	if got := evalStr(t, `$b + 0`, env); got.(float64) != 1 {
+		t.Errorf("bool true coercion = %v", got)
+	}
+	if got := evalStr(t, `$bf + 0`, env); got.(float64) != 0 {
+		t.Errorf("bool false coercion = %v", got)
+	}
+	// A record cannot become a number.
+	e := MustParse(`$r + 1`)
+	if _, err := e.Eval(env); err == nil {
+		t.Error("record arithmetic should error")
+	}
+	// Nil cannot become a number.
+	env.Bind("n", nil)
+	e2 := MustParse(`$n + 1`)
+	if _, err := e2.Eval(env); err == nil {
+		t.Error("nil arithmetic should error")
+	}
+	// Whitespace-tolerant string parsing.
+	env.Bind("s", "  42 ")
+	if got := evalStr(t, `$s + 0`, env); got.(float64) != 42 {
+		t.Errorf("trimmed string coercion = %v", got)
+	}
+}
+
+func TestComparisonStringFallback(t *testing.T) {
+	env := NewEnv()
+	env.Bind("a", "apple")
+	env.Bind("b", "banana")
+	for src, want := range map[string]bool{
+		`$a < $b`:  true,
+		`$a <= $b`: true,
+		`$a > $b`:  false,
+		`$a >= $b`: false,
+	} {
+		if got := evalStr(t, src, env); got != want {
+			t.Errorf("%s = %v", src, got)
+		}
+	}
+}
+
+func TestBinaryEvalErrorPropagation(t *testing.T) {
+	env := NewEnv()
+	for _, src := range []string{
+		`$missing + 1`, `1 + $missing`, `$missing = 1`,
+		`concat($missing)`, `if($missing, 1, 2)`,
+	} {
+		e := MustParse(src)
+		if _, err := e.Eval(env); err == nil {
+			t.Errorf("%s should propagate the unbound-variable error", src)
+		}
+	}
+}
+
+func TestTruthyRecordAndDefault(t *testing.T) {
+	if !truthy(instance.NewRecord("r")) {
+		t.Error("record values are truthy")
+	}
+	if !truthy(7) {
+		t.Error("nonzero int is truthy")
+	}
+	if truthy(0) {
+		t.Error("zero int is falsy")
+	}
+}

@@ -1,0 +1,105 @@
+package mapgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Context mediation (paper task 4: "context mediation techniques can
+// then be applied [Goh et al.; Sciore, Siegel, Rosenthal]"): attributes
+// annotated with their measurement unit (the Props["unit"] convention)
+// get automatic conversion code when mapped across unit contexts —
+// the "semantic values" idea reduced to the workbench's needs.
+
+// unitFamily describes mutually convertible units via linear transforms
+// relative to a base unit: value_base = value_unit*factor + offset.
+type unitDef struct {
+	family string
+	factor float64
+	offset float64
+}
+
+// unitTable holds the supported units. Names are lowercase.
+var unitTable = map[string]unitDef{
+	// Length (base: meter).
+	"m": {"length", 1, 0}, "meter": {"length", 1, 0}, "metre": {"length", 1, 0},
+	"ft": {"length", 0.3048, 0}, "feet": {"length", 0.3048, 0}, "foot": {"length", 0.3048, 0},
+	"km": {"length", 1000, 0}, "mi": {"length", 1609.344, 0}, "mile": {"length", 1609.344, 0},
+	"nm": {"length", 1852, 0}, // nautical mile, aviation
+	// Mass (base: kilogram).
+	"kg": {"mass", 1, 0}, "kilogram": {"mass", 1, 0},
+	"lb": {"mass", 0.45359237, 0}, "pound": {"mass", 0.45359237, 0},
+	"t": {"mass", 1000, 0}, "tonne": {"mass", 1000, 0},
+	// Speed (base: meters/second).
+	"mps": {"speed", 1, 0}, "kph": {"speed", 0.2777777778, 0},
+	"mph": {"speed", 0.44704, 0}, "kt": {"speed", 0.5144444444, 0},
+	"knot": {"speed", 0.5144444444, 0}, "knots": {"speed", 0.5144444444, 0},
+	// Temperature (base: celsius) — the offset case.
+	"c": {"temperature", 1, 0}, "celsius": {"temperature", 1, 0},
+	"f": {"temperature", 5.0 / 9.0, -32 * 5.0 / 9.0}, "fahrenheit": {"temperature", 5.0 / 9.0, -32 * 5.0 / 9.0},
+	"k": {"temperature", 1, -273.15}, "kelvin": {"temperature", 1, -273.15},
+	// Currency-free amounts and durations could extend here.
+	"s": {"time", 1, 0}, "sec": {"time", 1, 0}, "min": {"time", 60, 0},
+	"h": {"time", 3600, 0}, "hour": {"time", 3600, 0},
+}
+
+// UnitOf reads an element's declared unit annotation ("" if none).
+func UnitOf(e *model.Element) string {
+	if e == nil || e.Props == nil {
+		return ""
+	}
+	return strings.ToLower(strings.TrimSpace(e.Props["unit"]))
+}
+
+// Convertible reports whether two units are known and share a family.
+func Convertible(fromUnit, toUnit string) bool {
+	f, okF := unitTable[strings.ToLower(fromUnit)]
+	t, okT := unitTable[strings.ToLower(toUnit)]
+	return okF && okT && f.family == t.family
+}
+
+// ConversionFactors returns the linear transform value_to =
+// value_from*factor + offset between two convertible units.
+func ConversionFactors(fromUnit, toUnit string) (factor, offset float64, err error) {
+	f, okF := unitTable[strings.ToLower(fromUnit)]
+	t, okT := unitTable[strings.ToLower(toUnit)]
+	if !okF {
+		return 0, 0, fmt.Errorf("mapgen: unknown unit %q", fromUnit)
+	}
+	if !okT {
+		return 0, 0, fmt.Errorf("mapgen: unknown unit %q", toUnit)
+	}
+	if f.family != t.family {
+		return 0, 0, fmt.Errorf("mapgen: cannot convert %s (%s) to %s (%s)",
+			fromUnit, f.family, toUnit, t.family)
+	}
+	// from → base: x*f.factor + f.offset; base → to: (y - t.offset)/t.factor.
+	factor = f.factor / t.factor
+	offset = (f.offset - t.offset) / t.factor
+	return factor, offset, nil
+}
+
+// MediateUnits generates conversion code for a source reference when the
+// source and target attributes declare different convertible units. It
+// returns ok=false when no mediation is needed or possible.
+func MediateUnits(src, tgt *model.Element, ref string) (code string, ok bool) {
+	fromUnit, toUnit := UnitOf(src), UnitOf(tgt)
+	if fromUnit == "" || toUnit == "" || fromUnit == toUnit {
+		return "", false
+	}
+	factor, offset, err := ConversionFactors(fromUnit, toUnit)
+	if err != nil {
+		return "", false
+	}
+	expr := fmt.Sprintf("data(%s) * %s", ref, trimFloat(factor))
+	if offset != 0 {
+		if offset > 0 {
+			expr = fmt.Sprintf("%s + %s", expr, trimFloat(offset))
+		} else {
+			expr = fmt.Sprintf("%s - %s", expr, trimFloat(-offset))
+		}
+	}
+	return expr, true
+}

@@ -1,0 +1,164 @@
+package mapgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/model"
+	"repro/internal/wbmgr"
+)
+
+func unitAttr(s *model.Schema, parent *model.Element, name, unit string) *model.Element {
+	a := s.AddElement(parent, name, model.KindAttribute, model.ContainsAttribute)
+	a.DataType = "decimal"
+	a.Props = map[string]string{"unit": unit}
+	return a
+}
+
+func TestConversionFactors(t *testing.T) {
+	cases := []struct {
+		from, to string
+		in, want float64
+	}{
+		{"ft", "m", 1000, 304.8},
+		{"m", "ft", 304.8, 1000},
+		{"lb", "kg", 100, 45.359237},
+		{"kt", "kph", 100, 185.2},
+		{"f", "c", 212, 100},
+		{"c", "f", 100, 212},
+		{"k", "c", 273.15, 0},
+		{"mi", "km", 1, 1.609344},
+		{"h", "min", 2, 120},
+	}
+	for _, c := range cases {
+		factor, offset, err := ConversionFactors(c.from, c.to)
+		if err != nil {
+			t.Fatalf("%s→%s: %v", c.from, c.to, err)
+		}
+		got := c.in*factor + offset
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("%g %s → %s = %g, want %g", c.in, c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestConversionFactorsErrors(t *testing.T) {
+	if _, _, err := ConversionFactors("parsec", "m"); err == nil {
+		t.Error("unknown from-unit should error")
+	}
+	if _, _, err := ConversionFactors("m", "zorkmid"); err == nil {
+		t.Error("unknown to-unit should error")
+	}
+	if _, _, err := ConversionFactors("m", "kg"); err == nil {
+		t.Error("cross-family conversion should error")
+	}
+	if Convertible("m", "kg") || !Convertible("ft", "km") {
+		t.Error("Convertible wrong")
+	}
+}
+
+func TestMediateUnitsGeneratesRunnableCode(t *testing.T) {
+	s := model.NewSchema("s", "er")
+	e := s.AddElement(nil, "facility", model.KindEntity, model.ContainsElement)
+	src := unitAttr(s, e, "elevation", "ft")
+	t2 := model.NewSchema("t", "er")
+	f := t2.AddElement(nil, "aerodrome", model.KindEntity, model.ContainsElement)
+	tgt := unitAttr(t2, f, "altitude", "m")
+
+	code, ok := MediateUnits(src, tgt, "$fac/elevation")
+	if !ok {
+		t.Fatal("mediation should apply")
+	}
+	env := NewEnv()
+	env.Bind("fac", instance.NewRecord("facility").Set("elevation", "1000"))
+	v, err := MustParse(code).Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.(float64)-304.8) > 1e-6 {
+		t.Errorf("converted = %v, want 304.8", v)
+	}
+}
+
+func TestMediateUnitsOffsetCase(t *testing.T) {
+	s := model.NewSchema("s", "er")
+	e := s.AddElement(nil, "wx", model.KindEntity, model.ContainsElement)
+	src := unitAttr(s, e, "temp", "f")
+	t2 := model.NewSchema("t", "er")
+	f := t2.AddElement(nil, "metar", model.KindEntity, model.ContainsElement)
+	tgt := unitAttr(t2, f, "temperature", "c")
+
+	code, ok := MediateUnits(src, tgt, "$w/temp")
+	if !ok {
+		t.Fatal("mediation should apply")
+	}
+	env := NewEnv()
+	env.Bind("w", instance.NewRecord("wx").Set("temp", "32"))
+	v, err := MustParse(code).Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.(float64)) > 1e-9 {
+		t.Errorf("32°F = %v °C, want 0", v)
+	}
+}
+
+func TestMediateUnitsNotApplicable(t *testing.T) {
+	s := model.NewSchema("s", "er")
+	e := s.AddElement(nil, "x", model.KindEntity, model.ContainsElement)
+	a := unitAttr(s, e, "a", "m")
+	b := unitAttr(s, e, "b", "m")                                           // same unit
+	c := s.AddElement(e, "c", model.KindAttribute, model.ContainsAttribute) // no unit
+	d := unitAttr(s, e, "d", "kg")                                          // different family
+
+	if _, ok := MediateUnits(a, b, "$x/a"); ok {
+		t.Error("same units need no mediation")
+	}
+	if _, ok := MediateUnits(a, c, "$x/a"); ok {
+		t.Error("missing unit: no mediation")
+	}
+	if _, ok := MediateUnits(a, d, "$x/a"); ok {
+		t.Error("cross-family: no mediation")
+	}
+	if _, ok := MediateUnits(nil, a, "$x"); ok {
+		t.Error("nil element: no mediation")
+	}
+}
+
+func TestMapperProposesUnitConversion(t *testing.T) {
+	// End to end: accepted cell between ft and m attributes → the mapper
+	// proposes the conversion automatically.
+	m := wbmgr.New()
+	src := model.NewSchema("faa", "er")
+	e := src.AddElement(nil, "facility", model.KindEntity, model.ContainsElement)
+	unitAttr(src, e, "elevation", "ft")
+	tgt := model.NewSchema("euro", "er")
+	f := tgt.AddElement(nil, "aerodrome", model.KindEntity, model.ContainsElement)
+	unitAttr(tgt, f, "altitude", "m")
+	if _, err := m.Blackboard().PutSchema(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Blackboard().PutSchema(tgt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Blackboard().NewMapping("u", "faa", "euro"); err != nil {
+		t.Fatal(err)
+	}
+	mapper := NewMapperTool("u")
+	if err := m.Register(mapper); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, _ := m.Begin("harmony")
+	mp, _ := txn.Blackboard().GetMapping("u")
+	mp.SetCell("faa/facility/elevation", "euro/aerodrome/altitude", 1, true, "harmony")
+	txn.Emit(wbmgr.EventMappingCell, "u|faa/facility/elevation|euro/aerodrome/altitude")
+	_ = txn.Commit()
+
+	code := mapper.Proposals()["euro/aerodrome/altitude"]
+	if !strings.Contains(code, "0.3048") {
+		t.Errorf("proposal = %q, want ft→m conversion", code)
+	}
+}

@@ -1,0 +1,390 @@
+package mapgen
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/instance"
+	"repro/internal/model"
+)
+
+// The schema-mapping tasks of §3.3, assembled into executable programs.
+
+// ColumnRule produces one target attribute from source bindings (tasks
+// 4–5: domain and attribute transformations).
+type ColumnRule struct {
+	// TargetField is the attribute name in the produced record.
+	TargetField string
+	// Code is the transformation expression source text (the Figure 3
+	// code annotation).
+	Code string
+
+	expr Expr
+}
+
+// JoinSpec combines a second source entity into the binding scope (task
+// 6: "multiple entities may need to be combined (e.g., using join)").
+type JoinSpec struct {
+	// Entity is the second source entity type.
+	Entity string
+	// Var is the variable the joined record binds to.
+	Var string
+	// On is an equality predicate over both bound variables.
+	On string
+
+	onExpr Expr
+}
+
+// EntityRule maps one source entity to one target entity (task 6).
+type EntityRule struct {
+	// TargetEntity is the produced record type.
+	TargetEntity string
+	// SourceEntity is the driving source record type.
+	SourceEntity string
+	// Var is the variable each source record binds to (e.g. "shipto").
+	Var string
+	// Where optionally filters/splits source records (task 6: "a single
+	// entity may need to be split into multiple entities (e.g., based on
+	// the value of some attribute)").
+	Where string
+	// Join optionally combines a second entity.
+	Join *JoinSpec
+	// Columns produce the target's attributes.
+	Columns []ColumnRule
+	// KeyField and KeyCode implement object identity (task 7): when set,
+	// the produced record gets KeyField from KeyCode — a key derivation
+	// or a Skolem-style composite.
+	KeyField string
+	KeyCode  string
+
+	whereExpr Expr
+	keyExpr   Expr
+}
+
+// Program is a full logical mapping (task 8): entity rules plus the
+// lookup tables their code references.
+type Program struct {
+	// Name identifies the mapping.
+	Name string
+	// Rules produce target entities.
+	Rules []*EntityRule
+	// Tables are the domain-transformation lookup tables.
+	Tables []*LookupTable
+}
+
+// Compile parses every code snippet in the program. It must be called
+// before Execute; compiling twice is harmless.
+func (p *Program) Compile() error {
+	for _, r := range p.Rules {
+		if r.TargetEntity == "" || r.SourceEntity == "" {
+			return fmt.Errorf("mapgen: rule needs source and target entities")
+		}
+		if r.Var == "" {
+			return fmt.Errorf("mapgen: rule %s→%s needs a variable name", r.SourceEntity, r.TargetEntity)
+		}
+		var err error
+		if r.Where != "" {
+			if r.whereExpr, err = Parse(r.Where); err != nil {
+				return fmt.Errorf("mapgen: where of %s: %w", r.TargetEntity, err)
+			}
+		}
+		if r.Join != nil {
+			if r.Join.Entity == "" || r.Join.Var == "" || r.Join.On == "" {
+				return fmt.Errorf("mapgen: join of %s needs entity, var and on", r.TargetEntity)
+			}
+			if r.Join.onExpr, err = Parse(r.Join.On); err != nil {
+				return fmt.Errorf("mapgen: join-on of %s: %w", r.TargetEntity, err)
+			}
+		}
+		for i := range r.Columns {
+			c := &r.Columns[i]
+			if c.expr, err = Parse(c.Code); err != nil {
+				return fmt.Errorf("mapgen: column %s of %s: %w", c.TargetField, r.TargetEntity, err)
+			}
+		}
+		if r.KeyCode != "" {
+			if r.keyExpr, err = Parse(r.KeyCode); err != nil {
+				return fmt.Errorf("mapgen: key of %s: %w", r.TargetEntity, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrorPolicy governs exceptional conditions during mapping execution
+// (paper task 12: operational constraints include "the policy that
+// governs exceptional conditions").
+type ErrorPolicy int
+
+// Error policies.
+const (
+	// FailFast aborts execution on the first evaluation error.
+	FailFast ErrorPolicy = iota
+	// NullOnError sets the offending column to nil and continues.
+	NullOnError
+	// SkipRecordOnError drops the offending output record and continues.
+	SkipRecordOnError
+)
+
+// Execute runs the program over a source dataset and produces the target
+// dataset. Records whose Where predicate is false are skipped; joins are
+// nested-loop over the second entity. Evaluation errors abort (FailFast).
+func (p *Program) Execute(src *instance.Dataset) (*instance.Dataset, error) {
+	out, _, err := p.ExecuteWithPolicy(src, FailFast)
+	return out, err
+}
+
+// ExecuteWithPolicy is Execute under an explicit error policy; it also
+// reports how many evaluation errors the policy absorbed.
+func (p *Program) ExecuteWithPolicy(src *instance.Dataset, policy ErrorPolicy) (*instance.Dataset, int, error) {
+	if err := p.Compile(); err != nil {
+		return nil, 0, err
+	}
+	base := NewEnv()
+	for _, t := range p.Tables {
+		base.AddTable(t)
+	}
+	out := &instance.Dataset{SchemaName: p.Name}
+	absorbed := 0
+	for _, rule := range p.Rules {
+		drivers := recordsOfType(src.Records, rule.SourceEntity)
+		var joined []*instance.Record
+		if rule.Join != nil {
+			joined = recordsOfType(src.Records, rule.Join.Entity)
+		}
+		for _, drv := range drivers {
+			env := base.Child()
+			env.Bind(rule.Var, drv)
+			if rule.Join == nil {
+				recs, n, err := p.produce(rule, env, policy)
+				if err != nil {
+					return nil, absorbed, err
+				}
+				absorbed += n
+				out.Records = append(out.Records, recs...)
+				continue
+			}
+			for _, other := range joined {
+				env2 := env.Child()
+				env2.Bind(rule.Join.Var, other)
+				match, err := rule.Join.onExpr.Eval(env2)
+				if err != nil {
+					if policy == FailFast {
+						return nil, absorbed, fmt.Errorf("mapgen: join-on of %s: %w", rule.TargetEntity, err)
+					}
+					absorbed++
+					continue
+				}
+				if !truthy(match) {
+					continue
+				}
+				recs, n, err := p.produce(rule, env2, policy)
+				if err != nil {
+					return nil, absorbed, err
+				}
+				absorbed += n
+				out.Records = append(out.Records, recs...)
+			}
+		}
+	}
+	return out, absorbed, nil
+}
+
+// produce evaluates one rule's Where/Columns/Key against a bound env,
+// returning produced records and the number of absorbed errors.
+func (p *Program) produce(rule *EntityRule, env *Env, policy ErrorPolicy) ([]*instance.Record, int, error) {
+	if rule.whereExpr != nil {
+		ok, err := rule.whereExpr.Eval(env)
+		if err != nil {
+			if policy == FailFast {
+				return nil, 0, fmt.Errorf("mapgen: where of %s: %w", rule.TargetEntity, err)
+			}
+			return nil, 1, nil // unpredictable predicate: skip the record
+		}
+		if !truthy(ok) {
+			return nil, 0, nil
+		}
+	}
+	absorbed := 0
+	rec := instance.NewRecord(rule.TargetEntity)
+	for _, c := range rule.Columns {
+		v, err := c.expr.Eval(env)
+		if err != nil {
+			switch policy {
+			case FailFast:
+				return nil, absorbed, fmt.Errorf("mapgen: column %s of %s: %w", c.TargetField, rule.TargetEntity, err)
+			case NullOnError:
+				absorbed++
+				rec.Set(c.TargetField, nil)
+				continue
+			case SkipRecordOnError:
+				return nil, absorbed + 1, nil
+			}
+		}
+		rec.Set(c.TargetField, v)
+	}
+	if rule.keyExpr != nil {
+		v, err := rule.keyExpr.Eval(env)
+		if err != nil {
+			switch policy {
+			case FailFast:
+				return nil, absorbed, fmt.Errorf("mapgen: key of %s: %w", rule.TargetEntity, err)
+			case NullOnError:
+				absorbed++
+				v = nil
+			case SkipRecordOnError:
+				return nil, absorbed + 1, nil
+			}
+		}
+		rec.Set(rule.KeyField, v)
+	}
+	return []*instance.Record{rec}, absorbed, nil
+}
+
+// recordsOfType collects records of a type at any nesting level.
+func recordsOfType(recs []*instance.Record, typ string) []*instance.Record {
+	var out []*instance.Record
+	var walk func(r *instance.Record)
+	walk = func(r *instance.Record) {
+		if r.Type == typ {
+			out = append(out, r)
+		}
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	for _, r := range recs {
+		walk(r)
+	}
+	return out
+}
+
+// Verify executes the program and validates the output against the target
+// schema (task 9: "verify that the transformations are guaranteed to
+// generate valid data instances"). It returns the produced dataset and
+// any violations.
+func (p *Program) Verify(src *instance.Dataset, target *model.Schema) (*instance.Dataset, []instance.Violation, error) {
+	out, err := p.Execute(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, instance.Validate(target, out), nil
+}
+
+// GenerateXQuery assembles the program into XQuery-like text — the task 8
+// logical mapping the code generator publishes as the matrix-level code
+// annotation (Figure 3's top-left cell).
+func (p *Program) GenerateXQuery() string {
+	var b strings.Builder
+	for ri, r := range p.Rules {
+		if ri > 0 {
+			b.WriteString(",\n")
+		}
+		fmt.Fprintf(&b, "for $%s in //%s\n", r.Var, r.SourceEntity)
+		if r.Join != nil {
+			fmt.Fprintf(&b, "for $%s in //%s\n", r.Join.Var, r.Join.Entity)
+		}
+		var wheres []string
+		if r.Join != nil {
+			wheres = append(wheres, r.Join.On)
+		}
+		if r.Where != "" {
+			wheres = append(wheres, r.Where)
+		}
+		if len(wheres) > 0 {
+			fmt.Fprintf(&b, "where %s\n", strings.Join(wheres, " and "))
+		}
+		fmt.Fprintf(&b, "return element %s {\n", r.TargetEntity)
+		var parts []string
+		if r.KeyField != "" && r.KeyCode != "" {
+			parts = append(parts, fmt.Sprintf("  element %s { %s }", r.KeyField, r.KeyCode))
+		}
+		for _, c := range r.Columns {
+			parts = append(parts, fmt.Sprintf("  element %s { %s }", c.TargetField, c.Code))
+		}
+		b.WriteString(strings.Join(parts, ",\n"))
+		b.WriteString("\n}")
+	}
+	return b.String()
+}
+
+// ---- Domain transformation helpers (task 4) ----
+
+// UnitConversion returns the expression text for a scalar unit conversion
+// (e.g. feet → meters is factor 0.3048).
+func UnitConversion(varName, field string, factor float64) string {
+	return fmt.Sprintf("data($%s/%s) * %s", varName, field,
+		trimFloat(factor))
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// TableFromDomains builds a lookup table between two coding schemes by
+// aligning their values: exact code matches first, then documentation
+// token overlap — the "convert from one coding scheme to a related coding
+// scheme" case of task 4. Unmatched source codes map to the target's
+// first code unless strict.
+func TableFromDomains(name string, src, tgt *model.Domain, strict bool) *LookupTable {
+	t := &LookupTable{Name: name, Entries: map[string]string{}}
+	tgtByCode := map[string]bool{}
+	for _, v := range tgt.Values {
+		tgtByCode[v.Code] = true
+	}
+	for _, sv := range src.Values {
+		if tgtByCode[sv.Code] {
+			t.Entries[sv.Code] = sv.Code
+			continue
+		}
+		// Align by documentation word overlap.
+		best, bestScore := "", 0
+		svWords := fieldSet(sv.Doc)
+		for _, tv := range tgt.Values {
+			score := overlapCount(svWords, fieldSet(tv.Doc))
+			if score > bestScore {
+				best, bestScore = tv.Code, score
+			}
+		}
+		if best != "" {
+			t.Entries[sv.Code] = best
+		}
+	}
+	if !strict && len(tgt.Values) > 0 {
+		t.Default = tgt.Values[0].Code
+		t.HasDefault = true
+	}
+	return t
+}
+
+func fieldSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, w := range strings.Fields(strings.ToLower(s)) {
+		out[w] = true
+	}
+	return out
+}
+
+func overlapCount(a, b map[string]bool) int {
+	n := 0
+	for w := range a {
+		if b[w] {
+			n++
+		}
+	}
+	return n
+}
+
+// SkolemKey returns key-generation code concatenating the given source
+// fields with a separator — the Skolem-function idiom of task 7.
+func SkolemKey(varName string, fields ...string) string {
+	parts := make([]string, 0, 2*len(fields))
+	for i, f := range fields {
+		if i > 0 {
+			parts = append(parts, `"~"`)
+		}
+		parts = append(parts, fmt.Sprintf("$%s/%s", varName, f))
+	}
+	return "concat(" + strings.Join(parts, ", ") + ")"
+}

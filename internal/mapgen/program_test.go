@@ -1,0 +1,402 @@
+package mapgen
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/model"
+)
+
+// poDataset builds source instances for the Figure 2/3 scenario.
+func poDataset() *instance.Dataset {
+	mk := func(f, l, sub string) *instance.Record {
+		po := instance.NewRecord("purchaseOrder")
+		po.AddChild(instance.NewRecord("shipTo").
+			Set("firstName", f).Set("lastName", l).Set("subtotal", sub))
+		return po
+	}
+	return &instance.Dataset{SchemaName: "purchaseOrder", Records: []*instance.Record{
+		mk("John", "Doe", "100"),
+		mk("Jane", "Roe", "250"),
+	}}
+}
+
+// figure3Program is the assembled Figure 3 mapping as a Program.
+func figure3Program() *Program {
+	return &Program{
+		Name: "po-to-shipping",
+		Rules: []*EntityRule{{
+			TargetEntity: "shippingInfo",
+			SourceEntity: "shipTo",
+			Var:          "shipto",
+			Columns: []ColumnRule{
+				{TargetField: "name", Code: `concat($shipto/lastName, concat(", ", $shipto/firstName))`},
+				{TargetField: "total", Code: `data($shipto/subtotal) * 1.05`},
+			},
+		}},
+	}
+}
+
+func TestExecuteFigure3(t *testing.T) {
+	out, err := figure3Program().Execute(poDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 2 {
+		t.Fatalf("produced %d records", len(out.Records))
+	}
+	r := out.Records[0]
+	if r.Type != "shippingInfo" {
+		t.Errorf("type = %q", r.Type)
+	}
+	if r.GetString("name") != "Doe, John" {
+		t.Errorf("name = %q", r.GetString("name"))
+	}
+	if tot := r.Get("total").(float64); math.Abs(tot-105) > 1e-9 {
+		t.Errorf("total = %v", tot)
+	}
+	if out.Records[1].GetString("name") != "Roe, Jane" {
+		t.Errorf("second record name = %q", out.Records[1].GetString("name"))
+	}
+}
+
+func TestExecuteWhereSplit(t *testing.T) {
+	// Task 6: split an entity based on an attribute value.
+	prog := &Program{
+		Name: "split",
+		Rules: []*EntityRule{
+			{
+				TargetEntity: "bigOrder", SourceEntity: "shipTo", Var: "s",
+				Where:   `data($s/subtotal) >= 200`,
+				Columns: []ColumnRule{{TargetField: "amount", Code: `data($s/subtotal)`}},
+			},
+			{
+				TargetEntity: "smallOrder", SourceEntity: "shipTo", Var: "s",
+				Where:   `data($s/subtotal) < 200`,
+				Columns: []ColumnRule{{TargetField: "amount", Code: `data($s/subtotal)`}},
+			},
+		},
+	}
+	out, err := prog.Execute(poDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big, small int
+	for _, r := range out.Records {
+		switch r.Type {
+		case "bigOrder":
+			big++
+		case "smallOrder":
+			small++
+		}
+	}
+	if big != 1 || small != 1 {
+		t.Errorf("split: big=%d small=%d", big, small)
+	}
+}
+
+func TestExecuteJoin(t *testing.T) {
+	// Task 6: combine entities with a join.
+	src := &instance.Dataset{Records: []*instance.Record{
+		instance.NewRecord("employee").Set("name", "Ann").Set("dept", "ENG"),
+		instance.NewRecord("employee").Set("name", "Bob").Set("dept", "OPS"),
+		instance.NewRecord("department").Set("code", "ENG").Set("title", "Engineering"),
+		instance.NewRecord("department").Set("code", "OPS").Set("title", "Operations"),
+	}}
+	prog := &Program{
+		Name: "join",
+		Rules: []*EntityRule{{
+			TargetEntity: "staff", SourceEntity: "employee", Var: "e",
+			Join: &JoinSpec{Entity: "department", Var: "d", On: `$e/dept = $d/code`},
+			Columns: []ColumnRule{
+				{TargetField: "who", Code: `$e/name`},
+				{TargetField: "where", Code: `$d/title`},
+			},
+		}},
+	}
+	out, err := prog.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 2 {
+		t.Fatalf("join produced %d records", len(out.Records))
+	}
+	if out.Records[0].GetString("where") != "Engineering" {
+		t.Errorf("joined title = %q", out.Records[0].GetString("where"))
+	}
+}
+
+func TestExecuteKeyRule(t *testing.T) {
+	// Task 7: Skolem-style object identity.
+	prog := figure3Program()
+	prog.Rules[0].KeyField = "id"
+	prog.Rules[0].KeyCode = SkolemKey("shipto", "lastName", "firstName")
+	out, err := prog.Execute(poDataset())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Records[0].GetString("id"); got != "Doe~John" {
+		t.Errorf("skolem id = %q", got)
+	}
+}
+
+func TestExecuteWithLookupTable(t *testing.T) {
+	// Task 4: coding-scheme translation through a lookup table.
+	src := &instance.Dataset{Records: []*instance.Record{
+		instance.NewRecord("flight").Set("equip", "B738"),
+	}}
+	prog := &Program{
+		Name: "codes",
+		Tables: []*LookupTable{{
+			Name:    "equipToName",
+			Entries: map[string]string{"B738": "Boeing 737-800"},
+		}},
+		Rules: []*EntityRule{{
+			TargetEntity: "aircraft", SourceEntity: "flight", Var: "f",
+			Columns: []ColumnRule{{TargetField: "model", Code: `lookup("equipToName", $f/equip)`}},
+		}},
+	}
+	out, err := prog.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Records[0].GetString("model"); got != "Boeing 737-800" {
+		t.Errorf("model = %q", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []*Program{
+		{Rules: []*EntityRule{{TargetEntity: "t"}}},                    // no source
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s"}}}, // no var
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s", Var: "v", // bad where
+			Where: "((("}}},
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s", Var: "v", // bad column
+			Columns: []ColumnRule{{TargetField: "f", Code: ")"}}}}},
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s", Var: "v", // bad key
+			Columns: []ColumnRule{{TargetField: "f", Code: "1"}}, KeyField: "k", KeyCode: "("}}},
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s", Var: "v", // incomplete join
+			Join: &JoinSpec{Entity: "j"}, Columns: []ColumnRule{{TargetField: "f", Code: "1"}}}}},
+		{Rules: []*EntityRule{{TargetEntity: "t", SourceEntity: "s", Var: "v", // bad join-on
+			Join: &JoinSpec{Entity: "j", Var: "w", On: "("}, Columns: []ColumnRule{{TargetField: "f", Code: "1"}}}}},
+	}
+	for i, p := range cases {
+		if err := p.Compile(); err == nil {
+			t.Errorf("case %d should fail to compile", i)
+		}
+	}
+}
+
+func TestExecuteRuntimeError(t *testing.T) {
+	prog := &Program{
+		Name: "bad",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{{TargetField: "x", Code: `data($s/firstName)`}},
+		}},
+	}
+	if _, err := prog.Execute(poDataset()); err == nil {
+		t.Error("non-numeric data() should error at runtime")
+	}
+}
+
+func TestVerifyAgainstTarget(t *testing.T) {
+	target := model.NewSchema("shipping", "xsd")
+	si := target.AddElement(nil, "shippingInfo", model.KindEntity, model.ContainsElement)
+	nm := target.AddElement(si, "name", model.KindAttribute, model.ContainsAttribute)
+	nm.Required = true
+	target.AddElement(si, "total", model.KindAttribute, model.ContainsAttribute)
+
+	out, viols, err := figure3Program().Verify(poDataset(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 0 {
+		t.Errorf("violations: %v", viols)
+	}
+	if len(out.Records) != 2 {
+		t.Errorf("records: %d", len(out.Records))
+	}
+
+	// A program missing the required column fails verification.
+	broken := &Program{
+		Name: "broken",
+		Rules: []*EntityRule{{
+			TargetEntity: "shippingInfo", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{{TargetField: "total", Code: `data($s/subtotal)`}},
+		}},
+	}
+	_, viols, err = broken.Verify(poDataset(), target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 2 {
+		t.Errorf("want 2 required-violations, got %v", viols)
+	}
+}
+
+func TestGenerateXQuery(t *testing.T) {
+	prog := figure3Program()
+	prog.Rules[0].Where = `data($shipto/subtotal) > 0`
+	q := prog.GenerateXQuery()
+	for _, want := range []string{
+		"for $shipto in //shipTo",
+		"where data($shipto/subtotal) > 0",
+		"return element shippingInfo {",
+		`element name { concat($shipto/lastName, concat(", ", $shipto/firstName)) }`,
+		"element total { data($shipto/subtotal) * 1.05 }",
+	} {
+		if !strings.Contains(q, want) {
+			t.Errorf("XQuery missing %q:\n%s", want, q)
+		}
+	}
+}
+
+func TestGenerateXQueryJoin(t *testing.T) {
+	prog := &Program{
+		Name: "j",
+		Rules: []*EntityRule{{
+			TargetEntity: "staff", SourceEntity: "employee", Var: "e",
+			Join:     &JoinSpec{Entity: "department", Var: "d", On: `$e/dept = $d/code`},
+			Columns:  []ColumnRule{{TargetField: "who", Code: `$e/name`}},
+			KeyField: "id", KeyCode: `$e/name`,
+		}},
+	}
+	q := prog.GenerateXQuery()
+	for _, want := range []string{"for $e in //employee", "for $d in //department",
+		"where $e/dept = $d/code", "element id { $e/name }"} {
+		if !strings.Contains(q, want) {
+			t.Errorf("join XQuery missing %q:\n%s", want, q)
+		}
+	}
+}
+
+func TestTableFromDomains(t *testing.T) {
+	src := &model.Domain{Name: "src", Values: []model.DomainValue{
+		{Code: "B738", Doc: "Boeing 737-800 narrowbody"},
+		{Code: "A320", Doc: "Airbus A320 narrowbody"},
+		{Code: "ZZZZ", Doc: "mystery aircraft"},
+	}}
+	tgt := &model.Domain{Name: "tgt", Values: []model.DomainValue{
+		{Code: "B738", Doc: "Boeing 737-800"},
+		{Code: "A320-FAM", Doc: "Airbus A320 family narrowbody"},
+	}}
+	tab := TableFromDomains("x", src, tgt, false)
+	if got, _ := tab.Apply("B738"); got != "B738" {
+		t.Errorf("exact code: %q", got)
+	}
+	if got, _ := tab.Apply("A320"); got != "A320-FAM" {
+		t.Errorf("doc-aligned code: %q", got)
+	}
+	// ZZZZ shares no doc words → falls to default (first target code).
+	if got, _ := tab.Apply("ZZZZ"); got != "B738" {
+		t.Errorf("default: %q", got)
+	}
+	// Strict mode: no default.
+	strictTab := TableFromDomains("x", src, tgt, true)
+	if _, err := strictTab.Apply("QQQQ"); err == nil {
+		t.Error("strict table should error on unknown code")
+	}
+}
+
+func TestRecordsOfTypeNested(t *testing.T) {
+	ds := poDataset()
+	got := recordsOfType(ds.Records, "shipTo")
+	if len(got) != 2 {
+		t.Errorf("nested records found: %d", len(got))
+	}
+	if len(recordsOfType(ds.Records, "purchaseOrder")) != 2 {
+		t.Error("top-level records missed")
+	}
+}
+
+func TestExecuteWithPolicyNullOnError(t *testing.T) {
+	prog := &Program{
+		Name: "lenient",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{
+				{TargetField: "bad", Code: `data($s/firstName)`}, // non-numeric
+				{TargetField: "good", Code: `$s/lastName`},
+			},
+		}},
+	}
+	out, absorbed, err := prog.ExecuteWithPolicy(poDataset(), NullOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absorbed != 2 {
+		t.Errorf("absorbed = %d, want 2 (one per record)", absorbed)
+	}
+	if len(out.Records) != 2 {
+		t.Fatalf("records = %d", len(out.Records))
+	}
+	if out.Records[0].Get("bad") != nil {
+		t.Error("failed column should be nil")
+	}
+	if out.Records[0].GetString("good") != "Doe" {
+		t.Error("healthy column lost")
+	}
+}
+
+func TestExecuteWithPolicySkipRecord(t *testing.T) {
+	prog := &Program{
+		Name: "skip",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{{TargetField: "n", Code: `data($s/firstName)`}},
+		}},
+	}
+	out, absorbed, err := prog.ExecuteWithPolicy(poDataset(), SkipRecordOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 0 || absorbed != 2 {
+		t.Errorf("records = %d, absorbed = %d", len(out.Records), absorbed)
+	}
+}
+
+func TestExecuteWithPolicyKeyError(t *testing.T) {
+	prog := &Program{
+		Name: "key",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Columns:  []ColumnRule{{TargetField: "n", Code: `$s/lastName`}},
+			KeyField: "id", KeyCode: `data($s/firstName)`, // fails
+		}},
+	}
+	out, absorbed, err := prog.ExecuteWithPolicy(poDataset(), NullOnError)
+	if err != nil || absorbed != 2 {
+		t.Fatalf("err=%v absorbed=%d", err, absorbed)
+	}
+	if out.Records[0].Get("id") != nil {
+		t.Error("failed key should be nil under NullOnError")
+	}
+	out2, absorbed2, err := prog.ExecuteWithPolicy(poDataset(), SkipRecordOnError)
+	if err != nil || absorbed2 != 2 || len(out2.Records) != 0 {
+		t.Errorf("skip policy: %d records, %d absorbed, %v", len(out2.Records), absorbed2, err)
+	}
+	if _, _, err := prog.ExecuteWithPolicy(poDataset(), FailFast); err == nil {
+		t.Error("FailFast should surface the key error")
+	}
+}
+
+func TestExecuteWithPolicyWhereError(t *testing.T) {
+	prog := &Program{
+		Name: "where",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Where:   `data($s/firstName) > 1`, // non-numeric predicate
+			Columns: []ColumnRule{{TargetField: "n", Code: `$s/lastName`}},
+		}},
+	}
+	out, absorbed, err := prog.ExecuteWithPolicy(poDataset(), NullOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 0 || absorbed != 2 {
+		t.Errorf("unpredictable where: %d records, %d absorbed", len(out.Records), absorbed)
+	}
+}

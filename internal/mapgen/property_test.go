@@ -1,0 +1,131 @@
+package mapgen
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+)
+
+// TestParseNeverPanics: arbitrary input must yield a value or an error,
+// never a panic.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseFragmentsNeverPanic: random combinations of legal tokens.
+func TestParseFragmentsNeverPanic(t *testing.T) {
+	tokens := []string{"$x", "/", "(", ")", ",", "+", "-", "*", "div",
+		"concat", "data", "if", "1.5", `"s"`, "=", "and", "or", "<", "$",
+		"lookup", "<=", "!=", "'q'"}
+	rng := rand.New(rand.NewSource(10))
+	for trial := 0; trial < 2000; trial++ {
+		n := 1 + rng.Intn(8)
+		src := ""
+		for i := 0; i < n; i++ {
+			src += tokens[rng.Intn(len(tokens))] + " "
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", src, r)
+				}
+			}()
+			if e, err := Parse(src); err == nil {
+				// Valid parses must also evaluate or error cleanly.
+				env := NewEnv()
+				env.Bind("x", instance.NewRecord("r").Set("f", "1"))
+				_, _ = e.Eval(env)
+			}
+		}()
+	}
+}
+
+// TestEvalDeterministic: the same expression over the same environment
+// always yields the same value.
+func TestEvalDeterministic(t *testing.T) {
+	e := MustParse(`concat(upper-case($s), "-", string(data($n) * 2))`)
+	env := NewEnv()
+	env.Bind("s", "abc")
+	env.Bind("n", "21")
+	v1, err1 := e.Eval(env)
+	v2, err2 := e.Eval(env)
+	if err1 != nil || err2 != nil || v1 != v2 {
+		t.Fatalf("nondeterministic eval: %v/%v, %v/%v", v1, err1, v2, err2)
+	}
+}
+
+// TestConversionRoundTrip: converting a value to another unit and back
+// recovers the original.
+func TestConversionRoundTrip(t *testing.T) {
+	pairs := [][2]string{{"ft", "m"}, {"lb", "kg"}, {"f", "c"}, {"kt", "kph"}, {"h", "min"}, {"k", "c"}}
+	f := func(raw int16) bool {
+		v := float64(raw) / 10
+		for _, p := range pairs {
+			f1, o1, err := ConversionFactors(p[0], p[1])
+			if err != nil {
+				return false
+			}
+			f2, o2, err := ConversionFactors(p[1], p[0])
+			if err != nil {
+				return false
+			}
+			there := v*f1 + o1
+			back := there*f2 + o2
+			if diff := back - v; diff > 1e-6 || diff < -1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecutePolicyTotals: under every policy, records_out + skipped
+// situations account for all drivers (no silent loss).
+func TestExecutePolicyTotals(t *testing.T) {
+	prog := &Program{
+		Name: "totals",
+		Rules: []*EntityRule{{
+			TargetEntity: "t", SourceEntity: "shipTo", Var: "s",
+			Columns: []ColumnRule{{TargetField: "n", Code: `data($s/subtotal)`}},
+		}},
+	}
+	// Half the records have numeric subtotals, half don't.
+	ds := &instance.Dataset{}
+	for i := 0; i < 10; i++ {
+		v := "100"
+		if i%2 == 1 {
+			v = "not-a-number"
+		}
+		ds.Records = append(ds.Records, instance.NewRecord("shipTo").Set("subtotal", v))
+	}
+	outNull, absorbedNull, err := prog.ExecuteWithPolicy(ds, NullOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outNull.Records) != 10 || absorbedNull != 5 {
+		t.Errorf("NullOnError: %d records, %d absorbed", len(outNull.Records), absorbedNull)
+	}
+	outSkip, absorbedSkip, err := prog.ExecuteWithPolicy(ds, SkipRecordOnError)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outSkip.Records)+absorbedSkip != 10 {
+		t.Errorf("SkipRecordOnError lost records: %d + %d != 10", len(outSkip.Records), absorbedSkip)
+	}
+}

@@ -1,0 +1,283 @@
+package mapgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/model"
+	"repro/internal/wbmgr"
+)
+
+func poSchemaFlat() *model.Schema {
+	s := model.NewSchema("po", "xsd")
+	st := s.AddElement(nil, "shipTo", model.KindEntity, model.ContainsElement)
+	for _, n := range []string{"firstName", "lastName", "subtotal"} {
+		a := s.AddElement(st, n, model.KindAttribute, model.ContainsAttribute)
+		a.DataType = "string"
+	}
+	return s
+}
+
+func siSchemaFlat() *model.Schema {
+	s := model.NewSchema("si", "xsd")
+	si := s.AddElement(nil, "shippingInfo", model.KindEntity, model.ContainsElement)
+	nm := s.AddElement(si, "name", model.KindAttribute, model.ContainsAttribute)
+	nm.DataType = "string"
+	tot := s.AddElement(si, "total", model.KindAttribute, model.ContainsAttribute)
+	tot.DataType = "decimal"
+	return s
+}
+
+func managerWithMapping(t *testing.T) (*wbmgr.Manager, *MapperTool, *CodeGenTool) {
+	t.Helper()
+	m := wbmgr.New()
+	if _, err := m.Blackboard().PutSchema(poSchemaFlat()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Blackboard().PutSchema(siSchemaFlat()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Blackboard().NewMapping("m1", "po", "si"); err != nil {
+		t.Fatal(err)
+	}
+	mapper := NewMapperTool("m1")
+	codegen := NewCodeGenTool("m1", "po/shipTo", "si/shippingInfo")
+	if err := m.Register(mapper); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(codegen); err != nil {
+		t.Fatal(err)
+	}
+	return m, mapper, codegen
+}
+
+func TestMapperInvokeWritesCodeAndFiresEvent(t *testing.T) {
+	m, mapper, codegen := managerWithMapping(t)
+	_ = mapper
+	err := m.Invoke("mapper", map[string]string{
+		"source":   "po/shipTo",
+		"variable": "$shipto",
+		"target":   "si/shippingInfo/total",
+		"code":     "data($shipto/subtotal) * 1.05",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, _ := m.Blackboard().GetMapping("m1")
+	if got := mp.ColumnCode("si/shippingInfo/total"); got != "data($shipto/subtotal) * 1.05" {
+		t.Errorf("code = %q", got)
+	}
+	if got := mp.RowVariable("po/shipTo"); got != "$shipto" {
+		t.Errorf("variable = %q", got)
+	}
+	// The codegen listened to the mapping-vector event and regenerated.
+	if codegen.Regenerations() != 1 {
+		t.Errorf("regenerations = %d", codegen.Regenerations())
+	}
+	if !strings.Contains(mp.Code(), "element total { data($shipto/subtotal) * 1.05 }") {
+		t.Errorf("assembled code:\n%s", mp.Code())
+	}
+}
+
+func TestMapperRejectsBadCode(t *testing.T) {
+	m, _, _ := managerWithMapping(t)
+	err := m.Invoke("mapper", map[string]string{
+		"target": "si/shippingInfo/total",
+		"code":   "((",
+	})
+	if err == nil {
+		t.Fatal("unparseable code should be rejected")
+	}
+	// And nothing was written (the txn never started).
+	mp, _ := m.Blackboard().GetMapping("m1")
+	if mp.ColumnCode("si/shippingInfo/total") != "" {
+		t.Error("bad code leaked into the blackboard")
+	}
+}
+
+func TestMapperNeedsArgs(t *testing.T) {
+	m, _, _ := managerWithMapping(t)
+	if err := m.Invoke("mapper", map[string]string{}); err == nil {
+		t.Error("missing args should error")
+	}
+}
+
+func TestMapperProposesOnAcceptedCells(t *testing.T) {
+	m, mapper, _ := managerWithMapping(t)
+	// A matcher writes an accepted cell inside a transaction and emits
+	// the mapping-cell event; the mapper proposes a conversion.
+	txn, _ := m.Begin("harmony")
+	mp, _ := txn.Blackboard().GetMapping("m1")
+	mp.SetCell("po/shipTo/subtotal", "si/shippingInfo/total", 1, true, "harmony")
+	txn.Emit(wbmgr.EventMappingCell, "m1|po/shipTo/subtotal|si/shippingInfo/total")
+	_ = txn.Commit()
+
+	props := mapper.Proposals()
+	code, ok := props["si/shippingInfo/total"]
+	if !ok {
+		t.Fatalf("no proposal: %v", props)
+	}
+	// total is decimal → numeric conversion proposed.
+	if !strings.HasPrefix(code, "data(") {
+		t.Errorf("proposal = %q, want data(...) conversion", code)
+	}
+}
+
+func TestMapperIgnoresRejectedAndMachineCells(t *testing.T) {
+	m, mapper, _ := managerWithMapping(t)
+	txn, _ := m.Begin("harmony")
+	mp, _ := txn.Blackboard().GetMapping("m1")
+	mp.SetCell("po/shipTo/firstName", "si/shippingInfo/name", 0.7, false, "harmony")
+	txn.Emit(wbmgr.EventMappingCell, "m1|po/shipTo/firstName|si/shippingInfo/name")
+	_ = txn.Commit()
+	if len(mapper.Proposals()) != 0 {
+		t.Errorf("machine-suggested cell should not trigger proposals: %v", mapper.Proposals())
+	}
+}
+
+func TestAssembleProgramAndExecute(t *testing.T) {
+	m, _, codegen := managerWithMapping(t)
+	for tgt, code := range map[string]string{
+		"si/shippingInfo/name":  `concat($shipto/lastName, concat(", ", $shipto/firstName))`,
+		"si/shippingInfo/total": `data($shipto/subtotal) * 1.05`,
+	} {
+		if err := m.Invoke("mapper", map[string]string{
+			"source": "po/shipTo", "variable": "$shipto",
+			"target": tgt, "code": code,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog := codegen.Program()
+	if prog == nil {
+		t.Fatal("no program assembled")
+	}
+	src := &instance.Dataset{Records: []*instance.Record{
+		instance.NewRecord("shipTo").Set("firstName", "John").Set("lastName", "Doe").Set("subtotal", "100"),
+	}}
+	out, err := prog.Execute(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Records) != 1 || out.Records[0].GetString("name") != "Doe, John" {
+		t.Errorf("executed output: %v", out.Records)
+	}
+}
+
+func TestAssembleProgramErrors(t *testing.T) {
+	m, _, _ := managerWithMapping(t)
+	bb := m.Blackboard()
+	mp, _ := bb.GetMapping("m1")
+	if _, err := AssembleProgram(bb, mp, "ghost", "si/shippingInfo"); err == nil {
+		t.Error("unknown source entity should error")
+	}
+	if _, err := AssembleProgram(bb, mp, "po/shipTo", "ghost"); err == nil {
+		t.Error("unknown target entity should error")
+	}
+	if _, err := AssembleProgram(bb, mp, "po/shipTo", "si/shippingInfo"); err == nil {
+		t.Error("no column annotations should error")
+	}
+}
+
+func TestCodeGenMatrixEventFires(t *testing.T) {
+	m, _, _ := managerWithMapping(t)
+	var matrixEvents int
+	m.Subscribe(wbmgr.EventMappingMatrix, "observer", func(wbmgr.Event) { matrixEvents++ })
+	_ = m.Invoke("mapper", map[string]string{
+		"source": "po/shipTo", "variable": "$shipto",
+		"target": "si/shippingInfo/total", "code": "data($shipto/subtotal)",
+	})
+	if matrixEvents != 1 {
+		t.Errorf("matrix events = %d", matrixEvents)
+	}
+	// Provenance names the codegen.
+	mp, _ := m.Blackboard().GetMapping("m1")
+	tool, rev := mp.Provenance()
+	if tool != "codegen" || rev == 0 {
+		t.Errorf("provenance = %q, %d", tool, rev)
+	}
+}
+
+func TestAssembleProgramAll(t *testing.T) {
+	m := wbmgr.New()
+	// Two source tables, two target elements.
+	src := model.NewSchema("db", "sql")
+	cust := src.AddElement(nil, "customer", model.KindEntity, model.ContainsTable)
+	src.AddElement(cust, "name", model.KindAttribute, model.ContainsAttribute)
+	ord := src.AddElement(nil, "orders", model.KindEntity, model.ContainsTable)
+	src.AddElement(ord, "total", model.KindAttribute, model.ContainsAttribute)
+	tgt := model.NewSchema("msg", "xsd")
+	cl := tgt.AddElement(nil, "client", model.KindEntity, model.ContainsElement)
+	tgt.AddElement(cl, "fullName", model.KindAttribute, model.ContainsAttribute)
+	pu := tgt.AddElement(nil, "purchase", model.KindEntity, model.ContainsElement)
+	amt := tgt.AddElement(pu, "amount", model.KindAttribute, model.ContainsAttribute)
+	amt.DataType = "decimal"
+	if _, err := m.Blackboard().PutSchema(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Blackboard().PutSchema(tgt); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := m.Blackboard().NewMapping("multi", "db", "msg")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Accepted entity pairings + column code on both targets.
+	mp.SetCell("db/customer", "msg/client", 1, true, "engineer")
+	mp.SetCell("db/orders", "msg/purchase", 1, true, "engineer")
+	mp.SetRowVariable("db/customer", "$c")
+	mp.SetRowVariable("db/orders", "$o")
+	mp.SetColumnCode("msg/client/fullName", "$c/name", "mapper")
+	mp.SetColumnCode("msg/purchase/amount", "data($o/total)", "mapper")
+
+	prog, err := AssembleProgramAll(m.Blackboard(), mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 {
+		t.Fatalf("rules = %d", len(prog.Rules))
+	}
+	ds := &instance.Dataset{Records: []*instance.Record{
+		instance.NewRecord("customer").Set("name", "Ada"),
+		instance.NewRecord("orders").Set("total", "9.5"),
+	}}
+	out, err := prog.Execute(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[string]*instance.Record{}
+	for _, r := range out.Records {
+		byType[r.Type] = r
+	}
+	if byType["client"] == nil || byType["client"].GetString("fullName") != "Ada" {
+		t.Errorf("client record: %v", byType["client"])
+	}
+	if byType["purchase"] == nil || byType["purchase"].GetString("amount") != "9.5" {
+		t.Errorf("purchase record: %v", byType["purchase"])
+	}
+}
+
+func TestAssembleProgramAllUnpaired(t *testing.T) {
+	m := wbmgr.New()
+	src := model.NewSchema("a", "er")
+	e := src.AddElement(nil, "e", model.KindEntity, model.ContainsElement)
+	src.AddElement(e, "x", model.KindAttribute, model.ContainsAttribute)
+	tgt := model.NewSchema("b", "er")
+	f := tgt.AddElement(nil, "f", model.KindEntity, model.ContainsElement)
+	tgt.AddElement(f, "y", model.KindAttribute, model.ContainsAttribute)
+	_, _ = m.Blackboard().PutSchema(src)
+	_, _ = m.Blackboard().PutSchema(tgt)
+	mp, _ := m.Blackboard().NewMapping("m", "a", "b")
+	mp.SetColumnCode("b/f/y", "$v/x", "mapper")
+	// No accepted entity cell: must error, naming the orphan.
+	if _, err := AssembleProgramAll(m.Blackboard(), mp); err == nil || !strings.Contains(err.Error(), "b/f") {
+		t.Errorf("err = %v", err)
+	}
+	// And the no-code case.
+	mp2, _ := m.Blackboard().NewMapping("m2", "a", "b")
+	if _, err := AssembleProgramAll(m.Blackboard(), mp2); err == nil {
+		t.Error("no coded entities should error")
+	}
+}

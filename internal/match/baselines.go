@@ -1,0 +1,183 @@
+package match
+
+import (
+	"strings"
+
+	"repro/internal/lingo"
+	"repro/internal/model"
+)
+
+// Baseline matchers for experiment E6 (DESIGN.md): simpler strategies the
+// Harmony panel is compared against.
+
+// NameEqualityMatcher marks pairs whose names are equal
+// (case-insensitively) with +0.95 and everything else with 0 — the
+// no-tooling strawman.
+type NameEqualityMatcher struct{}
+
+// Name implements Voter.
+func (NameEqualityMatcher) Name() string { return "baseline-name-equality" }
+
+// Vote implements Voter.
+func (NameEqualityMatcher) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	for i, s := range m.Sources {
+		for j, t := range m.Targets {
+			if strings.EqualFold(s.Name, t.Name) {
+				m.Scores[i][j] = 0.95
+			}
+		}
+	}
+	return m
+}
+
+// EditDistanceMatcher scores pairs purely by normalized edit similarity
+// over raw names — the classic string-matcher baseline.
+type EditDistanceMatcher struct{}
+
+// Name implements Voter.
+func (EditDistanceMatcher) Name() string { return "baseline-edit-distance" }
+
+// Vote implements Voter.
+func (EditDistanceMatcher) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	for i, s := range m.Sources {
+		for j, t := range m.Targets {
+			sim := lingo.EditSimilarity(lower(s.Name), lower(t.Name))
+			m.Scores[i][j] = calibrate(sim, 0.5, 0.9, 0.5)
+		}
+	}
+	return m
+}
+
+// COMAMatcher is a COMA-style composite (Do & Rahm, VLDB 2002): the
+// average of a name-token matcher, a character-trigram matcher and a
+// children-name matcher — structure and strings, but no documentation and
+// no thesaurus, which is precisely the signal the paper argues enterprise
+// schemata reward.
+type COMAMatcher struct{}
+
+// Name implements Voter.
+func (COMAMatcher) Name() string { return "baseline-coma" }
+
+// Vote implements Voter.
+func (COMAMatcher) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		name := lingo.Jaccard(ctx.NameTokens(s), ctx.NameTokens(t))
+		tri := lingo.TrigramSimilarity(lower(s.Name), lower(t.Name))
+		n := 2.0
+		childSim := 0.0
+		if !s.IsLeaf() && !t.IsLeaf() {
+			var ts, tt []string
+			for _, c := range s.Children() {
+				ts = append(ts, ctx.NameTokens(c)...)
+			}
+			for _, c := range t.Children() {
+				tt = append(tt, ctx.NameTokens(c)...)
+			}
+			childSim = lingo.Jaccard(ts, tt)
+			n = 3
+		}
+		sim := (name + tri + childSim) / n
+		return calibrate(sim, 0.4, 0.9, 0.5)
+	})
+	return m
+}
+
+// CupidMatcher is a Cupid-style baseline (Madhavan, Bernstein, Rahm,
+// VLDB 2001): per-pair similarity is a weighted blend of linguistic
+// similarity (name tokens + thesaurus) and structural similarity (for
+// leaves, the parents' linguistic similarity; for inner nodes, the mean
+// best leaf-pair similarity of their subtrees), wsim = wstruct·ssim +
+// (1−wstruct)·lsim with the classic wstruct = 0.5.
+type CupidMatcher struct {
+	// WStruct is the structural weight (default 0.5 when zero).
+	WStruct float64
+}
+
+// Name implements Voter.
+func (CupidMatcher) Name() string { return "baseline-cupid" }
+
+// Vote implements Voter.
+func (c CupidMatcher) Vote(ctx *Context) *Matrix {
+	ws := c.WStruct
+	if ws == 0 {
+		ws = 0.5
+	}
+	// Linguistic similarity for every pair.
+	lsimCache := map[[2]*model.Element]float64{}
+	lsim := func(s, t *model.Element) float64 {
+		if v, ok := lsimCache[[2]*model.Element{s, t}]; ok {
+			return v
+		}
+		base := lingo.Jaccard(ctx.NameTokens(s), ctx.NameTokens(t))
+		if ctx.Thesaurus != nil {
+			exp := lingo.Jaccard(ctx.ExpandedNameTokens(s), ctx.ExpandedNameTokens(t))
+			if exp > base {
+				base = exp
+			}
+		}
+		lsimCache[[2]*model.Element{s, t}] = base
+		return base
+	}
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		l := lsim(s, t)
+		var ssim float64
+		if s.IsLeaf() && t.IsLeaf() {
+			// Leaves inherit context from their parents.
+			ps, pt := s.Parent(), t.Parent()
+			if ps != nil && pt != nil && ps.Kind != model.KindSchema && pt.Kind != model.KindSchema {
+				ssim = lsim(ps, pt)
+			}
+		} else if !s.IsLeaf() && !t.IsLeaf() {
+			// Inner nodes: mean best leaf-pair linguistic similarity.
+			var sum float64
+			n := 0
+			for _, cs := range s.Children() {
+				best := 0.0
+				for _, ct := range t.Children() {
+					if v := lsim(cs, ct); v > best {
+						best = v
+					}
+				}
+				sum += best
+				n++
+			}
+			if n > 0 {
+				ssim = sum / float64(n)
+			}
+		}
+		wsim := ws*ssim + (1-ws)*l
+		return calibrate(wsim, 0.35, 0.9, 0.4)
+	})
+	return m
+}
+
+// MelnikMatcher is pure similarity flooding seeded with trigram name
+// similarity — the Melnik ICDE 2002 system as a baseline matcher.
+type MelnikMatcher struct{}
+
+// Name implements Voter.
+func (MelnikMatcher) Name() string { return "baseline-similarity-flooding" }
+
+// Vote implements Voter.
+func (MelnikMatcher) Vote(ctx *Context) *Matrix {
+	init := MatrixOver(ctx.Source, ctx.Target)
+	for i, s := range init.Sources {
+		for j, t := range init.Targets {
+			init.Scores[i][j] = lingo.TrigramSimilarity(lower(s.Name), lower(t.Name))
+		}
+	}
+	flooded := MelnikFlood(init, ctx.Source, ctx.Target, 50, 1e-3)
+	// Rescale [0,1] → (-1,+1) confidence convention.
+	out := NewMatrix(flooded.Sources, flooded.Targets)
+	for i := range flooded.Scores {
+		for j := range flooded.Scores[i] {
+			out.Scores[i][j] = flooded.Scores[i][j]*2 - 1
+		}
+	}
+	out.Clamp(-0.99, 0.99)
+	return out
+}

@@ -1,0 +1,135 @@
+package match
+
+import (
+	"repro/internal/lingo"
+	"repro/internal/model"
+)
+
+// Context carries the preprocessed linguistic state shared by all voters
+// for one (source, target) schema pair. Building it once per engine run
+// corresponds to Figure 1's "linguistic preprocessing" stage.
+type Context struct {
+	Source *model.Schema
+	Target *model.Schema
+	// Thesaurus backs the thesaurus voter; nil disables expansion.
+	Thesaurus *lingo.Thesaurus
+	// Corpus accumulates documentation for TF-IDF. Exposed so the engine
+	// can adjust word weights from user feedback (§4.3).
+	Corpus *lingo.Corpus
+
+	nameTokens map[*model.Element][]string
+	// nameTokensRaw holds unstemmed name tokens; the thesaurus voter
+	// looks these up since synonym tables hold surface forms.
+	nameTokensRaw map[*model.Element][]string
+	// expandedTokens caches thesaurus expansions per element — computing
+	// them per pair would cost O(|S|·|T|) expansions.
+	expandedTokens map[*model.Element][]string
+	docTokens      map[*model.Element][]string
+	docVectors     map[*model.Element]lingo.Vector
+	// Stem controls whether preprocessing stems tokens (ablation hook).
+	Stem bool
+}
+
+// ContextOption customizes context construction.
+type ContextOption func(*Context)
+
+// WithThesaurus sets the thesaurus used for name expansion.
+func WithThesaurus(t *lingo.Thesaurus) ContextOption {
+	return func(c *Context) { c.Thesaurus = t }
+}
+
+// WithoutStemming disables stemming (the DESIGN.md stemming ablation).
+func WithoutStemming() ContextOption {
+	return func(c *Context) { c.Stem = false }
+}
+
+// NewContext preprocesses both schemata: element names and documentation
+// are tokenized, stop-word filtered and stemmed, and the documentation
+// corpus is built so voters can compute TF-IDF weights.
+func NewContext(source, target *model.Schema, opts ...ContextOption) *Context {
+	c := &Context{
+		Source:         source,
+		Target:         target,
+		Thesaurus:      lingo.DefaultThesaurus(),
+		Corpus:         lingo.NewCorpus(),
+		nameTokens:     map[*model.Element][]string{},
+		nameTokensRaw:  map[*model.Element][]string{},
+		expandedTokens: map[*model.Element][]string{},
+		docTokens:      map[*model.Element][]string{},
+		docVectors:     map[*model.Element]lingo.Vector{},
+		Stem:           true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	pre := lingo.Preprocess
+	if !c.Stem {
+		pre = lingo.PreprocessNoStem
+	}
+	for _, s := range []*model.Schema{source, target} {
+		for _, e := range s.Elements() {
+			c.nameTokens[e] = pre(e.Name)
+			c.nameTokensRaw[e] = lingo.PreprocessNoStem(e.Name)
+			doc := e.Doc
+			// Fold enumerated domain documentation into the attribute's
+			// document — the paper's §2 point that domain values carry
+			// matchable documentation.
+			if d := s.DomainOf(e); d != nil {
+				doc += " " + d.Doc
+				for _, v := range d.Values {
+					doc += " " + v.Doc
+				}
+			}
+			toks := pre(doc)
+			c.docTokens[e] = toks
+			if len(toks) > 0 {
+				c.Corpus.AddDocument(toks)
+			}
+		}
+	}
+	return c
+}
+
+// NameTokens returns the preprocessed name tokens of an element.
+func (c *Context) NameTokens(e *model.Element) []string { return c.nameTokens[e] }
+
+// NameTokensRaw returns the unstemmed name tokens of an element.
+func (c *Context) NameTokensRaw(e *model.Element) []string { return c.nameTokensRaw[e] }
+
+// ExpandedNameTokens returns (computing once) the element's unstemmed
+// name tokens expanded through the thesaurus.
+func (c *Context) ExpandedNameTokens(e *model.Element) []string {
+	if toks, ok := c.expandedTokens[e]; ok {
+		return toks
+	}
+	toks := c.nameTokensRaw[e]
+	if c.Thesaurus != nil {
+		toks = c.Thesaurus.Expand(toks)
+	}
+	if c.expandedTokens == nil {
+		c.expandedTokens = map[*model.Element][]string{}
+	}
+	c.expandedTokens[e] = toks
+	return toks
+}
+
+// DocTokens returns the preprocessed documentation tokens of an element.
+func (c *Context) DocTokens(e *model.Element) []string { return c.docTokens[e] }
+
+// DocVector returns (lazily building) the TF-IDF vector of an element's
+// documentation. Vectors are invalidated by InvalidateVectors after the
+// corpus's word weights change.
+func (c *Context) DocVector(e *model.Element) lingo.Vector {
+	if v, ok := c.docVectors[e]; ok {
+		return v
+	}
+	v := c.Corpus.Vector(c.docTokens[e])
+	c.docVectors[e] = v
+	return v
+}
+
+// InvalidateVectors clears cached TF-IDF vectors; call after adjusting
+// word weights so learning takes effect on the next engine run.
+func (c *Context) InvalidateVectors() {
+	c.docVectors = map[*model.Element]lingo.Vector{}
+}

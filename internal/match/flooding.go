@@ -1,0 +1,195 @@
+package match
+
+import (
+	"math"
+
+	"repro/internal/model"
+)
+
+// Structural score adjustment (paper §4): "A version of similarity
+// flooding adjusts the confidence scores based on structural information.
+// Positive confidence scores propagate up the schema graph (e.g., from
+// attributes to entities), and negative confidence scores trickle down
+// the schema graph. Intuitively, two attributes are unlikely to match if
+// their parent entities do not match."
+
+// FloodOptions tunes HarmonyFlood.
+type FloodOptions struct {
+	// Iterations is the number of propagation rounds (default 2).
+	Iterations int
+	// UpWeight scales child→parent positive propagation (default 0.3).
+	UpWeight float64
+	// DownWeight scales parent→child negative propagation (default 0.3).
+	DownWeight float64
+}
+
+func (o *FloodOptions) defaults() {
+	if o.Iterations == 0 {
+		o.Iterations = 2
+	}
+	if o.UpWeight == 0 {
+		o.UpWeight = 0.3
+	}
+	if o.DownWeight == 0 {
+		o.DownWeight = 0.3
+	}
+}
+
+// HarmonyFlood applies the Harmony flooding variant to a merged matrix,
+// in place, and returns it.
+//
+// Up-propagation: for each (sourceEntity, targetEntity) pair, the mean of
+// the positive best-per-child correspondences among their children raises
+// the pair's score. Down-propagation: for each (sourceChild, targetChild)
+// pair whose parents score negatively, the parents' negativity drags the
+// pair down.
+func HarmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions) *Matrix {
+	opts.defaults()
+	for it := 0; it < opts.Iterations; it++ {
+		next := m.Clone()
+		// Up: children lift parents.
+		for i, s := range m.Sources {
+			if s.IsLeaf() {
+				continue
+			}
+			for j, t := range m.Targets {
+				if t.IsLeaf() || !kindCompatible(s, t) {
+					continue
+				}
+				lift := childLift(m, s, t)
+				if lift > 0 {
+					next.Scores[i][j] = blend(m.Scores[i][j], lift, opts.UpWeight)
+				}
+			}
+		}
+		// Down: negative parents drag children.
+		for i, s := range m.Sources {
+			ps := s.Parent()
+			if ps == nil || ps.Kind == model.KindSchema {
+				continue
+			}
+			for j, t := range m.Targets {
+				pt := t.Parent()
+				if pt == nil || pt.Kind == model.KindSchema {
+					continue
+				}
+				parentScore := m.Get(ps.ID, pt.ID)
+				if parentScore < 0 {
+					next.Scores[i][j] = blend(m.Scores[i][j], parentScore, opts.DownWeight)
+				}
+			}
+		}
+		next.Clamp(-0.99, 0.99)
+		m = next
+	}
+	return m
+}
+
+// childLift computes the mean positive best-match score between the
+// children of s and the children of t.
+func childLift(m *Matrix, s, t *model.Element) float64 {
+	var sum float64
+	n := 0
+	for _, cs := range s.Children() {
+		best := 0.0
+		for _, ct := range t.Children() {
+			if v := m.Get(cs.ID, ct.ID); v > best {
+				best = v
+			}
+		}
+		sum += best
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// blend moves cur toward val by weight w.
+func blend(cur, val, w float64) float64 {
+	return cur*(1-w) + val*w
+}
+
+// MelnikFlood is the classic similarity-flooding baseline (Melnik,
+// Garcia-Molina, Rahm, ICDE 2002): build the pairwise connectivity graph
+// over element pairs connected when both schemata connect them with the
+// same edge label, then iterate sim' = normalize(sim0 + sim + Σ neighbor
+// contributions) until the residual drops below epsilon or maxIter.
+//
+// Scores here live in [0,1]; the caller rescales to (-1,+1) when mixing
+// with Harmony confidences. The initial matrix should also be in [0,1].
+func MelnikFlood(init *Matrix, source, target *model.Schema, maxIter int, epsilon float64) *Matrix {
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-3
+	}
+	type pairKey struct{ i, j int }
+	// Propagation edges: (parent pair) <-> (child pair) when edges share
+	// a label. In the canonical tree model, each element has one parent
+	// edge, so pairs are neighbors when both child edges carry the same
+	// label.
+	neighbors := map[pairKey][]pairKey{}
+	addEdge := func(a, b pairKey) {
+		neighbors[a] = append(neighbors[a], b)
+		neighbors[b] = append(neighbors[b], a)
+	}
+	for i, s := range init.Sources {
+		for j, t := range init.Targets {
+			ps, pt := s.Parent(), t.Parent()
+			if ps == nil || pt == nil {
+				continue
+			}
+			if s.EdgeFromParent != t.EdgeFromParent {
+				continue
+			}
+			pi, pj := init.SourceIndex(ps.ID), init.TargetIndex(pt.ID)
+			if pi < 0 || pj < 0 {
+				continue // parent is the root
+			}
+			addEdge(pairKey{pi, pj}, pairKey{i, j})
+		}
+	}
+
+	cur := init.Clone()
+	for it := 0; it < maxIter; it++ {
+		next := NewMatrix(init.Sources, init.Targets)
+		maxVal := 0.0
+		for i := range cur.Scores {
+			for j := range cur.Scores[i] {
+				v := init.Scores[i][j] + cur.Scores[i][j]
+				for _, nb := range neighbors[pairKey{i, j}] {
+					deg := float64(len(neighbors[nb]))
+					if deg > 0 {
+						v += cur.Scores[nb.i][nb.j] / deg
+					}
+				}
+				next.Scores[i][j] = v
+				if v > maxVal {
+					maxVal = v
+				}
+			}
+		}
+		if maxVal > 0 {
+			for i := range next.Scores {
+				for j := range next.Scores[i] {
+					next.Scores[i][j] /= maxVal
+				}
+			}
+		}
+		// Residual.
+		res := 0.0
+		for i := range next.Scores {
+			for j := range next.Scores[i] {
+				res += math.Abs(next.Scores[i][j] - cur.Scores[i][j])
+			}
+		}
+		cur = next
+		if res < epsilon {
+			break
+		}
+	}
+	return cur
+}

@@ -1,0 +1,234 @@
+// Package match implements the Harmony match engine's voting layer
+// (paper §4, Figure 1): a panel of match voters, each scoring every
+// [source element, target element] pair with a confidence in (-1, +1); a
+// vote merger that combines the panel magnitude- and performance-weighted;
+// and the structural similarity-flooding adjustment. Baseline matchers
+// (name equality, edit distance, Melnik-style flooding, a COMA-style
+// composite) live here too so that experiments can compare approaches.
+package match
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Confidence semantics (paper §4): -1 = definitely no correspondence,
+// +1 = definite correspondence, 0 = complete uncertainty.
+
+// Matrix holds a confidence score for every (source, target) element
+// pair. Element order is the schemata's deterministic pre-order.
+type Matrix struct {
+	Sources []*model.Element
+	Targets []*model.Element
+	// Scores[i][j] is the confidence for (Sources[i], Targets[j]).
+	Scores [][]float64
+
+	srcIdx map[string]int
+	tgtIdx map[string]int
+}
+
+// NewMatrix allocates a zero matrix over the given element lists.
+func NewMatrix(sources, targets []*model.Element) *Matrix {
+	m := &Matrix{
+		Sources: sources,
+		Targets: targets,
+		Scores:  make([][]float64, len(sources)),
+		srcIdx:  make(map[string]int, len(sources)),
+		tgtIdx:  make(map[string]int, len(targets)),
+	}
+	for i := range m.Scores {
+		m.Scores[i] = make([]float64, len(targets))
+	}
+	for i, e := range sources {
+		m.srcIdx[e.ID] = i
+	}
+	for j, e := range targets {
+		m.tgtIdx[e.ID] = j
+	}
+	return m
+}
+
+// MatrixOver builds a matrix over all non-root elements of two schemata.
+func MatrixOver(source, target *model.Schema) *Matrix {
+	return NewMatrix(source.Elements(), target.Elements())
+}
+
+// SourceIndex returns the row of a source element ID, or -1.
+func (m *Matrix) SourceIndex(id string) int {
+	if i, ok := m.srcIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// TargetIndex returns the column of a target element ID, or -1.
+func (m *Matrix) TargetIndex(id string) int {
+	if j, ok := m.tgtIdx[id]; ok {
+		return j
+	}
+	return -1
+}
+
+// Get returns the confidence for a pair of element IDs (0 when unknown).
+func (m *Matrix) Get(srcID, tgtID string) float64 {
+	i, j := m.SourceIndex(srcID), m.TargetIndex(tgtID)
+	if i < 0 || j < 0 {
+		return 0
+	}
+	return m.Scores[i][j]
+}
+
+// Set assigns the confidence for a pair of element IDs.
+func (m *Matrix) Set(srcID, tgtID string, v float64) {
+	i, j := m.SourceIndex(srcID), m.TargetIndex(tgtID)
+	if i < 0 || j < 0 {
+		return
+	}
+	m.Scores[i][j] = v
+}
+
+// Clone deep-copies the matrix (sharing the element slices).
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Sources, m.Targets)
+	for i := range m.Scores {
+		copy(out.Scores[i], m.Scores[i])
+	}
+	return out
+}
+
+// Clamp bounds every score to [lo, hi]; the engine uses (-1, +1) open
+// bounds for machine scores, reserving exactly ±1 for user decisions.
+func (m *Matrix) Clamp(lo, hi float64) {
+	for i := range m.Scores {
+		for j := range m.Scores[i] {
+			if m.Scores[i][j] < lo {
+				m.Scores[i][j] = lo
+			}
+			if m.Scores[i][j] > hi {
+				m.Scores[i][j] = hi
+			}
+		}
+	}
+}
+
+// Correspondence is one scored pair, the unit the GUI displays as a line.
+type Correspondence struct {
+	Source     *model.Element
+	Target     *model.Element
+	Confidence float64
+}
+
+// String renders "source ↔ target (+0.80)".
+func (c Correspondence) String() string {
+	return fmt.Sprintf("%s ↔ %s (%+.2f)", c.Source.ID, c.Target.ID, c.Confidence)
+}
+
+// Above returns all pairs with confidence >= threshold, row-major order.
+func (m *Matrix) Above(threshold float64) []Correspondence {
+	var out []Correspondence
+	for i, s := range m.Sources {
+		for j, t := range m.Targets {
+			if m.Scores[i][j] >= threshold {
+				out = append(out, Correspondence{s, t, m.Scores[i][j]})
+			}
+		}
+	}
+	return out
+}
+
+// MaxPerSource returns, for each source element, its highest-confidence
+// target pair(s) — ties included — provided the score is at least
+// threshold. This is the paper's third link filter ("displays, for each
+// schema element, those links with maximal confidence (usually a single
+// link, but ties are possible)").
+func (m *Matrix) MaxPerSource(threshold float64) []Correspondence {
+	var out []Correspondence
+	for i, s := range m.Sources {
+		best := math.Inf(-1)
+		for j := range m.Targets {
+			if m.Scores[i][j] > best {
+				best = m.Scores[i][j]
+			}
+		}
+		if best < threshold {
+			continue
+		}
+		for j, t := range m.Targets {
+			if m.Scores[i][j] == best {
+				out = append(out, Correspondence{s, t, best})
+			}
+		}
+	}
+	return out
+}
+
+// StableMatching selects a one-to-one correspondence set by greedy
+// highest-score-first assignment (the standard "stable marriage"-style
+// selection used by matcher evaluations). Only pairs scoring at least
+// threshold participate.
+func (m *Matrix) StableMatching(threshold float64) []Correspondence {
+	type cell struct {
+		i, j int
+		v    float64
+	}
+	var cells []cell
+	for i := range m.Sources {
+		for j := range m.Targets {
+			if m.Scores[i][j] >= threshold {
+				cells = append(cells, cell{i, j, m.Scores[i][j]})
+			}
+		}
+	}
+	// Sort descending by score, then by indices for determinism.
+	for a := 1; a < len(cells); a++ {
+		for b := a; b > 0; b-- {
+			x, y := cells[b], cells[b-1]
+			if x.v > y.v || (x.v == y.v && (x.i < y.i || (x.i == y.i && x.j < y.j))) {
+				cells[b], cells[b-1] = cells[b-1], cells[b]
+			} else {
+				break
+			}
+		}
+	}
+	usedS := make([]bool, len(m.Sources))
+	usedT := make([]bool, len(m.Targets))
+	var out []Correspondence
+	for _, c := range cells {
+		if usedS[c.i] || usedT[c.j] {
+			continue
+		}
+		usedS[c.i] = true
+		usedT[c.j] = true
+		out = append(out, Correspondence{m.Sources[c.i], m.Targets[c.j], c.v})
+	}
+	return out
+}
+
+// String renders the matrix as a compact table for debugging and the
+// Figure 3 reproduction.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	b.WriteString("            ")
+	for _, t := range m.Targets {
+		fmt.Fprintf(&b, "%-14s", tail(t.ID))
+	}
+	b.WriteString("\n")
+	for i, s := range m.Sources {
+		fmt.Fprintf(&b, "%-12s", tail(s.ID))
+		for j := range m.Targets {
+			fmt.Fprintf(&b, "%+.2f         ", m.Scores[i][j])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func tail(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}

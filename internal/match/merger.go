@@ -1,0 +1,129 @@
+package match
+
+import "math"
+
+// Merger combines the voter panel's matrices into one (paper §4: "Given k
+// match voters, the vote merger combines the k values for each pair into
+// a single confidence score. The vote merger weights each matcher's
+// confidence based on its magnitude ... [and] weights each matcher in
+// toto based on past performance").
+type Merger struct {
+	// weights holds the per-voter performance weight (default 1).
+	weights map[string]float64
+	// MagnitudeWeighting toggles |score| weighting (the DESIGN.md merger
+	// ablation). On by default.
+	MagnitudeWeighting bool
+}
+
+// NewMerger returns a merger with uniform voter weights.
+func NewMerger() *Merger {
+	return &Merger{weights: map[string]float64{}, MagnitudeWeighting: true}
+}
+
+// Weight returns the performance weight of a voter (1 when unlearned).
+func (g *Merger) Weight(voter string) float64 {
+	if w, ok := g.weights[voter]; ok {
+		return w
+	}
+	return 1
+}
+
+// SetWeight assigns a voter's performance weight, clamped to [0.05, 5].
+func (g *Merger) SetWeight(voter string, w float64) {
+	if w < 0.05 {
+		w = 0.05
+	}
+	if w > 5 {
+		w = 5
+	}
+	g.weights[voter] = w
+}
+
+// Vote is one voter's matrix tagged with the voter's name.
+type Vote struct {
+	Voter  string
+	Matrix *Matrix
+}
+
+// Merge combines per-voter matrices. Each cell's merged confidence is
+//
+//	Σ_i w_i · |c_i| · c_i  /  Σ_i w_i · |c_i|
+//
+// so voters near zero ("did not see enough evidence to make a strong
+// prediction") barely influence the result, and per-voter performance
+// weights w_i scale whole matchers. With MagnitudeWeighting off, |c_i| is
+// replaced by 1 (plain weighted mean), the ablation baseline.
+func (g *Merger) Merge(votes []Vote) *Matrix {
+	if len(votes) == 0 {
+		return nil
+	}
+	out := NewMatrix(votes[0].Matrix.Sources, votes[0].Matrix.Targets)
+	for i := range out.Scores {
+		for j := range out.Scores[i] {
+			var num, den float64
+			for _, v := range votes {
+				c := v.Matrix.Scores[i][j]
+				w := g.Weight(v.Voter)
+				mag := 1.0
+				if g.MagnitudeWeighting {
+					mag = math.Abs(c)
+				}
+				num += w * mag * c
+				den += w * mag
+			}
+			if den > 0 {
+				out.Scores[i][j] = num / den
+			}
+		}
+	}
+	out.Clamp(-0.99, 0.99) // exactly ±1 is reserved for user decisions
+	return out
+}
+
+// Feedback is one user decision on a pair: accepted (confidence pinned to
+// +1) or rejected (pinned to -1).
+type Feedback struct {
+	SourceID, TargetID string
+	Accepted           bool
+}
+
+// LearnWeights updates per-voter performance weights from user feedback
+// (§4.3). A voter is credited when the sign of its vote agrees with the
+// user's decision, proportionally to the magnitude of its vote, and
+// debited when it disagrees. The learning rate is deliberately gentle:
+// "learning new weights must be done carefully" (§4.3).
+func (g *Merger) LearnWeights(votes []Vote, feedback []Feedback, rate float64) {
+	if rate <= 0 {
+		rate = 0.1
+	}
+	for _, v := range votes {
+		var credit float64
+		n := 0
+		for _, f := range feedback {
+			c := v.Matrix.Get(f.SourceID, f.TargetID)
+			if c == 0 {
+				continue // abstained: no credit either way
+			}
+			want := 1.0
+			if !f.Accepted {
+				want = -1
+			}
+			credit += want * c // agreement in sign → positive
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		avg := credit / float64(n) // in [-1, 1]
+		g.SetWeight(v.Voter, g.Weight(v.Voter)*(1+rate*avg))
+	}
+}
+
+// Weights returns a copy of the learned weight table.
+func (g *Merger) Weights() map[string]float64 {
+	out := make(map[string]float64, len(g.weights))
+	for k, v := range g.weights {
+		out[k] = v
+	}
+	return out
+}

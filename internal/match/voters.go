@@ -1,0 +1,268 @@
+package match
+
+import (
+	"strings"
+
+	"repro/internal/lingo"
+	"repro/internal/model"
+)
+
+// Voter is one match strategy: it scores every (source, target) element
+// pair with a confidence in (-1, +1) (paper §4: "several match voters are
+// invoked, each of which identifies correspondences using a different
+// strategy").
+type Voter interface {
+	// Name identifies the voter in reports and learned-weight tables.
+	Name() string
+	// Vote returns a confidence matrix over ctx's schemata.
+	Vote(ctx *Context) *Matrix
+}
+
+// calibrate maps a similarity s in [0,1] to a confidence in (-1,+1)
+// around a pivot: similarities above the pivot scale toward +posMax,
+// below it toward -negMax. Voters with precise evidence use larger
+// magnitudes; weak-signal voters stay near zero so the magnitude-weighted
+// merger discounts them automatically.
+func calibrate(s, pivot, posMax, negMax float64) float64 {
+	if s >= pivot {
+		if pivot >= 1 {
+			return posMax
+		}
+		return (s - pivot) / (1 - pivot) * posMax
+	}
+	if pivot <= 0 {
+		return 0
+	}
+	return (s - pivot) / pivot * negMax
+}
+
+// kindCompatible reports whether two elements could plausibly correspond
+// structurally: entities to entities, attributes to attributes,
+// relationships to either entities or relationships (ER reification).
+func kindCompatible(a, b *model.Element) bool {
+	if a.Kind == b.Kind {
+		return true
+	}
+	isRel := func(e *model.Element) bool { return e.Kind == model.KindRelationship }
+	isEnt := func(e *model.Element) bool { return e.Kind == model.KindEntity }
+	return (isRel(a) && isEnt(b)) || (isEnt(a) && isRel(b))
+}
+
+// forEachPair drives a voter body over all kind-compatible pairs;
+// incompatible pairs receive a firm negative vote.
+func forEachPair(ctx *Context, m *Matrix, score func(s, t *model.Element) float64) {
+	for i, s := range m.Sources {
+		for j, t := range m.Targets {
+			if !kindCompatible(s, t) {
+				m.Scores[i][j] = -0.75
+				continue
+			}
+			m.Scores[i][j] = score(s, t)
+		}
+	}
+}
+
+// NameVoter compares element names: token-set Jaccard blended with
+// Jaro-Winkler over the raw names, so both word overlap ("shipTo" vs
+// "ship_to") and string closeness ("qty" vs "qnty") contribute.
+type NameVoter struct{}
+
+// Name implements Voter.
+func (NameVoter) Name() string { return "name" }
+
+// Vote implements Voter.
+func (NameVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		jac := lingo.Jaccard(ctx.NameTokens(s), ctx.NameTokens(t))
+		jw := lingo.JaroWinkler(lower(s.Name), lower(t.Name))
+		sim := 0.6*jac + 0.4*jw
+		// Affix containment: "subtotal" contains "total", "deptCode"
+		// contains "dept" — strong evidence for abbreviation-heavy names.
+		if c := containmentSim(lower(s.Name), lower(t.Name)); c > sim {
+			sim = c
+		}
+		return calibrate(sim, 0.45, 0.9, 0.3)
+	})
+	return m
+}
+
+// containmentSim scores one name containing the other: the length ratio,
+// shifted into the positive band. Names shorter than 4 runes are too
+// ambiguous to count.
+func containmentSim(a, b string) float64 {
+	short, long := a, b
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	if len(short) < 4 || !strings.Contains(long, short) {
+		return 0
+	}
+	ratio := float64(len(short)) / float64(len(long))
+	return 0.5 + 0.45*ratio
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+// DocVoter compares documentation bags-of-words using TF-IDF cosine
+// (paper §4: "one matcher compares the words appearing in the elements'
+// definitions"). Pairs where either side lacks documentation abstain (0).
+type DocVoter struct{}
+
+// Name implements Voter.
+func (DocVoter) Name() string { return "documentation" }
+
+// Vote implements Voter.
+func (DocVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		vs, vt := ctx.DocVector(s), ctx.DocVector(t)
+		if len(vs) == 0 || len(vt) == 0 {
+			return 0 // no evidence either way
+		}
+		sim := lingo.Cosine(vs, vt)
+		// Documentation matchers have good recall but weaker precision
+		// (§4.1): generous positive calibration, soft negative.
+		return calibrate(sim, 0.2, 0.9, 0.2)
+	})
+	return m
+}
+
+// ThesaurusVoter expands name tokens through the thesaurus before
+// comparing (paper §4: "another matcher expands the elements' names using
+// a thesaurus").
+type ThesaurusVoter struct{}
+
+// Name implements Voter.
+func (ThesaurusVoter) Name() string { return "thesaurus" }
+
+// Vote implements Voter.
+func (ThesaurusVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	th := ctx.Thesaurus
+	if th == nil {
+		return m // abstain entirely
+	}
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		// Expansion uses unstemmed tokens (thesauri hold surface forms),
+		// cached per element by the context.
+		es := ctx.ExpandedNameTokens(s)
+		et := ctx.ExpandedNameTokens(t)
+		sim := lingo.Jaccard(es, et)
+		// Expansion inflates token sets, so a modest overlap is already
+		// meaningful; pivot lower than the raw name voter.
+		return calibrate(sim, 0.25, 0.8, 0.1)
+	})
+	return m
+}
+
+// DomainVoter compares enumerated domain values (paper §2: "domain values
+// are often available and could be better exploited by schema matchers").
+// Attributes whose coding schemes overlap strongly are likely the same
+// property even when names differ entirely.
+type DomainVoter struct{}
+
+// Name implements Voter.
+func (DomainVoter) Name() string { return "domain-values" }
+
+// Vote implements Voter.
+func (DomainVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		ds, dt := ctx.Source.DomainOf(s), ctx.Target.DomainOf(t)
+		if ds == nil || dt == nil {
+			return 0 // abstain without evidence
+		}
+		sim := lingo.OverlapCoefficient(ds.Codes(), dt.Codes())
+		// Two enumerated attributes with disjoint code sets are real
+		// negative evidence; shared coding schemes are strong positives.
+		return calibrate(sim, 0.4, 0.95, 0.6)
+	})
+	return m
+}
+
+// TypeVoter compares declared data types: a weak signal (many attributes
+// share a type), so its magnitudes stay small and the merger discounts it.
+type TypeVoter struct{}
+
+// Name implements Voter.
+func (TypeVoter) Name() string { return "data-type" }
+
+// typeGroups buckets concrete type names into comparable families.
+var typeGroups = map[string]string{
+	"string": "text", "varchar": "text", "char": "text", "text": "text",
+	"token": "text", "normalizedstring": "text",
+	"int": "number", "integer": "number", "smallint": "number",
+	"bigint": "number", "decimal": "number", "numeric": "number",
+	"float": "number", "double": "number", "real": "number",
+	"date": "temporal", "datetime": "temporal", "time": "temporal",
+	"timestamp": "temporal",
+	"bool":      "boolean", "boolean": "boolean", "bit": "boolean",
+}
+
+// Vote implements Voter.
+func (TypeVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		if s.Kind != model.KindAttribute || t.Kind != model.KindAttribute {
+			return 0
+		}
+		gs, gt := typeGroups[lower(s.DataType)], typeGroups[lower(t.DataType)]
+		if gs == "" || gt == "" {
+			return 0
+		}
+		if gs == gt {
+			return 0.15
+		}
+		return -0.2
+	})
+	return m
+}
+
+// StructureVoter compares entities by the names of their children — two
+// entities whose attribute sets look alike are likely the same concept
+// even when the entity names differ.
+type StructureVoter struct{}
+
+// Name implements Voter.
+func (StructureVoter) Name() string { return "structure" }
+
+// Vote implements Voter.
+func (StructureVoter) Vote(ctx *Context) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+		if s.IsLeaf() || t.IsLeaf() {
+			return 0
+		}
+		var toksS, toksT []string
+		for _, c := range s.Children() {
+			toksS = append(toksS, ctx.NameTokens(c)...)
+		}
+		for _, c := range t.Children() {
+			toksT = append(toksT, ctx.NameTokens(c)...)
+		}
+		sim := lingo.Jaccard(toksS, toksT)
+		return calibrate(sim, 0.35, 0.7, 0.2)
+	})
+	return m
+}
+
+// DefaultVoters returns the full Harmony panel in its standard order.
+func DefaultVoters() []Voter {
+	return []Voter{
+		NameVoter{},
+		DocVoter{},
+		ThesaurusVoter{},
+		DomainVoter{},
+		TypeVoter{},
+		StructureVoter{},
+	}
+}

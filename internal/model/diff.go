@@ -1,0 +1,188 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema evolution support (paper §3.1: "One also needs a means to keep
+// the metadata in synch, as the actual systems change"; §5.1.3:
+// "schemata inevitably change; the blackboard should track schemata
+// across versions"). Diff reports what changed between two versions so
+// that mappings referencing removed or altered elements can be reviewed.
+
+// DiffKind classifies one schema change.
+type DiffKind string
+
+// Change kinds.
+const (
+	ElementAdded   DiffKind = "element-added"
+	ElementRemoved DiffKind = "element-removed"
+	ElementChanged DiffKind = "element-changed"
+	DomainAdded    DiffKind = "domain-added"
+	DomainRemoved  DiffKind = "domain-removed"
+	DomainChanged  DiffKind = "domain-changed"
+)
+
+// DiffEntry is one change between schema versions.
+type DiffEntry struct {
+	Kind DiffKind
+	// ID is the element ID or domain name.
+	ID string
+	// Detail describes the change for element/domain changes.
+	Detail string
+}
+
+// String renders "element-changed purchaseOrder/shipTo: doc changed".
+func (e DiffEntry) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%s %s", e.Kind, e.ID)
+	}
+	return fmt.Sprintf("%s %s: %s", e.Kind, e.ID, e.Detail)
+}
+
+// Diff compares two schema versions element-by-element (matched by path
+// from the root, so renamed or archived schemata still align) and
+// domain-by-domain (matched by name), returning changes sorted by kind
+// then ID. Reported IDs are root-relative paths.
+func Diff(old, new *Schema) []DiffEntry {
+	var out []DiffEntry
+
+	pathKey := func(e *Element) string { return strings.Join(e.Path(), "/") }
+	oldElems := map[string]*Element{}
+	for _, e := range old.Elements() {
+		oldElems[pathKey(e)] = e
+	}
+	newElems := map[string]*Element{}
+	for _, e := range new.Elements() {
+		newElems[pathKey(e)] = e
+	}
+	for id, oe := range oldElems {
+		ne, ok := newElems[id]
+		if !ok {
+			out = append(out, DiffEntry{ElementRemoved, id, ""})
+			continue
+		}
+		if detail := elementDelta(oe, ne); detail != "" {
+			out = append(out, DiffEntry{ElementChanged, id, detail})
+		}
+	}
+	for id := range newElems {
+		if _, ok := oldElems[id]; !ok {
+			out = append(out, DiffEntry{ElementAdded, id, ""})
+		}
+	}
+
+	for name, od := range old.Domains {
+		nd, ok := new.Domains[name]
+		if !ok {
+			out = append(out, DiffEntry{DomainRemoved, name, ""})
+			continue
+		}
+		if detail := domainDelta(od, nd); detail != "" {
+			out = append(out, DiffEntry{DomainChanged, name, detail})
+		}
+	}
+	for name := range new.Domains {
+		if _, ok := old.Domains[name]; !ok {
+			out = append(out, DiffEntry{DomainAdded, name, ""})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func elementDelta(a, b *Element) string {
+	var parts []string
+	if a.Kind != b.Kind {
+		parts = append(parts, fmt.Sprintf("kind %s→%s", a.Kind, b.Kind))
+	}
+	if a.DataType != b.DataType {
+		parts = append(parts, fmt.Sprintf("type %s→%s", orNone(a.DataType), orNone(b.DataType)))
+	}
+	if a.Doc != b.Doc {
+		parts = append(parts, "doc changed")
+	}
+	if a.Key != b.Key {
+		parts = append(parts, fmt.Sprintf("key %t→%t", a.Key, b.Key))
+	}
+	if a.Required != b.Required {
+		parts = append(parts, fmt.Sprintf("required %t→%t", a.Required, b.Required))
+	}
+	if a.DomainRef != b.DomainRef {
+		parts = append(parts, fmt.Sprintf("domain %s→%s", orNone(a.DomainRef), orNone(b.DomainRef)))
+	}
+	return join(parts)
+}
+
+func domainDelta(a, b *Domain) string {
+	var parts []string
+	if a.Doc != b.Doc {
+		parts = append(parts, "doc changed")
+	}
+	oldCodes := map[string]string{}
+	for _, v := range a.Values {
+		oldCodes[v.Code] = v.Doc
+	}
+	newCodes := map[string]string{}
+	for _, v := range b.Values {
+		newCodes[v.Code] = v.Doc
+	}
+	var added, removed []string
+	for c := range newCodes {
+		if _, ok := oldCodes[c]; !ok {
+			added = append(added, c)
+		}
+	}
+	for c := range oldCodes {
+		if _, ok := newCodes[c]; !ok {
+			removed = append(removed, c)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	if len(added) > 0 {
+		parts = append(parts, fmt.Sprintf("codes added %v", added))
+	}
+	if len(removed) > 0 {
+		parts = append(parts, fmt.Sprintf("codes removed %v", removed))
+	}
+	return join(parts)
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// AffectedMappingRows lists the element IDs in a diff that a mapping
+// over the old schema should re-review: removed and changed elements.
+func AffectedMappingRows(diff []DiffEntry) []string {
+	var out []string
+	for _, d := range diff {
+		if d.Kind == ElementRemoved || d.Kind == ElementChanged {
+			out = append(out, d.ID)
+		}
+	}
+	return out
+}

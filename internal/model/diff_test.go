@@ -1,0 +1,158 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffBase() *Schema {
+	s := NewSchema("app", "sql")
+	t := s.AddElement(nil, "orders", KindEntity, ContainsTable)
+	id := s.AddElement(t, "id", KindAttribute, ContainsAttribute)
+	id.Key = true
+	st := s.AddElement(t, "status", KindAttribute, ContainsAttribute)
+	st.DomainRef = "Status"
+	st.DataType = "varchar"
+	s.AddElement(t, "legacy_flag", KindAttribute, ContainsAttribute)
+	s.AddDomain(&Domain{Name: "Status", Values: []DomainValue{
+		{Code: "open"}, {Code: "closed"},
+	}})
+	return s
+}
+
+func diffEvolved() *Schema {
+	s := NewSchema("app", "sql")
+	t := s.AddElement(nil, "orders", KindEntity, ContainsTable)
+	id := s.AddElement(t, "id", KindAttribute, ContainsAttribute)
+	id.Key = true
+	st := s.AddElement(t, "status", KindAttribute, ContainsAttribute)
+	st.DomainRef = "Status"
+	st.DataType = "char"                                            // type changed
+	st.Required = true                                              // now required
+	s.AddElement(t, "created_at", KindAttribute, ContainsAttribute) // added
+	// legacy_flag removed
+	s.AddDomain(&Domain{Name: "Status", Values: []DomainValue{
+		{Code: "open"}, {Code: "closed"}, {Code: "shipped"}, // code added
+	}})
+	s.AddDomain(&Domain{Name: "Carrier", Values: []DomainValue{{Code: "ups"}}}) // domain added
+	return s
+}
+
+func TestDiffDetectsAllChangeKinds(t *testing.T) {
+	diff := Diff(diffBase(), diffEvolved())
+	byKind := map[DiffKind][]DiffEntry{}
+	for _, d := range diff {
+		byKind[d.Kind] = append(byKind[d.Kind], d)
+	}
+	if got := byKind[ElementAdded]; len(got) != 1 || !strings.Contains(got[0].ID, "created_at") {
+		t.Errorf("added: %v", got)
+	}
+	if got := byKind[ElementRemoved]; len(got) != 1 || !strings.Contains(got[0].ID, "legacy_flag") {
+		t.Errorf("removed: %v", got)
+	}
+	if got := byKind[ElementChanged]; len(got) != 1 {
+		t.Fatalf("changed: %v", got)
+	} else {
+		detail := got[0].Detail
+		for _, want := range []string{"type varchar→char", "required false→true"} {
+			if !strings.Contains(detail, want) {
+				t.Errorf("change detail %q missing %q", detail, want)
+			}
+		}
+	}
+	if got := byKind[DomainAdded]; len(got) != 1 || got[0].ID != "Carrier" {
+		t.Errorf("domain added: %v", got)
+	}
+	if got := byKind[DomainChanged]; len(got) != 1 || !strings.Contains(got[0].Detail, "codes added [shipped]") {
+		t.Errorf("domain changed: %v", got)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	if d := Diff(diffBase(), diffBase()); len(d) != 0 {
+		t.Errorf("identical schemata diff = %v", d)
+	}
+}
+
+func TestDiffDomainRemoved(t *testing.T) {
+	old := diffBase()
+	new_ := diffBase()
+	st := new_.Element("app/orders/status")
+	st.DomainRef = ""
+	delete(new_.Domains, "Status")
+	d := Diff(old, new_)
+	foundRemoval, foundRefChange := false, false
+	for _, e := range d {
+		if e.Kind == DomainRemoved && e.ID == "Status" {
+			foundRemoval = true
+		}
+		if e.Kind == ElementChanged && strings.Contains(e.Detail, "domain Status→(none)") {
+			foundRefChange = true
+		}
+	}
+	if !foundRemoval || !foundRefChange {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+func TestDiffEntryString(t *testing.T) {
+	e := DiffEntry{ElementChanged, "a/b", "doc changed"}
+	if e.String() != "element-changed a/b: doc changed" {
+		t.Errorf("String = %q", e.String())
+	}
+	e2 := DiffEntry{ElementAdded, "a/c", ""}
+	if e2.String() != "element-added a/c" {
+		t.Errorf("String = %q", e2.String())
+	}
+}
+
+func TestDiffSortedAndDeterministic(t *testing.T) {
+	d1 := Diff(diffBase(), diffEvolved())
+	d2 := Diff(diffBase(), diffEvolved())
+	if len(d1) != len(d2) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatal("nondeterministic order")
+		}
+	}
+}
+
+func TestAffectedMappingRows(t *testing.T) {
+	diff := Diff(diffBase(), diffEvolved())
+	rows := AffectedMappingRows(diff)
+	joined := strings.Join(rows, " ")
+	if !strings.Contains(joined, "legacy_flag") || !strings.Contains(joined, "status") {
+		t.Errorf("affected rows = %v", rows)
+	}
+	for _, r := range rows {
+		if strings.Contains(r, "created_at") {
+			t.Error("added elements do not affect existing mappings")
+		}
+	}
+}
+
+func TestDiffKindChange(t *testing.T) {
+	old := NewSchema("s", "er")
+	old.AddElement(nil, "x", KindEntity, ContainsElement)
+	new_ := NewSchema("s", "er")
+	new_.AddElement(nil, "x", KindRelationship, References)
+	d := Diff(old, new_)
+	if len(d) != 1 || !strings.Contains(d[0].Detail, "kind entity→relationship") {
+		t.Errorf("diff = %v", d)
+	}
+}
+
+func TestDiffDocChangeOnly(t *testing.T) {
+	old := NewSchema("s", "er")
+	e := old.AddElement(nil, "x", KindEntity, ContainsElement)
+	e.Doc = "old words"
+	new_ := NewSchema("s", "er")
+	f := new_.AddElement(nil, "x", KindEntity, ContainsElement)
+	f.Doc = "new words"
+	d := Diff(old, new_)
+	if len(d) != 1 || d[0].Detail != "doc changed" {
+		t.Errorf("diff = %v", d)
+	}
+}

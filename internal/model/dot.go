@@ -1,0 +1,111 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graphviz export. The paper's Harmony GUI draws schemata as trees with
+// color-coded correspondence lines; headless deployments get the same
+// picture as DOT text (render with `dot -Tsvg`).
+
+// ToDOT renders one schema as a DOT digraph cluster body.
+func ToDOT(s *Schema) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n", s.Name)
+	writeDOTBody(&b, s, "")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeDOTBody(b *strings.Builder, s *Schema, prefix string) {
+	s.Walk(func(e *Element) bool {
+		if e.Kind == KindSchema {
+			return true
+		}
+		style := "solid"
+		fill := "white"
+		switch e.Kind {
+		case KindEntity:
+			fill = "lightblue"
+		case KindAttribute:
+			fill = "white"
+		case KindRelationship:
+			fill = "lightyellow"
+			style = "dashed"
+		}
+		label := dotEscape(e.Name)
+		if e.DataType != "" {
+			label += `\n` + dotEscape(e.DataType)
+		}
+		fmt.Fprintf(b, "  %q [label=\"%s\", style=\"filled,%s\", fillcolor=%q];\n",
+			prefix+e.ID, label, style, fill)
+		if p := e.Parent(); p != nil && p.Kind != KindSchema {
+			fmt.Fprintf(b, "  %q -> %q [label=%q, fontsize=9];\n",
+				prefix+p.ID, prefix+e.ID, string(e.EdgeFromParent))
+		}
+		return true
+	})
+}
+
+// MappingDOT renders two schemata side by side with correspondence edges
+// colored by confidence: green for strong positive, gray for weak,
+// red-dashed for user rejections — the GUI's color-coded lines (§4).
+// cells supplies (sourceID, targetID, confidence, userDefined) tuples.
+type MappingDOTCell struct {
+	SourceID, TargetID string
+	Confidence         float64
+	UserDefined        bool
+}
+
+// MappingToDOT renders the pair plus correspondence lines.
+func MappingToDOT(src, tgt *Schema, cells []MappingDOTCell) string {
+	var b strings.Builder
+	b.WriteString("digraph mapping {\n  rankdir=LR;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	fmt.Fprintf(&b, "  subgraph cluster_src { label=%q;\n", src.Name)
+	writeDOTBody(&b, src, "S:")
+	b.WriteString("  }\n")
+	fmt.Fprintf(&b, "  subgraph cluster_tgt { label=%q;\n", tgt.Name)
+	writeDOTBody(&b, tgt, "T:")
+	b.WriteString("  }\n")
+
+	sorted := append([]MappingDOTCell(nil), cells...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].SourceID != sorted[j].SourceID {
+			return sorted[i].SourceID < sorted[j].SourceID
+		}
+		return sorted[i].TargetID < sorted[j].TargetID
+	})
+	for _, c := range sorted {
+		color, style := lineStyle(c)
+		fmt.Fprintf(&b, "  %q -> %q [color=%q, style=%q, label=\"%+.2f\", fontsize=9, constraint=false];\n",
+			"S:"+c.SourceID, "T:"+c.TargetID, color, style, c.Confidence)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotEscape escapes quotes and backslashes for a DOT double-quoted string.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// lineStyle maps a cell to the GUI's color code.
+func lineStyle(c MappingDOTCell) (color, style string) {
+	style = "solid"
+	if c.UserDefined {
+		style = "bold"
+	}
+	switch {
+	case c.Confidence <= -0.5:
+		return "red", "dashed"
+	case c.Confidence < 0.25:
+		return "gray", style
+	case c.Confidence < 0.6:
+		return "orange", style
+	default:
+		return "forestgreen", style
+	}
+}

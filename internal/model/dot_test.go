@@ -1,0 +1,73 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func dotSchema() *Schema {
+	s := NewSchema("po", "xsd")
+	e := s.AddElement(nil, "shipTo", KindEntity, ContainsElement)
+	a := s.AddElement(e, "subtotal", KindAttribute, ContainsAttribute)
+	a.DataType = "decimal"
+	r := s.AddElement(nil, "rel", KindRelationship, References)
+	_ = r
+	return s
+}
+
+func TestToDOT(t *testing.T) {
+	out := ToDOT(dotSchema())
+	for _, want := range []string{
+		`digraph "po"`,
+		`"po/shipTo" [label="shipTo"`,
+		`fillcolor="lightblue"`,
+		`"po/shipTo/subtotal" [label="subtotal\ndecimal"`,
+		`"po/shipTo" -> "po/shipTo/subtotal" [label="contains-attribute"`,
+		`fillcolor="lightyellow"`, // the relationship
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMappingToDOT(t *testing.T) {
+	src := dotSchema()
+	tgt := NewSchema("si", "xsd")
+	e := tgt.AddElement(nil, "shippingInfo", KindEntity, ContainsElement)
+	tgt.AddElement(e, "total", KindAttribute, ContainsAttribute)
+
+	out := MappingToDOT(src, tgt, []MappingDOTCell{
+		{"po/shipTo", "si/shippingInfo", 0.8, false},
+		{"po/shipTo/subtotal", "si/shippingInfo/total", 1.0, true},
+		{"po/shipTo/subtotal", "si/shippingInfo", -1.0, true},
+		{"po/shipTo", "si/shippingInfo/total", 0.3, false},
+		{"po/shipTo", "si/shippingInfo/total", 0.1, false},
+	})
+	for _, want := range []string{
+		"subgraph cluster_src",
+		"subgraph cluster_tgt",
+		`"S:po/shipTo" -> "T:si/shippingInfo" [color="forestgreen", style="solid", label="+0.80"`,
+		`color="forestgreen", style="bold", label="+1.00"`, // user accept
+		`color="red", style="dashed", label="-1.00"`,       // user reject
+		`color="orange"`, // mid confidence
+		`color="gray"`,   // weak
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mapping DOT missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMappingToDOTDeterministic(t *testing.T) {
+	src, tgt := dotSchema(), dotSchema()
+	cells := []MappingDOTCell{
+		{"b", "y", 0.5, false},
+		{"a", "x", 0.5, false},
+	}
+	a := MappingToDOT(src, tgt, cells)
+	b := MappingToDOT(src, tgt, []MappingDOTCell{cells[1], cells[0]})
+	if a != b {
+		t.Error("cell order should not change output")
+	}
+}

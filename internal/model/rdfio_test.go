@@ -1,0 +1,150 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+func richSchema() *Schema {
+	s := NewSchema("rich", "er")
+	s.Doc = "A schema exercising every feature"
+	ent := s.AddElement(nil, "Flight", KindEntity, ContainsElement)
+	ent.Doc = "A scheduled flight"
+	id := s.AddElement(ent, "flightID", KindAttribute, ContainsAttribute)
+	id.DataType = "string"
+	id.Key = true
+	id.Required = true
+	id.Doc = "Unique flight identifier"
+	ac := s.AddElement(ent, "acType", KindAttribute, ContainsAttribute)
+	ac.DataType = "string"
+	ac.DomainRef = "AircraftType"
+	ac.Props = map[string]string{"source-system": "OAG", "sensitivity": "low"}
+	rel := s.AddElement(nil, "operatedBy", KindRelationship, References)
+	rel.Doc = "Flight is operated by a carrier"
+	s.AddDomain(&Domain{
+		Name: "AircraftType",
+		Doc:  "ICAO designators",
+		Values: []DomainValue{
+			{Code: "B738", Doc: "Boeing 737-800"},
+			{Code: "A320", Doc: "Airbus A320"},
+			{Code: "E145", Doc: "Embraer 145"},
+		},
+	})
+	return s
+}
+
+func TestRDFRoundTrip(t *testing.T) {
+	s := richSchema()
+	g := rdf.NewGraph()
+	node := ToRDF(g, s)
+	if rdf.TypeOf(g, node) != ClassSchemaT {
+		t.Fatal("schema node missing type")
+	}
+
+	back, err := FromRDF(g, "rich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != s.Name || back.Format != s.Format || back.Doc != s.Doc {
+		t.Errorf("schema header lost: %+v", back)
+	}
+	if back.Len() != s.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), s.Len())
+	}
+	// Element-by-element comparison.
+	want := s.Elements()
+	got := back.Elements()
+	for i := range want {
+		w, g2 := want[i], got[i]
+		if w.ID != g2.ID || w.Name != g2.Name || w.Kind != g2.Kind ||
+			w.DataType != g2.DataType || w.Doc != g2.Doc ||
+			w.Key != g2.Key || w.Required != g2.Required ||
+			w.DomainRef != g2.DomainRef || w.EdgeFromParent != g2.EdgeFromParent {
+			t.Errorf("element %d mismatch:\n want %+v\n got  %+v", i, w, g2)
+		}
+		if !reflect.DeepEqual(w.Props, g2.Props) && !(len(w.Props) == 0 && len(g2.Props) == 0) {
+			t.Errorf("element %d props: want %v got %v", i, w.Props, g2.Props)
+		}
+	}
+	// Domains.
+	wd, gd := s.Domains["AircraftType"], back.Domains["AircraftType"]
+	if gd == nil || !reflect.DeepEqual(wd, gd) {
+		t.Errorf("domain round trip: want %+v got %+v", wd, gd)
+	}
+}
+
+func TestRDFRoundTripThroughNTriples(t *testing.T) {
+	// Full serialization cycle: schema → RDF → N-Triples text → RDF → schema.
+	s := richSchema()
+	g := rdf.NewGraph()
+	ToRDF(g, s)
+	text := rdf.MarshalNTriples(g)
+	g2, err := rdf.UnmarshalNTriples(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromRDF(g2, "rich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || len(back.Domains) != len(s.Domains) {
+		t.Errorf("text round trip lost content: %d elements, %d domains",
+			back.Len(), len(back.Domains))
+	}
+}
+
+func TestFromRDFMissing(t *testing.T) {
+	g := rdf.NewGraph()
+	if _, err := FromRDF(g, "ghost"); err == nil {
+		t.Error("missing schema should error")
+	}
+}
+
+func TestSchemaNames(t *testing.T) {
+	g := rdf.NewGraph()
+	ToRDF(g, NewSchema("beta", "er"))
+	ToRDF(g, NewSchema("alpha", "xsd"))
+	if got := SchemaNames(g); !reflect.DeepEqual(got, []string{"alpha", "beta"}) {
+		t.Errorf("SchemaNames = %v", got)
+	}
+}
+
+func TestChildOrderPreserved(t *testing.T) {
+	s := NewSchema("ord", "synthetic")
+	e := s.AddElement(nil, "E", KindEntity, ContainsElement)
+	for _, n := range []string{"z", "m", "a", "q"} {
+		s.AddElement(e, n, KindAttribute, ContainsAttribute)
+	}
+	g := rdf.NewGraph()
+	ToRDF(g, s)
+	back, err := FromRDF(g, "ord")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, c := range back.Elements()[0].Children() {
+		names = append(names, c.Name)
+	}
+	if !reflect.DeepEqual(names, []string{"z", "m", "a", "q"}) {
+		t.Errorf("child order = %v", names)
+	}
+}
+
+func TestTwoSchemataCoexist(t *testing.T) {
+	g := rdf.NewGraph()
+	ToRDF(g, buildPurchaseOrder())
+	ToRDF(g, richSchema())
+	a, err := FromRDF(g, "purchaseOrder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromRDF(g, "rich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 5 || b.Len() != 4 {
+		t.Errorf("cross-talk between schemata: %d, %d", a.Len(), b.Len())
+	}
+}

@@ -1,0 +1,216 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildPurchaseOrder constructs the Figure 2 source schema by hand.
+func buildPurchaseOrder() *Schema {
+	s := NewSchema("purchaseOrder", "xsd")
+	po := s.AddElement(nil, "purchaseOrder", KindEntity, ContainsElement)
+	po.Doc = "A purchase order submitted by a customer"
+	shipTo := s.AddElement(po, "shipTo", KindEntity, ContainsElement)
+	shipTo.Doc = "The shipping destination for the order"
+	fn := s.AddElement(shipTo, "firstName", KindAttribute, ContainsAttribute)
+	fn.DataType = "string"
+	fn.Doc = "Given name of the recipient"
+	ln := s.AddElement(shipTo, "lastName", KindAttribute, ContainsAttribute)
+	ln.DataType = "string"
+	ln.Doc = "Family name of the recipient"
+	st := s.AddElement(shipTo, "subtotal", KindAttribute, ContainsAttribute)
+	st.DataType = "decimal"
+	st.Doc = "Order subtotal before tax"
+	return s
+}
+
+func TestAddElementAndLookup(t *testing.T) {
+	s := buildPurchaseOrder()
+	e := s.Element("purchaseOrder/purchaseOrder/shipTo/firstName")
+	if e == nil || e.Name != "firstName" {
+		t.Fatalf("lookup failed: %v", e)
+	}
+	if e.Parent().Name != "shipTo" {
+		t.Errorf("parent = %q", e.Parent().Name)
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d, want 5", s.Len())
+	}
+}
+
+func TestElementIDCollision(t *testing.T) {
+	s := NewSchema("s", "synthetic")
+	a := s.AddElement(nil, "dup", KindEntity, ContainsElement)
+	b := s.AddElement(nil, "dup", KindEntity, ContainsElement)
+	if a.ID == b.ID {
+		t.Fatal("colliding names must get distinct IDs")
+	}
+	if s.Element(b.ID) != b {
+		t.Error("suffixed ID should be registered")
+	}
+	c := s.AddElement(nil, "dup", KindEntity, ContainsElement)
+	if c.ID == a.ID || c.ID == b.ID {
+		t.Error("third duplicate should also be distinct")
+	}
+}
+
+func TestDepthAndPath(t *testing.T) {
+	s := buildPurchaseOrder()
+	fn := s.MustElement("purchaseOrder/purchaseOrder/shipTo/firstName")
+	if fn.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", fn.Depth())
+	}
+	if got := strings.Join(fn.Path(), "/"); got != "purchaseOrder/shipTo/firstName" {
+		t.Errorf("Path = %q", got)
+	}
+	if s.Root().Depth() != 0 {
+		t.Error("root depth should be 0")
+	}
+}
+
+func TestWalkPreOrderAndEarlyStop(t *testing.T) {
+	s := buildPurchaseOrder()
+	var names []string
+	s.Walk(func(e *Element) bool {
+		names = append(names, e.Name)
+		return true
+	})
+	want := "purchaseOrder purchaseOrder shipTo firstName lastName subtotal"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("pre-order = %q, want %q", got, want)
+	}
+	count := 0
+	s.Walk(func(e *Element) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestElementsAndKindsAndLeaves(t *testing.T) {
+	s := buildPurchaseOrder()
+	if got := len(s.Elements()); got != 5 {
+		t.Errorf("Elements = %d", got)
+	}
+	if got := len(s.ElementsOfKind(KindAttribute)); got != 3 {
+		t.Errorf("attributes = %d", got)
+	}
+	if got := len(s.ElementsOfKind(KindEntity)); got != 2 {
+		t.Errorf("entities = %d", got)
+	}
+	leaves := s.Leaves()
+	if len(leaves) != 3 {
+		t.Errorf("leaves = %d", len(leaves))
+	}
+	if got := len(s.AtDepth(1)); got != 1 {
+		t.Errorf("AtDepth(1) = %d", got)
+	}
+	if got := len(s.AtDepth(3)); got != 3 {
+		t.Errorf("AtDepth(3) = %d", got)
+	}
+}
+
+func TestSubtreeAndInSubtree(t *testing.T) {
+	s := buildPurchaseOrder()
+	shipTo := s.MustElement("purchaseOrder/purchaseOrder/shipTo")
+	sub := Subtree(shipTo)
+	if len(sub) != 4 {
+		t.Errorf("Subtree = %d elements", len(sub))
+	}
+	fn := s.MustElement("purchaseOrder/purchaseOrder/shipTo/firstName")
+	if !fn.InSubtree(shipTo) {
+		t.Error("firstName should be in shipTo subtree")
+	}
+	if shipTo.InSubtree(fn) {
+		t.Error("ancestor is not in descendant's subtree")
+	}
+}
+
+func TestDomains(t *testing.T) {
+	s := NewSchema("atc", "er")
+	s.AddDomain(&Domain{
+		Name: "AircraftType",
+		Doc:  "ICAO aircraft type designators",
+		Values: []DomainValue{
+			{Code: "B738", Doc: "Boeing 737-800"},
+			{Code: "A320", Doc: "Airbus A320"},
+		},
+	})
+	e := s.AddElement(nil, "flight", KindEntity, ContainsElement)
+	a := s.AddElement(e, "acType", KindAttribute, ContainsAttribute)
+	a.DomainRef = "AircraftType"
+	d := s.DomainOf(a)
+	if d == nil || len(d.Values) != 2 {
+		t.Fatalf("DomainOf = %v", d)
+	}
+	if got := d.Codes(); len(got) != 2 || got[0] != "B738" {
+		t.Errorf("Codes = %v", got)
+	}
+	if s.DomainOf(e) != nil {
+		t.Error("element without ref should have nil domain")
+	}
+	if s.DomainOf(nil) != nil {
+		t.Error("nil element should have nil domain")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := buildPurchaseOrder()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid schema rejected: %v", err)
+	}
+	// Unknown domain ref.
+	bad := NewSchema("bad", "synthetic")
+	e := bad.AddElement(nil, "x", KindAttribute, ContainsAttribute)
+	e.DomainRef = "nope"
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "unknown domain") {
+		t.Errorf("err = %v", err)
+	}
+	// Empty name.
+	bad2 := NewSchema("bad2", "synthetic")
+	bad2.AddElement(nil, "", KindEntity, ContainsElement)
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "empty name") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMustElementPanics(t *testing.T) {
+	s := buildPurchaseOrder()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustElement on absent id should panic")
+		}
+	}()
+	s.MustElement("no/such/element")
+}
+
+func TestSchemaString(t *testing.T) {
+	s := buildPurchaseOrder()
+	s.AddDomain(&Domain{Name: "D", Values: []DomainValue{{Code: "a"}}})
+	out := s.String()
+	for _, want := range []string{"schema purchaseOrder (xsd)", "shipTo [entity]",
+		"firstName [attribute:string]", "domain D (1 values)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	s := buildPurchaseOrder()
+	s.AddDomain(&Domain{Name: "D", Values: []DomainValue{{Code: "a"}, {Code: "b"}}})
+	rel := s.AddElement(nil, "orderedBy", KindRelationship, References)
+	rel.Doc = "relates order to customer"
+	st := ComputeStats(s)
+	if st.Entities != 2 || st.Attributes != 3 || st.Relationships != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DocumentedElements != 3 || st.DocumentedAttributes != 3 {
+		t.Errorf("doc coverage = %+v", st)
+	}
+	if st.DomainCount != 1 || st.DomainValues != 2 {
+		t.Errorf("domain stats = %+v", st)
+	}
+}

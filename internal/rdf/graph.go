@@ -1,0 +1,401 @@
+package rdf
+
+import (
+	"sort"
+	"sync"
+)
+
+// Graph is an in-memory RDF graph with three-way indexing (SPO, POS, OSP)
+// so that every triple pattern with at least one bound position is
+// answered from an index.
+//
+// Graph is safe for concurrent use. The workbench manager wraps mutations
+// in transactions (see Txn), but the graph itself is also independently
+// usable.
+type Graph struct {
+	mu  sync.RWMutex
+	spo map[Term]map[Term]map[Term]struct{}
+	pos map[Term]map[Term]map[Term]struct{}
+	osp map[Term]map[Term]map[Term]struct{}
+	n   int
+	// gen increments on every successful mutation; observers use it to
+	// detect staleness cheaply.
+	gen uint64
+	// blankSeq feeds NewBlank.
+	blankSeq int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		spo: make(map[Term]map[Term]map[Term]struct{}),
+		pos: make(map[Term]map[Term]map[Term]struct{}),
+		osp: make(map[Term]map[Term]map[Term]struct{}),
+	}
+}
+
+// Len returns the number of triples in the graph.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Generation returns a counter that increments on every mutation.
+func (g *Graph) Generation() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.gen
+}
+
+// NewBlank mints a fresh blank node that does not collide with prior
+// NewBlank results from this graph.
+func (g *Graph) NewBlank(prefix string) Term {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.blankSeq++
+	return Blank(prefix + "-" + itoa(g.blankSeq))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Add inserts a triple. It reports whether the triple was newly added
+// (false if it was already present).
+func (g *Graph) Add(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addLocked(t)
+}
+
+// AddAll inserts each triple, returning the count of newly added triples.
+func (g *Graph) AddAll(ts []Triple) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	added := 0
+	for _, t := range ts {
+		if g.addLocked(t) {
+			added++
+		}
+	}
+	return added
+}
+
+func (g *Graph) addLocked(t Triple) bool {
+	if !index3(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	index3(g.pos, t.P, t.O, t.S)
+	index3(g.osp, t.O, t.S, t.P)
+	g.n++
+	g.gen++
+	return true
+}
+
+// index3 inserts (a, b, c) into a three-level index, reporting whether the
+// entry was new.
+func index3(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	l2 := idx[a]
+	if l2 == nil {
+		l2 = make(map[Term]map[Term]struct{})
+		idx[a] = l2
+	}
+	l3 := l2[b]
+	if l3 == nil {
+		l3 = make(map[Term]struct{})
+		l2[b] = l3
+	}
+	if _, ok := l3[c]; ok {
+		return false
+	}
+	l3[c] = struct{}{}
+	return true
+}
+
+// Remove deletes a triple. It reports whether the triple was present.
+func (g *Graph) Remove(t Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.removeLocked(t)
+}
+
+func (g *Graph) removeLocked(t Triple) bool {
+	if !unindex3(g.spo, t.S, t.P, t.O) {
+		return false
+	}
+	unindex3(g.pos, t.P, t.O, t.S)
+	unindex3(g.osp, t.O, t.S, t.P)
+	g.n--
+	g.gen++
+	return true
+}
+
+func unindex3(idx map[Term]map[Term]map[Term]struct{}, a, b, c Term) bool {
+	l2 := idx[a]
+	if l2 == nil {
+		return false
+	}
+	l3 := l2[b]
+	if l3 == nil {
+		return false
+	}
+	if _, ok := l3[c]; !ok {
+		return false
+	}
+	delete(l3, c)
+	if len(l3) == 0 {
+		delete(l2, b)
+		if len(l2) == 0 {
+			delete(idx, a)
+		}
+	}
+	return true
+}
+
+// Has reports whether the triple is present.
+func (g *Graph) Has(t Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	l2 := g.spo[t.S]
+	if l2 == nil {
+		return false
+	}
+	l3 := l2[t.P]
+	if l3 == nil {
+		return false
+	}
+	_, ok := l3[t.O]
+	return ok
+}
+
+// Wild is the zero Term; in Match patterns it matches any term.
+var Wild = Term{}
+
+// Match returns all triples matching the pattern, where any zero Term
+// (Wild) position matches everything. Results are in unspecified order;
+// use MatchSorted when determinism matters.
+func (g *Graph) Match(s, p, o Term) []Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Triple
+	g.matchLocked(s, p, o, func(t Triple) bool {
+		out = append(out, t)
+		return true
+	})
+	return out
+}
+
+// MatchSorted returns matching triples in deterministic (S,P,O) order.
+func (g *Graph) MatchSorted(s, p, o Term) []Triple {
+	out := g.Match(s, p, o)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Visit calls fn for each triple matching the pattern until fn returns
+// false. The graph must not be mutated from within fn.
+func (g *Graph) Visit(s, p, o Term, fn func(Triple) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.matchLocked(s, p, o, fn)
+}
+
+func (g *Graph) matchLocked(s, p, o Term, fn func(Triple) bool) {
+	sw, pw, ow := s.IsZero(), p.IsZero(), o.IsZero()
+	switch {
+	case !sw && !pw && !ow:
+		if l2 := g.spo[s]; l2 != nil {
+			if l3 := l2[p]; l3 != nil {
+				if _, ok := l3[o]; ok {
+					fn(Triple{s, p, o})
+				}
+			}
+		}
+	case !sw && !pw: // S P ?
+		if l2 := g.spo[s]; l2 != nil {
+			for obj := range l2[p] {
+				if !fn(Triple{s, p, obj}) {
+					return
+				}
+			}
+		}
+	case !sw && !ow: // S ? O
+		if l2 := g.osp[o]; l2 != nil {
+			for pred := range l2[s] {
+				if !fn(Triple{s, pred, o}) {
+					return
+				}
+			}
+		}
+	case !pw && !ow: // ? P O
+		if l2 := g.pos[p]; l2 != nil {
+			for sub := range l2[o] {
+				if !fn(Triple{sub, p, o}) {
+					return
+				}
+			}
+		}
+	case !sw: // S ? ?
+		if l2 := g.spo[s]; l2 != nil {
+			for pred, l3 := range l2 {
+				for obj := range l3 {
+					if !fn(Triple{s, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	case !pw: // ? P ?
+		if l2 := g.pos[p]; l2 != nil {
+			for obj, l3 := range l2 {
+				for sub := range l3 {
+					if !fn(Triple{sub, p, obj}) {
+						return
+					}
+				}
+			}
+		}
+	case !ow: // ? ? O
+		if l2 := g.osp[o]; l2 != nil {
+			for sub, l3 := range l2 {
+				for pred := range l3 {
+					if !fn(Triple{sub, pred, o}) {
+						return
+					}
+				}
+			}
+		}
+	default: // ? ? ?
+		for sub, l2 := range g.spo {
+			for pred, l3 := range l2 {
+				for obj := range l3 {
+					if !fn(Triple{sub, pred, obj}) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// One returns the single object of (s, p, ?), or the zero Term if there is
+// none. If several objects exist, an arbitrary one is returned; the
+// blackboard's functional annotations maintain at most one.
+func (g *Graph) One(s, p Term) Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if l2 := g.spo[s]; l2 != nil {
+		for o := range l2[p] {
+			return o
+		}
+	}
+	return Term{}
+}
+
+// Objects returns all objects of (s, p, ?) in deterministic order.
+func (g *Graph) Objects(s, p Term) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Term
+	if l2 := g.spo[s]; l2 != nil {
+		for o := range l2[p] {
+			out = append(out, o)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return compareTerm(out[i], out[j]) < 0 })
+	return out
+}
+
+// Subjects returns all subjects of (?, p, o) in deterministic order.
+func (g *Graph) Subjects(p, o Term) []Term {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Term
+	if l2 := g.pos[p]; l2 != nil {
+		for s := range l2[o] {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return compareTerm(out[i], out[j]) < 0 })
+	return out
+}
+
+// SetOne makes o the unique object of (s, p, ·), removing any existing
+// objects first. It is the primitive behind functional annotations such as
+// confidence-score.
+func (g *Graph) SetOne(s, p, o Term) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if l2 := g.spo[s]; l2 != nil {
+		// Copy keys first: removeLocked mutates the map being ranged.
+		var olds []Term
+		for old := range l2[p] {
+			olds = append(olds, old)
+		}
+		for _, old := range olds {
+			g.removeLocked(Triple{s, p, old})
+		}
+	}
+	g.addLocked(Triple{s, p, o})
+}
+
+// RemoveMatching deletes every triple matching the pattern and returns the
+// deleted triples (useful for transaction undo logs).
+func (g *Graph) RemoveMatching(s, p, o Term) []Triple {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var victims []Triple
+	g.matchLocked(s, p, o, func(t Triple) bool {
+		victims = append(victims, t)
+		return true
+	})
+	for _, t := range victims {
+		g.removeLocked(t)
+	}
+	return victims
+}
+
+// Triples returns every triple in deterministic order.
+func (g *Graph) Triples() []Triple {
+	return g.MatchSorted(Wild, Wild, Wild)
+}
+
+// ReplaceWith atomically replaces g's contents with other's (deep copy of
+// other's state). The workbench manager uses this to roll back aborted
+// transactions from a snapshot.
+func (g *Graph) ReplaceWith(other *Graph) {
+	snap := other.Clone()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.spo, g.pos, g.osp = snap.spo, snap.pos, snap.osp
+	g.n = snap.n
+	g.blankSeq = snap.blankSeq
+	g.gen++
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := NewGraph()
+	for s, l2 := range g.spo {
+		for p, l3 := range l2 {
+			for o := range l3 {
+				out.addLocked(Triple{s, p, o})
+			}
+		}
+	}
+	out.blankSeq = g.blankSeq
+	return out
+}

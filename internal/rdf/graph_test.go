@@ -1,0 +1,291 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func tr(s, p, o string) Triple { return Triple{IRI(s), IRI(p), IRI(o)} }
+
+func TestGraphAddRemove(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 {
+		t.Fatalf("new graph Len = %d", g.Len())
+	}
+	if !g.Add(tr("a", "p", "b")) {
+		t.Error("first Add should report true")
+	}
+	if g.Add(tr("a", "p", "b")) {
+		t.Error("duplicate Add should report false")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.Has(tr("a", "p", "b")) {
+		t.Error("Has should find added triple")
+	}
+	if g.Has(tr("a", "p", "c")) {
+		t.Error("Has should not find absent triple")
+	}
+	if !g.Remove(tr("a", "p", "b")) {
+		t.Error("Remove should report true for present triple")
+	}
+	if g.Remove(tr("a", "p", "b")) {
+		t.Error("Remove should report false for absent triple")
+	}
+	if g.Len() != 0 {
+		t.Errorf("Len after remove = %d, want 0", g.Len())
+	}
+}
+
+func TestGraphAddAll(t *testing.T) {
+	g := NewGraph()
+	n := g.AddAll([]Triple{tr("a", "p", "b"), tr("a", "p", "c"), tr("a", "p", "b")})
+	if n != 2 {
+		t.Errorf("AddAll added %d, want 2", n)
+	}
+}
+
+func TestGraphGeneration(t *testing.T) {
+	g := NewGraph()
+	g0 := g.Generation()
+	g.Add(tr("a", "p", "b"))
+	g1 := g.Generation()
+	if g1 <= g0 {
+		t.Error("generation should increase on add")
+	}
+	g.Add(tr("a", "p", "b")) // duplicate: no change
+	if g.Generation() != g1 {
+		t.Error("generation should not change on no-op add")
+	}
+	g.Remove(tr("a", "p", "b"))
+	if g.Generation() <= g1 {
+		t.Error("generation should increase on remove")
+	}
+}
+
+// TestGraphMatchAllPatterns exercises all eight bound/wild combinations.
+func TestGraphMatchAllPatterns(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{
+		tr("s1", "p1", "o1"),
+		tr("s1", "p1", "o2"),
+		tr("s1", "p2", "o1"),
+		tr("s2", "p1", "o1"),
+	})
+	cases := []struct {
+		s, p, o Term
+		want    int
+	}{
+		{IRI("s1"), IRI("p1"), IRI("o1"), 1},
+		{IRI("s1"), IRI("p1"), Wild, 2},
+		{IRI("s1"), Wild, IRI("o1"), 2},
+		{Wild, IRI("p1"), IRI("o1"), 2},
+		{IRI("s1"), Wild, Wild, 3},
+		{Wild, IRI("p1"), Wild, 3},
+		{Wild, Wild, IRI("o1"), 3},
+		{Wild, Wild, Wild, 4},
+		{IRI("zz"), Wild, Wild, 0},
+		{Wild, IRI("zz"), Wild, 0},
+		{Wild, Wild, IRI("zz"), 0},
+		{IRI("s1"), IRI("p1"), IRI("zz"), 0},
+	}
+	for _, c := range cases {
+		got := len(g.Match(c.s, c.p, c.o))
+		if got != c.want {
+			t.Errorf("Match(%v,%v,%v) = %d results, want %d", c.s, c.p, c.o, got, c.want)
+		}
+	}
+}
+
+func TestGraphVisitEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.Add(tr("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	count := 0
+	g.Visit(IRI("s"), IRI("p"), Wild, func(Triple) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("Visit visited %d, want early stop at 3", count)
+	}
+}
+
+func TestGraphMatchSortedDeterminism(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 50; i++ {
+		g.Add(tr(fmt.Sprintf("s%02d", i%7), "p", fmt.Sprintf("o%02d", i)))
+	}
+	a := g.MatchSorted(Wild, Wild, Wild)
+	b := g.MatchSorted(Wild, Wild, Wild)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("MatchSorted is not deterministic")
+		}
+		if i > 0 && a[i-1].Compare(a[i]) >= 0 {
+			t.Fatal("MatchSorted is not sorted")
+		}
+	}
+}
+
+func TestGraphOneObjectsSubjects(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{tr("s", "p", "o1"), tr("s", "p", "o2"), tr("s2", "p", "o1")})
+	if got := g.One(IRI("s"), IRI("p")); got.IsZero() {
+		t.Error("One should return some object")
+	}
+	if got := g.One(IRI("absent"), IRI("p")); !got.IsZero() {
+		t.Error("One on absent subject should be zero")
+	}
+	objs := g.Objects(IRI("s"), IRI("p"))
+	if len(objs) != 2 || objs[0] != IRI("o1") || objs[1] != IRI("o2") {
+		t.Errorf("Objects = %v", objs)
+	}
+	subs := g.Subjects(IRI("p"), IRI("o1"))
+	if len(subs) != 2 || subs[0] != IRI("s") || subs[1] != IRI("s2") {
+		t.Errorf("Subjects = %v", subs)
+	}
+}
+
+func TestGraphSetOne(t *testing.T) {
+	g := NewGraph()
+	g.Add(tr("s", "p", "old1"))
+	g.Add(tr("s", "p", "old2"))
+	g.SetOne(IRI("s"), IRI("p"), IRI("new"))
+	objs := g.Objects(IRI("s"), IRI("p"))
+	if len(objs) != 1 || objs[0] != IRI("new") {
+		t.Errorf("after SetOne, Objects = %v", objs)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+}
+
+func TestGraphRemoveMatching(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{tr("s", "p", "a"), tr("s", "p", "b"), tr("s", "q", "c")})
+	victims := g.RemoveMatching(IRI("s"), IRI("p"), Wild)
+	if len(victims) != 2 {
+		t.Errorf("RemoveMatching removed %d, want 2", len(victims))
+	}
+	if g.Len() != 1 || !g.Has(tr("s", "q", "c")) {
+		t.Error("RemoveMatching removed wrong triples")
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{tr("s", "p", "a"), tr("s", "p", "b")})
+	c := g.Clone()
+	if c.Len() != g.Len() {
+		t.Fatalf("clone Len = %d, want %d", c.Len(), g.Len())
+	}
+	c.Add(tr("x", "y", "z"))
+	if g.Has(tr("x", "y", "z")) {
+		t.Error("mutating clone affected original")
+	}
+	g.Remove(tr("s", "p", "a"))
+	if !c.Has(tr("s", "p", "a")) {
+		t.Error("mutating original affected clone")
+	}
+}
+
+func TestGraphNewBlank(t *testing.T) {
+	g := NewGraph()
+	seen := map[Term]bool{}
+	for i := 0; i < 100; i++ {
+		b := g.NewBlank("cell")
+		if seen[b] {
+			t.Fatalf("NewBlank returned duplicate %v", b)
+		}
+		seen[b] = true
+		if b.Kind() != BlankKind {
+			t.Fatalf("NewBlank returned %v kind", b.Kind())
+		}
+	}
+}
+
+func TestGraphNewBlankAfterClone(t *testing.T) {
+	g := NewGraph()
+	b1 := g.NewBlank("x")
+	c := g.Clone()
+	b2 := c.NewBlank("x")
+	if b1 == b2 {
+		t.Error("clone should continue blank sequence, not restart it")
+	}
+}
+
+func TestGraphConcurrency(t *testing.T) {
+	g := NewGraph()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				g.Add(tr(fmt.Sprintf("s%d", w), "p", fmt.Sprintf("o%d", i)))
+				g.Match(Wild, IRI("p"), Wild)
+				g.Has(tr(fmt.Sprintf("s%d", w), "p", "o0"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g.Len() != 8*200 {
+		t.Errorf("Len = %d, want %d", g.Len(), 8*200)
+	}
+}
+
+// Property: the three indexes stay consistent under arbitrary add/remove
+// sequences — every SPO-visible triple is also POS- and OSP-visible.
+func TestGraphIndexConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph()
+	var live []Triple
+	for step := 0; step < 2000; step++ {
+		x := Triple{
+			IRI(fmt.Sprintf("s%d", rng.Intn(10))),
+			IRI(fmt.Sprintf("p%d", rng.Intn(5))),
+			IRI(fmt.Sprintf("o%d", rng.Intn(10))),
+		}
+		if rng.Intn(3) == 0 && len(live) > 0 {
+			i := rng.Intn(len(live))
+			g.Remove(live[i])
+			live = append(live[:i], live[i+1:]...)
+		} else if g.Add(x) {
+			live = append(live, x)
+		}
+	}
+	for _, t3 := range live {
+		for _, got := range [][]Triple{
+			g.Match(t3.S, t3.P, t3.O),
+			g.Match(Wild, t3.P, t3.O),
+			g.Match(t3.S, Wild, t3.O),
+			g.Match(t3.S, t3.P, Wild),
+		} {
+			found := false
+			for _, m := range got {
+				if m == t3 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("triple %v missing from an index view", t3)
+			}
+		}
+	}
+	if g.Len() != len(live) {
+		t.Errorf("Len = %d, want %d", g.Len(), len(live))
+	}
+}
+
+func TestItoa(t *testing.T) {
+	f := func(n uint16) bool { return itoa(int(n)) == fmt.Sprint(n) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// N-Triples serialization. The blackboard uses this for snapshot
+// export/import (our stand-in for the paper's "blackboard shared across
+// multiple workbench instances" future-work item).
+
+// WriteNTriples writes the graph in canonical (sorted) N-Triples form.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples() {
+		if _, err := bw.WriteString(t.String() + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalNTriples renders the graph to a canonical N-Triples string.
+func MarshalNTriples(g *Graph) string {
+	var b strings.Builder
+	for _, t := range g.Triples() {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ReadNTriples parses N-Triples from r into a new graph.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTriple(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", ln, err)
+		}
+		g.Add(t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// UnmarshalNTriples parses an N-Triples document from a string.
+func UnmarshalNTriples(s string) (*Graph, error) {
+	return ReadNTriples(strings.NewReader(s))
+}
+
+// ParseTriple parses one N-Triples statement (with or without the trailing
+// " .").
+func ParseTriple(line string) (Triple, error) {
+	line = strings.TrimSpace(line)
+	line = strings.TrimSuffix(line, ".")
+	line = strings.TrimSpace(line)
+	toks, err := tokenizePatternLine(line)
+	if err != nil {
+		return Triple{}, err
+	}
+	if len(toks) != 3 {
+		return Triple{}, fmt.Errorf("want 3 terms, got %d in %q", len(toks), line)
+	}
+	var terms [3]Term
+	for i, tok := range toks {
+		t, err := parseTermToken(tok)
+		if err != nil {
+			return Triple{}, err
+		}
+		terms[i] = t
+	}
+	return Triple{terms[0], terms[1], terms[2]}, nil
+}
+
+// parseTermToken parses a single N-Triples term token.
+func parseTermToken(tok string) (Term, error) {
+	switch {
+	case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
+		return IRI(tok[1 : len(tok)-1]), nil
+	case strings.HasPrefix(tok, "_:"):
+		if len(tok) == 2 {
+			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		return Blank(tok[2:]), nil
+	case strings.HasPrefix(tok, "\""):
+		end := -1
+		for i := 1; i < len(tok); i++ {
+			if tok[i] == '\\' {
+				i++
+				continue
+			}
+			if tok[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return Term{}, fmt.Errorf("unterminated literal %q", tok)
+		}
+		lex, err := unescapeLiteral(tok[1:end])
+		if err != nil {
+			return Term{}, err
+		}
+		rest := tok[end+1:]
+		if rest == "" {
+			return Literal(lex), nil
+		}
+		if strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">") {
+			return TypedLiteral(lex, rest[3:len(rest)-1]), nil
+		}
+		if strings.HasPrefix(rest, "@") {
+			// Language tags are accepted and discarded; the blackboard
+			// vocabulary does not use them.
+			return Literal(lex), nil
+		}
+		return Term{}, fmt.Errorf("trailing garbage %q after literal", rest)
+	default:
+		return Term{}, fmt.Errorf("unrecognized term token %q", tok)
+	}
+}

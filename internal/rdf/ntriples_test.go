@@ -1,0 +1,116 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNTriplesRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.AddAll([]Triple{
+		{IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")},
+		{IRI("http://x/s"), IRI("http://x/doc"), Literal("a \"quoted\"\nstring")},
+		{Blank("b1"), IRI("http://x/conf"), FloatLiteral(0.8)},
+		{Blank("b1"), IRI("http://x/user"), BoolLiteral(true)},
+		{IRI("http://x/s"), IRI("http://x/n"), IntLiteral(13049)},
+	})
+	text := MarshalNTriples(g)
+	back, err := UnmarshalNTriples(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != g.Len() {
+		t.Fatalf("round trip Len = %d, want %d", back.Len(), g.Len())
+	}
+	for _, tri := range g.Triples() {
+		if !back.Has(tri) {
+			t.Errorf("round trip lost %v", tri)
+		}
+	}
+}
+
+func TestNTriplesCanonical(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("b"), IRI("p"), IRI("o")})
+	g.Add(Triple{IRI("a"), IRI("p"), IRI("o")})
+	text := MarshalNTriples(g)
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "<a>") {
+		t.Errorf("not canonical order:\n%s", text)
+	}
+}
+
+func TestReadNTriplesSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# comment\n\n<a> <p> <b> .\n   \n# more\n<a> <p> <c> .\n"
+	g, err := UnmarshalNTriples(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestReadNTriplesLangTag(t *testing.T) {
+	g, err := UnmarshalNTriples(`<a> <label> "hello"@en .`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Has(Triple{IRI("a"), IRI("label"), Literal("hello")}) {
+		t.Error("language-tagged literal should parse to plain literal")
+	}
+}
+
+func TestParseTripleErrors(t *testing.T) {
+	for _, bad := range []string{
+		"<a> <p>",
+		"<a> <p> <b> <c>",
+		`<a> <p> "unterminated`,
+		`<a> <p> "x"^^garbage`,
+		"_: <p> <b>",
+		"bare <p> <b>",
+	} {
+		if _, err := ParseTriple(bad); err == nil {
+			t.Errorf("ParseTriple(%q) should error", bad)
+		}
+	}
+}
+
+func TestReadNTriplesErrorsWithLine(t *testing.T) {
+	_, err := UnmarshalNTriples("<a> <p> <b> .\nnot a triple\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("err = %v, want line 2 error", err)
+	}
+}
+
+func TestWriteNTriples(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("a"), IRI("p"), IRI("b")})
+	var sb strings.Builder
+	if err := WriteNTriples(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "<a> <p> <b> .\n" {
+		t.Errorf("output = %q", sb.String())
+	}
+}
+
+// Property: any literal string survives an N-Triples round trip as a
+// triple object.
+func TestNTriplesLiteralRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Scanner-based reader splits on \n; multi-line literals are
+		// escaped so they stay on one physical line.
+		g := NewGraph()
+		g.Add(Triple{IRI("s"), IRI("p"), Literal(s)})
+		back, err := UnmarshalNTriples(MarshalNTriples(g))
+		if err != nil {
+			return false
+		}
+		return back.Has(Triple{IRI("s"), IRI("p"), Literal(s)})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

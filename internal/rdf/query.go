@@ -1,0 +1,280 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The query engine answers basic graph patterns (conjunctions of triple
+// patterns with shared variables) against a Graph. The workbench manager
+// exposes this as its "ad hoc query" service (paper §5.2: "the manager
+// processes ad hoc queries posed to the IB").
+
+// Var names a query variable. Variables are written "?name" in the text
+// syntax.
+type Var string
+
+// Pattern is a triple pattern: each position holds either a concrete Term
+// or a Var.
+type Pattern struct {
+	S, P, O any // Term or Var
+}
+
+// Binding maps variables to the terms they matched.
+type Binding map[Var]Term
+
+// clone copies a binding.
+func (b Binding) clone() Binding {
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Query is a conjunctive query over a graph.
+type Query struct {
+	Patterns []Pattern
+	// Limit, when positive, bounds the number of results.
+	Limit int
+}
+
+// Select runs the query and returns one Binding per result. Patterns are
+// evaluated left to right with sideways information passing; callers should
+// order selective patterns first, though the engine also applies a simple
+// greedy reorder by bound-position count.
+func (q Query) Select(g *Graph) []Binding {
+	if len(q.Patterns) == 0 {
+		return nil
+	}
+	order := planOrder(q.Patterns)
+	var results []Binding
+	var recurse func(i int, b Binding) bool
+	recurse = func(i int, b Binding) bool {
+		if i == len(order) {
+			results = append(results, b.clone())
+			return q.Limit <= 0 || len(results) < q.Limit
+		}
+		p := q.Patterns[order[i]]
+		s, sv := resolve(p.S, b)
+		pr, pv := resolve(p.P, b)
+		o, ov := resolve(p.O, b)
+		cont := true
+		g.Visit(s, pr, o, func(t Triple) bool {
+			// Bind positions in order, rejecting matches that violate a
+			// variable repeated within this same pattern (e.g. ?x p ?x).
+			var bound []Var
+			ok := true
+			for _, pos := range []struct {
+				v    Var
+				term Term
+			}{{sv, t.S}, {pv, t.P}, {ov, t.O}} {
+				if pos.v == "" {
+					continue
+				}
+				if prev, exists := b[pos.v]; exists {
+					if prev != pos.term {
+						ok = false
+						break
+					}
+					continue
+				}
+				b[pos.v] = pos.term
+				bound = append(bound, pos.v)
+			}
+			if ok {
+				cont = recurse(i+1, b)
+			}
+			for _, v := range bound {
+				delete(b, v)
+			}
+			return cont
+		})
+		return cont
+	}
+	recurse(0, Binding{})
+	return results
+}
+
+// resolve maps a pattern position to (concrete term, variable-to-bind).
+// A bound variable yields its term; an unbound variable yields Wild plus
+// the variable name so the engine can bind it.
+func resolve(pos any, b Binding) (Term, Var) {
+	switch v := pos.(type) {
+	case Term:
+		return v, ""
+	case Var:
+		if t, ok := b[v]; ok {
+			return t, ""
+		}
+		return Wild, v
+	case nil:
+		return Wild, ""
+	default:
+		panic(fmt.Sprintf("rdf: pattern position has type %T, want Term or Var", pos))
+	}
+}
+
+// planOrder greedily orders patterns most-bound-first, treating variables
+// seen in earlier patterns as bound.
+func planOrder(ps []Pattern) []int {
+	remaining := make([]int, len(ps))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	bound := map[Var]bool{}
+	var order []int
+	for len(remaining) > 0 {
+		best, bestScore := -1, -1
+		for idx, pi := range remaining {
+			score := 0
+			for _, pos := range []any{ps[pi].S, ps[pi].P, ps[pi].O} {
+				switch v := pos.(type) {
+				case Term:
+					score += 2
+				case Var:
+					if bound[v] {
+						score += 2
+					}
+				}
+			}
+			if score > bestScore {
+				best, bestScore = idx, score
+			}
+		}
+		pi := remaining[best]
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		order = append(order, pi)
+		for _, pos := range []any{ps[pi].S, ps[pi].P, ps[pi].O} {
+			if v, ok := pos.(Var); ok {
+				bound[v] = true
+			}
+		}
+	}
+	return order
+}
+
+// ParseQuery parses a whitespace-separated textual query, one pattern per
+// line (or separated by " . "), e.g.:
+//
+//	?s <http://example.org/name> "shipTo"
+//	?s ?p ?o
+//
+// Positions are "?var", "<iri>", "_:blank", or a quoted literal (optionally
+// with ^^<datatype>).
+func ParseQuery(text string) (Query, error) {
+	var q Query
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), "."))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		toks, err := tokenizePatternLine(line)
+		if err != nil {
+			return Query{}, fmt.Errorf("rdf: query line %d: %w", ln+1, err)
+		}
+		if len(toks) != 3 {
+			return Query{}, fmt.Errorf("rdf: query line %d: want 3 positions, got %d", ln+1, len(toks))
+		}
+		var pos [3]any
+		for i, tok := range toks {
+			p, err := parsePosition(tok)
+			if err != nil {
+				return Query{}, fmt.Errorf("rdf: query line %d: %w", ln+1, err)
+			}
+			pos[i] = p
+		}
+		q.Patterns = append(q.Patterns, Pattern{pos[0], pos[1], pos[2]})
+	}
+	if len(q.Patterns) == 0 {
+		return Query{}, fmt.Errorf("rdf: empty query")
+	}
+	return q, nil
+}
+
+// tokenizePatternLine splits a pattern line into three position tokens,
+// respecting quoted literals.
+func tokenizePatternLine(line string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		if line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' {
+					i += 2
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+			// optional ^^<datatype>
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		} else {
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		toks = append(toks, line[start:i])
+	}
+	return toks, nil
+}
+
+// parsePosition parses one query position token.
+func parsePosition(tok string) (any, error) {
+	switch {
+	case strings.HasPrefix(tok, "?"):
+		if len(tok) == 1 {
+			return nil, fmt.Errorf("bare '?' is not a variable")
+		}
+		return Var(tok[1:]), nil
+	default:
+		t, err := parseTermToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	}
+}
+
+// SelectVars runs the query and projects the given variables into rows,
+// sorted deterministically. Missing variables yield zero Terms.
+func (q Query) SelectVars(g *Graph, vars ...Var) [][]Term {
+	bindings := q.Select(g)
+	rows := make([][]Term, 0, len(bindings))
+	for _, b := range bindings {
+		row := make([]Term, len(vars))
+		for i, v := range vars {
+			row[i] = b[v]
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if c := compareTerm(rows[i][k], rows[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return rows
+}
+
+// Ask reports whether the query has at least one result.
+func (q Query) Ask(g *Graph) bool {
+	q.Limit = 1
+	return len(q.Select(g)) > 0
+}

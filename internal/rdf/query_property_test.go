@@ -1,0 +1,135 @@
+package rdf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Cross-check the planner-driven query engine against a naive reference
+// evaluator on random graphs and random conjunctive queries.
+
+// naiveSelect evaluates a query by brute-force nested loops over the full
+// triple list, with no index use and no reordering.
+func naiveSelect(q Query, g *Graph) []Binding {
+	triples := g.Triples()
+	var results []Binding
+	var recurse func(i int, b Binding)
+	recurse = func(i int, b Binding) {
+		if i == len(q.Patterns) {
+			results = append(results, b.clone())
+			return
+		}
+		p := q.Patterns[i]
+		for _, t := range triples {
+			nb := b.clone()
+			if !naiveBind(p.S, t.S, nb) || !naiveBind(p.P, t.P, nb) || !naiveBind(p.O, t.O, nb) {
+				continue
+			}
+			recurse(i+1, nb)
+		}
+	}
+	recurse(0, Binding{})
+	return results
+}
+
+func naiveBind(pos any, term Term, b Binding) bool {
+	switch v := pos.(type) {
+	case Term:
+		return v == term
+	case Var:
+		if bound, ok := b[v]; ok {
+			return bound == term
+		}
+		b[v] = term
+		return true
+	case nil:
+		return true
+	}
+	return false
+}
+
+// canonical renders a binding set order-independently.
+func canonical(bs []Binding) []string {
+	out := make([]string, 0, len(bs))
+	for _, b := range bs {
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		s := ""
+		for _, k := range keys {
+			s += k + "=" + b[Var(k)].String() + ";"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestQueryMatchesNaiveEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	subjects := []Term{IRI("a"), IRI("b"), IRI("c"), IRI("d")}
+	preds := []Term{IRI("p"), IRI("q"), IRI("r")}
+	objects := []Term{IRI("a"), IRI("b"), Literal("x"), Literal("y"), IntLiteral(1)}
+	vars := []Var{"v1", "v2", "v3"}
+
+	randPos := func() any {
+		switch rng.Intn(3) {
+		case 0:
+			return vars[rng.Intn(len(vars))]
+		case 1:
+			return subjects[rng.Intn(len(subjects))]
+		default:
+			return objects[rng.Intn(len(objects))]
+		}
+	}
+
+	for trial := 0; trial < 200; trial++ {
+		g := NewGraph()
+		for i := 0; i < 3+rng.Intn(15); i++ {
+			g.Add(Triple{
+				subjects[rng.Intn(len(subjects))],
+				preds[rng.Intn(len(preds))],
+				objects[rng.Intn(len(objects))],
+			})
+		}
+		q := Query{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			q.Patterns = append(q.Patterns, Pattern{
+				S: randPos(),
+				P: preds[rng.Intn(len(preds))],
+				O: randPos(),
+			})
+		}
+		got := canonical(q.Select(g))
+		want := canonical(naiveSelect(q, g))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: engine %d results, naive %d\nquery: %+v\ngraph:\n%s",
+				trial, len(got), len(want), q.Patterns, MarshalNTriples(g))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: result %d differs:\n  engine %s\n  naive  %s",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQueryLimitIsPrefixOfFull(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 20; i++ {
+		g.Add(Triple{IRI(fmt.Sprintf("s%02d", i)), IRI("p"), IRI("o")})
+	}
+	full := Query{Patterns: []Pattern{{Var("x"), IRI("p"), IRI("o")}}}
+	limited := Query{Patterns: full.Patterns, Limit: 5}
+	if got := len(limited.Select(g)); got != 5 {
+		t.Errorf("limit 5 returned %d", got)
+	}
+	if got := len(full.Select(g)); got != 20 {
+		t.Errorf("full returned %d", got)
+	}
+}

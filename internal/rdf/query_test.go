@@ -1,0 +1,218 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func familyGraph() *Graph {
+	g := NewGraph()
+	g.AddAll([]Triple{
+		{IRI("alice"), IRI("parentOf"), IRI("bob")},
+		{IRI("alice"), IRI("parentOf"), IRI("carol")},
+		{IRI("bob"), IRI("parentOf"), IRI("dave")},
+		{IRI("alice"), IRI("name"), Literal("Alice")},
+		{IRI("bob"), IRI("name"), Literal("Bob")},
+		{IRI("carol"), IRI("name"), Literal("Carol")},
+		{IRI("dave"), IRI("name"), Literal("Dave")},
+	})
+	return g
+}
+
+func TestQuerySingle(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{{Var("x"), IRI("parentOf"), Var("y")}}}
+	res := q.Select(g)
+	if len(res) != 3 {
+		t.Fatalf("got %d bindings, want 3", len(res))
+	}
+}
+
+func TestQueryJoin(t *testing.T) {
+	g := familyGraph()
+	// Grandparent: x parentOf y, y parentOf z.
+	q := Query{Patterns: []Pattern{
+		{Var("x"), IRI("parentOf"), Var("y")},
+		{Var("y"), IRI("parentOf"), Var("z")},
+	}}
+	res := q.Select(g)
+	if len(res) != 1 {
+		t.Fatalf("got %d bindings, want 1", len(res))
+	}
+	b := res[0]
+	if b["x"] != IRI("alice") || b["y"] != IRI("bob") || b["z"] != IRI("dave") {
+		t.Errorf("binding = %v", b)
+	}
+}
+
+func TestQueryJoinWithLiteral(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{
+		{Var("x"), IRI("name"), Literal("Bob")},
+		{Var("p"), IRI("parentOf"), Var("x")},
+	}}
+	res := q.Select(g)
+	if len(res) != 1 || res[0]["p"] != IRI("alice") {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestQueryLimit(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{{Var("x"), IRI("name"), Var("n")}}, Limit: 2}
+	if got := len(q.Select(g)); got != 2 {
+		t.Errorf("limited select returned %d, want 2", got)
+	}
+}
+
+func TestQueryAsk(t *testing.T) {
+	g := familyGraph()
+	yes := Query{Patterns: []Pattern{{IRI("alice"), IRI("parentOf"), Var("y")}}}
+	if !yes.Ask(g) {
+		t.Error("Ask should be true")
+	}
+	no := Query{Patterns: []Pattern{{IRI("dave"), IRI("parentOf"), Var("y")}}}
+	if no.Ask(g) {
+		t.Error("Ask should be false")
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	g := familyGraph()
+	if res := (Query{}).Select(g); res != nil {
+		t.Errorf("empty query returned %v", res)
+	}
+}
+
+func TestQuerySharedVariableWithinPattern(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("a"), IRI("rel"), IRI("a")})
+	g.Add(Triple{IRI("a"), IRI("rel"), IRI("b")})
+	q := Query{Patterns: []Pattern{{Var("x"), IRI("rel"), Var("x")}}}
+	res := q.Select(g)
+	if len(res) != 1 || res[0]["x"] != IRI("a") {
+		t.Errorf("self-loop query res = %v", res)
+	}
+}
+
+func TestQuerySelectVars(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{{Var("x"), IRI("parentOf"), Var("y")}}}
+	rows := q.SelectVars(g, "x", "y")
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	// Deterministic sorted order.
+	want := [][2]string{{"alice", "bob"}, {"alice", "carol"}, {"bob", "dave"}}
+	for i, w := range want {
+		if rows[i][0] != IRI(w[0]) || rows[i][1] != IRI(w[1]) {
+			t.Errorf("row %d = %v, want %v", i, rows[i], w)
+		}
+	}
+}
+
+func TestQueryConstantPattern(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{
+		{IRI("alice"), IRI("parentOf"), IRI("bob")},
+		{Var("n"), IRI("name"), Literal("Dave")},
+	}}
+	res := q.Select(g)
+	if len(res) != 1 || res[0]["n"] != IRI("dave") {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestQueryNilPosition(t *testing.T) {
+	g := familyGraph()
+	q := Query{Patterns: []Pattern{{nil, IRI("parentOf"), Var("y")}}}
+	res := q.Select(g)
+	if len(res) != 3 {
+		t.Errorf("nil position should act as anonymous wildcard; got %d", len(res))
+	}
+}
+
+func TestParseQuery(t *testing.T) {
+	text := `
+# grandparents
+?x <parentOf> ?y .
+?y <parentOf> ?z
+`
+	q, err := ParseQuery(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Patterns) != 2 {
+		t.Fatalf("parsed %d patterns", len(q.Patterns))
+	}
+	res := q.Select(familyGraph())
+	if len(res) != 1 {
+		t.Errorf("parsed query returned %d results", len(res))
+	}
+}
+
+func TestParseQueryLiterals(t *testing.T) {
+	q, err := ParseQuery(`?x <name> "Bob"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := q.Select(familyGraph())
+	if len(res) != 1 || res[0]["x"] != IRI("bob") {
+		t.Errorf("res = %v", res)
+	}
+}
+
+func TestParseQueryQuotedLiteralWithSpaces(t *testing.T) {
+	g := NewGraph()
+	g.Add(Triple{IRI("e"), IRI("doc"), Literal("ship to address")})
+	q, err := ParseQuery(`?x <doc> "ship to address"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := q.Select(g); len(res) != 1 {
+		t.Errorf("got %d results", len(res))
+	}
+}
+
+func TestParseQueryErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"?x <p>",
+		"?x <p> ?y ?z",
+		"? <p> ?y",
+		"junk <p> ?y",
+	} {
+		if _, err := ParseQuery(bad); err == nil {
+			t.Errorf("ParseQuery(%q) should error", bad)
+		}
+	}
+}
+
+func TestPlanOrderPrefersBound(t *testing.T) {
+	ps := []Pattern{
+		{Var("a"), Var("b"), Var("c")},
+		{IRI("s"), IRI("p"), Var("c")},
+	}
+	order := planOrder(ps)
+	if order[0] != 1 {
+		t.Errorf("planOrder = %v, want the constant-rich pattern first", order)
+	}
+}
+
+func TestQueryScalesWithSelectivity(t *testing.T) {
+	// A query whose naive order would enumerate everything should still
+	// finish quickly thanks to greedy reordering; correctness check here.
+	g := NewGraph()
+	for i := 0; i < 500; i++ {
+		g.Add(Triple{IRI(fmt.Sprintf("s%d", i)), IRI("p"), IRI(fmt.Sprintf("o%d", i))})
+	}
+	g.Add(Triple{IRI("s42"), IRI("special"), IRI("yes")})
+	q := Query{Patterns: []Pattern{
+		{Var("x"), IRI("p"), Var("y")},
+		{Var("x"), IRI("special"), IRI("yes")},
+	}}
+	res := q.Select(g)
+	if len(res) != 1 || res[0]["x"] != IRI("s42") {
+		t.Errorf("res = %v", res)
+	}
+}

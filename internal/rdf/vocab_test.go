@@ -1,0 +1,62 @@
+package rdf
+
+import "testing"
+
+func TestTypeOfAndInstancesOf(t *testing.T) {
+	g := NewGraph()
+	entity := IRI("wb:Entity")
+	strong := IRI("wb:StrongEntity")
+	g.Add(Triple{strong, RDFSSubClassOf, entity})
+	g.Add(Triple{IRI("e1"), RDFType, entity})
+	g.Add(Triple{IRI("e2"), RDFType, strong})
+	g.Add(Triple{IRI("x"), RDFType, IRI("wb:Other")})
+
+	if got := TypeOf(g, IRI("e1")); got != entity {
+		t.Errorf("TypeOf = %v", got)
+	}
+	if got := TypeOf(g, IRI("nope")); !got.IsZero() {
+		t.Errorf("TypeOf absent = %v", got)
+	}
+
+	insts := InstancesOf(g, entity)
+	if len(insts) != 2 {
+		t.Fatalf("InstancesOf = %v, want e1+e2 via subclass closure", insts)
+	}
+	if insts[0] != IRI("e1") || insts[1] != IRI("e2") {
+		t.Errorf("InstancesOf order = %v", insts)
+	}
+}
+
+func TestSubclassClosureCycleSafe(t *testing.T) {
+	g := NewGraph()
+	a, b := IRI("A"), IRI("B")
+	g.Add(Triple{a, RDFSSubClassOf, b})
+	g.Add(Triple{b, RDFSSubClassOf, a})
+	g.Add(Triple{IRI("i"), RDFType, a})
+	// Must terminate and find the instance from either root.
+	if got := InstancesOf(g, b); len(got) != 1 {
+		t.Errorf("cyclic closure InstancesOf = %v", got)
+	}
+}
+
+func TestInstancesOfDeduplicates(t *testing.T) {
+	g := NewGraph()
+	a, b := IRI("A"), IRI("B")
+	g.Add(Triple{b, RDFSSubClassOf, a})
+	g.Add(Triple{IRI("i"), RDFType, a})
+	g.Add(Triple{IRI("i"), RDFType, b})
+	if got := InstancesOf(g, a); len(got) != 1 {
+		t.Errorf("InstancesOf should deduplicate, got %v", got)
+	}
+}
+
+func TestSortTerms(t *testing.T) {
+	ts := []Term{IRI("c"), IRI("a"), Literal("a"), IRI("b")}
+	sortTerms(ts)
+	want := []Term{IRI("a"), IRI("b"), IRI("c"), Literal("a")}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("sortTerms = %v", ts)
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package registry synthesizes a DoD-metadata-registry-like corpus of
+// conceptual (ER) models, calibrated to the paper's Table 1: 265 models
+// holding 13,049 elements (entities/relationships), 163,736 attributes
+// and 282,331 documented domain values, with ~99% / ~83% / ~100%
+// documentation coverage and mean definition lengths of ~11.1 / ~16.4 /
+// ~3.68 words. The real registry is not releasable; this generator
+// exercises the identical code paths (corpus scan → statistics, schema
+// pairs → matcher evaluation) and adds what the real corpus cannot offer:
+// ground truth, via the perturbation engine in perturb.go.
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Table1 captures the paper's published registry statistics; the default
+// generator configuration is calibrated against it.
+type Table1Row struct {
+	Item            string
+	ItemCount       int
+	WithDefinition  int
+	WordCount       int
+	WordsPerItem    float64
+	WordsPerDefined float64
+}
+
+// PaperTable1 is Table 1 exactly as printed.
+var PaperTable1 = []Table1Row{
+	{Item: "Element", ItemCount: 13049, WithDefinition: 12946, WordCount: 143315, WordsPerItem: 11.0, WordsPerDefined: 11.1},
+	{Item: "Attribute", ItemCount: 163736, WithDefinition: 135686, WordCount: 2228691, WordsPerItem: 13.6, WordsPerDefined: 16.4},
+	{Item: "Domain", ItemCount: 282331, WithDefinition: 282128, WordCount: 1036822, WordsPerItem: 3.67, WordsPerDefined: 3.68},
+}
+
+// Config tunes the generator. The zero value is invalid; use
+// DefaultConfig (full Table 1 scale) or DefaultConfig.Scaled(f).
+type Config struct {
+	// Seed feeds the deterministic RNG.
+	Seed int64
+	// Models is the number of conceptual models (paper: 265).
+	Models int
+	// ElementsTotal, AttributesTotal and DomainValuesTotal are corpus-
+	// wide size targets, distributed across models.
+	ElementsTotal     int
+	AttributesTotal   int
+	DomainValuesTotal int
+	// Documentation coverage probabilities.
+	ElementDocProb   float64
+	AttributeDocProb float64
+	DomainDocProb    float64
+	// Mean definition lengths in words.
+	ElementDocWords   float64
+	AttributeDocWords float64
+	DomainDocWords    float64
+}
+
+// DefaultConfig matches Table 1's scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              42,
+		Models:            265,
+		ElementsTotal:     13049,
+		AttributesTotal:   163736,
+		DomainValuesTotal: 282331,
+		ElementDocProb:    0.992,
+		AttributeDocProb:  0.829,
+		DomainDocProb:     0.9993,
+		ElementDocWords:   11.1,
+		AttributeDocWords: 16.4,
+		DomainDocWords:    3.68,
+	}
+}
+
+// Scaled shrinks every size target by factor f in (0,1], keeping
+// probabilities and word lengths; benchmarks use f ≈ 0.01–0.1.
+func (c Config) Scaled(f float64) Config {
+	scale := func(n int) int {
+		m := int(float64(n) * f)
+		if m < 1 {
+			m = 1
+		}
+		return m
+	}
+	c.Models = scale(c.Models)
+	c.ElementsTotal = scale(c.ElementsTotal)
+	c.AttributesTotal = scale(c.AttributesTotal)
+	c.DomainValuesTotal = scale(c.DomainValuesTotal)
+	return c
+}
+
+// Registry is a generated corpus.
+type Registry struct {
+	Models []*model.Schema
+}
+
+// Generate builds the corpus deterministically from cfg.
+func Generate(cfg Config) *Registry {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &generator{cfg: cfg, rng: rng}
+	reg := &Registry{}
+	// Distribute the element budget over models with mild variance, then
+	// derive per-model attribute/domain budgets proportionally.
+	elemBudgets := distribute(rng, cfg.ElementsTotal, cfg.Models)
+	attrBudgets := distribute(rng, cfg.AttributesTotal, cfg.Models)
+	valueBudgets := distribute(rng, cfg.DomainValuesTotal, cfg.Models)
+	for i := 0; i < cfg.Models; i++ {
+		reg.Models = append(reg.Models, g.model(i, elemBudgets[i], attrBudgets[i], valueBudgets[i]))
+	}
+	return reg
+}
+
+// distribute splits total into n parts with ±30% jitter, exactly summing
+// to total.
+func distribute(rng *rand.Rand, total, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = 0.7 + 0.6*rng.Float64()
+		sum += weights[i]
+	}
+	out := make([]int, n)
+	assigned := 0
+	for i := range weights {
+		out[i] = int(float64(total) * weights[i] / sum)
+		assigned += out[i]
+	}
+	// Hand out the remainder round-robin.
+	for i := 0; assigned < total; i, assigned = i+1, assigned+1 {
+		out[i%n]++
+	}
+	return out
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// model builds one conceptual schema with the given budgets.
+func (g *generator) model(idx, elements, attributes, domainValues int) *model.Schema {
+	s := model.NewSchema(fmt.Sprintf("model%03d", idx), "er")
+	s.Doc = g.sentence(8 + g.rng.Intn(8))
+
+	if elements < 1 {
+		elements = 1
+	}
+	// Reserve ~15% of the element budget for relationships, the rest for
+	// entities (the registry counts both as "elements").
+	relCount := elements * 15 / 100
+	entCount := elements - relCount
+	if entCount < 1 {
+		entCount, relCount = 1, 0
+	}
+
+	// Domains first so attributes can reference them.
+	domainNames := g.domains(s, domainValues)
+
+	entities := make([]*model.Element, 0, entCount)
+	usedNames := map[string]bool{}
+	for i := 0; i < entCount; i++ {
+		name := g.entityName(usedNames)
+		e := s.AddElement(nil, name, model.KindEntity, model.ContainsElement)
+		if g.rng.Float64() < g.cfg.ElementDocProb {
+			e.Doc = g.definition(g.cfg.ElementDocWords, name)
+		}
+		entities = append(entities, e)
+	}
+
+	// Attributes distributed across entities.
+	attrBudgets := distribute(g.rng, attributes, entCount)
+	for i, e := range entities {
+		attrUsed := map[string]bool{}
+		for a := 0; a < attrBudgets[i]; a++ {
+			an := g.attributeName(attrUsed)
+			attr := s.AddElement(e, an, model.KindAttribute, model.ContainsAttribute)
+			attr.DataType = g.dataType()
+			if a == 0 {
+				attr.Key = true
+				attr.Required = true
+			}
+			if g.rng.Float64() < g.cfg.AttributeDocProb {
+				attr.Doc = g.definition(g.cfg.AttributeDocWords, an)
+			}
+			// ~20% of attributes draw from a coding scheme.
+			if len(domainNames) > 0 && g.rng.Float64() < 0.2 {
+				attr.DomainRef = domainNames[g.rng.Intn(len(domainNames))]
+			}
+		}
+	}
+
+	// Relationships between random entity pairs.
+	for i := 0; i < relCount && len(entities) >= 2; i++ {
+		from := entities[g.rng.Intn(len(entities))]
+		to := entities[g.rng.Intn(len(entities))]
+		name := fmt.Sprintf("%sTo%s", from.Name, upperFirst(to.Name))
+		rel := s.AddElement(nil, name, model.KindRelationship, model.References)
+		rel.Props = map[string]string{"from": from.Name, "to": to.Name}
+		if g.rng.Float64() < g.cfg.ElementDocProb {
+			rel.Doc = g.definition(g.cfg.ElementDocWords, from.Name)
+		}
+	}
+	return s
+}
+
+// domains creates coding schemes totalling ~values domain values and
+// returns their names.
+func (g *generator) domains(s *model.Schema, values int) []string {
+	var names []string
+	seq := 0
+	for values > 0 {
+		pool := codePools[g.rng.Intn(len(codePools))]
+		n := len(pool)
+		if n > values {
+			n = values
+		}
+		seq++
+		d := &model.Domain{Name: fmt.Sprintf("Domain%02d", seq)}
+		if g.rng.Float64() < g.cfg.DomainDocProb {
+			d.Doc = g.sentence(3 + g.rng.Intn(4))
+		}
+		for i := 0; i < n; i++ {
+			v := model.DomainValue{Code: pool[i]}
+			if g.rng.Float64() < g.cfg.DomainDocProb {
+				v.Doc = g.sentence(poissonish(g.rng, g.cfg.DomainDocWords))
+			}
+			d.Values = append(d.Values, v)
+		}
+		s.AddDomain(d)
+		names = append(names, d.Name)
+		values -= n
+	}
+	return names
+}
+
+func (g *generator) entityName(used map[string]bool) string {
+	for {
+		var name string
+		if g.rng.Float64() < 0.5 {
+			name = camel(pick(g.rng, entityNouns), pick(g.rng, entityNouns))
+		} else {
+			name = pick(g.rng, entityNouns)
+		}
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+		// Collision: qualify.
+		name = camel(pick(g.rng, qualifiers), name)
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+	}
+}
+
+func (g *generator) attributeName(used map[string]bool) string {
+	for {
+		var name string
+		switch g.rng.Intn(3) {
+		case 0:
+			name = camel(pick(g.rng, qualifiers), pick(g.rng, attributeNouns))
+		case 1:
+			name = camel(pick(g.rng, entityNouns), pick(g.rng, attributeNouns))
+		default:
+			name = pick(g.rng, attributeNouns)
+		}
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+		name = camel(pick(g.rng, qualifiers), name)
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+	}
+}
+
+func (g *generator) dataType() string {
+	types := []string{"string", "string", "string", "int", "decimal", "date", "boolean"}
+	return types[g.rng.Intn(len(types))]
+}
+
+// definition produces a one-sentence definition of roughly meanWords
+// words, weaving in the item's own name tokens (real definitions
+// paraphrase the name) plus content and glue words.
+func (g *generator) definition(meanWords float64, name string) string {
+	n := poissonish(g.rng, meanWords)
+	if n < 2 {
+		n = 2
+	}
+	words := make([]string, 0, n)
+	// Name tokens appear in ~70% of definitions.
+	if g.rng.Float64() < 0.7 {
+		words = append(words, splitCamel(name)...)
+	}
+	for len(words) < n {
+		switch g.rng.Intn(3) {
+		case 0:
+			words = append(words, pick(g.rng, docNouns))
+		case 1:
+			words = append(words, pick(g.rng, glueWords))
+		default:
+			words = append(words, pick(g.rng, attributeNouns))
+		}
+	}
+	words = words[:n]
+	return strings.Join(words, " ")
+}
+
+func (g *generator) sentence(n int) string {
+	words := make([]string, n)
+	for i := range words {
+		if i%2 == 0 {
+			words[i] = pick(g.rng, docNouns)
+		} else {
+			words[i] = pick(g.rng, glueWords)
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// poissonish samples a positive int around mean with geometric-ish spread.
+func poissonish(rng *rand.Rand, mean float64) int {
+	v := mean * (0.5 + rng.Float64())
+	n := int(v + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func pick(rng *rand.Rand, pool []string) string { return pool[rng.Intn(len(pool))] }
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	if s[0] >= 'a' && s[0] <= 'z' {
+		return string(s[0]-32) + s[1:]
+	}
+	return s
+}
+
+func camel(a, b string) string {
+	if b == "" {
+		return a
+	}
+	return a + strings.ToUpper(b[:1]) + b[1:]
+}
+
+func splitCamel(s string) []string {
+	var out []string
+	start := 0
+	for i := 1; i < len(s); i++ {
+		if s[i] >= 'A' && s[i] <= 'Z' {
+			out = append(out, strings.ToLower(s[start:i]))
+			start = i
+		}
+	}
+	out = append(out, strings.ToLower(s[start:]))
+	return out
+}
+
+// Stats aggregates Table 1's quantities over the generated corpus.
+type Stats struct {
+	Rows []Table1Row
+}
+
+// ComputeStats scans the corpus and produces the three Table 1 rows.
+func (r *Registry) ComputeStats() Stats {
+	var elemCount, elemDoc, elemWords int
+	var attrCount, attrDoc, attrWords int
+	var domCount, domDoc, domWords int
+	for _, s := range r.Models {
+		for _, e := range s.Elements() {
+			switch e.Kind {
+			case model.KindEntity, model.KindRelationship:
+				elemCount++
+				if e.Doc != "" {
+					elemDoc++
+					elemWords += len(strings.Fields(e.Doc))
+				}
+			case model.KindAttribute:
+				attrCount++
+				if e.Doc != "" {
+					attrDoc++
+					attrWords += len(strings.Fields(e.Doc))
+				}
+			}
+		}
+		for _, d := range s.Domains {
+			for _, v := range d.Values {
+				domCount++
+				if v.Doc != "" {
+					domDoc++
+					domWords += len(strings.Fields(v.Doc))
+				}
+			}
+		}
+	}
+	row := func(item string, count, doc, words int) Table1Row {
+		r := Table1Row{Item: item, ItemCount: count, WithDefinition: doc, WordCount: words}
+		if count > 0 {
+			r.WordsPerItem = float64(words) / float64(count)
+		}
+		if doc > 0 {
+			r.WordsPerDefined = float64(words) / float64(doc)
+		}
+		return r
+	}
+	return Stats{Rows: []Table1Row{
+		row("Element", elemCount, elemDoc, elemWords),
+		row("Attribute", attrCount, attrDoc, attrWords),
+		row("Domain", domCount, domDoc, domWords),
+	}}
+}

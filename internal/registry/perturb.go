@@ -1,0 +1,225 @@
+package registry
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Perturbation engine: derives a "target" schema from a generated
+// "source" schema by systematic renaming, dropping, adding and doc
+// paraphrasing, recording the true correspondences. This supplies the
+// ground truth the real DoD registry cannot (experiment E6).
+
+// PerturbConfig tunes the perturbation.
+type PerturbConfig struct {
+	Seed int64
+	// RenameProb is the chance an element is renamed (synonym or
+	// abbreviation).
+	RenameProb float64
+	// DropProb is the chance a source attribute has no counterpart.
+	DropProb float64
+	// AddProb is the chance an extra (unmatched) attribute appears per
+	// entity.
+	AddProb float64
+	// DocRewriteProb is the chance documentation is paraphrased
+	// (word-shuffled with ~30% replacement) rather than copied.
+	DocRewriteProb float64
+	// StripDocs removes all documentation from the target — the
+	// "web-style schema" condition where doc matchers get nothing.
+	StripDocs bool
+	// StripDomains removes coding schemes from the target.
+	StripDomains bool
+	// AlienRenameProb is the chance a rename replaces a token with an
+	// unrelated noun instead of a synonym — correspondences only
+	// documentation or domain evidence can recover.
+	AlienRenameProb float64
+}
+
+// DefaultPerturb is a moderate difficulty setting.
+func DefaultPerturb() PerturbConfig {
+	return PerturbConfig{
+		Seed:           7,
+		RenameProb:     0.6,
+		DropProb:       0.15,
+		AddProb:        0.3,
+		DocRewriteProb: 0.8,
+	}
+}
+
+// HardPerturb is the difficult condition used by the matcher-quality
+// experiments: heavier renaming (including non-synonym token
+// replacement), more noise attributes, aggressive doc paraphrasing.
+func HardPerturb() PerturbConfig {
+	return PerturbConfig{
+		Seed:            7,
+		RenameProb:      0.85,
+		DropProb:        0.2,
+		AddProb:         0.5,
+		DocRewriteProb:  0.95,
+		AlienRenameProb: 0.25,
+	}
+}
+
+// GroundTruth lists the true correspondences between a source schema and
+// its perturbed target, by element ID.
+type GroundTruth struct {
+	// Pairs maps source element ID → target element ID.
+	Pairs map[string]string
+}
+
+// MatchedPair is one true correspondence.
+type MatchedPair struct{ SourceID, TargetID string }
+
+// SortedPairs returns the ground truth deterministically ordered.
+func (gt *GroundTruth) SortedPairs() []MatchedPair {
+	out := make([]MatchedPair, 0, len(gt.Pairs))
+	for s, t := range gt.Pairs {
+		out = append(out, MatchedPair{s, t})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].SourceID < out[j-1].SourceID; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Perturb derives a target schema named src.Name+"_tgt" plus the ground
+// truth.
+func Perturb(src *model.Schema, cfg PerturbConfig) (*model.Schema, *GroundTruth) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tgt := model.NewSchema(src.Name+"_tgt", src.Format)
+	tgt.Doc = src.Doc
+	gt := &GroundTruth{Pairs: map[string]string{}}
+
+	// Copy domains (optionally stripped).
+	if !cfg.StripDomains {
+		for name, d := range src.Domains {
+			copied := &model.Domain{Name: name, Doc: d.Doc}
+			copied.Values = append(copied.Values, d.Values...)
+			tgt.AddDomain(copied)
+		}
+	}
+
+	p := &perturber{rng: rng, cfg: cfg, tgt: tgt, gt: gt}
+	for _, e := range src.Root().Children() {
+		p.element(e, nil)
+	}
+	return tgt, gt
+}
+
+type perturber struct {
+	rng *rand.Rand
+	cfg PerturbConfig
+	tgt *model.Schema
+	gt  *GroundTruth
+}
+
+func (p *perturber) element(src *model.Element, tgtParent *model.Element) {
+	// Attributes can drop; entities/relationships always survive so the
+	// schema keeps its shape.
+	if src.Kind == model.KindAttribute && p.rng.Float64() < p.cfg.DropProb {
+		return
+	}
+	name := src.Name
+	if p.rng.Float64() < p.cfg.RenameProb {
+		name = p.rename(name)
+	}
+	out := p.tgt.AddElement(tgtParent, name, src.Kind, src.EdgeFromParent)
+	out.DataType = src.DataType
+	out.Key = src.Key
+	out.Required = src.Required
+	if !p.cfg.StripDomains {
+		out.DomainRef = src.DomainRef
+	}
+	if len(src.Props) > 0 {
+		out.Props = map[string]string{}
+		for k, v := range src.Props {
+			out.Props[k] = v
+		}
+	}
+	if !p.cfg.StripDocs && src.Doc != "" {
+		if p.rng.Float64() < p.cfg.DocRewriteProb {
+			out.Doc = p.paraphrase(src.Doc)
+		} else {
+			out.Doc = src.Doc
+		}
+	}
+	p.gt.Pairs[src.ID] = out.ID
+
+	for _, c := range src.Children() {
+		p.element(c, out)
+	}
+	// Noise attributes that match nothing — named from the same pools as
+	// real attributes, so matchers cannot spot them lexically.
+	if src.Kind == model.KindEntity && p.rng.Float64() < p.cfg.AddProb {
+		extra := p.tgt.AddElement(out,
+			camel(pick(p.rng, qualifiers), pick(p.rng, attributeNouns)),
+			model.KindAttribute, model.ContainsAttribute)
+		extra.DataType = "string"
+		if !p.cfg.StripDocs {
+			extra.Doc = p.paraphrase(pick(p.rng, docNouns) + " " + pick(p.rng, glueWords) + " " + pick(p.rng, attributeNouns))
+		}
+	}
+}
+
+// rename maps a camelCase name token-wise through synonym pairs and
+// abbreviations, falling back to token reordering. With AlienRenameProb,
+// one token is replaced by an unrelated noun instead.
+func (p *perturber) rename(name string) string {
+	tokens := splitCamel(name)
+	if p.cfg.AlienRenameProb > 0 && p.rng.Float64() < p.cfg.AlienRenameProb {
+		tokens[p.rng.Intn(len(tokens))] = pick(p.rng, docNouns)
+		out := tokens[0]
+		for _, t := range tokens[1:] {
+			out = camel(out, t)
+		}
+		return out
+	}
+	changed := false
+	for i, tok := range tokens {
+		if ab, ok := abbreviations[tok]; ok && p.rng.Float64() < 0.5 {
+			tokens[i] = ab
+			changed = true
+			continue
+		}
+		for _, pair := range synonymPairs {
+			if pair[0] == tok {
+				tokens[i] = pair[1]
+				changed = true
+				break
+			} else if pair[1] == tok {
+				tokens[i] = pair[0]
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed && len(tokens) > 1 {
+		// Reorder: "departureTime" → "timeDeparture".
+		tokens[0], tokens[len(tokens)-1] = tokens[len(tokens)-1], tokens[0]
+	}
+	out := tokens[0]
+	for _, t := range tokens[1:] {
+		out = camel(out, t)
+	}
+	return out
+}
+
+// paraphrase shuffles word order and replaces ~30% of content words.
+func (p *perturber) paraphrase(doc string) string {
+	words := strings.Fields(doc)
+	for i := range words {
+		if p.rng.Float64() < 0.3 {
+			words[i] = pick(p.rng, docNouns)
+		}
+	}
+	// Partial shuffle: swap a few positions, keeping most local order.
+	for i := 0; i < len(words)/3; i++ {
+		a, b := p.rng.Intn(len(words)), p.rng.Intn(len(words))
+		words[a], words[b] = words[b], words[a]
+	}
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,262 @@
+package registry
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// testConfig is small enough for fast tests but large enough for stable
+// statistics.
+func testConfig() Config { return DefaultConfig().Scaled(0.02) }
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(testConfig())
+	b := Generate(testConfig())
+	if len(a.Models) != len(b.Models) {
+		t.Fatal("model counts differ")
+	}
+	for i := range a.Models {
+		if a.Models[i].String() != b.Models[i].String() {
+			t.Fatalf("model %d differs between identical seeds", i)
+		}
+	}
+	// Different seed differs.
+	cfg := testConfig()
+	cfg.Seed = 99
+	c := Generate(cfg)
+	same := true
+	for i := range a.Models {
+		if a.Models[i].String() != c.Models[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestGeneratedSchemataValid(t *testing.T) {
+	reg := Generate(testConfig())
+	for _, s := range reg.Models {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid model: %v", err)
+		}
+	}
+}
+
+func TestScaledBudgetsHit(t *testing.T) {
+	cfg := testConfig()
+	reg := Generate(cfg)
+	if len(reg.Models) != cfg.Models {
+		t.Errorf("models = %d, want %d", len(reg.Models), cfg.Models)
+	}
+	st := reg.ComputeStats()
+	elems, attrs, doms := st.Rows[0], st.Rows[1], st.Rows[2]
+	within := func(got, want int, tol float64) bool {
+		return math.Abs(float64(got-want)) <= tol*float64(want)
+	}
+	if !within(elems.ItemCount, cfg.ElementsTotal, 0.02) {
+		t.Errorf("elements = %d, want ≈%d", elems.ItemCount, cfg.ElementsTotal)
+	}
+	if !within(attrs.ItemCount, cfg.AttributesTotal, 0.02) {
+		t.Errorf("attributes = %d, want ≈%d", attrs.ItemCount, cfg.AttributesTotal)
+	}
+	if !within(doms.ItemCount, cfg.DomainValuesTotal, 0.02) {
+		t.Errorf("domain values = %d, want ≈%d", doms.ItemCount, cfg.DomainValuesTotal)
+	}
+}
+
+// TestTable1Shape verifies the generated corpus reproduces Table 1's
+// documentation shape: coverage percentages and words-per-definition.
+func TestTable1Shape(t *testing.T) {
+	reg := Generate(testConfig())
+	st := reg.ComputeStats()
+	elems, attrs, doms := st.Rows[0], st.Rows[1], st.Rows[2]
+
+	elemCover := float64(elems.WithDefinition) / float64(elems.ItemCount)
+	if elemCover < 0.97 {
+		t.Errorf("element coverage = %.3f, want ≈0.99", elemCover)
+	}
+	attrCover := float64(attrs.WithDefinition) / float64(attrs.ItemCount)
+	if attrCover < 0.78 || attrCover > 0.88 {
+		t.Errorf("attribute coverage = %.3f, want ≈0.83", attrCover)
+	}
+	domCover := float64(doms.WithDefinition) / float64(doms.ItemCount)
+	if domCover < 0.99 {
+		t.Errorf("domain coverage = %.3f, want ≈1.0", domCover)
+	}
+
+	if math.Abs(elems.WordsPerDefined-11.1) > 2 {
+		t.Errorf("element words/definition = %.1f, want ≈11.1", elems.WordsPerDefined)
+	}
+	if math.Abs(attrs.WordsPerDefined-16.4) > 2.5 {
+		t.Errorf("attribute words/definition = %.1f, want ≈16.4", attrs.WordsPerDefined)
+	}
+	if math.Abs(doms.WordsPerDefined-3.68) > 1 {
+		t.Errorf("domain words/definition = %.2f, want ≈3.68", doms.WordsPerDefined)
+	}
+}
+
+func TestModelsContainDomains(t *testing.T) {
+	reg := Generate(testConfig())
+	withDomains := 0
+	withRefs := 0
+	for _, s := range reg.Models {
+		if len(s.Domains) > 0 {
+			withDomains++
+		}
+		for _, e := range s.ElementsOfKind(model.KindAttribute) {
+			if e.DomainRef != "" {
+				withRefs++
+				break
+			}
+		}
+	}
+	if withDomains < len(reg.Models)/2 {
+		t.Errorf("only %d/%d models have domains", withDomains, len(reg.Models))
+	}
+	if withRefs == 0 {
+		t.Error("no attribute references a coding scheme")
+	}
+}
+
+func TestDistributeSumsExactly(t *testing.T) {
+	cfg := testConfig()
+	reg := Generate(cfg)
+	total := 0
+	for _, s := range reg.Models {
+		for _, e := range s.Elements() {
+			if e.Kind != model.KindAttribute {
+				total++
+			}
+		}
+	}
+	// distribute() hands out exactly the budget; relationship rounding
+	// may shave a little (15% split per model), so allow 2%.
+	if math.Abs(float64(total-cfg.ElementsTotal)) > 0.02*float64(cfg.ElementsTotal) {
+		t.Errorf("element total = %d, want ≈%d", total, cfg.ElementsTotal)
+	}
+}
+
+func TestPerturbGroundTruth(t *testing.T) {
+	reg := Generate(testConfig())
+	src := reg.Models[0]
+	tgt, gt := Perturb(src, DefaultPerturb())
+	if err := tgt.Validate(); err != nil {
+		t.Fatalf("perturbed schema invalid: %v", err)
+	}
+	if tgt.Name != src.Name+"_tgt" {
+		t.Errorf("target name = %q", tgt.Name)
+	}
+	if len(gt.Pairs) == 0 {
+		t.Fatal("empty ground truth")
+	}
+	// Every ground-truth pair resolves on both sides.
+	for s, tid := range gt.Pairs {
+		if src.Element(s) == nil {
+			t.Fatalf("ground truth source %q missing", s)
+		}
+		if tgt.Element(tid) == nil {
+			t.Fatalf("ground truth target %q missing", tid)
+		}
+	}
+	// Entities all survive; some attributes drop.
+	srcEnts := len(src.ElementsOfKind(model.KindEntity))
+	tgtEnts := len(tgt.ElementsOfKind(model.KindEntity))
+	if tgtEnts != srcEnts {
+		t.Errorf("entities: %d → %d, want preserved", srcEnts, tgtEnts)
+	}
+	srcAttrs := len(src.ElementsOfKind(model.KindAttribute))
+	matchedAttrs := 0
+	for s := range gt.Pairs {
+		if e := src.Element(s); e != nil && e.Kind == model.KindAttribute {
+			matchedAttrs++
+		}
+	}
+	if matchedAttrs >= srcAttrs {
+		t.Error("no attributes dropped despite DropProb")
+	}
+	if matchedAttrs < srcAttrs/2 {
+		t.Errorf("too many attributes dropped: %d of %d matched", matchedAttrs, srcAttrs)
+	}
+}
+
+func TestPerturbRenames(t *testing.T) {
+	reg := Generate(testConfig())
+	src := reg.Models[0]
+	tgt, gt := Perturb(src, DefaultPerturb())
+	renamed := 0
+	for s, tid := range gt.Pairs {
+		se, te := src.Element(s), tgt.Element(tid)
+		if se.Name != te.Name {
+			renamed++
+		}
+	}
+	if renamed == 0 {
+		t.Error("no element was renamed")
+	}
+}
+
+func TestPerturbStripDocsAndDomains(t *testing.T) {
+	reg := Generate(testConfig())
+	src := reg.Models[0]
+	cfg := DefaultPerturb()
+	cfg.StripDocs = true
+	cfg.StripDomains = true
+	tgt, _ := Perturb(src, cfg)
+	for _, e := range tgt.Elements() {
+		if e.Doc != "" {
+			t.Fatal("StripDocs left documentation")
+		}
+		if e.DomainRef != "" {
+			t.Fatal("StripDomains left a domain ref")
+		}
+	}
+	if len(tgt.Domains) != 0 {
+		t.Error("StripDomains left domains")
+	}
+}
+
+func TestPerturbDeterministic(t *testing.T) {
+	reg := Generate(testConfig())
+	src := reg.Models[0]
+	t1, g1 := Perturb(src, DefaultPerturb())
+	t2, g2 := Perturb(src, DefaultPerturb())
+	if t1.String() != t2.String() || len(g1.Pairs) != len(g2.Pairs) {
+		t.Error("perturbation not deterministic")
+	}
+}
+
+func TestSortedPairs(t *testing.T) {
+	gt := &GroundTruth{Pairs: map[string]string{"b": "y", "a": "x", "c": "z"}}
+	ps := gt.SortedPairs()
+	if ps[0].SourceID != "a" || ps[1].SourceID != "b" || ps[2].SourceID != "c" {
+		t.Errorf("SortedPairs = %v", ps)
+	}
+}
+
+func TestPaperTable1Constants(t *testing.T) {
+	// Guard against typos in the transcription of Table 1.
+	if PaperTable1[0].ItemCount != 13049 || PaperTable1[1].ItemCount != 163736 || PaperTable1[2].ItemCount != 282331 {
+		t.Error("Table 1 item counts transcribed wrong")
+	}
+	if PaperTable1[1].WordsPerDefined != 16.4 {
+		t.Error("Table 1 words/definition transcribed wrong")
+	}
+}
+
+func TestUpperFirstAndCamelAndSplit(t *testing.T) {
+	if upperFirst("abc") != "Abc" || upperFirst("") != "" || upperFirst("Abc") != "Abc" {
+		t.Error("upperFirst wrong")
+	}
+	if camel("departure", "time") != "departureTime" || camel("x", "") != "x" {
+		t.Error("camel wrong")
+	}
+	got := splitCamel("departureTimeCode")
+	if len(got) != 3 || got[0] != "departure" || got[2] != "code" {
+		t.Errorf("splitCamel = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package registry
+
+// Vocabulary pools for the synthetic metadata registry. The pools span
+// the domains the paper names — defense logistics, air traffic flow
+// management, personnel — so that generated schemata look like the DoD
+// registry's conceptual models and so that the default thesaurus (and
+// therefore the thesaurus voter) has traction on perturbed names.
+
+// entityNouns name entities; two are combined for compound entities.
+var entityNouns = []string{
+	"aircraft", "airport", "runway", "facility", "flight", "route",
+	"carrier", "weather", "sector", "waypoint", "clearance", "departure",
+	"arrival", "unit", "mission", "vehicle", "convoy", "depot", "supply",
+	"shipment", "order", "requisition", "contract", "vendor", "item",
+	"inventory", "munition", "platform", "sensor", "track", "target",
+	"report", "message", "person", "employee", "officer", "rank",
+	"assignment", "billet", "organization", "command", "base", "region",
+	"country", "installation", "exercise", "operation", "plan", "schedule",
+	"budget", "account", "fund", "transaction", "payment", "invoice",
+	"patient", "treatment", "hospital", "casualty", "evacuation",
+}
+
+// attributeNouns name attributes, composed with a qualifier.
+var attributeNouns = []string{
+	"code", "identifier", "name", "type", "category", "status", "date",
+	"time", "quantity", "amount", "weight", "length", "width", "height",
+	"speed", "altitude", "latitude", "longitude", "elevation", "bearing",
+	"priority", "description", "remark", "count", "number", "rate",
+	"cost", "price", "total", "balance", "grade", "level", "capacity",
+	"frequency", "duration", "distance", "location", "address", "phone",
+	"version", "source", "owner", "classification", "effectiveness",
+}
+
+// qualifiers prefix attribute names ("departureTime", "unitCode").
+var qualifiers = []string{
+	"actual", "planned", "scheduled", "estimated", "reported", "assigned",
+	"primary", "secondary", "current", "previous", "maximum", "minimum",
+	"total", "net", "gross", "effective", "expiration", "creation",
+	"departure", "arrival", "origin", "destination", "home", "parent",
+}
+
+// glueWords pad documentation sentences with realistic connective tissue.
+var glueWords = []string{
+	"the", "a", "of", "for", "that", "which", "identifies", "describes",
+	"specifies", "denotes", "indicates", "represents", "associated",
+	"with", "assigned", "to", "used", "by", "during", "within", "under",
+	"each", "specific", "unique", "official", "designated", "recorded",
+	"reported", "authorized", "standard", "current",
+}
+
+// docNouns enrich documentation sentences with content words distinct
+// from (but overlapping) the name pools, mimicking real definitions that
+// paraphrase rather than repeat the name.
+var docNouns = []string{
+	"aircraft", "facility", "mission", "unit", "organization", "record",
+	"entity", "value", "attribute", "system", "operation", "movement",
+	"activity", "resource", "asset", "personnel", "equipment", "material",
+	"information", "data", "element", "event", "period", "area", "point",
+	"measurement", "designation", "authority", "requirement", "capability",
+}
+
+// codePools provide enumerated coding-scheme values.
+var codePools = [][]string{
+	{"A", "B", "C", "D", "E", "F"},
+	{"ACTIVE", "INACTIVE", "PENDING", "CLOSED", "SUSPENDED"},
+	{"B738", "A320", "E145", "C130", "KC135", "F16", "C17"},
+	{"ICAO", "IATA", "FAA", "NATO"},
+	{"LOW", "MEDIUM", "HIGH", "CRITICAL"},
+	{"US", "UK", "DE", "FR", "CA", "AU"},
+	{"01", "02", "03", "04", "05", "06", "07", "08", "09", "10"},
+	{"VFR", "IFR", "SVFR"},
+	{"ARMY", "NAVY", "AIRFORCE", "MARINES", "COASTGUARD"},
+	{"NEW", "USED", "REFURBISHED", "CONDEMNED"},
+}
+
+// synonymPairs drive the perturbation engine's renames; each pair is
+// also related in lingo.DefaultThesaurus so that thesaurus-aware matchers
+// can recover the correspondence.
+var synonymPairs = [][2]string{
+	{"identifier", "id"},
+	{"code", "id"},
+	{"name", "title"},
+	{"type", "kind"},
+	{"type", "category"},
+	{"quantity", "amount"},
+	{"cost", "price"},
+	{"aircraft", "plane"},
+	{"airport", "facility"},
+	{"route", "path"},
+	{"departure", "origin"},
+	{"arrival", "destination"},
+	{"employee", "staff"},
+	{"organization", "unit"},
+	{"number", "count"},
+	{"location", "place"},
+	{"address", "location"},
+	{"elevation", "altitude"},
+	{"speed", "velocity"},
+	{"description", "definition"},
+}
+
+// abbreviations drive abbreviation-style renames.
+var abbreviations = map[string]string{
+	"identifier":   "id",
+	"number":       "num",
+	"quantity":     "qty",
+	"description":  "desc",
+	"organization": "org",
+	"department":   "dept",
+	"maximum":      "max",
+	"minimum":      "min",
+	"latitude":     "lat",
+	"longitude":    "lon",
+	"category":     "cat",
+	"location":     "loc",
+	"address":      "addr",
+	"telephone":    "tel",
+	"status":       "stat",
+}

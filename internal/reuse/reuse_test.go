@@ -1,0 +1,168 @@
+package reuse
+
+import (
+	"testing"
+
+	"repro/internal/blackboard"
+	"repro/internal/harmony"
+	"repro/internal/match"
+	"repro/internal/model"
+)
+
+// mkSchema builds a flat entity with the given attribute names.
+func mkSchema(name, entity string, attrs ...string) *model.Schema {
+	s := model.NewSchema(name, "er")
+	e := s.AddElement(nil, entity, model.KindEntity, model.ContainsElement)
+	for _, a := range attrs {
+		s.AddElement(e, a, model.KindAttribute, model.ContainsAttribute)
+	}
+	return s
+}
+
+// seedLibrary stores a finished mapping where an engineer accepted
+// qty↔amount and rejected qty↔weight.
+func seedLibrary(t *testing.T) *blackboard.Blackboard {
+	t.Helper()
+	bb := blackboard.New()
+	src := mkSchema("warehouse", "item", "qty", "sku")
+	tgt := mkSchema("catalog", "product", "amount", "weight")
+	if _, err := bb.PutSchema(src); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bb.PutSchema(tgt); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := bb.NewMapping("past-project", "warehouse", "catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.SetCell("warehouse/item/qty", "catalog/product/amount", 1, true, "engineer")
+	mp.SetCell("warehouse/item/qty", "catalog/product/weight", -1, true, "engineer")
+	return bb
+}
+
+func TestLibraryVoterUsesPrecedents(t *testing.T) {
+	bb := seedLibrary(t)
+	// A NEW schema pair with the same attribute vocabulary.
+	src := mkSchema("store", "lineItem", "qty", "color")
+	tgt := mkSchema("feed", "entry", "amount", "weight")
+	ctx := match.NewContext(src, tgt)
+	m := (LibraryVoter{BB: bb}).Vote(ctx)
+
+	if got := m.Get("store/lineItem/qty", "feed/entry/amount"); got != 0.9 {
+		t.Errorf("accepted precedent vote = %g, want 0.9", got)
+	}
+	if got := m.Get("store/lineItem/qty", "feed/entry/weight"); got != -0.9 {
+		t.Errorf("rejected precedent vote = %g, want -0.9", got)
+	}
+	if got := m.Get("store/lineItem/color", "feed/entry/amount"); got != 0 {
+		t.Errorf("no-precedent vote = %g, want abstain", got)
+	}
+}
+
+func TestLibraryVoterNormalizesNames(t *testing.T) {
+	bb := seedLibrary(t)
+	// QTY / Amount in different case/underscore style still hit.
+	src := mkSchema("s", "e", "QTY")
+	tgt := mkSchema("t", "f", "a_mount")
+	ctx := match.NewContext(src, tgt)
+	m := (LibraryVoter{BB: bb}).Vote(ctx)
+	if got := m.Get("s/e/QTY", "t/f/a_mount"); got != 0.9 {
+		t.Errorf("normalized precedent vote = %g", got)
+	}
+}
+
+func TestLibraryVoterConflictingPrecedents(t *testing.T) {
+	bb := seedLibrary(t)
+	mp, _ := bb.GetMapping("past-project")
+	// A second project rejected qty↔amount.
+	mp2, err := bb.NewMapping("other-project", "warehouse", "catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mp
+	mp2.SetCell("warehouse/item/qty", "catalog/product/amount", -1, true, "engineer")
+
+	src := mkSchema("s", "e", "qty")
+	tgt := mkSchema("t", "f", "amount")
+	ctx := match.NewContext(src, tgt)
+	m := (LibraryVoter{BB: bb}).Vote(ctx)
+	if got := m.Get("s/e/qty", "t/f/amount"); got != 0.2 {
+		t.Errorf("conflicting precedent vote = %g, want weak 0.2", got)
+	}
+}
+
+func TestLibraryVoterAbstainsWithoutLibrary(t *testing.T) {
+	src := mkSchema("s", "e", "qty")
+	tgt := mkSchema("t", "f", "amount")
+	ctx := match.NewContext(src, tgt)
+	// Nil blackboard.
+	m := (LibraryVoter{}).Vote(ctx)
+	if got := m.Get("s/e/qty", "t/f/amount"); got != 0 {
+		t.Errorf("nil-library vote = %g", got)
+	}
+	// Empty blackboard.
+	m = (LibraryVoter{BB: blackboard.New()}).Vote(ctx)
+	if got := m.Get("s/e/qty", "t/f/amount"); got != 0 {
+		t.Errorf("empty-library vote = %g", got)
+	}
+}
+
+func TestLibraryVoterIgnoresMachineCells(t *testing.T) {
+	bb := blackboard.New()
+	src := mkSchema("a", "e", "x")
+	tgt := mkSchema("b", "f", "y")
+	_, _ = bb.PutSchema(src)
+	_, _ = bb.PutSchema(tgt)
+	mp, _ := bb.NewMapping("m", "a", "b")
+	mp.SetCell("a/e/x", "b/f/y", 0.9, false, "harmony") // machine, not user
+	ctx := match.NewContext(mkSchema("s", "e", "x"), mkSchema("t", "f", "y"))
+	m := (LibraryVoter{BB: bb}).Vote(ctx)
+	if got := m.Get("s/e/x", "t/f/y"); got != 0 {
+		t.Errorf("machine cells must not become precedents: %g", got)
+	}
+}
+
+// TestReuseImprovesSecondProject is the end-to-end reuse story: after an
+// engineer finishes project 1, project 2 over schemata with alien names
+// but shared vocabulary benefits from the library voter.
+func TestReuseImprovesSecondProject(t *testing.T) {
+	bb := seedLibrary(t)
+	src := mkSchema("p2src", "requisition", "qty", "beta")
+	tgt := mkSchema("p2tgt", "record", "amount", "gamma")
+
+	without := harmony.NewEngine(src, tgt, harmony.Options{Flooding: true})
+	without.Run()
+	base := without.Matrix().Get("p2src/requisition/qty", "p2tgt/record/amount")
+
+	with := harmony.NewEngine(src, tgt, harmony.Options{
+		Voters:   VotersWithLibrary(bb),
+		Flooding: true,
+	})
+	with.Run()
+	boosted := with.Matrix().Get("p2src/requisition/qty", "p2tgt/record/amount")
+
+	if boosted <= base {
+		t.Errorf("library should boost the precedent pair: %g → %g", base, boosted)
+	}
+	if boosted <= 0.25 {
+		t.Errorf("boosted score = %g, want clearly positive", boosted)
+	}
+}
+
+func TestRecordDecisions(t *testing.T) {
+	bb := seedLibrary(t)
+	mp, _ := bb.NewMapping("session", "warehouse", "catalog")
+	RecordDecisions(mp, map[[2]string]bool{
+		{"warehouse/item/sku", "catalog/product/weight"}: false,
+		{"warehouse/item/sku", "catalog/product/amount"}: true,
+	}, "harmony")
+	c, ok := mp.GetCell("warehouse/item/sku", "catalog/product/amount")
+	if !ok || c.Confidence != 1 || !c.UserDefined {
+		t.Errorf("recorded accept = %+v", c)
+	}
+	c, _ = mp.GetCell("warehouse/item/sku", "catalog/product/weight")
+	if c.Confidence != -1 {
+		t.Errorf("recorded reject = %+v", c)
+	}
+}

@@ -1,0 +1,165 @@
+// Package sqlddl loads SQL data-definition scripts into the canonical
+// schema graph (paper §4: Harmony "will soon support relational
+// schemata"). It parses CREATE TABLE statements including column types,
+// primary/foreign keys, NOT NULL, CHECK (col IN (...)) constraints —
+// normalized to Domains per the paper's §2 recommendation — and COMMENT
+// ON statements, which populate the documentation annotation.
+package sqlddl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // '...' literal
+	tokNumber
+	tokPunct // single punctuation rune: ( ) , ; . =
+)
+
+// token is one lexical unit with its source line for error messages.
+type token struct {
+	kind tokenKind
+	text string // identifiers are uppercased in normText only
+	line int
+}
+
+// upper returns the token text uppercased (SQL keywords are
+// case-insensitive).
+func (t token) upper() string { return strings.ToUpper(t.text) }
+
+// lexer tokenizes SQL DDL. Comments (-- and /* */) are skipped.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, fmt.Errorf("sqlddl: line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		start := l.pos + 1
+		i := start
+		var sb strings.Builder
+		for i < len(l.src) {
+			if l.src[i] == '\'' {
+				if i+1 < len(l.src) && l.src[i+1] == '\'' { // escaped quote
+					sb.WriteString(l.src[start:i])
+					sb.WriteByte('\'')
+					i += 2
+					start = i
+					continue
+				}
+				sb.WriteString(l.src[start:i])
+				tok := token{kind: tokString, text: sb.String(), line: l.line}
+				l.line += strings.Count(l.src[l.pos:i+1], "\n")
+				l.pos = i + 1
+				return tok, nil
+			}
+			i++
+		}
+		return token{}, fmt.Errorf("sqlddl: line %d: unterminated string literal", l.line)
+	case c == '"' || c == '`' || c == '[':
+		// Quoted identifier.
+		closer := byte('"')
+		if c == '`' {
+			closer = '`'
+		}
+		if c == '[' {
+			closer = ']'
+		}
+		i := l.pos + 1
+		for i < len(l.src) && l.src[i] != closer {
+			i++
+		}
+		if i >= len(l.src) {
+			return token{}, fmt.Errorf("sqlddl: line %d: unterminated quoted identifier", l.line)
+		}
+		tok := token{kind: tokIdent, text: l.src[l.pos+1 : i], line: l.line}
+		l.pos = i + 1
+		return tok, nil
+	case isIdentStart(rune(c)):
+		i := l.pos
+		for i < len(l.src) && isIdentPart(rune(l.src[i])) {
+			i++
+		}
+		tok := token{kind: tokIdent, text: l.src[l.pos:i], line: l.line}
+		l.pos = i
+		return tok, nil
+	case c >= '0' && c <= '9':
+		i := l.pos
+		for i < len(l.src) && (l.src[i] >= '0' && l.src[i] <= '9' || l.src[i] == '.') {
+			i++
+		}
+		tok := token{kind: tokNumber, text: l.src[l.pos:i], line: l.line}
+		l.pos = i
+		return tok, nil
+	case strings.ContainsRune("(),;.=<>", rune(c)):
+		tok := token{kind: tokPunct, text: string(c), line: l.line}
+		l.pos++
+		return tok, nil
+	default:
+		return token{}, fmt.Errorf("sqlddl: line %d: unexpected character %q", l.line, c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '$'
+}
+
+// lexAll tokenizes the whole input (trailing EOF excluded).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+		toks = append(toks, t)
+	}
+}

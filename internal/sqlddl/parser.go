@@ -1,0 +1,504 @@
+package sqlddl
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Load parses SQL DDL from r into a canonical schema named name.
+//
+// Recognized statements:
+//
+//	CREATE TABLE t (col TYPE [NOT NULL] [PRIMARY KEY] [CHECK (col IN (...))]
+//	               [REFERENCES t2(col)], ...,
+//	               [PRIMARY KEY (a, b)], [FOREIGN KEY (a) REFERENCES t2(b)],
+//	               [CHECK (col IN ('x','y'))])
+//	COMMENT ON TABLE t IS '...'
+//	COMMENT ON COLUMN t.col IS '...'
+//
+// Other statements (CREATE INDEX, INSERT, ...) are skipped statement-wise.
+// CHECK ... IN constraints become named Domains, following the paper's §2
+// advice that coding schemes be surfaced as semantic domains.
+func Load(name string, r io.Reader) (*model.Schema, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := lexAll(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schema: model.NewSchema(name, "sql"), tables: map[string]*model.Element{}}
+	if err := p.parse(); err != nil {
+		return nil, err
+	}
+	if err := p.schema.Validate(); err != nil {
+		return nil, err
+	}
+	return p.schema, nil
+}
+
+// LoadFile loads a .sql file; the schema is named after the file stem.
+func LoadFile(path string) (*model.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Load(name, f)
+}
+
+type parser struct {
+	toks   []token
+	pos    int
+	schema *model.Schema
+	tables map[string]*model.Element // lowercase name → entity
+}
+
+func (p *parser) cur() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{kind: tokEOF}
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	p.pos++
+	return t
+}
+
+func (p *parser) accept(upperText string) bool {
+	if p.cur().upper() == upperText {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(upperText string) error {
+	t := p.cur()
+	if t.upper() != upperText {
+		return fmt.Errorf("sqlddl: line %d: expected %q, got %q", t.line, upperText, t.text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, fmt.Errorf("sqlddl: line %d: expected identifier, got %q", t.line, t.text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// skipStatement advances past the next ';' (or EOF).
+func (p *parser) skipStatement() {
+	for p.cur().kind != tokEOF {
+		if p.advance().text == ";" {
+			return
+		}
+	}
+}
+
+func (p *parser) parse() error {
+	for p.cur().kind != tokEOF {
+		switch {
+		case p.cur().upper() == "CREATE" && p.peekUpper(1) == "TABLE":
+			if err := p.createTable(); err != nil {
+				return err
+			}
+		case p.cur().upper() == "COMMENT" && p.peekUpper(1) == "ON":
+			if err := p.commentOn(); err != nil {
+				return err
+			}
+		case p.cur().text == ";":
+			p.pos++
+		default:
+			p.skipStatement()
+		}
+	}
+	return nil
+}
+
+func (p *parser) peekUpper(ahead int) string {
+	if p.pos+ahead < len(p.toks) {
+		return p.toks[p.pos+ahead].upper()
+	}
+	return ""
+}
+
+func (p *parser) createTable() error {
+	p.pos += 2 // CREATE TABLE
+	// Optional IF NOT EXISTS.
+	if p.cur().upper() == "IF" {
+		p.pos += 3
+	}
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	tableName := nameTok.text
+	// Optional schema qualifier: schema.table.
+	if p.cur().text == "." {
+		p.pos++
+		t2, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		tableName = t2.text
+	}
+	table := p.schema.AddElement(nil, tableName, model.KindEntity, model.ContainsTable)
+	p.tables[strings.ToLower(tableName)] = table
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	for {
+		if err := p.tableItem(table); err != nil {
+			return err
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	// Consume trailing options up to ';'.
+	p.skipStatement()
+	return nil
+}
+
+// tableItem parses one column definition or table-level constraint.
+func (p *parser) tableItem(table *model.Element) error {
+	switch p.cur().upper() {
+	case "PRIMARY":
+		p.pos++
+		if err := p.expect("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return err
+		}
+		for _, c := range cols {
+			if col := childByName(table, c); col != nil {
+				col.Key = true
+				col.Required = true
+			}
+		}
+		return nil
+	case "FOREIGN":
+		p.pos++
+		if err := p.expect("KEY"); err != nil {
+			return err
+		}
+		cols, err := p.parenIdentList()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("REFERENCES"); err != nil {
+			return err
+		}
+		refTable, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if p.cur().text == "(" {
+			if _, err := p.parenIdentList(); err != nil {
+				return err
+			}
+		}
+		for _, c := range cols {
+			if col := childByName(table, c); col != nil {
+				setProp(col, "references", refTable.text)
+			}
+		}
+		return nil
+	case "CHECK":
+		p.pos++
+		col, values, err := p.checkIn()
+		if err != nil {
+			return err
+		}
+		if col != "" && len(values) > 0 {
+			p.attachDomain(table, col, values)
+		}
+		return nil
+	case "UNIQUE", "CONSTRAINT":
+		// CONSTRAINT name <constraint>: re-dispatch after the name.
+		if p.cur().upper() == "CONSTRAINT" {
+			p.pos++
+			if _, err := p.expectIdent(); err != nil {
+				return err
+			}
+			return p.tableItem(table)
+		}
+		p.pos++
+		if p.cur().text == "(" {
+			if _, err := p.parenIdentList(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return p.columnDef(table)
+}
+
+func (p *parser) columnDef(table *model.Element) error {
+	nameTok, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	col := p.schema.AddElement(table, nameTok.text, model.KindAttribute, model.ContainsAttribute)
+	typeTok, err := p.expectIdent()
+	if err != nil {
+		return fmt.Errorf("sqlddl: column %q: %w", nameTok.text, err)
+	}
+	dt := strings.ToLower(typeTok.text)
+	// Optional (n) or (n,m) size suffix.
+	if p.cur().text == "(" {
+		depth := 0
+		for {
+			t := p.advance()
+			if t.text == "(" {
+				depth++
+			}
+			if t.text == ")" {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+			if t.kind == tokEOF {
+				return fmt.Errorf("sqlddl: unterminated type for column %q", nameTok.text)
+			}
+		}
+	}
+	col.DataType = dt
+	// Column options.
+	for {
+		switch p.cur().upper() {
+		case "NOT":
+			p.pos++
+			if err := p.expect("NULL"); err != nil {
+				return err
+			}
+			col.Required = true
+		case "NULL":
+			p.pos++
+		case "PRIMARY":
+			p.pos++
+			if err := p.expect("KEY"); err != nil {
+				return err
+			}
+			col.Key = true
+			col.Required = true
+		case "UNIQUE":
+			p.pos++
+		case "DEFAULT":
+			p.pos++
+			p.advance() // the default value token
+		case "REFERENCES":
+			p.pos++
+			refTable, err := p.expectIdent()
+			if err != nil {
+				return err
+			}
+			if p.cur().text == "(" {
+				if _, err := p.parenIdentList(); err != nil {
+					return err
+				}
+			}
+			setProp(col, "references", refTable.text)
+		case "CHECK":
+			p.pos++
+			c, values, err := p.checkIn()
+			if err != nil {
+				return err
+			}
+			target := c
+			if target == "" {
+				target = col.Name
+			}
+			if len(values) > 0 {
+				p.attachDomain(table, target, values)
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+// checkIn parses CHECK (col IN ('a','b',...)), returning the column and
+// values. Non-IN check expressions are consumed and return empty values.
+func (p *parser) checkIn() (string, []string, error) {
+	if err := p.expect("("); err != nil {
+		return "", nil, err
+	}
+	// Try: ident IN ( literals )
+	if p.cur().kind == tokIdent && p.peekUpper(1) == "IN" {
+		colTok := p.advance()
+		p.pos++ // IN
+		if err := p.expect("("); err != nil {
+			return "", nil, err
+		}
+		var values []string
+		for {
+			t := p.advance()
+			switch t.kind {
+			case tokString, tokNumber, tokIdent:
+				values = append(values, t.text)
+			default:
+				return "", nil, fmt.Errorf("sqlddl: line %d: unexpected %q in IN list", t.line, t.text)
+			}
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return "", nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return "", nil, err
+		}
+		return colTok.text, values, nil
+	}
+	// Arbitrary expression: balance parentheses.
+	depth := 1
+	for depth > 0 {
+		t := p.advance()
+		if t.kind == tokEOF {
+			return "", nil, fmt.Errorf("sqlddl: unterminated CHECK expression")
+		}
+		if t.text == "(" {
+			depth++
+		}
+		if t.text == ")" {
+			depth--
+		}
+	}
+	return "", nil, nil
+}
+
+// attachDomain records a CHECK-IN constraint as a named domain on the
+// column (paper §2: "define semantic domains for each coding scheme").
+func (p *parser) attachDomain(table *model.Element, colName string, values []string) {
+	col := childByName(table, colName)
+	if col == nil {
+		return
+	}
+	domName := table.Name + "." + col.Name
+	d := &model.Domain{Name: domName}
+	for _, v := range values {
+		d.Values = append(d.Values, model.DomainValue{Code: v})
+	}
+	p.schema.AddDomain(d)
+	col.DomainRef = domName
+}
+
+func (p *parser) parenIdentList() ([]string, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var out []string
+	for {
+		t, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t.text)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// commentOn parses COMMENT ON TABLE t IS '...' and
+// COMMENT ON COLUMN t.c IS '...'.
+func (p *parser) commentOn() error {
+	p.pos += 2 // COMMENT ON
+	kind := p.advance().upper()
+	switch kind {
+	case "TABLE":
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		doc, err := p.isString()
+		if err != nil {
+			return err
+		}
+		if table := p.tables[strings.ToLower(t.text)]; table != nil {
+			table.Doc = doc
+		}
+	case "COLUMN":
+		t, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		c, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		doc, err := p.isString()
+		if err != nil {
+			return err
+		}
+		if table := p.tables[strings.ToLower(t.text)]; table != nil {
+			if col := childByName(table, c.text); col != nil {
+				col.Doc = doc
+			}
+		}
+	default:
+		p.skipStatement()
+		return nil
+	}
+	p.skipStatement()
+	return nil
+}
+
+func (p *parser) isString() (string, error) {
+	if err := p.expect("IS"); err != nil {
+		return "", err
+	}
+	t := p.advance()
+	if t.kind != tokString {
+		return "", fmt.Errorf("sqlddl: line %d: expected string literal after IS, got %q", t.line, t.text)
+	}
+	return t.text, nil
+}
+
+func childByName(parent *model.Element, name string) *model.Element {
+	for _, c := range parent.Children() {
+		if strings.EqualFold(c.Name, name) {
+			return c
+		}
+	}
+	return nil
+}
+
+func setProp(e *model.Element, k, v string) {
+	if e.Props == nil {
+		e.Props = map[string]string{}
+	}
+	e.Props[k] = v
+}

@@ -1,0 +1,319 @@
+package sqlddl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+const hrDDL = `
+-- HR schema exercising the full loader surface.
+CREATE TABLE employee (
+  emp_id      INTEGER PRIMARY KEY,
+  first_name  VARCHAR(40) NOT NULL,
+  last_name   VARCHAR(40) NOT NULL,
+  salary      DECIMAL(10,2),
+  dept_code   CHAR(4) REFERENCES department(dept_code)
+              CHECK (dept_code IN ('ENG', 'OPS', 'FIN')),
+  status      VARCHAR(10) DEFAULT 'active'
+);
+
+CREATE TABLE department (
+  dept_code CHAR(4) NOT NULL,
+  dept_name VARCHAR(80),
+  PRIMARY KEY (dept_code),
+  CONSTRAINT valid_code CHECK (dept_code IN ('ENG','OPS','FIN'))
+);
+
+COMMENT ON TABLE employee IS 'A person employed by the organization';
+COMMENT ON COLUMN employee.salary IS 'Annual base salary in USD';
+COMMENT ON COLUMN employee.first_name IS 'Given name of the employee';
+`
+
+func mustLoad(t *testing.T, name, src string) *model.Schema {
+	t.Helper()
+	s, err := Load(name, strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLoadTablesAndColumns(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	emp := s.Element("hr/employee")
+	if emp == nil || emp.Kind != model.KindEntity || emp.EdgeFromParent != model.ContainsTable {
+		t.Fatalf("employee: %+v", emp)
+	}
+	if got := len(emp.Children()); got != 6 {
+		t.Errorf("employee has %d columns, want 6", got)
+	}
+	id := s.Element("hr/employee/emp_id")
+	if !id.Key || !id.Required || id.DataType != "integer" {
+		t.Errorf("emp_id: %+v", id)
+	}
+	fn := s.Element("hr/employee/first_name")
+	if !fn.Required || fn.DataType != "varchar" {
+		t.Errorf("first_name: %+v", fn)
+	}
+	sal := s.Element("hr/employee/salary")
+	if sal.Required || sal.DataType != "decimal" {
+		t.Errorf("salary: %+v", sal)
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	if got := s.Element("hr/employee").Doc; got != "A person employed by the organization" {
+		t.Errorf("table doc = %q", got)
+	}
+	if got := s.Element("hr/employee/salary").Doc; got != "Annual base salary in USD" {
+		t.Errorf("column doc = %q", got)
+	}
+}
+
+func TestCheckInBecomesDomain(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	col := s.Element("hr/employee/dept_code")
+	if col.DomainRef == "" {
+		t.Fatal("CHECK IN should attach a domain")
+	}
+	d := s.DomainOf(col)
+	if d == nil || len(d.Values) != 3 {
+		t.Fatalf("domain: %+v", d)
+	}
+	if d.Values[0].Code != "ENG" {
+		t.Errorf("values = %+v", d.Values)
+	}
+	// Table-level CONSTRAINT ... CHECK also works.
+	col2 := s.Element("hr/department/dept_code")
+	if col2.DomainRef == "" {
+		t.Error("table-level CHECK should attach a domain")
+	}
+}
+
+func TestReferences(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	col := s.Element("hr/employee/dept_code")
+	if col.Props["references"] != "department" {
+		t.Errorf("references prop = %q", col.Props["references"])
+	}
+}
+
+func TestTablePrimaryKeyConstraint(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	pk := s.Element("hr/department/dept_code")
+	if !pk.Key {
+		t.Error("table-level PRIMARY KEY should mark the column")
+	}
+}
+
+func TestForeignKeyConstraint(t *testing.T) {
+	src := `CREATE TABLE a (x INT, y INT,
+	  FOREIGN KEY (x) REFERENCES b(z));`
+	s := mustLoad(t, "s", src)
+	if got := s.Element("s/a/x").Props["references"]; got != "b" {
+		t.Errorf("fk references = %q", got)
+	}
+}
+
+func TestQuotedIdentifiersAndEscapes(t *testing.T) {
+	src := `CREATE TABLE "Order Items" (
+	  "item id" INT,
+	  note VARCHAR(10) CHECK (note IN ('it''s', 'ok'))
+	);
+	COMMENT ON TABLE "Order Items" IS 'Line items; it''s documented';`
+	s := mustLoad(t, "q", src)
+	tbl := s.Element("q/Order Items")
+	if tbl == nil {
+		t.Fatal("quoted table name lost")
+	}
+	if tbl.Doc != "Line items; it's documented" {
+		t.Errorf("doc = %q", tbl.Doc)
+	}
+	note := s.Element("q/Order Items/note")
+	d := s.DomainOf(note)
+	if d == nil || d.Values[0].Code != "it's" {
+		t.Errorf("escaped domain value: %+v", d)
+	}
+}
+
+func TestSkipsUnknownStatements(t *testing.T) {
+	src := `
+	CREATE INDEX idx ON employee(last_name);
+	INSERT INTO employee VALUES (1, 'x');
+	CREATE TABLE t (c INT);
+	GRANT SELECT ON t TO someone;
+	`
+	s := mustLoad(t, "s", src)
+	if s.Element("s/t/c") == nil {
+		t.Error("CREATE TABLE after skipped statements lost")
+	}
+	if got := len(s.ElementsOfKind(model.KindEntity)); got != 1 {
+		t.Errorf("entities = %d, want 1", got)
+	}
+}
+
+func TestIfNotExistsAndQualifiedNames(t *testing.T) {
+	src := `CREATE TABLE IF NOT EXISTS myschema.orders (id INT PRIMARY KEY);`
+	s := mustLoad(t, "s", src)
+	if s.Element("s/orders/id") == nil {
+		t.Error("qualified table name should use the table part")
+	}
+}
+
+func TestBlockComments(t *testing.T) {
+	src := `/* header
+	comment */ CREATE TABLE t (c INT /* inline */ NOT NULL);`
+	s := mustLoad(t, "s", src)
+	if !s.Element("s/t/c").Required {
+		t.Error("NOT NULL after block comment lost")
+	}
+}
+
+func TestNonInCheckIgnored(t *testing.T) {
+	src := `CREATE TABLE t (c INT CHECK (c > 0 AND c < 100));`
+	s := mustLoad(t, "s", src)
+	if s.Element("s/t/c").DomainRef != "" {
+		t.Error("range check should not create a domain")
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{
+		"CREATE TABLE t (c INT); '#unterminated",
+		"/* unterminated",
+		`CREATE TABLE "unterminated (c INT);`,
+	} {
+		if _, err := Load("bad", strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) should error", bad)
+		}
+	}
+}
+
+func TestParserErrors(t *testing.T) {
+	for _, bad := range []string{
+		"CREATE TABLE (c INT);",                    // missing table name
+		"CREATE TABLE t c INT);",                   // missing (
+		"CREATE TABLE t (c);",                      // missing type
+		"CREATE TABLE t (c INT",                    // unterminated
+		"CREATE TABLE t (c INT NOT);",              // NOT without NULL
+		"COMMENT ON TABLE t 'no is';",              // missing IS
+		"COMMENT ON COLUMN t.c IS 42;",             // non-string comment
+		"CREATE TABLE t (c INT CHECK (c IN (,)));", // bad IN list
+	} {
+		if _, err := Load("bad", strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) should error", bad)
+		}
+	}
+}
+
+func TestCommentForUnknownTargetIgnored(t *testing.T) {
+	src := `CREATE TABLE t (c INT);
+	COMMENT ON TABLE ghost IS 'no such table';
+	COMMENT ON COLUMN t.ghost IS 'no such column';
+	COMMENT ON VIEW v IS 'unsupported target';`
+	if _, err := Load("s", strings.NewReader(src)); err != nil {
+		t.Errorf("unknown comment targets should be ignored, got %v", err)
+	}
+}
+
+func TestLoadFileStem(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/warehouse.sql"
+	if err := os.WriteFile(path, []byte("CREATE TABLE t (c INT);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "warehouse" {
+		t.Errorf("Name = %q", s.Name)
+	}
+}
+
+func TestStatsOnLoadedSchema(t *testing.T) {
+	s := mustLoad(t, "hr", hrDDL)
+	st := model.ComputeStats(s)
+	if st.Entities != 2 || st.Attributes != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.DomainCount != 2 {
+		t.Errorf("domains = %d, want 2", st.DomainCount)
+	}
+}
+
+func TestTableLevelUniqueAndNamedConstraints(t *testing.T) {
+	src := `CREATE TABLE t (
+	  a INT,
+	  b INT,
+	  UNIQUE (a, b),
+	  CONSTRAINT pk_t PRIMARY KEY (a),
+	  CONSTRAINT fk_t FOREIGN KEY (b) REFERENCES other(x)
+	);`
+	s := mustLoad(t, "s", src)
+	if !s.Element("s/t/a").Key {
+		t.Error("named PRIMARY KEY constraint lost")
+	}
+	if s.Element("s/t/b").Props["references"] != "other" {
+		t.Error("named FOREIGN KEY constraint lost")
+	}
+}
+
+func TestColumnUniqueAndNull(t *testing.T) {
+	src := `CREATE TABLE t (a INT UNIQUE NULL, b VARCHAR(5) DEFAULT 'x' NOT NULL);`
+	s := mustLoad(t, "s", src)
+	if s.Element("s/t/a").Required {
+		t.Error("NULL column should not be required")
+	}
+	if !s.Element("s/t/b").Required {
+		t.Error("NOT NULL after DEFAULT lost")
+	}
+}
+
+func TestFKWithoutColumnList(t *testing.T) {
+	src := `CREATE TABLE t (a INT REFERENCES other);`
+	s := mustLoad(t, "s", src)
+	if s.Element("s/t/a").Props["references"] != "other" {
+		t.Error("REFERENCES without column list lost")
+	}
+}
+
+func TestCheckNumericAndIdentifierCodes(t *testing.T) {
+	src := `CREATE TABLE t (
+	  n INT CHECK (n IN (1, 2, 3)),
+	  w VARCHAR(8) CHECK (w IN (alpha, beta))
+	);`
+	s := mustLoad(t, "s", src)
+	d := s.DomainOf(s.Element("s/t/n"))
+	if d == nil || len(d.Values) != 3 || d.Values[0].Code != "1" {
+		t.Errorf("numeric IN list: %+v", d)
+	}
+	d2 := s.DomainOf(s.Element("s/t/w"))
+	if d2 == nil || d2.Values[0].Code != "alpha" {
+		t.Errorf("identifier IN list: %+v", d2)
+	}
+}
+
+func TestParenIdentListErrors(t *testing.T) {
+	for _, bad := range []string{
+		"CREATE TABLE t (a INT, PRIMARY KEY a);",              // missing (
+		"CREATE TABLE t (a INT, PRIMARY KEY (a);",             // missing )
+		"CREATE TABLE t (a INT, PRIMARY KEY (1));",            // non-ident
+		"CREATE TABLE t (a INT, FOREIGN KEY (a) REFERENCES);", // missing table
+	} {
+		if _, err := Load("bad", strings.NewReader(bad)); err == nil {
+			t.Errorf("Load(%q) should error", bad)
+		}
+	}
+}
+
+func TestStatementAtEOFWithoutSemicolon(t *testing.T) {
+	s := mustLoad(t, "s", "CREATE TABLE t (c INT)")
+	if s.Element("s/t/c") == nil {
+		t.Error("unterminated final statement lost")
+	}
+}

@@ -1,0 +1,295 @@
+// Package wbmgr implements the workbench manager of paper §5.2: "All
+// interaction with the IB occurs via the workbench manager, which
+// coordinates matchers, mappers, importers, and other tools. The manager
+// provides several services: First, it provides transactional updates to
+// the IB. Second, following each update, it notifies the other tools
+// using an event. Third, the manager processes ad hoc queries posed to
+// the IB."
+package wbmgr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/blackboard"
+	"repro/internal/rdf"
+)
+
+// EventKind classifies blackboard-change events (paper §5.2.2): "a
+// different type of event is generated for each major component of the IB
+// so that a tool can register for only those events relevant to that
+// tool."
+type EventKind string
+
+// The four event kinds of §5.2.2.
+const (
+	// EventSchemaGraph fires when a loader imports a schema.
+	EventSchemaGraph EventKind = "schema-graph"
+	// EventMappingCell fires when a correspondence is established.
+	EventMappingCell EventKind = "mapping-cell"
+	// EventMappingVector fires when a row/column transformation is set.
+	EventMappingVector EventKind = "mapping-vector"
+	// EventMappingMatrix fires when the assembled mapping changes.
+	EventMappingMatrix EventKind = "mapping-matrix"
+)
+
+// Event is one blackboard-change notification.
+type Event struct {
+	Kind EventKind
+	// Tool names the tool that made the change.
+	Tool string
+	// Subject identifies what changed: a schema name, mapping id, or
+	// "mappingID|srcID|tgtID" for cells and "mappingID|tgtID" for vectors.
+	Subject string
+}
+
+// Handler receives events. Handlers run synchronously on the committing
+// goroutine, after the transaction commits.
+type Handler func(Event)
+
+// Tool is the §5.2.1 tool interface: "the tool interface defines two
+// methods ... an invoke method [and] each tool has the option of
+// implementing an initialize method. Generally, this is done when a tool
+// needs to register for events."
+type Tool interface {
+	// Name identifies the tool for provenance and event attribution.
+	Name() string
+	// Initialize is called once at registration; tools typically
+	// subscribe to events here.
+	Initialize(m *Manager) error
+	// Invoke runs the tool with string arguments (CLI-style).
+	Invoke(m *Manager, args map[string]string) error
+}
+
+// Manager mediates all access to one integration blackboard.
+type Manager struct {
+	bb *blackboard.Blackboard
+
+	mu     sync.Mutex // guards txn state and registries
+	inTxn  bool
+	snap   *rdf.Graph // rollback snapshot of the active txn
+	queued []Event    // events queued inside the active txn
+
+	tools map[string]Tool
+	subs  map[EventKind][]subscription
+	subID int
+
+	// EventLog records delivered events when EnableEventLog is set; the
+	// case-study experiments inspect it.
+	EnableEventLog bool
+	eventLog       []Event
+}
+
+type subscription struct {
+	id      int
+	tool    string
+	handler Handler
+}
+
+// New returns a manager over a fresh blackboard.
+func New() *Manager {
+	return NewWith(blackboard.New())
+}
+
+// NewWith wraps an existing blackboard (e.g. a restored snapshot).
+func NewWith(bb *blackboard.Blackboard) *Manager {
+	return &Manager{
+		bb:    bb,
+		tools: map[string]Tool{},
+		subs:  map[EventKind][]subscription{},
+	}
+}
+
+// Blackboard exposes the underlying IB. Mutations outside a transaction
+// are permitted (single-tool convenience) but generate no events.
+func (m *Manager) Blackboard() *blackboard.Blackboard { return m.bb }
+
+// ---- Tool registry ----
+
+// Register adds a tool and runs its Initialize hook.
+func (m *Manager) Register(t Tool) error {
+	m.mu.Lock()
+	if _, dup := m.tools[t.Name()]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("wbmgr: tool %q already registered", t.Name())
+	}
+	m.tools[t.Name()] = t
+	m.mu.Unlock()
+	return t.Initialize(m)
+}
+
+// Invoke runs a registered tool by name.
+func (m *Manager) Invoke(name string, args map[string]string) error {
+	m.mu.Lock()
+	t, ok := m.tools[name]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("wbmgr: no tool %q", name)
+	}
+	return t.Invoke(m, args)
+}
+
+// Tools lists registered tool names, sorted.
+func (m *Manager) Tools() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.tools))
+	for n := range m.tools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ---- Events ----
+
+// Subscribe registers a handler for one event kind on behalf of a tool.
+// It returns an unsubscribe token.
+func (m *Manager) Subscribe(kind EventKind, tool string, h Handler) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subID++
+	m.subs[kind] = append(m.subs[kind], subscription{m.subID, tool, h})
+	return m.subID
+}
+
+// Unsubscribe removes a subscription by token.
+func (m *Manager) Unsubscribe(token int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for kind, subs := range m.subs {
+		for i, s := range subs {
+			if s.id == token {
+				m.subs[kind] = append(subs[:i], subs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// publish delivers an event to subscribers (excluding the originating
+// tool — "the manager propagates these events to allow any tool to
+// respond to the update"; the originator already knows).
+func (m *Manager) publish(e Event) {
+	m.mu.Lock()
+	subs := append([]subscription(nil), m.subs[e.Kind]...)
+	if m.EnableEventLog {
+		m.eventLog = append(m.eventLog, e)
+	}
+	m.mu.Unlock()
+	for _, s := range subs {
+		if s.tool == e.Tool {
+			continue
+		}
+		s.handler(e)
+	}
+}
+
+// EventLog returns the delivered events recorded so far.
+func (m *Manager) EventLog() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.eventLog...)
+}
+
+// ---- Transactions ----
+
+// Txn is one transactional update scope. All changes either commit
+// together — after which the queued events fire — or roll back entirely
+// (paper §5.2.1: "all of the interactions with the IB are wrapped in a
+// transaction; no events are generated until the mapping matrix has been
+// updated").
+type Txn struct {
+	m    *Manager
+	tool string
+	done bool
+}
+
+// Begin starts a transaction on behalf of a tool. Only one transaction
+// may be active at a time; Begin returns an error rather than blocking so
+// that misuse is visible.
+func (m *Manager) Begin(tool string) (*Txn, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inTxn {
+		return nil, fmt.Errorf("wbmgr: transaction already active")
+	}
+	m.inTxn = true
+	m.snap = m.bb.Graph().Clone()
+	m.queued = nil
+	return &Txn{m: m, tool: tool}, nil
+}
+
+// Blackboard gives the transaction's view of the IB (the live one; the
+// snapshot exists for rollback).
+func (t *Txn) Blackboard() *blackboard.Blackboard { return t.m.bb }
+
+// Emit queues an event for delivery at commit.
+func (t *Txn) Emit(kind EventKind, subject string) {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.m.queued = append(t.m.queued, Event{Kind: kind, Tool: t.tool, Subject: subject})
+}
+
+// Commit ends the transaction and delivers queued events in order.
+func (t *Txn) Commit() error {
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return fmt.Errorf("wbmgr: transaction already finished")
+	}
+	t.done = true
+	t.m.inTxn = false
+	t.m.snap = nil
+	queued := t.m.queued
+	t.m.queued = nil
+	t.m.mu.Unlock()
+	for _, e := range queued {
+		t.m.publish(e)
+	}
+	return nil
+}
+
+// Abort rolls the blackboard back to its pre-transaction state and drops
+// queued events.
+func (t *Txn) Abort() error {
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return fmt.Errorf("wbmgr: transaction already finished")
+	}
+	t.done = true
+	t.m.inTxn = false
+	snap := t.m.snap
+	t.m.snap = nil
+	t.m.queued = nil
+	t.m.mu.Unlock()
+	t.m.bb.Graph().ReplaceWith(snap)
+	return nil
+}
+
+// ---- Queries ----
+
+// Query evaluates a textual basic-graph-pattern query against the IB and
+// returns rows for the requested variables — the §5.2 ad hoc query
+// service.
+func (m *Manager) Query(text string, vars ...string) ([][]string, error) {
+	q, err := rdf.ParseQuery(text)
+	if err != nil {
+		return nil, err
+	}
+	vs := make([]rdf.Var, len(vars))
+	for i, v := range vars {
+		vs[i] = rdf.Var(v)
+	}
+	rows := q.SelectVars(m.bb.Graph(), vs...)
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		out[i] = make([]string, len(row))
+		for j, term := range row {
+			out[i][j] = term.Value()
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,337 @@
+package wbmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// fakeTool records invocations and subscribes to one event kind.
+type fakeTool struct {
+	name     string
+	listens  EventKind
+	events   []Event
+	invoked  int
+	initErr  error
+	invokeFn func(m *Manager, args map[string]string) error
+}
+
+func (f *fakeTool) Name() string { return f.name }
+
+func (f *fakeTool) Initialize(m *Manager) error {
+	if f.initErr != nil {
+		return f.initErr
+	}
+	if f.listens != "" {
+		m.Subscribe(f.listens, f.name, func(e Event) { f.events = append(f.events, e) })
+	}
+	return nil
+}
+
+func (f *fakeTool) Invoke(m *Manager, args map[string]string) error {
+	f.invoked++
+	if f.invokeFn != nil {
+		return f.invokeFn(m, args)
+	}
+	return nil
+}
+
+func simpleSchema(name string) *model.Schema {
+	s := model.NewSchema(name, "er")
+	e := s.AddElement(nil, "E", model.KindEntity, model.ContainsElement)
+	s.AddElement(e, "a", model.KindAttribute, model.ContainsAttribute)
+	return s
+}
+
+func TestRegisterAndInvoke(t *testing.T) {
+	m := New()
+	ft := &fakeTool{name: "loader"}
+	if err := m.Register(ft); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register(&fakeTool{name: "loader"}); err == nil {
+		t.Error("duplicate registration should error")
+	}
+	if err := m.Invoke("loader", nil); err != nil {
+		t.Fatal(err)
+	}
+	if ft.invoked != 1 {
+		t.Errorf("invoked = %d", ft.invoked)
+	}
+	if err := m.Invoke("ghost", nil); err == nil {
+		t.Error("unknown tool should error")
+	}
+	if got := m.Tools(); len(got) != 1 || got[0] != "loader" {
+		t.Errorf("Tools = %v", got)
+	}
+}
+
+func TestRegisterInitializeError(t *testing.T) {
+	m := New()
+	wantErr := errors.New("boom")
+	if err := m.Register(&fakeTool{name: "bad", initErr: wantErr}); !errors.Is(err, wantErr) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEventsDeliveredOnCommit(t *testing.T) {
+	m := New()
+	matcher := &fakeTool{name: "matcher", listens: EventSchemaGraph}
+	if err := m.Register(matcher); err != nil {
+		t.Fatal(err)
+	}
+
+	txn, err := m.Begin("loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Blackboard().PutSchema(simpleSchema("s1")); err != nil {
+		t.Fatal(err)
+	}
+	txn.Emit(EventSchemaGraph, "s1")
+	// Not delivered before commit.
+	if len(matcher.events) != 0 {
+		t.Error("event leaked before commit")
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(matcher.events) != 1 || matcher.events[0].Subject != "s1" || matcher.events[0].Tool != "loader" {
+		t.Errorf("events = %v", matcher.events)
+	}
+}
+
+func TestOriginatorDoesNotReceiveOwnEvents(t *testing.T) {
+	m := New()
+	self := &fakeTool{name: "matcher", listens: EventMappingCell}
+	other := &fakeTool{name: "mapper", listens: EventMappingCell}
+	_ = m.Register(self)
+	_ = m.Register(other)
+	txn, _ := m.Begin("matcher")
+	txn.Emit(EventMappingCell, "m|a|b")
+	_ = txn.Commit()
+	if len(self.events) != 0 {
+		t.Error("originator received its own event")
+	}
+	if len(other.events) != 1 {
+		t.Error("other tool missed the event")
+	}
+}
+
+func TestEventKindRouting(t *testing.T) {
+	m := New()
+	cellTool := &fakeTool{name: "cells", listens: EventMappingCell}
+	vecTool := &fakeTool{name: "vectors", listens: EventMappingVector}
+	_ = m.Register(cellTool)
+	_ = m.Register(vecTool)
+	txn, _ := m.Begin("x")
+	txn.Emit(EventMappingCell, "c")
+	txn.Emit(EventMappingVector, "v")
+	txn.Emit(EventMappingMatrix, "m")
+	_ = txn.Commit()
+	if len(cellTool.events) != 1 || cellTool.events[0].Kind != EventMappingCell {
+		t.Errorf("cell tool events = %v", cellTool.events)
+	}
+	if len(vecTool.events) != 1 || vecTool.events[0].Kind != EventMappingVector {
+		t.Errorf("vector tool events = %v", vecTool.events)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	m := New()
+	listener := &fakeTool{name: "l", listens: EventSchemaGraph}
+	_ = m.Register(listener)
+
+	if _, err := m.Blackboard().PutSchema(simpleSchema("keep")); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Blackboard().Graph().Len()
+
+	txn, _ := m.Begin("loader")
+	_, _ = txn.Blackboard().PutSchema(simpleSchema("discard"))
+	txn.Emit(EventSchemaGraph, "discard")
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Blackboard().Graph().Len(); got != before {
+		t.Errorf("rollback: %d triples, want %d", got, before)
+	}
+	if len(m.Blackboard().Schemas()) != 1 {
+		t.Errorf("schemas after abort: %v", m.Blackboard().Schemas())
+	}
+	if len(listener.events) != 0 {
+		t.Error("aborted txn leaked events")
+	}
+	// A new transaction can start after abort.
+	txn2, err := m.Begin("loader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = txn2.Commit()
+}
+
+func TestSingleActiveTransaction(t *testing.T) {
+	m := New()
+	txn, _ := m.Begin("a")
+	if _, err := m.Begin("b"); err == nil {
+		t.Error("second Begin should fail while txn active")
+	}
+	_ = txn.Commit()
+	if _, err := m.Begin("b"); err != nil {
+		t.Errorf("Begin after commit: %v", err)
+	}
+}
+
+func TestDoubleFinishErrors(t *testing.T) {
+	m := New()
+	txn, _ := m.Begin("a")
+	_ = txn.Commit()
+	if err := txn.Commit(); err == nil {
+		t.Error("double commit should error")
+	}
+	if err := txn.Abort(); err == nil {
+		t.Error("abort after commit should error")
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	m := New()
+	got := 0
+	token := m.Subscribe(EventSchemaGraph, "t", func(Event) { got++ })
+	txn, _ := m.Begin("x")
+	txn.Emit(EventSchemaGraph, "one")
+	_ = txn.Commit()
+	m.Unsubscribe(token)
+	txn2, _ := m.Begin("x")
+	txn2.Emit(EventSchemaGraph, "two")
+	_ = txn2.Commit()
+	if got != 1 {
+		t.Errorf("handler ran %d times, want 1", got)
+	}
+}
+
+func TestEventLog(t *testing.T) {
+	m := New()
+	m.EnableEventLog = true
+	txn, _ := m.Begin("x")
+	txn.Emit(EventMappingMatrix, "m")
+	_ = txn.Commit()
+	log := m.EventLog()
+	if len(log) != 1 || log[0].Kind != EventMappingMatrix {
+		t.Errorf("log = %v", log)
+	}
+	// Returned slice is a copy.
+	log[0].Subject = "mutated"
+	if m.EventLog()[0].Subject != "m" {
+		t.Error("EventLog must return a copy")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	m := New()
+	_, _ = m.Blackboard().PutSchema(simpleSchema("s1"))
+	rows, err := m.Query(`?e <urn:workbench:name> "a"`, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0] != "urn:workbench:schema/s1#s1/E/a" {
+		t.Errorf("rows = %v", rows)
+	}
+	if _, err := m.Query("not a query", "x"); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestToolChainThroughEvents(t *testing.T) {
+	// A mapper that reacts to mapping-cell events by writing code, which
+	// in turn fires a mapping-vector event — the §5.2.2 upstream/
+	// downstream listening pattern.
+	m := New()
+	var vectorEvents []Event
+	m.Subscribe(EventMappingVector, "observer", func(e Event) { vectorEvents = append(vectorEvents, e) })
+
+	mapper := &fakeTool{name: "mapper"}
+	mapper.invokeFn = func(m *Manager, args map[string]string) error {
+		txn, err := m.Begin("mapper")
+		if err != nil {
+			return err
+		}
+		txn.Emit(EventMappingVector, args["subject"])
+		return txn.Commit()
+	}
+	_ = m.Register(mapper)
+	m.Subscribe(EventMappingCell, "mapper", func(e Event) {
+		_ = m.Invoke("mapper", map[string]string{"subject": e.Subject})
+	})
+
+	txn, _ := m.Begin("matcher")
+	txn.Emit(EventMappingCell, fmt.Sprintf("m|%s|%s", "src", "tgt"))
+	_ = txn.Commit()
+
+	if len(vectorEvents) != 1 || vectorEvents[0].Subject != "m|src|tgt" {
+		t.Errorf("chained events = %v", vectorEvents)
+	}
+}
+
+func TestConcurrentReadsDuringTransactions(t *testing.T) {
+	// Queries and event subscriptions running concurrently with a
+	// sequence of transactions must not race (run with -race in CI).
+	m := New()
+	if _, err := m.Blackboard().PutSchema(simpleSchema("base")); err != nil {
+		t.Fatal(err)
+	}
+	var delivered int64
+	m.Subscribe(EventSchemaGraph, "obs", func(Event) { atomic.AddInt64(&delivered, 1) })
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			txn, err := m.Begin("writer")
+			if err != nil {
+				continue // another txn active; acceptable
+			}
+			_, _ = txn.Blackboard().PutSchema(simpleSchema(fmt.Sprintf("s%d", i)))
+			txn.Emit(EventSchemaGraph, fmt.Sprintf("s%d", i))
+			if i%5 == 0 {
+				_ = txn.Abort()
+			} else {
+				_ = txn.Commit()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_, _ = m.Query(`?s <urn:workbench:format> "er"`, "s")
+		m.Blackboard().Schemas()
+	}
+	<-done
+	if atomic.LoadInt64(&delivered) == 0 {
+		t.Error("no events delivered")
+	}
+	// Aborted transactions left no schemas behind: s0, s5, ... missing.
+	for _, name := range m.Blackboard().Schemas() {
+		if name == "s0" || name == "s5" {
+			t.Errorf("aborted schema %s persisted", name)
+		}
+	}
+}
+
+func TestSequentialTransactionThroughput(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		txn, err := m.Begin("w")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = txn.Blackboard().PutSchema(simpleSchema(fmt.Sprintf("t%d", i)))
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Blackboard().Schemas()); got != 100 {
+		t.Errorf("schemas = %d", got)
+	}
+}

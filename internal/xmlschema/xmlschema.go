@@ -1,0 +1,276 @@
+// Package xmlschema loads a practical subset of W3C XML Schema (XSD) into
+// the canonical schema graph (paper §4: "Harmony currently supports XML
+// schemata"; §3.1 task 1: loaders import source schemata and their
+// documentation).
+//
+// Supported constructs: global and local element declarations, named and
+// anonymous complex types with sequence/all/choice particles, attributes,
+// simple types with enumeration facets (normalized to Domains),
+// xs:annotation/xs:documentation (normalized to Doc), minOccurs/use for
+// Required, and type references to named types. Imports, substitution
+// groups and identity constraints are out of scope.
+package xmlschema
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// xsd parse tree, mapped directly from the XML.
+type xsdSchema struct {
+	XMLName      xml.Name         `xml:"schema"`
+	Elements     []xsdElement     `xml:"element"`
+	ComplexTypes []xsdComplexType `xml:"complexType"`
+	SimpleTypes  []xsdSimpleType  `xml:"simpleType"`
+	Annotation   *xsdAnnotation   `xml:"annotation"`
+}
+
+type xsdElement struct {
+	Name        string          `xml:"name,attr"`
+	Type        string          `xml:"type,attr"`
+	MinOccurs   string          `xml:"minOccurs,attr"`
+	MaxOccurs   string          `xml:"maxOccurs,attr"`
+	Annotation  *xsdAnnotation  `xml:"annotation"`
+	ComplexType *xsdComplexType `xml:"complexType"`
+	SimpleType  *xsdSimpleType  `xml:"simpleType"`
+}
+
+type xsdComplexType struct {
+	Name       string         `xml:"name,attr"`
+	Sequence   *xsdParticle   `xml:"sequence"`
+	All        *xsdParticle   `xml:"all"`
+	Choice     *xsdParticle   `xml:"choice"`
+	Attributes []xsdAttribute `xml:"attribute"`
+	Annotation *xsdAnnotation `xml:"annotation"`
+}
+
+type xsdParticle struct {
+	Elements []xsdElement `xml:"element"`
+}
+
+type xsdAttribute struct {
+	Name       string         `xml:"name,attr"`
+	Type       string         `xml:"type,attr"`
+	Use        string         `xml:"use,attr"`
+	Annotation *xsdAnnotation `xml:"annotation"`
+	SimpleType *xsdSimpleType `xml:"simpleType"`
+}
+
+type xsdSimpleType struct {
+	Name        string          `xml:"name,attr"`
+	Annotation  *xsdAnnotation  `xml:"annotation"`
+	Restriction *xsdRestriction `xml:"restriction"`
+}
+
+type xsdRestriction struct {
+	Base         string           `xml:"base,attr"`
+	Enumerations []xsdEnumeration `xml:"enumeration"`
+}
+
+type xsdEnumeration struct {
+	Value      string         `xml:"value,attr"`
+	Annotation *xsdAnnotation `xml:"annotation"`
+}
+
+type xsdAnnotation struct {
+	Documentation []string `xml:"documentation"`
+}
+
+func (a *xsdAnnotation) text() string {
+	if a == nil {
+		return ""
+	}
+	var parts []string
+	for _, d := range a.Documentation {
+		if t := strings.TrimSpace(collapseWhitespace(d)); t != "" {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+func collapseWhitespace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// Load parses an XSD document from r into a canonical schema named name.
+func Load(name string, r io.Reader) (*model.Schema, error) {
+	var doc xsdSchema
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmlschema: parsing %s: %w", name, err)
+	}
+	l := &loader{
+		schema:       model.NewSchema(name, "xsd"),
+		complexTypes: map[string]*xsdComplexType{},
+		simpleTypes:  map[string]*xsdSimpleType{},
+	}
+	l.schema.Doc = doc.Annotation.text()
+	for i := range doc.ComplexTypes {
+		ct := &doc.ComplexTypes[i]
+		if ct.Name != "" {
+			l.complexTypes[ct.Name] = ct
+		}
+	}
+	for i := range doc.SimpleTypes {
+		st := &doc.SimpleTypes[i]
+		if st.Name != "" {
+			l.simpleTypes[st.Name] = st
+			if dom := domainFromSimpleType(st, st.Name); dom != nil {
+				l.schema.AddDomain(dom)
+			}
+		}
+	}
+	for i := range doc.Elements {
+		if err := l.element(nil, &doc.Elements[i], 0); err != nil {
+			return nil, err
+		}
+	}
+	if err := l.schema.Validate(); err != nil {
+		return nil, err
+	}
+	return l.schema, nil
+}
+
+// LoadFile loads an XSD file; the schema is named after the file stem.
+func LoadFile(path string) (*model.Schema, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Load(name, f)
+}
+
+type loader struct {
+	schema       *model.Schema
+	complexTypes map[string]*xsdComplexType
+	simpleTypes  map[string]*xsdSimpleType
+}
+
+const maxDepth = 64
+
+func (l *loader) element(parent *model.Element, el *xsdElement, depth int) error {
+	if depth > maxDepth {
+		return fmt.Errorf("xmlschema: element nesting exceeds %d (recursive type?)", maxDepth)
+	}
+	if el.Name == "" {
+		return fmt.Errorf("xmlschema: element without name under %v", parentID(parent))
+	}
+	// Resolve the content model.
+	ct := el.ComplexType
+	if ct == nil && el.Type != "" {
+		ct = l.complexTypes[stripPrefix(el.Type)]
+	}
+	kind := model.KindAttribute
+	if ct != nil {
+		kind = model.KindEntity
+	}
+	e := l.schema.AddElement(parent, el.Name, kind, model.ContainsElement)
+	e.Doc = el.Annotation.text()
+	if el.MinOccurs != "0" {
+		e.Required = true
+	}
+	if kind == model.KindAttribute {
+		l.leafType(e, el.Type, el.SimpleType)
+		return nil
+	}
+	e.DataType = stripPrefix(el.Type)
+	if ct.Annotation != nil && e.Doc == "" {
+		e.Doc = ct.Annotation.text()
+	}
+	for i := range ct.Attributes {
+		at := &ct.Attributes[i]
+		if at.Name == "" {
+			return fmt.Errorf("xmlschema: attribute without name in element %q", el.Name)
+		}
+		a := l.schema.AddElement(e, at.Name, model.KindAttribute, model.ContainsAttribute)
+		a.Doc = at.Annotation.text()
+		if at.Use == "required" {
+			a.Required = true
+		}
+		l.leafType(a, at.Type, at.SimpleType)
+	}
+	for _, particle := range []*xsdParticle{ct.Sequence, ct.All, ct.Choice} {
+		if particle == nil {
+			continue
+		}
+		for i := range particle.Elements {
+			if err := l.element(e, &particle.Elements[i], depth+1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// leafType assigns DataType and DomainRef for a leaf element/attribute.
+func (l *loader) leafType(e *model.Element, typeRef string, inline *xsdSimpleType) {
+	if inline != nil {
+		domName := e.Name + "Values"
+		if dom := domainFromSimpleType(inline, domName); dom != nil {
+			l.schema.AddDomain(dom)
+			e.DomainRef = dom.Name
+			if inline.Restriction != nil {
+				e.DataType = stripPrefix(inline.Restriction.Base)
+			}
+			return
+		}
+		if inline.Restriction != nil {
+			e.DataType = stripPrefix(inline.Restriction.Base)
+		}
+		return
+	}
+	ref := stripPrefix(typeRef)
+	if st, ok := l.simpleTypes[ref]; ok {
+		if st.Restriction != nil && len(st.Restriction.Enumerations) > 0 {
+			e.DomainRef = ref
+			e.DataType = stripPrefix(st.Restriction.Base)
+			return
+		}
+		if st.Restriction != nil {
+			e.DataType = stripPrefix(st.Restriction.Base)
+			return
+		}
+	}
+	e.DataType = ref
+	if e.DataType == "" {
+		e.DataType = "string"
+	}
+}
+
+// domainFromSimpleType converts an enumerated simple type to a Domain.
+func domainFromSimpleType(st *xsdSimpleType, name string) *model.Domain {
+	if st.Restriction == nil || len(st.Restriction.Enumerations) == 0 {
+		return nil
+	}
+	d := &model.Domain{Name: name, Doc: st.Annotation.text()}
+	for _, en := range st.Restriction.Enumerations {
+		d.Values = append(d.Values, model.DomainValue{
+			Code: en.Value,
+			Doc:  en.Annotation.text(),
+		})
+	}
+	return d
+}
+
+func stripPrefix(qname string) string {
+	if i := strings.LastIndex(qname, ":"); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+func parentID(p *model.Element) string {
+	if p == nil {
+		return "(root)"
+	}
+	return p.ID
+}

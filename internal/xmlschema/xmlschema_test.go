@@ -1,0 +1,312 @@
+package xmlschema
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// poXSD is the Figure 2 source schema expressed as an XSD.
+const poXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:annotation><xs:documentation>Purchase order message</xs:documentation></xs:annotation>
+  <xs:element name="purchaseOrder">
+    <xs:annotation><xs:documentation>A purchase order submitted by a customer</xs:documentation></xs:annotation>
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="shipTo">
+          <xs:annotation><xs:documentation>The shipping destination</xs:documentation></xs:annotation>
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="firstName" type="xs:string">
+                <xs:annotation><xs:documentation>Given name of the recipient</xs:documentation></xs:annotation>
+              </xs:element>
+              <xs:element name="lastName" type="xs:string"/>
+              <xs:element name="subtotal" type="xs:decimal" minOccurs="0"/>
+            </xs:sequence>
+            <xs:attribute name="country" type="xs:string" use="required">
+              <xs:annotation><xs:documentation>ISO country code</xs:documentation></xs:annotation>
+            </xs:attribute>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func TestLoadPurchaseOrder(t *testing.T) {
+	s, err := Load("purchaseOrder", strings.NewReader(poXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Doc != "Purchase order message" {
+		t.Errorf("schema doc = %q", s.Doc)
+	}
+	po := s.Element("purchaseOrder/purchaseOrder")
+	if po == nil || po.Kind != model.KindEntity {
+		t.Fatalf("purchaseOrder element: %+v", po)
+	}
+	if po.Doc != "A purchase order submitted by a customer" {
+		t.Errorf("po doc = %q", po.Doc)
+	}
+	shipTo := s.Element("purchaseOrder/purchaseOrder/shipTo")
+	if shipTo == nil || shipTo.Kind != model.KindEntity {
+		t.Fatal("shipTo missing or wrong kind")
+	}
+	fn := s.Element("purchaseOrder/purchaseOrder/shipTo/firstName")
+	if fn == nil || fn.Kind != model.KindAttribute || fn.DataType != "string" {
+		t.Fatalf("firstName: %+v", fn)
+	}
+	if !fn.Required {
+		t.Error("firstName (default minOccurs) should be required")
+	}
+	st := s.Element("purchaseOrder/purchaseOrder/shipTo/subtotal")
+	if st.Required {
+		t.Error("minOccurs=0 should not be required")
+	}
+	if st.DataType != "decimal" {
+		t.Errorf("subtotal type = %q", st.DataType)
+	}
+	country := s.Element("purchaseOrder/purchaseOrder/shipTo/country")
+	if country == nil || country.EdgeFromParent != model.ContainsAttribute {
+		t.Fatalf("country attribute: %+v", country)
+	}
+	if !country.Required || country.Doc != "ISO country code" {
+		t.Errorf("country: %+v", country)
+	}
+}
+
+const enumXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="AircraftType">
+    <xs:annotation><xs:documentation>ICAO aircraft designators</xs:documentation></xs:annotation>
+    <xs:restriction base="xs:string">
+      <xs:enumeration value="B738"><xs:annotation><xs:documentation>Boeing 737-800</xs:documentation></xs:annotation></xs:enumeration>
+      <xs:enumeration value="A320"><xs:annotation><xs:documentation>Airbus A320</xs:documentation></xs:annotation></xs:enumeration>
+    </xs:restriction>
+  </xs:simpleType>
+  <xs:element name="flight">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="acType" type="AircraftType"/>
+        <xs:element name="status">
+          <xs:simpleType>
+            <xs:restriction base="xs:string">
+              <xs:enumeration value="scheduled"/>
+              <xs:enumeration value="airborne"/>
+              <xs:enumeration value="landed"/>
+            </xs:restriction>
+          </xs:simpleType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func TestLoadEnumerationsBecomeDomains(t *testing.T) {
+	s, err := Load("atc", strings.NewReader(enumXSD))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.Domains["AircraftType"]
+	if d == nil {
+		t.Fatal("named enumerated simple type should become a domain")
+	}
+	if d.Doc != "ICAO aircraft designators" || len(d.Values) != 2 {
+		t.Errorf("domain = %+v", d)
+	}
+	if d.Values[0].Code != "B738" || d.Values[0].Doc != "Boeing 737-800" {
+		t.Errorf("value = %+v", d.Values[0])
+	}
+	ac := s.Element("atc/flight/acType")
+	if ac.DomainRef != "AircraftType" || ac.DataType != "string" {
+		t.Errorf("acType: %+v", ac)
+	}
+	// Inline (anonymous) enumeration gets a synthesized domain.
+	status := s.Element("atc/flight/status")
+	if status.DomainRef == "" {
+		t.Fatal("inline enumeration should synthesize a domain")
+	}
+	if sd := s.DomainOf(status); sd == nil || len(sd.Values) != 3 {
+		t.Errorf("status domain: %+v", sd)
+	}
+}
+
+func TestLoadNamedComplexType(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Address">
+    <xs:annotation><xs:documentation>A postal address</xs:documentation></xs:annotation>
+    <xs:sequence>
+      <xs:element name="street" type="xs:string"/>
+      <xs:element name="city" type="xs:string"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="shipTo" type="Address"/>
+  <xs:element name="billTo" type="Address"/>
+</xs:schema>`
+	s, err := Load("addr", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"addr/shipTo/street", "addr/billTo/city"} {
+		if s.Element(id) == nil {
+			t.Errorf("type reference not expanded: %s missing", id)
+		}
+	}
+	if got := s.Element("addr/shipTo").Doc; got != "A postal address" {
+		t.Errorf("complexType doc not inherited: %q", got)
+	}
+	if got := s.Element("addr/shipTo").DataType; got != "Address" {
+		t.Errorf("entity DataType = %q", got)
+	}
+}
+
+func TestLoadChoiceAndAll(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="payment">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element name="creditCard" type="xs:string"/>
+        <xs:element name="check" type="xs:string"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="meta">
+    <xs:complexType>
+      <xs:all>
+        <xs:element name="created" type="xs:date"/>
+      </xs:all>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Load("mixed", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"mixed/payment/creditCard", "mixed/payment/check", "mixed/meta/created"} {
+		if s.Element(id) == nil {
+			t.Errorf("missing %s", id)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load("bad", strings.NewReader("not xml at all <<<")); err == nil {
+		t.Error("malformed XML should error")
+	}
+	noName := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element><xs:complexType/></xs:element>
+</xs:schema>`
+	if _, err := Load("bad", strings.NewReader(noName)); err == nil {
+		t.Error("element without name should error")
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	// A self-referential named type would recurse forever without the
+	// depth guard.
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:complexType name="Node">
+    <xs:sequence><xs:element name="child" type="Node"/></xs:sequence>
+  </xs:complexType>
+  <xs:element name="root" type="Node"/>
+</xs:schema>`
+	_, err := Load("recursive", strings.NewReader(src))
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Errorf("err = %v, want nesting-limit error", err)
+	}
+}
+
+func TestLoadFileStem(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/orders.xsd"
+	if err := writeFile(path, poXSD); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "orders" {
+		t.Errorf("Name = %q, want file stem", s.Name)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestLeafTypeVariants(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:simpleType name="Plain">
+    <xs:restriction base="xs:token"/>
+  </xs:simpleType>
+  <xs:element name="e">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="viaNamed" type="Plain"/>
+        <xs:element name="noType"/>
+        <xs:element name="inlineNoEnum">
+          <xs:simpleType><xs:restriction base="xs:integer"/></xs:simpleType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="attrInline">
+        <xs:simpleType>
+          <xs:restriction base="xs:string">
+            <xs:enumeration value="a"/><xs:enumeration value="b"/>
+          </xs:restriction>
+        </xs:simpleType>
+      </xs:attribute>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Load("leaf", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Named non-enumerated simple type resolves to its base.
+	if got := s.Element("leaf/e/viaNamed").DataType; got != "token" {
+		t.Errorf("viaNamed type = %q", got)
+	}
+	// Missing type defaults to string.
+	if got := s.Element("leaf/e/noType").DataType; got != "string" {
+		t.Errorf("noType type = %q", got)
+	}
+	// Inline simple type without enumeration keeps the base type, no domain.
+	ine := s.Element("leaf/e/inlineNoEnum")
+	if ine.DataType != "integer" || ine.DomainRef != "" {
+		t.Errorf("inlineNoEnum: %+v", ine)
+	}
+	// Inline enumerated attribute synthesizes a domain.
+	ai := s.Element("leaf/e/attrInline")
+	if ai.DomainRef == "" || s.DomainOf(ai) == nil {
+		t.Errorf("attrInline: %+v", ai)
+	}
+}
+
+func TestAttributeWithoutNameErrors(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="e"><xs:complexType><xs:attribute type="xs:string"/></xs:complexType></xs:element>
+</xs:schema>`
+	if _, err := Load("bad", strings.NewReader(src)); err == nil {
+		t.Error("attribute without name should error")
+	}
+}
+
+func TestSchemaLevelAnnotationOnly(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:annotation>
+    <xs:documentation>  first   part </xs:documentation>
+    <xs:documentation>second</xs:documentation>
+  </xs:annotation>
+</xs:schema>`
+	s, err := Load("ann", strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Doc != "first part second" {
+		t.Errorf("multi-doc annotation = %q", s.Doc)
+	}
+}

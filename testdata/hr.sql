@@ -1,0 +1,16 @@
+-- Sample relational source for cmd/workbench walkthroughs.
+CREATE TABLE employee (
+  emp_id     INTEGER PRIMARY KEY,
+  first_name VARCHAR(40) NOT NULL,
+  last_name  VARCHAR(40) NOT NULL,
+  dept_code  CHAR(4) REFERENCES department(dept_code)
+             CHECK (dept_code IN ('ENG','OPS','FIN'))
+);
+CREATE TABLE department (
+  dept_code CHAR(4) PRIMARY KEY,
+  dept_name VARCHAR(80)
+);
+COMMENT ON TABLE employee IS 'A person employed by the organization';
+COMMENT ON COLUMN employee.first_name IS 'Given name of the employee';
+COMMENT ON COLUMN employee.last_name IS 'Family name of the employee';
+COMMENT ON COLUMN employee.dept_code IS 'Code of the department the employee is assigned to';

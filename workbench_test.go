@@ -1,0 +1,208 @@
+package workbench_test
+
+// External-package tests: everything here uses only the public facade,
+// exactly as a downstream consumer would.
+
+import (
+	"strings"
+	"testing"
+
+	workbench "repro"
+)
+
+const facadeDDL = `
+CREATE TABLE person (
+  pid    INTEGER PRIMARY KEY,
+  fname  VARCHAR(40) NOT NULL,
+  lname  VARCHAR(40) NOT NULL,
+  grade  CHAR(2) CHECK (grade IN ('E1','E2','O1'))
+);
+COMMENT ON TABLE person IS 'A member of the organization';
+COMMENT ON COLUMN person.fname IS 'Given name of the person';
+COMMENT ON COLUMN person.lname IS 'Family name of the person';
+`
+
+const facadeER = `
+schema roster "Unit roster model"
+entity member "A person assigned to the unit" {
+  memberID string key "Unique member identifier"
+  fullName string required "Complete name of the member"
+  rank     string domain(Rank) "Rank of the member"
+}
+domain Rank "Pay grades" {
+  E1 "Enlisted 1"
+  E2 "Enlisted 2"
+  O1 "Officer 1"
+}
+`
+
+func TestFacadeFullPipeline(t *testing.T) {
+	src, err := workbench.LoadSQL("hr", strings.NewReader(facadeDDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := workbench.LoadER("roster", strings.NewReader(facadeER))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	session, err := workbench.NewIntegrationSession("hr-to-roster", src, tgt,
+		"hr/person", "roster/member")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := session.Match(0.15); err != nil {
+		t.Fatal(err)
+	}
+	// The domain voter should relate grade↔rank via shared codes.
+	engine, err := session.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.Matrix().Get("hr/person/grade", "roster/member/rank"); got <= 0 {
+		t.Errorf("grade↔rank = %g, want positive (shared codes)", got)
+	}
+
+	for _, p := range [][2]string{
+		{"hr/person", "roster/member"},
+		{"hr/person/grade", "roster/member/rank"},
+	} {
+		if err := session.Accept(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := session.WriteCode("hr/person", "$p", "roster/member/fullName",
+		`concat($p/fname, " ", $p/lname)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteCode("hr/person", "$p", "roster/member/rank", `$p/grade`); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteCode("hr/person", "$p", "roster/member/memberID", `concat("M-", $p/pid)`); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := &workbench.Dataset{Records: []*workbench.Record{
+		workbench.NewRecord("person").Set("pid", "7").
+			Set("fname", "Grace").Set("lname", "Hopper").Set("grade", "O1"),
+	}}
+	out, violations, err := session.Execute(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Errorf("violations: %v", violations)
+	}
+	r := out.Records[0]
+	if r.GetString("fullName") != "Grace Hopper" || r.GetString("rank") != "O1" {
+		t.Errorf("output record: %v", r)
+	}
+}
+
+func TestFacadeValidationAndCleaning(t *testing.T) {
+	tgt, err := workbench.LoadER("roster", strings.NewReader(facadeER))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := &workbench.Dataset{Records: []*workbench.Record{
+		workbench.NewRecord("member").Set("memberID", "1").
+			Set("fullName", "A").Set("rank", "E9"), // not in domain
+	}}
+	viols := workbench.ValidateInstances(tgt, ds)
+	if len(viols) != 1 {
+		t.Fatalf("violations = %v", viols)
+	}
+	workbench.CleanInstances(tgt, ds)
+	if len(workbench.ValidateInstances(tgt, ds)) != 0 {
+		t.Error("clean did not converge")
+	}
+}
+
+func TestFacadeLinking(t *testing.T) {
+	recs := []*workbench.Record{
+		workbench.NewRecord("member").Set("fullName", "John Smith"),
+		workbench.NewRecord("member").Set("fullName", "John  Smith"),
+		workbench.NewRecord("member").Set("fullName", "Someone Else"),
+	}
+	merged := workbench.LinkInstances(recs, workbench.LinkOptions{
+		MatchFields: []string{"fullName"}, Threshold: 0.9,
+	})
+	if len(merged) != 2 {
+		t.Errorf("merged = %d, want 2", len(merged))
+	}
+}
+
+func TestFacadeTaskModelAndDerivation(t *testing.T) {
+	if got := len(workbench.IntegrationTasks()); got != 13 {
+		t.Errorf("task model = %d tasks", got)
+	}
+	src, _ := workbench.LoadER("roster", strings.NewReader(facadeER))
+	d, err := workbench.DeriveTarget("unified", []*workbench.Schema{src}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Target.Len() == 0 {
+		t.Error("derived target empty")
+	}
+}
+
+func TestFacadeFiltersAndDOT(t *testing.T) {
+	src, _ := workbench.LoadSQL("hr", strings.NewReader(facadeDDL))
+	tgt, _ := workbench.LoadER("roster", strings.NewReader(facadeER))
+	engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{Flooding: true})
+	engine.Run()
+	links := engine.Links(workbench.View{
+		MaxConfidence: true,
+		LinkFilters:   []workbench.LinkFilter{workbench.ConfidenceFilter(0.1)},
+	})
+	if len(links) == 0 {
+		t.Fatal("no links displayed")
+	}
+	var cells []workbench.MappingDOTCell
+	for _, l := range links {
+		cells = append(cells, workbench.MappingDOTCell{
+			SourceID: l.Source.ID, TargetID: l.Target.ID, Confidence: l.Confidence,
+		})
+	}
+	dot := workbench.MappingToDOT(src, tgt, cells)
+	if !strings.Contains(dot, "digraph mapping") {
+		t.Errorf("DOT output:\n%s", dot)
+	}
+	if !strings.Contains(workbench.SchemaToDOT(src), `digraph "hr"`) {
+		t.Error("schema DOT broken")
+	}
+}
+
+func TestFacadeSynthesizeAndPolicies(t *testing.T) {
+	tgt, _ := workbench.LoadER("roster", strings.NewReader(facadeER))
+	ds := workbench.SynthesizeInstances(tgt, 5, 1)
+	if len(ds.Records) != 5 {
+		t.Fatalf("synthesized %d", len(ds.Records))
+	}
+	if v := workbench.ValidateInstances(tgt, ds); len(v) != 0 {
+		t.Errorf("synthesized data invalid: %v", v)
+	}
+	// ErrorPolicy constants are visible.
+	_ = workbench.FailFast
+	_ = workbench.NullOnError
+	_ = workbench.SkipRecordOnError
+}
+
+func TestFacadeBlackboardRoundTrip(t *testing.T) {
+	bb := workbench.NewBlackboard()
+	src, _ := workbench.LoadER("roster", strings.NewReader(facadeER))
+	if _, err := bb.PutSchema(src); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := bb.Snapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	bb2 := workbench.NewBlackboard()
+	if err := bb2.Restore(strings.NewReader(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	if got := bb2.Schemas(); len(got) != 1 || got[0] != "roster" {
+		t.Errorf("restored schemas: %v", got)
+	}
+}
