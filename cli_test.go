@@ -334,3 +334,90 @@ func TestBenchreportCLIQuick(t *testing.T) {
 		}
 	}
 }
+
+// TestHarmonyCLIMetrics covers the -metrics exposition and the
+// single-argument demo mode (directory of schemata).
+func TestHarmonyCLIMetrics(t *testing.T) {
+	dir := writeSchemas(t)
+	out := run(t, dir, "harmony", "-metrics", "po.xsd", "si.xsd")
+	for _, want := range []string{
+		"# TYPE harmony_stage_duration_seconds histogram",
+		`harmony_stage_duration_seconds_bucket{stage="voter:name",le="+Inf"} 1`,
+		`harmony_stage_duration_seconds_count{stage="merge"} 1`,
+		`harmony_stage_duration_seconds_count{stage="flooding"} 1`,
+		"harmony_runs_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-metrics output missing %q:\n%s", want, out)
+		}
+	}
+	// Demo mode: the schema directory itself as the single argument.
+	out = run(t, dir, "harmony", "-metrics", ".")
+	if !strings.Contains(out, `stage="voter:name"`) {
+		t.Errorf("demo-mode -metrics output:\n%s", out)
+	}
+	// JSON exposition must be machine-readable.
+	out = run(t, dir, "harmony", "-metrics-json", "po.xsd", "si.xsd")
+	if !strings.Contains(out, `"harmony_stage_duration_seconds"`) {
+		t.Errorf("-metrics-json output:\n%s", out)
+	}
+}
+
+// TestHarmonyCLITimingsTable checks the aligned deterministic -timings
+// format: one row per stage plus a total, all duration cells aligned.
+func TestHarmonyCLITimingsTable(t *testing.T) {
+	dir := writeSchemas(t)
+	out := run(t, dir, "harmony", "-timings", "po.xsd", "si.xsd")
+	lines := strings.Split(out, "\n")
+	var stageLines []string
+	inTable := false
+	unitCol := -1
+	for _, l := range lines {
+		if strings.HasPrefix(l, "pipeline stages:") {
+			inTable = true
+			continue
+		}
+		if inTable {
+			if !strings.HasPrefix(l, "  ") {
+				break
+			}
+			stageLines = append(stageLines, l)
+			// Every row ends with a right-aligned duration cell, so all
+			// rows render at the same rune width.
+			w := len([]rune(l))
+			if unitCol < 0 {
+				unitCol = w
+			} else if w != unitCol {
+				t.Errorf("misaligned row (%d vs %d runes): %q", w, unitCol, l)
+			}
+		}
+	}
+	// Stable ordering: voters first, then merge/flooding/pin-decisions/total.
+	wantOrder := []string{"voter:name", "voter:documentation", "voter:thesaurus",
+		"voter:domain-values", "voter:data-type", "voter:structure",
+		"merge", "flooding", "pin-decisions", "total"}
+	if len(stageLines) != len(wantOrder) {
+		t.Fatalf("stage rows = %d, want %d:\n%s", len(stageLines), len(wantOrder), out)
+	}
+	for i, want := range wantOrder {
+		if !strings.Contains(stageLines[i], want) {
+			t.Errorf("row %d = %q, want stage %q", i, stageLines[i], want)
+		}
+	}
+}
+
+// TestWorkbenchCLIMetricsSubcommand loads a schema then dumps metrics.
+func TestWorkbenchCLIMetricsSubcommand(t *testing.T) {
+	dir := writeSchemas(t)
+	run(t, dir, "workbench", "load", "po.xsd")
+	out := run(t, dir, "workbench", "metrics")
+	for _, want := range []string{"ib_schemas 1", "ib_mappings 0", "ib_triples"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, dir, "workbench", "-json", "metrics")
+	if !strings.Contains(out, `"ib_schemas"`) {
+		t.Errorf("json metrics output:\n%s", out)
+	}
+}

@@ -18,7 +18,9 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/harmony"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -156,6 +158,9 @@ func main() {
 	section("Ablations (DESIGN.md §5)")
 	fmt.Print(eval.FormatAblations(eval.RunAblations(ps)))
 
+	section("E13 — observability: stage latency distributions (obs registry)")
+	fmt.Println("(histograms over every Engine.Run of this whole report, not just E2)")
+	fmt.Print(eval.FormatStageHistograms(obs.Default(), harmony.MetricStageDuration))
 }
 
 func usabilityPair() (*model.Schema, *model.Schema, *registry.GroundTruth) {

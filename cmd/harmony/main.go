@@ -7,6 +7,11 @@
 // Usage:
 //
 //	harmony [flags] source target
+//	harmony [flags] demo-dir-or-keyword
+//
+// With a single argument, harmony runs a demo pair: the first two
+// schema files found under the given directory, or — when none are
+// found (e.g. the "examples" keyword) — a synthetic registry pair.
 //
 //	-threshold f   only print links with confidence ≥ f (default 0.25)
 //	-max           only each source element's best link(s)
@@ -15,6 +20,8 @@
 //	-thesaurus f   load extra synonym sets (one comma-separated set/line)
 //	-depth n       only elements at depth ≤ n
 //	-timings       print per-stage timings (the Figure 1 pipeline)
+//	-metrics       dump the obs registry in Prometheus text format
+//	-metrics-json  dump the obs registry as JSON
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	workbench "repro"
@@ -29,6 +37,8 @@ import (
 	"repro/internal/lingo"
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/registry"
 )
 
 func main() {
@@ -39,19 +49,28 @@ func main() {
 	thesaurusPath := flag.String("thesaurus", "", "extra thesaurus file")
 	depth := flag.Int("depth", 0, "only elements at depth <= n (0 = all)")
 	timings := flag.Bool("timings", false, "print pipeline stage timings")
+	metrics := flag.Bool("metrics", false, "dump obs metrics (Prometheus text format)")
+	metricsJSON := flag.Bool("metrics-json", false, "dump obs metrics as JSON")
 	matrix := flag.Bool("matrix", false, "print the full confidence matrix")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT of schemata + links")
 	flag.Parse()
 
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: harmony [flags] source-schema target-schema")
+	var src, tgt *model.Schema
+	var err error
+	switch flag.NArg() {
+	case 1:
+		src, tgt, err = demoPair(flag.Arg(0))
+		exitIf(err)
+	case 2:
+		src, err = loadSchema(flag.Arg(0))
+		exitIf(err)
+		tgt, err = loadSchema(flag.Arg(1))
+		exitIf(err)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: harmony [flags] source-schema target-schema\n       harmony [flags] demo-dir")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	src, err := loadSchema(flag.Arg(0))
-	exitIf(err)
-	tgt, err := loadSchema(flag.Arg(1))
-	exitIf(err)
 
 	var ctxOpts []match.ContextOption
 	if *thesaurusPath != "" {
@@ -70,10 +89,15 @@ func main() {
 	})
 	stages := engine.Run()
 	if *timings {
-		fmt.Println("pipeline stages:")
-		for _, st := range stages {
-			fmt.Printf("  %-24s %v\n", st.Stage, st.Duration)
+		printTimings(stages)
+	}
+	if *metrics || *metricsJSON {
+		if *metricsJSON {
+			exitIf(obs.WriteJSON(os.Stdout, obs.Default()))
+		} else {
+			exitIf(obs.WritePrometheus(os.Stdout, obs.Default()))
 		}
+		return
 	}
 
 	if *matrix {
@@ -112,6 +136,86 @@ func main() {
 	for _, l := range links {
 		fmt.Println(" ", l.Correspondence)
 	}
+}
+
+// printTimings renders stage timings as a deterministic aligned table:
+// pipeline order (voters, merge, flooding, pin-decisions), names padded
+// to a common width, durations right-aligned in µs/ms/s units.
+func printTimings(stages []harmony.StageTiming) {
+	width := len("total")
+	for _, st := range stages {
+		if len(st.Stage) > width {
+			width = len(st.Stage)
+		}
+	}
+	fmt.Println("pipeline stages:")
+	var total float64
+	for _, st := range stages {
+		secs := st.Duration.Seconds()
+		total += secs
+		fmt.Printf("  %-*s %s\n", width, st.Stage, fmtSeconds(secs))
+	}
+	fmt.Printf("  %-*s %s\n", width, "total", fmtSeconds(total))
+}
+
+// fmtSeconds formats a duration in seconds with a fixed 10-rune width:
+// µs below 1ms, ms below 1s, seconds above.
+func fmtSeconds(secs float64) string {
+	switch {
+	case secs < 1e-3:
+		return fmt.Sprintf("%8.1fµs", secs*1e6)
+	case secs < 1:
+		return fmt.Sprintf("%8.2fms", secs*1e3)
+	default:
+		return fmt.Sprintf("%8.3fs ", secs)
+	}
+}
+
+// demoPair resolves harmony's single-argument form: the first two schema
+// files under the directory (sorted recursive walk), or a synthetic
+// registry pair when the argument names no usable directory (e.g. the
+// "examples" keyword) or the directory holds fewer than two schemata.
+func demoPair(arg string) (*model.Schema, *model.Schema, error) {
+	if fi, err := os.Stat(arg); err == nil && !fi.IsDir() {
+		// A single schema file is an arity mistake, not a demo request.
+		return nil, nil, fmt.Errorf("need two schema files (got only %q); pass a directory for demo mode", arg)
+	}
+	var files []string
+	_ = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		switch strings.ToLower(filepath.Ext(path)) {
+		case ".xsd", ".xml", ".sql", ".ddl", ".er":
+			files = append(files, path)
+		}
+		return nil
+	})
+	sort.Strings(files)
+	if len(files) >= 2 {
+		src, err := loadSchema(files[0])
+		if err != nil {
+			return nil, nil, err
+		}
+		tgt, err := loadSchema(files[1])
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "harmony: demo pair %s vs %s\n", files[0], files[1])
+		return src, tgt, nil
+	}
+	// Synthetic fallback: one registry model perturbed into a pair, the
+	// same construction the evaluation harness uses.
+	cfg := registry.DefaultConfig()
+	cfg.Models = 1
+	cfg.ElementsTotal = 12
+	cfg.AttributesTotal = 60
+	cfg.DomainValuesTotal = 90
+	reg := registry.Generate(cfg)
+	src := reg.Models[0]
+	tgt, _ := registry.Perturb(src, registry.DefaultPerturb())
+	fmt.Fprintf(os.Stderr, "harmony: no schema files under %q; using a synthetic registry pair\n", arg)
+	return src, tgt, nil
 }
 
 func loadSchema(path string) (*model.Schema, error) {

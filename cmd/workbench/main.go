@@ -15,8 +15,11 @@
 //	workbench code <id> <row> <var> <col> <expr>  attach column code
 //	workbench gen <id> <srcEntity> <tgtEntity>    assemble + print XQuery
 //	workbench query '<pattern lines>' v1 v2       ad hoc IB query
+//	workbench metrics                        dump obs metrics for this blackboard
 //
-// Global flag: -state <file> (default workbench.nt).
+// Global flags: -state <file> (default workbench.nt); for the metrics
+// subcommand, -json switches to JSON exposition and -serve <addr>
+// blocks serving /metrics and /healthz over HTTP instead of printing.
 package main
 
 import (
@@ -31,11 +34,14 @@ import (
 	"repro/internal/blackboard"
 	"repro/internal/mapgen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/wbmgr"
 )
 
 func main() {
 	state := flag.String("state", "workbench.nt", "blackboard snapshot file")
+	asJSON := flag.Bool("json", false, "metrics: JSON exposition instead of Prometheus text")
+	serveAddr := flag.String("serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -149,6 +155,24 @@ func main() {
 			})
 		}
 		fmt.Print(model.MappingToDOT(src, tgt, cells))
+	case "metrics":
+		// Snapshot-derived gauges complement the mutation-path metrics,
+		// which only cover operations performed by this invocation.
+		reg := obs.Default()
+		reg.Describe("ib_schemas", "Schemata stored in the blackboard (current versions).")
+		reg.Describe("ib_mappings", "Mappings stored in the blackboard library.")
+		reg.Gauge("ib_schemas").Set(float64(len(bb.Schemas())))
+		reg.Gauge("ib_mappings").Set(float64(len(bb.Mappings())))
+		if *serveAddr != "" {
+			fmt.Fprintf(os.Stderr, "workbench: serving /metrics and /healthz on %s\n", *serveAddr)
+			exitIf(obs.Serve(*serveAddr, reg))
+			return
+		}
+		if *asJSON {
+			exitIf(obs.WriteJSON(os.Stdout, reg))
+		} else {
+			exitIf(obs.WritePrometheus(os.Stdout, reg))
+		}
 	case "query":
 		if len(rest) < 2 {
 			usage()
@@ -194,7 +218,7 @@ func need(args []string, n int, usageLine string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: workbench [-state file] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query`)
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics`)
 	os.Exit(2)
 }
 

@@ -18,7 +18,18 @@ import (
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/rdf"
+)
+
+// Metric names emitted by the blackboard (see DESIGN.md "Observability").
+const (
+	// MetricTriples gauges the IB's current triple count. With several
+	// blackboards sharing one registry the last writer wins; give each
+	// its own registry via SetMetrics to separate them.
+	MetricTriples = "ib_triples"
+	// MetricRevisions counts IB mutations (the provenance counter).
+	MetricRevisions = "ib_revisions_total"
 )
 
 // Controlled vocabulary for the mapping portion of the IB (§5.1.2).
@@ -60,17 +71,41 @@ type Blackboard struct {
 	g *rdf.Graph
 	// revision counts mutations for provenance ordering.
 	revision int
+	// triples and revs are cached metric handles (atomic updates; cached
+	// so the per-mutation cost is one gauge store, not a map lookup).
+	triples *obs.Gauge
+	revs    *obs.Counter
 }
 
-// New returns an empty blackboard.
-func New() *Blackboard { return &Blackboard{g: rdf.NewGraph()} }
+// New returns an empty blackboard instrumented on obs.Default().
+func New() *Blackboard {
+	b := &Blackboard{g: rdf.NewGraph()}
+	b.SetMetrics(obs.Default())
+	return b
+}
+
+// SetMetrics rebinds the blackboard's instrumentation to reg (nil means
+// obs.Default()).
+func (b *Blackboard) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Describe(MetricTriples, "Triples currently stored in the integration blackboard.")
+	reg.Describe(MetricRevisions, "Mutations applied to the integration blackboard.")
+	b.triples = reg.Gauge(MetricTriples)
+	b.revs = reg.Counter(MetricRevisions)
+	b.triples.Set(float64(b.g.Len()))
+}
 
 // Graph exposes the underlying RDF graph for queries and snapshots.
 func (b *Blackboard) Graph() *rdf.Graph { return b.g }
 
-// nextRevision advances and returns the provenance counter.
+// nextRevision advances and returns the provenance counter, refreshing
+// the triple-count gauge as every mutation path funnels through here.
 func (b *Blackboard) nextRevision() int {
 	b.revision++
+	b.revs.Inc()
+	b.triples.Set(float64(b.g.Len()))
 	return b.revision
 }
 

@@ -1,0 +1,41 @@
+// Observability reporting: benchreport embeds the obs registry's stage
+// histograms next to the averaged Figure 1 timings, so the report shows
+// the full latency distribution, not just means.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/obs"
+)
+
+// FormatStageHistograms renders every series of one obs histogram family
+// as an aligned table: observation count, mean, p50, p95 and max bucket,
+// in milliseconds. Series appear in the registry's deterministic order.
+func FormatStageHistograms(reg *obs.Registry, metric string) string {
+	m, ok := reg.Find(metric)
+	if !ok || len(m.Series) == 0 {
+		return fmt.Sprintf("  (no %s data recorded)\n", metric)
+	}
+	headers := []string{"Stage", "n", "mean ms", "p50 ms", "p95 ms"}
+	var rows [][]string
+	for _, s := range m.Series {
+		label := s.Labels["stage"]
+		if label == "" {
+			label = "(all)"
+		}
+		mean := math.NaN()
+		if s.Count > 0 {
+			mean = s.Sum / float64(s.Count) * 1000
+		}
+		rows = append(rows, []string{
+			label,
+			I(int(s.Count)),
+			F3(mean),
+			F3(s.Quantile(0.50) * 1000),
+			F3(s.Quantile(0.95) * 1000),
+		})
+	}
+	return Table(headers, rows)
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // pairKey identifies one (source, target) element pair by ID.
@@ -38,6 +39,9 @@ type Options struct {
 	FloodOptions match.FloodOptions
 	// ContextOptions customize linguistic preprocessing.
 	ContextOptions []match.ContextOption
+	// Metrics receives engine instrumentation (stage histograms, run
+	// counter); nil means the process-wide obs.Default() registry.
+	Metrics *obs.Registry
 }
 
 // Engine is one Harmony matching session over a (source, target) pair.
@@ -47,6 +51,7 @@ type Engine struct {
 	merger   *match.Merger
 	flooding bool
 	floodOpt match.FloodOptions
+	metrics  *obs.Registry
 
 	// lastVotes holds each voter's matrix from the most recent Run, used
 	// by Learn.
@@ -66,16 +71,32 @@ func NewEngine(source, target *model.Schema, opts Options) *Engine {
 	if voters == nil {
 		voters = match.DefaultVoters()
 	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = obs.Default()
+	}
+	metrics.Describe(MetricStageDuration, "Harmony pipeline stage wall-clock time, labeled by stage.")
+	metrics.Describe(MetricRuns, "Completed Harmony pipeline runs.")
 	return &Engine{
 		ctx:       match.NewContext(source, target, opts.ContextOptions...),
 		voters:    voters,
 		merger:    match.NewMerger(),
 		flooding:  opts.Flooding,
 		floodOpt:  opts.FloodOptions,
+		metrics:   metrics,
 		decisions: map[pairKey]Decision{},
 		complete:  map[string]bool{},
 	}
 }
+
+// Metric names emitted by the engine (see DESIGN.md "Observability").
+const (
+	// MetricStageDuration is a histogram labeled stage="voter:<name>",
+	// "merge", "flooding" or "pin-decisions" — the Figure 1 stages.
+	MetricStageDuration = "harmony_stage_duration_seconds"
+	// MetricRuns counts completed pipeline runs.
+	MetricRuns = "harmony_runs_total"
+)
 
 // Context exposes the linguistic context (for learning experiments).
 func (e *Engine) Context() *match.Context { return e.ctx }
@@ -93,29 +114,34 @@ type StageTiming struct {
 // Run executes the full match pipeline (Figure 1): every voter votes, the
 // merger combines, flooding adjusts, and user decisions are re-applied as
 // pinned ±1 scores. It returns per-stage timings.
+//
+// Every stage is timed through an obs span, and the returned
+// []StageTiming is derived from the tracer's finished spans — so the
+// -timings output and the harmony_stage_duration_seconds histograms are
+// two views of the same measurement and can never disagree.
 func (e *Engine) Run() []StageTiming {
-	var timings []StageTiming
+	tr := obs.NewTracer(e.metrics, MetricStageDuration)
 	votes := make([]match.Vote, 0, len(e.voters))
 	for _, v := range e.voters {
-		t0 := time.Now()
+		sp := tr.Start("voter:" + v.Name())
 		votes = append(votes, match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)})
-		timings = append(timings, StageTiming{"voter:" + v.Name(), time.Since(t0)})
+		sp.End()
 	}
 	e.lastVotes = votes
 
-	t0 := time.Now()
+	sp := tr.Start("merge")
 	merged := e.merger.Merge(votes)
-	timings = append(timings, StageTiming{"merge", time.Since(t0)})
+	sp.End()
 
 	if e.flooding {
-		t0 = time.Now()
+		sp = tr.Start("flooding")
 		merged = match.HarmonyFlood(merged, e.ctx.Source, e.ctx.Target, e.floodOpt)
-		timings = append(timings, StageTiming{"flooding", time.Since(t0)})
+		sp.End()
 	}
 
 	// Re-apply pinned user decisions: "once a link has been accepted or
 	// rejected, the engine will not try to modify that link" (§4.3).
-	t0 = time.Now()
+	sp = tr.Start("pin-decisions")
 	for k, d := range e.decisions {
 		v := -1.0
 		if d.Accepted {
@@ -123,8 +149,15 @@ func (e *Engine) Run() []StageTiming {
 		}
 		merged.Set(k.src, k.tgt, v)
 	}
-	timings = append(timings, StageTiming{"pin-decisions", time.Since(t0)})
+	sp.End()
 	e.merged = merged
+	e.metrics.Counter(MetricRuns).Inc()
+
+	spans := tr.Finished()
+	timings := make([]StageTiming, len(spans))
+	for i, rec := range spans {
+		timings[i] = StageTiming{rec.Name, rec.Duration}
+	}
 	return timings
 }
 

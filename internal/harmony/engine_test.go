@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Figure 2 fixtures, shared across the harmony tests.
@@ -216,5 +217,52 @@ func TestStageTimingsCoverVoters(t *testing.T) {
 	}
 	if names["flooding"] {
 		t.Error("flooding stage present though disabled")
+	}
+}
+
+func TestRunTimingsAgreeWithMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := NewEngine(poSource(), siTarget(), Options{Flooding: true, Metrics: reg})
+	timings := e.Run()
+	timings = append(timings, e.Run()...)
+
+	hist, ok := reg.Find(MetricStageDuration)
+	if !ok {
+		t.Fatalf("%s not in registry", MetricStageDuration)
+	}
+	// Sum the timings per stage and compare against the histogram sums:
+	// both must describe the identical measurements.
+	wantSum := map[string]float64{}
+	for _, st := range timings {
+		wantSum[st.Stage] += st.Duration.Seconds()
+	}
+	gotSum := map[string]float64{}
+	for _, s := range hist.Series {
+		if s.Count != 2 {
+			t.Errorf("stage %q observed %d times, want 2", s.Labels["stage"], s.Count)
+		}
+		gotSum[s.Labels["stage"]] = s.Sum
+	}
+	if len(gotSum) != len(wantSum) {
+		t.Fatalf("stage sets differ: metrics %v vs timings %v", gotSum, wantSum)
+	}
+	for stage, want := range wantSum {
+		got, ok := gotSum[stage]
+		if !ok {
+			t.Errorf("stage %q missing from metrics", stage)
+			continue
+		}
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("stage %q: metric sum %v != timing sum %v", stage, got, want)
+		}
+	}
+	if runs, _ := reg.Find(MetricRuns); len(runs.Series) != 1 || runs.Series[0].Value != 2 {
+		t.Errorf("%s = %+v, want 2", MetricRuns, runs)
+	}
+	// Every voter plus merge, flooding and pin-decisions must be present.
+	for _, want := range []string{"voter:name", "voter:documentation", "merge", "flooding", "pin-decisions"} {
+		if _, ok := wantSum[want]; !ok {
+			t.Errorf("stage %q missing from timings", want)
+		}
 	}
 }

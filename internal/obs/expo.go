@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sorted by
+// name, series by canonical label string, labels by key.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	for _, m := range r.Snapshot() {
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, strings.ReplaceAll(m.Help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+			return err
+		}
+		for _, s := range m.Series {
+			if err := writeSeries(w, m, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m Metric, s Series) error {
+	switch m.Type {
+	case TypeCounter, TypeGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, labelString(s.Labels, "", ""), formatFloat(s.Value))
+		return err
+	case TypeHistogram:
+		for _, b := range s.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.UpperBound, +1) {
+				le = formatFloat(b.UpperBound)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				m.Name, labelString(s.Labels, "le", le), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.Name, labelString(s.Labels, "", ""), formatFloat(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.Name, labelString(s.Labels, "", ""), s.Count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders `{k="v",…}` with keys sorted, optionally appending
+// one extra pair (the histogram "le"). Empty label sets render as "".
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, k, escapeLabelValue(labels[k]))
+	}
+	if extraKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabelValue(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ---- JSON exposition ----
+
+// jsonSeries mirrors Series with omit-empty JSON tags so counters don't
+// carry histogram fields and vice versa.
+type jsonSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // string so +Inf survives JSON
+	Count uint64 `json:"count"`
+}
+
+type jsonMetric struct {
+	Name   string       `json:"name"`
+	Type   MetricType   `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []jsonSeries `json:"series"`
+}
+
+// WriteJSON writes the registry as an indented JSON array, one object
+// per metric family, in the same deterministic order as WritePrometheus.
+func WriteJSON(w io.Writer, r *Registry) error {
+	snapshot := r.Snapshot()
+	out := make([]jsonMetric, 0, len(snapshot))
+	for _, m := range snapshot {
+		jm := jsonMetric{Name: m.Name, Type: m.Type, Help: m.Help, Series: []jsonSeries{}}
+		for _, s := range m.Series {
+			js := jsonSeries{Labels: s.Labels}
+			switch m.Type {
+			case TypeCounter, TypeGauge:
+				v := s.Value
+				js.Value = &v
+			case TypeHistogram:
+				c, sum := s.Count, s.Sum
+				js.Count = &c
+				js.Sum = &sum
+				for _, b := range s.Buckets {
+					le := "+Inf"
+					if !math.IsInf(b.UpperBound, +1) {
+						le = formatFloat(b.UpperBound)
+					}
+					js.Buckets = append(js.Buckets, jsonBucket{LE: le, Count: b.Count})
+				}
+			}
+			jm.Series = append(jm.Series, js)
+		}
+		out = append(out, jm)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

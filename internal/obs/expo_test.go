@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// buildSample populates a registry with one of each metric kind, with
+// label values that exercise escaping.
+func buildSample() *Registry {
+	r := NewRegistry()
+	r.Describe("wb_requests_total", "Requests served, by kind.")
+	r.Counter("wb_requests_total", "kind", "read").Add(3)
+	r.Counter("wb_requests_total", "kind", "write").Inc()
+	r.Gauge("wb_triples").Set(42)
+	h := r.Histogram("wb_latency_seconds", []float64{0.01, 0.1}, "op", `quo"te`)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(7)
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, buildSample()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# TYPE wb_latency_seconds histogram
+wb_latency_seconds_bucket{op="quo\"te",le="0.01"} 1
+wb_latency_seconds_bucket{op="quo\"te",le="0.1"} 2
+wb_latency_seconds_bucket{op="quo\"te",le="+Inf"} 3
+wb_latency_seconds_sum{op="quo\"te"} 7.055
+wb_latency_seconds_count{op="quo\"te"} 3
+# HELP wb_requests_total Requests served, by kind.
+# TYPE wb_requests_total counter
+wb_requests_total{kind="read"} 3
+wb_requests_total{kind="write"} 1
+# TYPE wb_triples gauge
+wb_triples 42
+`
+	if got != want {
+		t.Errorf("prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	r := buildSample()
+	_ = WritePrometheus(&a, r)
+	_ = WritePrometheus(&b, r)
+	if a.String() != b.String() {
+		t.Error("two expositions of the same registry differ")
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, buildSample()); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		Name   string `json:"name"`
+		Type   string `json:"type"`
+		Series []struct {
+			Labels  map[string]string `json:"labels"`
+			Value   *float64          `json:"value"`
+			Count   *uint64           `json:"count"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count uint64 `json:"count"`
+			} `json:"buckets"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(out) != 3 {
+		t.Fatalf("families = %d, want 3", len(out))
+	}
+	// Sorted by name: latency histogram first.
+	h := out[0]
+	if h.Name != "wb_latency_seconds" || h.Type != "histogram" {
+		t.Errorf("first family = %s/%s", h.Name, h.Type)
+	}
+	if n := len(h.Series[0].Buckets); n != 3 {
+		t.Errorf("buckets = %d, want 3 (incl. +Inf)", n)
+	}
+	if h.Series[0].Buckets[2].LE != "+Inf" {
+		t.Errorf("last le = %q", h.Series[0].Buckets[2].LE)
+	}
+	if c := out[1]; c.Name != "wb_requests_total" || *c.Series[0].Value != 3 {
+		t.Errorf("counter family = %+v", c)
+	}
+}

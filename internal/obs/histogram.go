@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// Histogram is a fixed-bucket distribution metric. Buckets are upper
+// bounds in ascending order; observations above the last bound land in
+// an implicit +Inf bucket. All updates are lock-free.
+type Histogram struct {
+	// upper holds the finite bucket upper bounds, sorted ascending.
+	upper []float64
+	// counts[i] is the number of observations in bucket i
+	// (non-cumulative); counts[len(upper)] is the +Inf overflow.
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// newHistogram copies, sorts and dedups the bounds.
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = LatencyBuckets
+	}
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	dedup := upper[:0]
+	for i, b := range upper {
+		if math.IsInf(b, +1) {
+			continue // the +Inf bucket is implicit
+		}
+		if i > 0 && len(dedup) > 0 && b == dedup[len(dedup)-1] {
+			continue
+		}
+		dedup = append(dedup, b)
+	}
+	return &Histogram{
+		upper:  dedup,
+		counts: make([]atomic.Uint64, len(dedup)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, floatBits(bitsFloat(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Time runs fn and records its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	t0 := time.Now()
+	fn()
+	h.ObserveDuration(time.Since(t0))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return bitsFloat(h.sum.Load()) }
+
+// Buckets returns the cumulative bucket counts, ending with the +Inf
+// bucket (whose count equals Count()). The snapshot is not atomic across
+// buckets under concurrent writes, but each count is.
+func (h *Histogram) Buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.upper)+1)
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		out = append(out, Bucket{UpperBound: ub, Count: cum})
+	}
+	cum += h.counts[len(h.upper)].Load()
+	out = append(out, Bucket{UpperBound: math.Inf(+1), Count: cum})
+	return out
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	// UpperBound is the inclusive upper edge (+Inf for the last bucket).
+	UpperBound float64
+	// Count is the number of observations at or below UpperBound.
+	Count uint64
+}
+
+// quantileFromBuckets estimates the q-quantile (0 ≤ q ≤ 1) from
+// cumulative buckets by linear interpolation within the containing
+// bucket — the standard Prometheus histogram_quantile estimate. The
+// +Inf bucket clamps to the last finite bound.
+func quantileFromBuckets(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return math.NaN()
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.UpperBound, +1) {
+			if i == 0 {
+				return math.NaN()
+			}
+			return buckets[i-1].UpperBound
+		}
+		lower, below := 0.0, uint64(0)
+		if i > 0 {
+			lower, below = buckets[i-1].UpperBound, buckets[i-1].Count
+		}
+		inBucket := b.Count - below
+		if inBucket == 0 {
+			return b.UpperBound
+		}
+		return lower + (b.UpperBound-lower)*(rank-float64(below))/float64(inBucket)
+	}
+	return buckets[len(buckets)-1].UpperBound
+}

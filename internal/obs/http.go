@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Handler returns an HTTP handler for the future service mode:
+//
+//	GET /metrics          Prometheus text format (?format=json for JSON)
+//	GET /healthz          {"status":"ok","uptime_seconds":…}
+//
+// A nil registry serves Default().
+func Handler(r *Registry) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteJSON(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", time.Since(startTime).Seconds())
+	})
+	return mux
+}
+
+// Serve exposes Handler(r) on addr, blocking like http.ListenAndServe.
+// It is opt-in: nothing in the workbench listens unless a CLI or a
+// service embeds this call.
+func Serve(addr string, r *Registry) error {
+	return http.ListenAndServe(addr, Handler(r))
+}

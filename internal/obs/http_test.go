@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsAndHealthz(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(body, "up_total 1") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if !strings.Contains(ctype, "text/plain") {
+		t.Errorf("content type = %q", ctype)
+	}
+
+	body, ctype = get("/metrics?format=json")
+	if !strings.Contains(ctype, "json") || !strings.Contains(body, `"up_total"`) {
+		t.Errorf("json metrics = %q (%s)", body, ctype)
+	}
+
+	body, _ = get("/healthz")
+	var health struct {
+		Status string  `json:"status"`
+		Uptime float64 `json:"uptime_seconds"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz not JSON: %v (%s)", err, body)
+	}
+	if health.Status != "ok" || health.Uptime < 0 {
+		t.Errorf("healthz = %+v", health)
+	}
+}

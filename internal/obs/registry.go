@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricType distinguishes the three metric families.
+type MetricType string
+
+// The metric types, matching Prometheus TYPE names.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Registry holds metric families by name. All methods are safe for
+// concurrent use; the returned metric handles are lock-free.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family groups every labeled series of one metric name.
+type family struct {
+	name    string
+	typ     MetricType
+	help    string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]*series // keyed by canonical label string
+}
+
+type series struct {
+	labelKey string            // canonical `k="v",…` form, sorted by key
+	labels   map[string]string // decoded label map for snapshots
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Counter returns the counter for name with the given labels (flattened
+// "key", "value" pairs), creating it on first use. It panics if name is
+// already registered as a different type or the label list is odd —
+// both are programming errors, like prometheus.MustRegister.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	s := r.family(name, TypeCounter, nil).get(labels)
+	return s.counter
+}
+
+// Gauge returns the gauge for name with the given labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	s := r.family(name, TypeGauge, nil).get(labels)
+	return s.gauge
+}
+
+// Histogram returns the histogram for name with the given labels.
+// buckets (upper bounds, seconds for latencies) are fixed by the first
+// call for the name; nil means LatencyBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	s := r.family(name, TypeHistogram, buckets).get(labels)
+	return s.hist
+}
+
+// Describe attaches HELP text to a metric name. Exposition emits a
+// "# HELP" line only for described names.
+func (r *Registry) Describe(name, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = help
+		return
+	}
+	// Remember the help for a family created later.
+	r.families[name] = &family{name: name, help: help, series: map[string]*series{}}
+}
+
+// family finds or creates the family for name, enforcing type agreement.
+func (r *Registry) family(name string, typ MetricType, buckets []float64) *family {
+	r.mu.RLock()
+	f, ok := r.families[name]
+	match := ok && f.typ == typ // typ is guarded by r.mu
+	r.mu.RUnlock()
+	if match {
+		return f
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok = r.families[name]
+	switch {
+	case !ok:
+		f = &family{name: name, typ: typ, buckets: buckets, series: map[string]*series{}}
+		r.families[name] = f
+	case f.typ == "":
+		// Placeholder created by Describe: adopt the concrete type.
+		f.typ = typ
+		f.buckets = buckets
+	case f.typ != typ:
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// get finds or creates the series for one label set.
+func (f *family) get(labels []string) *series {
+	key, labelMap := canonLabels(labels)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok = f.series[key]; ok {
+		return s
+	}
+	s = &series{labelKey: key, labels: labelMap}
+	switch f.typ {
+	case TypeCounter:
+		s.counter = &Counter{}
+	case TypeGauge:
+		s.gauge = &Gauge{}
+	case TypeHistogram:
+		s.hist = newHistogram(f.buckets)
+	}
+	f.series[key] = s
+	return s
+}
+
+// canonLabels turns flattened pairs into the canonical sorted label
+// string and a label map. Panics on an odd-length list.
+func canonLabels(labels []string) (string, map[string]string) {
+	if len(labels) == 0 {
+		return "", nil
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q (want key, value pairs)", labels))
+	}
+	m := make(map[string]string, len(labels)/2)
+	keys := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if _, dup := m[labels[i]]; !dup {
+			keys = append(keys, labels[i])
+		}
+		m[labels[i]] = labels[i+1]
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(m[k]))
+		b.WriteByte('"')
+	}
+	return b.String(), m
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// ---- Snapshots ----
+
+// Metric is one family's point-in-time state.
+type Metric struct {
+	Name   string
+	Type   MetricType
+	Help   string
+	Series []Series
+}
+
+// Series is one labeled series' state. Value holds counters and gauges;
+// Count/Sum/Buckets hold histograms.
+type Series struct {
+	Labels  map[string]string
+	Value   float64
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Quantile estimates the q-quantile of a histogram series from its
+// cumulative buckets (NaN for non-histograms or empty histograms).
+func (s Series) Quantile(q float64) float64 {
+	return quantileFromBuckets(s.Buckets, q)
+}
+
+// Snapshot returns every family sorted by name, each with its series
+// sorted by canonical label string — a deterministic order for golden
+// tests and exposition.
+func (r *Registry) Snapshot() []Metric {
+	type famSnap struct {
+		f    *family
+		help string
+		typ  MetricType
+	}
+	r.mu.RLock()
+	fams := make([]famSnap, 0, len(r.families))
+	for _, f := range r.families {
+		// help and typ are guarded by r.mu, not f.mu — capture them here.
+		fams = append(fams, famSnap{f, f.help, f.typ})
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].f.name < fams[j].f.name })
+
+	out := make([]Metric, 0, len(fams))
+	for _, fs := range fams {
+		f, help, typ := fs.f, fs.help, fs.typ
+		if typ == "" {
+			continue // Describe-only placeholder, never instantiated
+		}
+		f.mu.RLock()
+		ss := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			ss = append(ss, s)
+		}
+		f.mu.RUnlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].labelKey < ss[j].labelKey })
+		m := Metric{Name: f.name, Type: typ, Help: help}
+		for _, s := range ss {
+			sn := Series{Labels: s.labels}
+			switch typ {
+			case TypeCounter:
+				sn.Value = float64(s.counter.Value())
+			case TypeGauge:
+				sn.Value = s.gauge.Value()
+			case TypeHistogram:
+				sn.Count = s.hist.Count()
+				sn.Sum = s.hist.Sum()
+				sn.Buckets = s.hist.Buckets()
+			}
+			m.Series = append(m.Series, sn)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Find returns the snapshot of one family (ok=false when absent). A
+// convenience for tests and report generators.
+func (r *Registry) Find(name string) (Metric, bool) {
+	for _, m := range r.Snapshot() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "kind", "read")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if same := r.Counter("requests_total", "kind", "read"); same != c {
+		t.Error("same name+labels must return the same handle")
+	}
+	if other := r.Counter("requests_total", "kind", "write"); other == c {
+		t.Error("different labels must return a different series")
+	}
+
+	g := r.Gauge("triples")
+	g.Set(10)
+	g.Add(-2.5)
+	if got := g.Value(); got != 7.5 {
+		t.Errorf("gauge = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", []float64{0.001, 0.01, 0.1}, "op", "query")
+	for _, v := range []float64{0.0005, 0.002, 0.05, 99} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 0.0005+0.002+0.05+99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+	buckets := h.Buckets()
+	wantCum := []uint64{1, 2, 3, 4} // le=0.001, 0.01, 0.1, +Inf
+	for i, b := range buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le=%v) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(buckets[len(buckets)-1].UpperBound, +1) {
+		t.Error("last bucket must be +Inf")
+	}
+}
+
+func TestHistogramBoundaryIsLE(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(1) // exactly on a bound: le semantics → first bucket
+	if got := h.Buckets()[0].Count; got != 1 {
+		t.Errorf("observation on the bound landed outside le bucket: %d", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{1, 2, 3, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%4) + 0.5) // uniform over the four buckets
+	}
+	snap, ok := r.Find("q")
+	if !ok || len(snap.Series) != 1 {
+		t.Fatalf("snapshot missing q: %+v", snap)
+	}
+	med := snap.Series[0].Quantile(0.5)
+	if med < 1 || med > 3 {
+		t.Errorf("median = %v, want within [1,3]", med)
+	}
+	if v := snap.Series[0].Quantile(1.0); v > 4 {
+		t.Errorf("q1.0 = %v, want <= 4", v)
+	}
+	if empty := (Series{}).Quantile(0.5); !math.IsNaN(empty) {
+		t.Errorf("empty quantile = %v, want NaN", empty)
+	}
+}
+
+// TestConcurrentUpdates exercises every metric kind from many goroutines;
+// run under -race this is the tentpole's thread-safety proof.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			labels := []string{"worker", string(rune('a' + w%4))}
+			for i := 0; i < iters; i++ {
+				r.Counter("ops_total", labels...).Inc()
+				r.Gauge("depth", labels...).Add(1)
+				r.Histogram("dur_seconds", nil, labels...).Observe(0.001 * float64(i%7))
+				if i%50 == 0 {
+					r.Snapshot() // concurrent reads
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total float64
+	m, ok := r.Find("ops_total")
+	if !ok {
+		t.Fatal("ops_total missing")
+	}
+	for _, s := range m.Series {
+		total += s.Value
+	}
+	if int(total) != workers*iters {
+		t.Errorf("ops_total = %v, want %d", total, workers*iters)
+	}
+	h, _ := r.Find("dur_seconds")
+	var count uint64
+	for _, s := range h.Series {
+		count += s.Count
+	}
+	if count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", count, workers*iters)
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as gauge must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestOddLabelsPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label list must panic")
+		}
+	}()
+	r.Counter("y", "only-key")
+}
+
+func TestDescribeBeforeAndAfterUse(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("pre", "described before first use")
+	r.Counter("pre").Inc()
+	r.Counter("post").Inc()
+	r.Describe("post", "described after first use")
+	for _, name := range []string{"pre", "post"} {
+		m, ok := r.Find(name)
+		if !ok || m.Help == "" {
+			t.Errorf("%s: help missing (%+v)", name, m)
+		}
+		if m.Type != TypeCounter {
+			t.Errorf("%s: type = %s", name, m.Type)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer times a tree of named spans and, when bound to a registry,
+// mirrors every finished span into a labeled latency histogram. It is
+// the timing backbone of the Harmony pipeline: the engine derives its
+// public []StageTiming from the tracer's finished spans, so the
+// -timings output and the obs metrics can never disagree.
+type Tracer struct {
+	reg    *Registry
+	metric string
+	base   []string // base labels applied to every span's histogram
+
+	mu       sync.Mutex
+	finished []SpanRecord
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	// Name is the span's full path, parent names joined with "/".
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// NewTracer returns a tracer recording into metric on reg (histogram
+// with a "stage" label per span, plus the given base labels). A nil reg
+// or empty metric yields a pure in-memory timer — spans still record.
+func NewTracer(reg *Registry, metric string, baseLabels ...string) *Tracer {
+	return &Tracer{reg: reg, metric: metric, base: baseLabels}
+}
+
+// Span is one in-flight timed stage.
+type Span struct {
+	t     *Tracer
+	name  string
+	start time.Time
+}
+
+// Start begins a top-level span.
+func (t *Tracer) Start(name string) *Span {
+	return &Span{t: t, name: name, start: time.Now()}
+}
+
+// Child begins a nested span; its name is path-joined under the parent,
+// so "merge" under "run" records as "run/merge".
+func (s *Span) Child(name string) *Span {
+	return &Span{t: s.t, name: s.name + "/" + name, start: time.Now()}
+}
+
+// End finishes the span, appends it to the tracer's record and observes
+// its duration into the bound histogram. It returns the duration.
+func (s *Span) End() time.Duration {
+	d := time.Since(s.start)
+	t := s.t
+	t.mu.Lock()
+	t.finished = append(t.finished, SpanRecord{Name: s.name, Start: s.start, Duration: d})
+	t.mu.Unlock()
+	if t.reg != nil && t.metric != "" {
+		labels := append(append([]string(nil), t.base...), "stage", s.name)
+		t.reg.Histogram(t.metric, LatencyBuckets, labels...).ObserveDuration(d)
+	}
+	return d
+}
+
+// Time runs fn inside a span named name.
+func (t *Tracer) Time(name string, fn func()) time.Duration {
+	sp := t.Start(name)
+	fn()
+	return sp.End()
+}
+
+// Finished returns the finished spans in end order (a copy).
+func (t *Tracer) Finished() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.finished...)
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpansAndHistogram(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "stage_seconds", "engine", "harmony")
+	sp := tr.Start("merge")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d < time.Millisecond {
+		t.Errorf("span duration %v too short", d)
+	}
+	tr.Time("flooding", func() {})
+
+	fin := tr.Finished()
+	if len(fin) != 2 || fin[0].Name != "merge" || fin[1].Name != "flooding" {
+		t.Fatalf("finished = %+v", fin)
+	}
+	if fin[0].Duration <= 0 {
+		t.Error("recorded duration must be positive")
+	}
+
+	m, ok := r.Find("stage_seconds")
+	if !ok || m.Type != TypeHistogram {
+		t.Fatalf("histogram missing: %+v", m)
+	}
+	var sawMerge bool
+	for _, s := range m.Series {
+		if s.Labels["stage"] == "merge" {
+			sawMerge = true
+			if s.Labels["engine"] != "harmony" {
+				t.Errorf("base label missing: %v", s.Labels)
+			}
+			if s.Count != 1 || s.Sum <= 0 {
+				t.Errorf("merge series = count %d sum %v", s.Count, s.Sum)
+			}
+		}
+	}
+	if !sawMerge {
+		t.Error("no stage=merge series")
+	}
+}
+
+func TestNestedSpans(t *testing.T) {
+	tr := NewTracer(nil, "") // pure timer: no registry needed
+	run := tr.Start("run")
+	child := run.Child("merge")
+	child.End()
+	run.End()
+	fin := tr.Finished()
+	if len(fin) != 2 {
+		t.Fatalf("finished = %+v", fin)
+	}
+	if fin[0].Name != "run/merge" {
+		t.Errorf("child name = %q, want run/merge", fin[0].Name)
+	}
+	if !strings.HasPrefix(fin[0].Name, fin[1].Name+"/") {
+		t.Errorf("child %q not nested under %q", fin[0].Name, fin[1].Name)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "par_seconds")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.Time("stage", func() {})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(tr.Finished()); n != 800 {
+		t.Errorf("finished spans = %d, want 800", n)
+	}
+	m, _ := r.Find("par_seconds")
+	if m.Series[0].Count != 800 {
+		t.Errorf("histogram count = %d, want 800", m.Series[0].Count)
+	}
+}

@@ -11,9 +11,31 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/blackboard"
+	"repro/internal/obs"
 	"repro/internal/rdf"
+)
+
+// Metric names emitted by the manager (see DESIGN.md "Observability").
+// The manager is the mediation layer for every tool (paper §5.2), which
+// makes it the natural choke point for instrumentation.
+const (
+	MetricTxnBegin       = "wbmgr_txn_begin_total"
+	MetricTxnCommit      = "wbmgr_txn_commit_total"
+	MetricTxnAbort       = "wbmgr_txn_abort_total"
+	MetricCommitDuration = "wbmgr_txn_commit_duration_seconds"
+	// MetricEventsPublished is labeled kind=<EventKind>.
+	MetricEventsPublished = "wbmgr_events_published_total"
+	// MetricEventsDropped counts events evicted from the ring buffer.
+	MetricEventsDropped = "wbmgr_eventlog_dropped_total"
+	// MetricToolInvocations is labeled tool=<name>, status=ok|error.
+	MetricToolInvocations = "wbmgr_tool_invocations_total"
+	// MetricInvokeDuration is labeled tool=<name>.
+	MetricInvokeDuration = "wbmgr_tool_invoke_duration_seconds"
+	MetricQueries        = "wbmgr_queries_total"
+	MetricQueryDuration  = "wbmgr_query_duration_seconds"
 )
 
 // EventKind classifies blackboard-change events (paper §5.2.2): "a
@@ -75,11 +97,23 @@ type Manager struct {
 	subs  map[EventKind][]subscription
 	subID int
 
-	// EventLog records delivered events when EnableEventLog is set; the
-	// case-study experiments inspect it.
+	// EnableEventLog turns on event recording; the case-study
+	// experiments inspect the log via EventLog(). Events land in a ring
+	// buffer of logCap entries (DefaultEventLogCapacity unless
+	// SetEventLogCapacity was called) so long-running sessions don't
+	// grow memory without bound.
 	EnableEventLog bool
-	eventLog       []Event
+	logCap         int
+	eventLog       []Event // ring storage, len grows to logCap then wraps
+	logHead        int     // index of the oldest entry once len == logCap
+
+	metrics *obs.Registry
 }
+
+// DefaultEventLogCapacity bounds the event log when no explicit capacity
+// is configured — generous enough that every case study and test sees
+// its full event history, small enough to cap a long-running session.
+const DefaultEventLogCapacity = 1024
 
 type subscription struct {
 	id      int
@@ -94,11 +128,49 @@ func New() *Manager {
 
 // NewWith wraps an existing blackboard (e.g. a restored snapshot).
 func NewWith(bb *blackboard.Blackboard) *Manager {
-	return &Manager{
-		bb:    bb,
-		tools: map[string]Tool{},
-		subs:  map[EventKind][]subscription{},
+	m := &Manager{
+		bb:      bb,
+		tools:   map[string]Tool{},
+		subs:    map[EventKind][]subscription{},
+		logCap:  DefaultEventLogCapacity,
+		metrics: obs.Default(),
 	}
+	m.describeMetrics()
+	return m
+}
+
+// SetMetrics redirects the manager's instrumentation to reg (nil resets
+// to obs.Default()). Call before use; metric handles are re-resolved per
+// operation so redirection takes effect immediately.
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m.mu.Lock()
+	m.metrics = reg
+	m.mu.Unlock()
+	m.describeMetrics()
+}
+
+func (m *Manager) describeMetrics() {
+	r := m.reg()
+	r.Describe(MetricTxnBegin, "Transactions begun on the workbench manager.")
+	r.Describe(MetricTxnCommit, "Transactions committed.")
+	r.Describe(MetricTxnAbort, "Transactions rolled back.")
+	r.Describe(MetricCommitDuration, "Begin-to-commit latency of manager transactions.")
+	r.Describe(MetricEventsPublished, "Events delivered to subscribers, by kind.")
+	r.Describe(MetricEventsDropped, "Events evicted from the bounded event log.")
+	r.Describe(MetricToolInvocations, "Tool Invoke calls, by tool and status.")
+	r.Describe(MetricInvokeDuration, "Tool Invoke wall-clock time, by tool.")
+	r.Describe(MetricQueries, "Ad hoc IB queries served.")
+	r.Describe(MetricQueryDuration, "Ad hoc IB query latency.")
+}
+
+// reg returns the current metrics registry under the lock.
+func (m *Manager) reg() *obs.Registry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics
 }
 
 // Blackboard exposes the underlying IB. Mutations outside a transaction
@@ -119,15 +191,26 @@ func (m *Manager) Register(t Tool) error {
 	return t.Initialize(m)
 }
 
-// Invoke runs a registered tool by name.
+// Invoke runs a registered tool by name, recording per-tool duration and
+// outcome metrics.
 func (m *Manager) Invoke(name string, args map[string]string) error {
 	m.mu.Lock()
 	t, ok := m.tools[name]
+	reg := m.metrics
 	m.mu.Unlock()
 	if !ok {
+		reg.Counter(MetricToolInvocations, "tool", name, "status", "error").Inc()
 		return fmt.Errorf("wbmgr: no tool %q", name)
 	}
-	return t.Invoke(m, args)
+	t0 := time.Now()
+	err := t.Invoke(m, args)
+	reg.Histogram(MetricInvokeDuration, nil, "tool", name).ObserveDuration(time.Since(t0))
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	reg.Counter(MetricToolInvocations, "tool", name, "status", status).Inc()
+	return err
 }
 
 // Tools lists registered tool names, sorted.
@@ -175,9 +258,11 @@ func (m *Manager) publish(e Event) {
 	m.mu.Lock()
 	subs := append([]subscription(nil), m.subs[e.Kind]...)
 	if m.EnableEventLog {
-		m.eventLog = append(m.eventLog, e)
+		m.logAppendLocked(e)
 	}
+	reg := m.metrics
 	m.mu.Unlock()
+	reg.Counter(MetricEventsPublished, "kind", string(e.Kind)).Inc()
 	for _, s := range subs {
 		if s.tool == e.Tool {
 			continue
@@ -186,11 +271,53 @@ func (m *Manager) publish(e Event) {
 	}
 }
 
-// EventLog returns the delivered events recorded so far.
+// logAppendLocked appends to the ring buffer, evicting the oldest entry
+// once the buffer is full. Caller holds m.mu.
+func (m *Manager) logAppendLocked(e Event) {
+	if m.logCap <= 0 {
+		m.logCap = DefaultEventLogCapacity
+	}
+	if len(m.eventLog) < m.logCap {
+		m.eventLog = append(m.eventLog, e)
+		return
+	}
+	m.eventLog[m.logHead] = e
+	m.logHead = (m.logHead + 1) % m.logCap
+	m.metrics.Counter(MetricEventsDropped).Inc()
+}
+
+// SetEventLogCapacity bounds the event log to the most recent n events
+// (n <= 0 restores DefaultEventLogCapacity). If the log already holds
+// more than n events, only the newest n survive.
+func (m *Manager) SetEventLogCapacity(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		n = DefaultEventLogCapacity
+	}
+	ordered := m.eventLogLocked()
+	if len(ordered) > n {
+		ordered = ordered[len(ordered)-n:]
+	}
+	m.logCap = n
+	m.eventLog = ordered
+	m.logHead = 0
+}
+
+// EventLog returns the recorded events, oldest first (a copy; at most
+// the configured capacity).
 func (m *Manager) EventLog() []Event {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]Event(nil), m.eventLog...)
+	return m.eventLogLocked()
+}
+
+// eventLogLocked linearizes the ring into a fresh slice. Caller holds m.mu.
+func (m *Manager) eventLogLocked() []Event {
+	out := make([]Event, 0, len(m.eventLog))
+	out = append(out, m.eventLog[m.logHead:]...)
+	out = append(out, m.eventLog[:m.logHead]...)
+	return out
 }
 
 // ---- Transactions ----
@@ -201,9 +328,10 @@ func (m *Manager) EventLog() []Event {
 // transaction; no events are generated until the mapping matrix has been
 // updated").
 type Txn struct {
-	m    *Manager
-	tool string
-	done bool
+	m     *Manager
+	tool  string
+	done  bool
+	began time.Time
 }
 
 // Begin starts a transaction on behalf of a tool. Only one transaction
@@ -218,7 +346,8 @@ func (m *Manager) Begin(tool string) (*Txn, error) {
 	m.inTxn = true
 	m.snap = m.bb.Graph().Clone()
 	m.queued = nil
-	return &Txn{m: m, tool: tool}, nil
+	m.metrics.Counter(MetricTxnBegin).Inc()
+	return &Txn{m: m, tool: tool, began: time.Now()}, nil
 }
 
 // Blackboard gives the transaction's view of the IB (the live one; the
@@ -244,7 +373,10 @@ func (t *Txn) Commit() error {
 	t.m.snap = nil
 	queued := t.m.queued
 	t.m.queued = nil
+	reg := t.m.metrics
 	t.m.mu.Unlock()
+	reg.Counter(MetricTxnCommit).Inc()
+	reg.Histogram(MetricCommitDuration, nil).ObserveDuration(time.Since(t.began))
 	for _, e := range queued {
 		t.m.publish(e)
 	}
@@ -264,8 +396,13 @@ func (t *Txn) Abort() error {
 	snap := t.m.snap
 	t.m.snap = nil
 	t.m.queued = nil
+	reg := t.m.metrics
 	t.m.mu.Unlock()
+	reg.Counter(MetricTxnAbort).Inc()
 	t.m.bb.Graph().ReplaceWith(snap)
+	// ReplaceWith bypasses the blackboard's mutation path; re-sync the
+	// triple gauge so a rollback doesn't leave it stale.
+	reg.Gauge(blackboard.MetricTriples).Set(float64(t.m.bb.Graph().Len()))
 	return nil
 }
 
@@ -275,6 +412,10 @@ func (t *Txn) Abort() error {
 // returns rows for the requested variables — the §5.2 ad hoc query
 // service.
 func (m *Manager) Query(text string, vars ...string) ([][]string, error) {
+	reg := m.reg()
+	reg.Counter(MetricQueries).Inc()
+	t0 := time.Now()
+	defer func() { reg.Histogram(MetricQueryDuration, nil).ObserveDuration(time.Since(t0)) }()
 	q, err := rdf.ParseQuery(text)
 	if err != nil {
 		return nil, err

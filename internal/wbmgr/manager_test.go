@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // fakeTool records invocations and subscribes to one event kind.
@@ -333,5 +334,147 @@ func TestSequentialTransactionThroughput(t *testing.T) {
 	}
 	if got := len(m.Blackboard().Schemas()); got != 100 {
 		t.Errorf("schemas = %d", got)
+	}
+}
+
+func TestEventLogRingBuffer(t *testing.T) {
+	m := New()
+	m.EnableEventLog = true
+	m.SetEventLogCapacity(3)
+	for i := 0; i < 5; i++ {
+		txn, err := m.Begin("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		txn.Emit(EventMappingCell, fmt.Sprintf("s%d", i))
+		_ = txn.Commit()
+	}
+	log := m.EventLog()
+	if len(log) != 3 {
+		t.Fatalf("log length = %d, want 3", len(log))
+	}
+	for i, want := range []string{"s2", "s3", "s4"} {
+		if log[i].Subject != want {
+			t.Errorf("log[%d] = %q, want %q (oldest-first order)", i, log[i].Subject, want)
+		}
+	}
+}
+
+func TestSetEventLogCapacityShrinksToNewest(t *testing.T) {
+	m := New()
+	m.EnableEventLog = true
+	for i := 0; i < 4; i++ {
+		txn, _ := m.Begin("x")
+		txn.Emit(EventMappingCell, fmt.Sprintf("s%d", i))
+		_ = txn.Commit()
+	}
+	m.SetEventLogCapacity(2)
+	log := m.EventLog()
+	if len(log) != 2 || log[0].Subject != "s2" || log[1].Subject != "s3" {
+		t.Errorf("after shrink log = %+v, want s2,s3", log)
+	}
+	// Zero restores the default capacity rather than disabling the log.
+	m.SetEventLogCapacity(0)
+	txn, _ := m.Begin("x")
+	txn.Emit(EventMappingCell, "s4")
+	_ = txn.Commit()
+	if got := m.EventLog(); len(got) != 3 || got[2].Subject != "s4" {
+		t.Errorf("after reset log = %+v", got)
+	}
+}
+
+func TestManagerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := New()
+	m.SetMetrics(reg)
+	_ = m.Register(&fakeTool{name: "good"})
+	_ = m.Register(&fakeTool{name: "bad", invokeFn: func(*Manager, map[string]string) error {
+		return errors.New("boom")
+	}})
+
+	txn, _ := m.Begin("good")
+	txn.Emit(EventMappingCell, "c")
+	txn.Emit(EventSchemaGraph, "s")
+	_ = txn.Commit()
+	txn2, _ := m.Begin("good")
+	_ = txn2.Abort()
+
+	_ = m.Invoke("good", nil)
+	_ = m.Invoke("bad", nil)
+	_, _ = m.Query(`?s ?p ?o`, "s")
+
+	wantCounters := map[string]float64{
+		MetricTxnBegin:  2,
+		MetricTxnCommit: 1,
+		MetricTxnAbort:  1,
+		MetricQueries:   1,
+	}
+	for name, want := range wantCounters {
+		mt, ok := reg.Find(name)
+		if !ok || len(mt.Series) != 1 || mt.Series[0].Value != want {
+			t.Errorf("%s = %+v, want %v", name, mt, want)
+		}
+	}
+	ev, _ := reg.Find(MetricEventsPublished)
+	kinds := map[string]float64{}
+	for _, s := range ev.Series {
+		kinds[s.Labels["kind"]] = s.Value
+	}
+	if kinds["mapping-cell"] != 1 || kinds["schema-graph"] != 1 {
+		t.Errorf("events published = %v", kinds)
+	}
+	inv, _ := reg.Find(MetricToolInvocations)
+	statuses := map[string]float64{}
+	for _, s := range inv.Series {
+		statuses[s.Labels["tool"]+"/"+s.Labels["status"]] = s.Value
+	}
+	if statuses["good/ok"] != 1 || statuses["bad/error"] != 1 {
+		t.Errorf("invocations = %v", statuses)
+	}
+	for _, histName := range []string{MetricCommitDuration, MetricInvokeDuration, MetricQueryDuration} {
+		h, ok := reg.Find(histName)
+		if !ok {
+			t.Errorf("%s missing", histName)
+			continue
+		}
+		var count uint64
+		for _, s := range h.Series {
+			count += s.Count
+		}
+		if count == 0 {
+			t.Errorf("%s has no observations", histName)
+		}
+	}
+}
+
+func TestConcurrentPublishAndEventLog(t *testing.T) {
+	// Subscriptions, direct publishes and log reads from many goroutines:
+	// the -race proof for the manager's event path. publish is exercised
+	// directly (not via transactions) because only one txn may be active.
+	m := New()
+	m.EnableEventLog = true
+	m.SetEventLogCapacity(64)
+	var delivered atomic.Int64
+	m.Subscribe(EventMappingCell, "listener", func(Event) { delivered.Add(1) })
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				m.publish(Event{Kind: EventMappingCell, Tool: "writer", Subject: "s"})
+				if i%20 == 0 {
+					_ = m.EventLog()
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	if delivered.Load() != 800 {
+		t.Errorf("delivered = %d, want 800", delivered.Load())
+	}
+	if got := len(m.EventLog()); got != 64 {
+		t.Errorf("ring holds %d, want 64", got)
 	}
 }

@@ -1,0 +1,166 @@
+package workbench
+
+// Integration test for the observability layer: one registry watches a
+// full Engine.Run plus a workbench-manager transaction, and the test
+// asserts the catalogued metric names exist with non-zero histograms —
+// the cross-layer guarantee DESIGN.md's "Observability" section
+// documents.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/blackboard"
+	"repro/internal/harmony"
+	"repro/internal/obs"
+	"repro/internal/wbmgr"
+)
+
+const obsSrcDDL = `
+CREATE TABLE employee (
+  eid   INTEGER PRIMARY KEY,
+  name  VARCHAR(40) NOT NULL,
+  wage  DECIMAL
+);
+`
+
+const obsTgtDDL = `
+CREATE TABLE person (
+  pid    INTEGER PRIMARY KEY,
+  name   VARCHAR(40) NOT NULL,
+  salary DECIMAL
+);
+`
+
+func TestObservabilityEndToEnd(t *testing.T) {
+	reg := obs.NewRegistry()
+
+	src, err := LoadSQL("srcdb", strings.NewReader(obsSrcDDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := LoadSQL("tgtdb", strings.NewReader(obsTgtDDL))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Layer 1: the Harmony engine.
+	engine := harmony.NewEngine(src, tgt, harmony.Options{Flooding: true, Metrics: reg})
+	engine.Run()
+
+	// Layers 2+3: blackboard mutations through a manager transaction.
+	bb := blackboard.New()
+	bb.SetMetrics(reg)
+	m := wbmgr.NewWith(bb)
+	m.SetMetrics(reg)
+	if _, err := bb.PutSchema(src); err != nil {
+		t.Fatal(err)
+	}
+	txn, err := m.Begin("harmony")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Blackboard().PutSchema(tgt); err != nil {
+		t.Fatal(err)
+	}
+	txn.Emit(wbmgr.EventSchemaGraph, "tgtdb")
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Query(`?s ?p ?o`, "s"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every catalogued metric must exist with a live value.
+	counters := map[string]float64{
+		harmony.MetricRuns:    1,
+		wbmgr.MetricTxnBegin:  1,
+		wbmgr.MetricTxnCommit: 1,
+		wbmgr.MetricQueries:   1,
+	}
+	for name, want := range counters {
+		mt, ok := reg.Find(name)
+		if !ok {
+			t.Errorf("counter %s missing", name)
+			continue
+		}
+		if len(mt.Series) != 1 || mt.Series[0].Value != want {
+			t.Errorf("%s = %+v, want %v", name, mt.Series, want)
+		}
+	}
+
+	ev, ok := reg.Find(wbmgr.MetricEventsPublished)
+	if !ok || len(ev.Series) != 1 || ev.Series[0].Labels["kind"] != string(wbmgr.EventSchemaGraph) {
+		t.Errorf("events published = %+v", ev)
+	}
+
+	stage, ok := reg.Find(harmony.MetricStageDuration)
+	if !ok {
+		t.Fatalf("%s missing", harmony.MetricStageDuration)
+	}
+	stages := map[string]bool{}
+	for _, s := range stage.Series {
+		stages[s.Labels["stage"]] = true
+		if s.Count == 0 {
+			t.Errorf("stage %q histogram has zero observations", s.Labels["stage"])
+		}
+	}
+	for _, want := range []string{"voter:name", "merge", "flooding", "pin-decisions"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from %s (have %v)", want, harmony.MetricStageDuration, stages)
+		}
+	}
+
+	for _, histName := range []string{wbmgr.MetricCommitDuration, wbmgr.MetricQueryDuration} {
+		h, ok := reg.Find(histName)
+		if !ok || len(h.Series) != 1 || h.Series[0].Count == 0 {
+			t.Errorf("%s = %+v, want one series with observations", histName, h)
+		}
+	}
+
+	if g, ok := reg.Find(blackboard.MetricTriples); !ok || g.Series[0].Value <= 0 {
+		t.Errorf("%s = %+v, want > 0", blackboard.MetricTriples, g)
+	}
+	if c, ok := reg.Find(blackboard.MetricRevisions); !ok || c.Series[0].Value <= 0 {
+		t.Errorf("%s = %+v, want > 0", blackboard.MetricRevisions, c)
+	}
+
+	// The whole snapshot must round-trip through both expositions.
+	var prom, js strings.Builder
+	if err := obs.WritePrometheus(&prom, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE harmony_stage_duration_seconds histogram",
+		`harmony_stage_duration_seconds_bucket{stage="merge",le="+Inf"}`,
+		"wbmgr_txn_commit_total 1",
+		"ib_triples",
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus exposition missing %q", want)
+		}
+	}
+	if err := obs.WriteJSON(&js, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"harmony_stage_duration_seconds"`) {
+		t.Error("JSON exposition missing stage histogram")
+	}
+}
+
+// TestFacadeMetricsExports exercises the public re-exports downstream
+// users see.
+func TestFacadeMetricsExports(t *testing.T) {
+	reg := NewMetricsRegistry()
+	reg.Counter("x_total").Inc()
+	var b strings.Builder
+	if err := WriteMetricsText(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x_total 1") {
+		t.Errorf("facade exposition = %q", b.String())
+	}
+	if DefaultMetrics() == nil || MetricsHandler(nil) == nil {
+		t.Error("facade defaults must be non-nil")
+	}
+}

@@ -24,6 +24,7 @@ package workbench
 
 import (
 	"io"
+	"net/http"
 
 	"repro/internal/blackboard"
 	"repro/internal/core"
@@ -33,6 +34,7 @@ import (
 	"repro/internal/mapgen"
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/reuse"
 	"repro/internal/sqlddl"
 	"repro/internal/wbmgr"
@@ -294,6 +296,37 @@ type MappingDOTCell = model.MappingDOTCell
 func MappingToDOT(src, tgt *Schema, cells []MappingDOTCell) string {
 	return model.MappingToDOT(src, tgt, cells)
 }
+
+// Observability (internal/obs): the engine, manager and blackboard all
+// instrument themselves on DefaultMetrics() unless rebound.
+type (
+	// MetricsRegistry holds counters, gauges and latency histograms.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is one metric family's point-in-time state.
+	MetricsSnapshot = obs.Metric
+	// Tracer times nested pipeline stages into a latency histogram.
+	Tracer = obs.Tracer
+)
+
+// NewMetricsRegistry returns an empty metrics registry, for isolating a
+// component's instrumentation from the process-wide default.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// DefaultMetrics is the process-wide metrics registry.
+func DefaultMetrics() *MetricsRegistry { return obs.Default() }
+
+// MetricsHandler serves /metrics (Prometheus text, ?format=json for
+// JSON) and /healthz — embed it to expose the workbench as a service.
+func MetricsHandler(r *MetricsRegistry) http.Handler { return obs.Handler(r) }
+
+// ServeMetrics exposes MetricsHandler on addr, blocking.
+func ServeMetrics(addr string, r *MetricsRegistry) error { return obs.Serve(addr, r) }
+
+// WriteMetricsText writes a registry in Prometheus text format.
+func WriteMetricsText(w io.Writer, r *MetricsRegistry) error { return obs.WritePrometheus(w, r) }
+
+// WriteMetricsJSON writes a registry as JSON.
+func WriteMetricsJSON(w io.Writer, r *MetricsRegistry) error { return obs.WriteJSON(w, r) }
 
 // NewIntegrationSession builds a workbench, stores both schemata, and
 // wires the matcher/mapper/codegen tools around one mapping.
