@@ -16,12 +16,59 @@ import (
 	"repro/internal/eval"
 	"repro/internal/harmony"
 	"repro/internal/match"
+	"repro/internal/model"
 	"repro/internal/registry"
 )
 
 // benchPairs builds the standard evaluation pair set once per benchmark.
 func benchPairs(n int) eval.PairSet {
 	return eval.BuildPairSetSized(n, 12, 60, 90, registry.HardPerturb())
+}
+
+// benchRegistryPair generates one registry model at the given size and
+// perturbs it into a (source, target) pair for the engine benchmarks.
+func benchRegistryPair(entities, attributes, domainValues int) (*model.Schema, *model.Schema) {
+	cfg := registry.DefaultConfig()
+	cfg.Models = 1
+	cfg.ElementsTotal = entities
+	cfg.AttributesTotal = attributes
+	cfg.DomainValuesTotal = domainValues
+	reg := registry.Generate(cfg)
+	src := reg.Models[0]
+	tgt, _ := registry.Perturb(src, registry.DefaultPerturb())
+	return src, tgt
+}
+
+// BenchmarkEngineRun compares the sequential pipeline (Parallelism 1)
+// against the worker-pool pipeline (Parallelism 0 = GOMAXPROCS) on
+// registry-generated pairs at ~100 and ~1000 elements. The two modes
+// produce bit-identical matrices (see TestParallelRunMatchesSequential),
+// so the only difference is wall-clock.
+func BenchmarkEngineRun(b *testing.B) {
+	sizes := []struct {
+		name                        string
+		entities, attributes, codes int
+	}{
+		{"100elem", 12, 88, 120},
+		{"1000elem", 100, 900, 1200},
+	}
+	for _, sz := range sizes {
+		src, tgt := benchRegistryPair(sz.entities, sz.attributes, sz.codes)
+		for _, mode := range []struct {
+			name string
+			par  int
+		}{{"seq", 1}, {"par", 0}} {
+			b.Run(sz.name+"/"+mode.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					e := harmony.NewEngine(src, tgt, harmony.Options{
+						Flooding:    true,
+						Parallelism: mode.par,
+					})
+					e.Run()
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkTable1RegistryStats regenerates Table 1: synthesize the

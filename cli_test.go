@@ -404,6 +404,26 @@ func TestHarmonyCLITimingsTable(t *testing.T) {
 			t.Errorf("row %d = %q, want stage %q", i, stageLines[i], want)
 		}
 	}
+	// The wall-vs-CPU summary follows the table, un-indented: with the
+	// parallel pipeline the summed stage durations (CPU) exceed the wall
+	// clock, so the report shows both.
+	if !strings.Contains(out, "wall ") || !strings.Contains(out, " vs cpu ") || !strings.Contains(out, "at parallelism ") {
+		t.Errorf("missing wall-vs-cpu summary line:\n%s", out)
+	}
+}
+
+// TestHarmonyCLIParallelismFlag checks -parallelism reaches the engine:
+// the run still succeeds sequentially and the summary reports the forced
+// worker count.
+func TestHarmonyCLIParallelismFlag(t *testing.T) {
+	dir := writeSchemas(t)
+	out := run(t, dir, "harmony", "-parallelism", "1", "-timings", "po.xsd", "si.xsd")
+	if !strings.Contains(out, "at parallelism 1") {
+		t.Errorf("forced sequential run not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "correspondences at threshold") {
+		t.Errorf("sequential run produced no links:\n%s", out)
+	}
 }
 
 // TestWorkbenchCLIMetricsSubcommand loads a schema then dumps metrics.

@@ -19,6 +19,7 @@
 //	-no-flooding   disable the similarity-flooding stage
 //	-thesaurus f   load extra synonym sets (one comma-separated set/line)
 //	-depth n       only elements at depth ≤ n
+//	-parallelism n worker pool size (0 = GOMAXPROCS, 1 = sequential)
 //	-timings       print per-stage timings (the Figure 1 pipeline)
 //	-metrics       dump the obs registry in Prometheus text format
 //	-metrics-json  dump the obs registry as JSON
@@ -31,6 +32,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	workbench "repro"
 	"repro/internal/harmony"
@@ -48,6 +50,7 @@ func main() {
 	noFlood := flag.Bool("no-flooding", false, "disable similarity flooding")
 	thesaurusPath := flag.String("thesaurus", "", "extra thesaurus file")
 	depth := flag.Int("depth", 0, "only elements at depth <= n (0 = all)")
+	parallelism := flag.Int("parallelism", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	timings := flag.Bool("timings", false, "print pipeline stage timings")
 	metrics := flag.Bool("metrics", false, "dump obs metrics (Prometheus text format)")
 	metricsJSON := flag.Bool("metrics-json", false, "dump obs metrics as JSON")
@@ -86,10 +89,13 @@ func main() {
 	engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{
 		Flooding:       !*noFlood,
 		ContextOptions: ctxOpts,
+		Parallelism:    *parallelism,
 	})
+	wallStart := time.Now()
 	stages := engine.Run()
+	wall := time.Since(wallStart)
 	if *timings {
-		printTimings(stages)
+		printTimings(stages, wall, engine.Workers())
 	}
 	if *metrics || *metricsJSON {
 		if *metricsJSON {
@@ -140,8 +146,10 @@ func main() {
 
 // printTimings renders stage timings as a deterministic aligned table:
 // pipeline order (voters, merge, flooding, pin-decisions), names padded
-// to a common width, durations right-aligned in µs/ms/s units.
-func printTimings(stages []harmony.StageTiming) {
+// to a common width, durations right-aligned in µs/ms/s units. A summary
+// line compares the run's wall-clock against the summed per-stage CPU
+// time — with parallelism > 1 the voters overlap, so cpu > wall.
+func printTimings(stages []harmony.StageTiming, wall time.Duration, workers int) {
 	width := len("total")
 	for _, st := range stages {
 		if len(st.Stage) > width {
@@ -156,6 +164,8 @@ func printTimings(stages []harmony.StageTiming) {
 		fmt.Printf("  %-*s %s\n", width, st.Stage, fmtSeconds(secs))
 	}
 	fmt.Printf("  %-*s %s\n", width, "total", fmtSeconds(total))
+	fmt.Printf("wall %s vs cpu %s at parallelism %d\n",
+		strings.TrimSpace(fmtSeconds(wall.Seconds())), strings.TrimSpace(fmtSeconds(total)), workers)
 }
 
 // fmtSeconds formats a duration in seconds with a fixed 10-rune width:

@@ -8,6 +8,8 @@ package harmony
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/match"
@@ -42,16 +44,27 @@ type Options struct {
 	// Metrics receives engine instrumentation (stage histograms, run
 	// counter); nil means the process-wide obs.Default() registry.
 	Metrics *obs.Registry
+	// Parallelism bounds the worker pool the pipeline fans out to: the
+	// voter panel runs one goroutine per voter, each voter's pair sweep
+	// and the flooding rounds shard matrix rows across the pool.
+	// 0 = GOMAXPROCS, 1 = fully sequential (the historical behavior),
+	// n = n workers. The merged matrix is bit-identical at any setting —
+	// every cell is computed by exactly one goroutine on the same code
+	// path — and StageTiming order stays the panel order. Custom voters
+	// must tolerate concurrent Vote calls (read-only Context access) when
+	// Parallelism != 1.
+	Parallelism int
 }
 
 // Engine is one Harmony matching session over a (source, target) pair.
 type Engine struct {
-	ctx      *match.Context
-	voters   []match.Voter
-	merger   *match.Merger
-	flooding bool
-	floodOpt match.FloodOptions
-	metrics  *obs.Registry
+	ctx         *match.Context
+	voters      []match.Voter
+	merger      *match.Merger
+	flooding    bool
+	floodOpt    match.FloodOptions
+	metrics     *obs.Registry
+	parallelism int
 
 	// lastVotes holds each voter's matrix from the most recent Run, used
 	// by Learn.
@@ -77,15 +90,23 @@ func NewEngine(source, target *model.Schema, opts Options) *Engine {
 	}
 	metrics.Describe(MetricStageDuration, "Harmony pipeline stage wall-clock time, labeled by stage.")
 	metrics.Describe(MetricRuns, "Completed Harmony pipeline runs.")
+	metrics.Describe(MetricParallelism, "Resolved worker count of the most recent Harmony pipeline run.")
+	// Options.Parallelism governs the whole pipeline, so it is applied
+	// after the user's ContextOptions.
+	ctxOpts := append(append([]match.ContextOption(nil), opts.ContextOptions...),
+		match.WithParallelism(opts.Parallelism))
+	floodOpt := opts.FloodOptions
+	floodOpt.Parallelism = opts.Parallelism
 	return &Engine{
-		ctx:       match.NewContext(source, target, opts.ContextOptions...),
-		voters:    voters,
-		merger:    match.NewMerger(),
-		flooding:  opts.Flooding,
-		floodOpt:  opts.FloodOptions,
-		metrics:   metrics,
-		decisions: map[pairKey]Decision{},
-		complete:  map[string]bool{},
+		ctx:         match.NewContext(source, target, ctxOpts...),
+		voters:      voters,
+		merger:      match.NewMerger(),
+		flooding:    opts.Flooding,
+		floodOpt:    floodOpt,
+		metrics:     metrics,
+		parallelism: opts.Parallelism,
+		decisions:   map[pairKey]Decision{},
+		complete:    map[string]bool{},
 	}
 }
 
@@ -96,6 +117,9 @@ const (
 	MetricStageDuration = "harmony_stage_duration_seconds"
 	// MetricRuns counts completed pipeline runs.
 	MetricRuns = "harmony_runs_total"
+	// MetricParallelism is a gauge holding the resolved worker count of
+	// the most recent Run (1 = sequential).
+	MetricParallelism = "harmony_parallelism"
 )
 
 // Context exposes the linguistic context (for learning experiments).
@@ -111,6 +135,10 @@ type StageTiming struct {
 	Duration time.Duration
 }
 
+// Workers resolves Options.Parallelism to the concrete worker count the
+// pipeline fans out to (1 = sequential).
+func (e *Engine) Workers() int { return match.ResolveWorkers(e.parallelism) }
+
 // Run executes the full match pipeline (Figure 1): every voter votes, the
 // merger combines, flooding adjusts, and user decisions are re-applied as
 // pinned ±1 scores. It returns per-stage timings.
@@ -118,14 +146,40 @@ type StageTiming struct {
 // Every stage is timed through an obs span, and the returned
 // []StageTiming is derived from the tracer's finished spans — so the
 // -timings output and the harmony_stage_duration_seconds histograms are
-// two views of the same measurement and can never disagree.
+// two views of the same measurement and can never disagree. With
+// Parallelism != 1 the voters run concurrently, so the sum of stage
+// durations (CPU time) exceeds the run's wall-clock time; span order is
+// normalized back to panel order so timings stay deterministic.
 func (e *Engine) Run() []StageTiming {
 	tr := obs.NewTracer(e.metrics, MetricStageDuration)
-	votes := make([]match.Vote, 0, len(e.voters))
-	for _, v := range e.voters {
-		sp := tr.Start("voter:" + v.Name())
-		votes = append(votes, match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)})
-		sp.End()
+	workers := e.Workers()
+	e.metrics.Gauge(MetricParallelism).Set(float64(workers))
+
+	// Voter panel: one goroutine per voter, bounded by the worker pool,
+	// results collected positionally so lastVotes order — and therefore
+	// the merger's input — is byte-identical to the sequential run.
+	votes := make([]match.Vote, len(e.voters))
+	if workers <= 1 || len(e.voters) <= 1 {
+		for i, v := range e.voters {
+			sp := tr.Start("voter:" + v.Name())
+			votes[i] = match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)}
+			sp.End()
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, v := range e.voters {
+			wg.Add(1)
+			go func(i int, v match.Voter) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				sp := tr.Start("voter:" + v.Name())
+				votes[i] = match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)}
+				sp.End()
+			}(i, v)
+		}
+		wg.Wait()
 	}
 	e.lastVotes = votes
 
@@ -153,7 +207,19 @@ func (e *Engine) Run() []StageTiming {
 	e.merged = merged
 	e.metrics.Counter(MetricRuns).Inc()
 
+	// Concurrent voters finish in scheduler order; normalize the spans
+	// back to pipeline order (panel, merge, flooding, pin-decisions) so
+	// the returned timings are deterministic and identical between
+	// sequential and parallel runs.
+	rank := make(map[string]int, len(e.voters)+3)
+	for i, v := range e.voters {
+		rank["voter:"+v.Name()] = i
+	}
+	rank["merge"] = len(e.voters)
+	rank["flooding"] = len(e.voters) + 1
+	rank["pin-decisions"] = len(e.voters) + 2
 	spans := tr.Finished()
+	sort.SliceStable(spans, func(a, b int) bool { return rank[spans[a].Name] < rank[spans[b].Name] })
 	timings := make([]StageTiming, len(spans))
 	for i, rec := range spans {
 		timings[i] = StageTiming{rec.Name, rec.Duration}
@@ -180,21 +246,27 @@ func (e *Engine) Reject(srcID, tgtID string) error {
 	return e.decide(srcID, tgtID, false)
 }
 
+// decide records a user pin. IDs are validated against the schemas
+// directly — validating through Matrix() would run the whole pipeline as
+// a side effect on a fresh engine. The pin lands on the merged matrix
+// immediately when one exists; otherwise the pin-decisions stage of the
+// next Run applies it.
 func (e *Engine) decide(srcID, tgtID string, accepted bool) error {
-	m := e.Matrix()
-	if m.SourceIndex(srcID) < 0 {
+	if el := e.ctx.Source.Element(srcID); el == nil || el == e.ctx.Source.Root() {
 		return fmt.Errorf("harmony: unknown source element %q", srcID)
 	}
-	if m.TargetIndex(tgtID) < 0 {
+	if el := e.ctx.Target.Element(tgtID); el == nil || el == e.ctx.Target.Root() {
 		return fmt.Errorf("harmony: unknown target element %q", tgtID)
 	}
 	e.decSeq++
 	e.decisions[pairKey{srcID, tgtID}] = Decision{Accepted: accepted, Seq: e.decSeq}
-	v := -1.0
-	if accepted {
-		v = 1.0
+	if e.merged != nil {
+		v := -1.0
+		if accepted {
+			v = 1.0
+		}
+		e.merged.Set(srcID, tgtID, v)
 	}
-	m.Set(srcID, tgtID, v)
 	return nil
 }
 

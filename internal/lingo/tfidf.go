@@ -1,6 +1,9 @@
 package lingo
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // TF-IDF vector space used by the documentation bag-of-words voter. The
 // paper's learning mechanism ("a bag-of-words matcher that weights each
@@ -95,25 +98,63 @@ func (c *Corpus) Vector(tokens []string) Vector {
 }
 
 // Cosine returns the cosine similarity of two sparse vectors in [0,1].
+// Terms are accumulated in sorted order so the floating-point sums — and
+// therefore the result — are bit-identical across calls; map iteration
+// order would otherwise leak ULP-level nondeterminism into every score.
 func Cosine(a, b Vector) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	if len(b) < len(a) {
-		a, b = b, a
+	return CosineSorted(a.Sorted(), b.Sorted())
+}
+
+// SortedVector is a Vector frozen into sorted-term order with its
+// Euclidean norm precomputed. It makes repeated cosine computations
+// deterministic, hash-free and allocation-free — the representation the
+// documentation voter sweeps O(|S|·|T|) pairs with.
+type SortedVector struct {
+	Terms   []string
+	Weights []float64
+	Norm    float64
+}
+
+// Sorted freezes the vector into term-sorted order.
+func (v Vector) Sorted() SortedVector {
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		terms = append(terms, t)
 	}
-	var dot, na, nb float64
-	for t, wa := range a {
-		na += wa * wa
-		if wb, ok := b[t]; ok {
-			dot += wa * wb
-		}
+	sort.Strings(terms)
+	weights := make([]float64, len(terms))
+	var norm float64
+	for i, t := range terms {
+		w := v[t]
+		weights[i] = w
+		norm += w * w
 	}
-	for _, wb := range b {
-		nb += wb * wb
-	}
-	if na == 0 || nb == 0 {
+	return SortedVector{Terms: terms, Weights: weights, Norm: math.Sqrt(norm)}
+}
+
+// CosineSorted returns the cosine similarity of two sorted vectors via a
+// merge join over their term lists. Equivalent to Cosine up to summation
+// order, and deterministic because that order is fixed.
+func CosineSorted(a, b SortedVector) float64 {
+	if len(a.Terms) == 0 || len(b.Terms) == 0 || a.Norm == 0 || b.Norm == 0 {
 		return 0
 	}
-	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+	var dot float64
+	i, j := 0, 0
+	for i < len(a.Terms) && j < len(b.Terms) {
+		switch {
+		case a.Terms[i] == b.Terms[j]:
+			dot += a.Weights[i] * b.Weights[j]
+			i++
+			j++
+		case a.Terms[i] < b.Terms[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return dot / (a.Norm * b.Norm)
 }

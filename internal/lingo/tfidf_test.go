@@ -110,3 +110,45 @@ func TestVectorTermFrequencyDamping(t *testing.T) {
 		t.Error("TF should be log-damped, not linear")
 	}
 }
+
+func TestCosineDeterministicAcrossCalls(t *testing.T) {
+	c := NewCorpus()
+	docs := [][]string{
+		{"price", "total", "order", "tax", "sum"},
+		{"price", "cost", "amount", "order"},
+		{"ship", "address", "city", "zip", "order", "total"},
+	}
+	for _, d := range docs {
+		c.AddDocument(d)
+	}
+	a := c.Vector(docs[0])
+	b := c.Vector(docs[2])
+	want := Cosine(a, b)
+	for i := 0; i < 100; i++ {
+		if got := Cosine(a, b); got != want {
+			t.Fatalf("Cosine nondeterministic: %v vs %v", got, want)
+		}
+		// Rebuilt maps must not change the result either.
+		if got := Cosine(c.Vector(docs[0]), c.Vector(docs[2])); got != want {
+			t.Fatalf("Cosine over rebuilt vectors: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestCosineSortedMatchesCosine(t *testing.T) {
+	c := NewCorpus()
+	c.AddDocument([]string{"alpha", "beta", "gamma"})
+	c.AddDocument([]string{"beta", "delta"})
+	a := c.Vector([]string{"alpha", "beta", "beta", "gamma"})
+	b := c.Vector([]string{"beta", "delta", "gamma"})
+	if got, want := CosineSorted(a.Sorted(), b.Sorted()), Cosine(a, b); got != want {
+		t.Errorf("CosineSorted = %v, Cosine = %v", got, want)
+	}
+	// Symmetry and empty-vector behavior.
+	if CosineSorted(a.Sorted(), b.Sorted()) != CosineSorted(b.Sorted(), a.Sorted()) {
+		t.Error("CosineSorted not symmetric")
+	}
+	if CosineSorted(Vector{}.Sorted(), a.Sorted()) != 0 {
+		t.Error("empty vector should score 0")
+	}
+}

@@ -1,6 +1,8 @@
 package match
 
 import (
+	"sync"
+
 	"repro/internal/lingo"
 	"repro/internal/model"
 )
@@ -8,24 +10,48 @@ import (
 // Context carries the preprocessed linguistic state shared by all voters
 // for one (source, target) schema pair. Building it once per engine run
 // corresponds to Figure 1's "linguistic preprocessing" stage.
+//
+// A Context is safe for concurrent readers: all per-element caches
+// (name tokens, thesaurus expansions, TF-IDF vectors) are fully built by
+// NewContext — they are bounded by element count, not pair count — so the
+// voter panel can share one Context across goroutines. The only mutating
+// entry points are InvalidateVectors and the Corpus/Thesaurus fields
+// themselves; InvalidateVectors re-opens the vector cache's lazy path,
+// which is guarded by a lock, while replacing Corpus or Thesaurus after
+// construction is not concurrency-safe and has no effect on the
+// precomputed expansions.
 type Context struct {
 	Source *model.Schema
 	Target *model.Schema
-	// Thesaurus backs the thesaurus voter; nil disables expansion.
+	// Thesaurus backs the thesaurus voter; nil disables expansion. Set it
+	// via WithThesaurus — expansions are precomputed in NewContext.
 	Thesaurus *lingo.Thesaurus
 	// Corpus accumulates documentation for TF-IDF. Exposed so the engine
-	// can adjust word weights from user feedback (§4.3).
+	// can adjust word weights from user feedback (§4.3); call
+	// InvalidateVectors after adjusting.
 	Corpus *lingo.Corpus
+	// Parallelism is the worker count the row-sharded pair sweeps
+	// (forEachPair) fan out to: 0 = GOMAXPROCS, 1 = sequential, n = n.
+	// Results are bit-identical at any setting.
+	Parallelism int
 
 	nameTokens map[*model.Element][]string
 	// nameTokensRaw holds unstemmed name tokens; the thesaurus voter
 	// looks these up since synonym tables hold surface forms.
 	nameTokensRaw map[*model.Element][]string
 	// expandedTokens caches thesaurus expansions per element — computing
-	// them per pair would cost O(|S|·|T|) expansions.
+	// them per pair would cost O(|S|·|T|) expansions. Fully built by
+	// NewContext, read-only afterwards.
 	expandedTokens map[*model.Element][]string
 	docTokens      map[*model.Element][]string
-	docVectors     map[*model.Element]lingo.Vector
+	// vecMu guards docVectors/docVecSorted: the vectors are precomputed
+	// by NewContext, but InvalidateVectors re-opens the lazy rebuild
+	// path, which concurrent voters then race through.
+	vecMu      sync.RWMutex
+	docVectors map[*model.Element]lingo.Vector
+	// docVecSorted holds the term-sorted, norm-precomputed form the
+	// documentation voter's O(|S|·|T|) cosine sweep runs on.
+	docVecSorted map[*model.Element]lingo.SortedVector
 	// Stem controls whether preprocessing stems tokens (ablation hook).
 	Stem bool
 }
@@ -43,9 +69,16 @@ func WithoutStemming() ContextOption {
 	return func(c *Context) { c.Stem = false }
 }
 
+// WithParallelism sets the worker count for row-sharded pair sweeps
+// (0 = GOMAXPROCS, 1 = sequential).
+func WithParallelism(n int) ContextOption {
+	return func(c *Context) { c.Parallelism = n }
+}
+
 // NewContext preprocesses both schemata: element names and documentation
-// are tokenized, stop-word filtered and stemmed, and the documentation
-// corpus is built so voters can compute TF-IDF weights.
+// are tokenized, stop-word filtered and stemmed, the documentation corpus
+// is built, and the per-element thesaurus expansions and TF-IDF vectors
+// are precomputed so later reads are lock-free.
 func NewContext(source, target *model.Schema, opts ...ContextOption) *Context {
 	c := &Context{
 		Source:         source,
@@ -57,6 +90,7 @@ func NewContext(source, target *model.Schema, opts ...ContextOption) *Context {
 		expandedTokens: map[*model.Element][]string{},
 		docTokens:      map[*model.Element][]string{},
 		docVectors:     map[*model.Element]lingo.Vector{},
+		docVecSorted:   map[*model.Element]lingo.SortedVector{},
 		Stem:           true,
 	}
 	for _, o := range opts {
@@ -87,7 +121,30 @@ func NewContext(source, target *model.Schema, opts ...ContextOption) *Context {
 			}
 		}
 	}
+	// Second pass, after the corpus is complete (IDF needs both schemata's
+	// documents): precompute expansions and vectors eagerly. Both are
+	// O(elements), and doing it here makes the read paths race-free.
+	for _, s := range []*model.Schema{source, target} {
+		for _, e := range s.Elements() {
+			toks := c.nameTokensRaw[e]
+			if c.Thesaurus != nil {
+				toks = c.Thesaurus.Expand(toks)
+			}
+			c.expandedTokens[e] = toks
+			v := c.Corpus.Vector(c.docTokens[e])
+			c.docVectors[e] = v
+			c.docVecSorted[e] = v.Sorted()
+		}
+	}
 	return c
+}
+
+// Workers resolves the context's Parallelism to a concrete worker count.
+func (c *Context) Workers() int {
+	if c == nil {
+		return 1
+	}
+	return ResolveWorkers(c.Parallelism)
 }
 
 // NameTokens returns the preprocessed name tokens of an element.
@@ -96,40 +153,67 @@ func (c *Context) NameTokens(e *model.Element) []string { return c.nameTokens[e]
 // NameTokensRaw returns the unstemmed name tokens of an element.
 func (c *Context) NameTokensRaw(e *model.Element) []string { return c.nameTokensRaw[e] }
 
-// ExpandedNameTokens returns (computing once) the element's unstemmed
-// name tokens expanded through the thesaurus.
+// ExpandedNameTokens returns the element's unstemmed name tokens expanded
+// through the thesaurus. The expansion is precomputed by NewContext, so
+// this is a plain map read, safe under any number of goroutines.
 func (c *Context) ExpandedNameTokens(e *model.Element) []string {
-	if toks, ok := c.expandedTokens[e]; ok {
-		return toks
-	}
-	toks := c.nameTokensRaw[e]
-	if c.Thesaurus != nil {
-		toks = c.Thesaurus.Expand(toks)
-	}
-	if c.expandedTokens == nil {
-		c.expandedTokens = map[*model.Element][]string{}
-	}
-	c.expandedTokens[e] = toks
-	return toks
+	return c.expandedTokens[e]
 }
 
 // DocTokens returns the preprocessed documentation tokens of an element.
 func (c *Context) DocTokens(e *model.Element) []string { return c.docTokens[e] }
 
-// DocVector returns (lazily building) the TF-IDF vector of an element's
-// documentation. Vectors are invalidated by InvalidateVectors after the
-// corpus's word weights change.
+// DocVector returns the TF-IDF vector of an element's documentation.
+// Vectors are precomputed by NewContext; after InvalidateVectors they are
+// rebuilt lazily under a lock, so concurrent voters stay race-free while
+// learning takes effect.
 func (c *Context) DocVector(e *model.Element) lingo.Vector {
-	if v, ok := c.docVectors[e]; ok {
+	c.vecMu.RLock()
+	v, ok := c.docVectors[e]
+	c.vecMu.RUnlock()
+	if ok {
 		return v
 	}
-	v := c.Corpus.Vector(c.docTokens[e])
-	c.docVectors[e] = v
+	v, _ = c.rebuildVector(e)
 	return v
 }
 
+// DocVectorSorted returns the element's TF-IDF vector in the term-sorted,
+// norm-precomputed form lingo.CosineSorted consumes — the documentation
+// voter's hot-path representation. Same caching discipline as DocVector.
+func (c *Context) DocVectorSorted(e *model.Element) lingo.SortedVector {
+	c.vecMu.RLock()
+	sv, ok := c.docVecSorted[e]
+	c.vecMu.RUnlock()
+	if ok {
+		return sv
+	}
+	_, sv = c.rebuildVector(e)
+	return sv
+}
+
+// rebuildVector recomputes and caches both vector forms for one element
+// under the write lock (the post-InvalidateVectors lazy path).
+func (c *Context) rebuildVector(e *model.Element) (lingo.Vector, lingo.SortedVector) {
+	c.vecMu.Lock()
+	defer c.vecMu.Unlock()
+	if v, ok := c.docVectors[e]; ok {
+		return v, c.docVecSorted[e]
+	}
+	v := c.Corpus.Vector(c.docTokens[e])
+	sv := v.Sorted()
+	c.docVectors[e] = v
+	c.docVecSorted[e] = sv
+	return v, sv
+}
+
 // InvalidateVectors clears cached TF-IDF vectors; call after adjusting
-// word weights so learning takes effect on the next engine run.
+// word weights so learning takes effect on the next engine run. Safe to
+// call concurrently with DocVector readers (but not with writers to
+// Corpus itself).
 func (c *Context) InvalidateVectors() {
-	c.docVectors = map[*model.Element]lingo.Vector{}
+	c.vecMu.Lock()
+	c.docVectors = make(map[*model.Element]lingo.Vector, len(c.docTokens))
+	c.docVecSorted = make(map[*model.Element]lingo.SortedVector, len(c.docTokens))
+	c.vecMu.Unlock()
 }

@@ -13,25 +13,51 @@ import (
 // the schema graph. Intuitively, two attributes are unlikely to match if
 // their parent entities do not match."
 
+// DisableFlood is a sentinel for FloodOptions fields meaning "off": a
+// direction weight of DisableFlood (or any negative value) disables
+// propagation in that direction, and Iterations = DisableFlood runs zero
+// rounds. The zero value still selects the defaults, so existing callers
+// that leave fields unset keep today's behavior.
+const DisableFlood = -1
+
 // FloodOptions tunes HarmonyFlood.
 type FloodOptions struct {
-	// Iterations is the number of propagation rounds (default 2).
+	// Iterations is the number of propagation rounds (0 = default 2,
+	// negative = no rounds).
 	Iterations int
-	// UpWeight scales child→parent positive propagation (default 0.3).
+	// UpWeight scales child→parent positive propagation (0 = default 0.3,
+	// negative = direction disabled).
 	UpWeight float64
-	// DownWeight scales parent→child negative propagation (default 0.3).
+	// DownWeight scales parent→child negative propagation (0 = default
+	// 0.3, negative = direction disabled).
 	DownWeight float64
+	// Parallelism shards each propagation round row-wise across a worker
+	// pool (0 = GOMAXPROCS, 1 = sequential). Each goroutine owns disjoint
+	// rows of the next-round matrix, so results are bit-identical at any
+	// setting.
+	Parallelism int
 }
 
+// defaults resolves the unset-vs-disabled convention: zero fields take
+// the documented defaults, negative sentinels collapse to an inert 0.
 func (o *FloodOptions) defaults() {
-	if o.Iterations == 0 {
+	switch {
+	case o.Iterations == 0:
 		o.Iterations = 2
+	case o.Iterations < 0:
+		o.Iterations = 0
 	}
-	if o.UpWeight == 0 {
+	switch {
+	case o.UpWeight == 0:
 		o.UpWeight = 0.3
+	case o.UpWeight < 0:
+		o.UpWeight = 0
 	}
-	if o.DownWeight == 0 {
+	switch {
+	case o.DownWeight == 0:
 		o.DownWeight = 0.3
+	case o.DownWeight < 0:
+		o.DownWeight = 0
 	}
 }
 
@@ -45,39 +71,50 @@ func (o *FloodOptions) defaults() {
 // pair down.
 func HarmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions) *Matrix {
 	opts.defaults()
+	workers := ResolveWorkers(opts.Parallelism)
 	for it := 0; it < opts.Iterations; it++ {
 		next := m.Clone()
-		// Up: children lift parents.
-		for i, s := range m.Sources {
-			if s.IsLeaf() {
-				continue
-			}
-			for j, t := range m.Targets {
-				if t.IsLeaf() || !kindCompatible(s, t) {
-					continue
+		// Both propagation sweeps read only the frozen round-start matrix m
+		// and write row i of next, so sharding by row is race-free; the
+		// down sweep runs after the up sweep completes, preserving the
+		// sequential overwrite order for cells both sweeps touch.
+		if opts.UpWeight > 0 {
+			// Up: children lift parents.
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := m.Sources[i]
+				if s.IsLeaf() {
+					return
 				}
-				lift := childLift(m, s, t)
-				if lift > 0 {
-					next.Scores[i][j] = blend(m.Scores[i][j], lift, opts.UpWeight)
+				for j, t := range m.Targets {
+					if t.IsLeaf() || !kindCompatible(s, t) {
+						continue
+					}
+					lift := childLift(m, s, t)
+					if lift > 0 {
+						next.Scores[i][j] = blend(m.Scores[i][j], lift, opts.UpWeight)
+					}
 				}
-			}
+			})
 		}
-		// Down: negative parents drag children.
-		for i, s := range m.Sources {
-			ps := s.Parent()
-			if ps == nil || ps.Kind == model.KindSchema {
-				continue
-			}
-			for j, t := range m.Targets {
-				pt := t.Parent()
-				if pt == nil || pt.Kind == model.KindSchema {
-					continue
+		if opts.DownWeight > 0 {
+			// Down: negative parents drag children.
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := m.Sources[i]
+				ps := s.Parent()
+				if ps == nil || ps.Kind == model.KindSchema {
+					return
 				}
-				parentScore := m.Get(ps.ID, pt.ID)
-				if parentScore < 0 {
-					next.Scores[i][j] = blend(m.Scores[i][j], parentScore, opts.DownWeight)
+				for j, t := range m.Targets {
+					pt := t.Parent()
+					if pt == nil || pt.Kind == model.KindSchema {
+						continue
+					}
+					parentScore := m.Get(ps.ID, pt.ID)
+					if parentScore < 0 {
+						next.Scores[i][j] = blend(m.Scores[i][j], parentScore, opts.DownWeight)
+					}
 				}
-			}
+			})
 		}
 		next.Clamp(-0.99, 0.99)
 		m = next

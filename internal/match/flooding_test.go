@@ -141,4 +141,45 @@ func TestFloodOptionsDefaults(t *testing.T) {
 	if o.Iterations != 2 || o.UpWeight != 0.3 || o.DownWeight != 0.3 {
 		t.Errorf("defaults: %+v", o)
 	}
+	// The DisableFlood sentinel must survive defaults() as an inert zero
+	// rather than being replaced by the default weight.
+	o = FloodOptions{Iterations: DisableFlood, UpWeight: DisableFlood, DownWeight: -0.5}
+	o.defaults()
+	if o.Iterations != 0 || o.UpWeight != 0 || o.DownWeight != 0 {
+		t.Errorf("disabled defaults: %+v", o)
+	}
+}
+
+func TestHarmonyFloodDisabledUpIsNoOp(t *testing.T) {
+	src, tgt := floodFixture()
+	m := MatrixOver(src, tgt)
+	// Strong child matches that would normally lift the parents.
+	m.Set("s/Entity1/alpha", "t/EntityA/alpha", 0.8)
+	m.Set("s/Entity1/beta", "t/EntityA/beta", 0.8)
+	out := HarmonyFlood(m, src, tgt, FloodOptions{Iterations: 1, UpWeight: DisableFlood})
+	if got := out.Get("s/Entity1", "t/EntityA"); got != 0 {
+		t.Errorf("up-propagation disabled but parents moved: %g", got)
+	}
+}
+
+func TestHarmonyFloodDisabledDownIsNoOp(t *testing.T) {
+	src, tgt := floodFixture()
+	m := MatrixOver(src, tgt)
+	// Mismatched parents that would normally drag the child pair down.
+	m.Set("s/Entity1", "t/EntityB", -0.8)
+	m.Set("s/Entity1/alpha", "t/EntityB/gamma", 0.4)
+	out := HarmonyFlood(m, src, tgt, FloodOptions{Iterations: 1, DownWeight: DisableFlood})
+	if got := out.Get("s/Entity1/alpha", "t/EntityB/gamma"); got != 0.4 {
+		t.Errorf("down-propagation disabled but child moved: %g", got)
+	}
+}
+
+func TestHarmonyFloodDisabledIterationsReturnsInput(t *testing.T) {
+	src, tgt := floodFixture()
+	m := MatrixOver(src, tgt)
+	m.Set("s/Entity1/alpha", "t/EntityA/alpha", 0.8)
+	out := HarmonyFlood(m, src, tgt, FloodOptions{Iterations: DisableFlood})
+	if out.Get("s/Entity1", "t/EntityA") != 0 || out.Get("s/Entity1/alpha", "t/EntityA/alpha") != 0.8 {
+		t.Errorf("disabled iterations still propagated:\n%s", out)
+	}
 }

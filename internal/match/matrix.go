@@ -10,6 +10,7 @@ package match
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"repro/internal/model"
@@ -182,17 +183,18 @@ func (m *Matrix) StableMatching(threshold float64) []Correspondence {
 			}
 		}
 	}
-	// Sort descending by score, then by indices for determinism.
-	for a := 1; a < len(cells); a++ {
-		for b := a; b > 0; b-- {
-			x, y := cells[b], cells[b-1]
-			if x.v > y.v || (x.v == y.v && (x.i < y.i || (x.i == y.i && x.j < y.j))) {
-				cells[b], cells[b-1] = cells[b-1], cells[b]
-			} else {
-				break
-			}
+	// Sort descending by score, then by indices — a total order, so the
+	// selection is deterministic even on fully tied matrices.
+	sort.Slice(cells, func(a, b int) bool {
+		x, y := cells[a], cells[b]
+		if x.v != y.v {
+			return x.v > y.v
 		}
-	}
+		if x.i != y.i {
+			return x.i < y.i
+		}
+		return x.j < y.j
+	})
 	usedS := make([]bool, len(m.Sources))
 	usedT := make([]bool, len(m.Targets))
 	var out []Correspondence

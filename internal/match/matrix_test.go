@@ -153,3 +153,39 @@ func TestMatrixString(t *testing.T) {
 		t.Errorf("matrix render:\n%s", out)
 	}
 }
+
+func TestStableMatchingDeterministicOnTies(t *testing.T) {
+	// Fully tied matrix: the (score desc, i asc, j asc) total order must
+	// pick the diagonal, identically on every run.
+	src, tgt := sourceSchema(), targetSchema()
+	m := MatrixOver(src, tgt)
+	for i := range m.Scores {
+		for j := range m.Scores[i] {
+			m.Scores[i][j] = 0.5
+		}
+	}
+	want := m.StableMatching(0.25)
+	n := len(m.Targets)
+	if len(m.Sources) < n {
+		n = len(m.Sources)
+	}
+	if len(want) != n {
+		t.Fatalf("tied matching size = %d, want %d", len(want), n)
+	}
+	for k, c := range want {
+		if c.Source != m.Sources[k] || c.Target != m.Targets[k] {
+			t.Errorf("pick %d = %v, want diagonal pair", k, c)
+		}
+	}
+	for round := 0; round < 20; round++ {
+		got := m.StableMatching(0.25)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: size changed", round)
+		}
+		for k := range got {
+			if got[k] != want[k] {
+				t.Fatalf("round %d: selection changed at %d: %v vs %v", round, k, got[k], want[k])
+			}
+		}
+	}
+}

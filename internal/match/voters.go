@@ -2,6 +2,7 @@ package match
 
 import (
 	"strings"
+	"unicode/utf8"
 
 	"repro/internal/lingo"
 	"repro/internal/model"
@@ -49,17 +50,22 @@ func kindCompatible(a, b *model.Element) bool {
 }
 
 // forEachPair drives a voter body over all kind-compatible pairs;
-// incompatible pairs receive a firm negative vote.
+// incompatible pairs receive a firm negative vote. Rows are sharded
+// across the context's worker pool — each goroutine owns disjoint
+// Scores[i] rows, so score must only read from the context (every
+// built-in voter does).
 func forEachPair(ctx *Context, m *Matrix, score func(s, t *model.Element) float64) {
-	for i, s := range m.Sources {
+	shardRows(ctx.Workers(), len(m.Sources), func(i int) {
+		s := m.Sources[i]
+		row := m.Scores[i]
 		for j, t := range m.Targets {
 			if !kindCompatible(s, t) {
-				m.Scores[i][j] = -0.75
+				row[j] = -0.75
 				continue
 			}
-			m.Scores[i][j] = score(s, t)
+			row[j] = score(s, t)
 		}
-	}
+	})
 }
 
 // NameVoter compares element names: token-set Jaccard blended with
@@ -89,20 +95,31 @@ func (NameVoter) Vote(ctx *Context) *Matrix {
 
 // containmentSim scores one name containing the other: the length ratio,
 // shifted into the positive band. Names shorter than 4 runes are too
-// ambiguous to count.
+// ambiguous to count — measured in runes, so a 2-character CJK name does
+// not slip past the guard on byte length.
 func containmentSim(a, b string) float64 {
 	short, long := a, b
-	if len(short) > len(long) {
+	shortLen, longLen := utf8.RuneCountInString(short), utf8.RuneCountInString(long)
+	if shortLen > longLen {
 		short, long = long, short
+		shortLen, longLen = longLen, shortLen
 	}
-	if len(short) < 4 || !strings.Contains(long, short) {
+	if shortLen < 4 || !strings.Contains(long, short) {
 		return 0
 	}
-	ratio := float64(len(short)) / float64(len(long))
+	ratio := float64(shortLen) / float64(longLen)
 	return 0.5 + 0.45*ratio
 }
 
+// lower is an ASCII fast path for the hot name comparisons, falling back
+// to strings.ToLower as soon as a non-ASCII byte appears so that "É",
+// "Ü" etc. still fold.
 func lower(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return strings.ToLower(s)
+		}
+	}
 	b := []byte(s)
 	for i, c := range b {
 		if c >= 'A' && c <= 'Z' {
@@ -124,11 +141,11 @@ func (DocVoter) Name() string { return "documentation" }
 func (DocVoter) Vote(ctx *Context) *Matrix {
 	m := MatrixOver(ctx.Source, ctx.Target)
 	forEachPair(ctx, m, func(s, t *model.Element) float64 {
-		vs, vt := ctx.DocVector(s), ctx.DocVector(t)
-		if len(vs) == 0 || len(vt) == 0 {
+		vs, vt := ctx.DocVectorSorted(s), ctx.DocVectorSorted(t)
+		if len(vs.Terms) == 0 || len(vt.Terms) == 0 {
 			return 0 // no evidence either way
 		}
-		sim := lingo.Cosine(vs, vt)
+		sim := lingo.CosineSorted(vs, vt)
 		// Documentation matchers have good recall but weaker precision
 		// (§4.1): generous positive calibration, soft negative.
 		return calibrate(sim, 0.2, 0.9, 0.2)

@@ -266,3 +266,52 @@ func TestContextVectorCacheInvalidation(t *testing.T) {
 		t.Errorf("weight change not reflected after invalidation: %g vs %g", v3[stem], v1[stem])
 	}
 }
+
+func TestContainmentSimCountsRunesNotBytes(t *testing.T) {
+	// "価格" is 2 runes but 6 bytes: under the old byte-length guard it
+	// passed the "at least 4" check and scored containment against
+	// "価格コード" (price code). Two-character CJK names are exactly the
+	// ambiguous short names the guard exists for.
+	if got := containmentSim("価格", "価格コード"); got != 0 {
+		t.Errorf("2-rune CJK name passed the 4-rune guard: %g", got)
+	}
+	// A genuinely long CJK containment still scores, with the length
+	// ratio measured in runes (6/8), not bytes.
+	want := 0.5 + 0.45*(6.0/8.0)
+	if got := containmentSim("データベース", "データベース管理"); got != want {
+		t.Errorf("CJK containment = %g, want %g", got, want)
+	}
+	// ASCII behavior is unchanged.
+	if got := containmentSim("total", "subtotal"); got != 0.5+0.45*(5.0/8.0) {
+		t.Errorf("ascii containment = %g", got)
+	}
+	if got := containmentSim("qty", "quantity"); got != 0 {
+		t.Errorf("3-rune ascii name passed the guard: %g", got)
+	}
+}
+
+func TestLowerFallsBackForNonASCII(t *testing.T) {
+	if got := lower("ÉCOLE"); got != "école" {
+		t.Errorf("lower(ÉCOLE) = %q", got)
+	}
+	if got := lower("ShipTo"); got != "shipto" {
+		t.Errorf("lower(ShipTo) = %q", got)
+	}
+}
+
+func TestNameVoterNonASCIINames(t *testing.T) {
+	// Accented names differing only in case must fold to an exact match;
+	// before the lower() fix, "É" stayed uppercase and the similarity
+	// dropped below certainty.
+	src := model.NewSchema("s", "er")
+	e := src.AddElement(nil, "Commande", model.KindEntity, model.ContainsElement)
+	src.AddElement(e, "ÉCOLE", model.KindAttribute, model.ContainsAttribute)
+	tgt := model.NewSchema("t", "er")
+	f := tgt.AddElement(nil, "Commande", model.KindEntity, model.ContainsElement)
+	tgt.AddElement(f, "école", model.KindAttribute, model.ContainsAttribute)
+	ctx := NewContext(src, tgt)
+	m := (NameVoter{}).Vote(ctx)
+	if got := m.Get("s/Commande/ÉCOLE", "t/Commande/école"); got < 0.85 {
+		t.Errorf("case-folded accented names should match strongly: %g", got)
+	}
+}

@@ -108,7 +108,10 @@ type (
 	Matrix = match.Matrix
 )
 
-// NewEngine preprocesses a schema pair and returns a Harmony engine.
+// NewEngine preprocesses a schema pair and returns a Harmony engine. The
+// pipeline parallelizes across EngineOptions.Parallelism workers
+// (0 = GOMAXPROCS, 1 = sequential) with bit-identical results at any
+// setting; see DESIGN.md "Concurrency model".
 func NewEngine(source, target *Schema, opts EngineOptions) *Engine {
 	return harmony.NewEngine(source, target, opts)
 }
