@@ -16,10 +16,19 @@
 //	workbench gen <id> <srcEntity> <tgtEntity>    assemble + print XQuery
 //	workbench query '<pattern lines>' v1 v2       ad hoc IB query
 //	workbench metrics                        dump obs metrics for this blackboard
+//	workbench sim [tools] [ops]              chaos-simulate a workbench in memory
 //
 // Global flags: -state <file> (default workbench.nt); for the metrics
 // subcommand, -json switches to JSON exposition and -serve <addr>
 // blocks serving /metrics and /healthz over HTTP instead of printing.
+//
+// Fault injection: -chaos-sites arms failpoints for any subcommand
+// (chaos.ParseSpec syntax, e.g. "all=error:0.2" or
+// "blackboard.setcell=panic:n3") and -chaos-seed makes the fault
+// schedule reproducible — rerunning the same command with the same seed
+// and site list injects the same faults. The sim subcommand runs the
+// seed-replayable randomized workload with invariant checking; a
+// failing sim prints the exact flags to replay it.
 package main
 
 import (
@@ -32,6 +41,8 @@ import (
 
 	workbench "repro"
 	"repro/internal/blackboard"
+	"repro/internal/chaos"
+	"repro/internal/chaos/sim"
 	"repro/internal/mapgen"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -42,10 +53,23 @@ func main() {
 	state := flag.String("state", "workbench.nt", "blackboard snapshot file")
 	asJSON := flag.Bool("json", false, "metrics: JSON exposition instead of Prometheus text")
 	serveAddr := flag.String("serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
+	chaosSeed := flag.Int64("chaos-seed", 0, "seed for the chaos fault schedule (with -chaos-sites) and the sim workload")
+	chaosSites := flag.String("chaos-sites", "", "arm chaos failpoints: comma-separated site spec (chaos.ParseSpec syntax; 'all' for every site)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
+	}
+
+	if len(args) > 0 && args[0] == "sim" {
+		runSim(*chaosSeed, *chaosSites, args[1:])
+		return
+	}
+	if *chaosSites != "" {
+		rules, err := chaos.ParseSpec(*chaosSites)
+		exitIf(err)
+		armed := chaos.Apply(*chaosSeed, rules)
+		fmt.Fprintf(os.Stderr, "workbench: chaos armed (seed %d): %d sites\n", *chaosSeed, len(armed))
 	}
 
 	bb := blackboard.New()
@@ -92,7 +116,7 @@ func main() {
 		engine.Run()
 		links := engine.Matrix().Above(threshold)
 		for _, l := range links {
-			mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony")
+			exitIf(mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"))
 			fmt.Println(" ", l)
 		}
 		fmt.Printf("published %d cells at threshold %.2f\n", len(links), threshold)
@@ -104,7 +128,7 @@ func main() {
 		if cmd == "reject" {
 			conf = -1.0
 		}
-		mp.SetCell(rest[1], rest[2], conf, true, "engineer")
+		exitIf(mp.SetCell(rest[1], rest[2], conf, true, "engineer"))
 		fmt.Printf("%sed %s ↔ %s\n", cmd, rest[1], rest[2])
 	case "cells":
 		need(rest, 1, "cells <id>")
@@ -216,9 +240,31 @@ func need(args []string, n int, usageLine string) {
 	}
 }
 
+// runSim executes the in-memory chaos workload simulator. It never
+// touches the state file: the simulated blackboard lives and dies in
+// this process. Positional args override the worker/op counts.
+func runSim(seed int64, spec string, rest []string) {
+	cfg := sim.Config{Seed: seed, Spec: spec}
+	if len(rest) > 0 {
+		n, err := strconv.Atoi(rest[0])
+		exitIf(err)
+		cfg.Tools = n
+	}
+	if len(rest) > 1 {
+		n, err := strconv.Atoi(rest[1])
+		exitIf(err)
+		cfg.Ops = n
+	}
+	rep := sim.Run(cfg)
+	fmt.Print(rep.String())
+	if rep.Failed() {
+		os.Exit(1)
+	}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: workbench [-state file] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics`)
+	fmt.Fprintln(os.Stderr, `usage: workbench [-state file] [-chaos-seed n] [-chaos-sites spec] <command> ...
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim`)
 	os.Exit(2)
 }
 

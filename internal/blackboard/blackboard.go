@@ -16,7 +16,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/chaos"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/rdf"
@@ -31,6 +33,21 @@ const (
 	// MetricRevisions counts IB mutations (the provenance counter).
 	MetricRevisions = "ib_revisions_total"
 )
+
+// Chaos failpoint sites threaded through the blackboard's multi-triple
+// mutation paths (see DESIGN.md "Fault model"). Each sits mid-write so
+// that an injected fault exercises the savepoint rollback.
+const (
+	SitePutSchema     chaos.Site = "blackboard.putschema"
+	SiteSetCell       chaos.Site = "blackboard.setcell"
+	SiteDeleteMapping chaos.Site = "blackboard.deletemapping"
+)
+
+func init() {
+	chaos.RegisterSite(SitePutSchema, "mid-write in Blackboard.PutSchema, after archival")
+	chaos.RegisterSite(SiteSetCell, "mid-write in Mapping.SetCell, after node creation")
+	chaos.RegisterSite(SiteDeleteMapping, "mid-delete in Blackboard.DeleteMapping")
+}
 
 // Controlled vocabulary for the mapping portion of the IB (§5.1.2).
 const wbNS = "urn:workbench:"
@@ -69,8 +86,11 @@ var (
 // transactions, events and locking on top.
 type Blackboard struct {
 	g *rdf.Graph
-	// revision counts mutations for provenance ordering.
-	revision int
+	// revision counts mutations for provenance ordering. It is atomic so
+	// that concurrent readers (tools observing progress while another
+	// tool's transaction writes) never race; it is monotonic — rollbacks
+	// restore the triple set but never rewind the revision counter.
+	revision atomic.Int64
 	// triples and revs are cached metric handles (atomic updates; cached
 	// so the per-mutation cost is one gauge store, not a map lookup).
 	triples *obs.Gauge
@@ -103,14 +123,43 @@ func (b *Blackboard) Graph() *rdf.Graph { return b.g }
 // nextRevision advances and returns the provenance counter, refreshing
 // the triple-count gauge as every mutation path funnels through here.
 func (b *Blackboard) nextRevision() int {
-	b.revision++
+	rev := b.revision.Add(1)
 	b.revs.Inc()
 	b.triples.Set(float64(b.g.Len()))
-	return b.revision
+	return int(rev)
 }
 
-// Revision returns the current mutation counter.
-func (b *Blackboard) Revision() int { return b.revision }
+// Revision returns the current mutation counter. Safe for concurrent
+// readers; it never decreases, even across rollbacks.
+func (b *Blackboard) Revision() int { return int(b.revision.Load()) }
+
+// SyncMetrics re-derives snapshot gauges (the triple count) from the
+// graph. The workbench manager calls it after rolling a transaction
+// back, since rollback bypasses the blackboard's mutation paths.
+func (b *Blackboard) SyncMetrics() { b.triples.Set(float64(b.g.Len())) }
+
+// atomically runs op inside a graph savepoint: if op returns an error or
+// panics, every triple it touched is rolled back before the failure
+// propagates, so a fault mid-write can never leave a partial mutation
+// visible. Concurrent mutators must be serialized by the caller (the
+// workbench manager's single-transaction rule does this).
+func (b *Blackboard) atomically(op func() error) (err error) {
+	sp := b.g.Savepoint()
+	defer func() {
+		if r := recover(); r != nil {
+			b.g.Rollback(sp)
+			b.SyncMetrics()
+			panic(r)
+		}
+		if err != nil {
+			b.g.Rollback(sp)
+			b.SyncMetrics()
+		} else {
+			b.g.Release(sp)
+		}
+	}()
+	return op()
+}
 
 // ---- Schemata ----
 
@@ -124,27 +173,38 @@ func (b *Blackboard) PutSchema(s *model.Schema) (int, error) {
 	}
 	node := model.SchemaIRI(s.Name)
 	version := 1
-	if rdf.TypeOf(b.g, node) != (rdf.Term{}) {
-		// Existing schema: archive under a versioned name.
-		old, err := model.FromRDF(b.g, s.Name)
-		if err != nil {
-			return 0, fmt.Errorf("blackboard: archiving %q: %w", s.Name, err)
+	err := b.atomically(func() error {
+		if rdf.TypeOf(b.g, node) != (rdf.Term{}) {
+			// Existing schema: archive under a versioned name.
+			old, err := model.FromRDF(b.g, s.Name)
+			if err != nil {
+				return fmt.Errorf("blackboard: archiving %q: %w", s.Name, err)
+			}
+			prevVersion, _ := b.g.One(node, predVersion).Int()
+			if prevVersion == 0 {
+				prevVersion = 1
+			}
+			version = prevVersion + 1
+			archived := *old
+			archived.Name = fmt.Sprintf("%s@v%d", s.Name, prevVersion)
+			b.deleteSchemaTriples(s.Name)
+			archNode := model.ToRDF(b.g, &archived)
+			b.g.SetOne(archNode, predVersion, rdf.IntLiteral(prevVersion))
+			b.g.Add(rdf.Triple{S: node, P: predArchivedAs, O: archNode})
 		}
-		prevVersion, _ := b.g.One(node, predVersion).Int()
-		if prevVersion == 0 {
-			prevVersion = 1
+		// Failpoint mid-write: the old version is already archived and its
+		// triples deleted; a fault here must roll the whole put back.
+		if err := chaos.Inject(SitePutSchema); err != nil {
+			return err
 		}
-		version = prevVersion + 1
-		archived := *old
-		archived.Name = fmt.Sprintf("%s@v%d", s.Name, prevVersion)
-		b.deleteSchemaTriples(s.Name)
-		archNode := model.ToRDF(b.g, &archived)
-		b.g.SetOne(archNode, predVersion, rdf.IntLiteral(prevVersion))
-		b.g.Add(rdf.Triple{S: node, P: predArchivedAs, O: archNode})
+		model.ToRDF(b.g, s)
+		b.g.SetOne(node, predVersion, rdf.IntLiteral(version))
+		b.nextRevision()
+		return nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	model.ToRDF(b.g, s)
-	b.g.SetOne(node, predVersion, rdf.IntLiteral(version))
-	b.nextRevision()
 	return version, nil
 }
 
@@ -252,16 +312,26 @@ func (b *Blackboard) Mappings() []string {
 	return out
 }
 
-// DeleteMapping removes a mapping and its cells/rows/columns.
-func (b *Blackboard) DeleteMapping(id string) {
+// DeleteMapping removes a mapping and its cells/rows/columns. On error
+// (injected fault) nothing is deleted.
+func (b *Blackboard) DeleteMapping(id string) error {
 	node := mappingIRI(id)
-	for _, p := range []rdf.Term{predHasCell, predHasRow, predHasColumn} {
-		for _, child := range b.g.Objects(node, p) {
-			b.g.RemoveMatching(child, rdf.Wild, rdf.Wild)
+	return b.atomically(func() error {
+		for _, p := range []rdf.Term{predHasCell, predHasRow, predHasColumn} {
+			for _, child := range b.g.Objects(node, p) {
+				b.g.RemoveMatching(child, rdf.Wild, rdf.Wild)
+			}
 		}
-	}
-	b.g.RemoveMatching(node, rdf.Wild, rdf.Wild)
-	b.nextRevision()
+		// Failpoint mid-delete: children are gone but the mapping node and
+		// its has-* edges remain — the orphan-free invariant relies on this
+		// rolling back.
+		if err := chaos.Inject(SiteDeleteMapping); err != nil {
+			return err
+		}
+		b.g.RemoveMatching(node, rdf.Wild, rdf.Wild)
+		b.nextRevision()
+		return nil
+	})
 }
 
 // ---- Cells ----
@@ -299,13 +369,22 @@ func (m *Mapping) cellNode(srcID, tgtID string, create bool) rdf.Term {
 }
 
 // SetCell writes a correspondence: confidence in [-1,1] and whether it is
-// user-defined. tool is recorded as provenance.
-func (m *Mapping) SetCell(srcID, tgtID string, confidence float64, userDefined bool, tool string) {
-	c := m.cellNode(srcID, tgtID, true)
-	m.b.g.SetOne(c, predConfidence, rdf.FloatLiteral(confidence))
-	m.b.g.SetOne(c, predUserDefined, rdf.BoolLiteral(userDefined))
-	m.b.g.SetOne(c, predSetBy, rdf.Literal(tool))
-	m.b.g.SetOne(c, predRevision, rdf.IntLiteral(m.b.nextRevision()))
+// user-defined. tool is recorded as provenance. On error (injected
+// fault) the cell — including a freshly created node — is rolled back.
+func (m *Mapping) SetCell(srcID, tgtID string, confidence float64, userDefined bool, tool string) error {
+	return m.b.atomically(func() error {
+		c := m.cellNode(srcID, tgtID, true)
+		m.b.g.SetOne(c, predConfidence, rdf.FloatLiteral(confidence))
+		// Failpoint mid-write: the node exists and the confidence is set
+		// but provenance is not — a fault here must undo all of it.
+		if err := chaos.Inject(SiteSetCell); err != nil {
+			return err
+		}
+		m.b.g.SetOne(c, predUserDefined, rdf.BoolLiteral(userDefined))
+		m.b.g.SetOne(c, predSetBy, rdf.Literal(tool))
+		m.b.g.SetOne(c, predRevision, rdf.IntLiteral(m.b.nextRevision()))
+		return nil
+	})
 }
 
 // GetCell reads a cell; ok is false when the pair has never been scored.
@@ -486,6 +565,68 @@ func (b *Blackboard) Focus() string {
 func (b *Blackboard) ClearFocus() {
 	b.g.RemoveMatching(rdf.IRI(wbNS+"context"), predFocus, rdf.Wild)
 	b.nextRevision()
+}
+
+// ---- Integrity ----
+
+// CheckIntegrity scans the IB for structural violations of the mapping
+// vocabulary: orphaned cell/row/column nodes (typed but not owned by any
+// mapping), ownership edges pointing at untyped nodes, cells missing
+// their row/column coordinates, and mappings whose source or target
+// schema is absent. It returns one error per violation (nil-length when
+// the IB is consistent). The chaos simulator runs it after every
+// fault-injected workload.
+func (b *Blackboard) CheckIntegrity() []error {
+	var errs []error
+	type childClass struct {
+		class   rdf.Term
+		ownEdge rdf.Term
+		label   string
+	}
+	classes := []childClass{
+		{classCell, predHasCell, "cell"},
+		{classRow, predHasRow, "row"},
+		{classColumn, predHasColumn, "column"},
+	}
+	for _, cc := range classes {
+		for _, n := range rdf.InstancesOf(b.g, cc.class) {
+			owners := b.g.Subjects(cc.ownEdge, n)
+			if len(owners) == 0 {
+				errs = append(errs, fmt.Errorf("blackboard: orphan %s node %s (no owning mapping)", cc.label, n))
+				continue
+			}
+			for _, o := range owners {
+				if rdf.TypeOf(b.g, o) != classMapping {
+					errs = append(errs, fmt.Errorf("blackboard: %s node %s owned by non-mapping %s", cc.label, n, o))
+				}
+			}
+		}
+	}
+	for _, mnode := range rdf.InstancesOf(b.g, classMapping) {
+		for _, cc := range classes {
+			for _, child := range b.g.Objects(mnode, cc.ownEdge) {
+				if rdf.TypeOf(b.g, child) != cc.class {
+					errs = append(errs, fmt.Errorf("blackboard: mapping %s owns untyped %s node %s", mnode, cc.label, child))
+				}
+			}
+		}
+		for _, c := range b.g.Objects(mnode, predHasCell) {
+			if b.g.One(c, predCellRow).IsZero() || b.g.One(c, predCellCol).IsZero() {
+				errs = append(errs, fmt.Errorf("blackboard: cell %s missing row/column coordinates", c))
+			}
+		}
+		for _, p := range []rdf.Term{predSourceSchema, predTargetSchema} {
+			ref := b.g.One(mnode, p)
+			if ref.IsZero() {
+				errs = append(errs, fmt.Errorf("blackboard: mapping %s missing %s", mnode, p))
+				continue
+			}
+			if rdf.TypeOf(b.g, ref).IsZero() {
+				errs = append(errs, fmt.Errorf("blackboard: mapping %s references absent schema %s", mnode, ref))
+			}
+		}
+	}
+	return errs
 }
 
 // ---- Snapshots ----

@@ -1,0 +1,205 @@
+package blackboard
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/model"
+	"repro/internal/rdf"
+)
+
+func chaosSchema(name string) *model.Schema {
+	s := model.NewSchema(name, "er")
+	e := s.AddElement(nil, "E", model.KindEntity, model.ContainsElement)
+	s.AddElement(e, "a", model.KindAttribute, model.ContainsAttribute)
+	s.AddElement(e, "b", model.KindAttribute, model.ContainsAttribute)
+	return s
+}
+
+func TestPutSchemaFaultRollsBackArchival(t *testing.T) {
+	defer chaos.Reset()
+	b := New()
+	if _, err := b.PutSchema(chaosSchema("s")); err != nil {
+		t.Fatal(err)
+	}
+	pre := b.Graph().Clone()
+
+	// The failpoint sits after the old version was archived and its
+	// triples deleted — the nastiest midpoint of the write.
+	chaos.Enable(SitePutSchema, chaos.Rule{Every: 1, Limit: 1})
+	if _, err := b.PutSchema(chaosSchema("s")); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("PutSchema = %v, want injected fault", err)
+	}
+	if !rdf.Equal(pre, b.Graph()) {
+		added, removed := b.Graph().Diff(pre)
+		t.Fatalf("fault left partial put: +%d -%d triples", len(added), len(removed))
+	}
+	if v := b.SchemaVersion("s"); v != 1 {
+		t.Fatalf("version after failed re-put = %d, want 1", v)
+	}
+
+	// Disarmed, the same re-put succeeds and archives.
+	if _, err := b.PutSchema(chaosSchema("s")); err != nil {
+		t.Fatal(err)
+	}
+	if v := b.SchemaVersion("s"); v != 2 {
+		t.Fatalf("version after clean re-put = %d, want 2", v)
+	}
+}
+
+func TestSetCellFaultRollsBackFreshNode(t *testing.T) {
+	defer chaos.Reset()
+	b := New()
+	for _, n := range []string{"src", "tgt"} {
+		if _, err := b.PutSchema(chaosSchema(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mp, err := b.NewMapping("m", "src", "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := b.Graph().Clone()
+
+	chaos.Enable(SiteSetCell, chaos.Rule{Every: 1, Limit: 1})
+	if err := mp.SetCell("E/a", "E/b", 0.7, false, "t"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("SetCell = %v, want injected fault", err)
+	}
+	if !rdf.Equal(pre, b.Graph()) {
+		t.Fatal("fault left a half-written cell (node or confidence without provenance)")
+	}
+	if _, ok := mp.GetCell("E/a", "E/b"); ok {
+		t.Fatal("cell visible after failed write")
+	}
+	if errs := b.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity violations after failed SetCell: %v", errs)
+	}
+
+	if err := mp.SetCell("E/a", "E/b", 0.7, false, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := mp.GetCell("E/a", "E/b"); !ok || c.Confidence != 0.7 || c.SetBy != "t" {
+		t.Fatalf("clean retry cell = %+v ok=%v", c, ok)
+	}
+}
+
+func TestSetCellPanicRollsBackAndPropagates(t *testing.T) {
+	defer chaos.Reset()
+	b := New()
+	for _, n := range []string{"src", "tgt"} {
+		if _, err := b.PutSchema(chaosSchema(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mp, err := b.NewMapping("m", "src", "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := b.Graph().Clone()
+	chaos.Enable(SiteSetCell, chaos.Rule{Kind: chaos.FaultPanic, Every: 1, Limit: 1})
+	func() {
+		defer func() {
+			if _, ok := recover().(*chaos.Fault); !ok {
+				t.Error("injected panic not propagated")
+			}
+		}()
+		_ = mp.SetCell("E/a", "E/b", 0.7, false, "t")
+	}()
+	if !rdf.Equal(pre, b.Graph()) {
+		t.Fatal("panic mid-SetCell left partial write")
+	}
+}
+
+func TestDeleteMappingFaultKeepsMappingIntact(t *testing.T) {
+	defer chaos.Reset()
+	b := New()
+	for _, n := range []string{"src", "tgt"} {
+		if _, err := b.PutSchema(chaosSchema(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mp, err := b.NewMapping("m", "src", "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.SetCell("E/a", "E/b", 0.5, false, "t"); err != nil {
+		t.Fatal(err)
+	}
+	mp.SetRowVariable("E/a", "$x")
+	pre := b.Graph().Clone()
+
+	// The failpoint fires after the children are removed but before the
+	// mapping node is — precisely the orphaning window.
+	chaos.Enable(SiteDeleteMapping, chaos.Rule{Every: 1, Limit: 1})
+	if err := b.DeleteMapping("m"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("DeleteMapping = %v, want injected fault", err)
+	}
+	if !rdf.Equal(pre, b.Graph()) {
+		t.Fatal("failed delete mutated the mapping")
+	}
+	if errs := b.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity violations after failed delete: %v", errs)
+	}
+	mp2, err := b.GetMapping("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := mp2.GetCell("E/a", "E/b"); !ok || c.Confidence != 0.5 {
+		t.Fatalf("cell lost by failed delete: %+v ok=%v", c, ok)
+	}
+
+	if err := b.DeleteMapping("m"); err != nil {
+		t.Fatal(err)
+	}
+	if ids := b.Mappings(); len(ids) != 0 {
+		t.Fatalf("mapping library after clean delete = %v", ids)
+	}
+	if errs := b.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("integrity violations after clean delete: %v", errs)
+	}
+}
+
+func TestRevisionMonotonicAcrossRollback(t *testing.T) {
+	defer chaos.Reset()
+	b := New()
+	if _, err := b.PutSchema(chaosSchema("s")); err != nil {
+		t.Fatal(err)
+	}
+	before := b.Revision()
+	chaos.Enable(SitePutSchema, chaos.Rule{Every: 1, Limit: 1})
+	_, _ = b.PutSchema(chaosSchema("s"))
+	if b.Revision() < before {
+		t.Fatalf("revision went backwards: %d -> %d", before, b.Revision())
+	}
+}
+
+func TestCheckIntegrityDetectsOrphans(t *testing.T) {
+	b := New()
+	if _, err := b.PutSchema(chaosSchema("src")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PutSchema(chaosSchema("tgt")); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := b.NewMapping("m", "src", "tgt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.SetCell("E/a", "E/b", 0.5, false, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if errs := b.CheckIntegrity(); len(errs) != 0 {
+		t.Fatalf("fresh blackboard inconsistent: %v", errs)
+	}
+
+	// Manufacture the exact corruption DeleteMapping's failpoint window
+	// would cause without rollback: drop the mapping node, keep children.
+	g := b.Graph()
+	node := rdf.IRI("urn:workbench:mapping/m")
+	g.RemoveMatching(node, rdf.Wild, rdf.Wild)
+	errs := b.CheckIntegrity()
+	if len(errs) == 0 {
+		t.Fatal("orphaned cell/row/column not detected")
+	}
+}

@@ -1,0 +1,364 @@
+// Package chaos is a zero-dependency failpoint framework for fault
+// injection testing. Production code threads named injection sites
+// (chaos.Inject calls) through its critical paths; tests and the chaos
+// simulator arm those sites with deterministic seeded triggers that
+// return errors, panic, or delay.
+//
+// Cost model: a disarmed process pays exactly one atomic load per
+// Inject call (a package-level armed counter); nothing else is touched.
+// Arming any site switches Inject onto a mutex-guarded slow path, so
+// production builds that never arm a site see no measurable overhead.
+//
+// Determinism: every armed site draws from its own math/rand stream
+// seeded by the global seed mixed with the site name, so a single
+// workload replayed with the same seed and site list hits the same
+// faults in the same per-site order. (Across goroutines the interleaving
+// of sites may vary; invariants must hold for every interleaving.)
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// MetricFaults counts injected faults, labeled site=<site>, kind=<kind>.
+const MetricFaults = "chaos_faults_total"
+
+// Site names one injection point, conventionally "package.operation"
+// (e.g. "wbmgr.commit"). Packages register their sites at init so that
+// "all" in a spec expands to the full list.
+type Site string
+
+// FaultKind is what happens when a trigger fires.
+type FaultKind string
+
+// The three fault kinds.
+const (
+	// FaultError makes Inject return ErrInjected wrapped with the site.
+	FaultError FaultKind = "error"
+	// FaultPanic makes Inject panic with a *Fault value.
+	FaultPanic FaultKind = "panic"
+	// FaultDelay makes Inject sleep for the rule's Delay, then return nil.
+	FaultDelay FaultKind = "delay"
+)
+
+// ErrInjected is the sentinel wrapped by every injected error; test code
+// uses errors.Is(err, chaos.ErrInjected) to tell injected faults from
+// real ones.
+var ErrInjected = fmt.Errorf("chaos: injected fault")
+
+// Fault is the value thrown by FaultPanic injections and carried by
+// injected errors. Recovery code can type-assert on *Fault to recognize
+// an injected panic.
+type Fault struct {
+	Site Site
+	Kind FaultKind
+}
+
+// Error implements error; FaultError injections return a *Fault wrapping
+// ErrInjected.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("chaos: injected %s at site %q", f.Kind, f.Site)
+}
+
+// Unwrap ties every injected error to the ErrInjected sentinel.
+func (f *Fault) Unwrap() error { return ErrInjected }
+
+// Rule decides when and how an armed site fires.
+type Rule struct {
+	Kind FaultKind
+	// Prob is the per-hit firing probability in (0,1]; it is evaluated
+	// against the site's seeded random stream. Ignored when Every > 0.
+	Prob float64
+	// Every fires deterministically on every Nth hit (1 = every hit).
+	Every int
+	// Delay is the sleep duration for FaultDelay (default 1ms).
+	Delay time.Duration
+	// Limit caps the number of fires (0 = unlimited).
+	Limit int
+}
+
+// site is one armed injection point's state.
+type siteState struct {
+	rule  Rule
+	rng   *rand.Rand
+	hits  int
+	fires int
+}
+
+var (
+	// armed is the fast-path gate: number of currently armed sites.
+	armed atomic.Int32
+
+	mu        sync.Mutex
+	seed      int64
+	sites     map[Site]*siteState // armed sites
+	known     map[Site]string     // registered sites → description
+	metricReg atomic.Pointer[obs.Registry]
+)
+
+func init() {
+	sites = map[Site]*siteState{}
+	known = map[Site]string{}
+}
+
+// RegisterSite declares an injection site so that specs can refer to
+// "all" and tooling can enumerate sites. Packages call this from init.
+func RegisterSite(s Site, description string) {
+	mu.Lock()
+	defer mu.Unlock()
+	known[s] = description
+}
+
+// Sites returns every registered site, sorted.
+func Sites() []Site {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Site, 0, len(known))
+	for s := range known {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetMetrics redirects fault counters to reg (nil resets to
+// obs.Default()).
+func SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Describe(MetricFaults, "Faults injected by the chaos framework, by site and kind.")
+	metricReg.Store(reg)
+}
+
+func registry() *obs.Registry {
+	if r := metricReg.Load(); r != nil {
+		return r
+	}
+	return obs.Default()
+}
+
+// SetSeed fixes the seed mixed into every site's random stream. Call
+// before Enable; changing the seed re-seeds sites armed afterwards only.
+func SetSeed(s int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	seed = s
+}
+
+// Enable arms a site with a rule. An unregistered site is registered on
+// the fly (tests may use ad hoc sites). Re-enabling replaces the rule
+// and resets the site's hit and fire counts and random stream.
+func Enable(s Site, r Rule) {
+	if r.Kind == "" {
+		r.Kind = FaultError
+	}
+	if r.Prob <= 0 && r.Every <= 0 {
+		r.Every = 1
+	}
+	if r.Kind == FaultDelay && r.Delay <= 0 {
+		r.Delay = time.Millisecond
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := known[s]; !ok {
+		known[s] = "(ad hoc)"
+	}
+	if _, rearm := sites[s]; !rearm {
+		armed.Add(1)
+	}
+	sites[s] = &siteState{rule: r, rng: rand.New(rand.NewSource(seed ^ siteHash(s)))}
+}
+
+// Disable disarms one site.
+func Disable(s Site) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := sites[s]; ok {
+		delete(sites, s)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every site and clears the seed. Tests defer this.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(sites)))
+	sites = map[Site]*siteState{}
+	seed = 0
+}
+
+// Armed reports whether any site is armed (the fast-path gate value).
+func Armed() bool { return armed.Load() > 0 }
+
+// Fired returns how many times a site has fired since it was armed.
+func Fired(s Site) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := sites[s]; ok {
+		return st.fires
+	}
+	return 0
+}
+
+// Inject is the injection point. Disarmed processes pay one atomic load.
+// When the site's rule fires, Inject returns an error (FaultError),
+// panics with *Fault (FaultPanic), or sleeps (FaultDelay, returns nil).
+func Inject(s Site) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return injectSlow(s)
+}
+
+func injectSlow(s Site) error {
+	mu.Lock()
+	st, ok := sites[s]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	st.hits++
+	fire := false
+	if st.rule.Limit <= 0 || st.fires < st.rule.Limit {
+		if st.rule.Every > 0 {
+			fire = st.hits%st.rule.Every == 0
+		} else {
+			fire = st.rng.Float64() < st.rule.Prob
+		}
+	}
+	if fire {
+		st.fires++
+	}
+	rule := st.rule
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	registry().Counter(MetricFaults, "site", string(s), "kind", string(rule.Kind)).Inc()
+	f := &Fault{Site: s, Kind: rule.Kind}
+	switch rule.Kind {
+	case FaultPanic:
+		panic(f)
+	case FaultDelay:
+		time.Sleep(rule.Delay)
+		return nil
+	default:
+		return f
+	}
+}
+
+// siteHash mixes the site name into the seed (FNV-1a).
+func siteHash(s Site) int64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return int64(h)
+}
+
+// ---- Spec parsing (the CLI's -chaos-sites syntax) ----
+
+// ParseSpec parses a comma-separated site spec into rules:
+//
+//	site                    error fault, probability 0.2
+//	site=kind               kind ∈ error|panic|delay, probability 0.2
+//	site=kind:0.5           explicit probability
+//	site=kind:n7            deterministic: fire every 7th hit
+//	site=delay:10ms:0.5     delay duration, then optional probability
+//	all[=...]               expands over every registered site
+//
+// ParseSpec only parses; call Apply (or Enable per entry) to arm.
+func ParseSpec(spec string) (map[Site]Rule, error) {
+	out := map[Site]Rule{}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, ruleText, _ := strings.Cut(entry, "=")
+		rule := Rule{Kind: FaultError, Prob: 0.2}
+		if ruleText != "" {
+			parts := strings.Split(ruleText, ":")
+			switch FaultKind(parts[0]) {
+			case FaultError, FaultPanic, FaultDelay:
+				rule.Kind = FaultKind(parts[0])
+			default:
+				return nil, fmt.Errorf("chaos: unknown fault kind %q in %q", parts[0], entry)
+			}
+			rest := parts[1:]
+			if rule.Kind == FaultDelay && len(rest) > 0 {
+				d, err := time.ParseDuration(rest[0])
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad delay in %q: %w", entry, err)
+				}
+				rule.Delay = d
+				rest = rest[1:]
+			}
+			if len(rest) > 0 {
+				if err := parseTrigger(rest[0], &rule); err != nil {
+					return nil, fmt.Errorf("chaos: %w in %q", err, entry)
+				}
+				rest = rest[1:]
+			}
+			if len(rest) > 0 {
+				return nil, fmt.Errorf("chaos: trailing %q in %q", strings.Join(rest, ":"), entry)
+			}
+		}
+		if name == "all" {
+			for _, s := range Sites() {
+				out[s] = rule
+			}
+			continue
+		}
+		out[Site(name)] = rule
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chaos: empty site spec %q", spec)
+	}
+	return out, nil
+}
+
+// parseTrigger reads "0.5" (probability) or "n7" (every 7th hit).
+func parseTrigger(s string, rule *Rule) error {
+	if strings.HasPrefix(s, "n") {
+		n, err := strconv.Atoi(s[1:])
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad every-N trigger %q", s)
+		}
+		rule.Every = n
+		rule.Prob = 0
+		return nil
+	}
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p <= 0 || p > 1 {
+		return fmt.Errorf("bad probability %q", s)
+	}
+	rule.Prob = p
+	rule.Every = 0
+	return nil
+}
+
+// Apply arms every site in the parsed spec under one seed, returning the
+// sorted armed site list (for replay reports).
+func Apply(seed int64, rules map[Site]Rule) []Site {
+	SetSeed(seed)
+	armedSites := make([]Site, 0, len(rules))
+	for s, r := range rules {
+		Enable(s, r)
+		armedSites = append(armedSites, s)
+	}
+	sort.Slice(armedSites, func(i, j int) bool { return armedSites[i] < armedSites[j] })
+	return armedSites
+}

@@ -1,0 +1,239 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	Reset()
+	if err := Inject("test.site"); err != nil {
+		t.Fatalf("disarmed Inject returned %v", err)
+	}
+	if Armed() {
+		t.Fatal("Armed() true with no sites enabled")
+	}
+}
+
+func TestEveryNTrigger(t *testing.T) {
+	defer Reset()
+	Enable("test.every", Rule{Every: 3})
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if err := Inject("test.every"); err != nil {
+			fired++
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error not tied to sentinel: %v", err)
+			}
+			var f *Fault
+			if !errors.As(err, &f) || f.Site != "test.every" || f.Kind != FaultError {
+				t.Fatalf("wrong fault payload: %#v", err)
+			}
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Every=3 over 9 hits fired %d times, want 3", fired)
+	}
+	if Fired("test.every") != 3 {
+		t.Fatalf("Fired = %d, want 3", Fired("test.every"))
+	}
+}
+
+func TestProbTriggerDeterministicPerSeed(t *testing.T) {
+	defer Reset()
+	run := func(seed int64) []bool {
+		Reset()
+		SetSeed(seed)
+		Enable("test.prob", Rule{Prob: 0.5})
+		out := make([]bool, 40)
+		for i := range out {
+			out[i] = Inject("test.prob") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault schedules (suspicious)")
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Reset()
+	Enable("test.panic", Rule{Kind: FaultPanic})
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok || f.Kind != FaultPanic || f.Site != "test.panic" {
+			t.Fatalf("recovered %#v, want *Fault{test.panic, panic}", r)
+		}
+	}()
+	_ = Inject("test.panic")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayKind(t *testing.T) {
+	defer Reset()
+	Enable("test.delay", Rule{Kind: FaultDelay, Delay: 10 * time.Millisecond})
+	t0 := time.Now()
+	if err := Inject("test.delay"); err != nil {
+		t.Fatalf("delay fault returned error %v", err)
+	}
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+}
+
+func TestLimitCapsFires(t *testing.T) {
+	defer Reset()
+	Enable("test.limit", Rule{Every: 1, Limit: 2})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if Inject("test.limit") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("Limit=2 fired %d times", fired)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	defer Reset()
+	Enable("test.a", Rule{Every: 1})
+	Enable("test.b", Rule{Every: 1})
+	Disable("test.a")
+	if Inject("test.a") != nil {
+		t.Fatal("disabled site still fires")
+	}
+	if Inject("test.b") == nil {
+		t.Fatal("sibling site disarmed by Disable")
+	}
+	Reset()
+	if Armed() {
+		t.Fatal("Armed() after Reset")
+	}
+}
+
+func TestFaultMetricCounted(t *testing.T) {
+	defer Reset()
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	Enable("test.metric", Rule{Every: 1})
+	_ = Inject("test.metric")
+	_ = Inject("test.metric")
+	m, ok := reg.Find(MetricFaults)
+	if !ok {
+		t.Fatal("chaos_faults_total not in registry")
+	}
+	total := 0.0
+	for _, s := range m.Series {
+		if s.Labels["site"] == "test.metric" && s.Labels["kind"] == "error" {
+			total += s.Value
+		}
+	}
+	if total != 2 {
+		t.Fatalf("chaos_faults_total{site=test.metric} = %v, want 2", total)
+	}
+}
+
+func TestRegisterAndSites(t *testing.T) {
+	RegisterSite("test.registered", "a test site")
+	found := false
+	for _, s := range Sites() {
+		if s == "test.registered" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered site missing from Sites()")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec string
+		site Site
+		want Rule
+	}{
+		{"a.b", "a.b", Rule{Kind: FaultError, Prob: 0.2}},
+		{"a.b=panic", "a.b", Rule{Kind: FaultPanic, Prob: 0.2}},
+		{"a.b=error:0.7", "a.b", Rule{Kind: FaultError, Prob: 0.7}},
+		{"a.b=error:n5", "a.b", Rule{Kind: FaultError, Every: 5}},
+		{"a.b=delay:25ms:0.5", "a.b", Rule{Kind: FaultDelay, Delay: 25 * time.Millisecond, Prob: 0.5}},
+	}
+	for _, c := range cases {
+		rules, err := ParseSpec(c.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got := rules[c.site]; got != c.want {
+			t.Errorf("ParseSpec(%q)[%s] = %+v, want %+v", c.spec, c.site, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "a.b=explode", "a.b=error:2.0", "a.b=error:n0", "a.b=delay:xx", "a.b=error:0.5:junk"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseSpecAllExpandsAndOverrides(t *testing.T) {
+	RegisterSite("test.x", "x")
+	RegisterSite("test.y", "y")
+	rules, err := ParseSpec("all=error:0.3,test.x=panic:n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := rules["test.y"]; r.Kind != FaultError || r.Prob != 0.3 {
+		t.Fatalf("all did not reach test.y: %+v", r)
+	}
+	if r := rules["test.x"]; r.Kind != FaultPanic || r.Every != 2 {
+		t.Fatalf("later entry did not override all for test.x: %+v", r)
+	}
+}
+
+func TestApplyArmsAndReturnsSortedSites(t *testing.T) {
+	defer Reset()
+	rules := map[Site]Rule{"test.zz": {Every: 1}, "test.aa": {Every: 1}}
+	sites := Apply(11, rules)
+	if len(sites) != 2 || sites[0] != "test.aa" || sites[1] != "test.zz" {
+		t.Fatalf("Apply returned %v", sites)
+	}
+	if Inject("test.aa") == nil {
+		t.Fatal("Apply did not arm test.aa")
+	}
+}
+
+func TestReenableResetsCounters(t *testing.T) {
+	defer Reset()
+	Enable("test.rearm", Rule{Every: 1})
+	_ = Inject("test.rearm")
+	Enable("test.rearm", Rule{Every: 2})
+	if Fired("test.rearm") != 0 {
+		t.Fatal("re-enable kept old fire count")
+	}
+	if Inject("test.rearm") != nil {
+		t.Fatal("Every=2 fired on first hit after rearm")
+	}
+	if Inject("test.rearm") == nil {
+		t.Fatal("Every=2 did not fire on second hit")
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// TestSimInvariantsUnderFullChaos is the tentpole acceptance test: with
+// every registered failpoint armed, the five invariants must hold for
+// several distinct seeds. Run under -race in the tier-1 suite.
+func TestSimInvariantsUnderFullChaos(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := Run(Config{Seed: seed})
+			t.Log(rep.String())
+			if rep.Failed() {
+				t.Fatalf("invariant violations:\n%s", rep.String())
+			}
+			if rep.Faults == 0 {
+				t.Fatalf("no faults injected — chaos was not exercised:\n%s", rep.String())
+			}
+			if rep.Commits == 0 {
+				t.Fatalf("no transaction ever committed — workload too hostile:\n%s", rep.String())
+			}
+			if rep.Aborts+rep.CommitFaults == 0 {
+				t.Fatalf("no rollback ever happened — atomicity never tested:\n%s", rep.String())
+			}
+		})
+	}
+}
+
+// TestSimCommitErrorFaults drives the commit-error path specifically:
+// DefaultSpec arms commit with panics, so this run re-arms every site
+// with errors and expects fault-failed commits that still roll back.
+func TestSimCommitErrorFaults(t *testing.T) {
+	rep := Run(Config{Seed: 5, Spec: "all=error:0.4"})
+	t.Log(rep.String())
+	if rep.Failed() {
+		t.Fatalf("invariant violations:\n%s", rep.String())
+	}
+	if rep.CommitFaults == 0 {
+		t.Fatalf("no commit was ever failed by an injected error:\n%s", rep.String())
+	}
+}
+
+// TestSimDeterministicFaultStreams replays one seed twice and expects
+// the same per-site trigger decisions to be available; the aggregate
+// invariants must hold both times (interleavings may differ, outcomes
+// must not).
+func TestSimReplaySameSeedStillPasses(t *testing.T) {
+	for i := 0; i < 2; i++ {
+		rep := Run(Config{Seed: 99, Tools: 2, Ops: 25})
+		if rep.Failed() {
+			t.Fatalf("replay %d failed:\n%s", i, rep.String())
+		}
+	}
+}
+
+func TestSimBadSpecReported(t *testing.T) {
+	rep := Run(Config{Seed: 1, Spec: "wbmgr.commit=exotic"})
+	if !rep.Failed() {
+		t.Fatal("bad chaos spec should fail the run")
+	}
+	if !strings.Contains(rep.Violations[0], "bad chaos spec") {
+		t.Fatalf("unexpected violation: %s", rep.Violations[0])
+	}
+}
+
+// TestReportReplayRecipe checks the failure report carries everything
+// needed for a deterministic replay: seed, site list, and CLI line.
+func TestReportReplayRecipe(t *testing.T) {
+	rep := &Report{
+		Seed:       9,
+		Spec:       "all=error:0.5",
+		Sites:      []chaos.Site{"wbmgr.begin", "wbmgr.commit"},
+		Violations: []string{"atomicity: residue"},
+	}
+	s := rep.String()
+	for _, want := range []string{
+		"FAIL seed=9",
+		"sites=wbmgr.begin,wbmgr.commit",
+		`replay: workbench sim -chaos-seed 9 -chaos-sites "all=error:0.5"`,
+		"violation: atomicity: residue",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+	ok := &Report{Seed: 3}
+	if got := ok.String(); !strings.Contains(got, "PASS seed=3") || strings.Contains(got, "replay:") {
+		t.Errorf("passing report wrong:\n%s", got)
+	}
+}

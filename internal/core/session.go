@@ -118,7 +118,10 @@ func (s *IntegrationSession) Match(threshold float64) (int, error) {
 		return 0, err
 	}
 	for _, l := range links {
-		mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony")
+		if err := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); err != nil {
+			_ = txn.Abort()
+			return 0, err
+		}
 		txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", s.MappingID, l.Source.ID, l.Target.ID))
 	}
 	return len(links), txn.Commit()
@@ -162,7 +165,10 @@ func (s *IntegrationSession) decide(srcID, tgtID string, accepted bool) error {
 		_ = txn.Abort()
 		return err
 	}
-	mp.SetCell(srcID, tgtID, conf, true, "engineer")
+	if err := mp.SetCell(srcID, tgtID, conf, true, "engineer"); err != nil {
+		_ = txn.Abort()
+		return err
+	}
 	txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", s.MappingID, srcID, tgtID))
 	return txn.Commit()
 }

@@ -1,0 +1,33 @@
+package erwin
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseER asserts the ER loader's crash-safety contract: parse or
+// error, never panic or hang, and accepted schemata validate.
+func FuzzParseER(f *testing.F) {
+	for _, path := range []string{"../../testdata/faa.er", "../../testdata/eurocontrol.er"} {
+		if seed, err := os.ReadFile(path); err == nil {
+			f.Add(string(seed))
+		}
+	}
+	f.Add("schema S \"doc\"\nentity E \"e\" {\n a string key \"k\"\n}\n")
+	f.Add("domain D \"d\" {\n X \"x\"\n}\nentity E \"\" {\n a string domain(D) \"\"\n}\n")
+	f.Add("entity A \"\" {}\nentity B \"\" {}\nrelationship r A -> B \"link\"\n")
+	f.Add("# comment\n// comment\n\nschema S\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Load("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil schema with nil error")
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("loader returned invalid schema: %v\ninput: %q", verr, input)
+		}
+	})
+}

@@ -16,17 +16,20 @@ import (
 // row is-complete annotations. Machine scores are not written here — the
 // publishing of machine cells is the matcher tool's transactional job
 // (see core.IntegrationSession.Match).
-func (e *Engine) SaveTo(mp *blackboard.Mapping, tool string) {
+func (e *Engine) SaveTo(mp *blackboard.Mapping, tool string) error {
 	for pair, d := range e.Decisions() {
 		conf := -1.0
 		if d.Accepted {
 			conf = 1.0
 		}
-		mp.SetCell(pair[0], pair[1], conf, true, tool)
+		if err := mp.SetCell(pair[0], pair[1], conf, true, tool); err != nil {
+			return err
+		}
 	}
 	for _, id := range e.CompleteIDs() {
 		mp.SetRowComplete(id, true)
 	}
+	return nil
 }
 
 // LoadFrom restores user decisions and completion flags from a mapping

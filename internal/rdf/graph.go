@@ -23,6 +23,9 @@ type Graph struct {
 	gen uint64
 	// blankSeq feeds NewBlank.
 	blankSeq int
+	// journal and journalDepth implement savepoints (see undo.go).
+	journal      []undoOp
+	journalDepth int
 }
 
 // NewGraph returns an empty graph.
@@ -100,6 +103,7 @@ func (g *Graph) addLocked(t Triple) bool {
 	index3(g.osp, t.O, t.S, t.P)
 	g.n++
 	g.gen++
+	g.journalLocked(true, t)
 	return true
 }
 
@@ -138,6 +142,7 @@ func (g *Graph) removeLocked(t Triple) bool {
 	unindex3(g.osp, t.O, t.S, t.P)
 	g.n--
 	g.gen++
+	g.journalLocked(false, t)
 	return true
 }
 
@@ -372,12 +377,34 @@ func (g *Graph) Triples() []Triple {
 }
 
 // ReplaceWith atomically replaces g's contents with other's (deep copy of
-// other's state). The workbench manager uses this to roll back aborted
-// transactions from a snapshot.
+// other's state). With an open savepoint the replacement is journaled
+// triple-by-triple so it can be rolled back; otherwise the index maps are
+// swapped wholesale.
 func (g *Graph) ReplaceWith(other *Graph) {
 	snap := other.Clone()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.journalDepth > 0 {
+		var olds []Triple
+		g.matchLocked(Wild, Wild, Wild, func(t Triple) bool {
+			olds = append(olds, t)
+			return true
+		})
+		for _, t := range olds {
+			g.removeLocked(t)
+		}
+		for s, l2 := range snap.spo {
+			for p, l3 := range l2 {
+				for o := range l3 {
+					g.addLocked(Triple{s, p, o})
+				}
+			}
+		}
+		if snap.blankSeq > g.blankSeq {
+			g.blankSeq = snap.blankSeq
+		}
+		return
+	}
 	g.spo, g.pos, g.osp = snap.spo, snap.pos, snap.osp
 	g.n = snap.n
 	g.blankSeq = snap.blankSeq

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // N-Triples serialization. The blackboard uses this for snapshot
@@ -85,14 +86,40 @@ func ParseTriple(line string) (Triple, error) {
 	return Triple{terms[0], terms[1], terms[2]}, nil
 }
 
+// checkTermText rejects term text the serializer cannot reproduce
+// byte-for-byte: invalid UTF-8 always (escaping would substitute
+// U+FFFD and silently change the value), and control characters in
+// IRIs and blank labels (literals carry them via escapes instead).
+func checkTermText(s, what string, allowControl bool) error {
+	if !utf8.ValidString(s) {
+		return fmt.Errorf("%s %q contains invalid UTF-8", what, s)
+	}
+	if allowControl {
+		return nil
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("%s %q contains control character %q", what, s, r)
+		}
+	}
+	return nil
+}
+
 // parseTermToken parses a single N-Triples term token.
 func parseTermToken(tok string) (Term, error) {
 	switch {
 	case strings.HasPrefix(tok, "<") && strings.HasSuffix(tok, ">"):
-		return IRI(tok[1 : len(tok)-1]), nil
+		v := tok[1 : len(tok)-1]
+		if err := checkTermText(v, "IRI", false); err != nil {
+			return Term{}, err
+		}
+		return IRI(v), nil
 	case strings.HasPrefix(tok, "_:"):
 		if len(tok) == 2 {
 			return Term{}, fmt.Errorf("empty blank node label")
+		}
+		if err := checkTermText(tok[2:], "blank node label", false); err != nil {
+			return Term{}, err
 		}
 		return Blank(tok[2:]), nil
 	case strings.HasPrefix(tok, "\""):
@@ -114,12 +141,19 @@ func parseTermToken(tok string) (Term, error) {
 		if err != nil {
 			return Term{}, err
 		}
+		if err := checkTermText(lex, "literal", true); err != nil {
+			return Term{}, err
+		}
 		rest := tok[end+1:]
 		if rest == "" {
 			return Literal(lex), nil
 		}
 		if strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">") {
-			return TypedLiteral(lex, rest[3:len(rest)-1]), nil
+			dt := rest[3 : len(rest)-1]
+			if err := checkTermText(dt, "datatype IRI", false); err != nil {
+				return Term{}, err
+			}
+			return TypedLiteral(lex, dt), nil
 		}
 		if strings.HasPrefix(rest, "@") {
 			// Language tags are accepted and discarded; the blackboard

@@ -210,7 +210,12 @@ func tokenizePatternLine(line string) ([]string, error) {
 			i++
 			for i < len(line) {
 				if line[i] == '\\' {
+					// A trailing backslash would overshoot the end;
+					// clamp so the token slice below stays in bounds.
 					i += 2
+					if i > len(line) {
+						i = len(line)
+					}
 					continue
 				}
 				if line[i] == '"' {

@@ -105,14 +105,17 @@ func VotersWithLibrary(bb *blackboard.Blackboard) []match.Voter {
 // RecordDecisions stores an engine's accepted/rejected pairs into a
 // mapping so later sessions can reuse them. It is the bridging call a
 // matcher tool makes when the engineer finishes a session.
-func RecordDecisions(mp *blackboard.Mapping, decisions map[[2]string]bool, tool string) {
+func RecordDecisions(mp *blackboard.Mapping, decisions map[[2]string]bool, tool string) error {
 	for pair, accepted := range decisions {
 		conf := -1.0
 		if accepted {
 			conf = 1.0
 		}
-		mp.SetCell(pair[0], pair[1], conf, true, tool)
+		if err := mp.SetCell(pair[0], pair[1], conf, true, tool); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func tail(id string) string {

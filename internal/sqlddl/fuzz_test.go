@@ -1,0 +1,34 @@
+package sqlddl
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSQL asserts the DDL loader's crash-safety contract: any
+// input must produce a schema or an error — never a panic or a hang.
+// A successfully loaded schema must pass its own validation.
+func FuzzParseSQL(f *testing.F) {
+	if seed, err := os.ReadFile("../../testdata/hr.sql"); err == nil {
+		f.Add(string(seed))
+	}
+	f.Add("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10) NOT NULL);")
+	f.Add("CREATE TABLE a (x INT REFERENCES b(y), CHECK (x IN ('p','q')));")
+	f.Add("COMMENT ON TABLE t IS 'doc'; COMMENT ON COLUMN t.c IS 'x';")
+	f.Add("CREATE TABLE t (a INT, PRIMARY KEY (a), FOREIGN KEY (a) REFERENCES u(b))")
+	f.Add("-- comment\n/* block */ CREATE INDEX i ON t(a); INSERT INTO t VALUES (1);")
+	f.Add("CREATE TABLE \"quoted name\" (`tick` INT, [brack] INT)")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Load("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil schema with nil error")
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("loader returned invalid schema: %v\ninput: %q", verr, input)
+		}
+	})
+}

@@ -8,12 +8,14 @@
 package wbmgr
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/blackboard"
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/rdf"
 )
@@ -36,7 +38,47 @@ const (
 	MetricInvokeDuration = "wbmgr_tool_invoke_duration_seconds"
 	MetricQueries        = "wbmgr_queries_total"
 	MetricQueryDuration  = "wbmgr_query_duration_seconds"
+	// MetricTxnRollbacks counts transactions rolled back, labeled
+	// cause=abort (explicit Abort) or cause=commit-fault (a fault at the
+	// commit failpoint forced the rollback).
+	MetricTxnRollbacks = "wbmgr_txn_rollbacks_total"
+	// MetricInvokeRetries counts retried tool invocations, labeled tool.
+	MetricInvokeRetries = "wbmgr_invoke_retries_total"
+	// MetricPublishPanics counts subscriber handlers that panicked during
+	// event delivery (recovered per handler), labeled tool.
+	MetricPublishPanics = "wbmgr_publish_panics_total"
 )
+
+// Chaos failpoint sites threaded through the manager (see DESIGN.md
+// "Fault model & invariants").
+const (
+	// SiteBegin fires before a transaction starts (Begin fails cleanly).
+	SiteBegin chaos.Site = "wbmgr.begin"
+	// SiteCommit fires inside Commit before the transaction is sealed; a
+	// fault here rolls the whole transaction back (atomicity).
+	SiteCommit chaos.Site = "wbmgr.commit"
+	// SiteAbort fires inside Abort; the rollback happens regardless.
+	SiteAbort chaos.Site = "wbmgr.abort"
+	// SitePublish fires once per handler delivery; an injected error
+	// skips that handler, an injected panic exercises per-handler
+	// recovery.
+	SitePublish chaos.Site = "wbmgr.publish"
+	// SiteInvoke fires before each tool invocation attempt, exercising
+	// the retry/backoff path.
+	SiteInvoke chaos.Site = "wbmgr.invoke"
+)
+
+func init() {
+	chaos.RegisterSite(SiteBegin, "before a manager transaction begins")
+	chaos.RegisterSite(SiteCommit, "inside Commit, before the txn is sealed")
+	chaos.RegisterSite(SiteAbort, "inside Abort, before rollback")
+	chaos.RegisterSite(SitePublish, "per-handler event delivery")
+	chaos.RegisterSite(SiteInvoke, "before each tool Invoke attempt")
+}
+
+// ErrInvokeTimeout is wrapped by Invoke errors when a tool exceeds the
+// configured invocation timeout.
+var ErrInvokeTimeout = errors.New("wbmgr: tool invocation timed out")
 
 // EventKind classifies blackboard-change events (paper §5.2.2): "a
 // different type of event is generated for each major component of the IB
@@ -90,8 +132,12 @@ type Manager struct {
 
 	mu     sync.Mutex // guards txn state and registries
 	inTxn  bool
-	snap   *rdf.Graph // rollback snapshot of the active txn
-	queued []Event    // events queued inside the active txn
+	sp     rdf.Savepoint // undo-log savepoint of the active txn
+	queued []Event       // events queued inside the active txn
+
+	// policy configures Invoke's timeout/retry behaviour (zero value:
+	// synchronous, no timeout, no retries — the historical behaviour).
+	policy InvokePolicy
 
 	tools map[string]Tool
 	subs  map[EventKind][]subscription
@@ -164,6 +210,9 @@ func (m *Manager) describeMetrics() {
 	r.Describe(MetricInvokeDuration, "Tool Invoke wall-clock time, by tool.")
 	r.Describe(MetricQueries, "Ad hoc IB queries served.")
 	r.Describe(MetricQueryDuration, "Ad hoc IB query latency.")
+	r.Describe(MetricTxnRollbacks, "Transactions rolled back, by cause.")
+	r.Describe(MetricInvokeRetries, "Retried tool invocations, by tool.")
+	r.Describe(MetricPublishPanics, "Recovered subscriber-handler panics, by tool.")
 }
 
 // reg returns the current metrics registry under the lock.
@@ -191,19 +240,53 @@ func (m *Manager) Register(t Tool) error {
 	return t.Initialize(m)
 }
 
+// InvokePolicy bounds tool invocations. The zero value preserves the
+// historical behaviour: synchronous, no timeout, no retries.
+type InvokePolicy struct {
+	// Timeout caps one invocation attempt (0 = unbounded). A timed-out
+	// tool keeps running on its goroutine — the Tool interface has no
+	// cancellation — but the manager stops waiting; tools must wrap their
+	// writes in transactions so an abandoned attempt cannot corrupt the IB.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a failed one.
+	Retries int
+	// Backoff is the sleep before retry n, doubled each retry.
+	Backoff time.Duration
+}
+
+// SetInvokePolicy configures Invoke's timeout and bounded retry.
+func (m *Manager) SetInvokePolicy(p InvokePolicy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.policy = p
+}
+
 // Invoke runs a registered tool by name, recording per-tool duration and
-// outcome metrics.
+// outcome metrics. Panics inside the tool are recovered and returned as
+// errors (a crashing tool must not take down the workbench); attempts
+// that fail or time out are retried per the InvokePolicy.
 func (m *Manager) Invoke(name string, args map[string]string) error {
 	m.mu.Lock()
 	t, ok := m.tools[name]
 	reg := m.metrics
+	policy := m.policy
 	m.mu.Unlock()
 	if !ok {
 		reg.Counter(MetricToolInvocations, "tool", name, "status", "error").Inc()
 		return fmt.Errorf("wbmgr: no tool %q", name)
 	}
 	t0 := time.Now()
-	err := t.Invoke(m, args)
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = m.invokeOnce(t, args, policy.Timeout)
+		if err == nil || attempt >= policy.Retries {
+			break
+		}
+		reg.Counter(MetricInvokeRetries, "tool", name).Inc()
+		if policy.Backoff > 0 {
+			time.Sleep(policy.Backoff << attempt)
+		}
+	}
 	reg.Histogram(MetricInvokeDuration, nil, "tool", name).ObserveDuration(time.Since(t0))
 	status := "ok"
 	if err != nil {
@@ -211,6 +294,33 @@ func (m *Manager) Invoke(name string, args map[string]string) error {
 	}
 	reg.Counter(MetricToolInvocations, "tool", name, "status", status).Inc()
 	return err
+}
+
+// invokeOnce runs one invocation attempt: failpoint, panic recovery,
+// and — when a timeout is set — a watchdog goroutine.
+func (m *Manager) invokeOnce(t Tool, args map[string]string, timeout time.Duration) error {
+	if err := chaos.Inject(SiteInvoke); err != nil {
+		return err
+	}
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("wbmgr: tool %q panicked: %v", t.Name(), r)
+			}
+		}()
+		return t.Invoke(m, args)
+	}
+	if timeout <= 0 {
+		return run()
+	}
+	done := make(chan error, 1)
+	go func() { done <- run() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("wbmgr: tool %q after %v: %w", t.Name(), timeout, ErrInvokeTimeout)
+	}
 }
 
 // Tools lists registered tool names, sorted.
@@ -253,7 +363,9 @@ func (m *Manager) Unsubscribe(token int) {
 
 // publish delivers an event to subscribers (excluding the originating
 // tool — "the manager propagates these events to allow any tool to
-// respond to the update"; the originator already knows).
+// respond to the update"; the originator already knows). Each handler
+// runs under its own recover: one panicking subscriber is counted and
+// skipped, and every remaining subscriber still receives the event.
 func (m *Manager) publish(e Event) {
 	m.mu.Lock()
 	subs := append([]subscription(nil), m.subs[e.Kind]...)
@@ -267,8 +379,24 @@ func (m *Manager) publish(e Event) {
 		if s.tool == e.Tool {
 			continue
 		}
-		s.handler(e)
+		m.deliver(reg, s, e)
 	}
+}
+
+// deliver runs one handler with the per-delivery failpoint and panic
+// recovery.
+func (m *Manager) deliver(reg *obs.Registry, s subscription, e Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			reg.Counter(MetricPublishPanics, "tool", s.tool).Inc()
+		}
+	}()
+	if err := chaos.Inject(SitePublish); err != nil {
+		// Injected delivery failure: this handler misses the event;
+		// the fault is already counted by the chaos registry.
+		return
+	}
+	s.handler(e)
 }
 
 // logAppendLocked appends to the ring buffer, evicting the oldest entry
@@ -334,17 +462,25 @@ type Txn struct {
 	began time.Time
 }
 
+// ErrTxnActive is returned by Begin while another transaction is open.
+var ErrTxnActive = errors.New("wbmgr: transaction already active")
+
 // Begin starts a transaction on behalf of a tool. Only one transaction
-// may be active at a time; Begin returns an error rather than blocking so
-// that misuse is visible.
+// may be active at a time; Begin returns ErrTxnActive rather than
+// blocking so that misuse is visible. The transaction's rollback state
+// is an undo-log savepoint on the IB graph — O(changes) to abort, not
+// O(graph) to begin.
 func (m *Manager) Begin(tool string) (*Txn, error) {
+	if err := chaos.Inject(SiteBegin); err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.inTxn {
-		return nil, fmt.Errorf("wbmgr: transaction already active")
+		return nil, ErrTxnActive
 	}
 	m.inTxn = true
-	m.snap = m.bb.Graph().Clone()
+	m.sp = m.bb.Graph().Savepoint()
 	m.queued = nil
 	m.metrics.Counter(MetricTxnBegin).Inc()
 	return &Txn{m: m, tool: tool, began: time.Now()}, nil
@@ -361,20 +497,46 @@ func (t *Txn) Emit(kind EventKind, subject string) {
 	t.m.queued = append(t.m.queued, Event{Kind: kind, Tool: t.tool, Subject: subject})
 }
 
-// Commit ends the transaction and delivers queued events in order.
-func (t *Txn) Commit() error {
+// errTxnFinished is returned by Commit/Abort on an already-closed Txn.
+func errTxnFinished() error { return fmt.Errorf("wbmgr: transaction already finished") }
+
+// Commit ends the transaction and delivers queued events in order. A
+// fault at the commit failpoint fails the commit atomically: the whole
+// transaction is rolled back (counted under cause=commit-fault) and the
+// queued events are dropped, exactly as if Abort had been called.
+func (t *Txn) Commit() (err error) {
 	t.m.mu.Lock()
 	if t.done {
 		t.m.mu.Unlock()
-		return fmt.Errorf("wbmgr: transaction already finished")
+		return errTxnFinished()
+	}
+	reg := t.m.metrics
+	t.m.mu.Unlock()
+	// The failpoint sits before the txn is sealed. An injected panic
+	// must also leave the IB at its pre-transaction state, so roll back
+	// before re-panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			t.rollback("commit-fault")
+			panic(r)
+		}
+	}()
+	if err := chaos.Inject(SiteCommit); err != nil {
+		t.rollback("commit-fault")
+		return fmt.Errorf("wbmgr: commit: %w", err)
+	}
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return errTxnFinished()
 	}
 	t.done = true
 	t.m.inTxn = false
-	t.m.snap = nil
+	sp := t.m.sp
 	queued := t.m.queued
 	t.m.queued = nil
-	reg := t.m.metrics
 	t.m.mu.Unlock()
+	t.m.bb.Graph().Release(sp)
 	reg.Counter(MetricTxnCommit).Inc()
 	reg.Histogram(MetricCommitDuration, nil).ObserveDuration(time.Since(t.began))
 	for _, e := range queued {
@@ -384,26 +546,60 @@ func (t *Txn) Commit() error {
 }
 
 // Abort rolls the blackboard back to its pre-transaction state and drops
-// queued events.
+// queued events. Abort is fault-tolerant by design: if its failpoint
+// fires (error or panic), the rollback still happens and the injected
+// fault is reported as the return value — callers can always rely on an
+// aborted transaction leaving the IB untouched.
 func (t *Txn) Abort() error {
 	t.m.mu.Lock()
 	if t.done {
 		t.m.mu.Unlock()
-		return fmt.Errorf("wbmgr: transaction already finished")
+		return errTxnFinished()
 	}
-	t.done = true
-	t.m.inTxn = false
-	snap := t.m.snap
-	t.m.snap = nil
-	t.m.queued = nil
 	reg := t.m.metrics
 	t.m.mu.Unlock()
+	var injected error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if f, ok := r.(*chaos.Fault); ok {
+					injected = f
+					return
+				}
+				panic(r)
+			}
+		}()
+		injected = chaos.Inject(SiteAbort)
+	}()
+	if !t.rollback("abort") {
+		return errTxnFinished()
+	}
 	reg.Counter(MetricTxnAbort).Inc()
-	t.m.bb.Graph().ReplaceWith(snap)
-	// ReplaceWith bypasses the blackboard's mutation path; re-sync the
-	// triple gauge so a rollback doesn't leave it stale.
-	reg.Gauge(blackboard.MetricTriples).Set(float64(t.m.bb.Graph().Len()))
-	return nil
+	return injected
+}
+
+// rollback closes the transaction and restores the pre-transaction
+// triple set via the undo log. It reports false when the transaction was
+// already finished (by a concurrent finisher).
+func (t *Txn) rollback(cause string) bool {
+	m := t.m
+	m.mu.Lock()
+	if t.done {
+		m.mu.Unlock()
+		return false
+	}
+	t.done = true
+	m.inTxn = false
+	sp := m.sp
+	m.queued = nil
+	reg := m.metrics
+	m.mu.Unlock()
+	m.bb.Graph().Rollback(sp)
+	// Rollback bypasses the blackboard's mutation path; re-sync its
+	// snapshot gauges so they don't go stale.
+	m.bb.SyncMetrics()
+	reg.Counter(MetricTxnRollbacks, "cause", cause).Inc()
+	return true
 }
 
 // ---- Queries ----

@@ -1,0 +1,37 @@
+package xmlschema
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzParseXSD asserts the XSD loader's crash-safety contract: parse or
+// error, never panic, hang, or unbounded recursion (deeply nested
+// documents are rejected by the pre-decode depth guard), and accepted
+// schemata validate.
+func FuzzParseXSD(f *testing.F) {
+	for _, path := range []string{"../../testdata/purchaseOrder.xsd", "../../testdata/shippingInfo.xsd"} {
+		if seed, err := os.ReadFile(path); err == nil {
+			f.Add(string(seed))
+		}
+	}
+	f.Add(`<schema><element name="a" type="string"/></schema>`)
+	f.Add(`<schema><complexType name="T"><sequence><element name="x"/></sequence></complexType>` +
+		`<element name="e" type="T"/></schema>`)
+	f.Add(`<schema><simpleType name="D"><restriction base="string">` +
+		`<enumeration value="A"/></restriction></simpleType></schema>`)
+	f.Add("<schema>" + strings.Repeat("<element>", 300) + strings.Repeat("</element>", 300) + "</schema>")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Load("fuzz", strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil schema with nil error")
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("loader returned invalid schema: %v\ninput: %q", verr, input)
+		}
+	})
+}

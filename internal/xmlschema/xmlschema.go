@@ -99,10 +99,47 @@ func collapseWhitespace(s string) string {
 	return strings.Join(strings.Fields(s), " ")
 }
 
+// maxXMLDepth bounds element nesting before decoding. The parse tree is
+// mutually recursive (element → complexType → element), so without this
+// guard a pathologically deep document drives xml.Decoder's recursion —
+// and the walker behind it — arbitrarily deep. Real schemata nest a
+// handful of levels; 200 is far beyond any legitimate document.
+const maxXMLDepth = 200
+
+// checkDepth scans the raw document iteratively and rejects nesting
+// deeper than maxXMLDepth. Syntax errors are ignored here — the real
+// decode reports them with full context.
+func checkDepth(data []byte) error {
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil // EOF or syntax error: Decode's problem
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth > maxXMLDepth {
+				return fmt.Errorf("element nesting deeper than %d", maxXMLDepth)
+			}
+		case xml.EndElement:
+			depth--
+		}
+	}
+}
+
 // Load parses an XSD document from r into a canonical schema named name.
 func Load(name string, r io.Reader) (*model.Schema, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlschema: reading %s: %w", name, err)
+	}
+	if err := checkDepth(data); err != nil {
+		return nil, fmt.Errorf("xmlschema: parsing %s: %w", name, err)
+	}
 	var doc xsdSchema
-	dec := xml.NewDecoder(r)
+	dec := xml.NewDecoder(strings.NewReader(string(data)))
 	if err := dec.Decode(&doc); err != nil {
 		return nil, fmt.Errorf("xmlschema: parsing %s: %w", name, err)
 	}
