@@ -1,0 +1,192 @@
+package workbench
+
+// Service-mode CLI tests: `workbench serve` as a real subprocess, the
+// -remote client flow against it, kill -9 durability, and the fsck
+// subcommand — the end-to-end shape of DESIGN.md §11.
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startServe launches `workbench serve` on a random port and returns
+// the subprocess and the base address it printed. The process is
+// SIGKILLed at cleanup unless the test killed it first.
+func startServe(t *testing.T, dir, dataDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "workbench"),
+		"-addr", "127.0.0.1:0", "-data-dir", dataDir, "serve")
+	cmd.Dir = dir
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting serve: %v", err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "serving on http://"); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("serving on "):])
+				return
+			}
+		}
+		addrCh <- ""
+	}()
+	select {
+	case addr := <-addrCh:
+		if addr == "" {
+			t.Fatal("serve exited before printing its address")
+		}
+		return cmd, addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("serve did not print its address in time")
+		return nil, ""
+	}
+}
+
+// remote runs a workbench subcommand in -remote mode.
+func remote(t *testing.T, dir, addr string, args ...string) string {
+	t.Helper()
+	return run(t, dir, "workbench", append([]string{"-remote", addr}, args...)...)
+}
+
+func TestServeRemoteKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	dataDir := filepath.Join(dir, "wb-data")
+	srv, addr := startServe(t, dir, dataDir)
+
+	// The full analyst flow over the network, byte-compatible with the
+	// local CLI's output shapes.
+	out := remote(t, dir, addr, "load", "po.xsd")
+	if !strings.Contains(out, `loaded schema "po"`) {
+		t.Fatalf("remote load: %s", out)
+	}
+	remote(t, dir, addr, "load", "si.xsd")
+	out = remote(t, dir, addr, "schemas")
+	if !strings.Contains(out, "po (v1)") || !strings.Contains(out, "si (v1)") {
+		t.Fatalf("remote schemas: %s", out)
+	}
+	remote(t, dir, addr, "map", "m1", "po", "si")
+	out = remote(t, dir, addr, "match", "m1", "0.2")
+	if !strings.Contains(out, "published") {
+		t.Fatalf("remote match: %s", out)
+	}
+	remote(t, dir, addr, "accept", "m1", "po/shipTo/subtotal", "si/shippingInfo/total")
+	out = remote(t, dir, addr, "cells", "m1")
+	if !strings.Contains(out, "+1.00 (user, by remote)") {
+		t.Fatalf("remote cells: %s", out)
+	}
+	out = remote(t, dir, addr, "query", `?s <urn:workbench:name> "subtotal"`, "s")
+	if !strings.Contains(out, "1 rows") {
+		t.Fatalf("remote query: %s", out)
+	}
+	out = remote(t, dir, addr, "events", "0", "2s")
+	if !strings.Contains(out, "schema-graph") || !strings.Contains(out, "mapping-cell") {
+		t.Fatalf("remote events: %s", out)
+	}
+	out = remote(t, dir, addr, "fsck")
+	if !strings.Contains(out, "fsck: clean") {
+		t.Fatalf("remote fsck: %s", out)
+	}
+
+	// kill -9: no shutdown handler runs; durability must come from the
+	// WAL alone.
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	srv.Wait()
+
+	// Offline fsck over the data dir the dead server left behind.
+	out = run(t, dir, "workbench", "-data-dir", dataDir, "fsck")
+	if !strings.Contains(out, "fsck: clean") || !strings.Contains(out, "recovery:") {
+		t.Fatalf("offline fsck: %s", out)
+	}
+
+	// A fresh server over the same directory recovers everything.
+	_, addr2 := startServe(t, dir, dataDir)
+	out = remote(t, dir, addr2, "schemas")
+	if !strings.Contains(out, "po (v1)") || !strings.Contains(out, "si (v1)") {
+		t.Fatalf("schemas after kill -9: %s", out)
+	}
+	out = remote(t, dir, addr2, "cells", "m1")
+	if !strings.Contains(out, "+1.00 (user, by remote)") {
+		t.Fatalf("accepted cell lost across kill -9: %s", out)
+	}
+}
+
+func TestFsckLocalStateFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeSchemas(t)
+	// An empty workbench is trivially clean.
+	out := run(t, dir, "workbench", "fsck")
+	if !strings.Contains(out, "fsck: clean (0 triples)") {
+		t.Fatalf("fsck empty: %s", out)
+	}
+	// A populated snapshot passes too.
+	run(t, dir, "workbench", "load", "po.xsd")
+	out = run(t, dir, "workbench", "fsck")
+	if !strings.Contains(out, "fsck: clean") || strings.Contains(out, "(0 triples)") {
+		t.Fatalf("fsck loaded: %s", out)
+	}
+	// A corrupt snapshot is an operational failure (exit 1).
+	if err := os.WriteFile(filepath.Join(dir, "workbench.nt"), []byte("not ntriples"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runExpectError(t, dir, "workbench", "fsck")
+	if !strings.Contains(out, "workbench:") {
+		t.Fatalf("fsck corrupt: %s", out)
+	}
+}
+
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(buildCLIs(t), "workbench")
+
+	exitCode := func(args ...string) int {
+		cmd := exec.Command(bin, args...)
+		cmd.Dir = dir
+		cmd.Run()
+		return cmd.ProcessState.ExitCode()
+	}
+	if got := exitCode(); got != 2 {
+		t.Errorf("no args: exit %d, want 2", got)
+	}
+	if got := exitCode("definitely-not-a-command"); got != 2 {
+		t.Errorf("unknown command: exit %d, want 2", got)
+	}
+	if got := exitCode("load"); got != 2 {
+		t.Errorf("load without file: exit %d, want 2", got)
+	}
+	if got := exitCode("load", "missing.xsd"); got != 1 {
+		t.Errorf("load of missing file: exit %d, want 1", got)
+	}
+	if got := exitCode("-remote", "127.0.0.1:1", "schemas"); got != 1 {
+		t.Errorf("remote against dead address: exit %d, want 1", got)
+	}
+	if got := exitCode("fsck"); got != 0 {
+		t.Errorf("fsck of empty state: exit %d, want 0", got)
+	}
+}

@@ -1,14 +1,19 @@
-// Command workbench is a stateful CLI over the integration blackboard.
-// The blackboard persists between invocations as an N-Triples snapshot
-// (default workbench.nt), exercising the §5.1.3 goal of a blackboard
-// shared across workbench instances.
+// Command workbench is a stateful CLI over the integration blackboard —
+// and, since the durable-service PR, both the server and a client of
+// the long-lived workbench service.
+//
+// Local mode persists the blackboard between invocations as an
+// N-Triples snapshot (default workbench.nt). Service mode (`workbench
+// serve`) runs a crash-safe, WAL-backed blackboard behind an HTTP/JSON
+// API; pointing any subcommand at it with -remote turns the CLI into a
+// thin client, so several analysts share one durable blackboard.
 //
 // Subcommands:
 //
 //	workbench load <schema-file>             import a schema (.xsd/.sql/.er)
 //	workbench schemas                        list stored schemata
 //	workbench map <id> <source> <target>     create a mapping
-//	workbench match <id> [-threshold f]      run Harmony, publish cells
+//	workbench match <id> [threshold]         run Harmony, publish cells
 //	workbench accept <id> <srcElem> <tgtElem>
 //	workbench reject <id> <srcElem> <tgtElem>
 //	workbench cells <id>                     print the mapping matrix cells
@@ -17,123 +22,481 @@
 //	workbench query '<pattern lines>' v1 v2       ad hoc IB query
 //	workbench metrics                        dump obs metrics for this blackboard
 //	workbench sim [tools] [ops]              chaos-simulate a workbench in memory
+//	workbench serve                          serve the durable workbench service
+//	workbench fsck                           check blackboard/WAL integrity
+//	workbench events [after [timeout]]       long-poll the service event feed (-remote)
+//	workbench snapshot                       force a WAL snapshot (-remote)
 //
-// Global flags: -state <file> (default workbench.nt); for the metrics
-// subcommand, -json switches to JSON exposition and -serve <addr>
-// blocks serving /metrics and /healthz over HTTP instead of printing.
+// Global flags: -state <file> (default workbench.nt) for local mode;
+// -remote <addr> to run a subcommand against a service; -addr and
+// -data-dir for serve/fsck; for the metrics subcommand, -json switches
+// to JSON exposition and -serve <addr> blocks serving /metrics and
+// /healthz over HTTP instead of printing.
+//
+// `workbench serve` needs no graceful shutdown: every commit is in the
+// write-ahead log before it is acknowledged, so kill -9 at any instant
+// loses nothing — the next start replays the log (see DESIGN.md §11).
 //
 // Fault injection: -chaos-sites arms failpoints for any subcommand
 // (chaos.ParseSpec syntax, e.g. "all=error:0.2" or
 // "blackboard.setcell=panic:n3") and -chaos-seed makes the fault
-// schedule reproducible — rerunning the same command with the same seed
-// and site list injects the same faults. The sim subcommand runs the
-// seed-replayable randomized workload with invariant checking; a
-// failing sim prints the exact flags to replay it.
+// schedule reproducible. The sim subcommand runs the seed-replayable
+// randomized workload with invariant checking; a failing sim prints the
+// exact flags to replay it.
+//
+// Exit codes: 0 success; 1 operational failure (the error is printed to
+// stderr); 2 usage error. Every failure path exits non-zero — a
+// reported failure never exits 0.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	workbench "repro"
 	"repro/internal/blackboard"
 	"repro/internal/chaos"
 	"repro/internal/chaos/sim"
+	"repro/internal/client"
 	"repro/internal/mapgen"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/wbmgr"
 )
 
 func main() {
-	state := flag.String("state", "workbench.nt", "blackboard snapshot file")
-	asJSON := flag.Bool("json", false, "metrics: JSON exposition instead of Prometheus text")
-	serveAddr := flag.String("serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
-	chaosSeed := flag.Int64("chaos-seed", 0, "seed for the chaos fault schedule (with -chaos-sites) and the sim workload")
-	chaosSites := flag.String("chaos-sites", "", "arm chaos failpoints: comma-separated site spec (chaos.ParseSpec syntax; 'all' for every site)")
-	flag.Parse()
-	args := flag.Args()
+	os.Exit(run(os.Args[1:]))
+}
+
+// opts carries the parsed global flags into the subcommands.
+type opts struct {
+	state      string
+	remote     string
+	addr       string
+	dataDir    string
+	asJSON     bool
+	serveAddr  string
+	chaosSeed  int64
+	chaosSites string
+}
+
+// usageExit and failExit are the sentinel exit codes run() maps errors
+// onto: a usageError exits 2, everything else exits 1.
+type usageError struct{ line string }
+
+func (e usageError) Error() string { return "usage: workbench " + e.line }
+
+// need enforces a subcommand's positional arity.
+func need(args []string, n int, usageLine string) error {
+	if len(args) < n {
+		return usageError{usageLine}
+	}
+	return nil
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("workbench", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var o opts
+	fs.StringVar(&o.state, "state", "workbench.nt", "blackboard snapshot file (local mode)")
+	fs.StringVar(&o.remote, "remote", "", "workbench service address; runs the subcommand as a client")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "serve: listen address")
+	fs.StringVar(&o.dataDir, "data-dir", "", "serve/fsck: WAL store directory")
+	fs.BoolVar(&o.asJSON, "json", false, "metrics: JSON exposition instead of Prometheus text")
+	fs.StringVar(&o.serveAddr, "serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
+	fs.Int64Var(&o.chaosSeed, "chaos-seed", 0, "seed for the chaos fault schedule (with -chaos-sites) and the sim workload")
+	fs.StringVar(&o.chaosSites, "chaos-sites", "", "arm chaos failpoints: comma-separated site spec (chaos.ParseSpec syntax; 'all' for every site)")
+	fs.Usage = func() { usage(os.Stderr) }
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
+		usage(os.Stderr)
+		return 2
+	}
+	cmd, rest := args[0], args[1:]
+
+	if cmd == "sim" {
+		return runSim(o.chaosSeed, o.chaosSites, rest)
+	}
+	if o.chaosSites != "" {
+		rules, err := chaos.ParseSpec(o.chaosSites)
+		if err != nil {
+			return report(err)
+		}
+		armed := chaos.Apply(o.chaosSeed, rules)
+		fmt.Fprintf(os.Stderr, "workbench: chaos armed (seed %d): %d sites\n", o.chaosSeed, len(armed))
 	}
 
-	if len(args) > 0 && args[0] == "sim" {
-		runSim(*chaosSeed, *chaosSites, args[1:])
-		return
+	var err error
+	switch {
+	case cmd == "serve":
+		err = runServe(o)
+	case cmd == "fsck":
+		err = runFsck(o)
+	case o.remote != "":
+		err = runRemote(o, cmd, rest)
+	default:
+		err = runLocal(o, cmd, rest)
 	}
-	if *chaosSites != "" {
-		rules, err := chaos.ParseSpec(*chaosSites)
-		exitIf(err)
-		armed := chaos.Apply(*chaosSeed, rules)
-		fmt.Fprintf(os.Stderr, "workbench: chaos armed (seed %d): %d sites\n", *chaosSeed, len(armed))
+	switch e := err.(type) {
+	case nil:
+		return 0
+	case usageError:
+		fmt.Fprintln(os.Stderr, e.Error())
+		return 2
+	default:
+		return report(err)
 	}
+}
 
+// report prints an operational failure and returns exit code 1.
+func report(err error) int {
+	fmt.Fprintln(os.Stderr, "workbench:", err)
+	return 1
+}
+
+// ---- service mode ----
+
+// runServe starts the durable workbench service and blocks. There is no
+// graceful-shutdown path on purpose: durability comes from the WAL, not
+// from orderly exits.
+func runServe(o opts) error {
+	if o.dataDir == "" {
+		fmt.Fprintln(os.Stderr, "workbench: serve without -data-dir: state is in-memory only")
+	}
+	srv, err := server.New(server.Config{DataDir: o.dataDir, Metrics: obs.Default()})
+	if err != nil {
+		return err
+	}
+	if o.dataDir != "" {
+		fmt.Printf("workbench: recovered %s: %s\n", o.dataDir, srv.Store().Stats())
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workbench: serving on http://%s\n", ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}
+
+// runFsck checks integrity: of a WAL data dir (-data-dir), of a local
+// snapshot (-state), or of a running service (-remote).
+func runFsck(o opts) error {
+	switch {
+	case o.remote != "":
+		resp, err := client.New(o.remote).Fsck()
+		if err != nil {
+			return err
+		}
+		if resp.Recovery != "" {
+			fmt.Printf("recovery: %s\n", resp.Recovery)
+		}
+		for _, e := range resp.Errors {
+			fmt.Println("  " + e)
+		}
+		if !resp.Clean {
+			return fmt.Errorf("fsck: %d integrity violations", len(resp.Errors))
+		}
+		fmt.Printf("fsck: clean (%d triples)\n", resp.Triples)
+		return nil
+	case o.dataDir != "":
+		g, stats, err := wal.Recover(o.dataDir)
+		if err != nil {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		fmt.Printf("recovery: %s\n", stats)
+		return fsckGraph(blackboard.NewFromGraph(g))
+	default:
+		bb := blackboard.New()
+		if f, err := os.Open(o.state); err == nil {
+			rerr := bb.Restore(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("fsck: %w", rerr)
+			}
+		} else if !os.IsNotExist(err) {
+			return fmt.Errorf("fsck: %w", err)
+		}
+		return fsckGraph(bb)
+	}
+}
+
+func fsckGraph(bb *blackboard.Blackboard) error {
+	errs := bb.CheckIntegrity()
+	for _, e := range errs {
+		fmt.Println("  " + e.Error())
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("fsck: %d integrity violations", len(errs))
+	}
+	fmt.Printf("fsck: clean (%d triples)\n", bb.Graph().Len())
+	return nil
+}
+
+// ---- remote mode ----
+
+// runRemote executes one subcommand against a workbench service,
+// printing the same shapes the local path prints so scripts don't care
+// which side of the network the blackboard lives on.
+func runRemote(o opts, cmd string, rest []string) error {
+	c := client.New(o.remote)
+	switch cmd {
+	case "load":
+		if err := need(rest, 1, "load <schema-file>"); err != nil {
+			return err
+		}
+		name, format, err := schemaNameFormat(rest[0])
+		if err != nil {
+			return err
+		}
+		text, err := os.ReadFile(rest[0])
+		if err != nil {
+			return err
+		}
+		info, err := c.LoadSchema(name, format, string(text))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded schema %q (version %d, %d elements)\n", info.Name, info.Version, info.Elements)
+	case "schemas":
+		infos, err := c.Schemas()
+		if err != nil {
+			return err
+		}
+		for _, s := range infos {
+			fmt.Printf("  %s (v%d)\n", s.Name, s.Version)
+		}
+	case "map":
+		if err := need(rest, 3, "map <id> <source> <target>"); err != nil {
+			return err
+		}
+		if _, err := c.NewMapping(rest[0], rest[1], rest[2]); err != nil {
+			return err
+		}
+		fmt.Printf("created mapping %q: %s → %s\n", rest[0], rest[1], rest[2])
+	case "match":
+		if err := need(rest, 1, "match <id> [threshold]"); err != nil {
+			return err
+		}
+		threshold := server.DefaultThreshold
+		if len(rest) > 1 {
+			t, err := strconv.ParseFloat(rest[1], 64)
+			if err != nil {
+				return err
+			}
+			threshold = t
+		}
+		resp, err := c.Match(rest[0], threshold)
+		if err != nil {
+			return err
+		}
+		for _, cell := range resp.Cells {
+			fmt.Printf("  %s ↔ %s (%+.2f)\n", cell.Source, cell.Target, cell.Confidence)
+		}
+		fmt.Printf("published %d cells at threshold %.2f\n", resp.Published, resp.Threshold)
+	case "accept", "reject":
+		if err := need(rest, 3, cmd+" <id> <srcElem> <tgtElem>"); err != nil {
+			return err
+		}
+		if _, err := c.Decide(rest[0], rest[1], rest[2], cmd); err != nil {
+			return err
+		}
+		fmt.Printf("%sed %s ↔ %s\n", cmd, rest[1], rest[2])
+	case "cells":
+		if err := need(rest, 1, "cells <id>"); err != nil {
+			return err
+		}
+		cells, err := c.Cells(rest[0])
+		if err != nil {
+			return err
+		}
+		for _, cell := range cells {
+			origin := "machine"
+			if cell.UserDefined {
+				origin = "user"
+			}
+			fmt.Printf("  %-40s ↔ %-40s %+.2f (%s, by %s)\n",
+				cell.Source, cell.Target, cell.Confidence, origin, cell.SetBy)
+		}
+	case "query":
+		if err := need(rest, 2, "query '<pattern lines>' v1 [v2 ...]"); err != nil {
+			return err
+		}
+		rows, err := c.Query(rest[0], rest[1:]...)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(" ", strings.Join(r, "  "))
+		}
+		fmt.Printf("%d rows\n", len(rows))
+	case "events":
+		after := uint64(0)
+		timeout := 10 * time.Second
+		if len(rest) > 0 {
+			n, err := strconv.ParseUint(rest[0], 10, 64)
+			if err != nil {
+				return err
+			}
+			after = n
+		}
+		if len(rest) > 1 {
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return err
+			}
+			timeout = d
+		}
+		evs, next, gap, err := c.Events(after, timeout)
+		if err != nil {
+			return err
+		}
+		if gap {
+			fmt.Println("  (gap: events were evicted before this client caught up)")
+		}
+		for _, e := range evs {
+			fmt.Printf("  #%d %-15s %-24s %s\n", e.Seq, e.Kind, e.Tool, e.Subject)
+		}
+		fmt.Printf("next cursor: %d\n", next)
+	case "snapshot":
+		resp, err := c.SnapshotNow()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("snapshot taken (%d triples)\n", resp.Triples)
+	default:
+		return usageError{fmt.Sprintf("%s is not available in -remote mode", cmd)}
+	}
+	return nil
+}
+
+// schemaNameFormat derives the blackboard schema name (file stem) and
+// wire format from a schema file path, mirroring the local loaders.
+func schemaNameFormat(path string) (name, format string, err error) {
+	ext := strings.ToLower(filepath.Ext(path))
+	name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch ext {
+	case ".xsd", ".xml":
+		return name, "xsd", nil
+	case ".sql", ".ddl":
+		return name, "sql", nil
+	case ".er":
+		return name, "er", nil
+	default:
+		return "", "", fmt.Errorf("unknown schema extension on %q", path)
+	}
+}
+
+// ---- local mode ----
+
+func runLocal(o opts, cmd string, rest []string) error {
 	bb := blackboard.New()
-	if f, err := os.Open(*state); err == nil {
-		err = bb.Restore(f)
+	if f, err := os.Open(o.state); err == nil {
+		rerr := bb.Restore(f)
 		f.Close()
-		exitIf(err)
+		if rerr != nil {
+			return rerr
+		}
+	} else if !os.IsNotExist(err) {
+		return err
 	}
 	m := wbmgr.NewWith(bb)
 
-	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "load":
-		need(rest, 1, "load <schema-file>")
+		if err := need(rest, 1, "load <schema-file>"); err != nil {
+			return err
+		}
 		s, err := loadSchema(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		v, err := bb.PutSchema(s)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("loaded schema %q (version %d, %d elements)\n", s.Name, v, s.Len())
 	case "schemas":
 		for _, n := range bb.Schemas() {
 			fmt.Printf("  %s (v%d)\n", n, bb.SchemaVersion(n))
 		}
 	case "map":
-		need(rest, 3, "map <id> <source> <target>")
-		_, err := bb.NewMapping(rest[0], rest[1], rest[2])
-		exitIf(err)
+		if err := need(rest, 3, "map <id> <source> <target>"); err != nil {
+			return err
+		}
+		if _, err := bb.NewMapping(rest[0], rest[1], rest[2]); err != nil {
+			return err
+		}
 		fmt.Printf("created mapping %q: %s → %s\n", rest[0], rest[1], rest[2])
 	case "match":
-		need(rest, 1, "match <id> [threshold]")
-		threshold := 0.25
+		if err := need(rest, 1, "match <id> [threshold]"); err != nil {
+			return err
+		}
+		threshold := server.DefaultThreshold
 		if len(rest) > 1 {
 			t, err := strconv.ParseFloat(rest[1], 64)
-			exitIf(err)
+			if err != nil {
+				return err
+			}
 			threshold = t
 		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		src, err := bb.GetSchema(mp.SourceSchema)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		tgt, err := bb.GetSchema(mp.TargetSchema)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{Flooding: true})
 		engine.Run()
 		links := engine.Matrix().Above(threshold)
 		for _, l := range links {
-			exitIf(mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"))
+			if err := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); err != nil {
+				return err
+			}
 			fmt.Println(" ", l)
 		}
 		fmt.Printf("published %d cells at threshold %.2f\n", len(links), threshold)
 	case "accept", "reject":
-		need(rest, 3, cmd+" <id> <srcElem> <tgtElem>")
+		if err := need(rest, 3, cmd+" <id> <srcElem> <tgtElem>"); err != nil {
+			return err
+		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		conf := 1.0
 		if cmd == "reject" {
 			conf = -1.0
 		}
-		exitIf(mp.SetCell(rest[1], rest[2], conf, true, "engineer"))
+		if err := mp.SetCell(rest[1], rest[2], conf, true, "engineer"); err != nil {
+			return err
+		}
 		fmt.Printf("%sed %s ↔ %s\n", cmd, rest[1], rest[2])
 	case "cells":
-		need(rest, 1, "cells <id>")
+		if err := need(rest, 1, "cells <id>"); err != nil {
+			return err
+		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		for _, c := range mp.Cells() {
 			origin := "machine"
 			if c.UserDefined {
@@ -143,34 +506,52 @@ func main() {
 				c.SourceID, c.TargetID, c.Confidence, origin, c.SetBy)
 		}
 	case "code":
-		need(rest, 5, "code <id> <rowElem> <var> <colElem> <expr>")
+		if err := need(rest, 5, "code <id> <rowElem> <var> <colElem> <expr>"); err != nil {
+			return err
+		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		if _, err := mapgen.Parse(rest[4]); err != nil {
-			exitIf(err)
+			return err
 		}
 		mp.SetRowVariable(rest[1], rest[2])
 		mp.SetColumnCode(rest[3], rest[4], "cli")
 		fmt.Printf("column %s: %s\n", rest[3], rest[4])
 	case "gen":
-		need(rest, 3, "gen <id> <srcEntity> <tgtEntity>")
+		if err := need(rest, 3, "gen <id> <srcEntity> <tgtEntity>"); err != nil {
+			return err
+		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		prog, err := mapgen.AssembleProgram(bb, mp, rest[1], rest[2])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		code := prog.GenerateXQuery()
 		mp.SetCode(code, "cli")
 		fmt.Println(code)
 	case "dot":
 		// dot <mapping-id>: render the mapping as Graphviz DOT with
 		// color-coded correspondence lines (the GUI stand-in).
-		need(rest, 1, "dot <mapping-id>")
+		if err := need(rest, 1, "dot <mapping-id>"); err != nil {
+			return err
+		}
 		mp, err := bb.GetMapping(rest[0])
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		src, err := bb.GetSchema(mp.SourceSchema)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		tgt, err := bb.GetSchema(mp.TargetSchema)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		var cells []model.MappingDOTCell
 		for _, c := range mp.Cells() {
 			cells = append(cells, model.MappingDOTCell{
@@ -187,37 +568,47 @@ func main() {
 		reg.Describe("ib_mappings", "Mappings stored in the blackboard library.")
 		reg.Gauge("ib_schemas").Set(float64(len(bb.Schemas())))
 		reg.Gauge("ib_mappings").Set(float64(len(bb.Mappings())))
-		if *serveAddr != "" {
-			fmt.Fprintf(os.Stderr, "workbench: serving /metrics and /healthz on %s\n", *serveAddr)
-			exitIf(obs.Serve(*serveAddr, reg))
-			return
+		if o.serveAddr != "" {
+			fmt.Fprintf(os.Stderr, "workbench: serving /metrics and /healthz on %s\n", o.serveAddr)
+			return obs.Serve(o.serveAddr, reg)
 		}
-		if *asJSON {
-			exitIf(obs.WriteJSON(os.Stdout, reg))
+		if o.asJSON {
+			if err := obs.WriteJSON(os.Stdout, reg); err != nil {
+				return err
+			}
 		} else {
-			exitIf(obs.WritePrometheus(os.Stdout, reg))
+			if err := obs.WritePrometheus(os.Stdout, reg); err != nil {
+				return err
+			}
 		}
 	case "query":
-		if len(rest) < 2 {
-			usage()
+		if err := need(rest, 2, "query '<pattern lines>' v1 [v2 ...]"); err != nil {
+			return err
 		}
 		rows, err := m.Query(rest[0], rest[1:]...)
-		exitIf(err)
+		if err != nil {
+			return err
+		}
 		for _, r := range rows {
 			fmt.Println(" ", strings.Join(r, "  "))
 		}
 		fmt.Printf("%d rows\n", len(rows))
 	default:
-		usage()
+		return usageError{"<command>; run with no arguments for the command list"}
 	}
 
-	// Persist the blackboard.
-	f, err := os.Create(*state)
-	exitIf(err)
+	// Persist the blackboard — only reached when the subcommand
+	// succeeded, so a failed run never clobbers the previous state.
+	f, err := os.Create(o.state)
+	if err != nil {
+		return err
+	}
 	err = bb.Snapshot(f)
 	cerr := f.Close()
-	exitIf(err)
-	exitIf(cerr)
+	if err != nil {
+		return err
+	}
+	return cerr
 }
 
 func loadSchema(path string) (*model.Schema, error) {
@@ -233,44 +624,35 @@ func loadSchema(path string) (*model.Schema, error) {
 	}
 }
 
-func need(args []string, n int, usageLine string) {
-	if len(args) < n {
-		fmt.Fprintln(os.Stderr, "usage: workbench", usageLine)
-		os.Exit(2)
-	}
-}
-
 // runSim executes the in-memory chaos workload simulator. It never
 // touches the state file: the simulated blackboard lives and dies in
 // this process. Positional args override the worker/op counts.
-func runSim(seed int64, spec string, rest []string) {
+func runSim(seed int64, spec string, rest []string) int {
 	cfg := sim.Config{Seed: seed, Spec: spec}
 	if len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
-		exitIf(err)
+		if err != nil {
+			return report(err)
+		}
 		cfg.Tools = n
 	}
 	if len(rest) > 1 {
 		n, err := strconv.Atoi(rest[1])
-		exitIf(err)
+		if err != nil {
+			return report(err)
+		}
 		cfg.Ops = n
 	}
 	rep := sim.Run(cfg)
 	fmt.Print(rep.String())
 	if rep.Failed() {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: workbench [-state file] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim`)
-	os.Exit(2)
-}
-
-func exitIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "workbench:", err)
-		os.Exit(1)
-	}
+func usage(w *os.File) {
+	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-chaos-seed n] [-chaos-sites spec] <command> ...
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, serve, fsck, events, snapshot
+serve flags: -addr host:port -data-dir dir`)
 }

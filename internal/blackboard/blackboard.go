@@ -99,7 +99,17 @@ type Blackboard struct {
 
 // New returns an empty blackboard instrumented on obs.Default().
 func New() *Blackboard {
-	b := &Blackboard{g: rdf.NewGraph()}
+	return NewFromGraph(rdf.NewGraph())
+}
+
+// NewFromGraph wraps an existing RDF graph — typically one recovered by
+// the write-ahead log store — as a blackboard. A nil graph yields an
+// empty blackboard.
+func NewFromGraph(g *rdf.Graph) *Blackboard {
+	if g == nil {
+		g = rdf.NewGraph()
+	}
+	b := &Blackboard{g: g}
 	b.SetMetrics(obs.Default())
 	return b
 }

@@ -1,0 +1,191 @@
+// Package client is the thin Go client of the workbench service
+// (internal/server): typed wrappers over the HTTP/JSON API that the
+// `workbench` CLI uses in -remote mode, and that programmatic tools can
+// embed to join a shared, durable blackboard. It reuses the server's
+// wire structs, so the two sides cannot drift.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Client talks to one workbench service.
+type Client struct {
+	base    string
+	http    *http.Client
+	session string
+}
+
+// New returns a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). The scheme is added when missing.
+func New(base string) *Client {
+	base = strings.TrimRight(base, "/")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: base, http: &http.Client{}}
+}
+
+// SetHTTPClient swaps the underlying http.Client (tests, timeouts).
+func (c *Client) SetHTTPClient(hc *http.Client) { c.http = hc }
+
+// BaseURL returns the normalized service address this client talks to.
+func (c *Client) BaseURL() string { return c.base }
+
+// Session returns the session id attached to mutating requests ("" when
+// none was opened).
+func (c *Client) Session() string { return c.session }
+
+// do performs one JSON round-trip. A nil in sends an empty body; a nil
+// out discards the response body. Non-2xx responses are decoded as the
+// uniform error shape.
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.session != "" {
+		req.Header.Set(server.SessionHeader, c.session)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e server.ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("workbench server: %s", e.Error)
+		}
+		return fmt.Errorf("workbench server: %s: %s", resp.Status, strings.TrimSpace(string(data)))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// OpenSession opens an analyst session and attaches it to every
+// subsequent mutating request, so provenance and events carry the
+// client's name.
+func (c *Client) OpenSession(clientName string) (server.SessionInfo, error) {
+	var info server.SessionInfo
+	err := c.do("POST", "/v1/sessions", server.OpenSessionRequest{Client: clientName}, &info)
+	if err == nil {
+		c.session = info.ID
+	}
+	return info, err
+}
+
+// Sessions lists open sessions.
+func (c *Client) Sessions() ([]server.SessionInfo, error) {
+	var out []server.SessionInfo
+	return out, c.do("GET", "/v1/sessions", nil, &out)
+}
+
+// LoadSchema uploads schema text (format: xsd, sql or er) and stores it
+// under name, returning the stored version.
+func (c *Client) LoadSchema(name, format, text string) (server.SchemaInfo, error) {
+	var out server.SchemaInfo
+	err := c.do("POST", "/v1/schemas", server.LoadSchemaRequest{Name: name, Format: format, Text: text}, &out)
+	return out, err
+}
+
+// Schemas lists stored schemata.
+func (c *Client) Schemas() ([]server.SchemaInfo, error) {
+	var out []server.SchemaInfo
+	return out, c.do("GET", "/v1/schemas", nil, &out)
+}
+
+// NewMapping creates a mapping matrix between two stored schemata.
+func (c *Client) NewMapping(id, source, target string) (server.MappingInfo, error) {
+	var out server.MappingInfo
+	err := c.do("POST", "/v1/mappings", server.CreateMappingRequest{ID: id, Source: source, Target: target}, &out)
+	return out, err
+}
+
+// Mappings lists the mapping library.
+func (c *Client) Mappings() ([]server.MappingInfo, error) {
+	var out []server.MappingInfo
+	return out, c.do("GET", "/v1/mappings", nil, &out)
+}
+
+// Match runs Harmony server-side and publishes every correspondence at
+// or above threshold (the CLI default is server.DefaultThreshold).
+func (c *Client) Match(id string, threshold float64) (server.MatchResponse, error) {
+	var out server.MatchResponse
+	err := c.do("POST", "/v1/mappings/"+url.PathEscape(id)+"/match",
+		server.MatchRequest{Threshold: &threshold}, &out)
+	return out, err
+}
+
+// Decide accepts or rejects one correspondence (verdict: "accept" or
+// "reject").
+func (c *Client) Decide(id, source, target, verdict string) (server.CellInfo, error) {
+	var out server.CellInfo
+	err := c.do("POST", "/v1/mappings/"+url.PathEscape(id)+"/decide",
+		server.DecideRequest{Source: source, Target: target, Verdict: verdict}, &out)
+	return out, err
+}
+
+// Cells fetches the mapping matrix.
+func (c *Client) Cells(id string) ([]server.CellInfo, error) {
+	var out []server.CellInfo
+	return out, c.do("GET", "/v1/mappings/"+url.PathEscape(id)+"/cells", nil, &out)
+}
+
+// Query runs a §5.2 ad hoc basic-graph-pattern query.
+func (c *Client) Query(query string, vars ...string) ([][]string, error) {
+	var out server.QueryResponse
+	err := c.do("POST", "/v1/query", server.QueryRequest{Query: query, Vars: vars}, &out)
+	return out.Rows, err
+}
+
+// Events long-polls the feed for events after the cursor, waiting up to
+// timeout server-side. It returns the events (possibly none) and the
+// cursor for the next call; gap reports dropped events (client too far
+// behind — re-sync state before resuming).
+func (c *Client) Events(after uint64, timeout time.Duration) (evs []server.FeedEvent, next uint64, gap bool, err error) {
+	var out server.EventsResponse
+	path := fmt.Sprintf("/v1/events?after=%d&timeout=%s", after, timeout)
+	if err := c.do("GET", path, nil, &out); err != nil {
+		return nil, after, false, err
+	}
+	return out.Events, out.Next, out.Gap, nil
+}
+
+// Fsck asks the server for a blackboard + WAL integrity report.
+func (c *Client) Fsck() (server.FsckResponse, error) {
+	var out server.FsckResponse
+	return out, c.do("GET", "/v1/fsck", nil, &out)
+}
+
+// SnapshotNow forces the server to fold its WAL into a fresh snapshot.
+func (c *Client) SnapshotNow() (server.SnapshotResponse, error) {
+	var out server.SnapshotResponse
+	return out, c.do("POST", "/v1/snapshot", nil, &out)
+}

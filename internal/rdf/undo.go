@@ -86,6 +86,33 @@ func (g *Graph) journalLocked(add bool, t Triple) {
 	}
 }
 
+// ChangeOp is one mutation drawn from the undo journal: Add reports an
+// insertion, otherwise a deletion. The write-ahead log (package wal)
+// persists the ChangeOps of a committing transaction.
+type ChangeOp struct {
+	Add bool
+	T   Triple
+}
+
+// ChangesSince returns a copy of the journal entries recorded since the
+// savepoint was opened, in application order. The savepoint must still
+// be open. Replaying the returned ops in order onto a graph holding the
+// savepoint's state reproduces the current state exactly (ops are
+// journaled only for effective mutations, so replay is idempotent on a
+// graph already holding the final state).
+func (g *Graph) ChangesSince(sp Savepoint) []ChangeOp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.journalDepth < sp.depth {
+		panic(fmt.Sprintf("rdf: ChangesSince on closed savepoint (depth %d, open %d)", sp.depth, g.journalDepth))
+	}
+	out := make([]ChangeOp, 0, len(g.journal)-sp.mark)
+	for _, op := range g.journal[sp.mark:] {
+		out = append(out, ChangeOp{Add: op.add, T: op.t})
+	}
+	return out
+}
+
 // ---- Snapshot / diff helpers ----
 
 // Equal reports whether two graphs hold exactly the same triple set.

@@ -1,0 +1,158 @@
+package server
+
+// Wire types of the workbench HTTP/JSON API (v1). The thin Go client
+// (internal/client) reuses these structs, so the two sides cannot drift.
+//
+// Routes (all JSON unless noted):
+//
+//	POST /v1/sessions                     open a session        → SessionInfo
+//	GET  /v1/sessions                     list sessions         → []SessionInfo
+//	POST /v1/schemas                      load a schema         → SchemaInfo
+//	GET  /v1/schemas                      list schemata         → []SchemaInfo
+//	GET  /v1/schemas/{name}               one schema            → SchemaInfo
+//	POST /v1/mappings                     create a mapping      → MappingInfo
+//	GET  /v1/mappings                     list mappings         → []MappingInfo
+//	GET  /v1/mappings/{id}                one mapping           → MappingInfo
+//	GET  /v1/mappings/{id}/cells          the mapping matrix    → []CellInfo
+//	POST /v1/mappings/{id}/match          run Harmony           → MatchResponse
+//	POST /v1/mappings/{id}/decide         accept/reject a cell  → CellInfo
+//	POST /v1/query                        ad hoc IB query       → QueryResponse
+//	GET  /v1/events?after=N&timeout=30s   long-poll event feed  → EventsResponse
+//	GET  /v1/events (Accept: text/event-stream)  SSE event feed
+//	GET  /v1/fsck                         integrity check       → FsckResponse
+//	POST /v1/snapshot                     force a WAL snapshot  → SnapshotResponse
+//	GET  /metrics, /healthz               obs exposition (Prometheus text / JSON)
+//
+// Mutating routes attribute their transaction (and therefore event
+// provenance) to the session named by the X-Workbench-Session header;
+// without one they run as the "remote" tool.
+//
+// Errors are {"error": "..."} with a 4xx/5xx status.
+
+// SessionHeader carries the session id on mutating requests.
+const SessionHeader = "X-Workbench-Session"
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// OpenSessionRequest names the connecting client.
+type OpenSessionRequest struct {
+	Client string `json:"client"`
+}
+
+// SessionInfo describes one live analyst session.
+type SessionInfo struct {
+	ID     string `json:"id"`
+	Client string `json:"client"`
+	// Tool is the provenance name the session's transactions run under.
+	Tool string `json:"tool"`
+	// CreatedRev is the blackboard revision when the session opened.
+	CreatedRev int `json:"createdRev"`
+	// Ops counts mutating requests attributed to the session.
+	Ops int `json:"ops"`
+}
+
+// LoadSchemaRequest uploads schema text for parsing and storage.
+type LoadSchemaRequest struct {
+	// Name is the schema name in the blackboard.
+	Name string `json:"name"`
+	// Format selects the loader: "xsd", "sql" or "er".
+	Format string `json:"format"`
+	// Text is the raw schema document.
+	Text string `json:"text"`
+}
+
+// SchemaInfo summarizes one stored schema.
+type SchemaInfo struct {
+	Name     string `json:"name"`
+	Version  int    `json:"version"`
+	Elements int    `json:"elements"`
+}
+
+// CreateMappingRequest creates a mapping matrix between two schemata.
+type CreateMappingRequest struct {
+	ID     string `json:"id"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+}
+
+// MappingInfo summarizes one mapping matrix.
+type MappingInfo struct {
+	ID     string `json:"id"`
+	Source string `json:"source"`
+	Target string `json:"target"`
+	Cells  int    `json:"cells"`
+}
+
+// CellInfo is one mapping-matrix cell (blackboard.Cell on the wire).
+type CellInfo struct {
+	Source      string  `json:"source"`
+	Target      string  `json:"target"`
+	Confidence  float64 `json:"confidence"`
+	UserDefined bool    `json:"userDefined"`
+	SetBy       string  `json:"setBy"`
+	Revision    int     `json:"revision"`
+}
+
+// MatchRequest tunes a Harmony run over a mapping's schema pair.
+type MatchRequest struct {
+	// Threshold filters published correspondences (default 0.25).
+	Threshold *float64 `json:"threshold,omitempty"`
+}
+
+// MatchResponse reports the cells a match run published.
+type MatchResponse struct {
+	Threshold float64    `json:"threshold"`
+	Published int        `json:"published"`
+	Cells     []CellInfo `json:"cells"`
+}
+
+// DecideRequest accepts or rejects one correspondence.
+type DecideRequest struct {
+	Source string `json:"source"`
+	Target string `json:"target"`
+	// Verdict is "accept" (confidence +1) or "reject" (confidence -1).
+	Verdict string `json:"verdict"`
+}
+
+// QueryRequest is a §5.2 ad hoc query: basic-graph-pattern text plus the
+// variables to project.
+type QueryRequest struct {
+	Query string   `json:"query"`
+	Vars  []string `json:"vars"`
+}
+
+// QueryResponse carries the projected rows.
+type QueryResponse struct {
+	Rows [][]string `json:"rows"`
+}
+
+// EventsResponse is one long-poll answer: the events after the client's
+// cursor plus the new cursor to poll with next.
+type EventsResponse struct {
+	// Next is the cursor for the next poll (the highest delivered seq, or
+	// the request's after when no events arrived before the timeout).
+	Next uint64 `json:"next"`
+	// Gap reports that the client fell further behind than the feed
+	// buffer holds: events were evicted undelivered, so the client should
+	// re-read current state before trusting incremental updates again.
+	Gap    bool        `json:"gap,omitempty"`
+	Events []FeedEvent `json:"events"`
+}
+
+// FsckResponse reports blackboard + WAL integrity.
+type FsckResponse struct {
+	Clean   bool     `json:"clean"`
+	Triples int      `json:"triples"`
+	Errors  []string `json:"errors,omitempty"`
+	// Recovery is the WAL recovery summary from startup ("" when the
+	// server runs without a data dir).
+	Recovery string `json:"recovery,omitempty"`
+}
+
+// SnapshotResponse acknowledges a forced snapshot.
+type SnapshotResponse struct {
+	Triples int `json:"triples"`
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/wbmgr"
+)
+
+// FeedEvent is one blackboard-change event as seen by network clients:
+// the wbmgr event plus a monotonically increasing sequence number.
+// Sequence numbers start at 1 and never repeat, so a client that
+// long-polls with after=<last seen seq> receives every event exactly
+// once, in order.
+type FeedEvent struct {
+	Seq     uint64 `json:"seq"`
+	Kind    string `json:"kind"`
+	Tool    string `json:"tool"`
+	Subject string `json:"subject"`
+}
+
+// DefaultFeedCapacity bounds the in-memory event feed. A client further
+// than this many events behind observes a gap (EventsResponse.Gap) and
+// must re-sync from current state.
+const DefaultFeedCapacity = 4096
+
+// feed is the seq-numbered event buffer behind /v1/events. Appends come
+// from wbmgr's publish path (the server subscribes to every event kind);
+// readers are long-poll and SSE handlers.
+type feed struct {
+	mu    sync.Mutex
+	buf   []FeedEvent
+	first uint64 // seq of buf[0]
+	next  uint64 // seq the next event will get
+	cap   int
+	wake  chan struct{} // closed and replaced on every append
+}
+
+func newFeed(capacity int) *feed {
+	if capacity <= 0 {
+		capacity = DefaultFeedCapacity
+	}
+	return &feed{first: 1, next: 1, cap: capacity, wake: make(chan struct{})}
+}
+
+// append assigns the next sequence number and wakes all waiters.
+func (f *feed) append(e wbmgr.Event) {
+	f.mu.Lock()
+	f.buf = append(f.buf, FeedEvent{
+		Seq:     f.next,
+		Kind:    string(e.Kind),
+		Tool:    e.Tool,
+		Subject: e.Subject,
+	})
+	f.next++
+	if drop := len(f.buf) - f.cap; drop > 0 {
+		f.buf = append(f.buf[:0], f.buf[drop:]...)
+		f.first += uint64(drop)
+	}
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// since returns a copy of the events with seq > after, whether the
+// client missed evicted events (gap), and the channel that will close on
+// the next append (for waiting when the slice is empty).
+func (f *feed) since(after uint64) (evs []FeedEvent, gap bool, wake <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if after+1 < f.first {
+		gap = true
+		after = f.first - 1
+	}
+	if after < f.next-1 {
+		start := int(after + 1 - f.first)
+		evs = append([]FeedEvent(nil), f.buf[start:]...)
+	}
+	return evs, gap, f.wake
+}
+
+// wait blocks until at least one event with seq > after exists, the
+// timeout elapses, or ctx is done — then returns whatever is available
+// (possibly nothing: an empty long-poll response).
+func (f *feed) wait(ctx context.Context, after uint64, timeout time.Duration) ([]FeedEvent, bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		evs, gap, wake := f.since(after)
+		if len(evs) > 0 || gap {
+			return evs, gap
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			return nil, false
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}

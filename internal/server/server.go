@@ -1,0 +1,713 @@
+// Package server turns the workbench into a long-lived, multi-client
+// service: a stdlib-only HTTP/JSON API over one workbench manager and
+// its integration blackboard, optionally made crash-safe by the
+// write-ahead log store (internal/wal). The paper's manager (§5.2)
+// mediates transactions, events and queries for in-process tools; this
+// package extends the same mediation across the network — sessions
+// stand in for analysts, every mutating route runs as a manager
+// transaction (so the WAL commit hook makes it durable before the
+// response is sent), and the §5.2.2 event kinds reach remote tools via
+// a long-poll or SSE feed with exactly-once, in-order delivery.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/blackboard"
+	"repro/internal/erwin"
+	"repro/internal/harmony"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/sqlddl"
+	"repro/internal/wal"
+	"repro/internal/wbmgr"
+	"repro/internal/xmlschema"
+)
+
+// Metric names emitted by the server (see DESIGN.md §11).
+const (
+	// MetricRequests counts HTTP requests, labeled route and code.
+	MetricRequests = "server_requests_total"
+	// MetricRequestDuration is the per-route latency histogram.
+	MetricRequestDuration = "server_request_seconds"
+	// MetricSessions gauges currently open sessions.
+	MetricSessions = "server_sessions"
+)
+
+// feedTool is the tool name the server's feed subscription runs under.
+// It never originates transactions, so the manager's "don't echo events
+// to their originator" rule can never hide an event from the feed.
+const feedTool = "_feed"
+
+// DefaultThreshold filters match-run correspondences when the request
+// doesn't specify one (the CLI default).
+const DefaultThreshold = 0.25
+
+// Config assembles a Server.
+type Config struct {
+	// DataDir is the WAL store directory. Empty means in-memory only:
+	// the API works but nothing survives the process.
+	DataDir string
+	// SnapshotEvery forwards to wal.Options (0 = default cadence).
+	SnapshotEvery int
+	// FeedCapacity bounds the event feed (0 = DefaultFeedCapacity).
+	FeedCapacity int
+	// Parallelism forwards to the Harmony engine for match runs.
+	Parallelism int
+	// Metrics receives server + WAL instrumentation (nil = obs.Default()).
+	Metrics *obs.Registry
+}
+
+// session is the server-side record of one analyst session.
+type session struct {
+	info SessionInfo
+}
+
+// Server is the durable workbench service. Create with New, mount
+// Handler on any http.Server, and Close on shutdown (Close folds the
+// WAL into a snapshot; crashes instead rely on recovery).
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	store *wal.Store // nil when in-memory
+	bb    *blackboard.Blackboard
+	mgr   *wbmgr.Manager
+	feed  *feed
+	mux   *http.ServeMux
+
+	// txnMu serializes mutating API requests: the manager allows one
+	// active transaction, so concurrent writers queue here rather than
+	// bouncing off ErrTxnActive.
+	txnMu sync.Mutex
+
+	mu       sync.Mutex // guards sessions
+	sessions map[string]*session
+	sessSeq  int
+}
+
+// New opens (and, with a DataDir, recovers) a workbench service.
+func New(cfg Config) (*Server, error) {
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.Default()
+	}
+	reg.Describe(MetricRequests, "Workbench API requests, by route and status code.")
+	reg.Describe(MetricRequestDuration, "Workbench API request latency, by route.")
+	reg.Describe(MetricSessions, "Currently open workbench sessions.")
+
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		feed:     newFeed(cfg.FeedCapacity),
+		sessions: map[string]*session{},
+	}
+	if cfg.DataDir != "" {
+		store, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Metrics: reg})
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		s.bb = blackboard.NewFromGraph(store.Graph())
+	} else {
+		s.bb = blackboard.New()
+	}
+	s.bb.SetMetrics(reg)
+	s.mgr = wbmgr.NewWith(s.bb)
+	s.mgr.SetMetrics(reg)
+	// Durability gate: every committed transaction reaches the WAL (and
+	// fsync) before Commit returns.
+	if s.store != nil {
+		store := s.store
+		s.mgr.SetCommitHook(func(_ string, ops []rdf.ChangeOp) error {
+			return store.AppendTxn(ops)
+		})
+	}
+	for _, kind := range []wbmgr.EventKind{
+		wbmgr.EventSchemaGraph, wbmgr.EventMappingCell,
+		wbmgr.EventMappingVector, wbmgr.EventMappingMatrix,
+	} {
+		s.mgr.Subscribe(kind, feedTool, s.feed.append)
+	}
+	s.buildMux()
+	return s, nil
+}
+
+// Manager exposes the underlying workbench manager (tests, embedding).
+func (s *Server) Manager() *wbmgr.Manager { return s.mgr }
+
+// Store exposes the WAL store (nil when in-memory).
+func (s *Server) Store() *wal.Store { return s.store }
+
+// Close folds the WAL into a final snapshot and releases it.
+func (s *Server) Close() error {
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ---- routing & plumbing ----
+
+func (s *Server) buildMux() {
+	mux := http.NewServeMux()
+	obsHandler := obs.Handler(s.reg)
+	mux.Handle("/metrics", obsHandler)
+	mux.Handle("/healthz", obsHandler)
+
+	s.route(mux, "POST /v1/sessions", "sessions.open", s.handleOpenSession)
+	s.route(mux, "GET /v1/sessions", "sessions.list", s.handleListSessions)
+	s.route(mux, "POST /v1/schemas", "schemas.load", s.handleLoadSchema)
+	s.route(mux, "GET /v1/schemas", "schemas.list", s.handleListSchemas)
+	s.route(mux, "GET /v1/schemas/{name}", "schemas.get", s.handleGetSchema)
+	s.route(mux, "POST /v1/mappings", "mappings.create", s.handleCreateMapping)
+	s.route(mux, "GET /v1/mappings", "mappings.list", s.handleListMappings)
+	s.route(mux, "GET /v1/mappings/{id}", "mappings.get", s.handleGetMapping)
+	s.route(mux, "GET /v1/mappings/{id}/cells", "cells.list", s.handleCells)
+	s.route(mux, "POST /v1/mappings/{id}/match", "match.run", s.handleMatch)
+	s.route(mux, "POST /v1/mappings/{id}/decide", "cells.decide", s.handleDecide)
+	s.route(mux, "POST /v1/query", "query", s.handleQuery)
+	s.route(mux, "GET /v1/events", "events", s.handleEvents)
+	s.route(mux, "GET /v1/fsck", "fsck", s.handleFsck)
+	s.route(mux, "POST /v1/snapshot", "snapshot", s.handleSnapshot)
+	s.mux = mux
+}
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the wrapped writer so SSE streaming works through
+// the metrics middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// route mounts a handler under the request metrics middleware.
+func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
+			ObserveDuration(time.Since(t0))
+		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// fail sends a uniform error body.
+func fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes the request body into v (empty bodies decode to the
+// zero value so optional-body POSTs stay ergonomic).
+func readJSON(r *http.Request, v any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	return json.Unmarshal(body, v)
+}
+
+// toolFor resolves the provenance name for a mutating request: the
+// session named in the header if it exists, else "remote".
+func (s *Server) toolFor(r *http.Request) string {
+	id := r.Header.Get(SessionHeader)
+	if id == "" {
+		return "remote"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[id]; ok {
+		sess.info.Ops++
+		return sess.info.Tool
+	}
+	return "remote"
+}
+
+// inTxn runs fn inside one manager transaction attributed to the
+// request's session, serialized against other mutating requests. A fn
+// error aborts; otherwise the commit (and, when durable, the WAL
+// append + fsync) completes before inTxn returns.
+func (s *Server) inTxn(r *http.Request, fn func(txn *wbmgr.Txn) error) error {
+	return s.inTxnAs(s.toolFor(r), fn)
+}
+
+// inTxnAs is inTxn with the provenance name already resolved.
+func (s *Server) inTxnAs(tool string, fn func(txn *wbmgr.Txn) error) error {
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	txn, err := s.mgr.Begin(tool)
+	if err != nil {
+		return err
+	}
+	if err := fn(txn); err != nil {
+		txn.Abort()
+		return err
+	}
+	return txn.Commit()
+}
+
+// ---- sessions ----
+
+func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+	var req OpenSessionRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	client := strings.TrimSpace(req.Client)
+	if client == "" {
+		client = "anonymous"
+	}
+	s.mu.Lock()
+	s.sessSeq++
+	id := fmt.Sprintf("s%d", s.sessSeq)
+	info := SessionInfo{
+		ID:         id,
+		Client:     client,
+		Tool:       fmt.Sprintf("session:%s/%s", id, client),
+		CreatedRev: s.bb.Revision(),
+	}
+	s.sessions[id] = &session{info: info}
+	s.reg.Gauge(MetricSessions).Set(float64(len(s.sessions)))
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess.info)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// ---- schemata ----
+
+func (s *Server) loadSchema(req LoadSchemaRequest) (*model.Schema, error) {
+	name := strings.TrimSpace(req.Name)
+	if name == "" {
+		return nil, fmt.Errorf("schema name required")
+	}
+	r := strings.NewReader(req.Text)
+	switch strings.ToLower(req.Format) {
+	case "xsd", "xml":
+		return xmlschema.Load(name, r)
+	case "sql", "ddl":
+		return sqlddl.Load(name, r)
+	case "er":
+		return erwin.Load(name, r)
+	default:
+		return nil, fmt.Errorf("unknown schema format %q (want xsd, sql or er)", req.Format)
+	}
+}
+
+func (s *Server) handleLoadSchema(w http.ResponseWriter, r *http.Request) {
+	var req LoadSchemaRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	schema, err := s.loadSchema(req)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var version int
+	err = s.inTxn(r, func(txn *wbmgr.Txn) error {
+		v, perr := s.bb.PutSchema(schema)
+		if perr != nil {
+			return perr
+		}
+		version = v
+		txn.Emit(wbmgr.EventSchemaGraph, schema.Name)
+		return nil
+	})
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, SchemaInfo{Name: schema.Name, Version: version, Elements: schema.Len()})
+}
+
+func (s *Server) schemaInfo(name string) (SchemaInfo, error) {
+	sc, err := s.bb.GetSchema(name)
+	if err != nil {
+		return SchemaInfo{}, err
+	}
+	return SchemaInfo{Name: name, Version: s.bb.SchemaVersion(name), Elements: sc.Len()}, nil
+}
+
+func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
+	out := []SchemaInfo{}
+	for _, n := range s.bb.Schemas() {
+		if info, err := s.schemaInfo(n); err == nil {
+			out = append(out, info)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
+	info, err := s.schemaInfo(r.PathValue("name"))
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// ---- mappings ----
+
+func (s *Server) handleCreateMapping(w http.ResponseWriter, r *http.Request) {
+	var req CreateMappingRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.ID == "" || req.Source == "" || req.Target == "" {
+		fail(w, http.StatusBadRequest, "id, source and target are required")
+		return
+	}
+	err := s.inTxn(r, func(txn *wbmgr.Txn) error {
+		_, merr := s.bb.NewMapping(req.ID, req.Source, req.Target)
+		if merr != nil {
+			return merr
+		}
+		txn.Emit(wbmgr.EventMappingMatrix, req.ID)
+		return nil
+	})
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, MappingInfo{ID: req.ID, Source: req.Source, Target: req.Target})
+}
+
+func (s *Server) mappingInfo(id string) (MappingInfo, error) {
+	mp, err := s.bb.GetMapping(id)
+	if err != nil {
+		return MappingInfo{}, err
+	}
+	return MappingInfo{
+		ID: id, Source: mp.SourceSchema, Target: mp.TargetSchema,
+		Cells: len(mp.Cells()),
+	}, nil
+}
+
+func (s *Server) handleListMappings(w http.ResponseWriter, r *http.Request) {
+	out := []MappingInfo{}
+	for _, id := range s.bb.Mappings() {
+		if info, err := s.mappingInfo(id); err == nil {
+			out = append(out, info)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mappingInfo(r.PathValue("id"))
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// cellInfo converts a blackboard cell to its wire form.
+func cellInfo(c blackboard.Cell) CellInfo {
+	return CellInfo{
+		Source: c.SourceID, Target: c.TargetID,
+		Confidence: c.Confidence, UserDefined: c.UserDefined,
+		SetBy: c.SetBy, Revision: c.Revision,
+	}
+}
+
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	mp, err := s.bb.GetMapping(r.PathValue("id"))
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	out := []CellInfo{}
+	for _, c := range mp.Cells() {
+		out = append(out, cellInfo(c))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMatch runs Harmony over the mapping's schema pair and publishes
+// every correspondence above the threshold, as one transaction.
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	var req MatchRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	threshold := DefaultThreshold
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	id := r.PathValue("id")
+	mp, err := s.bb.GetMapping(id)
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	src, err := s.bb.GetSchema(mp.SourceSchema)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	tgt, err := s.bb.GetSchema(mp.TargetSchema)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	// The engine run is read-only and can be slow; keep it outside the
+	// transaction so concurrent mutators aren't blocked by matching.
+	engine := harmony.NewEngine(src, tgt, harmony.Options{
+		Flooding: true, Metrics: s.reg, Parallelism: s.cfg.Parallelism,
+	})
+	engine.Run()
+	links := engine.Matrix().Above(threshold)
+	resp := MatchResponse{Threshold: threshold, Cells: []CellInfo{}}
+	err = s.inTxn(r, func(txn *wbmgr.Txn) error {
+		for _, l := range links {
+			if cerr := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); cerr != nil {
+				return cerr
+			}
+			txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", id, l.Source.ID, l.Target.ID))
+		}
+		txn.Emit(wbmgr.EventMappingMatrix, id)
+		return nil
+	})
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	for _, l := range links {
+		if c, ok := mp.GetCell(l.Source.ID, l.Target.ID); ok {
+			resp.Cells = append(resp.Cells, cellInfo(c))
+		}
+	}
+	resp.Published = len(resp.Cells)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDecide records an analyst accept/reject on one cell.
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	var req DecideRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var conf float64
+	switch req.Verdict {
+	case "accept":
+		conf = 1
+	case "reject":
+		conf = -1
+	default:
+		fail(w, http.StatusBadRequest, "verdict must be accept or reject, got %q", req.Verdict)
+		return
+	}
+	if req.Source == "" || req.Target == "" {
+		fail(w, http.StatusBadRequest, "source and target are required")
+		return
+	}
+	id := r.PathValue("id")
+	mp, err := s.bb.GetMapping(id)
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	tool := s.toolFor(r)
+	err = s.inTxnAs(tool, func(txn *wbmgr.Txn) error {
+		if cerr := mp.SetCell(req.Source, req.Target, conf, true, tool); cerr != nil {
+			return cerr
+		}
+		txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", id, req.Source, req.Target))
+		return nil
+	})
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	c, _ := mp.GetCell(req.Source, req.Target)
+	writeJSON(w, http.StatusOK, cellInfo(c))
+}
+
+// ---- queries ----
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	rows, err := s.mgr.Query(req.Query, req.Vars...)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if rows == nil {
+		rows = [][]string{}
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{Rows: rows})
+}
+
+// ---- events ----
+
+// maxPollTimeout caps long-poll waits so dead clients can't pin
+// handlers forever.
+const maxPollTimeout = 60 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	after := uint64(0)
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad after cursor %q", v)
+			return
+		}
+		after = n
+	}
+	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
+		r.URL.Query().Get("stream") == "sse" {
+		s.serveSSE(w, r, after)
+		return
+	}
+	timeout := 25 * time.Second
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad timeout %q", v)
+			return
+		}
+		timeout = d
+	}
+	if timeout > maxPollTimeout {
+		timeout = maxPollTimeout
+	}
+	evs, gap := s.feed.wait(r.Context(), after, timeout)
+	resp := EventsResponse{Next: after, Gap: gap, Events: evs}
+	if len(evs) > 0 {
+		resp.Next = evs[len(evs)-1].Seq
+	} else if gap {
+		// Everything the client missed is gone; restart from the head.
+		resp.Next = s.feedHead()
+	}
+	if resp.Events == nil {
+		resp.Events = []FeedEvent{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// feedHead returns the highest assigned sequence number.
+func (s *Server) feedHead() uint64 {
+	s.feed.mu.Lock()
+	defer s.feed.mu.Unlock()
+	return s.feed.next - 1
+}
+
+// serveSSE streams the feed as Server-Sent Events: each event carries
+// its sequence number as the SSE id, so Last-Event-ID style resumption
+// maps directly onto the after cursor.
+func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, after uint64) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		fail(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	cursor := after
+	for {
+		evs, gap, wake := s.feed.since(cursor)
+		if gap {
+			fmt.Fprintf(w, "event: gap\ndata: {}\n\n")
+		}
+		for _, e := range evs {
+			data, _ := json.Marshal(e)
+			fmt.Fprintf(w, "id: %d\ndata: %s\n\n", e.Seq, data)
+			cursor = e.Seq
+		}
+		if len(evs) > 0 || gap {
+			flusher.Flush()
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// ---- integrity & durability ----
+
+func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
+	errs := s.bb.CheckIntegrity()
+	resp := FsckResponse{Clean: len(errs) == 0, Triples: s.bb.Graph().Len()}
+	for _, e := range errs {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	if s.store != nil {
+		resp.Recovery = s.store.Stats().String()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		fail(w, http.StatusConflict, "server is running without a data dir")
+		return
+	}
+	s.txnMu.Lock()
+	err := s.store.SnapshotNow()
+	s.txnMu.Unlock()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SnapshotResponse{Triples: s.bb.Graph().Len()})
+}

@@ -1,0 +1,406 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// File names inside a store directory.
+const (
+	SnapshotFile = "snapshot.nt"
+	LogFile      = "wal.log"
+	snapshotTmp  = "snapshot.nt.tmp"
+)
+
+// DefaultSnapshotEvery is the auto-snapshot cadence: after this many
+// committed transactions the log is folded into a fresh snapshot and
+// truncated. Chosen so a busy session compacts regularly while a mostly
+// read-only one never rewrites the snapshot.
+const DefaultSnapshotEvery = 256
+
+// Options tunes a Store. The zero value is production-ready.
+type Options struct {
+	// SnapshotEvery is the number of committed transactions between
+	// automatic snapshots (0 = DefaultSnapshotEvery, negative = never;
+	// explicit SnapshotNow still works).
+	SnapshotEvery int
+	// Metrics receives WAL instrumentation (nil = obs.Default()).
+	Metrics *obs.Registry
+}
+
+// RecoveryStats reports what recovery found in a store directory.
+type RecoveryStats struct {
+	// SnapshotTriples is the triple count loaded from the snapshot.
+	SnapshotTriples int
+	// CommittedTxns and ReplayedOps count the transactions and mutations
+	// replayed from the log.
+	CommittedTxns int
+	ReplayedOps   int
+	// DiscardedTxns counts transactions present in the log without a
+	// commit record (in-flight at crash time, or aborted) — their ops are
+	// never applied.
+	DiscardedTxns int
+	// TornTail reports that trailing bytes failed framing or CRC checks
+	// and were ignored (and truncated, when recovering for writing);
+	// TornAtOffset is the byte offset of the first bad frame.
+	TornTail     bool
+	TornAtOffset int64
+	// LogBytes is the usable (clean) log length.
+	LogBytes int64
+}
+
+// String renders the stats as a one-line fsck-style summary.
+func (s RecoveryStats) String() string {
+	torn := ""
+	if s.TornTail {
+		torn = fmt.Sprintf(", torn tail at byte %d", s.TornAtOffset)
+	}
+	return fmt.Sprintf("snapshot %d triples, %d committed txns (%d ops) replayed, %d discarded%s",
+		s.SnapshotTriples, s.CommittedTxns, s.ReplayedOps, s.DiscardedTxns, torn)
+}
+
+// Store is a durable home for one blackboard graph: a snapshot file plus
+// an append-only log, both living in a single directory. All methods are
+// safe for concurrent use; appends are serialized internally.
+type Store struct {
+	dir  string
+	opts Options
+	reg  *obs.Registry
+
+	mu               sync.Mutex
+	log              *os.File
+	logSize          int64
+	g                *rdf.Graph
+	nextTxn          uint64
+	commitsSinceSnap int
+	stats            RecoveryStats
+	closed           bool
+}
+
+// Open recovers the store in dir (creating it if absent) and returns a
+// Store ready for appends. The recovered graph — the last committed
+// state — is available via Graph(). Torn log tails are truncated so the
+// next append lands on a clean boundary.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Metrics == nil {
+		opts.Metrics = obs.Default()
+	}
+	reg := opts.Metrics
+	describeMetrics(reg)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := chaos.Inject(SiteRecover); err != nil {
+		return nil, fmt.Errorf("wal: recover: %w", err)
+	}
+	g, stats, maxTxn, err := recoverDir(dir, reg)
+	if err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(dir, LogFile)
+	if stats.TornTail {
+		if err := os.Truncate(logPath, stats.TornAtOffset); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		reg.Counter(MetricTornTails).Inc()
+	}
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	reg.Counter(MetricRecoveredTxns, "status", "committed").Add(int64(stats.CommittedTxns))
+	reg.Counter(MetricRecoveredTxns, "status", "discarded").Add(int64(stats.DiscardedTxns))
+	reg.Gauge(MetricSizeBytes).Set(float64(stats.LogBytes))
+	return &Store{
+		dir:     dir,
+		opts:    opts,
+		reg:     reg,
+		log:     f,
+		logSize: stats.LogBytes,
+		g:       g,
+		nextTxn: maxTxn,
+		stats:   stats,
+	}, nil
+}
+
+func describeMetrics(reg *obs.Registry) {
+	reg.Describe(MetricAppends, "WAL records appended, by kind.")
+	reg.Describe(MetricFsync, "WAL fsync latency.")
+	reg.Describe(MetricBatches, "WAL batch writes (one per committed transaction).")
+	reg.Describe(MetricSnapshots, "WAL snapshots taken.")
+	reg.Describe(MetricRecoveredTxns, "Transactions seen at recovery, by status.")
+	reg.Describe(MetricTornTails, "Torn WAL tails truncated at recovery.")
+	reg.Describe(MetricSizeBytes, "Current WAL file size in bytes.")
+}
+
+// Recover performs a read-only recovery of dir: it loads the snapshot,
+// replays committed transactions, and reports what it found — without
+// truncating torn tails or opening the log for writing. `workbench
+// fsck` is built on this.
+func Recover(dir string) (*rdf.Graph, RecoveryStats, error) {
+	g, stats, _, err := recoverDir(dir, obs.NewRegistry())
+	return g, stats, err
+}
+
+// recoverDir loads snapshot + log from dir. It returns the recovered
+// graph, stats, and the highest transaction id seen in the log.
+func recoverDir(dir string, reg *obs.Registry) (*rdf.Graph, RecoveryStats, uint64, error) {
+	var stats RecoveryStats
+	// A leftover temp snapshot means a crash mid-snapshot: the real
+	// snapshot plus the intact log still hold the full state.
+	os.Remove(filepath.Join(dir, snapshotTmp))
+
+	g := rdf.NewGraph()
+	if f, err := os.Open(filepath.Join(dir, SnapshotFile)); err == nil {
+		loaded, rerr := rdf.ReadNTriples(f)
+		f.Close()
+		if rerr != nil {
+			return nil, stats, 0, fmt.Errorf("wal: snapshot: %w", rerr)
+		}
+		g = loaded
+		stats.SnapshotTriples = g.Len()
+	} else if !os.IsNotExist(err) {
+		return nil, stats, 0, fmt.Errorf("wal: %w", err)
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, LogFile))
+	if err != nil && !os.IsNotExist(err) {
+		return nil, stats, 0, fmt.Errorf("wal: %w", err)
+	}
+
+	// Replay: buffer each transaction's ops, apply them only at its
+	// commit record, in log order. Ops journal only effective mutations,
+	// so re-applying a transaction already folded into the snapshot
+	// (crash between snapshot rename and log truncation) is a no-op.
+	pending := map[uint64][]rdf.ChangeOp{}
+	var maxTxn uint64
+	clean, torn, err := scanFrames(data, func(r Record) error {
+		if r.Txn > maxTxn {
+			maxTxn = r.Txn
+		}
+		switch r.Kind {
+		case KindBegin:
+			pending[r.Txn] = nil
+		case KindAdd, KindDel:
+			t, perr := rdf.ParseTriple(r.Triple)
+			if perr != nil {
+				return fmt.Errorf("wal: replay txn %d: %w", r.Txn, perr)
+			}
+			pending[r.Txn] = append(pending[r.Txn], rdf.ChangeOp{Add: r.Kind == KindAdd, T: t})
+		case KindCommit:
+			for _, op := range pending[r.Txn] {
+				if op.Add {
+					g.Add(op.T)
+				} else {
+					g.Remove(op.T)
+				}
+				stats.ReplayedOps++
+			}
+			delete(pending, r.Txn)
+			stats.CommittedTxns++
+		case KindAbort:
+			delete(pending, r.Txn)
+			stats.DiscardedTxns++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, stats, 0, err
+	}
+	stats.DiscardedTxns += len(pending)
+	stats.TornTail = torn
+	stats.TornAtOffset = clean
+	stats.LogBytes = clean
+	return g, stats, maxTxn, nil
+}
+
+// Graph returns the recovered (and thereafter live) graph. The caller —
+// typically blackboard.NewFromGraph — owns mutations; the store only
+// reads it during snapshots.
+func (s *Store) Graph() *rdf.Graph { return s.g }
+
+// Stats returns what recovery found when the store was opened.
+func (s *Store) Stats() RecoveryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AppendTxn durably logs one committed transaction: the batch (begin,
+// ops, commit) is framed into a single write followed by an fsync. It
+// returns only after the transaction is durable — wire it into
+// wbmgr.SetCommitHook so a failed append rolls the transaction back. An
+// empty ops slice is logged too (the commit still advances the txn id),
+// keeping the hook contract trivial for callers.
+func (s *Store) AppendTxn(ops []rdf.ChangeOp) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store closed")
+	}
+	txn := s.nextTxn + 1
+	buf := EncodeTxn(txn, ops)
+	if err := chaos.Inject(SiteAppend); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	n, err := s.log.Write(buf)
+	if err != nil {
+		// A short write leaves a torn tail in the file; truncate back so
+		// the in-process log stays frame-aligned (recovery would discard
+		// the tail anyway).
+		if n > 0 {
+			s.log.Truncate(s.logSize)
+		}
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := s.fsyncLocked(); err != nil {
+		// The bytes may or may not have reached disk. The commit is going
+		// to fail and roll back, so the record must not survive either:
+		// truncate it away and re-sync best-effort.
+		s.log.Truncate(s.logSize)
+		s.log.Sync()
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	s.logSize += int64(len(buf))
+	s.nextTxn = txn
+	countTxnRecords(s.reg, ops)
+	s.reg.Counter(MetricBatches).Inc()
+	s.reg.Gauge(MetricSizeBytes).Set(float64(s.logSize))
+
+	if every := s.snapshotEvery(); every > 0 {
+		s.commitsSinceSnap++
+		if s.commitsSinceSnap >= every {
+			// The transaction is already durable in the log; a failed
+			// snapshot must not fail the commit. Leave the log as is and
+			// retry at the next commit.
+			if err := s.snapshotLocked(); err != nil {
+				s.commitsSinceSnap = every // retry next commit
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Store) snapshotEvery() int {
+	switch {
+	case s.opts.SnapshotEvery > 0:
+		return s.opts.SnapshotEvery
+	case s.opts.SnapshotEvery < 0:
+		return 0
+	default:
+		return DefaultSnapshotEvery
+	}
+}
+
+// fsyncLocked syncs the log file through the fsync failpoint, timing the
+// call.
+func (s *Store) fsyncLocked() error {
+	if err := chaos.Inject(SiteFsync); err != nil {
+		return err
+	}
+	t0 := time.Now()
+	err := s.log.Sync()
+	s.reg.Histogram(MetricFsync, obs.LatencyBuckets).ObserveDuration(time.Since(t0))
+	return err
+}
+
+// SnapshotNow folds the current graph into a fresh snapshot and
+// truncates the log. Safe to call at any time; concurrent appends wait.
+func (s *Store) SnapshotNow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store closed")
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked writes the snapshot crash-safely: temp file + fsync,
+// failpoint, atomic rename, directory fsync, then log truncation. A
+// crash at any point leaves a recoverable directory — before the rename
+// the old snapshot + full log win; between rename and truncation the new
+// snapshot plus an idempotent replay win.
+func (s *Store) snapshotLocked() error {
+	tmp := filepath.Join(s.dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := rdf.WriteNTriples(f, s.g); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := chaos.Inject(SiteSnapshot); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
+	syncDir(s.dir)
+	if err := s.log.Truncate(0); err != nil {
+		return fmt.Errorf("wal: snapshot: truncating log: %w", err)
+	}
+	s.log.Sync()
+	s.logSize = 0
+	s.commitsSinceSnap = 0
+	s.reg.Counter(MetricSnapshots).Inc()
+	s.reg.Gauge(MetricSizeBytes).Set(0)
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename is durable (best-effort; some
+// platforms refuse directory fsync).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// LogSize returns the current clean log length in bytes.
+func (s *Store) LogSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.logSize
+}
+
+// Close snapshots (folding the log away so the next Open starts clean)
+// and releases the log file. Further appends fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var err error
+	if s.logSize > 0 {
+		err = s.snapshotLocked()
+	}
+	s.closed = true
+	if cerr := s.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

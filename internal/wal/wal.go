@@ -1,0 +1,229 @@
+// Package wal gives the integration blackboard crash-safe durability: an
+// append-only write-ahead log of graph mutations plus periodic full
+// snapshots. The workbench manager's commit hook hands each committing
+// transaction's undo-journal entries (rdf.ChangeOp, PR 3) to the Store,
+// which frames them as length+CRC32 records, appends them in one batch
+// write, and fsyncs before the commit is acknowledged. Recovery loads
+// the latest snapshot, replays the log's committed transactions in
+// order, and truncates any torn tail — so a process killed at any
+// instant restarts with exactly the committed state (rdf.Equal to the
+// pre-crash graph), never a partial transaction.
+//
+// The package is stdlib-only and depends only on internal/rdf,
+// internal/chaos and internal/obs, keeping the dependency arrow
+// wal ← server (the manager knows nothing about files; the service
+// wires the two together through wbmgr.SetCommitHook).
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+)
+
+// Metric names emitted by the WAL (see DESIGN.md §11).
+const (
+	// MetricAppends counts records appended to the log, labeled
+	// kind=begin|add|del|commit|abort.
+	MetricAppends = "wal_appends_total"
+	// MetricFsync is the fsync latency histogram.
+	MetricFsync = "wal_fsync_seconds"
+	// MetricBatches counts batch writes (one per committed transaction).
+	MetricBatches = "wal_batches_total"
+	// MetricSnapshots counts snapshots taken.
+	MetricSnapshots = "wal_snapshots_total"
+	// MetricRecoveredTxns counts transactions replayed at recovery,
+	// labeled status=committed|discarded.
+	MetricRecoveredTxns = "wal_recovered_txns_total"
+	// MetricTornTails counts torn tails truncated at recovery.
+	MetricTornTails = "wal_torn_tail_truncations_total"
+	// MetricSizeBytes gauges the current log file size.
+	MetricSizeBytes = "wal_size_bytes"
+)
+
+// Chaos failpoint sites threaded through the WAL (see DESIGN.md §10/§11).
+// Each sits on the durability-critical path so an injected fault or
+// panic exercises the commit-rollback and recovery invariants.
+const (
+	// SiteAppend fires before a batch of records is written to the log.
+	SiteAppend chaos.Site = "wal.append"
+	// SiteFsync fires before the log file is fsynced.
+	SiteFsync chaos.Site = "wal.fsync"
+	// SiteSnapshot fires mid-snapshot, after the temp file is written
+	// but before the atomic rename.
+	SiteSnapshot chaos.Site = "wal.snapshot"
+	// SiteRecover fires at the start of recovery (Open).
+	SiteRecover chaos.Site = "wal.recover"
+)
+
+func init() {
+	chaos.RegisterSite(SiteAppend, "before a WAL batch write")
+	chaos.RegisterSite(SiteFsync, "before a WAL fsync")
+	chaos.RegisterSite(SiteSnapshot, "mid-snapshot, before the atomic rename")
+	chaos.RegisterSite(SiteRecover, "at the start of WAL recovery")
+}
+
+// Kind tags one WAL record.
+type Kind byte
+
+// The five record kinds. A transaction is framed Begin, then its Add and
+// Del mutations in order, then Commit (or Abort; the durable manager
+// only logs at commit time, so Abort records normally never appear, but
+// recovery honors them for forward compatibility).
+const (
+	KindBegin  Kind = 'B'
+	KindAdd    Kind = '+'
+	KindDel    Kind = '-'
+	KindCommit Kind = 'C'
+	KindAbort  Kind = 'A'
+)
+
+// String names the kind for metrics labels.
+func (k Kind) String() string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindAdd:
+		return "add"
+	case KindDel:
+		return "del"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("unknown(%d)", byte(k))
+	}
+}
+
+// Record is one WAL entry: a transaction boundary or one triple
+// mutation. Triple is serialized as a canonical N-Triples statement
+// (the same form the snapshot uses), empty for boundary records.
+type Record struct {
+	Kind   Kind
+	Txn    uint64
+	Triple string
+}
+
+// maxPayload bounds a single record's payload; anything larger in the
+// file means corruption (or a torn length field) and stops the scan.
+const maxPayload = 64 << 20
+
+// frameOverhead is the fixed per-record framing cost: a uint32 payload
+// length followed by a uint32 CRC32 (IEEE) of the payload.
+const frameOverhead = 8
+
+// appendFrame encodes r into buf as one framed record and returns the
+// extended buffer.
+func appendFrame(buf []byte, r Record) []byte {
+	// payload: kind byte | uvarint txn | triple bytes
+	var hdr [1 + binary.MaxVarintLen64]byte
+	hdr[0] = byte(r.Kind)
+	n := 1 + binary.PutUvarint(hdr[1:], r.Txn)
+	payloadLen := n + len(r.Triple)
+
+	var fixed [frameOverhead]byte
+	binary.LittleEndian.PutUint32(fixed[0:4], uint32(payloadLen))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:n])
+	crc.Write([]byte(r.Triple))
+	binary.LittleEndian.PutUint32(fixed[4:8], crc.Sum32())
+
+	buf = append(buf, fixed[:]...)
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, r.Triple...)
+	return buf
+}
+
+// decodePayload parses one record payload (already CRC-verified).
+func decodePayload(p []byte) (Record, error) {
+	if len(p) == 0 {
+		return Record{}, fmt.Errorf("wal: empty record payload")
+	}
+	k := Kind(p[0])
+	switch k {
+	case KindBegin, KindAdd, KindDel, KindCommit, KindAbort:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind 0x%02x", p[0])
+	}
+	txn, n := binary.Uvarint(p[1:])
+	if n <= 0 {
+		return Record{}, fmt.Errorf("wal: bad txn id varint")
+	}
+	return Record{Kind: k, Txn: txn, Triple: string(p[1+n:])}, nil
+}
+
+// scanFrames walks the framed records in data, calling fn for each
+// fully-framed, CRC-valid record. It returns the byte offset just past
+// the last good record; torn reports whether trailing bytes had to be
+// discarded (a partial frame, a CRC mismatch, or an implausible length
+// — everything from the first bad frame on is treated as torn tail,
+// because nothing after it can be trusted).
+func scanFrames(data []byte, fn func(Record) error) (clean int64, torn bool, err error) {
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameOverhead {
+			return int64(off), true, nil
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if payloadLen <= 0 || payloadLen > maxPayload || off+frameOverhead+payloadLen > len(data) {
+			return int64(off), true, nil
+		}
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		payload := data[off+frameOverhead : off+frameOverhead+payloadLen]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return int64(off), true, nil
+		}
+		rec, derr := decodePayload(payload)
+		if derr != nil {
+			// Framed and checksummed but undecodable: corruption that a
+			// torn write cannot explain. Stop here and report it.
+			return int64(off), true, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return int64(off), false, err
+			}
+		}
+		off += frameOverhead + payloadLen
+	}
+	return int64(off), false, nil
+}
+
+// EncodeTxn frames one committed transaction (begin, ops, commit) into a
+// single buffer, ready for an atomic batch append.
+func EncodeTxn(txn uint64, ops []rdf.ChangeOp) []byte {
+	// Rough capacity: framing + kind/txn bytes + ~64 bytes per triple.
+	buf := make([]byte, 0, (len(ops)+2)*(frameOverhead+12)+len(ops)*64)
+	buf = appendFrame(buf, Record{Kind: KindBegin, Txn: txn})
+	for _, op := range ops {
+		k := KindAdd
+		if !op.Add {
+			k = KindDel
+		}
+		buf = appendFrame(buf, Record{Kind: k, Txn: txn, Triple: op.T.String()})
+	}
+	buf = appendFrame(buf, Record{Kind: KindCommit, Txn: txn})
+	return buf
+}
+
+// countRecords reports the record kinds in an encoded batch, for the
+// append metrics (len(ops) adds/dels plus the two boundary records).
+func countTxnRecords(reg *obs.Registry, ops []rdf.ChangeOp) {
+	adds, dels := 0, 0
+	for _, op := range ops {
+		if op.Add {
+			adds++
+		} else {
+			dels++
+		}
+	}
+	reg.Counter(MetricAppends, "kind", "begin").Inc()
+	reg.Counter(MetricAppends, "kind", "add").Add(int64(adds))
+	reg.Counter(MetricAppends, "kind", "del").Add(int64(dels))
+	reg.Counter(MetricAppends, "kind", "commit").Inc()
+}

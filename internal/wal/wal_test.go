@@ -1,0 +1,147 @@
+package wal
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/rdf"
+)
+
+// mustOps parses N-Triples statements into change ops; a leading '-'
+// marks a deletion.
+func mustOps(t *testing.T, lines ...string) []rdf.ChangeOp {
+	t.Helper()
+	ops := make([]rdf.ChangeOp, 0, len(lines))
+	for _, l := range lines {
+		add := true
+		if l[0] == '-' {
+			add = false
+			l = l[1:]
+		}
+		tr, err := rdf.ParseTriple(l)
+		if err != nil {
+			t.Fatalf("ParseTriple(%q): %v", l, err)
+		}
+		ops = append(ops, rdf.ChangeOp{Add: add, T: tr})
+	}
+	return ops
+}
+
+// applyOps replays ops onto a fresh clone of g.
+func applyOps(g *rdf.Graph, ops []rdf.ChangeOp) *rdf.Graph {
+	out := g.Clone()
+	for _, op := range ops {
+		if op.Add {
+			out.Add(op.T)
+		} else {
+			out.Remove(op.T)
+		}
+	}
+	return out
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	want := []Record{
+		{Kind: KindBegin, Txn: 1},
+		{Kind: KindAdd, Txn: 1, Triple: `<urn:s> <urn:p> "v" .`},
+		{Kind: KindDel, Txn: 1, Triple: `<urn:s> <urn:p> <urn:o> .`},
+		{Kind: KindCommit, Txn: 1},
+		{Kind: KindBegin, Txn: 1 << 40}, // multi-byte uvarint txn id
+		{Kind: KindAbort, Txn: 1 << 40},
+	}
+	var buf []byte
+	for _, r := range want {
+		buf = appendFrame(buf, r)
+	}
+	var got []Record
+	clean, torn, err := scanFrames(buf, func(r Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil || torn {
+		t.Fatalf("scanFrames: err=%v torn=%v", err, torn)
+	}
+	if clean != int64(len(buf)) {
+		t.Fatalf("clean offset %d, want %d", clean, len(buf))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncodeTxnFrames(t *testing.T) {
+	ops := mustOps(t,
+		`<urn:a> <urn:p> <urn:b> .`,
+		`-<urn:c> <urn:p> <urn:d> .`,
+	)
+	buf := EncodeTxn(7, ops)
+	var got []Record
+	if _, torn, err := scanFrames(buf, func(r Record) error {
+		got = append(got, r)
+		return nil
+	}); err != nil || torn {
+		t.Fatalf("scanFrames: err=%v torn=%v", err, torn)
+	}
+	kinds := []Kind{KindBegin, KindAdd, KindDel, KindCommit}
+	if len(got) != len(kinds) {
+		t.Fatalf("got %d records, want %d", len(got), len(kinds))
+	}
+	for i, k := range kinds {
+		if got[i].Kind != k || got[i].Txn != 7 {
+			t.Errorf("record %d: got %+v, want kind %v txn 7", i, got[i], k)
+		}
+	}
+	if got[1].Triple != ops[0].T.String() || got[2].Triple != ops[1].T.String() {
+		t.Errorf("triples did not round-trip: %+v", got[1:3])
+	}
+}
+
+func TestScanStopsAtCRCCorruption(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, Record{Kind: KindBegin, Txn: 1})
+	firstLen := len(buf)
+	buf = appendFrame(buf, Record{Kind: KindAdd, Txn: 1, Triple: `<urn:s> <urn:p> <urn:o> .`})
+	// Flip a payload byte of the second frame: its CRC no longer matches.
+	buf[firstLen+frameOverhead+2] ^= 0xff
+
+	n := 0
+	clean, torn, err := scanFrames(buf, func(Record) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("scanFrames: %v", err)
+	}
+	if !torn || n != 1 || clean != int64(firstLen) {
+		t.Fatalf("got torn=%v records=%d clean=%d, want torn after 1 record at %d", torn, n, clean, firstLen)
+	}
+}
+
+func TestScanStopsAtImplausibleLength(t *testing.T) {
+	var buf []byte
+	buf = appendFrame(buf, Record{Kind: KindBegin, Txn: 1})
+	good := len(buf)
+	// A frame header claiming a payload far larger than the file.
+	var hdr [frameOverhead]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(maxPayload+1))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, make([]byte, 32)...)
+
+	clean, torn, _ := scanFrames(buf, nil)
+	if !torn || clean != int64(good) {
+		t.Fatalf("got torn=%v clean=%d, want torn at %d", torn, clean, good)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindBegin: "begin", KindAdd: "add", KindDel: "del",
+		KindCommit: "commit", KindAbort: "abort", Kind('?'): "unknown(63)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%q).String() = %q, want %q", byte(k), got, want)
+		}
+	}
+}

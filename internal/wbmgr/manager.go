@@ -39,8 +39,9 @@ const (
 	MetricQueries        = "wbmgr_queries_total"
 	MetricQueryDuration  = "wbmgr_query_duration_seconds"
 	// MetricTxnRollbacks counts transactions rolled back, labeled
-	// cause=abort (explicit Abort) or cause=commit-fault (a fault at the
-	// commit failpoint forced the rollback).
+	// cause=abort (explicit Abort), cause=commit-fault (a fault at the
+	// commit failpoint forced the rollback) or cause=hook-fault (the
+	// commit hook — typically the WAL append — refused the commit).
 	MetricTxnRollbacks = "wbmgr_txn_rollbacks_total"
 	// MetricInvokeRetries counts retried tool invocations, labeled tool.
 	MetricInvokeRetries = "wbmgr_invoke_retries_total"
@@ -139,6 +140,10 @@ type Manager struct {
 	// synchronous, no timeout, no retries — the historical behaviour).
 	policy InvokePolicy
 
+	// commitHook, when set, must durably record the transaction before
+	// the commit is acknowledged (see SetCommitHook).
+	commitHook CommitHook
+
 	tools map[string]Tool
 	subs  map[EventKind][]subscription
 	subID int
@@ -225,6 +230,24 @@ func (m *Manager) reg() *obs.Registry {
 // Blackboard exposes the underlying IB. Mutations outside a transaction
 // are permitted (single-tool convenience) but generate no events.
 func (m *Manager) Blackboard() *blackboard.Blackboard { return m.bb }
+
+// CommitHook is called inside Txn.Commit, after the commit failpoint but
+// before the transaction is sealed, with the committing tool's name and
+// the transaction's effective mutations (the undo-journal entries since
+// Begin, in application order). A non-nil error vetoes the commit: the
+// whole transaction rolls back (cause=hook-fault) and no events fire.
+// The write-ahead log hangs off this hook — AppendTxn returns only once
+// the batch is fsynced, making "commit acknowledged" imply "durable".
+type CommitHook func(tool string, ops []rdf.ChangeOp) error
+
+// SetCommitHook installs h as the durability gate for every subsequent
+// commit (nil removes it). Call before serving traffic; the hook runs
+// on the committing goroutine, outside the manager lock.
+func (m *Manager) SetCommitHook(h CommitHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.commitHook = h
+}
 
 // ---- Tool registry ----
 
@@ -524,6 +547,24 @@ func (t *Txn) Commit() (err error) {
 	if err := chaos.Inject(SiteCommit); err != nil {
 		t.rollback("commit-fault")
 		return fmt.Errorf("wbmgr: commit: %w", err)
+	}
+	t.m.mu.Lock()
+	if t.done {
+		t.m.mu.Unlock()
+		return errTxnFinished()
+	}
+	hook := t.m.commitHook
+	hookSp := t.m.sp
+	t.m.mu.Unlock()
+	if hook != nil {
+		// Durability gate: hand the transaction's effective mutations to
+		// the hook while the savepoint is still open. A refusal (e.g. a
+		// failed WAL append or fsync) rolls the whole transaction back —
+		// an acknowledged commit is always on disk, a failed one never is.
+		if err := hook(t.tool, t.m.bb.Graph().ChangesSince(hookSp)); err != nil {
+			t.rollback("hook-fault")
+			return fmt.Errorf("wbmgr: commit hook: %w", err)
+		}
 	}
 	t.m.mu.Lock()
 	if t.done {
