@@ -16,7 +16,9 @@ import (
 	"repro/internal/eval"
 	"repro/internal/harmony"
 	"repro/internal/match"
+	"repro/internal/matchcache"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/registry"
 )
 
@@ -59,15 +61,87 @@ func BenchmarkEngineRun(b *testing.B) {
 			par  int
 		}{{"seq", 1}, {"par", 0}} {
 			b.Run(sz.name+"/"+mode.name, func(b *testing.B) {
+				// Isolated registry: engines otherwise share obs.Default(),
+				// so benchmarks would pollute each other's (and the
+				// process's) metrics.
+				reg := obs.NewRegistry()
 				for i := 0; i < b.N; i++ {
 					e := harmony.NewEngine(src, tgt, harmony.Options{
 						Flooding:    true,
 						Parallelism: mode.par,
+						Metrics:     reg,
 					})
 					e.Run()
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkEngineRematch measures the incremental re-match paths against
+// the cold runs of BenchmarkEngineRun: a warm full run served from the
+// score-matrix cache, a decision-only rematch (pins fast path), and a
+// single-element rename (cross-shaped incremental recompute).
+func BenchmarkEngineRematch(b *testing.B) {
+	sizes := []struct {
+		name                        string
+		entities, attributes, codes int
+	}{
+		{"100elem", 12, 88, 120},
+		{"1000elem", 100, 900, 1200},
+	}
+	for _, sz := range sizes {
+		src, tgt := benchRegistryPair(sz.entities, sz.attributes, sz.codes)
+
+		b.Run(sz.name+"/warm-run", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			cache := matchcache.New(0)
+			cache.SetMetrics(reg)
+			opts := harmony.Options{Flooding: true, Metrics: reg, Cache: cache}
+			harmony.NewEngine(src, tgt, opts).Run() // populate the cache
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				harmony.NewEngine(src, tgt, opts).Run()
+			}
+		})
+
+		b.Run(sz.name+"/rematch-pin", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			e := harmony.NewEngine(src, tgt, harmony.Options{Flooding: true, Metrics: reg})
+			e.Run()
+			s0 := src.Elements()[1]
+			t0 := tgt.Elements()[1]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					if err := e.Accept(s0.ID, t0.ID); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					e.Unpin(s0.ID, t0.ID)
+				}
+				e.Rematch(harmony.Dirty{})
+			}
+		})
+
+		b.Run(sz.name+"/rematch-rename", func(b *testing.B) {
+			reg := obs.NewRegistry()
+			e := harmony.NewEngine(src, tgt, harmony.Options{Flooding: true, Metrics: reg})
+			e.Run()
+			leaf := src.Elements()[len(src.Elements())-1]
+			base := leaf.Name
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					leaf.Name = base + "Edited"
+				} else {
+					leaf.Name = base
+				}
+				e.Rematch(harmony.Dirty{Source: []string{leaf.ID}})
+			}
+			b.StopTimer()
+			leaf.Name = base
+		})
 	}
 }
 

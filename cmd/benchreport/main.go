@@ -5,16 +5,20 @@
 // Usage:
 //
 //	benchreport [-scale f] [-pairs n] [-quick]
+//	benchreport -bench-json BENCH_5.json
 //
 // -scale sets the Table 1 corpus scale (default 0.05; 1.0 regenerates
 // the full 13k/164k/282k corpus). -pairs sets the number of evaluation
 // schema pairs for the matcher-quality experiments. -quick shrinks
-// everything for smoke runs.
+// everything for smoke runs. -bench-json skips the report and instead
+// measures the incremental re-match scenarios, writing the BENCH file
+// scripts/benchdiff gates regressions against.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/eval"
@@ -28,10 +32,18 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "Table 1 corpus scale")
 	pairs := flag.Int("pairs", 6, "evaluation schema pairs")
 	quick := flag.Bool("quick", false, "tiny smoke-run sizes")
+	benchJSON := flag.String("bench-json", "", "write incremental re-match benchmark results to this file and exit")
 	flag.Parse()
 	if *quick {
 		*scale = 0.01
 		*pairs = 2
+	}
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	section("E1 — Table 1: documentation in the metadata registry")

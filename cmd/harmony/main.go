@@ -20,6 +20,8 @@
 //	-thesaurus f   load extra synonym sets (one comma-separated set/line)
 //	-depth n       only elements at depth ≤ n
 //	-parallelism n worker pool size (0 = GOMAXPROCS, 1 = sequential)
+//	-incremental   enable the score-matrix cache; with -timings, also
+//	               demo a warm re-run served from it and print cache stats
 //	-timings       print per-stage timings (the Figure 1 pipeline)
 //	-metrics       dump the obs registry in Prometheus text format
 //	-metrics-json  dump the obs registry as JSON
@@ -38,6 +40,7 @@ import (
 	"repro/internal/harmony"
 	"repro/internal/lingo"
 	"repro/internal/match"
+	"repro/internal/matchcache"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/registry"
@@ -51,6 +54,7 @@ func main() {
 	thesaurusPath := flag.String("thesaurus", "", "extra thesaurus file")
 	depth := flag.Int("depth", 0, "only elements at depth <= n (0 = all)")
 	parallelism := flag.Int("parallelism", 0, "pipeline worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	incremental := flag.Bool("incremental", false, "enable the score-matrix cache (with -timings: demo a warm re-run)")
 	timings := flag.Bool("timings", false, "print pipeline stage timings")
 	metrics := flag.Bool("metrics", false, "dump obs metrics (Prometheus text format)")
 	metricsJSON := flag.Bool("metrics-json", false, "dump obs metrics as JSON")
@@ -86,16 +90,33 @@ func main() {
 		ctxOpts = append(ctxOpts, match.WithThesaurus(th))
 	}
 
-	engine := workbench.NewEngine(src, tgt, workbench.EngineOptions{
+	var cache *matchcache.Cache
+	if *incremental {
+		cache = matchcache.New(0)
+	}
+	opts := workbench.EngineOptions{
 		Flooding:       !*noFlood,
 		ContextOptions: ctxOpts,
 		Parallelism:    *parallelism,
-	})
+		Cache:          cache,
+	}
+	engine := workbench.NewEngine(src, tgt, opts)
 	wallStart := time.Now()
 	stages := engine.Run()
 	wall := time.Since(wallStart)
 	if *timings {
 		printTimings(stages, wall, engine.Workers())
+		if *incremental {
+			// Warm demo: a second engine over the same pair serves every
+			// voter and the merged matrix straight from the cache.
+			warm := workbench.NewEngine(src, tgt, opts)
+			warmStart := time.Now()
+			warmStages := warm.Run()
+			warmWall := time.Since(warmStart)
+			fmt.Println("warm re-run (score-matrix cache):")
+			printTimings(warmStages, warmWall, warm.Workers())
+			printCacheStats(cache.Stats())
+		}
 	}
 	if *metrics || *metricsJSON {
 		if *metricsJSON {
@@ -166,6 +187,13 @@ func printTimings(stages []harmony.StageTiming, wall time.Duration, workers int)
 	fmt.Printf("  %-*s %s\n", width, "total", fmtSeconds(total))
 	fmt.Printf("wall %s vs cpu %s at parallelism %d\n",
 		strings.TrimSpace(fmtSeconds(wall.Seconds())), strings.TrimSpace(fmtSeconds(total)), workers)
+}
+
+// printCacheStats summarizes the score-matrix cache after a -incremental
+// timing demo.
+func printCacheStats(st matchcache.Stats) {
+	fmt.Printf("match cache: %d entries, %d/%d bytes, %d hits, %d misses, %d evictions (hit ratio %.0f%%)\n",
+		st.Entries, st.Bytes, st.MaxBytes, st.Hits, st.Misses, st.Evictions, 100*st.HitRatio())
 }
 
 // fmtSeconds formats a duration in seconds with a fixed 10-rune width:

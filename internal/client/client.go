@@ -143,6 +143,17 @@ func (c *Client) Match(id string, threshold float64) (server.MatchResponse, erro
 	return out, err
 }
 
+// Rematch incrementally recomputes a mapping's matrix server-side. The
+// dirty ID lists are optional hints naming elements the caller knows
+// changed; the server unions them with its own change detection. The
+// response's Mode reports which recompute path ran.
+func (c *Client) Rematch(id string, threshold float64, dirtySource, dirtyTarget []string) (server.RematchResponse, error) {
+	var out server.RematchResponse
+	err := c.do("POST", "/v1/mappings/"+url.PathEscape(id)+"/rematch",
+		server.RematchRequest{Threshold: &threshold, DirtySource: dirtySource, DirtyTarget: dirtyTarget}, &out)
+	return out, err
+}
+
 // Decide accepts or rejects one correspondence (verdict: "accept" or
 // "reject").
 func (c *Client) Decide(id, source, target, verdict string) (server.CellInfo, error) {

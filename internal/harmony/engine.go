@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/match"
+	"repro/internal/matchcache"
 	"repro/internal/model"
 	"repro/internal/obs"
 )
@@ -54,6 +55,17 @@ type Options struct {
 	// must tolerate concurrent Vote calls (read-only Context access) when
 	// Parallelism != 1.
 	Parallelism int
+	// Cache, when non-nil, stores per-voter score matrices and the
+	// merged/flooded intermediates across runs and across engines, keyed
+	// by schema content hashes and an options fingerprint (DESIGN.md
+	// §12). Cached matrices are shared and must be treated as immutable;
+	// the engine never mutates them. Runs after Learn bypass the cache
+	// entirely — learned corpus/merger state is not part of the key.
+	Cache *matchcache.Cache
+	// CacheSalt is folded into the cache fingerprint. Set it when engine
+	// behavior differs in a way the fingerprint cannot see (for example,
+	// a custom thesaurus whose content changes between runs).
+	CacheSalt string
 }
 
 // Engine is one Harmony matching session over a (source, target) pair.
@@ -65,6 +77,21 @@ type Engine struct {
 	floodOpt    match.FloodOptions
 	metrics     *obs.Registry
 	parallelism int
+
+	// ctxOpts replays the caller's context options when Rematch rebuilds
+	// the linguistic context after a schema edit.
+	ctxOpts   []match.ContextOption
+	cache     *matchcache.Cache
+	cacheSalt string
+	// learnGen counts Learn calls; learned corpus/merger state is not
+	// content-addressable, so learnGen > 0 bypasses the cache and makes
+	// Rematch fall back to a full run.
+	learnGen int
+	// snap is the recorded state of the last completed pipeline run —
+	// what Rematch patches against.
+	snap *runSnapshot
+	// lastRematchMode records how the most recent Rematch resolved.
+	lastRematchMode string
 
 	// lastVotes holds each voter's matrix from the most recent Run, used
 	// by Learn.
@@ -105,6 +132,9 @@ func NewEngine(source, target *model.Schema, opts Options) *Engine {
 		floodOpt:    floodOpt,
 		metrics:     metrics,
 		parallelism: opts.Parallelism,
+		ctxOpts:     ctxOpts,
+		cache:       opts.Cache,
+		cacheSalt:   opts.CacheSalt,
 		decisions:   map[pairKey]Decision{},
 		complete:    map[string]bool{},
 	}
@@ -155,15 +185,45 @@ func (e *Engine) Run() []StageTiming {
 	workers := e.Workers()
 	e.metrics.Gauge(MetricParallelism).Set(float64(workers))
 
+	// Content-addressed caching: schema hashes + options fingerprint name
+	// each intermediate exactly, so a hit is bit-identical by
+	// construction. Learned corpus/merger state is not part of the key,
+	// hence the learnGen guard.
+	useCache := e.cache != nil && e.learnGen == 0
+	var snap runSnapshot
+	snap.srcSig, snap.srcParent, snap.srcHash = schemaSignature(e.ctx.Source)
+	snap.tgtSig, snap.tgtParent, snap.tgtHash = schemaSignature(e.ctx.Target)
+	snap.corpusSig = corpusSignature(e.ctx)
+	snap.mergerSig = mergerSignature(e.merger)
+	snap.learnGen = e.learnGen
+	var fp string
+	if useCache {
+		fp = e.cacheFingerprint()
+	}
+
 	// Voter panel: one goroutine per voter, bounded by the worker pool,
 	// results collected positionally so lastVotes order — and therefore
 	// the merger's input — is byte-identical to the sequential run.
 	votes := make([]match.Vote, len(e.voters))
+	runVoter := func(i int, v match.Voter) {
+		sp := tr.Start("voter:" + v.Name())
+		defer sp.End()
+		if useCache {
+			key := voterCacheKey(snap.srcHash, snap.tgtHash, fp, v.Name())
+			if got, ok := e.cache.Get(key); ok {
+				votes[i] = match.Vote{Voter: v.Name(), Matrix: got.(*match.Matrix)}
+				return
+			}
+			m := v.Vote(e.ctx)
+			e.cache.Put(key, m, match.MatrixBytes(m))
+			votes[i] = match.Vote{Voter: v.Name(), Matrix: m}
+			return
+		}
+		votes[i] = match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)}
+	}
 	if workers <= 1 || len(e.voters) <= 1 {
 		for i, v := range e.voters {
-			sp := tr.Start("voter:" + v.Name())
-			votes[i] = match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)}
-			sp.End()
+			runVoter(i, v)
 		}
 	} else {
 		sem := make(chan struct{}, workers)
@@ -174,44 +234,83 @@ func (e *Engine) Run() []StageTiming {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				sp := tr.Start("voter:" + v.Name())
-				votes[i] = match.Vote{Voter: v.Name(), Matrix: v.Vote(e.ctx)}
-				sp.End()
+				runVoter(i, v)
 			}(i, v)
 		}
 		wg.Wait()
 	}
 	e.lastVotes = votes
+	snap.votes = votes
 
-	sp := tr.Start("merge")
-	merged := e.merger.Merge(votes)
-	sp.End()
-
-	if e.flooding {
-		sp = tr.Start("flooding")
-		merged = match.HarmonyFlood(merged, e.ctx.Source, e.ctx.Target, e.floodOpt)
+	// Merge + flooding, as one cached unit (the flood state rides along
+	// so a later Rematch can warm-start from the recorded rounds).
+	gotMerged := false
+	if useCache {
+		if got, ok := e.cache.Get(mergedCacheKey(snap.srcHash, snap.tgtHash, fp, snap.mergerSig)); ok {
+			me := got.(*mergedEntry)
+			snap.premerge, snap.flood, snap.prepin = me.premerge, me.flood, me.prepin
+			gotMerged = true
+			// Keep the span sequence identical on the cache-hit path so
+			// -timings always lists the same stages.
+			tr.Start("merge").End()
+			if e.flooding {
+				tr.Start("flooding").End()
+			}
+		}
+	}
+	if !gotMerged {
+		sp := tr.Start("merge")
+		snap.premerge = e.merger.Merge(votes)
 		sp.End()
+		snap.prepin = snap.premerge
+		if e.flooding {
+			sp = tr.Start("flooding")
+			snap.prepin, snap.flood = match.HarmonyFloodState(snap.premerge, e.ctx.Source, e.ctx.Target, e.floodOpt)
+			sp.End()
+		}
+		if useCache {
+			me := &mergedEntry{premerge: snap.premerge, flood: snap.flood, prepin: snap.prepin}
+			e.cache.Put(mergedCacheKey(snap.srcHash, snap.tgtHash, fp, snap.mergerSig), me, me.bytes())
+		}
 	}
 
 	// Re-apply pinned user decisions: "once a link has been accepted or
 	// rejected, the engine will not try to modify that link" (§4.3).
-	sp = tr.Start("pin-decisions")
-	for k, d := range e.decisions {
-		v := -1.0
-		if d.Accepted {
-			v = 1.0
-		}
-		merged.Set(k.src, k.tgt, v)
-	}
+	// Pins land on a clone — snap.prepin stays pristine (and possibly
+	// shared through the cache) for incremental reuse.
+	sp := tr.Start("pin-decisions")
+	merged := snap.prepin.Clone()
+	e.applyPins(merged)
 	sp.End()
 	e.merged = merged
+	e.snap = &snap
 	e.metrics.Counter(MetricRuns).Inc()
 
 	// Concurrent voters finish in scheduler order; normalize the spans
 	// back to pipeline order (panel, merge, flooding, pin-decisions) so
 	// the returned timings are deterministic and identical between
 	// sequential and parallel runs.
-	rank := make(map[string]int, len(e.voters)+3)
+	return e.orderedTimings(tr)
+}
+
+// applyPins writes every user decision into m as a pinned ±1.
+func (e *Engine) applyPins(m *match.Matrix) {
+	for k, d := range e.decisions {
+		v := -1.0
+		if d.Accepted {
+			v = 1.0
+		}
+		m.Set(k.src, k.tgt, v)
+	}
+}
+
+// orderedTimings converts a tracer's finished spans to StageTimings in
+// pipeline order (panel order, then merge/flooding/pin-decisions, with
+// Rematch's extra stages leading).
+func (e *Engine) orderedTimings(tr *obs.Tracer) []StageTiming {
+	rank := make(map[string]int, len(e.voters)+5)
+	rank["signatures"] = -2
+	rank["context"] = -1
 	for i, v := range e.voters {
 		rank["voter:"+v.Name()] = i
 	}
@@ -305,6 +404,10 @@ func (e *Engine) Learn() {
 		fb = append(fb, match.Feedback{SourceID: k.src, TargetID: k.tgt, Accepted: d.Accepted})
 	}
 	e.merger.LearnWeights(e.lastVotes, fb, 0.15)
+	// Learned state is invisible to the content-addressed cache keys, so
+	// from here on this engine bypasses the cache and Rematch falls back
+	// to full runs (see Options.Cache).
+	e.learnGen++
 
 	// Word-weight learning: words shared by accepted pairs' documentation
 	// were predictive (upweight); words shared by rejected pairs misled

@@ -1,0 +1,472 @@
+package harmony
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/obs"
+)
+
+// Incremental re-match (DESIGN.md §12). Rematch recomputes only what a
+// schema edit or decision actually invalidated: voters re-score dirty
+// rows/columns, the merger re-merges the same cross-shaped region, and
+// flooding warm-starts from the previous run's recorded rounds. The
+// contract is bit-identity: Rematch's matrix equals what a cold Run
+// over the current schemas (with the same decisions and options) would
+// produce, float64 for float64. That holds because recomputed cells run
+// the exact full-path kernels and copied cells are proven unaffected —
+// the engine derives the dirty set itself from element signatures, so
+// correctness never depends on callers reporting edits accurately;
+// caller hints only ever enlarge the set.
+
+// Rematch metric names.
+const (
+	// MetricRematchTotal counts Rematch calls, labeled by the mode the
+	// call resolved to: "cold" (no previous run), "pins" (decision-only
+	// fast path), "incremental" (row/column patching), "corpus" (a
+	// documentation change moved every IDF weight: the documentation
+	// voter re-votes fully, other voters still patch) or "full" (learned
+	// state forced a complete re-run).
+	MetricRematchTotal = "harmony_rematch_total"
+	// MetricRematchStageDuration mirrors MetricStageDuration for the
+	// rematch pipeline, plus the rematch-only "signatures" and "context"
+	// stages.
+	MetricRematchStageDuration = "harmony_rematch_stage_duration_seconds"
+	// MetricRematchDirty gauges how many elements the last Rematch
+	// treated as dirty (after signature diffing, before structural
+	// closure).
+	MetricRematchDirty = "harmony_rematch_dirty_elements"
+)
+
+// Rematch modes, as reported in timings, metrics and the server API.
+const (
+	RematchCold        = "cold"
+	RematchPins        = "pins"
+	RematchIncremental = "incremental"
+	RematchCorpus      = "corpus"
+	RematchFull        = "full"
+)
+
+// Dirty names the elements a caller believes changed since the last
+// run. Hints are advisory: the engine unions them with its own
+// signature diff, so an empty Dirty is always safe (just potentially
+// slower than a precise one — absent hints the diff still finds every
+// change).
+type Dirty struct {
+	Source []string
+	Target []string
+}
+
+// runSnapshot is everything the last completed pipeline run left behind
+// for incremental reuse. All matrices are immutable once recorded.
+type runSnapshot struct {
+	srcSig, tgtSig       map[string]uint64
+	srcParent, tgtParent map[string]string
+	srcHash, tgtHash     string
+	corpusSig            uint64
+	mergerSig            uint64
+	learnGen             int
+
+	votes    []match.Vote
+	premerge *match.Matrix     // merge output, pre-flood
+	flood    *match.FloodState // nil when flooding is off
+	prepin   *match.Matrix     // pipeline output before decision pinning
+}
+
+// mergedEntry is the cached merge+flood unit.
+type mergedEntry struct {
+	premerge *match.Matrix
+	flood    *match.FloodState
+	prepin   *match.Matrix
+}
+
+func (me *mergedEntry) bytes() int64 {
+	n := match.MatrixBytes(me.premerge)
+	if me.flood != nil {
+		n += me.flood.Bytes()
+	}
+	if me.prepin != me.premerge {
+		n += match.MatrixBytes(me.prepin)
+	}
+	return n
+}
+
+// LastRematchMode reports how the most recent Rematch resolved ("" before
+// any Rematch).
+func (e *Engine) LastRematchMode() string { return e.lastRematchMode }
+
+// Rematch re-runs the pipeline over the engine's current schemas,
+// reusing the previous run wherever the signature diff proves it valid.
+// dirty may name elements the caller knows were touched (blackboard
+// events, rdf.ChangesSince); the engine unions the hints with its own
+// diff. The resulting matrix is bit-identical to a cold Run.
+func (e *Engine) Rematch(dirty Dirty) []StageTiming {
+	return e.rematch(e.ctx.Source, e.ctx.Target, dirty)
+}
+
+// RematchWith is Rematch for callers that replace schema objects rather
+// than editing them in place (the server reloads schemas from the
+// blackboard): the engine re-aligns everything by element ID, so the
+// previous run is still reused for unchanged elements.
+func (e *Engine) RematchWith(source, target *model.Schema, dirty Dirty) []StageTiming {
+	return e.rematch(source, target, dirty)
+}
+
+func (e *Engine) rematch(source, target *model.Schema, dirty Dirty) []StageTiming {
+	replaced := source != e.ctx.Source || target != e.ctx.Target
+	mode := RematchFull
+	defer func() {
+		e.lastRematchMode = mode
+		e.metrics.Counter(MetricRematchTotal, "mode", mode).Inc()
+	}()
+	e.metrics.Describe(MetricRematchTotal, "Rematch calls by resolved mode (cold/pins/incremental/corpus/full).")
+	e.metrics.Describe(MetricRematchStageDuration, "Rematch pipeline stage wall-clock time, labeled by stage.")
+	e.metrics.Describe(MetricRematchDirty, "Dirty element count of the most recent Rematch (post-diff, pre-closure).")
+
+	// A never-run engine, a custom non-incremental voter, or learned
+	// state (whose effects signatures cannot see) all force the full
+	// pipeline — the one code path guaranteed correct for them.
+	fullRun := func() []StageTiming {
+		if replaced {
+			e.ctx = match.NewContext(source, target, e.ctxOpts...)
+		}
+		return e.Run()
+	}
+	if e.snap == nil {
+		mode = RematchCold
+		return fullRun()
+	}
+	if !allIncremental(e.voters) {
+		return fullRun()
+	}
+
+	tr := obs.NewTracer(e.metrics, MetricRematchStageDuration)
+	sp := tr.Start("signatures")
+	srcSig, srcParent, srcHash := schemaSignature(source)
+	tgtSig, tgtParent, tgtHash := schemaSignature(target)
+	dirtySrc := diffSignatures(e.snap.srcSig, srcSig)
+	dirtyTgt := diffSignatures(e.snap.tgtSig, tgtSig)
+	for _, id := range dirty.Source {
+		dirtySrc[id] = true
+	}
+	for _, id := range dirty.Target {
+		dirtyTgt[id] = true
+	}
+	mergerSig := mergerSignature(e.merger)
+	sp.End()
+	e.metrics.Gauge(MetricRematchDirty).Set(float64(len(dirtySrc) + len(dirtyTgt)))
+
+	if e.learnGen != e.snap.learnGen {
+		// Post-Learn: corpus word weights and merger weights moved. A
+		// plain Run on the existing context keeps the learned corpus
+		// (rebuilding would reset it), matching the documented
+		// Learn-then-Run workflow. With schema edits on top, the context
+		// must be rebuilt for correct tokens, which resets word-weight
+		// learning — merger weights persist either way.
+		if replaced || len(dirtySrc) > 0 || len(dirtyTgt) > 0 {
+			e.ctx = match.NewContext(source, target, e.ctxOpts...)
+		}
+		return e.Run()
+	}
+
+	if len(dirtySrc) == 0 && len(dirtyTgt) == 0 && !replaced && mergerSig == e.snap.mergerSig {
+		// Only decisions changed: the pipeline output is still valid,
+		// re-pin onto a fresh clone of it.
+		mode = RematchPins
+		sp = tr.Start("pin-decisions")
+		merged := e.snap.prepin.Clone()
+		e.applyPins(merged)
+		sp.End()
+		e.merged = merged
+		e.metrics.Counter(MetricRuns).Inc()
+		return e.orderedTimings(tr)
+	}
+
+	// The context's per-element caches are keyed by element pointer, so
+	// every edit needs fresh linguistic state for the touched elements.
+	// In-place edits that provably leave the documentation corpus alone
+	// refresh just those elements (O(dirty)); anything else — replaced
+	// schema objects, doc edits, added/removed documents — rebuilds the
+	// whole context (O(elements), still far below the O(|S1|·|S2|)
+	// matrix work the stages below save).
+	sp = tr.Start("context")
+	if replaced || !e.ctx.Refresh(dirtySrc, dirtyTgt) {
+		e.ctx = match.NewContext(source, target, e.ctxOpts...)
+	}
+	corpusSig := corpusSignature(e.ctx)
+	sp.End()
+	corpusChanged := corpusSig != e.snap.corpusSig
+
+	// Close the dirty sets under the voter panel's structural
+	// dependency: parents of changed elements (StructureVoter reads
+	// children), including parents of removed elements via the previous
+	// run's parent map.
+	closedSrc := closeDirty(source, dirtySrc, e.snap.srcParent)
+	closedTgt := closeDirty(target, dirtyTgt, e.snap.tgtParent)
+
+	snap := runSnapshot{
+		srcSig: srcSig, tgtSig: tgtSig,
+		srcParent: srcParent, tgtParent: tgtParent,
+		srcHash: srcHash, tgtHash: tgtHash,
+		corpusSig: corpusSig, mergerSig: mergerSig,
+		learnGen: e.learnGen,
+	}
+	useCache := e.cache != nil && e.learnGen == 0
+	var fp string
+	if useCache {
+		fp = e.cacheFingerprint()
+	}
+
+	// Voter panel: patch each voter against its previous vote; the
+	// corpus-sensitive documentation voter re-votes fully when any
+	// document changed (IDF is global). Same fan-out discipline as Run.
+	prevVotes := make(map[string]*match.Matrix, len(e.snap.votes))
+	for _, v := range e.snap.votes {
+		prevVotes[v.Voter] = v.Matrix
+	}
+	votes := make([]match.Vote, len(e.voters))
+	patchVoter := func(i int, v match.Voter) {
+		sp := tr.Start("voter:" + v.Name())
+		defer sp.End()
+		var m *match.Matrix
+		cs, _ := v.(match.CorpusSensitive)
+		if corpusChanged && cs != nil && cs.CorpusSensitive() {
+			m = v.Vote(e.ctx)
+		} else {
+			m = v.(match.IncrementalVoter).VotePatch(e.ctx, prevVotes[v.Name()], closedSrc, closedTgt)
+		}
+		if useCache {
+			e.cache.Put(voterCacheKey(srcHash, tgtHash, fp, v.Name()), m, match.MatrixBytes(m))
+		}
+		votes[i] = match.Vote{Voter: v.Name(), Matrix: m}
+	}
+	workers := e.Workers()
+	if workers <= 1 || len(e.voters) <= 1 {
+		for i, v := range e.voters {
+			patchVoter(i, v)
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for i, v := range e.voters {
+			wg.Add(1)
+			go func(i int, v match.Voter) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				patchVoter(i, v)
+			}(i, v)
+		}
+		wg.Wait()
+	}
+	e.lastVotes = votes
+	snap.votes = votes
+
+	if corpusChanged || mergerSig != e.snap.mergerSig {
+		// Every documentation-voter cell (or every merge weight) moved:
+		// the merge and flood must be full, but the patched voters above
+		// still saved the panel sweep.
+		mode = RematchCorpus
+		sp = tr.Start("merge")
+		snap.premerge = e.merger.Merge(votes)
+		sp.End()
+		snap.prepin = snap.premerge
+		if e.flooding {
+			sp = tr.Start("flooding")
+			snap.prepin, snap.flood = match.HarmonyFloodState(snap.premerge, source, target, e.floodOpt)
+			sp.End()
+		}
+	} else {
+		mode = RematchIncremental
+		sp = tr.Start("merge")
+		snap.premerge = e.merger.MergePatch(votes, e.snap.premerge, closedSrc, closedTgt)
+		sp.End()
+		snap.prepin = snap.premerge
+		if e.flooding {
+			sp = tr.Start("flooding")
+			out, st, ok := match.HarmonyFloodPatch(e.snap.flood, snap.premerge, source, target, closedSrc, closedTgt, e.floodOpt)
+			if !ok {
+				out, st = match.HarmonyFloodState(snap.premerge, source, target, e.floodOpt)
+			}
+			snap.prepin, snap.flood = out, st
+			sp.End()
+		}
+	}
+	if useCache {
+		me := &mergedEntry{premerge: snap.premerge, flood: snap.flood, prepin: snap.prepin}
+		e.cache.Put(mergedCacheKey(srcHash, tgtHash, fp, mergerSig), me, me.bytes())
+	}
+
+	sp = tr.Start("pin-decisions")
+	merged := snap.prepin.Clone()
+	e.applyPins(merged)
+	sp.End()
+	e.merged = merged
+	e.snap = &snap
+	e.metrics.Counter(MetricRuns).Inc()
+	return e.orderedTimings(tr)
+}
+
+// allIncremental reports whether every panel voter supports VotePatch.
+func allIncremental(voters []match.Voter) bool {
+	for _, v := range voters {
+		if _, ok := v.(match.IncrementalVoter); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// closeDirty adds the structural parents of every dirty element —
+// current parents from the schema, previous parents (for removed
+// elements) from the last run's parent map.
+func closeDirty(sch *model.Schema, dirty map[string]bool, prevParent map[string]string) map[string]bool {
+	out := match.ExpandDirty(sch, dirty)
+	for id := range dirty {
+		if sch.Element(id) == nil {
+			if p := prevParent[id]; p != "" {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// diffSignatures returns the IDs added, changed or removed between two
+// signature maps.
+func diffSignatures(old, new map[string]uint64) map[string]bool {
+	dirty := map[string]bool{}
+	for id, sig := range new {
+		if osig, ok := old[id]; !ok || osig != sig {
+			dirty[id] = true
+		}
+	}
+	for id := range old {
+		if _, ok := new[id]; !ok {
+			dirty[id] = true
+		}
+	}
+	return dirty
+}
+
+// schemaSignature walks a schema in deterministic pre-order and returns
+// per-element content signatures, a parent map, and a whole-schema
+// content hash (the cache revision key). A signature covers every field
+// any built-in voter reads about the element itself — name, kind, data
+// type, documentation, structural edge, key/required flags and the full
+// content of its referenced coding scheme — so two runs see the same
+// signature iff every per-element voter input is unchanged. (What it
+// deliberately does not cover: children, handled by dirty-set closure,
+// and corpus-global IDF, handled by corpusSignature.)
+func schemaSignature(sch *model.Schema) (map[string]uint64, map[string]string, string) {
+	elems := sch.Elements()
+	sigs := make(map[string]uint64, len(elems))
+	parents := make(map[string]string, len(elems))
+	whole := fnv.New64a()
+	for _, e := range elems {
+		h := fnv.New64a()
+		hw := func(parts ...string) {
+			for _, p := range parts {
+				h.Write([]byte(p))
+				h.Write([]byte{0})
+			}
+		}
+		hw(e.Name, string(e.Kind), e.DataType, e.Doc, e.DomainRef, string(e.EdgeFromParent),
+			strconv.FormatBool(e.Key), strconv.FormatBool(e.Required))
+		if d := sch.DomainOf(e); d != nil {
+			hw(d.Name, d.Doc)
+			for _, v := range d.Values {
+				hw(v.Code, v.Doc)
+			}
+		}
+		sig := h.Sum64()
+		sigs[e.ID] = sig
+		if p := e.Parent(); p != nil && p.Kind != model.KindSchema {
+			parents[e.ID] = p.ID
+		}
+		whole.Write([]byte(e.ID))
+		whole.Write([]byte{0})
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(sig >> (8 * i))
+		}
+		whole.Write(buf[:])
+	}
+	return sigs, parents, fmt.Sprintf("%016x", whole.Sum64())
+}
+
+// corpusSignature hashes both schemas' preprocessed documentation bags
+// in element order. Any difference means the TF-IDF corpus — and with
+// it every IDF weight — changed, so corpus-sensitive voters cannot be
+// patched.
+func corpusSignature(ctx *match.Context) uint64 {
+	h := fnv.New64a()
+	for _, sch := range []*model.Schema{ctx.Source, ctx.Target} {
+		for _, e := range sch.Elements() {
+			for _, tok := range ctx.DocTokens(e) {
+				h.Write([]byte(tok))
+				h.Write([]byte{0})
+			}
+			h.Write([]byte{1})
+		}
+		h.Write([]byte{2})
+	}
+	return h.Sum64()
+}
+
+// mergerSignature hashes the merger configuration (performance weights
+// and the magnitude toggle) so external SetWeight calls invalidate
+// merged intermediates.
+func mergerSignature(g *match.Merger) uint64 {
+	h := fnv.New64a()
+	if g.MagnitudeWeighting {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	weights := g.Weights()
+	names := make([]string, 0, len(weights))
+	for n := range weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+		fmt.Fprintf(h, "%x", weights[n])
+	}
+	return h.Sum64()
+}
+
+// cacheFingerprint identifies every engine option that shapes matrix
+// content: panel composition, flooding schedule, stemming, thesaurus
+// presence/size, and the caller's salt. Parallelism is excluded —
+// results are bit-identical at any worker count, so sequential and
+// parallel engines share entries.
+func (e *Engine) cacheFingerprint() string {
+	h := fnv.New64a()
+	for _, v := range e.voters {
+		h.Write([]byte(v.Name()))
+		h.Write([]byte{0})
+	}
+	fmt.Fprintf(h, "flood=%t,%d,%x,%x;stem=%t;", e.flooding,
+		e.floodOpt.Iterations, e.floodOpt.UpWeight, e.floodOpt.DownWeight, e.ctx.Stem)
+	if th := e.ctx.Thesaurus; th != nil {
+		fmt.Fprintf(h, "th=%d;", th.Len())
+	}
+	h.Write([]byte(e.cacheSalt))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func voterCacheKey(srcHash, tgtHash, fp, voter string) string {
+	return "v|" + srcHash + "|" + tgtHash + "|" + fp + "|" + voter
+}
+
+func mergedCacheKey(srcHash, tgtHash, fp string, mergerSig uint64) string {
+	return "m|" + srcHash + "|" + tgtHash + "|" + fp + "|" + strconv.FormatUint(mergerSig, 16)
+}

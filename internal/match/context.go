@@ -139,6 +139,106 @@ func NewContext(source, target *model.Schema, opts ...ContextOption) *Context {
 	return c
 }
 
+// Refresh re-derives the per-element caches after in-place edits to the
+// context's schemas, keeping the corpus and every untouched element's
+// state. dirtySrc/dirtyTgt name the elements (by ID) whose content may
+// have changed; elements added since construction are found on its own.
+// Refresh succeeds only when the documentation corpus is provably
+// unchanged — every added, edited or removed element must contribute
+// the same document tokens as before (typically: edits that didn't
+// touch documentation). When that doesn't hold it returns false without
+// mutating anything and the caller must rebuild with NewContext; IDF is
+// global, so a changed document invalidates every vector. After a
+// successful Refresh the cached state is bit-identical to a freshly
+// built context's.
+func (c *Context) Refresh(dirtySrc, dirtyTgt map[string]bool) bool {
+	pre := lingo.Preprocess
+	if !c.Stem {
+		pre = lingo.PreprocessNoStem
+	}
+	type update struct {
+		e   *model.Element
+		doc []string
+	}
+	var updates []update
+	for _, sd := range []struct {
+		s     *model.Schema
+		dirty map[string]bool
+	}{{c.Source, dirtySrc}, {c.Target, dirtyTgt}} {
+		for _, e := range sd.s.Elements() {
+			if _, known := c.nameTokens[e]; known && !sd.dirty[e.ID] {
+				continue
+			}
+			doc := e.Doc
+			if d := sd.s.DomainOf(e); d != nil {
+				doc += " " + d.Doc
+				for _, v := range d.Values {
+					doc += " " + v.Doc
+				}
+			}
+			toks := pre(doc)
+			if !tokensEqual(toks, c.docTokens[e]) {
+				return false
+			}
+			updates = append(updates, update{e, toks})
+		}
+	}
+	// Elements whose pointers left the schemas may only leave if they
+	// never contributed a document.
+	var stale []*model.Element
+	for e := range c.nameTokens {
+		if c.Source.Element(e.ID) == e || c.Target.Element(e.ID) == e {
+			continue
+		}
+		if len(c.docTokens[e]) > 0 {
+			return false
+		}
+		stale = append(stale, e)
+	}
+	// Commit. No corpus change is possible past this point, so the kept
+	// Corpus — and every clean element's cached vector — stays exact.
+	for _, u := range updates {
+		e := u.e
+		c.nameTokens[e] = pre(e.Name)
+		c.nameTokensRaw[e] = lingo.PreprocessNoStem(e.Name)
+		toks := c.nameTokensRaw[e]
+		if c.Thesaurus != nil {
+			toks = c.Thesaurus.Expand(toks)
+		}
+		c.expandedTokens[e] = toks
+		c.docTokens[e] = u.doc
+		v := c.Corpus.Vector(u.doc)
+		c.vecMu.Lock()
+		c.docVectors[e] = v
+		c.docVecSorted[e] = v.Sorted()
+		c.vecMu.Unlock()
+	}
+	for _, e := range stale {
+		delete(c.nameTokens, e)
+		delete(c.nameTokensRaw, e)
+		delete(c.expandedTokens, e)
+		delete(c.docTokens, e)
+		c.vecMu.Lock()
+		delete(c.docVectors, e)
+		delete(c.docVecSorted, e)
+		c.vecMu.Unlock()
+	}
+	return true
+}
+
+// tokensEqual reports whether two token slices are identical.
+func tokensEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Workers resolves the context's Parallelism to a concrete worker count.
 func (c *Context) Workers() int {
 	if c == nil {

@@ -70,56 +70,102 @@ func (o *FloodOptions) defaults() {
 // pair whose parents score negatively, the parents' negativity drags the
 // pair down.
 func HarmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions) *Matrix {
+	out, _ := harmonyFlood(m, source, target, opts, false)
+	return out
+}
+
+// FloodState records the matrix after every flooding round (Rounds[0] is
+// the pre-flood input, Rounds[k] the output of round k), so a later
+// incremental pass can copy unaffected cells round by round. The
+// resolved option values are kept for a validity check: a state warm-
+// starts a patch only under the exact same propagation schedule.
+// Parallelism is deliberately not recorded — results are bit-identical
+// at any worker count.
+type FloodState struct {
+	Rounds     []*Matrix
+	Iterations int
+	UpWeight   float64
+	DownWeight float64
+}
+
+// Bytes estimates the state's cache charge.
+func (st *FloodState) Bytes() int64 {
+	var n int64
+	for _, m := range st.Rounds {
+		n += MatrixBytes(m)
+	}
+	return n
+}
+
+// HarmonyFloodState is HarmonyFlood plus a recorded FloodState for
+// warm-starting HarmonyFloodPatch later.
+func HarmonyFloodState(m *Matrix, source, target *model.Schema, opts FloodOptions) (*Matrix, *FloodState) {
+	return harmonyFlood(m, source, target, opts, true)
+}
+
+func harmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions, record bool) (*Matrix, *FloodState) {
 	opts.defaults()
 	workers := ResolveWorkers(opts.Parallelism)
-	for it := 0; it < opts.Iterations; it++ {
-		next := m.Clone()
-		// Both propagation sweeps read only the frozen round-start matrix m
-		// and write row i of next, so sharding by row is race-free; the
-		// down sweep runs after the up sweep completes, preserving the
-		// sequential overwrite order for cells both sweeps touch.
-		if opts.UpWeight > 0 {
-			// Up: children lift parents.
-			shardRows(workers, len(m.Sources), func(i int) {
-				s := m.Sources[i]
-				if s.IsLeaf() {
-					return
-				}
-				for j, t := range m.Targets {
-					if t.IsLeaf() || !kindCompatible(s, t) {
-						continue
-					}
-					lift := childLift(m, s, t)
-					if lift > 0 {
-						next.Scores[i][j] = blend(m.Scores[i][j], lift, opts.UpWeight)
-					}
-				}
-			})
+	var st *FloodState
+	if record {
+		st = &FloodState{
+			Rounds:     []*Matrix{m.Clone()},
+			Iterations: opts.Iterations,
+			UpWeight:   opts.UpWeight,
+			DownWeight: opts.DownWeight,
 		}
-		if opts.DownWeight > 0 {
-			// Down: negative parents drag children.
-			shardRows(workers, len(m.Sources), func(i int) {
-				s := m.Sources[i]
-				ps := s.Parent()
-				if ps == nil || ps.Kind == model.KindSchema {
-					return
-				}
-				for j, t := range m.Targets {
-					pt := t.Parent()
-					if pt == nil || pt.Kind == model.KindSchema {
-						continue
-					}
-					parentScore := m.Get(ps.ID, pt.ID)
-					if parentScore < 0 {
-						next.Scores[i][j] = blend(m.Scores[i][j], parentScore, opts.DownWeight)
-					}
-				}
-			})
-		}
-		next.Clamp(-0.99, 0.99)
-		m = next
 	}
-	return m
+	for it := 0; it < opts.Iterations; it++ {
+		next := NewMatrix(m.Sources, m.Targets)
+		// floodCell reads only the frozen round-start matrix m and each
+		// goroutine owns disjoint rows of next, so sharding is race-free.
+		shardRows(workers, len(m.Sources), func(i int) {
+			s := m.Sources[i]
+			for j, t := range m.Targets {
+				next.Scores[i][j] = floodCell(m, s, t, i, j, opts)
+			}
+		})
+		m = next
+		if record {
+			st.Rounds = append(st.Rounds, next.Clone())
+		}
+	}
+	return m, st
+}
+
+// floodCell computes one cell of the next flooding round from the frozen
+// round-start matrix m. This single kernel serves both the full sweep
+// and the incremental patch, which is what makes warm-started results
+// bit-identical to cold runs: both paths run the exact same float64
+// operations in the exact same order for every recomputed cell.
+//
+// The overwrite order mirrors the original two-sweep formulation: the
+// up-propagation result is discarded when down-propagation also fires
+// (both blend from the round-start value), and the clamp applies last.
+func floodCell(m *Matrix, s, t *model.Element, i, j int, opts FloodOptions) float64 {
+	v := m.Scores[i][j]
+	if opts.UpWeight > 0 && !s.IsLeaf() && !t.IsLeaf() && kindCompatible(s, t) {
+		// Up: children lift parents.
+		if lift := childLift(m, s, t); lift > 0 {
+			v = blend(m.Scores[i][j], lift, opts.UpWeight)
+		}
+	}
+	if opts.DownWeight > 0 {
+		// Down: negative parents drag children.
+		ps, pt := s.Parent(), t.Parent()
+		if ps != nil && ps.Kind != model.KindSchema && pt != nil && pt.Kind != model.KindSchema {
+			if parentScore := m.Get(ps.ID, pt.ID); parentScore < 0 {
+				v = blend(m.Scores[i][j], parentScore, opts.DownWeight)
+			}
+		}
+	}
+	if v < -0.99 {
+		v = -0.99
+	}
+	if v > 0.99 {
+		v = 0.99
+	}
+	return v
 }
 
 // childLift computes the mean positive best-match score between the

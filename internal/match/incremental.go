@@ -1,0 +1,225 @@
+package match
+
+import "repro/internal/model"
+
+// Incremental recomputation (DESIGN.md §12). The refinement loop edits a
+// handful of elements between runs, so each stage re-scores only the
+// dirty rows and columns and copies every other cell from the previous
+// run's output, aligned by element ID. Bit-identity with a cold run
+// follows from two rules enforced here and in the engine:
+//
+//  1. Every recomputed cell goes through the exact same per-cell kernel
+//     as the full path (scoreFunc via forEachPair's pair logic,
+//     Merger.mergeCell, floodCell) — same float64 ops, same order.
+//  2. A cell is only ever copied when none of its inputs changed; the
+//     caller's dirty sets must be closed under each stage's
+//     dependencies (parents for StructureVoter, per-round
+//     parent/children expansion for flooding — see HarmonyFloodPatch).
+
+// scoreFunc scores one kind-compatible element pair; each built-in
+// voter exposes its scoring closure so Vote and VotePatch share it.
+type scoreFunc func(s, t *model.Element) float64
+
+// IncrementalVoter is a Voter that can re-score only dirty rows and
+// columns against a previous vote over the same context options.
+type IncrementalVoter interface {
+	Voter
+	// VotePatch returns the matrix Vote(ctx) would return, reusing prev
+	// (an earlier Vote output, aligned by element ID) for every cell
+	// whose source row and target column are both clean.
+	VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix
+}
+
+// CorpusSensitive marks voters whose scores depend on corpus-global
+// state (TF-IDF document frequencies): any documentation change moves
+// every IDF weight, so such voters need a full revote whenever the
+// corpus fingerprint changes, not just dirty rows. Implemented by
+// DocVoter.
+type CorpusSensitive interface {
+	CorpusSensitive() bool
+}
+
+// voteAll is the shared full-sweep body of every built-in voter.
+func voteAll(ctx *Context, score scoreFunc) *Matrix {
+	m := MatrixOver(ctx.Source, ctx.Target)
+	forEachPair(ctx, m, score)
+	return m
+}
+
+// votePatch recomputes rows in dirtySrc and columns in dirtyTgt (plus
+// any row/column with no counterpart in prev) and copies the rest from
+// prev. The recompute branch duplicates forEachPair's pair logic —
+// including the firm -0.75 for kind-incompatible pairs — so a patched
+// cell is bit-identical to its full-sweep value.
+func votePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool, score scoreFunc) *Matrix {
+	if prev == nil {
+		return voteAll(ctx, score)
+	}
+	m := MatrixOver(ctx.Source, ctx.Target)
+	oldCol := alignIndices(m.Targets, prev.TargetIndex)
+	shardRows(ctx.Workers(), len(m.Sources), func(i int) {
+		s := m.Sources[i]
+		row := m.Scores[i]
+		oi := prev.SourceIndex(s.ID)
+		rowClean := oi >= 0 && !dirtySrc[s.ID]
+		var prevRow []float64
+		if rowClean {
+			prevRow = prev.Scores[oi]
+		}
+		for j, t := range m.Targets {
+			if rowClean {
+				if oj := oldCol[j]; oj >= 0 && !dirtyTgt[t.ID] {
+					row[j] = prevRow[oj]
+					continue
+				}
+			}
+			if !kindCompatible(s, t) {
+				row[j] = -0.75
+				continue
+			}
+			row[j] = score(s, t)
+		}
+	})
+	return m
+}
+
+// alignIndices maps each element to its index in a previous matrix
+// (-1 when the element is new).
+func alignIndices(elems []*model.Element, index func(string) int) []int {
+	out := make([]int, len(elems))
+	for i, e := range elems {
+		out[i] = index(e.ID)
+	}
+	return out
+}
+
+// ExpandDirty closes a dirty element-ID set under the voter panel's
+// structural dependency: StructureVoter scores an element by its
+// children's names, so whenever an element changed, its current parent
+// must be re-scored too. Parents of *removed* elements are the caller's
+// job (they are absent from sch); the engine folds them in from its
+// previous-run snapshot.
+func ExpandDirty(sch *model.Schema, dirty map[string]bool) map[string]bool {
+	out := make(map[string]bool, 2*len(dirty))
+	for id := range dirty {
+		out[id] = true
+		e := sch.Element(id)
+		if e == nil {
+			continue
+		}
+		if p := e.Parent(); p != nil && p.Kind != model.KindSchema {
+			out[p.ID] = true
+		}
+	}
+	return out
+}
+
+// MatrixBytes estimates a matrix's resident size for cache accounting:
+// the score payload plus per-row slice headers and the two index maps.
+func MatrixBytes(m *Matrix) int64 {
+	if m == nil {
+		return 0
+	}
+	r, c := int64(len(m.Sources)), int64(len(m.Targets))
+	return r*c*8 + (r+c)*64 + 256
+}
+
+// HarmonyFloodPatch warm-starts flooding from a previous run's recorded
+// FloodState. Per round it recomputes only cells in the cross-shaped
+// region R×all ∪ all×C and copies the rest from the corresponding
+// recorded round, where R and C start as the callers' dirty sets and
+// grow by parents(R) ∪ children(R) each round — exactly the cells a
+// changed cell can influence: an up-sweep reads children-pair scores
+// (dirty child ⇒ parent pair dirty next round) and a down-sweep reads
+// the parent pair (dirty parent ⇒ child pairs dirty next round). The
+// cross shape is closed under that expansion, so every recomputed cell
+// reads a round-start matrix equal to the cold run's, and floodCell
+// makes the recomputation itself bit-identical.
+//
+// ok is false when prev cannot warm-start this schedule (nil, different
+// resolved options, or wrong round count); callers then fall back to
+// HarmonyFloodState.
+func HarmonyFloodPatch(prev *FloodState, merged *Matrix, source, target *model.Schema, dirtySrc, dirtyTgt map[string]bool, opts FloodOptions) (*Matrix, *FloodState, bool) {
+	opts.defaults()
+	if prev == nil || len(prev.Rounds) != opts.Iterations+1 ||
+		prev.Iterations != opts.Iterations ||
+		prev.UpWeight != opts.UpWeight || prev.DownWeight != opts.DownWeight {
+		return nil, nil, false
+	}
+	workers := ResolveWorkers(opts.Parallelism)
+	old := prev.Rounds[0]
+	oldRow := alignIndices(merged.Sources, old.SourceIndex)
+	oldCol := alignIndices(merged.Targets, old.TargetIndex)
+	// Elements without a counterpart in the previous run are dirty by
+	// definition; fold them in so the copy branch never misaligns.
+	R := copyIDSet(dirtySrc)
+	C := copyIDSet(dirtyTgt)
+	for i, e := range merged.Sources {
+		if oldRow[i] < 0 {
+			R[e.ID] = true
+		}
+	}
+	for j, e := range merged.Targets {
+		if oldCol[j] < 0 {
+			C[e.ID] = true
+		}
+	}
+	st := &FloodState{
+		Rounds:     []*Matrix{merged.Clone()},
+		Iterations: opts.Iterations,
+		UpWeight:   opts.UpWeight,
+		DownWeight: opts.DownWeight,
+	}
+	m := merged
+	for it := 0; it < opts.Iterations; it++ {
+		R = expandFloodSet(R, source)
+		C = expandFloodSet(C, target)
+		prevRound := prev.Rounds[it+1]
+		next := NewMatrix(m.Sources, m.Targets)
+		shardRows(workers, len(m.Sources), func(i int) {
+			s := m.Sources[i]
+			rowDirty := R[s.ID]
+			oi := oldRow[i]
+			for j, t := range m.Targets {
+				if !rowDirty && !C[t.ID] {
+					next.Scores[i][j] = prevRound.Scores[oi][oldCol[j]]
+					continue
+				}
+				next.Scores[i][j] = floodCell(m, s, t, i, j, opts)
+			}
+		})
+		m = next
+		st.Rounds = append(st.Rounds, next.Clone())
+	}
+	return m, st, true
+}
+
+func copyIDSet(in map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(in))
+	for id, v := range in {
+		if v {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// expandFloodSet grows a dirty set by one structural hop in each
+// direction on the current schema.
+func expandFloodSet(set map[string]bool, sch *model.Schema) map[string]bool {
+	out := make(map[string]bool, 2*len(set))
+	for id := range set {
+		out[id] = true
+		e := sch.Element(id)
+		if e == nil {
+			continue
+		}
+		if p := e.Parent(); p != nil && p.Kind != model.KindSchema {
+			out[p.ID] = true
+		}
+		for _, c := range e.Children() {
+			out[c.ID] = true
+		}
+	}
+	return out
+}

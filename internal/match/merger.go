@@ -60,23 +60,69 @@ func (g *Merger) Merge(votes []Vote) *Matrix {
 	out := NewMatrix(votes[0].Matrix.Sources, votes[0].Matrix.Targets)
 	for i := range out.Scores {
 		for j := range out.Scores[i] {
-			var num, den float64
-			for _, v := range votes {
-				c := v.Matrix.Scores[i][j]
-				w := g.Weight(v.Voter)
-				mag := 1.0
-				if g.MagnitudeWeighting {
-					mag = math.Abs(c)
-				}
-				num += w * mag * c
-				den += w * mag
-			}
-			if den > 0 {
-				out.Scores[i][j] = num / den
-			}
+			out.Scores[i][j] = g.mergeCell(votes, i, j)
 		}
 	}
-	out.Clamp(-0.99, 0.99) // exactly ±1 is reserved for user decisions
+	return out
+}
+
+// mergeCell merges one cell across the panel, clamped to (-1, +1) open
+// bounds (exactly ±1 is reserved for user decisions). The single kernel
+// serves Merge and MergePatch so incremental re-merges are bit-identical
+// — the votes slice must present the panel in the same order.
+func (g *Merger) mergeCell(votes []Vote, i, j int) float64 {
+	var num, den float64
+	for _, v := range votes {
+		c := v.Matrix.Scores[i][j]
+		w := g.Weight(v.Voter)
+		mag := 1.0
+		if g.MagnitudeWeighting {
+			mag = math.Abs(c)
+		}
+		num += w * mag * c
+		den += w * mag
+	}
+	var out float64
+	if den > 0 {
+		out = num / den
+	}
+	if out < -0.99 {
+		out = -0.99
+	}
+	if out > 0.99 {
+		out = 0.99
+	}
+	return out
+}
+
+// MergePatch re-merges only cells whose source row or target column is
+// dirty, copying every other cell from prev (a full Merge output over
+// the previous element lists, aligned by element ID). Rows or columns
+// absent from prev are treated as dirty. The votes must be over the
+// current element lists, in the same panel order as the run that
+// produced prev.
+func (g *Merger) MergePatch(votes []Vote, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	if len(votes) == 0 {
+		return nil
+	}
+	if prev == nil {
+		return g.Merge(votes)
+	}
+	out := NewMatrix(votes[0].Matrix.Sources, votes[0].Matrix.Targets)
+	oldCol := alignIndices(out.Targets, prev.TargetIndex)
+	for i, s := range out.Sources {
+		oi := prev.SourceIndex(s.ID)
+		rowClean := oi >= 0 && !dirtySrc[s.ID]
+		for j, t := range out.Targets {
+			if rowClean {
+				if oj := oldCol[j]; oj >= 0 && !dirtyTgt[t.ID] {
+					out.Scores[i][j] = prev.Scores[oi][oj]
+					continue
+				}
+			}
+			out.Scores[i][j] = g.mergeCell(votes, i, j)
+		}
+	}
 	return out
 }
 

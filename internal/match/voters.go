@@ -77,9 +77,15 @@ type NameVoter struct{}
 func (NameVoter) Name() string { return "name" }
 
 // Vote implements Voter.
-func (NameVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+func (v NameVoter) Vote(ctx *Context) *Matrix { return voteAll(ctx, v.scorer(ctx)) }
+
+// VotePatch implements IncrementalVoter.
+func (v NameVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+func (NameVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		jac := lingo.Jaccard(ctx.NameTokens(s), ctx.NameTokens(t))
 		jw := lingo.JaroWinkler(lower(s.Name), lower(t.Name))
 		sim := 0.6*jac + 0.4*jw
@@ -89,8 +95,7 @@ func (NameVoter) Vote(ctx *Context) *Matrix {
 			sim = c
 		}
 		return calibrate(sim, 0.45, 0.9, 0.3)
-	})
-	return m
+	}
 }
 
 // containmentSim scores one name containing the other: the length ratio,
@@ -138,9 +143,20 @@ type DocVoter struct{}
 func (DocVoter) Name() string { return "documentation" }
 
 // Vote implements Voter.
-func (DocVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+func (v DocVoter) Vote(ctx *Context) *Matrix { return voteAll(ctx, v.scorer(ctx)) }
+
+// VotePatch implements IncrementalVoter. Note the engine only calls it
+// when the TF-IDF corpus fingerprint is unchanged — see CorpusSensitive.
+func (v DocVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+// CorpusSensitive marks that this voter's scores depend on global corpus
+// state (IDF over every document), not just the two elements compared.
+func (DocVoter) CorpusSensitive() bool { return true }
+
+func (DocVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		vs, vt := ctx.DocVectorSorted(s), ctx.DocVectorSorted(t)
 		if len(vs.Terms) == 0 || len(vt.Terms) == 0 {
 			return 0 // no evidence either way
@@ -149,8 +165,7 @@ func (DocVoter) Vote(ctx *Context) *Matrix {
 		// Documentation matchers have good recall but weaker precision
 		// (§4.1): generous positive calibration, soft negative.
 		return calibrate(sim, 0.2, 0.9, 0.2)
-	})
-	return m
+	}
 }
 
 // ThesaurusVoter expands name tokens through the thesaurus before
@@ -162,13 +177,25 @@ type ThesaurusVoter struct{}
 func (ThesaurusVoter) Name() string { return "thesaurus" }
 
 // Vote implements Voter.
-func (ThesaurusVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	th := ctx.Thesaurus
-	if th == nil {
-		return m // abstain entirely
+func (v ThesaurusVoter) Vote(ctx *Context) *Matrix {
+	if ctx.Thesaurus == nil {
+		return MatrixOver(ctx.Source, ctx.Target) // abstain entirely
 	}
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+	return voteAll(ctx, v.scorer(ctx))
+}
+
+// VotePatch implements IncrementalVoter.
+func (v ThesaurusVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	if ctx.Thesaurus == nil {
+		// The full path abstains with an all-zero matrix (no -0.75
+		// incompatibility marks), so the patch path must too.
+		return MatrixOver(ctx.Source, ctx.Target)
+	}
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+func (ThesaurusVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		// Expansion uses unstemmed tokens (thesauri hold surface forms),
 		// cached per element by the context.
 		es := ctx.ExpandedNameTokens(s)
@@ -177,8 +204,7 @@ func (ThesaurusVoter) Vote(ctx *Context) *Matrix {
 		// Expansion inflates token sets, so a modest overlap is already
 		// meaningful; pivot lower than the raw name voter.
 		return calibrate(sim, 0.25, 0.8, 0.1)
-	})
-	return m
+	}
 }
 
 // DomainVoter compares enumerated domain values (paper §2: "domain values
@@ -191,9 +217,16 @@ type DomainVoter struct{}
 func (DomainVoter) Name() string { return "domain-values" }
 
 // Vote implements Voter.
-func (DomainVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+func (v DomainVoter) Vote(ctx *Context) *Matrix { return voteAll(ctx, v.scorer(ctx)) }
+
+// VotePatch implements IncrementalVoter. Element signatures fold in the
+// referenced domain's code list, so a domain edit dirties its referents.
+func (v DomainVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+func (DomainVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		ds, dt := ctx.Source.DomainOf(s), ctx.Target.DomainOf(t)
 		if ds == nil || dt == nil {
 			return 0 // abstain without evidence
@@ -202,8 +235,7 @@ func (DomainVoter) Vote(ctx *Context) *Matrix {
 		// Two enumerated attributes with disjoint code sets are real
 		// negative evidence; shared coding schemes are strong positives.
 		return calibrate(sim, 0.4, 0.95, 0.6)
-	})
-	return m
+	}
 }
 
 // TypeVoter compares declared data types: a weak signal (many attributes
@@ -226,9 +258,15 @@ var typeGroups = map[string]string{
 }
 
 // Vote implements Voter.
-func (TypeVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+func (v TypeVoter) Vote(ctx *Context) *Matrix { return voteAll(ctx, v.scorer(ctx)) }
+
+// VotePatch implements IncrementalVoter.
+func (v TypeVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+func (TypeVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		if s.Kind != model.KindAttribute || t.Kind != model.KindAttribute {
 			return 0
 		}
@@ -240,8 +278,7 @@ func (TypeVoter) Vote(ctx *Context) *Matrix {
 			return 0.15
 		}
 		return -0.2
-	})
-	return m
+	}
 }
 
 // StructureVoter compares entities by the names of their children — two
@@ -253,9 +290,18 @@ type StructureVoter struct{}
 func (StructureVoter) Name() string { return "structure" }
 
 // Vote implements Voter.
-func (StructureVoter) Vote(ctx *Context) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
-	forEachPair(ctx, m, func(s, t *model.Element) float64 {
+func (v StructureVoter) Vote(ctx *Context) *Matrix { return voteAll(ctx, v.scorer(ctx)) }
+
+// VotePatch implements IncrementalVoter. A score here reads the
+// *children* of both elements, so callers must dirty an element whenever
+// any of its children changed — the engine's dirty-set closure
+// (ExpandDirty) takes care of that.
+func (v StructureVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool) *Matrix {
+	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
+}
+
+func (StructureVoter) scorer(ctx *Context) scoreFunc {
+	return func(s, t *model.Element) float64 {
 		if s.IsLeaf() || t.IsLeaf() {
 			return 0
 		}
@@ -268,8 +314,7 @@ func (StructureVoter) Vote(ctx *Context) *Matrix {
 		}
 		sim := lingo.Jaccard(toksS, toksT)
 		return calibrate(sim, 0.35, 0.7, 0.2)
-	})
-	return m
+	}
 }
 
 // DefaultVoters returns the full Harmony panel in its standard order.

@@ -1,0 +1,308 @@
+package matchcache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func newTestCache(t *testing.T, maxBytes int64) *Cache {
+	t.Helper()
+	c := New(maxBytes)
+	c.SetMetrics(obs.NewRegistry())
+	return c
+}
+
+func TestGetPutBasics(t *testing.T) {
+	c := newTestCache(t, 1<<20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	if !c.Put("a", 42, 10) {
+		t.Fatal("Put rejected a fitting entry")
+	}
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("Get(a) = %v, %v; want 42, true", v, ok)
+	}
+	// Replacement keeps one entry and updates the value and charge.
+	c.Put("a", 43, 20)
+	v, _ = c.Get("a")
+	if v.(int) != 43 {
+		t.Fatalf("after replace Get(a) = %v; want 43", v)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 20 {
+		t.Fatalf("stats after replace = %+v; want 1 entry, 20 bytes", st)
+	}
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d; want 2/1", st.Hits, st.Misses)
+	}
+}
+
+func TestOversizedPutNotRetained(t *testing.T) {
+	c := newTestCache(t, 16*100) // 100 bytes per shard
+	if c.Put("big", 1, 101) {
+		t.Fatal("Put retained an entry larger than a shard budget")
+	}
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized entry is readable")
+	}
+	// Growing an existing key past the budget must drop it, not keep the
+	// stale small value.
+	c.Put("k", "old", 10)
+	if c.Put("k", "new", 200) {
+		t.Fatal("oversized replacement retained")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale value survived an oversized replacement")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Single-shard-sized budget: craft keys that land in one shard by
+	// brute force so eviction order is observable.
+	c := newTestCache(t, 16*30)
+	shard := c.shardFor("seed")
+	keys := []string{}
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.shardFor(k) == shard {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0, 10)
+	c.Put(keys[1], 1, 10)
+	c.Put(keys[2], 2, 10) // shard full: 30/30
+	c.Get(keys[0])        // refresh 0; 1 is now LRU
+	if !c.Put("seed", 3, 10) && c.shardFor("seed") == shard {
+		t.Fatal("Put into full shard failed")
+	}
+	if c.shardFor("seed") == shard {
+		if _, ok := c.Get(keys[1]); ok {
+			t.Fatal("LRU entry survived eviction")
+		}
+		if _, ok := c.Get(keys[0]); !ok {
+			t.Fatal("recently used entry was evicted")
+		}
+	}
+}
+
+func TestDeleteAndInvalidatePrefix(t *testing.T) {
+	c := newTestCache(t, 1<<20)
+	c.Put("v|h1|name", 1, 8)
+	c.Put("v|h1|doc", 2, 8)
+	c.Put("v|h2|name", 3, 8)
+	c.Put("m|h1|x", 4, 8)
+	if !c.Delete("m|h1|x") {
+		t.Fatal("Delete missed a live key")
+	}
+	if c.Delete("m|h1|x") {
+		t.Fatal("Delete hit a dead key")
+	}
+	if n := c.InvalidatePrefix("v|h1|"); n != 2 {
+		t.Fatalf("InvalidatePrefix dropped %d; want 2", n)
+	}
+	if _, ok := c.Get("v|h1|name"); ok {
+		t.Fatal("invalidated entry readable")
+	}
+	if _, ok := c.Get("v|h2|name"); !ok {
+		t.Fatal("unrelated entry dropped by prefix invalidation")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 8 {
+		t.Fatalf("stats after invalidation = %+v; want 1 entry, 8 bytes", st)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := newTestCache(t, 1<<20)
+	if r := c.Stats().HitRatio(); r != 0 {
+		t.Fatalf("virgin hit ratio = %v; want 0", r)
+	}
+	c.Put("a", 1, 1)
+	c.Get("a")
+	c.Get("a")
+	c.Get("b")
+	c.Get("b")
+	if r := c.Stats().HitRatio(); r != 0.5 {
+		t.Fatalf("hit ratio = %v; want 0.5", r)
+	}
+}
+
+func TestDefaultBudget(t *testing.T) {
+	c := New(0)
+	c.SetMetrics(obs.NewRegistry())
+	if st := c.Stats(); st.MaxBytes != DefaultMaxBytes {
+		t.Fatalf("default budget = %d; want %d", st.MaxBytes, DefaultMaxBytes)
+	}
+}
+
+// ---- property tests (satellite: invalidation soundness, byte budget,
+// concurrent determinism) ----
+
+// TestPropertyRevisionBumpInvalidation models the engine's keying
+// discipline: keys embed a content revision. After a bump, no Get under
+// the new revision can observe a value stored under the old one, and
+// InvalidatePrefix of the old revision leaves nothing stale behind.
+func TestPropertyRevisionBumpInvalidation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		c := newTestCache(t, 1<<20)
+		voters := []string{"name", "doc", "type", "struct"}
+		for rev := 0; rev < 10; rev++ {
+			prefix := fmt.Sprintf("v|rev%d|", rev)
+			for _, v := range voters {
+				c.Put(prefix+v, fmt.Sprintf("%d-%s", rev, v), int64(8+rng.Intn(64)))
+			}
+			// New revision's keys must all miss before being written.
+			next := fmt.Sprintf("v|rev%d|", rev+1)
+			for _, v := range voters {
+				if got, ok := c.Get(next + v); ok {
+					t.Fatalf("seed %d rev %d: stale value %v under fresh key", seed, rev, got)
+				}
+			}
+			// Old revision's entries are gone after explicit invalidation.
+			if rev > 0 {
+				old := fmt.Sprintf("v|rev%d|", rev-1)
+				c.InvalidatePrefix(old)
+				for _, v := range voters {
+					if _, ok := c.Get(old + v); ok {
+						t.Fatalf("seed %d rev %d: entry survived revision invalidation", seed, rev)
+					}
+				}
+			}
+			// Live revision still fully readable and values uncorrupted.
+			for _, v := range voters {
+				got, ok := c.Get(prefix + v)
+				if !ok || got.(string) != fmt.Sprintf("%d-%s", rev, v) {
+					t.Fatalf("seed %d rev %d: live entry %q = %v, %v", seed, rev, v, got, ok)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyByteBudgetNeverExceeded drives random puts/deletes and
+// checks the accounted bytes never exceed the budget and always equal a
+// shadow-model recomputation.
+func TestPropertyByteBudgetNeverExceeded(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const budget = 16 * 512
+		c := newTestCache(t, budget)
+		for op := 0; op < 2000; op++ {
+			k := fmt.Sprintf("k%d", rng.Intn(200))
+			switch rng.Intn(10) {
+			case 0:
+				c.Delete(k)
+			case 1:
+				c.InvalidatePrefix(fmt.Sprintf("k%d", rng.Intn(20)))
+			default:
+				c.Put(k, op, int64(rng.Intn(700))) // sometimes oversized
+			}
+			st := c.Stats()
+			if st.Bytes > budget {
+				t.Fatalf("seed %d op %d: bytes %d exceed budget %d", seed, op, st.Bytes, budget)
+			}
+			var model int64
+			for _, s := range c.shards {
+				s.mu.Lock()
+				var sum int64
+				n := 0
+				for e := s.head; e != nil; e = e.next {
+					sum += e.bytes
+					n++
+				}
+				if n != len(s.items) {
+					t.Fatalf("seed %d op %d: list has %d entries, map has %d", seed, op, n, len(s.items))
+				}
+				if sum != s.bytes {
+					t.Fatalf("seed %d op %d: shard accounts %d bytes, list sums %d", seed, op, s.bytes, sum)
+				}
+				model += sum
+				s.mu.Unlock()
+			}
+			if model != st.Bytes {
+				t.Fatalf("seed %d op %d: stats bytes %d != model %d", seed, op, st.Bytes, model)
+			}
+		}
+	}
+}
+
+// TestPropertyConcurrentGetPut hammers the cache from many goroutines.
+// Determinism here means: every hit returns the exact value most
+// recently put under that key by anyone (values are keyed to their key,
+// so cross-key mixups are detectable), and the final accounting is
+// consistent. Run under -race this also proves memory safety.
+func TestPropertyConcurrentGetPut(t *testing.T) {
+	c := newTestCache(t, 16*4096)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for op := 0; op < 3000; op++ {
+				k := fmt.Sprintf("k%d", rng.Intn(64))
+				switch rng.Intn(4) {
+				case 0:
+					if v, ok := c.Get(k); ok {
+						if v.(string)[:len(k)] != k {
+							t.Errorf("Get(%s) returned value for wrong key: %v", k, v)
+							return
+						}
+					}
+				case 1:
+					c.InvalidatePrefix(fmt.Sprintf("k%d", rng.Intn(64)))
+				default:
+					c.Put(k, fmt.Sprintf("%s/%d/%d", k, w, op), int64(16+rng.Intn(64)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes > 16*4096 {
+		t.Fatalf("final bytes %d exceed budget", st.Bytes)
+	}
+	var model int64
+	entries := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for e := s.head; e != nil; e = e.next {
+			model += e.bytes
+			entries++
+		}
+		s.mu.Unlock()
+	}
+	if model != st.Bytes || entries != st.Entries {
+		t.Fatalf("final accounting: stats %d bytes/%d entries, model %d/%d",
+			st.Bytes, st.Entries, model, entries)
+	}
+}
+
+func TestMetricsExported(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := New(1 << 20)
+	c.SetMetrics(reg)
+	c.Put("a", 1, 10)
+	c.Get("a")
+	c.Get("missing")
+	if v := reg.Counter(MetricHits, "cache", "match").Value(); v != 1 {
+		t.Fatalf("%s = %d; want 1", MetricHits, v)
+	}
+	if v := reg.Counter(MetricMisses, "cache", "match").Value(); v != 1 {
+		t.Fatalf("%s = %d; want 1", MetricMisses, v)
+	}
+	if v := reg.Gauge(MetricBytes, "cache", "match").Value(); v != 10 {
+		t.Fatalf("%s = %v; want 10", MetricBytes, v)
+	}
+	if v := reg.Gauge(MetricEntries, "cache", "match").Value(); v != 1 {
+		t.Fatalf("%s = %v; want 1", MetricEntries, v)
+	}
+}

@@ -211,6 +211,38 @@ func (s *Schema) AddElement(parent *Element, name string, kind Kind, edge EdgeLa
 // Element returns the element with the given ID, or nil.
 func (s *Schema) Element(id string) *Element { return s.byID[id] }
 
+// RemoveElement detaches the element with the given ID, and its whole
+// subtree, from the schema. It returns the removed element IDs in
+// pre-order, or nil when the ID is absent or names the root (which
+// cannot be removed).
+func (s *Schema) RemoveElement(id string) []string {
+	e := s.byID[id]
+	if e == nil || e == s.root {
+		return nil
+	}
+	var removed []string
+	var collect func(*Element)
+	collect = func(n *Element) {
+		removed = append(removed, n.ID)
+		for _, c := range n.children {
+			collect(c)
+		}
+	}
+	collect(e)
+	p := e.parent
+	for i, c := range p.children {
+		if c == e {
+			p.children = append(p.children[:i], p.children[i+1:]...)
+			break
+		}
+	}
+	e.parent = nil
+	for _, rid := range removed {
+		delete(s.byID, rid)
+	}
+	return removed
+}
+
 // MustElement returns the element with the given ID, panicking when it is
 // absent; intended for tests and examples working with known schemata.
 func (s *Schema) MustElement(id string) *Element {

@@ -15,6 +15,7 @@ package server
 //	GET  /v1/mappings/{id}                one mapping           → MappingInfo
 //	GET  /v1/mappings/{id}/cells          the mapping matrix    → []CellInfo
 //	POST /v1/mappings/{id}/match          run Harmony           → MatchResponse
+//	POST /v1/mappings/{id}/rematch        incremental re-match  → RematchResponse
 //	POST /v1/mappings/{id}/decide         accept/reject a cell  → CellInfo
 //	POST /v1/query                        ad hoc IB query       → QueryResponse
 //	GET  /v1/events?after=N&timeout=30s   long-poll event feed  → EventsResponse
@@ -107,6 +108,41 @@ type MatchResponse struct {
 	Threshold float64    `json:"threshold"`
 	Published int        `json:"published"`
 	Cells     []CellInfo `json:"cells"`
+}
+
+// RematchRequest tunes an incremental re-match over a mapping whose
+// schemas or decisions changed since the last match run.
+type RematchRequest struct {
+	// Threshold filters published correspondences (default 0.25).
+	Threshold *float64 `json:"threshold,omitempty"`
+	// DirtySource/DirtyTarget are optional element-ID hints naming what
+	// the client believes changed. They are advisory: the engine unions
+	// them with its own change detection, so omitting them is always
+	// safe, just potentially slower.
+	DirtySource []string `json:"dirtySource,omitempty"`
+	DirtyTarget []string `json:"dirtyTarget,omitempty"`
+}
+
+// CacheStats reports the server's shared score-matrix cache.
+type CacheStats struct {
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	MaxBytes  int64   `json:"maxBytes"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRatio  float64 `json:"hitRatio"`
+}
+
+// RematchResponse reports an incremental re-match: which recompute path
+// ran ("cold", "pins", "incremental", "corpus" or "full"), the cells it
+// republished, and the state of the matrix cache.
+type RematchResponse struct {
+	Mode      string     `json:"mode"`
+	Threshold float64    `json:"threshold"`
+	Published int        `json:"published"`
+	Cells     []CellInfo `json:"cells"`
+	Cache     CacheStats `json:"cache"`
 }
 
 // DecideRequest accepts or rejects one correspondence.

@@ -1,0 +1,125 @@
+package server_test
+
+// End-to-end tests of the incremental rematch route: match → decide →
+// rematch must take the pins fast path; a schema re-load must mark the
+// session stale (via the _match EventSchemaGraph subscription) and take
+// an incremental path; and a rematch without a prior match degrades to
+// a cold run. All through the thin Go client, like the rest of the
+// server suite.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harmony"
+)
+
+func TestRematchRoute(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	if _, err := c.OpenSession("carol"); err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	id := loadPair(t, c)
+
+	match, err := c.Match(id, 0.2)
+	if err != nil || match.Published == 0 {
+		t.Fatalf("Match = %+v, %v", match, err)
+	}
+
+	// Decision-only change → pins fast path, no matrix recompute.
+	first := match.Cells[0]
+	if _, err := c.Decide(id, first.Source, first.Target, "accept"); err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	re, err := c.Rematch(id, 0.2, nil, nil)
+	if err != nil {
+		t.Fatalf("Rematch: %v", err)
+	}
+	if re.Mode != harmony.RematchPins {
+		t.Fatalf("post-decide mode = %q; want %q", re.Mode, harmony.RematchPins)
+	}
+	if re.Published == 0 {
+		t.Fatalf("rematch published nothing: %+v", re)
+	}
+	// The accepted pair must survive as a user-defined cell, not be
+	// clobbered by the republish.
+	cells, err := c.Cells(id)
+	if err != nil {
+		t.Fatalf("Cells: %v", err)
+	}
+	var sawPin bool
+	for _, cell := range cells {
+		if cell.Source == first.Source && cell.Target == first.Target {
+			if !cell.UserDefined || cell.Confidence != 1 {
+				t.Fatalf("pinned cell was clobbered: %+v", cell)
+			}
+			sawPin = true
+		}
+	}
+	if !sawPin {
+		t.Fatal("accepted cell missing from the mapping")
+	}
+
+	// Re-load the source schema with one element renamed: the schema-graph
+	// event marks the session stale, and the rematch must re-read the
+	// blackboard and recompute incrementally (not pins, not cold).
+	text := strings.Replace(schemaText(t, "purchaseOrder.xsd"), `"firstName"`, `"givenName"`, 1)
+	if text == schemaText(t, "purchaseOrder.xsd") {
+		t.Fatal("test schema edit did not apply")
+	}
+	if _, err := c.LoadSchema("po", "xsd", text); err != nil {
+		t.Fatalf("LoadSchema v2: %v", err)
+	}
+	re2, err := c.Rematch(id, 0.2, nil, nil)
+	if err != nil {
+		t.Fatalf("Rematch after reload: %v", err)
+	}
+	switch re2.Mode {
+	case harmony.RematchIncremental, harmony.RematchCorpus:
+	default:
+		t.Fatalf("post-reload mode = %q; want incremental or corpus", re2.Mode)
+	}
+
+	// The rematch stored its recomputed matrices under the new content
+	// keys, so a second mapping over the same pair full-runs entirely
+	// from cache.
+	if _, err := c.NewMapping("m2", "po", "si"); err != nil {
+		t.Fatalf("NewMapping m2: %v", err)
+	}
+	if _, err := c.Match("m2", 0.2); err != nil {
+		t.Fatalf("Match m2: %v", err)
+	}
+	re3, err := c.Rematch("m2", 0.2, nil, nil)
+	if err != nil {
+		t.Fatalf("Rematch m2: %v", err)
+	}
+	if re3.Cache.Hits == 0 {
+		t.Fatalf("expected cache hits for a repeat pair, got %+v", re3.Cache)
+	}
+}
+
+func TestRematchWithoutPriorMatchRunsCold(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	id := loadPair(t, c)
+	re, err := c.Rematch(id, 0.2, nil, nil)
+	if err != nil {
+		t.Fatalf("Rematch: %v", err)
+	}
+	if re.Mode != harmony.RematchCold {
+		t.Fatalf("mode = %q; want %q", re.Mode, harmony.RematchCold)
+	}
+	if re.Published == 0 {
+		t.Fatalf("cold rematch published nothing: %+v", re)
+	}
+	// A second rematch with nothing changed rides the pins fast path.
+	re2, err := c.Rematch(id, 0.2, nil, nil)
+	if err != nil {
+		t.Fatalf("second Rematch: %v", err)
+	}
+	if re2.Mode != harmony.RematchPins {
+		t.Fatalf("idle mode = %q; want %q", re2.Mode, harmony.RematchPins)
+	}
+	if re.Published != re2.Published {
+		t.Fatalf("published drifted: %d vs %d", re.Published, re2.Published)
+	}
+}

@@ -24,6 +24,8 @@ import (
 	"repro/internal/blackboard"
 	"repro/internal/erwin"
 	"repro/internal/harmony"
+	"repro/internal/match"
+	"repro/internal/matchcache"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/rdf"
@@ -48,6 +50,11 @@ const (
 // to their originator" rule can never hide an event from the feed.
 const feedTool = "_feed"
 
+// matchTool is the tool name the server's schema-graph subscription for
+// match-session invalidation runs under. Like the feed, it never
+// originates transactions, so schema loads are never hidden from it.
+const matchTool = "_match"
+
 // DefaultThreshold filters match-run correspondences when the request
 // doesn't specify one (the CLI default).
 const DefaultThreshold = 0.25
@@ -63,6 +70,10 @@ type Config struct {
 	FeedCapacity int
 	// Parallelism forwards to the Harmony engine for match runs.
 	Parallelism int
+	// MatchCacheBytes bounds the shared score-matrix cache that match and
+	// rematch runs warm (0 = matchcache.DefaultMaxBytes). The cache is
+	// content-addressed, so it needs no invalidation on schema edits.
+	MatchCacheBytes int64
 	// Metrics receives server + WAL instrumentation (nil = obs.Default()).
 	Metrics *obs.Registry
 }
@@ -70,6 +81,19 @@ type Config struct {
 // session is the server-side record of one analyst session.
 type session struct {
 	info SessionInfo
+}
+
+// matchSession is the long-lived Harmony engine behind one mapping: the
+// match route creates it, the rematch route reuses its run snapshot for
+// incremental recomputation, and the _match event subscription marks it
+// stale when either schema is re-loaded so the next rematch pulls fresh
+// graphs instead of trusting the engine's copies.
+type matchSession struct {
+	mu     sync.Mutex
+	eng    *harmony.Engine
+	source string
+	target string
+	stale  bool
 }
 
 // Server is the durable workbench service. Create with New, mount
@@ -92,6 +116,12 @@ type Server struct {
 	mu       sync.Mutex // guards sessions
 	sessions map[string]*session
 	sessSeq  int
+
+	// matchCache holds per-voter and merged score matrices across match
+	// and rematch runs, shared by every mapping's engine.
+	matchCache *matchcache.Cache
+	engMu      sync.Mutex // guards engines
+	engines    map[string]*matchSession
 }
 
 // New opens (and, with a DataDir, recovers) a workbench service.
@@ -105,11 +135,14 @@ func New(cfg Config) (*Server, error) {
 	reg.Describe(MetricSessions, "Currently open workbench sessions.")
 
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		feed:     newFeed(cfg.FeedCapacity),
-		sessions: map[string]*session{},
+		cfg:        cfg,
+		reg:        reg,
+		feed:       newFeed(cfg.FeedCapacity),
+		sessions:   map[string]*session{},
+		matchCache: matchcache.New(cfg.MatchCacheBytes),
+		engines:    map[string]*matchSession{},
 	}
+	s.matchCache.SetMetrics(reg)
 	if cfg.DataDir != "" {
 		store, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Metrics: reg})
 		if err != nil {
@@ -137,6 +170,11 @@ func New(cfg Config) (*Server, error) {
 	} {
 		s.mgr.Subscribe(kind, feedTool, s.feed.append)
 	}
+	// Event-driven invalidation: a re-loaded schema marks every match
+	// session over it stale, so the next rematch re-reads the blackboard.
+	s.mgr.Subscribe(wbmgr.EventSchemaGraph, matchTool, func(ev wbmgr.Event) {
+		s.markSchemaStale(ev.Subject)
+	})
 	s.buildMux()
 	return s, nil
 }
@@ -176,6 +214,7 @@ func (s *Server) buildMux() {
 	s.route(mux, "GET /v1/mappings/{id}", "mappings.get", s.handleGetMapping)
 	s.route(mux, "GET /v1/mappings/{id}/cells", "cells.list", s.handleCells)
 	s.route(mux, "POST /v1/mappings/{id}/match", "match.run", s.handleMatch)
+	s.route(mux, "POST /v1/mappings/{id}/rematch", "match.rematch", s.handleRematch)
 	s.route(mux, "POST /v1/mappings/{id}/decide", "cells.decide", s.handleDecide)
 	s.route(mux, "POST /v1/query", "query", s.handleQuery)
 	s.route(mux, "GET /v1/events", "events", s.handleEvents)
@@ -473,10 +512,193 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// matchSessionFor returns the long-lived engine session for a mapping,
+// creating the record (not the engine) on first use.
+func (s *Server) matchSessionFor(id string, mp *blackboard.Mapping) *matchSession {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	sess, ok := s.engines[id]
+	if !ok {
+		sess = &matchSession{source: mp.SourceSchema, target: mp.TargetSchema}
+		s.engines[id] = sess
+	}
+	return sess
+}
+
+// markSchemaStale flags every match session over the named schema; the
+// next rematch re-reads both schemas from the blackboard.
+func (s *Server) markSchemaStale(name string) {
+	s.engMu.Lock()
+	defer s.engMu.Unlock()
+	for _, sess := range s.engines {
+		if sess.source == name || sess.target == name {
+			sess.stale = true
+		}
+	}
+}
+
+// mappingPair loads the mapping and both of its schemas.
+func (s *Server) mappingPair(id string) (*blackboard.Mapping, *model.Schema, *model.Schema, error) {
+	mp, err := s.bb.GetMapping(id)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	src, err := s.bb.GetSchema(mp.SourceSchema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tgt, err := s.bb.GetSchema(mp.TargetSchema)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return mp, src, tgt, nil
+}
+
+// newMatchEngine builds a Harmony engine wired to the server's metrics
+// registry and shared matrix cache.
+func (s *Server) newMatchEngine(src, tgt *model.Schema) *harmony.Engine {
+	return harmony.NewEngine(src, tgt, harmony.Options{
+		Flooding: true, Metrics: s.reg, Parallelism: s.cfg.Parallelism,
+		Cache: s.matchCache,
+	})
+}
+
+// syncDecisions replays the mapping's user-defined cells onto the
+// engine as pins and removes engine pins the mapping no longer carries.
+// Pins whose elements the engine's current schemas don't know are
+// returned for a retry after a rematch swaps the schemas.
+func syncDecisions(eng *harmony.Engine, mp *blackboard.Mapping) [][3]string {
+	desired := map[[2]string]bool{}
+	for _, c := range mp.Cells() {
+		if c.UserDefined {
+			desired[[2]string{c.SourceID, c.TargetID}] = c.Confidence > 0
+		}
+	}
+	for pair := range eng.Decisions() {
+		if _, ok := desired[pair]; !ok {
+			eng.Unpin(pair[0], pair[1])
+		}
+	}
+	var failed [][3]string
+	for pair, accepted := range desired {
+		verdict := "reject"
+		var err error
+		if accepted {
+			verdict = "accept"
+			err = eng.Accept(pair[0], pair[1])
+		} else {
+			err = eng.Reject(pair[0], pair[1])
+		}
+		if err != nil {
+			failed = append(failed, [3]string{pair[0], pair[1], verdict})
+		}
+	}
+	return failed
+}
+
+// retryDecisions re-applies pins that failed validation before a
+// rematch replaced the engine's schemas. Pins that still fail reference
+// elements absent from both the old and new graphs and are dropped.
+func retryDecisions(eng *harmony.Engine, failed [][3]string) {
+	for _, f := range failed {
+		if f[2] == "accept" {
+			_ = eng.Accept(f[0], f[1])
+		} else {
+			_ = eng.Reject(f[0], f[1])
+		}
+	}
+}
+
+// publishMatrix writes every link at or above the threshold into the
+// mapping as one transaction and returns their stored cells. Pairs
+// carrying an engine pin are an analyst's decision already recorded via
+// the decide route; republishing them as machine cells would clobber
+// their user-defined annotation, so they are skipped.
+func (s *Server) publishMatrix(r *http.Request, id string, mp *blackboard.Mapping, links []match.Correspondence, pinned map[[2]string]harmony.Decision) ([]CellInfo, error) {
+	err := s.inTxn(r, func(txn *wbmgr.Txn) error {
+		for _, l := range links {
+			if _, ok := pinned[[2]string{l.Source.ID, l.Target.ID}]; ok {
+				continue
+			}
+			if cerr := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); cerr != nil {
+				return cerr
+			}
+			txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", id, l.Source.ID, l.Target.ID))
+		}
+		txn.Emit(wbmgr.EventMappingMatrix, id)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells := []CellInfo{}
+	for _, l := range links {
+		if c, ok := mp.GetCell(l.Source.ID, l.Target.ID); ok {
+			cells = append(cells, cellInfo(c))
+		}
+	}
+	return cells, nil
+}
+
+// cacheStats converts the shared cache's counters to their wire form.
+func (s *Server) cacheStats() CacheStats {
+	st := s.matchCache.Stats()
+	return CacheStats{
+		Entries: st.Entries, Bytes: st.Bytes, MaxBytes: st.MaxBytes,
+		Hits: st.Hits, Misses: st.Misses, Evictions: st.Evictions,
+		HitRatio: st.HitRatio(),
+	}
+}
+
 // handleMatch runs Harmony over the mapping's schema pair and publishes
-// every correspondence above the threshold, as one transaction.
+// every correspondence above the threshold, as one transaction. The
+// engine stays alive as the mapping's match session, so a later rematch
+// can recompute incrementally from its run snapshot.
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	var req MatchRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	threshold := DefaultThreshold
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	id := r.PathValue("id")
+	mp, src, tgt, err := s.mappingPair(id)
+	if err != nil {
+		fail(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	// The engine run is read-only and can be slow; keep it outside the
+	// transaction so concurrent mutators aren't blocked by matching.
+	sess := s.matchSessionFor(id, mp)
+	sess.mu.Lock()
+	engine := s.newMatchEngine(src, tgt)
+	syncDecisions(engine, mp)
+	engine.Run()
+	sess.eng = engine
+	sess.stale = false
+	links := engine.Matrix().Above(threshold)
+	pinned := engine.Decisions()
+	sess.mu.Unlock()
+	cells, err := s.publishMatrix(r, id, mp, links, pinned)
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MatchResponse{
+		Threshold: threshold, Published: len(cells), Cells: cells,
+	})
+}
+
+// handleRematch recomputes a mapping's matrix incrementally: the match
+// session's engine re-reads the schemas from the blackboard, recomputes
+// only what its change signatures (plus the request's optional dirty
+// hints) require, and republishes. Without a prior match it degrades to
+// a cold full run — the response's mode says which path ran.
+func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
+	var req RematchRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -491,45 +713,56 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	src, err := s.bb.GetSchema(mp.SourceSchema)
-	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	tgt, err := s.bb.GetSchema(mp.TargetSchema)
-	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	// The engine run is read-only and can be slow; keep it outside the
-	// transaction so concurrent mutators aren't blocked by matching.
-	engine := harmony.NewEngine(src, tgt, harmony.Options{
-		Flooding: true, Metrics: s.reg, Parallelism: s.cfg.Parallelism,
-	})
-	engine.Run()
-	links := engine.Matrix().Above(threshold)
-	resp := MatchResponse{Threshold: threshold, Cells: []CellInfo{}}
-	err = s.inTxn(r, func(txn *wbmgr.Txn) error {
-		for _, l := range links {
-			if cerr := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); cerr != nil {
-				return cerr
+	dirty := harmony.Dirty{Source: req.DirtySource, Target: req.DirtyTarget}
+	sess := s.matchSessionFor(id, mp)
+	sess.mu.Lock()
+	var mode string
+	if sess.eng != nil && !sess.stale {
+		// No schema-graph event since the last run: the engine's schema
+		// copies are current, so skip the blackboard re-read and let the
+		// in-place rematch take its cheapest applicable path.
+		failed := syncDecisions(sess.eng, mp)
+		sess.eng.Rematch(dirty)
+		retryDecisions(sess.eng, failed)
+		mode = sess.eng.LastRematchMode()
+	} else {
+		src, serr := s.bb.GetSchema(mp.SourceSchema)
+		if serr == nil {
+			var tgt *model.Schema
+			tgt, serr = s.bb.GetSchema(mp.TargetSchema)
+			if serr == nil {
+				if sess.eng == nil {
+					sess.eng = s.newMatchEngine(src, tgt)
+					syncDecisions(sess.eng, mp)
+					sess.eng.Run()
+					mode = harmony.RematchCold
+				} else {
+					failed := syncDecisions(sess.eng, mp)
+					sess.eng.RematchWith(src, tgt, dirty)
+					retryDecisions(sess.eng, failed)
+					mode = sess.eng.LastRematchMode()
+				}
 			}
-			txn.Emit(wbmgr.EventMappingCell, fmt.Sprintf("%s|%s|%s", id, l.Source.ID, l.Target.ID))
 		}
-		txn.Emit(wbmgr.EventMappingMatrix, id)
-		return nil
-	})
+		if serr != nil {
+			sess.mu.Unlock()
+			fail(w, http.StatusInternalServerError, "%v", serr)
+			return
+		}
+		sess.stale = false
+	}
+	links := sess.eng.Matrix().Above(threshold)
+	pinned := sess.eng.Decisions()
+	sess.mu.Unlock()
+	cells, err := s.publishMatrix(r, id, mp, links, pinned)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	for _, l := range links {
-		if c, ok := mp.GetCell(l.Source.ID, l.Target.ID); ok {
-			resp.Cells = append(resp.Cells, cellInfo(c))
-		}
-	}
-	resp.Published = len(resp.Cells)
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, RematchResponse{
+		Mode: mode, Threshold: threshold, Published: len(cells),
+		Cells: cells, Cache: s.cacheStats(),
+	})
 }
 
 // handleDecide records an analyst accept/reject on one cell.

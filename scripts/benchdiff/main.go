@@ -1,0 +1,110 @@
+// Command benchdiff compares two BENCH_*.json files produced by
+// `benchreport -bench-json` and exits non-zero when the current run has
+// regressed past the tolerance.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff [-tolerance 0.2] baseline.json current.json
+//
+// Only dimensionless columns are gated — the speedup ratios and the
+// cache hit ratio — because wall-clock milliseconds are machine-
+// dependent and would make the committed baseline meaningless on any
+// other host. A metric regresses when current < baseline*(1-tolerance).
+// Sizes present in only one file are reported but never fail the run,
+// so the benchmark matrix can grow without invalidating old baselines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchRecord mirrors cmd/benchreport's BenchRecord; unknown fields
+// (the *_ms context columns) are deliberately dropped on decode.
+type benchRecord struct {
+	Name          string  `json:"name"`
+	SpeedupWarm   float64 `json:"speedup_warm"`
+	SpeedupPin    float64 `json:"speedup_pin"`
+	SpeedupRename float64 `json:"speedup_rename"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+type benchFile struct {
+	Benchmark string        `json:"benchmark"`
+	Sizes     []benchRecord `json:"sizes"`
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.2, "allowed fractional regression per metric")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance f] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Benchmark != cur.Benchmark {
+		fmt.Fprintf(os.Stderr, "benchdiff: benchmark mismatch: %q vs %q\n", base.Benchmark, cur.Benchmark)
+		os.Exit(2)
+	}
+
+	baseByName := map[string]benchRecord{}
+	for _, r := range base.Sizes {
+		baseByName[r.Name] = r
+	}
+	regressions := 0
+	for _, c := range cur.Sizes {
+		b, ok := baseByName[c.Name]
+		if !ok {
+			fmt.Printf("%-10s new size, no baseline — skipped\n", c.Name)
+			continue
+		}
+		delete(baseByName, c.Name)
+		for _, m := range []struct {
+			name      string
+			old, new_ float64
+		}{
+			{"speedup_warm", b.SpeedupWarm, c.SpeedupWarm},
+			{"speedup_pin", b.SpeedupPin, c.SpeedupPin},
+			{"speedup_rename", b.SpeedupRename, c.SpeedupRename},
+			{"cache_hit_ratio", b.CacheHitRatio, c.CacheHitRatio},
+		} {
+			status := "ok"
+			if m.new_ < m.old*(1-*tolerance) {
+				status = "REGRESSED"
+				regressions++
+			}
+			fmt.Printf("%-10s %-16s %8.2f -> %8.2f  %s\n", c.Name, m.name, m.old, m.new_, status)
+		}
+	}
+	for name := range baseByName {
+		fmt.Printf("%-10s dropped from current run — skipped\n", name)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
