@@ -26,12 +26,21 @@
 //	workbench fsck                           check blackboard/WAL integrity
 //	workbench events [after [timeout]]       long-poll the service event feed (-remote)
 //	workbench snapshot                       force a WAL snapshot (-remote)
+//	workbench trace [id|slow]                inspect server request traces (-remote)
+//	workbench loadgen [flags]                sustained-load telemetry harness (-remote)
 //
 // Global flags: -state <file> (default workbench.nt) for local mode;
-// -remote <addr> to run a subcommand against a service; -addr and
-// -data-dir for serve/fsck; for the metrics subcommand, -json switches
-// to JSON exposition and -serve <addr> blocks serving /metrics and
-// /healthz over HTTP instead of printing.
+// -remote <addr> to run a subcommand against a service; -addr,
+// -data-dir and -pprof for serve/fsck; for the metrics subcommand,
+// -json switches to JSON exposition and -serve <addr> blocks serving
+// /metrics and /healthz over HTTP instead of printing.
+//
+// Every -remote request carries an X-Ib-Trace header; after any remote
+// subcommand, `workbench -remote ADDR trace <id>` (or just `trace` for
+// the recent list) shows the server-side span tree — HTTP route → wbmgr
+// transaction → Harmony stages → WAL fsync. `workbench loadgen` drives
+// N concurrent clients through the sim's seeded op mix and writes the
+// per-route latency percentiles consumed by BENCH_6.json.
 //
 // `workbench serve` needs no graceful shutdown: every commit is in the
 // write-ahead log before it is acknowledged, so kill -9 at any instant
@@ -65,6 +74,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/chaos/sim"
 	"repro/internal/client"
+	"repro/internal/loadgen"
 	"repro/internal/mapgen"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -85,6 +95,7 @@ type opts struct {
 	dataDir    string
 	asJSON     bool
 	serveAddr  string
+	pprof      bool
 	chaosSeed  int64
 	chaosSites string
 }
@@ -112,6 +123,7 @@ func run(argv []string) int {
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "serve: listen address")
 	fs.StringVar(&o.dataDir, "data-dir", "", "serve/fsck: WAL store directory")
 	fs.BoolVar(&o.asJSON, "json", false, "metrics: JSON exposition instead of Prometheus text")
+	fs.BoolVar(&o.pprof, "pprof", false, "serve: mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&o.serveAddr, "serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
 	fs.Int64Var(&o.chaosSeed, "chaos-seed", 0, "seed for the chaos fault schedule (with -chaos-sites) and the sim workload")
 	fs.StringVar(&o.chaosSites, "chaos-sites", "", "arm chaos failpoints: comma-separated site spec (chaos.ParseSpec syntax; 'all' for every site)")
@@ -144,6 +156,8 @@ func run(argv []string) int {
 		err = runServe(o)
 	case cmd == "fsck":
 		err = runFsck(o)
+	case cmd == "loadgen":
+		err = runLoadgen(o, rest)
 	case o.remote != "":
 		err = runRemote(o, cmd, rest)
 	default:
@@ -175,7 +189,7 @@ func runServe(o opts) error {
 	if o.dataDir == "" {
 		fmt.Fprintln(os.Stderr, "workbench: serve without -data-dir: state is in-memory only")
 	}
-	srv, err := server.New(server.Config{DataDir: o.dataDir, Metrics: obs.Default()})
+	srv, err := server.New(server.Config{DataDir: o.dataDir, Metrics: obs.Default(), EnablePprof: o.pprof})
 	if err != nil {
 		return err
 	}
@@ -375,8 +389,134 @@ func runRemote(o opts, cmd string, rest []string) error {
 			return err
 		}
 		fmt.Printf("snapshot taken (%d triples)\n", resp.Triples)
+	case "trace":
+		return runTrace(c, rest)
 	default:
 		return usageError{fmt.Sprintf("%s is not available in -remote mode", cmd)}
+	}
+	return nil
+}
+
+// runTrace inspects the service's request traces.
+//
+//	workbench -remote ADDR trace             list recent traces
+//	workbench -remote ADDR trace slow [min]  completed traces at least min slow (default 250ms)
+//	workbench -remote ADDR trace <id>        one trace as an indented span tree
+func runTrace(c *client.Client, rest []string) error {
+	if len(rest) == 0 {
+		traces, err := c.Traces(0)
+		if err != nil {
+			return err
+		}
+		printTraceList(traces)
+		return nil
+	}
+	if rest[0] == "slow" {
+		min := server.DefaultSlowRequest
+		if len(rest) > 1 {
+			d, err := time.ParseDuration(rest[1])
+			if err != nil {
+				return err
+			}
+			min = d
+		}
+		traces, err := c.SlowTraces(min, 0)
+		if err != nil {
+			return err
+		}
+		printTraceList(traces)
+		return nil
+	}
+	t, err := c.Trace(rest[0])
+	if err != nil {
+		return err
+	}
+	printTraceTree(t)
+	return nil
+}
+
+func printTraceList(traces []server.TraceInfo) {
+	for _, t := range traces {
+		fmt.Printf("  %s  %-16s %4d spans  %8.2fms  %s\n",
+			t.Trace, t.Root, len(t.Spans),
+			float64(t.DurationUS)/1000, t.Start.Format(time.RFC3339))
+	}
+	fmt.Printf("%d traces\n", len(traces))
+}
+
+// printTraceTree renders one trace as an indented span tree: children
+// under their parents, siblings in start order.
+func printTraceTree(t server.TraceInfo) {
+	fmt.Printf("trace %s (%.2fms", t.Trace, float64(t.DurationUS)/1000)
+	if t.DroppedSpans > 0 {
+		fmt.Printf(", %d spans dropped", t.DroppedSpans)
+	}
+	fmt.Println(")")
+	children := map[string][]server.SpanInfo{}
+	byID := map[string]bool{}
+	for _, sp := range t.Spans {
+		byID[sp.ID] = true
+	}
+	for _, sp := range t.Spans {
+		parent := sp.Parent
+		if parent != "" && !byID[parent] {
+			parent = "" // orphan (parent evicted): show at top level
+		}
+		children[parent] = append(children[parent], sp)
+	}
+	var walk func(parent, indent string)
+	walk = func(parent, indent string) {
+		for _, sp := range children[parent] {
+			line := fmt.Sprintf("%s%s (%.2fms", indent, sp.Name, float64(sp.DurationUS)/1000)
+			for _, a := range sp.Attrs {
+				line += fmt.Sprintf(", %s=%s", a.Key, a.Value)
+			}
+			if sp.Err != "" {
+				line += ", err=" + sp.Err
+			}
+			fmt.Println(line + ")")
+			walk(sp.ID, indent+"  ")
+		}
+	}
+	walk("", "  ")
+}
+
+// runLoadgen drives the sustained-load harness against a live service
+// and prints (or writes) the telemetry report.
+func runLoadgen(o opts, rest []string) error {
+	if o.remote == "" {
+		return usageError{"loadgen requires -remote ADDR (a running `workbench serve`)"}
+	}
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	workers := fs.Int("workers", 4, "concurrent clients")
+	duration := fs.Duration("duration", 5*time.Second, "length of the timed mixed phase")
+	seed := fs.Int64("seed", 1, "workload seed (reproducible op streams)")
+	threshold := fs.Float64("threshold", server.DefaultThreshold, "match/rematch threshold")
+	out := fs.String("out", "", "also write the JSON report (BENCH_6.json shape) to this file")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"loadgen [-workers n] [-duration d] [-seed n] [-threshold f] [-out file]"}
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:      o.remote,
+		Workers:   *workers,
+		Duration:  *duration,
+		Seed:      *seed,
+		Threshold: *threshold,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if *out != "" {
+		data, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil
 }
@@ -653,6 +793,7 @@ func runSim(seed int64, spec string, rest []string) int {
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, serve, fsck, events, snapshot
-serve flags: -addr host:port -data-dir dir`)
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, serve, fsck, events, snapshot, trace, loadgen
+serve flags: -addr host:port -data-dir dir -pprof
+loadgen flags: -workers n -duration d -seed n -threshold f -out file (requires -remote)`)
 }

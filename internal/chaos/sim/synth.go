@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// BaseSchemas is the number of shared base schemata the simulator (and
+// the loadgen harness, which reuses this workload model) seeds before
+// the storm: every worker can rely on base0..base{N-1} existing.
+const BaseSchemas = baseSchemas
+
+// BaseSchemaName returns the i-th shared base schema name ("base0"...).
+func BaseSchemaName(i int) string { return baseName(i) }
+
+// SynthSchemaSQL renders the simulator's synthetic schema shape — one
+// entity with a few attributes — as SQL DDL text, for workloads that
+// load schemas over the wire instead of constructing model.Schema
+// in-process (the loadgen harness). The attribute count and types are
+// drawn from rng, so re-loading a schema under the same name exercises
+// the versioning and rematch paths with real diffs.
+func SynthSchemaSQL(rng *rand.Rand) string {
+	types := []string{"INT", "VARCHAR(64)", "DATE", "DECIMAL(10,2)"}
+	n := 2 + rng.Intn(3)
+	var b strings.Builder
+	b.WriteString("CREATE TABLE entity (\n")
+	for i := 0; i < n; i++ {
+		sep := ","
+		if i == n-1 {
+			sep = ""
+		}
+		fmt.Fprintf(&b, "  attr%d %s%s\n", i, types[rng.Intn(len(types))], sep)
+	}
+	b.WriteString(");\n")
+	return b.String()
+}

@@ -13,8 +13,10 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -23,6 +25,9 @@ type Client struct {
 	base    string
 	http    *http.Client
 	session string
+
+	mu        sync.Mutex
+	lastTrace obs.TraceID
 }
 
 // New returns a client for the service at base (e.g.
@@ -47,7 +52,10 @@ func (c *Client) Session() string { return c.session }
 
 // do performs one JSON round-trip. A nil in sends an empty body; a nil
 // out discards the response body. Non-2xx responses are decoded as the
-// uniform error shape.
+// uniform error shape. Every request mints a fresh trace context and
+// sends it in the X-Ib-Trace header, so the server's request span joins
+// a trace whose ID the client knows (LastTrace) — `workbench trace`
+// can fetch exactly the trace its previous command produced.
 func (c *Client) do(method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
@@ -67,6 +75,11 @@ func (c *Client) do(method, path string, in, out any) error {
 	if c.session != "" {
 		req.Header.Set(server.SessionHeader, c.session)
 	}
+	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
+	req.Header.Set(server.TraceHeader, sc.Header())
+	c.mu.Lock()
+	c.lastTrace = sc.Trace
+	c.mu.Unlock()
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -199,4 +212,44 @@ func (c *Client) Fsck() (server.FsckResponse, error) {
 func (c *Client) SnapshotNow() (server.SnapshotResponse, error) {
 	var out server.SnapshotResponse
 	return out, c.do("POST", "/v1/snapshot", nil, &out)
+}
+
+// LastTrace returns the trace ID (16 hex digits) the client attached to
+// its most recent request — pass it to Trace to see what the server did
+// with that request ("" before any request).
+func (c *Client) LastTrace() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lastTrace == 0 {
+		return ""
+	}
+	return c.lastTrace.String()
+}
+
+// Traces lists the server's most recent request traces, newest first
+// (n <= 0 lets the server pick its default).
+func (c *Client) Traces(n int) ([]server.TraceInfo, error) {
+	path := "/debug/traces"
+	if n > 0 {
+		path += fmt.Sprintf("?n=%d", n)
+	}
+	var out []server.TraceInfo
+	return out, c.do("GET", path, nil, &out)
+}
+
+// SlowTraces lists completed traces whose request took at least min,
+// newest first.
+func (c *Client) SlowTraces(min time.Duration, n int) ([]server.TraceInfo, error) {
+	path := fmt.Sprintf("/debug/traces?min=%s", url.QueryEscape(min.String()))
+	if n > 0 {
+		path += fmt.Sprintf("&n=%d", n)
+	}
+	var out []server.TraceInfo
+	return out, c.do("GET", path, nil, &out)
+}
+
+// Trace fetches one trace by its 16-hex-digit ID (e.g. LastTrace).
+func (c *Client) Trace(id string) (server.TraceInfo, error) {
+	var out server.TraceInfo
+	return out, c.do("GET", "/debug/traces/"+url.PathEscape(id), nil, &out)
 }

@@ -7,6 +7,7 @@
 package harmony
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -181,7 +182,16 @@ func (e *Engine) Workers() int { return match.ResolveWorkers(e.parallelism) }
 // durations (CPU time) exceeds the run's wall-clock time; span order is
 // normalized back to panel order so timings stay deterministic.
 func (e *Engine) Run() []StageTiming {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with request-trace propagation: when ctx carries a
+// span (a server request), every stage span joins that trace with
+// parent links, and cache lookups record their hit/miss inline — the
+// stage histograms and StageTiming output are unchanged.
+func (e *Engine) RunContext(ctx context.Context) []StageTiming {
 	tr := obs.NewTracer(e.metrics, MetricStageDuration)
+	tr.Bind(ctx)
 	workers := e.Workers()
 	e.metrics.Gauge(MetricParallelism).Set(float64(workers))
 
@@ -210,7 +220,7 @@ func (e *Engine) Run() []StageTiming {
 		defer sp.End()
 		if useCache {
 			key := voterCacheKey(snap.srcHash, snap.tgtHash, fp, v.Name())
-			if got, ok := e.cache.Get(key); ok {
+			if got, ok := e.cache.GetTraced(obs.ContextWithSpan(ctx, sp), key); ok {
 				votes[i] = match.Vote{Voter: v.Name(), Matrix: got.(*match.Matrix)}
 				return
 			}
@@ -246,7 +256,7 @@ func (e *Engine) Run() []StageTiming {
 	// so a later Rematch can warm-start from the recorded rounds).
 	gotMerged := false
 	if useCache {
-		if got, ok := e.cache.Get(mergedCacheKey(snap.srcHash, snap.tgtHash, fp, snap.mergerSig)); ok {
+		if got, ok := e.cache.GetTraced(ctx, mergedCacheKey(snap.srcHash, snap.tgtHash, fp, snap.mergerSig)); ok {
 			me := got.(*mergedEntry)
 			snap.premerge, snap.flood, snap.prepin = me.premerge, me.flood, me.prepin
 			gotMerged = true

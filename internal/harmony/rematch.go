@@ -1,6 +1,7 @@
 package harmony
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -106,7 +107,13 @@ func (e *Engine) LastRematchMode() string { return e.lastRematchMode }
 // events, rdf.ChangesSince); the engine unions the hints with its own
 // diff. The resulting matrix is bit-identical to a cold Run.
 func (e *Engine) Rematch(dirty Dirty) []StageTiming {
-	return e.rematch(e.ctx.Source, e.ctx.Target, dirty)
+	return e.rematch(context.Background(), e.ctx.Source, e.ctx.Target, dirty)
+}
+
+// RematchContext is Rematch with request-trace propagation (see
+// RunContext).
+func (e *Engine) RematchContext(ctx context.Context, dirty Dirty) []StageTiming {
+	return e.rematch(ctx, e.ctx.Source, e.ctx.Target, dirty)
 }
 
 // RematchWith is Rematch for callers that replace schema objects rather
@@ -114,10 +121,15 @@ func (e *Engine) Rematch(dirty Dirty) []StageTiming {
 // blackboard): the engine re-aligns everything by element ID, so the
 // previous run is still reused for unchanged elements.
 func (e *Engine) RematchWith(source, target *model.Schema, dirty Dirty) []StageTiming {
-	return e.rematch(source, target, dirty)
+	return e.rematch(context.Background(), source, target, dirty)
 }
 
-func (e *Engine) rematch(source, target *model.Schema, dirty Dirty) []StageTiming {
+// RematchWithContext is RematchWith with request-trace propagation.
+func (e *Engine) RematchWithContext(ctx context.Context, source, target *model.Schema, dirty Dirty) []StageTiming {
+	return e.rematch(ctx, source, target, dirty)
+}
+
+func (e *Engine) rematch(ctx context.Context, source, target *model.Schema, dirty Dirty) []StageTiming {
 	replaced := source != e.ctx.Source || target != e.ctx.Target
 	mode := RematchFull
 	defer func() {
@@ -135,7 +147,7 @@ func (e *Engine) rematch(source, target *model.Schema, dirty Dirty) []StageTimin
 		if replaced {
 			e.ctx = match.NewContext(source, target, e.ctxOpts...)
 		}
-		return e.Run()
+		return e.RunContext(ctx)
 	}
 	if e.snap == nil {
 		mode = RematchCold
@@ -146,6 +158,7 @@ func (e *Engine) rematch(source, target *model.Schema, dirty Dirty) []StageTimin
 	}
 
 	tr := obs.NewTracer(e.metrics, MetricRematchStageDuration)
+	tr.Bind(ctx)
 	sp := tr.Start("signatures")
 	srcSig, srcParent, srcHash := schemaSignature(source)
 	tgtSig, tgtParent, tgtHash := schemaSignature(target)
@@ -171,7 +184,7 @@ func (e *Engine) rematch(source, target *model.Schema, dirty Dirty) []StageTimin
 		if replaced || len(dirtySrc) > 0 || len(dirtyTgt) > 0 {
 			e.ctx = match.NewContext(source, target, e.ctxOpts...)
 		}
-		return e.Run()
+		return e.RunContext(ctx)
 	}
 
 	if len(dirtySrc) == 0 && len(dirtyTgt) == 0 && !replaced && mergerSig == e.snap.mergerSig {

@@ -1,0 +1,317 @@
+// Package loadgen is the workbench's sustained-load telemetry harness:
+// N concurrent clients drive seeded load/match/rematch/decide mixes
+// against a live workbench service and the harness reports per-route
+// latency percentiles (p50/p95/p99), throughput, and the success ratio.
+// It reuses the chaos simulator's workload model — the same seeded
+// per-worker PRNGs and base0..baseN synthetic schemata
+// (sim.SynthSchemaSQL) — but speaks the HTTP API through
+// internal/client, so every request carries a trace header and the
+// server's /debug/traces shows exactly what a slow percentile was
+// doing. ROADMAP item 5's "sustained concurrent load" numbers
+// (BENCH_6.json) come from here.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chaos/sim"
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the service address ("host:port" or full URL).
+	Addr string
+	// Workers is the number of concurrent clients (default 4).
+	Workers int
+	// Duration is how long the mixed phase runs (default 5s).
+	Duration time.Duration
+	// Seed drives every worker's operation stream (default 1).
+	Seed int64
+	// Threshold forwards to match/rematch (default server.DefaultThreshold).
+	Threshold float64
+}
+
+// RouteStats aggregates one route's latency distribution.
+type RouteStats struct {
+	Route string  `json:"route"`
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// Report is the outcome of one load run. OKRatio is the only
+// machine-independent column — benchdiff gates it; the latency and
+// throughput numbers are context for the host that produced them.
+type Report struct {
+	Benchmark string  `json:"benchmark"` // always "loadgen-sustained"
+	Workers   int     `json:"workers"`
+	DurationS float64 `json:"duration_s"`
+	Seed      int64   `json:"seed"`
+
+	Requests   int          `json:"requests"`
+	Errors     int          `json:"errors"`
+	OKRatio    float64      `json:"ok_ratio"`
+	TxnsPerSec float64      `json:"txns_per_sec"`
+	Routes     []RouteStats `json:"routes"`
+}
+
+// String renders the human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgen workers=%d duration=%.1fs seed=%d\n", r.Workers, r.DurationS, r.Seed)
+	fmt.Fprintf(&b, "  requests=%d errors=%d ok=%.4f txns/sec=%.1f\n",
+		r.Requests, r.Errors, r.OKRatio, r.TxnsPerSec)
+	for _, rt := range r.Routes {
+		fmt.Fprintf(&b, "  %-16s n=%-6d p50=%8.2fms p95=%8.2fms p99=%8.2fms\n",
+			rt.Route, rt.Count, rt.P50ms, rt.P95ms, rt.P99ms)
+	}
+	return b.String()
+}
+
+// WriteJSON renders the BENCH_6.json form.
+func (r *Report) WriteJSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// sample is one timed request.
+type sample struct {
+	route string
+	d     time.Duration
+	ok    bool
+}
+
+// worker is one concurrent simulated analyst.
+type worker struct {
+	idx     int
+	rng     *rand.Rand
+	cl      *client.Client
+	mapping string
+	thresh  float64
+
+	// cells is the last published matrix, the pool decide ops draw from.
+	cells   []server.CellInfo
+	samples []sample
+}
+
+// Run executes one load run against the service at cfg.Addr. The run is
+// two phases: a seeding phase (load base schemata, create one mapping
+// per worker, cold match) whose requests are not sampled, then the
+// timed mixed phase.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = server.DefaultThreshold
+	}
+
+	// Seeding phase: shared base schemata, then one mapping per worker
+	// over a seeded random pair (the sim's workload shape).
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	seedCl := client.New(cfg.Addr)
+	if _, err := seedCl.OpenSession("loadgen-seed"); err != nil {
+		return nil, fmt.Errorf("loadgen: open seed session: %w", err)
+	}
+	for i := 0; i < sim.BaseSchemas; i++ {
+		name := sim.BaseSchemaName(i)
+		if _, err := seedCl.LoadSchema(name, "sql", sim.SynthSchemaSQL(seedRng)); err != nil {
+			return nil, fmt.Errorf("loadgen: seed schema %s: %w", name, err)
+		}
+	}
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		w := &worker{
+			idx: i,
+			// The sim's per-worker seeding discipline: independent streams,
+			// reproducible per (seed, worker).
+			rng:    rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
+			cl:     client.New(cfg.Addr),
+			thresh: cfg.Threshold,
+		}
+		if _, err := w.cl.OpenSession(fmt.Sprintf("loadgen-%d", i)); err != nil {
+			return nil, fmt.Errorf("loadgen: open session %d: %w", i, err)
+		}
+		w.mapping = fmt.Sprintf("lg%d", i)
+		src := sim.BaseSchemaName(w.rng.Intn(sim.BaseSchemas))
+		tgt := sim.BaseSchemaName(w.rng.Intn(sim.BaseSchemas))
+		if _, err := w.cl.NewMapping(w.mapping, src, tgt); err != nil {
+			// A previous run against the same server already owns this
+			// mapping id; reuse it so back-to-back runs work.
+			if !strings.Contains(err.Error(), "already exists") {
+				return nil, fmt.Errorf("loadgen: create mapping %s: %w", w.mapping, err)
+			}
+		}
+		resp, err := w.cl.Match(w.mapping, w.thresh)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: cold match %s: %w", w.mapping, err)
+		}
+		w.cells = resp.Cells
+		workers[i] = w
+	}
+
+	// Mixed phase: every worker loops its op mix until the deadline.
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				w.step()
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	return assemble(cfg, workers, elapsed), nil
+}
+
+// step runs one randomly chosen operation, sampling its latency.
+// Mix: decides dominate (the paper's refinement loop is decision-heavy),
+// rematches follow each wave of edits, occasional full matches and
+// schema re-loads keep the cold paths and invalidation honest.
+func (w *worker) step() {
+	switch p := w.rng.Intn(100); {
+	case p < 40:
+		w.decideOp()
+	case p < 70:
+		w.rematchOp()
+	case p < 85:
+		w.matchOp()
+	default:
+		w.loadOp()
+	}
+}
+
+// record times fn under the given route label.
+func (w *worker) record(route string, fn func() error) {
+	t0 := time.Now()
+	err := fn()
+	w.samples = append(w.samples, sample{route: route, d: time.Since(t0), ok: err == nil})
+}
+
+// loadOp re-loads one base schema with freshly synthesized DDL,
+// exercising versioning and match-session invalidation.
+func (w *worker) loadOp() {
+	name := sim.BaseSchemaName(w.rng.Intn(sim.BaseSchemas))
+	ddl := sim.SynthSchemaSQL(w.rng)
+	w.record("schemas.load", func() error {
+		_, err := w.cl.LoadSchema(name, "sql", ddl)
+		return err
+	})
+}
+
+func (w *worker) matchOp() {
+	w.record("match.run", func() error {
+		resp, err := w.cl.Match(w.mapping, w.thresh)
+		if err == nil {
+			w.cells = resp.Cells
+		}
+		return err
+	})
+}
+
+func (w *worker) rematchOp() {
+	w.record("match.rematch", func() error {
+		resp, err := w.cl.Rematch(w.mapping, w.thresh, nil, nil)
+		if err == nil {
+			w.cells = resp.Cells
+		}
+		return err
+	})
+}
+
+// decideOp accepts or rejects a random cell from the worker's last
+// published matrix (skipped silently while the matrix is empty).
+func (w *worker) decideOp() {
+	if len(w.cells) == 0 {
+		w.rematchOp()
+		return
+	}
+	c := w.cells[w.rng.Intn(len(w.cells))]
+	verdict := "accept"
+	if w.rng.Intn(2) == 0 {
+		verdict = "reject"
+	}
+	w.record("cells.decide", func() error {
+		_, err := w.cl.Decide(w.mapping, c.Source, c.Target, verdict)
+		return err
+	})
+}
+
+// assemble folds every worker's samples into the report.
+func assemble(cfg Config, workers []*worker, elapsed time.Duration) *Report {
+	byRoute := map[string][]time.Duration{}
+	rep := &Report{
+		Benchmark: "loadgen-sustained",
+		Workers:   cfg.Workers,
+		DurationS: elapsed.Seconds(),
+		Seed:      cfg.Seed,
+	}
+	for _, w := range workers {
+		for _, s := range w.samples {
+			rep.Requests++
+			if !s.ok {
+				rep.Errors++
+			}
+			byRoute[s.route] = append(byRoute[s.route], s.d)
+		}
+	}
+	if rep.Requests > 0 {
+		rep.OKRatio = float64(rep.Requests-rep.Errors) / float64(rep.Requests)
+	}
+	if elapsed > 0 {
+		rep.TxnsPerSec = float64(rep.Requests-rep.Errors) / elapsed.Seconds()
+	}
+	routes := make([]string, 0, len(byRoute))
+	for r := range byRoute {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		ds := byRoute[r]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		rep.Routes = append(rep.Routes, RouteStats{
+			Route: r,
+			Count: len(ds),
+			P50ms: ms(percentile(ds, 50)),
+			P95ms: ms(percentile(ds, 95)),
+			P99ms: ms(percentile(ds, 99)),
+		})
+	}
+	return rep
+}
+
+// percentile returns the nearest-rank percentile of a sorted slice.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n), nearest-rank
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// TestRunSmoke drives a short real run against an in-process server:
+// the harness must complete, sample every phase, and produce a sane
+// report (this is also the verify-skill loadgen smoke).
+func TestRunSmoke(t *testing.T) {
+	srv, err := server.New(server.Config{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Run(Config{Addr: ts.URL, Workers: 2, Duration: 300 * time.Millisecond, Seed: 7})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Benchmark != "loadgen-sustained" {
+		t.Errorf("benchmark = %q", rep.Benchmark)
+	}
+	if rep.Workers != 2 || rep.Seed != 7 {
+		t.Errorf("config echo = workers %d seed %d", rep.Workers, rep.Seed)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests sampled")
+	}
+	if rep.OKRatio < 0.9 {
+		t.Errorf("ok_ratio = %.4f (errors %d/%d)", rep.OKRatio, rep.Errors, rep.Requests)
+	}
+	if rep.TxnsPerSec <= 0 {
+		t.Errorf("txns_per_sec = %v", rep.TxnsPerSec)
+	}
+	if len(rep.Routes) == 0 {
+		t.Fatal("no per-route stats")
+	}
+	for _, rt := range rep.Routes {
+		if rt.Count <= 0 || rt.P50ms < 0 || rt.P95ms < rt.P50ms || rt.P99ms < rt.P95ms {
+			t.Errorf("route %s stats out of order: %+v", rt.Route, rt)
+		}
+	}
+
+	// The JSON form must round-trip with the fields benchdiff gates.
+	data, err := rep.WriteJSON()
+	if err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("report JSON invalid: %v", err)
+	}
+	if decoded["benchmark"] != "loadgen-sustained" {
+		t.Errorf("JSON benchmark = %v", decoded["benchmark"])
+	}
+	if _, ok := decoded["ok_ratio"]; !ok {
+		t.Error("JSON missing ok_ratio (the gated column)")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    int
+		want time.Duration
+	}{{50, 5}, {95, 10}, {99, 10}, {100, 10}, {1, 1}} {
+		if got := percentile(ds, tc.p); got != tc.want {
+			t.Errorf("percentile(%d) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("percentile(empty) = %d", got)
+	}
+}

@@ -15,6 +15,8 @@
 package matchcache
 
 import (
+	"context"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -159,6 +161,19 @@ func (c *Cache) Get(key string) (any, bool) {
 	s.mu.Unlock()
 	reg.Counter(MetricMisses, "cache", name).Inc()
 	return nil, false
+}
+
+// GetTraced is Get with request-trace instrumentation: when ctx carries
+// a span (see internal/obs tracing), the lookup records a
+// "matchcache.get" child span annotated with cache_hit, so a trace
+// shows which stages were answered from cache. Outside a trace it is
+// exactly Get.
+func (c *Cache) GetTraced(ctx context.Context, key string) (any, bool) {
+	sp, _ := obs.StartSpan(ctx, "matchcache.get")
+	v, ok := c.Get(key)
+	sp.SetAttr("cache_hit", strconv.FormatBool(ok))
+	sp.End()
+	return v, ok
 }
 
 // Put stores value under key, charging it the given byte size, and

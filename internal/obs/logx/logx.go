@@ -1,0 +1,121 @@
+// Package logx is the workbench's structured logger: a thin veneer over
+// the stdlib log/slog that automatically stamps every record with the
+// trace and span IDs carried by the context (see internal/obs tracing).
+// Server, transaction manager, and WAL diagnostics all log through it,
+// so a slow or failing request can be joined against its trace with
+// `grep <trace id>` over either the log stream or the JSONL trace
+// export — no ad-hoc fmt.Fprintf lines with hand-rolled prefixes.
+package logx
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Attribute keys stamped automatically from the context.
+const (
+	TraceKey = "trace"
+	SpanKey  = "span"
+)
+
+// Logger is a leveled, component-scoped structured logger. The zero
+// value is not usable; obtain one from New or For.
+type Logger struct {
+	sl *slog.Logger
+}
+
+// handler wraps a slog.Handler to inject trace/span attributes from the
+// context into every record that has them.
+type handler struct {
+	inner slog.Handler
+}
+
+func (h handler) Enabled(ctx context.Context, l slog.Level) bool { return h.inner.Enabled(ctx, l) }
+
+func (h handler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		if sc := sp.Context(); sc.Valid() {
+			rec.AddAttrs(
+				slog.String(TraceKey, sc.Trace.String()),
+				slog.String(SpanKey, sc.Span.String()),
+			)
+		}
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return handler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h handler) WithGroup(name string) slog.Handler {
+	return handler{inner: h.inner.WithGroup(name)}
+}
+
+// New returns a logger writing logfmt-style key=value lines to w at the
+// given minimum level.
+func New(w io.Writer, level slog.Level) *Logger {
+	inner := slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})
+	return &Logger{sl: slog.New(handler{inner: inner})}
+}
+
+// NewJSON returns a logger writing one JSON object per line — the
+// machine-ingestible form for load-test capture.
+func NewJSON(w io.Writer, level slog.Level) *Logger {
+	inner := slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level})
+	return &Logger{sl: slog.New(handler{inner: inner})}
+}
+
+// Discard returns a logger that drops everything (quiet tests).
+func Discard() *Logger { return New(io.Discard, slog.Level(127)) }
+
+// defaultLogger is the process-wide fallback used by For when no
+// explicit logger is wired through; it writes to stderr at Info.
+var defaultLogger atomic.Pointer[Logger]
+
+func init() { defaultLogger.Store(New(os.Stderr, slog.LevelInfo)) }
+
+// SetDefault replaces the process-wide fallback logger.
+func SetDefault(l *Logger) {
+	if l != nil {
+		defaultLogger.Store(l)
+	}
+}
+
+// Default returns the process-wide fallback logger.
+func Default() *Logger { return defaultLogger.Load() }
+
+// For returns the default logger scoped to a component: every record
+// carries component=name.
+func For(component string) *Logger { return Default().With("component", component) }
+
+// With returns a logger that adds the given alternating key/value pairs
+// to every record.
+func (l *Logger) With(args ...any) *Logger {
+	return &Logger{sl: l.sl.With(args...)}
+}
+
+// Debug logs at debug level with trace correlation from ctx.
+func (l *Logger) Debug(ctx context.Context, msg string, args ...any) {
+	l.sl.DebugContext(ctx, msg, args...)
+}
+
+// Info logs at info level with trace correlation from ctx.
+func (l *Logger) Info(ctx context.Context, msg string, args ...any) {
+	l.sl.InfoContext(ctx, msg, args...)
+}
+
+// Warn logs at warn level with trace correlation from ctx.
+func (l *Logger) Warn(ctx context.Context, msg string, args ...any) {
+	l.sl.WarnContext(ctx, msg, args...)
+}
+
+// Error logs at error level with trace correlation from ctx.
+func (l *Logger) Error(ctx context.Context, msg string, args ...any) {
+	l.sl.ErrorContext(ctx, msg, args...)
+}

@@ -1,0 +1,79 @@
+package logx
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestTraceCorrelationFromContext(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSON(&buf, slog.LevelDebug)
+
+	ts := obs.NewTraceStore(4)
+	root, ctx := ts.StartRoot(context.Background(), "request", obs.SpanContext{})
+	l.Info(ctx, "hello", "k", "v")
+	root.End()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Errorf("record = %v", rec)
+	}
+	if rec[TraceKey] != root.Context().Trace.String() {
+		t.Errorf("trace = %v, want %s", rec[TraceKey], root.Context().Trace)
+	}
+	if rec[SpanKey] != root.Context().Span.String() {
+		t.Errorf("span = %v, want %s", rec[SpanKey], root.Context().Span)
+	}
+}
+
+func TestNoTraceKeysOutsideTrace(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelInfo)
+	l.Info(context.Background(), "plain")
+	line := buf.String()
+	if strings.Contains(line, TraceKey+"=") || strings.Contains(line, SpanKey+"=") {
+		t.Errorf("untraced log line carries trace keys: %s", line)
+	}
+	if !strings.Contains(line, "msg=plain") {
+		t.Errorf("line = %s", line)
+	}
+}
+
+func TestLevelsAndWith(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, slog.LevelWarn).With("component", "wal")
+	l.Debug(context.Background(), "quiet")
+	l.Info(context.Background(), "also quiet")
+	l.Warn(context.Background(), "loud")
+	out := buf.String()
+	if strings.Contains(out, "quiet") {
+		t.Errorf("sub-level records leaked: %s", out)
+	}
+	if !strings.Contains(out, "msg=loud") || !strings.Contains(out, "component=wal") {
+		t.Errorf("warn record wrong: %s", out)
+	}
+}
+
+func TestDefaultAndFor(t *testing.T) {
+	orig := Default()
+	defer SetDefault(orig)
+	var buf bytes.Buffer
+	SetDefault(New(&buf, slog.LevelInfo))
+	For("server").Info(context.Background(), "scoped")
+	if out := buf.String(); !strings.Contains(out, "component=server") {
+		t.Errorf("For record = %s", out)
+	}
+	SetDefault(nil) // ignored
+	if Default() == nil {
+		t.Error("SetDefault(nil) cleared the default")
+	}
+}

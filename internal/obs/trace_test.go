@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceHeaderRoundtrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	h := sc.Header()
+	if len(h) != 33 || h[16] != '-' {
+		t.Fatalf("header %q has wrong shape", h)
+	}
+	got, ok := ParseTraceHeader(h)
+	if !ok || got != sc {
+		t.Fatalf("ParseTraceHeader(%q) = %+v, %v; want %+v", h, got, ok, sc)
+	}
+	for _, bad := range []string{"", "xyz", h[:32], h + "0", strings.Replace(h, "-", "_", 1),
+		"0000000000000000-" + sc.Span.String(), sc.Trace.String() + "-0000000000000000"} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted a malformed header", bad)
+		}
+	}
+}
+
+func TestStartSpanWithoutParentIsInert(t *testing.T) {
+	sp, ctx := StartSpan(context.Background(), "orphan")
+	if sp.Recording() {
+		t.Error("span without a traced parent must not record")
+	}
+	sp.SetAttr("k", "v")
+	sp.SetError(errors.New("boom"))
+	if d := sp.End(); d < 0 {
+		t.Errorf("End returned negative duration %v", d)
+	}
+	// The inert span still flows through the context so nested StartSpan
+	// calls stay cheap and inert too.
+	child, _ := StartSpan(ctx, "nested")
+	if child.Recording() {
+		t.Error("child of an inert span must be inert")
+	}
+}
+
+func TestTraceStoreAssemblesTree(t *testing.T) {
+	ts := NewTraceStore(8)
+	root, ctx := ts.StartRoot(context.Background(), "request", SpanContext{})
+	if !root.Recording() {
+		t.Fatal("root span must record")
+	}
+	child, cctx := StartSpan(ctx, "txn")
+	grand, _ := StartSpan(cctx, "fsync")
+	grand.SetAttr("ops", "3")
+	grand.End()
+	child.End()
+	root.End()
+
+	tr, ok := ts.Get(root.Context().Trace)
+	if !ok {
+		t.Fatal("trace not retained")
+	}
+	if tr.Root != "request" || len(tr.Spans) != 3 {
+		t.Fatalf("trace = root %q, %d spans", tr.Root, len(tr.Spans))
+	}
+	if tr.Duration <= 0 {
+		t.Error("root duration not recorded")
+	}
+	byID := map[SpanID]SpanRecord{}
+	for _, sp := range tr.Spans {
+		byID[sp.ID] = sp
+	}
+	find := func(name string) SpanRecord {
+		for _, sp := range tr.Spans {
+			if sp.Name == name {
+				return sp
+			}
+		}
+		t.Fatalf("span %q missing", name)
+		return SpanRecord{}
+	}
+	if find("txn").Parent != root.Context().Span {
+		t.Error("txn span not parented under the root")
+	}
+	if find("fsync").Parent != find("txn").ID {
+		t.Error("fsync span not parented under txn")
+	}
+	if a := find("fsync").Attrs; len(a) != 1 || a[0].Key != "ops" || a[0].Value != "3" {
+		t.Errorf("fsync attrs = %+v", a)
+	}
+}
+
+func TestTraceStoreContinuesRemoteTrace(t *testing.T) {
+	ts := NewTraceStore(8)
+	remote := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+	root, _ := ts.StartRoot(context.Background(), "request", remote)
+	if root.Context().Trace != remote.Trace {
+		t.Error("root did not adopt the propagated trace ID")
+	}
+	root.End()
+	tr, ok := ts.Get(remote.Trace)
+	if !ok || len(tr.Spans) != 1 {
+		t.Fatalf("trace = %+v, %v", tr, ok)
+	}
+	if tr.Spans[0].Parent != remote.Span {
+		t.Error("root span not parented under the remote caller's span")
+	}
+}
+
+func TestTraceStoreEvictsOldest(t *testing.T) {
+	ts := NewTraceStore(2)
+	var ids []TraceID
+	for i := 0; i < 3; i++ {
+		root, _ := ts.StartRoot(context.Background(), "request", SpanContext{})
+		root.End()
+		ids = append(ids, root.Context().Trace)
+	}
+	if ts.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2", ts.Len())
+	}
+	if _, ok := ts.Get(ids[0]); ok {
+		t.Error("oldest trace survived eviction")
+	}
+	for _, id := range ids[1:] {
+		if _, ok := ts.Get(id); !ok {
+			t.Errorf("trace %s evicted too early", id)
+		}
+	}
+}
+
+func TestTraceStoreCapsSpansPerTrace(t *testing.T) {
+	ts := NewTraceStore(2)
+	root, ctx := ts.StartRoot(context.Background(), "request", SpanContext{})
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		sp, _ := StartSpan(ctx, "hot")
+		sp.End()
+	}
+	root.End()
+	tr, _ := ts.Get(root.Context().Trace)
+	if len(tr.Spans) != maxSpansPerTrace {
+		t.Errorf("trace holds %d spans, want the %d cap", len(tr.Spans), maxSpansPerTrace)
+	}
+	// +11: the 10 extra children plus the root span itself ended last.
+	if tr.DroppedSpans != 11 {
+		t.Errorf("DroppedSpans = %d, want 11", tr.DroppedSpans)
+	}
+}
+
+func TestTraceStoreSlowAndJSONL(t *testing.T) {
+	ts := NewTraceStore(8)
+	fast, _ := ts.StartRoot(context.Background(), "fast", SpanContext{})
+	fast.End()
+	slow, _ := ts.StartRoot(context.Background(), "slow", SpanContext{})
+	time.Sleep(5 * time.Millisecond)
+	slow.End()
+
+	got := ts.Slow(2*time.Millisecond, 0)
+	if len(got) != 1 || got[0].Root != "slow" {
+		t.Fatalf("Slow = %+v", got)
+	}
+	var buf bytes.Buffer
+	if err := ts.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	// Oldest first: the fast trace was registered first.
+	if !strings.Contains(lines[0], `"root":"fast"`) || !strings.Contains(lines[1], `"root":"slow"`) {
+		t.Errorf("JSONL order wrong:\n%s", buf.String())
+	}
+}
+
+func TestTracerRingOverflow(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "ring_seconds")
+	tr.SetCapacity(4)
+	for i := 0; i < 10; i++ {
+		tr.Time("stage", func() {})
+	}
+	fin := tr.Finished()
+	if len(fin) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(fin))
+	}
+	if got := tr.Dropped(); got != 6 {
+		t.Errorf("Dropped = %d, want 6", got)
+	}
+	m, ok := r.Find(MetricSpansDropped)
+	if !ok || len(m.Series) == 0 || m.Series[0].Value != 6 {
+		t.Errorf("%s metric = %+v, want 6", MetricSpansDropped, m)
+	}
+	// Shrinking below the live count drops the oldest survivors too.
+	tr.SetCapacity(2)
+	if len(tr.Finished()) != 2 || tr.Dropped() != 8 {
+		t.Errorf("after shrink: %d spans, %d dropped; want 2, 8", len(tr.Finished()), tr.Dropped())
+	}
+}
+
+func TestTracerBindJoinsTrace(t *testing.T) {
+	ts := NewTraceStore(4)
+	root, ctx := ts.StartRoot(context.Background(), "request", SpanContext{})
+
+	tr := NewTracer(nil, "")
+	tr.Bind(ctx)
+	stage := tr.Start("merge")
+	childSpan := stage.Child("score")
+	childSpan.End()
+	stage.End()
+	root.End()
+
+	trace, _ := ts.Get(root.Context().Trace)
+	if len(trace.Spans) != 3 {
+		t.Fatalf("trace spans = %d, want 3", len(trace.Spans))
+	}
+	var merge, score SpanRecord
+	for _, sp := range trace.Spans {
+		switch sp.Name {
+		case "merge":
+			merge = sp
+		case "merge/score":
+			score = sp
+		}
+	}
+	if merge.Parent != root.Context().Span {
+		t.Error("bound tracer span not parented under the request root")
+	}
+	if score.Parent != merge.ID {
+		t.Error("tracer child span not parented under its stage")
+	}
+	// Binding must not disturb plain stage timing.
+	if n := len(tr.Finished()); n != 2 {
+		t.Errorf("tracer finished %d spans, want 2", n)
+	}
+}

@@ -1,5 +1,11 @@
 package server
 
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
 // Wire types of the workbench HTTP/JSON API (v1). The thin Go client
 // (internal/client) reuses these structs, so the two sides cannot drift.
 //
@@ -23,6 +29,10 @@ package server
 //	GET  /v1/fsck                         integrity check       → FsckResponse
 //	POST /v1/snapshot                     force a WAL snapshot  → SnapshotResponse
 //	GET  /metrics, /healthz               obs exposition (Prometheus text / JSON)
+//	GET  /debug/traces?n=20&min=250ms     recent request traces → []TraceInfo
+//	                                      (format=jsonl streams the JSONL export)
+//	GET  /debug/traces/{id}               one trace by hex id   → TraceInfo
+//	GET  /debug/pprof/...                 net/http/pprof (opt-in via Config.EnablePprof)
 //
 // Mutating routes attribute their transaction (and therefore event
 // provenance) to the session named by the X-Workbench-Session header;
@@ -32,6 +42,12 @@ package server
 
 // SessionHeader carries the session id on mutating requests.
 const SessionHeader = "X-Workbench-Session"
+
+// TraceHeader carries the caller's trace context on any request, as
+// "<trace hex16>-<span hex16>" (obs.SpanContext.Header). The server
+// continues the trace: its request root span becomes a child of the
+// header's span, so client and server report the same trace ID.
+const TraceHeader = "X-Ib-Trace"
 
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
@@ -191,4 +207,30 @@ type FsckResponse struct {
 // SnapshotResponse acknowledges a forced snapshot.
 type SnapshotResponse struct {
 	Triples int `json:"triples"`
+}
+
+// SpanInfo is one finished span of a request trace, as served by
+// /debug/traces. Times are microseconds; StartUS is the offset from the
+// trace's start.
+type SpanInfo struct {
+	ID         string     `json:"id"`
+	Parent     string     `json:"parent,omitempty"`
+	Name       string     `json:"name"`
+	StartUS    int64      `json:"start_us"`
+	DurationUS int64      `json:"duration_us"`
+	Attrs      []obs.Attr `json:"attrs,omitempty"`
+	Err        string     `json:"err,omitempty"`
+}
+
+// TraceInfo is one assembled request trace (GET /debug/traces,
+// GET /debug/traces/{id}).
+type TraceInfo struct {
+	Trace string    `json:"trace"`
+	Root  string    `json:"root"`
+	Start time.Time `json:"start"`
+	// DurationUS is the root span's duration (0 while still in flight).
+	DurationUS int64 `json:"duration_us"`
+	// DroppedSpans counts spans discarded past the per-trace bound.
+	DroppedSpans int        `json:"dropped_spans,omitempty"`
+	Spans        []SpanInfo `json:"spans"`
 }

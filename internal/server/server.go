@@ -11,6 +11,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/matchcache"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/rdf"
 	"repro/internal/sqlddl"
 	"repro/internal/wal"
@@ -76,7 +78,24 @@ type Config struct {
 	MatchCacheBytes int64
 	// Metrics receives server + WAL instrumentation (nil = obs.Default()).
 	Metrics *obs.Registry
+	// TraceCapacity bounds the in-memory trace store (0 =
+	// obs.DefaultTraceCapacity traces; oldest evicted first).
+	TraceCapacity int
+	// SlowRequest is the latency threshold for the slow-request log (0 =
+	// DefaultSlowRequest; negative disables slow-request logging).
+	SlowRequest time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the same
+	// handler. Off by default: the profiler is a debugging door, opt in
+	// only on trusted listeners.
+	EnablePprof bool
+	// Log receives request and error diagnostics (nil = the process-wide
+	// logx default, stderr at info).
+	Log *logx.Logger
 }
+
+// DefaultSlowRequest is the slow-request log threshold when Config
+// leaves SlowRequest zero.
+const DefaultSlowRequest = 250 * time.Millisecond
 
 // session is the server-side record of one analyst session.
 type session struct {
@@ -100,13 +119,16 @@ type matchSession struct {
 // Handler on any http.Server, and Close on shutdown (Close folds the
 // WAL into a snapshot; crashes instead rely on recovery).
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	store *wal.Store // nil when in-memory
-	bb    *blackboard.Blackboard
-	mgr   *wbmgr.Manager
-	feed  *feed
-	mux   *http.ServeMux
+	cfg    Config
+	reg    *obs.Registry
+	store  *wal.Store // nil when in-memory
+	bb     *blackboard.Blackboard
+	mgr    *wbmgr.Manager
+	feed   *feed
+	mux    *http.ServeMux
+	traces *obs.TraceStore
+	log    *logx.Logger
+	slow   time.Duration // slow-request log threshold (0 = disabled)
 
 	// txnMu serializes mutating API requests: the manager allows one
 	// active transaction, so concurrent writers queue here rather than
@@ -134,6 +156,17 @@ func New(cfg Config) (*Server, error) {
 	reg.Describe(MetricRequestDuration, "Workbench API request latency, by route.")
 	reg.Describe(MetricSessions, "Currently open workbench sessions.")
 
+	slow := cfg.SlowRequest
+	switch {
+	case slow == 0:
+		slow = DefaultSlowRequest
+	case slow < 0:
+		slow = 0
+	}
+	srvLog := cfg.Log
+	if srvLog == nil {
+		srvLog = logx.Default()
+	}
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
@@ -141,6 +174,9 @@ func New(cfg Config) (*Server, error) {
 		sessions:   map[string]*session{},
 		matchCache: matchcache.New(cfg.MatchCacheBytes),
 		engines:    map[string]*matchSession{},
+		traces:     obs.NewTraceStore(cfg.TraceCapacity),
+		log:        srvLog.With("component", "server"),
+		slow:       slow,
 	}
 	s.matchCache.SetMetrics(reg)
 	if cfg.DataDir != "" {
@@ -160,8 +196,8 @@ func New(cfg Config) (*Server, error) {
 	// fsync) before Commit returns.
 	if s.store != nil {
 		store := s.store
-		s.mgr.SetCommitHook(func(_ string, ops []rdf.ChangeOp) error {
-			return store.AppendTxn(ops)
+		s.mgr.SetCommitHook(func(ctx context.Context, _ string, ops []rdf.ChangeOp) error {
+			return store.AppendTxnContext(ctx, ops)
 		})
 	}
 	for _, kind := range []wbmgr.EventKind{
@@ -220,6 +256,7 @@ func (s *Server) buildMux() {
 	s.route(mux, "GET /v1/events", "events", s.handleEvents)
 	s.route(mux, "GET /v1/fsck", "fsck", s.handleFsck)
 	s.route(mux, "POST /v1/snapshot", "snapshot", s.handleSnapshot)
+	s.mountDebug(mux)
 	s.mux = mux
 }
 
@@ -242,14 +279,31 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// route mounts a handler under the request metrics middleware.
+// route mounts a handler under the request metrics + tracing
+// middleware: every request gets a root span in the server's trace
+// store (continuing the client's trace when the X-Ib-Trace header names
+// one), carried down through r.Context() so transactions, match stages
+// and WAL writes join the same trace. Requests slower than the
+// configured threshold are logged with their trace ID.
 func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-		t0 := time.Now()
-		h(rec, r)
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(TraceHeader))
+		sp, ctx := s.traces.StartRoot(r.Context(), name, remote)
+		sp.SetAttr("route", name)
+		h(rec, r.WithContext(ctx))
+		sp.SetAttr("code", strconv.Itoa(rec.code))
+		if rec.code >= 500 {
+			sp.SetError(fmt.Errorf("http %d", rec.code))
+		}
+		d := sp.End()
+		if s.slow > 0 && d >= s.slow {
+			s.log.Warn(ctx, "slow request", "route", name, "code", rec.code, "duration", d)
+		} else {
+			s.log.Debug(ctx, "request", "route", name, "code", rec.code, "duration", d)
+		}
 		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
-			ObserveDuration(time.Since(t0))
+			ObserveDuration(d)
 		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code)).Inc()
 	})
 }
@@ -300,16 +354,18 @@ func (s *Server) toolFor(r *http.Request) string {
 // inTxn runs fn inside one manager transaction attributed to the
 // request's session, serialized against other mutating requests. A fn
 // error aborts; otherwise the commit (and, when durable, the WAL
-// append + fsync) completes before inTxn returns.
+// append + fsync) completes before inTxn returns. The request's trace
+// context flows into the transaction, so the txn span — and the WAL
+// spans under it — join the request trace.
 func (s *Server) inTxn(r *http.Request, fn func(txn *wbmgr.Txn) error) error {
-	return s.inTxnAs(s.toolFor(r), fn)
+	return s.inTxnAs(r.Context(), s.toolFor(r), fn)
 }
 
 // inTxnAs is inTxn with the provenance name already resolved.
-func (s *Server) inTxnAs(tool string, fn func(txn *wbmgr.Txn) error) error {
+func (s *Server) inTxnAs(ctx context.Context, tool string, fn func(txn *wbmgr.Txn) error) error {
 	s.txnMu.Lock()
 	defer s.txnMu.Unlock()
-	txn, err := s.mgr.Begin(tool)
+	txn, err := s.mgr.BeginContext(ctx, tool)
 	if err != nil {
 		return err
 	}
@@ -670,13 +726,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		sp.SetAttr("mapping", id)
+	}
 	// The engine run is read-only and can be slow; keep it outside the
 	// transaction so concurrent mutators aren't blocked by matching.
 	sess := s.matchSessionFor(id, mp)
 	sess.mu.Lock()
 	engine := s.newMatchEngine(src, tgt)
 	syncDecisions(engine, mp)
-	engine.Run()
+	engine.RunContext(r.Context())
 	sess.eng = engine
 	sess.stale = false
 	links := engine.Matrix().Above(threshold)
@@ -714,6 +773,10 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dirty := harmony.Dirty{Source: req.DirtySource, Target: req.DirtyTarget}
+	reqSpan := obs.SpanFromContext(r.Context())
+	if reqSpan != nil {
+		reqSpan.SetAttr("mapping", id)
+	}
 	sess := s.matchSessionFor(id, mp)
 	sess.mu.Lock()
 	var mode string
@@ -722,7 +785,7 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 		// copies are current, so skip the blackboard re-read and let the
 		// in-place rematch take its cheapest applicable path.
 		failed := syncDecisions(sess.eng, mp)
-		sess.eng.Rematch(dirty)
+		sess.eng.RematchContext(r.Context(), dirty)
 		retryDecisions(sess.eng, failed)
 		mode = sess.eng.LastRematchMode()
 	} else {
@@ -734,11 +797,11 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 				if sess.eng == nil {
 					sess.eng = s.newMatchEngine(src, tgt)
 					syncDecisions(sess.eng, mp)
-					sess.eng.Run()
+					sess.eng.RunContext(r.Context())
 					mode = harmony.RematchCold
 				} else {
 					failed := syncDecisions(sess.eng, mp)
-					sess.eng.RematchWith(src, tgt, dirty)
+					sess.eng.RematchWithContext(r.Context(), src, tgt, dirty)
 					retryDecisions(sess.eng, failed)
 					mode = sess.eng.LastRematchMode()
 				}
@@ -754,6 +817,9 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 	links := sess.eng.Matrix().Above(threshold)
 	pinned := sess.eng.Decisions()
 	sess.mu.Unlock()
+	if reqSpan != nil {
+		reqSpan.SetAttr("rematch_mode", mode)
+	}
 	cells, err := s.publishMatrix(r, id, mp, links, pinned)
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "%v", err)
@@ -793,7 +859,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tool := s.toolFor(r)
-	err = s.inTxnAs(tool, func(txn *wbmgr.Txn) error {
+	err = s.inTxnAs(r.Context(), tool, func(txn *wbmgr.Txn) error {
 		if cerr := mp.SetCell(req.Source, req.Target, conf, true, tool); cerr != nil {
 			return cerr
 		}

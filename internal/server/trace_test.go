@@ -1,0 +1,233 @@
+package server_test
+
+// End-to-end tracing tests: one client request through a real httptest
+// server must come back as a single connected trace — HTTP route span at
+// the root, wbmgr transaction under it, Harmony stage and matchcache
+// spans inside the engine, WAL append/fsync under the commit — with
+// every parent link resolving inside the trace.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/server"
+)
+
+// clientFor returns a fresh client for the same server (own lastTrace).
+func clientFor(c *client.Client) *client.Client { return client.New(c.BaseURL()) }
+
+// spanIndex maps a fetched trace for structural assertions.
+type spanIndex struct {
+	t     *testing.T
+	trace server.TraceInfo
+	byID  map[string]server.SpanInfo
+}
+
+func indexTrace(t *testing.T, tr server.TraceInfo) *spanIndex {
+	t.Helper()
+	idx := &spanIndex{t: t, trace: tr, byID: map[string]server.SpanInfo{}}
+	for _, sp := range tr.Spans {
+		idx.byID[sp.ID] = sp
+	}
+	return idx
+}
+
+// find returns the first span whose name matches exactly.
+func (ix *spanIndex) find(name string) server.SpanInfo {
+	ix.t.Helper()
+	for _, sp := range ix.trace.Spans {
+		if sp.Name == name {
+			return sp
+		}
+	}
+	ix.t.Fatalf("span %q missing from trace %s: %v", name, ix.trace.Trace, spanNames(ix.trace))
+	return server.SpanInfo{}
+}
+
+func (ix *spanIndex) attr(sp server.SpanInfo, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func spanNames(tr server.TraceInfo) []string {
+	names := make([]string, 0, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		names = append(names, sp.Name)
+	}
+	return names
+}
+
+func TestMatchRequestProducesConnectedTrace(t *testing.T) {
+	c, _ := startServer(t, t.TempDir(), true) // durable: WAL spans must appear
+	id := loadPair(t, c)
+
+	if _, err := c.Match(id, 0.1); err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	traceID := c.LastTrace()
+	if traceID == "" {
+		t.Fatal("client recorded no trace ID")
+	}
+	tr, err := c.Trace(traceID)
+	if err != nil {
+		t.Fatalf("Trace(%s): %v", traceID, err)
+	}
+	if tr.Trace != traceID {
+		t.Fatalf("fetched trace %s, asked for %s", tr.Trace, traceID)
+	}
+	if tr.Root != "match.run" || tr.DurationUS <= 0 {
+		t.Fatalf("trace root=%q duration=%dus", tr.Root, tr.DurationUS)
+	}
+	ix := indexTrace(t, tr)
+
+	// The root is the server's route span, parented under the client's
+	// header span — which lives client-side, so its parent is absent here.
+	root := ix.find("match.run")
+	if _, ok := ix.byID[root.Parent]; ok || root.Parent == "" {
+		t.Errorf("route span parent %q should reference the (absent) client span", root.Parent)
+	}
+	if ix.attr(root, "mapping") != id || ix.attr(root, "code") != "200" {
+		t.Errorf("route span attrs = %v", root.Attrs)
+	}
+
+	// Every other span's parent must resolve inside the trace: one
+	// connected tree, no orphans.
+	for _, sp := range tr.Spans {
+		if sp.ID == root.ID {
+			continue
+		}
+		if _, ok := ix.byID[sp.Parent]; !ok {
+			t.Errorf("span %q parent %q not in trace", sp.Name, sp.Parent)
+		}
+	}
+
+	// The layering: txn under the route, WAL append under the txn, fsync
+	// under the append.
+	txn := ix.find("wbmgr.txn")
+	if txn.Parent != root.ID {
+		t.Error("wbmgr.txn not parented under the route span")
+	}
+	if ix.attr(txn, "outcome") != "commit" {
+		t.Errorf("txn outcome = %q, want commit", ix.attr(txn, "outcome"))
+	}
+	app := ix.find("wal.append")
+	if app.Parent != txn.ID {
+		t.Error("wal.append not parented under wbmgr.txn")
+	}
+	if ix.find("wal.fsync").Parent != app.ID {
+		t.Error("wal.fsync not parented under wal.append")
+	}
+
+	// Harmony's stage tracer joined the same trace: voter spans under the
+	// route, each with a matchcache lookup child carrying cache_hit.
+	var voters, cacheGets int
+	for _, sp := range tr.Spans {
+		if strings.HasPrefix(sp.Name, "voter:") {
+			voters++
+			if sp.Parent != root.ID {
+				t.Errorf("stage span %q not parented under the route span", sp.Name)
+			}
+		}
+		if sp.Name == "matchcache.get" {
+			cacheGets++
+			if hit := ix.attr(sp, "cache_hit"); hit != "true" && hit != "false" {
+				t.Errorf("matchcache.get cache_hit = %q", hit)
+			}
+		}
+	}
+	if voters == 0 {
+		t.Error("no voter stage spans in trace")
+	}
+	if cacheGets == 0 {
+		t.Error("no matchcache.get spans in trace")
+	}
+	ix.find("flooding") // similarity flooding stage rode along too
+}
+
+func TestRematchTraceCarriesMode(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	id := loadPair(t, c)
+	if _, err := c.Match(id, 0.1); err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if _, err := c.Rematch(id, 0.1, nil, nil); err != nil {
+		t.Fatalf("Rematch: %v", err)
+	}
+	tr, err := c.Trace(c.LastTrace())
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	ix := indexTrace(t, tr)
+	root := ix.find("match.rematch")
+	if mode := ix.attr(root, "rematch_mode"); mode == "" {
+		t.Errorf("rematch root span has no rematch_mode attr: %v", root.Attrs)
+	}
+}
+
+func TestTraceListAndSlowViews(t *testing.T) {
+	c, srv := startServer(t, "", false)
+	id := loadPair(t, c)
+	if _, err := c.Match(id, 0.1); err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	traces, err := c.Traces(50)
+	if err != nil {
+		t.Fatalf("Traces: %v", err)
+	}
+	var sawMatch bool
+	for _, tr := range traces {
+		if tr.Root == "match.run" {
+			sawMatch = true
+		}
+	}
+	if !sawMatch {
+		t.Errorf("recent traces missing the match request: %d traces", len(traces))
+	}
+	// Everything completed is "slow" at threshold 0; nothing at 1h.
+	slow, err := c.SlowTraces(time.Nanosecond, 0)
+	if err != nil || len(slow) == 0 {
+		t.Fatalf("SlowTraces(1ns) = %d traces, err %v", len(slow), err)
+	}
+	slow, err = c.SlowTraces(time.Hour, 0)
+	if err != nil || len(slow) != 0 {
+		t.Fatalf("SlowTraces(1h) = %d traces, err %v", len(slow), err)
+	}
+	if srv.Traces().Len() == 0 {
+		t.Error("server trace store empty")
+	}
+}
+
+// TestConcurrentTracedRequests drives mixed traced traffic from many
+// goroutines; under -race this guards the span/store synchronization.
+func TestConcurrentTracedRequests(t *testing.T) {
+	c, _ := startServer(t, t.TempDir(), true)
+	id := loadPair(t, c)
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine gets its own client: the shared one guards
+			// lastTrace but the HTTP transport is already safe.
+			cc := clientFor(c)
+			for j := 0; j < 5; j++ {
+				if _, err := cc.Rematch(id, 0.1, nil, nil); err != nil {
+					t.Errorf("Rematch: %v", err)
+					return
+				}
+				if _, err := cc.Traces(5); err != nil {
+					t.Errorf("Traces: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

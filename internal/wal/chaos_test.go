@@ -16,6 +16,7 @@ package wal
 // committed state — the acceptance bar of the durable-service issue.
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -215,7 +216,7 @@ func TestKillAndReplayThroughManager(t *testing.T) {
 	}
 	bb := blackboard.NewFromGraph(s.Graph())
 	m := wbmgr.NewWith(bb)
-	m.SetCommitHook(func(_ string, ops []rdf.ChangeOp) error {
+	m.SetCommitHook(func(_ context.Context, _ string, ops []rdf.ChangeOp) error {
 		return s.AppendTxn(ops)
 	})
 

@@ -1,14 +1,17 @@
 package wal
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/rdf"
 )
 
@@ -243,6 +246,24 @@ func (s *Store) Dir() string { return s.dir }
 // empty ops slice is logged too (the commit still advances the txn id),
 // keeping the hook contract trivial for callers.
 func (s *Store) AppendTxn(ops []rdf.ChangeOp) error {
+	return s.AppendTxnContext(context.Background(), ops)
+}
+
+// AppendTxnContext is AppendTxn with request-trace propagation: when
+// ctx carries a span (the wbmgr transaction span on server requests),
+// the append and its fsync record as "wal.append"/"wal.fsync" child
+// spans, so a trace attributes durability latency separately from
+// matching and merging.
+func (s *Store) AppendTxnContext(ctx context.Context, ops []rdf.ChangeOp) (err error) {
+	sp, ctx := obs.StartSpan(ctx, "wal.append")
+	sp.SetAttr("ops", strconv.Itoa(len(ops)))
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+			logx.For("wal").Warn(ctx, "append failed", "err", err)
+		}
+		sp.End()
+	}()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -263,7 +284,11 @@ func (s *Store) AppendTxn(ops []rdf.ChangeOp) error {
 		}
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	if err := s.fsyncLocked(); err != nil {
+	fsp, _ := obs.StartSpan(ctx, "wal.fsync")
+	err = s.fsyncLocked()
+	fsp.SetError(err)
+	fsp.End()
+	if err != nil {
 		// The bytes may or may not have reached disk. The commit is going
 		// to fail and roll back, so the record must not survive either:
 		// truncate it away and re-sync best-effort.

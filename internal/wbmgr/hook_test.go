@@ -1,6 +1,7 @@
 package wbmgr
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func TestCommitHookSeesEffectiveOps(t *testing.T) {
 	var gotTool string
 	var gotOps []rdf.ChangeOp
 	calls := 0
-	m.SetCommitHook(func(tool string, ops []rdf.ChangeOp) error {
+	m.SetCommitHook(func(_ context.Context, tool string, ops []rdf.ChangeOp) error {
 		calls++
 		gotTool, gotOps = tool, ops
 		return nil
@@ -69,7 +70,7 @@ func TestCommitHookSeesEffectiveOps(t *testing.T) {
 // the commit atomically — graph restored, events dropped, manager free.
 func TestCommitHookVetoRollsBack(t *testing.T) {
 	m := New()
-	m.SetCommitHook(func(string, []rdf.ChangeOp) error {
+	m.SetCommitHook(func(context.Context, string, []rdf.ChangeOp) error {
 		return fmt.Errorf("disk full")
 	})
 	before := m.Blackboard().Graph().Clone()
@@ -109,7 +110,7 @@ func TestCommitHookVetoCountsHookFault(t *testing.T) {
 	m := New()
 	reg := obs.NewRegistry()
 	m.SetMetrics(reg)
-	m.SetCommitHook(func(string, []rdf.ChangeOp) error { return fmt.Errorf("no") })
+	m.SetCommitHook(func(context.Context, string, []rdf.ChangeOp) error { return fmt.Errorf("no") })
 	txn, err := m.Begin("loader")
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +128,7 @@ func TestCommitHookVetoCountsHookFault(t *testing.T) {
 func TestCommitHookSuccessOrder(t *testing.T) {
 	m := New()
 	hookDone := false
-	m.SetCommitHook(func(string, []rdf.ChangeOp) error {
+	m.SetCommitHook(func(context.Context, string, []rdf.ChangeOp) error {
 		hookDone = true
 		return nil
 	})
@@ -152,7 +153,7 @@ func TestCommitHookSuccessOrder(t *testing.T) {
 func TestCommitHookEmptyTxn(t *testing.T) {
 	m := New()
 	calls, opCount := 0, -1
-	m.SetCommitHook(func(_ string, ops []rdf.ChangeOp) error {
+	m.SetCommitHook(func(_ context.Context, _ string, ops []rdf.ChangeOp) error {
 		calls++
 		opCount = len(ops)
 		return nil

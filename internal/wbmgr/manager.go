@@ -8,6 +8,7 @@
 package wbmgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/blackboard"
 	"repro/internal/chaos"
 	"repro/internal/obs"
+	"repro/internal/obs/logx"
 	"repro/internal/rdf"
 )
 
@@ -232,13 +234,15 @@ func (m *Manager) reg() *obs.Registry {
 func (m *Manager) Blackboard() *blackboard.Blackboard { return m.bb }
 
 // CommitHook is called inside Txn.Commit, after the commit failpoint but
-// before the transaction is sealed, with the committing tool's name and
-// the transaction's effective mutations (the undo-journal entries since
-// Begin, in application order). A non-nil error vetoes the commit: the
-// whole transaction rolls back (cause=hook-fault) and no events fire.
-// The write-ahead log hangs off this hook — AppendTxn returns only once
-// the batch is fsynced, making "commit acknowledged" imply "durable".
-type CommitHook func(tool string, ops []rdf.ChangeOp) error
+// before the transaction is sealed, with the transaction's context (which
+// carries its trace span, so durability work joins the request trace),
+// the committing tool's name and the transaction's effective mutations
+// (the undo-journal entries since Begin, in application order). A
+// non-nil error vetoes the commit: the whole transaction rolls back
+// (cause=hook-fault) and no events fire. The write-ahead log hangs off
+// this hook — AppendTxn returns only once the batch is fsynced, making
+// "commit acknowledged" imply "durable".
+type CommitHook func(ctx context.Context, tool string, ops []rdf.ChangeOp) error
 
 // SetCommitHook installs h as the durability gate for every subsequent
 // commit (nil removes it). Call before serving traffic; the hook runs
@@ -483,7 +487,16 @@ type Txn struct {
 	tool  string
 	done  bool
 	began time.Time
+
+	// ctx carries the transaction's trace span (see BeginContext); span
+	// is that span, ended exactly once at commit or rollback.
+	ctx  context.Context
+	span *obs.Span
 }
+
+// Context returns the transaction's context: the caller's request
+// context with the transaction's trace span attached.
+func (t *Txn) Context() context.Context { return t.ctx }
 
 // ErrTxnActive is returned by Begin while another transaction is open.
 var ErrTxnActive = errors.New("wbmgr: transaction already active")
@@ -494,6 +507,15 @@ var ErrTxnActive = errors.New("wbmgr: transaction already active")
 // is an undo-log savepoint on the IB graph — O(changes) to abort, not
 // O(graph) to begin.
 func (m *Manager) Begin(tool string) (*Txn, error) {
+	return m.BeginContext(context.Background(), tool)
+}
+
+// BeginContext is Begin with request-trace propagation: when ctx carries
+// a span (a server request), the transaction opens a "wbmgr.txn" child
+// span — ended at commit or rollback, annotated with the tool name and
+// the rollback cause — and Txn.Context carries it, so the commit hook's
+// durability work (WAL append/fsync) records under it.
+func (m *Manager) BeginContext(ctx context.Context, tool string) (*Txn, error) {
 	if err := chaos.Inject(SiteBegin); err != nil {
 		return nil, err
 	}
@@ -506,7 +528,9 @@ func (m *Manager) Begin(tool string) (*Txn, error) {
 	m.sp = m.bb.Graph().Savepoint()
 	m.queued = nil
 	m.metrics.Counter(MetricTxnBegin).Inc()
-	return &Txn{m: m, tool: tool, began: time.Now()}, nil
+	span, sctx := obs.StartSpan(ctx, "wbmgr.txn")
+	span.SetAttr("txn", tool)
+	return &Txn{m: m, tool: tool, began: time.Now(), ctx: sctx, span: span}, nil
 }
 
 // Blackboard gives the transaction's view of the IB (the live one; the
@@ -561,7 +585,7 @@ func (t *Txn) Commit() (err error) {
 		// the hook while the savepoint is still open. A refusal (e.g. a
 		// failed WAL append or fsync) rolls the whole transaction back —
 		// an acknowledged commit is always on disk, a failed one never is.
-		if err := hook(t.tool, t.m.bb.Graph().ChangesSince(hookSp)); err != nil {
+		if err := hook(t.ctx, t.tool, t.m.bb.Graph().ChangesSince(hookSp)); err != nil {
 			t.rollback("hook-fault")
 			return fmt.Errorf("wbmgr: commit hook: %w", err)
 		}
@@ -578,6 +602,9 @@ func (t *Txn) Commit() (err error) {
 	t.m.queued = nil
 	t.m.mu.Unlock()
 	t.m.bb.Graph().Release(sp)
+	t.span.SetAttr("outcome", "commit")
+	t.span.End()
+	logx.For("wbmgr").Debug(t.ctx, "txn committed", "tool", t.tool, "events", len(queued))
 	reg.Counter(MetricTxnCommit).Inc()
 	reg.Histogram(MetricCommitDuration, nil).ObserveDuration(time.Since(t.began))
 	for _, e := range queued {
@@ -639,6 +666,9 @@ func (t *Txn) rollback(cause string) bool {
 	// Rollback bypasses the blackboard's mutation path; re-sync its
 	// snapshot gauges so they don't go stale.
 	m.bb.SyncMetrics()
+	t.span.SetAttr("outcome", cause)
+	t.span.End()
+	logx.For("wbmgr").Debug(t.ctx, "txn rolled back", "tool", t.tool, "cause", cause)
 	reg.Counter(MetricTxnRollbacks, "cause", cause).Inc()
 	return true
 }

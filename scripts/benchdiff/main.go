@@ -1,16 +1,19 @@
-// Command benchdiff compares two BENCH_*.json files produced by
-// `benchreport -bench-json` and exits non-zero when the current run has
-// regressed past the tolerance.
+// Command benchdiff compares two BENCH_*.json files and exits non-zero
+// when the current run has regressed past the tolerance.
 //
 // Usage:
 //
 //	go run ./scripts/benchdiff [-tolerance 0.2] baseline.json current.json
 //
-// Only dimensionless columns are gated — the speedup ratios and the
-// cache hit ratio — because wall-clock milliseconds are machine-
-// dependent and would make the committed baseline meaningless on any
-// other host. A metric regresses when current < baseline*(1-tolerance).
-// Sizes present in only one file are reported but never fail the run,
+// The files' "benchmark" field selects the comparison: the
+// incremental-rematch matrix (from `benchreport -bench-json`) gates its
+// speedup ratios and cache hit ratio per size; the loadgen-sustained
+// report (from `workbench loadgen -out`) gates only ok_ratio. In both
+// cases only dimensionless columns are gated — wall-clock milliseconds
+// and throughput are machine-dependent and would make the committed
+// baseline meaningless on any other host; they are printed as context.
+// A metric regresses when current < baseline*(1-tolerance). Sizes (or
+// routes) present in only one file are reported but never fail the run,
 // so the benchmark matrix can grow without invalidating old baselines.
 package main
 
@@ -31,9 +34,27 @@ type benchRecord struct {
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
 }
 
+// routeStats mirrors internal/loadgen.RouteStats.
+type routeStats struct {
+	Route string  `json:"route"`
+	Count int     `json:"count"`
+	P50ms float64 `json:"p50_ms"`
+	P95ms float64 `json:"p95_ms"`
+	P99ms float64 `json:"p99_ms"`
+}
+
+// benchFile is the superset of both BENCH shapes; the "benchmark"
+// discriminator says which fields are live.
 type benchFile struct {
 	Benchmark string        `json:"benchmark"`
 	Sizes     []benchRecord `json:"sizes"`
+
+	// loadgen-sustained fields (internal/loadgen.Report).
+	Requests   int          `json:"requests"`
+	Errors     int          `json:"errors"`
+	OKRatio    float64      `json:"ok_ratio"`
+	TxnsPerSec float64      `json:"txns_per_sec"`
+	Routes     []routeStats `json:"routes"`
 }
 
 func load(path string) (benchFile, error) {
@@ -70,6 +91,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	var regressions int
+	switch base.Benchmark {
+	case "loadgen-sustained":
+		regressions = diffLoadgen(base, cur, *tolerance)
+	default:
+		regressions = diffSizes(base, cur, *tolerance)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no regressions")
+}
+
+// diffSizes gates the incremental-rematch matrix: four dimensionless
+// ratios per size.
+func diffSizes(base, cur benchFile, tolerance float64) int {
 	baseByName := map[string]benchRecord{}
 	for _, r := range base.Sizes {
 		baseByName[r.Name] = r
@@ -92,7 +130,7 @@ func main() {
 			{"cache_hit_ratio", b.CacheHitRatio, c.CacheHitRatio},
 		} {
 			status := "ok"
-			if m.new_ < m.old*(1-*tolerance) {
+			if m.new_ < m.old*(1-tolerance) {
 				status = "REGRESSED"
 				regressions++
 			}
@@ -102,9 +140,39 @@ func main() {
 	for name := range baseByName {
 		fmt.Printf("%-10s dropped from current run — skipped\n", name)
 	}
-	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, 100**tolerance)
-		os.Exit(1)
+	return regressions
+}
+
+// diffLoadgen gates the sustained-load report. Only ok_ratio is gated:
+// it is the one column that does not depend on the host. Latencies and
+// throughput are printed side by side as context.
+func diffLoadgen(base, cur benchFile, tolerance float64) int {
+	regressions := 0
+	status := "ok"
+	if cur.OKRatio < base.OKRatio*(1-tolerance) {
+		status = "REGRESSED"
+		regressions++
 	}
-	fmt.Println("benchdiff: no regressions")
+	fmt.Printf("%-16s %8.4f -> %8.4f  %s\n", "ok_ratio", base.OKRatio, cur.OKRatio, status)
+	fmt.Printf("%-16s %8.1f -> %8.1f  context\n", "txns_per_sec", base.TxnsPerSec, cur.TxnsPerSec)
+	fmt.Printf("%-16s %8d -> %8d  context\n", "requests", base.Requests, cur.Requests)
+
+	baseByRoute := map[string]routeStats{}
+	for _, r := range base.Routes {
+		baseByRoute[r.Route] = r
+	}
+	for _, c := range cur.Routes {
+		b, ok := baseByRoute[c.Route]
+		if !ok {
+			fmt.Printf("%-16s new route, no baseline — context only\n", c.Route)
+			continue
+		}
+		delete(baseByRoute, c.Route)
+		fmt.Printf("%-16s p50 %8.2f -> %8.2fms  p95 %8.2f -> %8.2fms  p99 %8.2f -> %8.2fms  context\n",
+			c.Route, b.P50ms, c.P50ms, b.P95ms, c.P95ms, b.P99ms, c.P99ms)
+	}
+	for route := range baseByRoute {
+		fmt.Printf("%-16s dropped from current run — skipped\n", route)
+	}
+	return regressions
 }
