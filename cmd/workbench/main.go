@@ -22,6 +22,7 @@
 //	workbench query '<pattern lines>' v1 v2       ad hoc IB query
 //	workbench metrics                        dump obs metrics for this blackboard
 //	workbench sim [tools] [ops]              chaos-simulate a workbench in memory
+//	workbench registry-match [flags]         registry-scale matching quality/speed harness
 //	workbench serve                          serve the durable workbench service
 //	workbench fsck                           check blackboard/WAL integrity
 //	workbench events [after [timeout]]       long-poll the service event feed (-remote)
@@ -78,6 +79,7 @@ import (
 	"repro/internal/mapgen"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/regmatch"
 	"repro/internal/server"
 	"repro/internal/wal"
 	"repro/internal/wbmgr"
@@ -140,6 +142,16 @@ func run(argv []string) int {
 
 	if cmd == "sim" {
 		return runSim(o.chaosSeed, o.chaosSites, rest)
+	}
+	if cmd == "registry-match" {
+		if err := runRegistryMatch(rest); err != nil {
+			if ue, ok := err.(usageError); ok {
+				fmt.Fprintln(os.Stderr, ue.Error())
+				return 2
+			}
+			return report(err)
+		}
+		return 0
 	}
 	if o.chaosSites != "" {
 		rules, err := chaos.ParseSpec(o.chaosSites)
@@ -764,6 +776,60 @@ func loadSchema(path string) (*model.Schema, error) {
 	}
 }
 
+// runRegistryMatch runs the registry-scale matching harness in memory —
+// like sim, it never touches the state file. It prints the quality /
+// scaling tables and optionally writes the BENCH_7.json report.
+func runRegistryMatch(rest []string) error {
+	fs := flag.NewFlagSet("registry-match", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	scale := fs.Float64("scale", 0.02, "registry scale factor for the ranking sweep")
+	seed := fs.Int64("seed", 42, "generator / perturbation seed")
+	k := fs.Int("k", 10, "recall@K cut for the element ranking")
+	queries := fs.Int("queries", 8, "schema-ranking queries")
+	sizesFlag := fs.String("sizes", "", "comma-separated per-side element counts for the scaling curve (default 600,2000,10000)")
+	denseMax := fs.Int("dense-max", 2000, "largest size whose dense baseline is measured (larger ones are extrapolated)")
+	noBlocking := fs.Bool("no-blocking", false, "ablation: run everything dense")
+	par := fs.Int("par", 0, "engine parallelism (0 = GOMAXPROCS)")
+	out := fs.String("out", "", "also write the JSON report (BENCH_7.json shape) to this file")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"registry-match [-scale f] [-seed n] [-k n] [-queries n] [-sizes a,b,c] [-dense-max n] [-no-blocking] [-par n] [-out file]"}
+	}
+	cfg := regmatch.Config{
+		Scale:       *scale,
+		Seed:        *seed,
+		K:           *k,
+		Queries:     *queries,
+		DenseMax:    *denseMax,
+		NoBlocking:  *noBlocking,
+		Parallelism: *par,
+	}
+	if *sizesFlag != "" {
+		for _, part := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("registry-match: bad -sizes entry %q: %w", part, err)
+			}
+			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	rep, err := regmatch.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if *out != "" {
+		data, err := rep.WriteJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	return nil
+}
+
 // runSim executes the in-memory chaos workload simulator. It never
 // touches the state file: the simulated blackboard lives and dies in
 // this process. Positional args override the worker/op counts.
@@ -793,7 +859,8 @@ func runSim(seed int64, spec string, rest []string) int {
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, serve, fsck, events, snapshot, trace, loadgen
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, trace, loadgen
 serve flags: -addr host:port -data-dir dir -pprof
-loadgen flags: -workers n -duration d -seed n -threshold f -out file (requires -remote)`)
+loadgen flags: -workers n -duration d -seed n -threshold f -out file (requires -remote)
+registry-match flags: -scale f -seed n -k n -queries n -sizes a,b,c -dense-max n -no-blocking -par n -out file`)
 }

@@ -139,17 +139,27 @@ func assertBitIdentical(t *testing.T, label string, want, got *match.Matrix) {
 			t.Fatalf("%s: target order differs at %d: %s vs %s", label, j, want.Targets[j].ID, got.Targets[j].ID)
 		}
 	}
-	for i := range want.Scores {
-		for j := range want.Scores[i] {
-			if math.Float64bits(want.Scores[i][j]) != math.Float64bits(got.Scores[i][j]) {
+	if want.Sparse() != got.Sparse() {
+		t.Fatalf("%s: storage mode differs: sparse %t vs %t", label, want.Sparse(), got.Sparse())
+	}
+	if want.Sparse() && !want.CandidatePattern().Equal(got.CandidatePattern()) {
+		t.Fatalf("%s: candidate patterns differ (nnz %d vs %d)", label,
+			want.CandidatePattern().NNZ(), got.CandidatePattern().NNZ())
+	}
+	// At() reads dense cells, pattern cells and the extra-overflow pins
+	// alike, so one sweep covers both storage modes over the full cross
+	// product.
+	for i := range want.Sources {
+		for j := range want.Targets {
+			if math.Float64bits(want.At(i, j)) != math.Float64bits(got.At(i, j)) {
 				t.Fatalf("%s: cell (%s, %s): cold %v vs rematch %v", label,
-					want.Sources[i].ID, want.Targets[j].ID, want.Scores[i][j], got.Scores[i][j])
+					want.Sources[i].ID, want.Targets[j].ID, want.At(i, j), got.At(i, j))
 			}
 		}
 	}
 }
 
-func TestDifferentialRematchEqualsColdRun(t *testing.T) {
+func runDifferentialScript(t *testing.T, blocking match.BlockingOptions) {
 	sizes := []struct {
 		name                        string
 		entities, attributes, codes int
@@ -172,6 +182,7 @@ func TestDifferentialRematchEqualsColdRun(t *testing.T) {
 						Parallelism: par,
 						Metrics:     obs.NewRegistry(),
 						Cache:       cache,
+						Blocking:    blocking,
 					})
 					live.Run()
 
@@ -183,6 +194,7 @@ func TestDifferentialRematchEqualsColdRun(t *testing.T) {
 							Flooding:    true,
 							Parallelism: par,
 							Metrics:     obs.NewRegistry(),
+							Blocking:    blocking,
 						})
 						replayDecisions(live, cold)
 						cold.Run()
@@ -196,6 +208,18 @@ func TestDifferentialRematchEqualsColdRun(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestDifferentialRematchEqualsColdRun(t *testing.T) {
+	runDifferentialScript(t, match.BlockingOptions{})
+}
+
+// TestDifferentialRematchEqualsColdRunBlocking replays the same edit
+// scripts with blocking on: every matrix is sparse over the candidate
+// pattern, the pattern drifts as names change, and Rematch must still be
+// bit-identical — pattern and values — to a cold sparse run.
+func TestDifferentialRematchEqualsColdRunBlocking(t *testing.T) {
+	runDifferentialScript(t, match.BlockingOptions{Enabled: true, PerSourceK: 8})
 }
 
 // TestRematchWithReplacedSchemas proves the server path: the engine

@@ -46,6 +46,12 @@ type Options struct {
 	// Metrics receives engine instrumentation (stage histograms, run
 	// counter); nil means the process-wide obs.Default() registry.
 	Metrics *obs.Registry
+	// Blocking configures candidate generation (DESIGN.md §14). When
+	// enabled, a blocking index prunes the source×target cross product to
+	// a per-source top-K candidate pattern before any voter runs, and
+	// every pipeline matrix is stored sparsely over that pattern. Off (the
+	// zero value), the pipeline is bit-identical to the dense engine.
+	Blocking match.BlockingOptions
 	// Parallelism bounds the worker pool the pipeline fans out to: the
 	// voter panel runs one goroutine per voter, each voter's pair sweep
 	// and the flooding rounds shard matrix rows across the pool.
@@ -76,6 +82,7 @@ type Engine struct {
 	merger      *match.Merger
 	flooding    bool
 	floodOpt    match.FloodOptions
+	blocking    match.BlockingOptions
 	metrics     *obs.Registry
 	parallelism int
 
@@ -131,6 +138,7 @@ func NewEngine(source, target *model.Schema, opts Options) *Engine {
 		merger:      match.NewMerger(),
 		flooding:    opts.Flooding,
 		floodOpt:    floodOpt,
+		blocking:    opts.Blocking,
 		metrics:     metrics,
 		parallelism: opts.Parallelism,
 		ctxOpts:     ctxOpts,
@@ -210,6 +218,12 @@ func (e *Engine) RunContext(ctx context.Context) []StageTiming {
 	if useCache {
 		fp = e.cacheFingerprint()
 	}
+
+	// Blocking: build (or cache-fetch) the candidate pattern before any
+	// voter runs; every matrix the pipeline allocates from here on is
+	// sparse over it. A disabled blocking stage emits no span, keeping
+	// dense -timings output identical to the pre-blocking engine.
+	e.installCandidates(ctx, tr, snap.srcHash, snap.tgtHash, fp, useCache)
 
 	// Voter panel: one goroutine per voter, bounded by the worker pool,
 	// results collected positionally so lastVotes order — and therefore
@@ -303,6 +317,32 @@ func (e *Engine) RunContext(ctx context.Context) []StageTiming {
 	return e.orderedTimings(tr)
 }
 
+// installCandidates builds (or cache-fetches) the blocking pattern over
+// the engine's current context and installs it, so ctx.NewMatrix()
+// allocates sparsely. No-op when blocking is off. The pattern is a
+// deterministic function of the schema pair and the options fingerprint,
+// so it shares the content-addressed cache discipline of the matrices
+// computed over it.
+func (e *Engine) installCandidates(ctx context.Context, tr *obs.Tracer, srcHash, tgtHash, fp string, useCache bool) {
+	if !e.blocking.Enabled {
+		return
+	}
+	sp := tr.Start("blocking")
+	defer sp.End()
+	if useCache {
+		key := patternCacheKey(srcHash, tgtHash, fp)
+		if got, ok := e.cache.GetTraced(obs.ContextWithSpan(ctx, sp), key); ok {
+			e.ctx.SetCandidates(got.(*match.Pattern))
+			return
+		}
+		pat := match.BuildCandidates(e.ctx, e.blocking)
+		e.cache.Put(key, pat, pat.Bytes())
+		e.ctx.SetCandidates(pat)
+		return
+	}
+	e.ctx.SetCandidates(match.BuildCandidates(e.ctx, e.blocking))
+}
+
 // applyPins writes every user decision into m as a pinned ±1.
 func (e *Engine) applyPins(m *match.Matrix) {
 	for k, d := range e.decisions {
@@ -318,9 +358,10 @@ func (e *Engine) applyPins(m *match.Matrix) {
 // pipeline order (panel order, then merge/flooding/pin-decisions, with
 // Rematch's extra stages leading).
 func (e *Engine) orderedTimings(tr *obs.Tracer) []StageTiming {
-	rank := make(map[string]int, len(e.voters)+5)
-	rank["signatures"] = -2
-	rank["context"] = -1
+	rank := make(map[string]int, len(e.voters)+6)
+	rank["signatures"] = -3
+	rank["context"] = -2
+	rank["blocking"] = -1
 	for i, v := range e.voters {
 		rank["voter:"+v.Name()] = i
 	}

@@ -87,8 +87,8 @@ func (e *Engine) Links(v View) []Link {
 		rowBest := -2.0
 		if v.MaxConfidence {
 			for j := range m.Targets {
-				if enabledTgt[j] && m.Scores[i][j] > rowBest {
-					rowBest = m.Scores[i][j]
+				if enabledTgt[j] && m.At(i, j) > rowBest {
+					rowBest = m.At(i, j)
 				}
 			}
 		}
@@ -96,11 +96,11 @@ func (e *Engine) Links(v View) []Link {
 			if !enabledTgt[j] {
 				continue
 			}
-			if v.MaxConfidence && m.Scores[i][j] < rowBest {
+			if v.MaxConfidence && m.At(i, j) < rowBest {
 				continue
 			}
 			l := Link{
-				Correspondence: match.Correspondence{Source: s, Target: t, Confidence: m.Scores[i][j]},
+				Correspondence: match.Correspondence{Source: s, Target: t, Confidence: m.At(i, j)},
 				UserDefined:    e.IsUserDefined(s.ID, t.ID),
 			}
 			if !linkPasses(l, v.LinkFilters) {

@@ -27,7 +27,7 @@ func (e *Engine) MarkSubtreeComplete(root *model.Element, visibleThreshold float
 			if e.IsUserDefined(s.ID, t.ID) {
 				continue // existing decisions stand
 			}
-			if m.Scores[i][j] >= visibleThreshold {
+			if m.At(i, j) >= visibleThreshold {
 				_ = e.Accept(s.ID, t.ID)
 			} else {
 				_ = e.Reject(s.ID, t.ID)

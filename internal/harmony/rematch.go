@@ -235,6 +235,15 @@ func (e *Engine) rematch(ctx context.Context, source, target *model.Schema, dirt
 		fp = e.cacheFingerprint()
 	}
 
+	// With blocking on, the edit may have moved candidates (a renamed
+	// element meets different index postings), so the pattern is rebuilt
+	// over the refreshed context before any voter patches. The patch
+	// kernels tolerate the drift cell by cell: a cell still in both
+	// patterns is copied positionally, a cell new to the pattern is
+	// recomputed (bit-identical to a cold run, its inputs being clean),
+	// and a cell that left the pattern simply drops.
+	e.installCandidates(ctx, tr, srcHash, tgtHash, fp, useCache)
+
 	// Voter panel: patch each voter against its previous vote; the
 	// corpus-sensitive documentation voter re-votes fully when any
 	// document changed (IDF is global). Same fan-out discipline as Run.
@@ -469,6 +478,10 @@ func (e *Engine) cacheFingerprint() string {
 	}
 	fmt.Fprintf(h, "flood=%t,%d,%x,%x;stem=%t;", e.flooding,
 		e.floodOpt.Iterations, e.floodOpt.UpWeight, e.floodOpt.DownWeight, e.ctx.Stem)
+	if e.blocking.Enabled {
+		fmt.Fprintf(h, "blk=%d,%d,%x,%t;", e.blocking.PerSourceK,
+			e.blocking.QGramSize, e.blocking.MaxPostingFrac, e.blocking.NoParentClosure)
+	}
 	if th := e.ctx.Thesaurus; th != nil {
 		fmt.Fprintf(h, "th=%d;", th.Len())
 	}
@@ -482,4 +495,8 @@ func voterCacheKey(srcHash, tgtHash, fp, voter string) string {
 
 func mergedCacheKey(srcHash, tgtHash, fp string, mergerSig uint64) string {
 	return "m|" + srcHash + "|" + tgtHash + "|" + fp + "|" + strconv.FormatUint(mergerSig, 16)
+}
+
+func patternCacheKey(srcHash, tgtHash, fp string) string {
+	return "p|" + srcHash + "|" + tgtHash + "|" + fp
 }

@@ -1,5 +1,7 @@
 package lingo
 
+import "unicode/utf8"
+
 // String-similarity primitives used by the name-based match voters.
 
 // Levenshtein returns the edit distance between a and b (unit costs).
@@ -143,7 +145,9 @@ func NGrams(s string, n int) map[string]int {
 	if n <= 0 {
 		return nil
 	}
-	pad := make([]rune, 0, len(s)+2*(n-1))
+	// Capacity in runes, not bytes: len(s) over-sizes the buffer for any
+	// multi-byte name, and the gram loop below is rune-indexed anyway.
+	pad := make([]rune, 0, utf8.RuneCountInString(s)+2*(n-1))
 	for i := 0; i < n-1; i++ {
 		pad = append(pad, '#')
 	}

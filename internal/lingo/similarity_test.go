@@ -113,6 +113,69 @@ func TestNGrams(t *testing.T) {
 	}
 }
 
+func TestNGramsNonASCII(t *testing.T) {
+	// Regression for the byte-vs-rune confusion family (PR 2's
+	// containmentSim bug): grams must be built over runes, so a
+	// multi-byte name yields runeCount+n-1 gram positions, each n runes
+	// long — never split mid-codepoint.
+	for _, tc := range []struct {
+		s string
+		n int
+	}{
+		{"müller", 3},
+		{"日付", 3},
+		{"numéro", 2},
+		{"日本語スキーマ", 3},
+	} {
+		g := NGrams(tc.s, tc.n)
+		positions := 0
+		for gram, count := range g {
+			if got := len([]rune(gram)); got != tc.n {
+				t.Errorf("NGrams(%q,%d): gram %q has %d runes", tc.s, tc.n, gram, got)
+			}
+			positions += count
+		}
+		want := len([]rune(tc.s)) + tc.n - 1
+		if positions != want {
+			t.Errorf("NGrams(%q,%d): %d gram positions, want %d", tc.s, tc.n, positions, want)
+		}
+	}
+}
+
+func TestTrigramSimilarityNonASCII(t *testing.T) {
+	for _, s := range []string{"müller", "日付データ", "crédit"} {
+		if got := TrigramSimilarity(s, s); got != 1 {
+			t.Errorf("TrigramSimilarity(%q,%q) = %g, want 1", s, s, got)
+		}
+	}
+	// Shared non-ASCII substring must register as similarity, and the
+	// measure must be symmetric.
+	a, b := "numéro", "numérotation"
+	s1, s2 := TrigramSimilarity(a, b), TrigramSimilarity(b, a)
+	if s1 <= 0 || s1 >= 1 {
+		t.Errorf("TrigramSimilarity(%q,%q) = %g, want in (0,1)", a, b, s1)
+	}
+	if s1 != s2 {
+		t.Errorf("asymmetric: %g vs %g", s1, s2)
+	}
+}
+
+func TestJaroWinklerNonASCII(t *testing.T) {
+	for _, s := range []string{"müller", "日付", "crédit"} {
+		if got := JaroWinkler(s, s); got != 1 {
+			t.Errorf("JaroWinkler(%q,%q) = %g, want 1", s, s, got)
+		}
+	}
+	a, b := "müller", "mueller"
+	s1, s2 := JaroWinkler(a, b), JaroWinkler(b, a)
+	if s1 <= 0 || s1 >= 1 {
+		t.Errorf("JaroWinkler(%q,%q) = %g, want in (0,1)", a, b, s1)
+	}
+	if s1 != s2 {
+		t.Errorf("asymmetric: %g vs %g", s1, s2)
+	}
+}
+
 func TestTrigramSimilarity(t *testing.T) {
 	if TrigramSimilarity("night", "night") != 1 {
 		t.Error("identical should be 1")

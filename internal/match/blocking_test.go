@@ -1,0 +1,133 @@
+package match
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/registry"
+)
+
+// blockingFixture builds a ~2000-element registry model and its
+// perturbed copy — the same sizing regmatch.SizedPair uses for the
+// BENCH_7 2000elem point — plus the ground truth mapping. Built once:
+// the corpus is deterministic and the tests only read it.
+var blockingFix struct {
+	once sync.Once
+	ctx  *Context
+	gt   *registry.GroundTruth
+}
+
+func blockingFixture(t *testing.T) (*Context, *registry.GroundTruth) {
+	t.Helper()
+	blockingFix.once.Do(func() {
+		const n = 2000
+		cfg := registry.DefaultConfig()
+		cfg.Seed = 42
+		cfg.Models = 1
+		cfg.ElementsTotal = n * 8 / 100
+		cfg.AttributesTotal = n - cfg.ElementsTotal
+		cfg.DomainValuesTotal = n
+		src := registry.Generate(cfg).Models[0]
+		pcfg := registry.DefaultPerturb()
+		pcfg.Seed = 43
+		tgt, gt := registry.Perturb(src, pcfg)
+		blockingFix.ctx = NewContext(src, tgt)
+		blockingFix.gt = gt
+	})
+	return blockingFix.ctx, blockingFix.gt
+}
+
+func TestBuildCandidatesRecallAndDensity(t *testing.T) {
+	// The acceptance bar for the blocking index: on a realistically
+	// perturbed pair (renames, doc paraphrases, drops) the candidate
+	// pattern must keep >= 95% of the true pairs while storing < 5% of
+	// the cross product. If this fails, BENCH_7's recall@k is capped
+	// before a single voter runs.
+	ctx, gt := blockingFixture(t)
+	pat := BuildCandidates(ctx, BlockingOptions{Enabled: true})
+
+	srcs := ctx.Source.Elements()
+	tgts := ctx.Target.Elements()
+	if len(srcs) < 1500 {
+		t.Fatalf("fixture too small (%d source elements) to exercise registry-scale blocking", len(srcs))
+	}
+	srcIdx := make(map[string]int, len(srcs))
+	for i, e := range srcs {
+		srcIdx[e.ID] = i
+	}
+	tgtIdx := make(map[string]int, len(tgts))
+	for j, e := range tgts {
+		tgtIdx[e.ID] = j
+	}
+	hits, total := 0, 0
+	for sid, tid := range gt.Pairs {
+		i, ok1 := srcIdx[sid]
+		j, ok2 := tgtIdx[tid]
+		if !ok1 || !ok2 {
+			continue
+		}
+		total++
+		if pat.Contains(i, j) {
+			hits++
+		}
+	}
+	if total == 0 {
+		t.Fatal("ground truth empty")
+	}
+	recall := float64(hits) / float64(total)
+	density := float64(pat.NNZ()) / float64(len(srcs)*len(tgts))
+	t.Logf("pattern recall %.4f (%d/%d), density %.4f", recall, hits, total, density)
+	if recall < 0.95 {
+		t.Errorf("pattern recall %.4f < 0.95", recall)
+	}
+	if density >= 0.05 {
+		t.Errorf("pattern density %.4f >= 0.05", density)
+	}
+}
+
+func TestBuildCandidatesDeterministic(t *testing.T) {
+	ctx, _ := blockingFixture(t)
+	a := BuildCandidates(ctx, BlockingOptions{Enabled: true})
+	// A fresh context over the same schemas must produce the same
+	// pattern: postings iterate in sorted term order and ties break by
+	// column, so nothing depends on map iteration order.
+	b := BuildCandidates(NewContext(ctx.Source, ctx.Target), BlockingOptions{Enabled: true})
+	if !a.Equal(b) {
+		t.Fatal("BuildCandidates not deterministic across runs")
+	}
+}
+
+func TestBuildCandidatesParentClosure(t *testing.T) {
+	ctx, _ := blockingFixture(t)
+	pat := BuildCandidates(ctx, BlockingOptions{Enabled: true})
+	srcs := ctx.Source.Elements()
+	tgts := ctx.Target.Elements()
+	srcIdx := make(map[string]int, len(srcs))
+	for i, e := range srcs {
+		srcIdx[e.ID] = i
+	}
+	tgtIdx := make(map[string]int, len(tgts))
+	for j, e := range tgts {
+		tgtIdx[e.ID] = j
+	}
+	// Closure invariant: for every surviving pair whose elements both
+	// have non-schema parents, the parent pair is also in the pattern.
+	for i, cols := range pat.Rows {
+		for _, j := range cols {
+			ps, pt := srcs[i].Parent(), tgts[j].Parent()
+			if ps == nil || pt == nil || ps.Kind == model.KindSchema || pt.Kind == model.KindSchema {
+				continue
+			}
+			pi, ok1 := srcIdx[ps.ID]
+			pj, ok2 := tgtIdx[pt.ID]
+			if !ok1 || !ok2 {
+				continue
+			}
+			if !pat.Contains(pi, pj) {
+				t.Fatalf("pair (%s,%s) survives but parent pair (%s,%s) missing from pattern",
+					srcs[i].ID, tgts[j].ID, ps.ID, pt.ID)
+			}
+		}
+	}
+}

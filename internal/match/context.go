@@ -34,6 +34,12 @@ type Context struct {
 	// (forEachPair) fan out to: 0 = GOMAXPROCS, 1 = sequential, n = n.
 	// Results are bit-identical at any setting.
 	Parallelism int
+	// candidates is the blocking pattern the voter sweeps restrict
+	// themselves to; nil means dense (score every pair). Set via
+	// SetCandidates after running BuildCandidates. The pattern indexes
+	// the schemata's current Elements() order, so the owner must rebuild
+	// it (or clear it) after any structural edit.
+	candidates *Pattern
 
 	nameTokens map[*model.Element][]string
 	// nameTokensRaw holds unstemmed name tokens; the thesaurus voter
@@ -237,6 +243,24 @@ func tokensEqual(a, b []string) bool {
 		}
 	}
 	return true
+}
+
+// SetCandidates installs (or, with nil, clears) the blocking pattern
+// that NewMatrix hands to every voter. Not safe to call concurrently
+// with a running voter panel.
+func (c *Context) SetCandidates(p *Pattern) { c.candidates = p }
+
+// Candidates returns the installed blocking pattern (nil = dense).
+func (c *Context) Candidates() *Pattern { return c.candidates }
+
+// NewMatrix allocates the zero matrix a voter should fill: sparse over
+// the blocking pattern when one is installed, the full dense cross
+// product otherwise.
+func (c *Context) NewMatrix() *Matrix {
+	if c.candidates != nil {
+		return NewSparseMatrix(c.Source.Elements(), c.Target.Elements(), c.candidates)
+	}
+	return MatrixOver(c.Source, c.Target)
 }
 
 // Workers resolves the context's Parallelism to a concrete worker count.

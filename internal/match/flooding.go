@@ -116,15 +116,33 @@ func harmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions, re
 		}
 	}
 	for it := 0; it < opts.Iterations; it++ {
-		next := NewMatrix(m.Sources, m.Targets)
+		next := NewMatrixLike(m)
 		// floodCell reads only the frozen round-start matrix m and each
 		// goroutine owns disjoint rows of next, so sharding is race-free.
-		shardRows(workers, len(m.Sources), func(i int) {
-			s := m.Sources[i]
-			for j, t := range m.Targets {
-				next.Scores[i][j] = floodCell(m, s, t, i, j, opts)
-			}
-		})
+		if m.Sparse() {
+			// Sparse sweep: only the pattern's cells propagate. The
+			// structural reads inside floodCell (children pairs, parent
+			// pair) go through Get/At, which treats pruned pairs as 0 —
+			// the parent closure in BuildCandidates keeps the cells
+			// flooding actually needs inside the pattern.
+			cur := m
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := cur.Sources[i]
+				for k, j := range cur.pat.Rows[i] {
+					t := cur.Targets[j]
+					next.vals[i][k] = floodCell(cur, s, t, i, int(j), cur.vals[i][k], opts)
+				}
+			})
+		} else {
+			cur := m
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := cur.Sources[i]
+				row := cur.Scores[i]
+				for j, t := range cur.Targets {
+					next.Scores[i][j] = floodCell(cur, s, t, i, j, row[j], opts)
+				}
+			})
+		}
 		m = next
 		if record {
 			st.Rounds = append(st.Rounds, next.Clone())
@@ -134,20 +152,22 @@ func harmonyFlood(m *Matrix, source, target *model.Schema, opts FloodOptions, re
 }
 
 // floodCell computes one cell of the next flooding round from the frozen
-// round-start matrix m. This single kernel serves both the full sweep
-// and the incremental patch, which is what makes warm-started results
-// bit-identical to cold runs: both paths run the exact same float64
-// operations in the exact same order for every recomputed cell.
+// round-start matrix m; v0 is that cell's round-start value (passed in so
+// sparse sweeps avoid a per-cell pattern lookup). This single kernel
+// serves both the full sweep and the incremental patch, which is what
+// makes warm-started results bit-identical to cold runs: both paths run
+// the exact same float64 operations in the exact same order for every
+// recomputed cell.
 //
 // The overwrite order mirrors the original two-sweep formulation: the
 // up-propagation result is discarded when down-propagation also fires
 // (both blend from the round-start value), and the clamp applies last.
-func floodCell(m *Matrix, s, t *model.Element, i, j int, opts FloodOptions) float64 {
-	v := m.Scores[i][j]
+func floodCell(m *Matrix, s, t *model.Element, i, j int, v0 float64, opts FloodOptions) float64 {
+	v := v0
 	if opts.UpWeight > 0 && !s.IsLeaf() && !t.IsLeaf() && kindCompatible(s, t) {
 		// Up: children lift parents.
 		if lift := childLift(m, s, t); lift > 0 {
-			v = blend(m.Scores[i][j], lift, opts.UpWeight)
+			v = blend(v0, lift, opts.UpWeight)
 		}
 	}
 	if opts.DownWeight > 0 {
@@ -155,7 +175,7 @@ func floodCell(m *Matrix, s, t *model.Element, i, j int, opts FloodOptions) floa
 		ps, pt := s.Parent(), t.Parent()
 		if ps != nil && ps.Kind != model.KindSchema && pt != nil && pt.Kind != model.KindSchema {
 			if parentScore := m.Get(ps.ID, pt.ID); parentScore < 0 {
-				v = blend(m.Scores[i][j], parentScore, opts.DownWeight)
+				v = blend(v0, parentScore, opts.DownWeight)
 			}
 		}
 	}
@@ -203,6 +223,9 @@ func blend(cur, val, w float64) float64 {
 // Scores here live in [0,1]; the caller rescales to (-1,+1) when mixing
 // with Harmony confidences. The initial matrix should also be in [0,1].
 func MelnikFlood(init *Matrix, source, target *model.Schema, maxIter int, epsilon float64) *Matrix {
+	// The fixpoint iteration normalises over every cell, so it is
+	// inherently dense; a sparse input is materialised first.
+	init = init.ToDense()
 	if maxIter <= 0 {
 		maxIter = 50
 	}

@@ -41,7 +41,7 @@ type CorpusSensitive interface {
 
 // voteAll is the shared full-sweep body of every built-in voter.
 func voteAll(ctx *Context, score scoreFunc) *Matrix {
-	m := MatrixOver(ctx.Source, ctx.Target)
+	m := ctx.NewMatrix()
 	forEachPair(ctx, m, score)
 	return m
 }
@@ -51,12 +51,49 @@ func voteAll(ctx *Context, score scoreFunc) *Matrix {
 // prev. The recompute branch duplicates forEachPair's pair logic —
 // including the firm -0.75 for kind-incompatible pairs — so a patched
 // cell is bit-identical to its full-sweep value.
+//
+// In sparse mode the copy branch additionally requires the cell to be
+// present in prev's pattern: a cell new to the current pattern has no
+// previous value and is recomputed, which is exactly what a cold sparse
+// run would compute for it (both sides are clean, so the scorer reads
+// identical context state). A storage-mode flip between runs (blocking
+// toggled) degrades to a full sweep.
 func votePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt map[string]bool, score scoreFunc) *Matrix {
 	if prev == nil {
 		return voteAll(ctx, score)
 	}
-	m := MatrixOver(ctx.Source, ctx.Target)
+	m := ctx.NewMatrix()
+	if m.Sparse() != prev.Sparse() {
+		forEachPair(ctx, m, score)
+		return m
+	}
 	oldCol := alignIndices(m.Targets, prev.TargetIndex)
+	if m.Sparse() {
+		pat := m.pat
+		shardRows(ctx.Workers(), len(m.Sources), func(i int) {
+			s := m.Sources[i]
+			vals := m.vals[i]
+			oi := prev.SourceIndex(s.ID)
+			rowClean := oi >= 0 && !dirtySrc[s.ID]
+			for k, j := range pat.Rows[i] {
+				t := m.Targets[j]
+				if rowClean {
+					if oj := oldCol[j]; oj >= 0 && !dirtyTgt[t.ID] {
+						if op := prev.pat.pos(oi, int32(oj)); op >= 0 {
+							vals[k] = prev.vals[oi][op]
+							continue
+						}
+					}
+				}
+				if !kindCompatible(s, t) {
+					vals[k] = -0.75
+					continue
+				}
+				vals[k] = score(s, t)
+			}
+		})
+		return m
+	}
 	shardRows(ctx.Workers(), len(m.Sources), func(i int) {
 		s := m.Sources[i]
 		row := m.Scores[i]
@@ -116,11 +153,16 @@ func ExpandDirty(sch *model.Schema, dirty map[string]bool) map[string]bool {
 
 // MatrixBytes estimates a matrix's resident size for cache accounting:
 // the score payload plus per-row slice headers and the two index maps.
+// Sparse matrices charge their stored cells and their share of the
+// (immutable, run-shared) pattern instead of the cross product.
 func MatrixBytes(m *Matrix) int64 {
 	if m == nil {
 		return 0
 	}
 	r, c := int64(len(m.Sources)), int64(len(m.Targets))
+	if m.Sparse() {
+		return int64(m.NNZ())*8 + m.pat.Bytes() + int64(len(m.extra))*24 + (r+c)*64 + 256
+	}
 	return r*c*8 + (r+c)*64 + 256
 }
 
@@ -144,6 +186,18 @@ func HarmonyFloodPatch(prev *FloodState, merged *Matrix, source, target *model.S
 	if prev == nil || len(prev.Rounds) != opts.Iterations+1 ||
 		prev.Iterations != opts.Iterations ||
 		prev.UpWeight != opts.UpWeight || prev.DownWeight != opts.DownWeight {
+		return nil, nil, false
+	}
+	if len(prev.Rounds) > 0 && prev.Rounds[0].Sparse() != merged.Sparse() {
+		return nil, nil, false // blocking toggled between runs
+	}
+	if merged.Sparse() && !prev.Rounds[0].CandidatePattern().Equal(merged.CandidatePattern()) {
+		// Flooding is the one stage with cross-cell reads: a cell's value
+		// depends on which of its structural neighbors exist in the
+		// pattern. An edit that reshuffles any row's top-K therefore moves
+		// flood values in rows the dirty-set closure cannot see, so a
+		// drifted pattern forfeits the warm start entirely. (Voter and
+		// merge patches stay safe — they are strictly per-cell.)
 		return nil, nil, false
 	}
 	workers := ResolveWorkers(opts.Parallelism)
@@ -175,19 +229,46 @@ func HarmonyFloodPatch(prev *FloodState, merged *Matrix, source, target *model.S
 		R = expandFloodSet(R, source)
 		C = expandFloodSet(C, target)
 		prevRound := prev.Rounds[it+1]
-		next := NewMatrix(m.Sources, m.Targets)
-		shardRows(workers, len(m.Sources), func(i int) {
-			s := m.Sources[i]
-			rowDirty := R[s.ID]
-			oi := oldRow[i]
-			for j, t := range m.Targets {
-				if !rowDirty && !C[t.ID] {
-					next.Scores[i][j] = prevRound.Scores[oi][oldCol[j]]
-					continue
+		next := NewMatrixLike(m)
+		if m.Sparse() {
+			// Sparse cross-shaped patch. The copy branch additionally
+			// needs the cell to exist in the recorded round's pattern; a
+			// cell new to the current pattern is recomputed, which is
+			// sound for *any* clean cell: the round-start matrix equals
+			// the cold run's by induction, so floodCell reproduces the
+			// cold value exactly.
+			cur := m
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := cur.Sources[i]
+				rowDirty := R[s.ID]
+				oi := oldRow[i]
+				for k, j := range cur.pat.Rows[i] {
+					t := cur.Targets[j]
+					if !rowDirty && !C[t.ID] {
+						if op := prevRound.pat.pos(oi, int32(oldCol[j])); op >= 0 {
+							next.vals[i][k] = prevRound.vals[oi][op]
+							continue
+						}
+					}
+					next.vals[i][k] = floodCell(cur, s, t, i, int(j), cur.vals[i][k], opts)
 				}
-				next.Scores[i][j] = floodCell(m, s, t, i, j, opts)
-			}
-		})
+			})
+		} else {
+			cur := m
+			shardRows(workers, len(m.Sources), func(i int) {
+				s := cur.Sources[i]
+				rowDirty := R[s.ID]
+				oi := oldRow[i]
+				row := cur.Scores[i]
+				for j, t := range cur.Targets {
+					if !rowDirty && !C[t.ID] {
+						next.Scores[i][j] = prevRound.Scores[oi][oldCol[j]]
+						continue
+					}
+					next.Scores[i][j] = floodCell(cur, s, t, i, j, row[j], opts)
+				}
+			})
+		}
 		m = next
 		st.Rounds = append(st.Rounds, next.Clone())
 	}

@@ -19,13 +19,31 @@ import (
 // Confidence semantics (paper §4): -1 = definitely no correspondence,
 // +1 = definite correspondence, 0 = complete uncertainty.
 
-// Matrix holds a confidence score for every (source, target) element
-// pair. Element order is the schemata's deterministic pre-order.
+// Matrix holds a confidence score for (source, target) element pairs.
+// Element order is the schemata's deterministic pre-order.
+//
+// A matrix is either dense — Scores[i][j] materialises the full cross
+// product, today's default — or sparse: only the cells of a blocking
+// Pattern are stored (CSR-style: one backing value array carved into
+// per-row slices aligned with Pattern.Rows), and every other pair reads
+// as 0 ("no evidence"). Dense callers may keep indexing Scores directly;
+// mode-agnostic callers use At/SetAt/Each, which are exact on both
+// representations. Out-of-pattern writes to a sparse matrix (user
+// decision pins) land in an overflow map so a Set never silently drops.
 type Matrix struct {
 	Sources []*model.Element
 	Targets []*model.Element
 	// Scores[i][j] is the confidence for (Sources[i], Targets[j]).
+	// nil in sparse mode.
 	Scores [][]float64
+
+	// Sparse storage: pat is the shared immutable cell pattern,
+	// vals[i][k] the value of cell (i, pat.Rows[i][k]) carved out of the
+	// single backing slice, and extra holds out-of-pattern writes keyed
+	// by i<<32|j.
+	pat   *Pattern
+	vals  [][]float64
+	extra map[int64]float64
 
 	srcIdx map[string]int
 	tgtIdx map[string]int
@@ -57,6 +75,158 @@ func MatrixOver(source, target *model.Schema) *Matrix {
 	return NewMatrix(source.Elements(), target.Elements())
 }
 
+// NewSparseMatrix allocates a zero sparse matrix storing only the cells
+// of pat. pat.Rows must have exactly len(sources) rows with columns
+// < len(targets); the pattern is shared, not copied.
+func NewSparseMatrix(sources, targets []*model.Element, pat *Pattern) *Matrix {
+	m := &Matrix{
+		Sources: sources,
+		Targets: targets,
+		pat:     pat,
+		vals:    make([][]float64, len(sources)),
+		srcIdx:  make(map[string]int, len(sources)),
+		tgtIdx:  make(map[string]int, len(targets)),
+	}
+	back := make([]float64, pat.NNZ())
+	off := 0
+	for i, cols := range pat.Rows {
+		m.vals[i] = back[off : off+len(cols) : off+len(cols)]
+		off += len(cols)
+	}
+	for i, e := range sources {
+		m.srcIdx[e.ID] = i
+	}
+	for j, e := range targets {
+		m.tgtIdx[e.ID] = j
+	}
+	return m
+}
+
+// NewMatrixLike allocates a zero matrix with proto's shape and storage
+// mode (sharing proto's element lists and, in sparse mode, its pattern).
+func NewMatrixLike(proto *Matrix) *Matrix {
+	if proto.Sparse() {
+		return NewSparseMatrix(proto.Sources, proto.Targets, proto.pat)
+	}
+	return NewMatrix(proto.Sources, proto.Targets)
+}
+
+// Sparse reports whether the matrix stores only a blocking pattern's
+// cells.
+func (m *Matrix) Sparse() bool { return m.pat != nil }
+
+// CandidatePattern returns the sparsity pattern (nil for dense).
+func (m *Matrix) CandidatePattern() *Pattern { return m.pat }
+
+// NNZ returns the number of stored cells: the full cross product for a
+// dense matrix, pattern cells plus overflow cells for a sparse one.
+func (m *Matrix) NNZ() int {
+	if !m.Sparse() {
+		return len(m.Sources) * len(m.Targets)
+	}
+	return m.pat.NNZ() + len(m.extra)
+}
+
+// At returns the confidence at (row i, column j). Sparse matrices read 0
+// for any pair outside the pattern and overflow storage.
+func (m *Matrix) At(i, j int) float64 {
+	if !m.Sparse() {
+		return m.Scores[i][j]
+	}
+	if k := m.pat.pos(i, int32(j)); k >= 0 {
+		return m.vals[i][k]
+	}
+	if len(m.extra) > 0 {
+		return m.extra[cellKey(i, j)]
+	}
+	return 0
+}
+
+// SetAt assigns the confidence at (row i, column j). On a sparse matrix
+// an out-of-pattern write lands in overflow storage (setting such a cell
+// back to exactly 0 removes it again), so user decision pins always
+// stick regardless of the blocking pattern.
+func (m *Matrix) SetAt(i, j int, v float64) {
+	if !m.Sparse() {
+		m.Scores[i][j] = v
+		return
+	}
+	if k := m.pat.pos(i, int32(j)); k >= 0 {
+		m.vals[i][k] = v
+		return
+	}
+	if v == 0 {
+		delete(m.extra, cellKey(i, j))
+		return
+	}
+	if m.extra == nil {
+		m.extra = make(map[int64]float64)
+	}
+	m.extra[cellKey(i, j)] = v
+}
+
+func cellKey(i, j int) int64 { return int64(i)<<32 | int64(uint32(j)) }
+
+// Each calls fn for every stored cell in row-major (i asc, then j asc)
+// order: all pairs for a dense matrix, pattern plus overflow cells for a
+// sparse one. fn may write the visited cell via SetAt but must not touch
+// other out-of-pattern cells.
+func (m *Matrix) Each(fn func(i, j int, v float64)) {
+	if !m.Sparse() {
+		for i := range m.Scores {
+			row := m.Scores[i]
+			for j, v := range row {
+				fn(i, j, v)
+			}
+		}
+		return
+	}
+	ex := m.sortedExtraKeys()
+	x := 0
+	for i := range m.vals {
+		cols := m.pat.Rows[i]
+		k := 0
+		for x < len(ex) && int(ex[x]>>32) == i {
+			j := int(uint32(ex[x]))
+			for k < len(cols) && int(cols[k]) < j {
+				fn(i, int(cols[k]), m.vals[i][k])
+				k++
+			}
+			fn(i, j, m.extra[ex[x]])
+			x++
+		}
+		for ; k < len(cols); k++ {
+			fn(i, int(cols[k]), m.vals[i][k])
+		}
+	}
+}
+
+// sortedExtraKeys returns the overflow cell keys in row-major order
+// (the i<<32|j packing makes that a plain integer sort).
+func (m *Matrix) sortedExtraKeys() []int64 {
+	if len(m.extra) == 0 {
+		return nil
+	}
+	keys := make([]int64, 0, len(m.extra))
+	for k := range m.extra {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	return keys
+}
+
+// ToDense returns a dense matrix with the same values (the receiver
+// itself when already dense). Baselines that index Scores directly
+// densify first.
+func (m *Matrix) ToDense() *Matrix {
+	if !m.Sparse() {
+		return m
+	}
+	out := NewMatrix(m.Sources, m.Targets)
+	m.Each(func(i, j int, v float64) { out.Scores[i][j] = v })
+	return out
+}
+
 // SourceIndex returns the row of a source element ID, or -1.
 func (m *Matrix) SourceIndex(id string) int {
 	if i, ok := m.srcIdx[id]; ok {
@@ -79,7 +249,7 @@ func (m *Matrix) Get(srcID, tgtID string) float64 {
 	if i < 0 || j < 0 {
 		return 0
 	}
-	return m.Scores[i][j]
+	return m.At(i, j)
 }
 
 // Set assigns the confidence for a pair of element IDs.
@@ -88,21 +258,47 @@ func (m *Matrix) Set(srcID, tgtID string, v float64) {
 	if i < 0 || j < 0 {
 		return
 	}
-	m.Scores[i][j] = v
+	m.SetAt(i, j, v)
 }
 
-// Clone deep-copies the matrix (sharing the element slices).
+// Clone deep-copies the matrix (sharing the element slices and, in
+// sparse mode, the immutable pattern).
 func (m *Matrix) Clone() *Matrix {
-	out := NewMatrix(m.Sources, m.Targets)
-	for i := range m.Scores {
-		copy(out.Scores[i], m.Scores[i])
+	out := NewMatrixLike(m)
+	if !m.Sparse() {
+		for i := range m.Scores {
+			copy(out.Scores[i], m.Scores[i])
+		}
+		return out
+	}
+	for i := range m.vals {
+		copy(out.vals[i], m.vals[i])
+	}
+	if len(m.extra) > 0 {
+		out.extra = make(map[int64]float64, len(m.extra))
+		for k, v := range m.extra {
+			out.extra[k] = v
+		}
 	}
 	return out
 }
 
-// Clamp bounds every score to [lo, hi]; the engine uses (-1, +1) open
-// bounds for machine scores, reserving exactly ±1 for user decisions.
+// Clamp bounds every stored score to [lo, hi]; the engine uses (-1, +1)
+// open bounds for machine scores, reserving exactly ±1 for user
+// decisions. Sparse matrices clamp stored cells only — implicit zeros
+// stay zero.
 func (m *Matrix) Clamp(lo, hi float64) {
+	if m.Sparse() {
+		m.Each(func(i, j int, v float64) {
+			if v < lo {
+				m.SetAt(i, j, lo)
+			}
+			if v > hi {
+				m.SetAt(i, j, hi)
+			}
+		})
+		return
+	}
 	for i := range m.Scores {
 		for j := range m.Scores[i] {
 			if m.Scores[i][j] < lo {
@@ -128,15 +324,15 @@ func (c Correspondence) String() string {
 }
 
 // Above returns all pairs with confidence >= threshold, row-major order.
+// On a sparse matrix only stored cells participate: a pair that blocking
+// pruned is "no evidence", never a link (even when threshold <= 0).
 func (m *Matrix) Above(threshold float64) []Correspondence {
 	var out []Correspondence
-	for i, s := range m.Sources {
-		for j, t := range m.Targets {
-			if m.Scores[i][j] >= threshold {
-				out = append(out, Correspondence{s, t, m.Scores[i][j]})
-			}
+	m.Each(func(i, j int, v float64) {
+		if v >= threshold {
+			out = append(out, Correspondence{m.Sources[i], m.Targets[j], v})
 		}
-	}
+	})
 	return out
 }
 
@@ -149,21 +345,55 @@ func (m *Matrix) MaxPerSource(threshold float64) []Correspondence {
 	var out []Correspondence
 	for i, s := range m.Sources {
 		best := math.Inf(-1)
-		for j := range m.Targets {
-			if m.Scores[i][j] > best {
-				best = m.Scores[i][j]
+		m.eachInRow(i, func(j int, v float64) {
+			if v > best {
+				best = v
 			}
-		}
+		})
 		if best < threshold {
 			continue
 		}
-		for j, t := range m.Targets {
-			if m.Scores[i][j] == best {
-				out = append(out, Correspondence{s, t, best})
+		m.eachInRow(i, func(j int, v float64) {
+			if v == best {
+				out = append(out, Correspondence{s, m.Targets[j], best})
 			}
-		}
+		})
 	}
 	return out
+}
+
+// eachInRow calls fn for every stored cell of row i in ascending column
+// order (all columns for a dense matrix).
+func (m *Matrix) eachInRow(i int, fn func(j int, v float64)) {
+	if !m.Sparse() {
+		for j, v := range m.Scores[i] {
+			fn(j, v)
+		}
+		return
+	}
+	var ex []int64
+	if len(m.extra) > 0 {
+		for k := range m.extra {
+			if int(k>>32) == i {
+				ex = append(ex, k)
+			}
+		}
+		sort.Slice(ex, func(a, b int) bool { return ex[a] < ex[b] })
+	}
+	cols := m.pat.Rows[i]
+	k, x := 0, 0
+	for x < len(ex) {
+		j := int(uint32(ex[x]))
+		for k < len(cols) && int(cols[k]) < j {
+			fn(int(cols[k]), m.vals[i][k])
+			k++
+		}
+		fn(j, m.extra[ex[x]])
+		x++
+	}
+	for ; k < len(cols); k++ {
+		fn(int(cols[k]), m.vals[i][k])
+	}
 }
 
 // StableMatching selects a one-to-one correspondence set by greedy
@@ -176,13 +406,11 @@ func (m *Matrix) StableMatching(threshold float64) []Correspondence {
 		v    float64
 	}
 	var cells []cell
-	for i := range m.Sources {
-		for j := range m.Targets {
-			if m.Scores[i][j] >= threshold {
-				cells = append(cells, cell{i, j, m.Scores[i][j]})
-			}
+	m.Each(func(i, j int, v float64) {
+		if v >= threshold {
+			cells = append(cells, cell{i, j, v})
 		}
-	}
+	})
 	// Sort descending by score, then by indices — a total order, so the
 	// selection is deterministic even on fully tied matrices.
 	sort.Slice(cells, func(a, b int) bool {
@@ -221,7 +449,7 @@ func (m *Matrix) String() string {
 	for i, s := range m.Sources {
 		fmt.Fprintf(&b, "%-12s", tail(s.ID))
 		for j := range m.Targets {
-			fmt.Fprintf(&b, "%+.2f         ", m.Scores[i][j])
+			fmt.Fprintf(&b, "%+.2f         ", m.At(i, j))
 		}
 		b.WriteString("\n")
 	}

@@ -57,13 +57,44 @@ func (g *Merger) Merge(votes []Vote) *Matrix {
 	if len(votes) == 0 {
 		return nil
 	}
-	out := NewMatrix(votes[0].Matrix.Sources, votes[0].Matrix.Targets)
+	out := NewMatrixLike(votes[0].Matrix)
+	if out.Sparse() {
+		if votesAligned(votes, out.pat) {
+			for i := range out.vals {
+				for k := range out.vals[i] {
+					out.vals[i][k] = g.mergeStored(votes, i, k)
+				}
+			}
+			return out
+		}
+		// A vote with a foreign pattern (defensive — the engine hands
+		// every voter the same context) falls back to At-based reads.
+		for i, cols := range out.pat.Rows {
+			for k, j := range cols {
+				out.vals[i][k] = g.mergeCellAt(votes, i, int(j))
+			}
+		}
+		return out
+	}
 	for i := range out.Scores {
 		for j := range out.Scores[i] {
 			out.Scores[i][j] = g.mergeCell(votes, i, j)
 		}
 	}
 	return out
+}
+
+// votesAligned reports whether every vote matrix is sparse over a
+// pattern equal to pat (with no overflow cells), which licenses the
+// positional merge kernel.
+func votesAligned(votes []Vote, pat *Pattern) bool {
+	for _, v := range votes {
+		m := v.Matrix
+		if !m.Sparse() || len(m.extra) > 0 || !m.pat.Equal(pat) {
+			return false
+		}
+	}
+	return true
 }
 
 // mergeCell merges one cell across the panel, clamped to (-1, +1) open
@@ -82,6 +113,46 @@ func (g *Merger) mergeCell(votes []Vote, i, j int) float64 {
 		num += w * mag * c
 		den += w * mag
 	}
+	return clampMerged(num, den)
+}
+
+// mergeStored is mergeCell's positional twin for aligned sparse votes:
+// storage offset k addresses the same (row, column) cell in every vote,
+// so the arithmetic — and therefore the result bits — match mergeCell's
+// for that cell.
+func (g *Merger) mergeStored(votes []Vote, i, k int) float64 {
+	var num, den float64
+	for _, v := range votes {
+		c := v.Matrix.vals[i][k]
+		w := g.Weight(v.Voter)
+		mag := 1.0
+		if g.MagnitudeWeighting {
+			mag = math.Abs(c)
+		}
+		num += w * mag * c
+		den += w * mag
+	}
+	return clampMerged(num, den)
+}
+
+// mergeCellAt is the representation-agnostic kernel (At instead of
+// direct indexing) for mixed-pattern vote sets.
+func (g *Merger) mergeCellAt(votes []Vote, i, j int) float64 {
+	var num, den float64
+	for _, v := range votes {
+		c := v.Matrix.At(i, j)
+		w := g.Weight(v.Voter)
+		mag := 1.0
+		if g.MagnitudeWeighting {
+			mag = math.Abs(c)
+		}
+		num += w * mag * c
+		den += w * mag
+	}
+	return clampMerged(num, den)
+}
+
+func clampMerged(num, den float64) float64 {
 	var out float64
 	if den > 0 {
 		out = num / den
@@ -108,7 +179,41 @@ func (g *Merger) MergePatch(votes []Vote, prev *Matrix, dirtySrc, dirtyTgt map[s
 	if prev == nil {
 		return g.Merge(votes)
 	}
-	out := NewMatrix(votes[0].Matrix.Sources, votes[0].Matrix.Targets)
+	proto := votes[0].Matrix
+	if proto.Sparse() != prev.Sparse() || len(prev.extra) > 0 {
+		// Blocking toggled between runs, or a previous matrix carrying
+		// out-of-pattern cells (shouldn't happen for a pre-pin merge):
+		// patching is unsound, recompute everything.
+		return g.Merge(votes)
+	}
+	if proto.Sparse() {
+		if !votesAligned(votes, proto.pat) {
+			return g.Merge(votes)
+		}
+		out := NewMatrixLike(proto)
+		oldCol := alignIndices(out.Targets, prev.TargetIndex)
+		for i, s := range out.Sources {
+			oi := prev.SourceIndex(s.ID)
+			rowClean := oi >= 0 && !dirtySrc[s.ID]
+			for k, j := range out.pat.Rows[i] {
+				t := out.Targets[j]
+				if rowClean {
+					if oj := oldCol[j]; oj >= 0 && !dirtyTgt[t.ID] {
+						if op := prev.pat.pos(oi, int32(oj)); op >= 0 {
+							out.vals[i][k] = prev.vals[oi][op]
+							continue
+						}
+						// Cell joined the pattern since prev: recompute.
+						// Both sides are clean, so the merge reads votes
+						// identical to a cold run's.
+					}
+				}
+				out.vals[i][k] = g.mergeStored(votes, i, k)
+			}
+		}
+		return out
+	}
+	out := NewMatrix(proto.Sources, proto.Targets)
 	oldCol := alignIndices(out.Targets, prev.TargetIndex)
 	for i, s := range out.Sources {
 		oi := prev.SourceIndex(s.ID)

@@ -1,0 +1,113 @@
+package match
+
+import "sort"
+
+// Pattern is the sparsity pattern of a candidate pair set: for every
+// source row, the sorted list of target columns that survived blocking.
+// A Pattern is immutable once built and is shared by every matrix of one
+// engine run (the voter panel, the merged matrix, each flooding round),
+// so positional kernels can copy and merge values without per-cell
+// index lookups.
+type Pattern struct {
+	// Rows[i] holds the stored target columns of source row i, strictly
+	// ascending. Column indices are int32 — a matrix side is bounded by
+	// element count, far below 2^31 — which halves the index footprint
+	// at registry scale.
+	Rows [][]int32
+
+	nnz int
+}
+
+// NewPattern wraps per-row column lists into a Pattern. Each row is
+// sorted and deduplicated defensively; rows may be nil (no candidates).
+func NewPattern(rows [][]int32) *Pattern {
+	p := &Pattern{Rows: rows}
+	for i, cols := range rows {
+		if !int32Sorted(cols) {
+			sort.Slice(cols, func(a, b int) bool { return cols[a] < cols[b] })
+		}
+		rows[i] = int32Dedup(cols)
+		p.nnz += len(rows[i])
+	}
+	return p
+}
+
+// NNZ returns the number of stored cells.
+func (p *Pattern) NNZ() int { return p.nnz }
+
+// pos returns the storage offset of column j within row i, or -1 when
+// the cell is not part of the pattern. Binary search over the sorted row.
+func (p *Pattern) pos(i int, j int32) int {
+	if i < 0 || i >= len(p.Rows) {
+		return -1
+	}
+	cols := p.Rows[i]
+	lo, hi := 0, len(cols)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cols[mid] < j {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(cols) && cols[lo] == j {
+		return lo
+	}
+	return -1
+}
+
+// Contains reports whether cell (i, j) is stored.
+func (p *Pattern) Contains(i, j int) bool { return p.pos(i, int32(j)) >= 0 }
+
+// Equal reports whether two patterns store exactly the same cell set.
+func (p *Pattern) Equal(q *Pattern) bool {
+	if p == q {
+		return true
+	}
+	if p == nil || q == nil || len(p.Rows) != len(q.Rows) || p.nnz != q.nnz {
+		return false
+	}
+	for i := range p.Rows {
+		a, b := p.Rows[i], q.Rows[i]
+		if len(a) != len(b) {
+			return false
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Bytes estimates the pattern's resident size for cache accounting.
+func (p *Pattern) Bytes() int64 {
+	if p == nil {
+		return 0
+	}
+	return int64(p.nnz)*4 + int64(len(p.Rows))*24 + 64
+}
+
+func int32Sorted(a []int32) bool {
+	for k := 1; k < len(a); k++ {
+		if a[k-1] > a[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func int32Dedup(a []int32) []int32 {
+	if len(a) < 2 {
+		return a
+	}
+	out := a[:1]
+	for _, v := range a[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

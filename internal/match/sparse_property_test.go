@@ -1,0 +1,158 @@
+package match
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Sparse/dense agreement properties. A sparse matrix must behave like a
+// dense matrix whose off-pattern cells are pinned to zero — except that
+// writes outside the pattern land in the extra overflow and must still
+// read back, clone, and iterate exactly like any other cell.
+
+// randomPatternPair builds a random element pair plus a random pattern
+// over it.
+func randomPatternPair(rng *rand.Rand, nr, nc int) ([]*model.Element, []*model.Element, *Pattern) {
+	src := model.NewSchema("src", "xsd")
+	tgt := model.NewSchema("tgt", "xsd")
+	for i := 0; i < nr; i++ {
+		src.AddElement(nil, fmt.Sprintf("s%d", i), model.KindAttribute, model.ContainsAttribute)
+	}
+	for j := 0; j < nc; j++ {
+		tgt.AddElement(nil, fmt.Sprintf("t%d", j), model.KindAttribute, model.ContainsAttribute)
+	}
+	rows := make([][]int32, nr)
+	for i := range rows {
+		for j := 0; j < nc; j++ {
+			if rng.Float64() < 0.3 {
+				rows[i] = append(rows[i], int32(j))
+			}
+		}
+	}
+	return src.Elements(), tgt.Elements(), NewPattern(rows)
+}
+
+func TestPropertySparseDenseAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		nr, nc := 1+rng.Intn(8), 1+rng.Intn(8)
+		srcs, tgts, pat := randomPatternPair(rng, nr, nc)
+		sp := NewSparseMatrix(srcs, tgts, pat)
+		dn := NewMatrix(srcs, tgts)
+		// Mirror writes: mostly inside the pattern, some outside (the
+		// overflow path a user pin exercises).
+		for w := 0; w < nr*nc; w++ {
+			i, j := rng.Intn(nr), rng.Intn(nc)
+			v := rng.Float64()*2 - 1
+			sp.SetAt(i, j, v)
+			dn.SetAt(i, j, v)
+		}
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				if math.Float64bits(sp.At(i, j)) != math.Float64bits(dn.At(i, j)) {
+					t.Fatalf("trial %d: At(%d,%d) sparse %g vs dense %g", trial, i, j, sp.At(i, j), dn.At(i, j))
+				}
+			}
+		}
+		// Get/Set by ID agree too.
+		si, tj := rng.Intn(nr), rng.Intn(nc)
+		if sp.Get(srcs[si].ID, tgts[tj].ID) != dn.Get(srcs[si].ID, tgts[tj].ID) {
+			t.Fatalf("trial %d: Get by ID disagrees", trial)
+		}
+		// ToDense reproduces every cell.
+		td := sp.ToDense()
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				if math.Float64bits(td.At(i, j)) != math.Float64bits(sp.At(i, j)) {
+					t.Fatalf("trial %d: ToDense differs at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+		// Clone is independent and equal.
+		cl := sp.Clone()
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				if cl.At(i, j) != sp.At(i, j) {
+					t.Fatalf("trial %d: Clone differs at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+		cl.SetAt(si, tj, 0.123456)
+		if sp.At(si, tj) == 0.123456 && dn.At(si, tj) != 0.123456 {
+			t.Fatalf("trial %d: Clone shares storage with original", trial)
+		}
+	}
+}
+
+func TestPropertySparseEachOrderAndCoverage(t *testing.T) {
+	// Each must visit cells in row-major order (ascending i, then
+	// ascending j, overflow cells interleaved at their proper column
+	// position) and visit exactly the nonzero-or-stored set.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		nr, nc := 1+rng.Intn(6), 1+rng.Intn(6)
+		srcs, tgts, pat := randomPatternPair(rng, nr, nc)
+		sp := NewSparseMatrix(srcs, tgts, pat)
+		want := map[[2]int]float64{}
+		for w := 0; w < nr*nc; w++ {
+			i, j := rng.Intn(nr), rng.Intn(nc)
+			v := rng.Float64()*2 - 1
+			sp.SetAt(i, j, v)
+			want[[2]int{i, j}] = v
+		}
+		lastI, lastJ := -1, -1
+		seen := map[[2]int]bool{}
+		sp.Each(func(i, j int, v float64) {
+			if i < lastI || (i == lastI && j <= lastJ) {
+				t.Fatalf("trial %d: Each out of order: (%d,%d) after (%d,%d)", trial, i, j, lastI, lastJ)
+			}
+			lastI, lastJ = i, j
+			if seen[[2]int{i, j}] {
+				t.Fatalf("trial %d: Each visited (%d,%d) twice", trial, i, j)
+			}
+			seen[[2]int{i, j}] = true
+			if math.Float64bits(sp.At(i, j)) != math.Float64bits(v) {
+				t.Fatalf("trial %d: Each value %g != At %g at (%d,%d)", trial, v, sp.At(i, j), i, j)
+			}
+		})
+		// Every written nonzero cell was visited.
+		for ij, v := range want {
+			if v != 0 && !seen[ij] {
+				t.Fatalf("trial %d: Each skipped written cell (%d,%d)=%g", trial, ij[0], ij[1], v)
+			}
+		}
+	}
+}
+
+func TestPropertyPatternPosContains(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		nr, nc := 1+rng.Intn(10), 1+rng.Intn(10)
+		_, _, pat := randomPatternPair(rng, nr, nc)
+		nnz := 0
+		for i := 0; i < nr; i++ {
+			for j := 0; j < nc; j++ {
+				in := false
+				for _, c := range pat.Rows[i] {
+					if int(c) == j {
+						in = true
+						break
+					}
+				}
+				if pat.Contains(i, j) != in {
+					t.Fatalf("trial %d: Contains(%d,%d) = %v, want %v", trial, i, j, !in, in)
+				}
+				if in {
+					nnz++
+				}
+			}
+		}
+		if pat.NNZ() != nnz {
+			t.Fatalf("trial %d: NNZ = %d, counted %d", trial, pat.NNZ(), nnz)
+		}
+	}
+}

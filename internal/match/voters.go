@@ -55,6 +55,24 @@ func kindCompatible(a, b *model.Element) bool {
 // Scores[i] rows, so score must only read from the context (every
 // built-in voter does).
 func forEachPair(ctx *Context, m *Matrix, score func(s, t *model.Element) float64) {
+	if m.Sparse() {
+		// Blocking: only the pattern's surviving cells are scored; pruned
+		// pairs stay at the implicit 0 ("no evidence").
+		pat := m.pat
+		shardRows(ctx.Workers(), len(m.Sources), func(i int) {
+			s := m.Sources[i]
+			vals := m.vals[i]
+			for k, j := range pat.Rows[i] {
+				t := m.Targets[j]
+				if !kindCompatible(s, t) {
+					vals[k] = -0.75
+					continue
+				}
+				vals[k] = score(s, t)
+			}
+		})
+		return
+	}
 	shardRows(ctx.Workers(), len(m.Sources), func(i int) {
 		s := m.Sources[i]
 		row := m.Scores[i]
@@ -179,7 +197,7 @@ func (ThesaurusVoter) Name() string { return "thesaurus" }
 // Vote implements Voter.
 func (v ThesaurusVoter) Vote(ctx *Context) *Matrix {
 	if ctx.Thesaurus == nil {
-		return MatrixOver(ctx.Source, ctx.Target) // abstain entirely
+		return ctx.NewMatrix() // abstain entirely
 	}
 	return voteAll(ctx, v.scorer(ctx))
 }
@@ -189,7 +207,7 @@ func (v ThesaurusVoter) VotePatch(ctx *Context, prev *Matrix, dirtySrc, dirtyTgt
 	if ctx.Thesaurus == nil {
 		// The full path abstains with an all-zero matrix (no -0.75
 		// incompatibility marks), so the patch path must too.
-		return MatrixOver(ctx.Source, ctx.Target)
+		return ctx.NewMatrix()
 	}
 	return votePatch(ctx, prev, dirtySrc, dirtyTgt, v.scorer(ctx))
 }

@@ -189,12 +189,19 @@ func (c *Cache) Put(key string, value any, bytes int64) bool {
 	s.mu.Lock()
 	if bytes > s.max {
 		// Too large to ever fit; dropping the stale entry (if any) keeps
-		// the "no stale value under a live key" invariant.
-		if old, ok := s.items[key]; ok {
+		// the "no stale value under a live key" invariant. The drop counts
+		// as an invalidation (the caller asked for a replacement, not an
+		// eviction under budget pressure) so Stats/metrics explain where
+		// the entry went.
+		old, had := s.items[key]
+		if had {
 			s.remove(old)
 		}
 		s.mu.Unlock()
-		c.syncGauges(reg, name)
+		if had {
+			reg.Counter(MetricInvalidations, "cache", name).Inc()
+			c.syncGauges(reg, name)
+		}
 		return false
 	}
 	if old, ok := s.items[key]; ok {

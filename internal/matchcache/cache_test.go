@@ -60,6 +60,27 @@ func TestOversizedPutNotRetained(t *testing.T) {
 	if _, ok := c.Get("k"); ok {
 		t.Fatal("stale value survived an oversized replacement")
 	}
+	// The drop is accounted: the shard gives the bytes back and the
+	// removal is visible as an invalidation (not an eviction — no budget
+	// pressure was involved).
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversized replacement = %+v; want empty cache", st)
+	}
+	if st.Evictions != 0 {
+		t.Fatalf("oversized replacement counted as eviction (%d)", st.Evictions)
+	}
+	reg, name := c.handles()
+	if n := reg.Counter(MetricInvalidations, "cache", name).Value(); n != 1 {
+		t.Fatalf("invalidations after oversized replacement = %d; want 1", n)
+	}
+	// A plain oversized Put with no prior entry invalidates nothing.
+	if c.Put("fresh", 1, 200) {
+		t.Fatal("oversized fresh Put retained")
+	}
+	if n := reg.Counter(MetricInvalidations, "cache", name).Value(); n != 1 {
+		t.Fatalf("fresh oversized Put bumped invalidations to %d; want 1", n)
+	}
 }
 
 func TestLRUEvictionOrder(t *testing.T) {

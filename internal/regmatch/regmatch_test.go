@@ -1,0 +1,107 @@
+package regmatch
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSizedPairShapeAndDeterminism(t *testing.T) {
+	src1, tgt1, gt1 := SizedPair(42, 120)
+	src2, tgt2, gt2 := SizedPair(42, 120)
+	if src1.String() != src2.String() || tgt1.String() != tgt2.String() {
+		t.Fatal("SizedPair not deterministic for a fixed seed")
+	}
+	if len(gt1.Pairs) != len(gt2.Pairs) {
+		t.Fatal("ground truth not deterministic")
+	}
+	n := len(src1.Elements())
+	if n < 100 || n > 150 {
+		t.Fatalf("SizedPair(42, 120) source has %d elements, want ≈120", n)
+	}
+	if len(gt1.Pairs) == 0 {
+		t.Fatal("ground truth empty")
+	}
+}
+
+func TestRunSmallCurve(t *testing.T) {
+	// A tiny end-to-end run: one small size point with a measured dense
+	// baseline, two ranking queries over a small pool. This is the same
+	// path `workbench registry-match` drives; the quality bars here are
+	// loose — the real bars live in BENCH_7.json and the blocking tests.
+	rep, err := Run(Config{
+		Scale:    0.01,
+		Sizes:    []int{80},
+		DenseMax: 80,
+		Queries:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmark != "registry-match" {
+		t.Fatalf("benchmark discriminator = %q", rep.Benchmark)
+	}
+	if len(rep.Sizes) != 1 {
+		t.Fatalf("got %d size points, want 1", len(rep.Sizes))
+	}
+	s := rep.Sizes[0]
+	if s.ScoredCells <= 0 || s.CrossProduct <= 0 {
+		t.Fatalf("empty size point: %+v", s)
+	}
+	if s.ScoredFraction <= 0 || s.ScoredFraction > 1 {
+		t.Fatalf("scored_fraction = %g", s.ScoredFraction)
+	}
+	if s.RecallAtK < 0.5 {
+		t.Errorf("recall@%d = %g on a barely perturbed 80-element pair", rep.K, s.RecallAtK)
+	}
+	if s.DenseExtrapolated {
+		t.Error("dense baseline extrapolated below DenseMax")
+	}
+	if s.DenseMS <= 0 || s.Speedup <= 0 {
+		t.Errorf("dense baseline missing: dense_ms=%g speedup=%g", s.DenseMS, s.Speedup)
+	}
+	if rep.Ranking.Queries != 2 || rep.Ranking.Pool <= 0 {
+		t.Fatalf("ranking sweep = %+v", rep.Ranking)
+	}
+	if rep.Ranking.MRR <= 0 || rep.Ranking.MRR > 1 {
+		t.Errorf("MRR = %g", rep.Ranking.MRR)
+	}
+
+	// The rendered forms carry the table and the benchdiff-facing shape.
+	if out := rep.String(); !strings.Contains(out, "80elem") || !strings.Contains(out, "ranking:") {
+		t.Errorf("String() missing expected rows:\n%s", out)
+	}
+	buf, err := rep.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"benchmark", "sizes", "ranking"} {
+		if _, ok := decoded[field]; !ok {
+			t.Errorf("JSON missing %q field", field)
+		}
+	}
+}
+
+func TestRunNoBlockingAblation(t *testing.T) {
+	rep, err := Run(Config{
+		Scale:      0.01,
+		Sizes:      []int{60},
+		DenseMax:   60,
+		Queries:    1,
+		NoBlocking: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Sizes[0]
+	if s.Speedup != 1 {
+		t.Errorf("ablated speedup = %g, want 1", s.Speedup)
+	}
+	if s.ScoredFraction != 1 {
+		t.Errorf("dense run scored_fraction = %g, want 1 (full cross product)", s.ScoredFraction)
+	}
+}

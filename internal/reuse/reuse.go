@@ -37,7 +37,7 @@ type precedent struct {
 
 // Vote implements match.Voter.
 func (v LibraryVoter) Vote(ctx *match.Context) *match.Matrix {
-	m := match.MatrixOver(ctx.Source, ctx.Target)
+	m := ctx.NewMatrix()
 	if v.BB == nil {
 		return m // abstain without a library
 	}
@@ -75,24 +75,26 @@ func (v LibraryVoter) Vote(ctx *match.Context) *match.Matrix {
 		return m
 	}
 
-	for i, s := range m.Sources {
-		for j, t := range m.Targets {
-			p := precedents[[2]string{normalizeKey(s.Name), normalizeKey(t.Name)}]
-			if p == nil {
-				continue
-			}
-			switch {
-			case p.accepts > 0 && p.rejects == 0:
-				m.Scores[i][j] = 0.9
-			case p.rejects > 0 && p.accepts == 0:
-				m.Scores[i][j] = -0.9
-			default:
-				// Conflicting precedents: weak positive (accepts usually
-				// generalize better than rejects, which are often local).
-				m.Scores[i][j] = 0.2
-			}
+	// Stored cells only: with blocking enabled a precedent outside the
+	// candidate pattern cannot resurrect the pair — an accepted trade-off
+	// (sparse mode treats pruned pairs as no-evidence everywhere).
+	m.Each(func(i, j int, _ float64) {
+		s, t := m.Sources[i], m.Targets[j]
+		p := precedents[[2]string{normalizeKey(s.Name), normalizeKey(t.Name)}]
+		if p == nil {
+			return
 		}
-	}
+		switch {
+		case p.accepts > 0 && p.rejects == 0:
+			m.SetAt(i, j, 0.9)
+		case p.rejects > 0 && p.accepts == 0:
+			m.SetAt(i, j, -0.9)
+		default:
+			// Conflicting precedents: weak positive (accepts usually
+			// generalize better than rejects, which are often local).
+			m.SetAt(i, j, 0.2)
+		}
+	})
 	return m
 }
 

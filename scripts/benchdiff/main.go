@@ -8,30 +8,53 @@
 // The files' "benchmark" field selects the comparison: the
 // incremental-rematch matrix (from `benchreport -bench-json`) gates its
 // speedup ratios and cache hit ratio per size; the loadgen-sustained
-// report (from `workbench loadgen -out`) gates only ok_ratio. In both
-// cases only dimensionless columns are gated — wall-clock milliseconds
-// and throughput are machine-dependent and would make the committed
+// report (from `workbench loadgen -out`) gates only ok_ratio; the
+// registry-match curve (from `workbench registry-match -out`) gates its
+// quality columns (recall@k, precision/recall/F1, speedup, ranking
+// accuracy) and inverse-gates scored_fraction (blocking that starts
+// scoring *more* of the cross product is the regression). In every case
+// only dimensionless columns are gated — wall-clock milliseconds and
+// throughput are machine-dependent and would make the committed
 // baseline meaningless on any other host; they are printed as context.
-// A metric regresses when current < baseline*(1-tolerance). Sizes (or
+// A metric regresses when current < baseline*(1-tolerance) (or, for
+// inverse-gated ones, current > baseline*(1+tolerance)). Sizes (or
 // routes) present in only one file are reported but never fail the run,
 // so the benchmark matrix can grow without invalidating old baselines.
+//
+// Exit status: 0 clean, 1 regression past tolerance, 2 malformed input
+// (unreadable file, unknown or mismatched "benchmark" discriminator,
+// or a report missing a field its kind is required to carry — the
+// diagnostic names the offending field).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 )
 
-// benchRecord mirrors cmd/benchreport's BenchRecord; unknown fields
+// sizeRecord is the superset of the per-size rows of every BENCH shape
+// (benchreport's BenchRecord and regmatch's SizeResult); the file-level
+// "benchmark" discriminator says which fields are live. Unknown fields
 // (the *_ms context columns) are deliberately dropped on decode.
-type benchRecord struct {
-	Name          string  `json:"name"`
+type sizeRecord struct {
+	Name string `json:"name"`
+
+	// incremental-rematch columns.
 	SpeedupWarm   float64 `json:"speedup_warm"`
 	SpeedupPin    float64 `json:"speedup_pin"`
 	SpeedupRename float64 `json:"speedup_rename"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+
+	// registry-match columns.
+	ScoredFraction float64 `json:"scored_fraction"`
+	RecallAtK      float64 `json:"recall_at_k"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	F1             float64 `json:"f1"`
+	Speedup        float64 `json:"speedup"`
 }
 
 // routeStats mirrors internal/loadgen.RouteStats.
@@ -43,18 +66,31 @@ type routeStats struct {
 	P99ms float64 `json:"p99_ms"`
 }
 
-// benchFile is the superset of both BENCH shapes; the "benchmark"
-// discriminator says which fields are live.
+// rankingStats mirrors internal/regmatch.RankingResult.
+type rankingStats struct {
+	Queries      int     `json:"queries"`
+	Pool         int     `json:"pool"`
+	Top1Accuracy float64 `json:"top1_accuracy"`
+	MRR          float64 `json:"mrr"`
+}
+
+// benchFile is the superset of all BENCH shapes; the "benchmark"
+// discriminator says which fields are live. Gated fields whose absence
+// must be a hard error (not a silent zero that trivially passes the
+// gate) are pointers so decode distinguishes "missing" from "0".
 type benchFile struct {
-	Benchmark string        `json:"benchmark"`
-	Sizes     []benchRecord `json:"sizes"`
+	Benchmark string       `json:"benchmark"`
+	Sizes     []sizeRecord `json:"sizes"`
 
 	// loadgen-sustained fields (internal/loadgen.Report).
 	Requests   int          `json:"requests"`
 	Errors     int          `json:"errors"`
-	OKRatio    float64      `json:"ok_ratio"`
+	OKRatio    *float64     `json:"ok_ratio"`
 	TxnsPerSec float64      `json:"txns_per_sec"`
 	Routes     []routeStats `json:"routes"`
+
+	// registry-match fields (internal/regmatch.Report).
+	Ranking *rankingStats `json:"ranking"`
 }
 
 func load(path string) (benchFile, error) {
@@ -67,6 +103,48 @@ func load(path string) (benchFile, error) {
 		return f, fmt.Errorf("%s: %w", path, err)
 	}
 	return f, nil
+}
+
+// validate rejects a file whose discriminator or required fields cannot
+// drive a comparison, naming the field so CI logs pinpoint the problem.
+// An empty "benchmark" is rejected here rather than falling through to
+// some default comparison: two unrelated (or truncated) files would
+// both decode to the zero value and "pass" vacuously.
+func validate(f benchFile, path string) error {
+	switch f.Benchmark {
+	case "incremental-rematch", "loadgen-sustained", "registry-match":
+	case "":
+		return fmt.Errorf("%s: field %q is missing or empty", path, "benchmark")
+	default:
+		return fmt.Errorf("%s: field %q has unknown value %q", path, "benchmark", f.Benchmark)
+	}
+	if f.Benchmark == "loadgen-sustained" && f.OKRatio == nil {
+		return fmt.Errorf("%s: field %q is missing (required for loadgen-sustained; an absent ratio would gate as 0 and pass every comparison)", path, "ok_ratio")
+	}
+	return nil
+}
+
+// compare validates both files and runs the matching diff. The error
+// return means "malformed input, exit 2"; the int is the number of
+// gated metrics that regressed past the tolerance ("exit 1" when > 0).
+func compare(w io.Writer, base, cur benchFile, basePath, curPath string, tolerance float64) (int, error) {
+	if err := validate(base, basePath); err != nil {
+		return 0, err
+	}
+	if err := validate(cur, curPath); err != nil {
+		return 0, err
+	}
+	if base.Benchmark != cur.Benchmark {
+		return 0, fmt.Errorf("field %q mismatch: %q (%s) vs %q (%s)", "benchmark", base.Benchmark, basePath, cur.Benchmark, curPath)
+	}
+	switch base.Benchmark {
+	case "loadgen-sustained":
+		return diffLoadgen(w, base, cur, tolerance), nil
+	case "registry-match":
+		return diffRegistry(w, base, cur, tolerance), nil
+	default:
+		return diffSizes(w, base, cur, tolerance), nil
+	}
 }
 
 func main() {
@@ -86,17 +164,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
-	if base.Benchmark != cur.Benchmark {
-		fmt.Fprintf(os.Stderr, "benchdiff: benchmark mismatch: %q vs %q\n", base.Benchmark, cur.Benchmark)
+	regressions, err := compare(os.Stdout, base, cur, flag.Arg(0), flag.Arg(1), *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
-	}
-
-	var regressions int
-	switch base.Benchmark {
-	case "loadgen-sustained":
-		regressions = diffLoadgen(base, cur, *tolerance)
-	default:
-		regressions = diffSizes(base, cur, *tolerance)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d metric(s) regressed more than %.0f%%\n", regressions, 100**tolerance)
@@ -105,10 +176,40 @@ func main() {
 	fmt.Println("benchdiff: no regressions")
 }
 
-// diffSizes gates the incremental-rematch matrix: four dimensionless
-// ratios per size.
-func diffSizes(base, cur benchFile, tolerance float64) int {
-	baseByName := map[string]benchRecord{}
+// metric is one gated column: inverted metrics regress upward (a larger
+// scored_fraction means blocking prunes less).
+type metric struct {
+	name      string
+	old, new_ float64
+	inverted  bool
+}
+
+func (m metric) regressed(tolerance float64) bool {
+	if m.inverted {
+		return m.new_ > m.old*(1+tolerance)
+	}
+	return m.new_ < m.old*(1-tolerance)
+}
+
+// diffMetrics prints one line per metric and counts regressions.
+func diffMetrics(w io.Writer, label string, metrics []metric, tolerance float64) int {
+	regressions := 0
+	for _, m := range metrics {
+		status := "ok"
+		if m.regressed(tolerance) {
+			status = "REGRESSED"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-10s %-16s %8.3f -> %8.3f  %s\n", label, m.name, m.old, m.new_, status)
+	}
+	return regressions
+}
+
+// diffBySize pairs up base and current per-size rows by name, skipping
+// (but reporting) sizes present in only one file, and gates each paired
+// row's metrics.
+func diffBySize(w io.Writer, base, cur benchFile, tolerance float64, row func(b, c sizeRecord) []metric) int {
+	baseByName := map[string]sizeRecord{}
 	for _, r := range base.Sizes {
 		baseByName[r.Name] = r
 	}
@@ -116,29 +217,55 @@ func diffSizes(base, cur benchFile, tolerance float64) int {
 	for _, c := range cur.Sizes {
 		b, ok := baseByName[c.Name]
 		if !ok {
-			fmt.Printf("%-10s new size, no baseline — skipped\n", c.Name)
+			fmt.Fprintf(w, "%-10s new size, no baseline — skipped\n", c.Name)
 			continue
 		}
 		delete(baseByName, c.Name)
-		for _, m := range []struct {
-			name      string
-			old, new_ float64
-		}{
-			{"speedup_warm", b.SpeedupWarm, c.SpeedupWarm},
-			{"speedup_pin", b.SpeedupPin, c.SpeedupPin},
-			{"speedup_rename", b.SpeedupRename, c.SpeedupRename},
-			{"cache_hit_ratio", b.CacheHitRatio, c.CacheHitRatio},
-		} {
-			status := "ok"
-			if m.new_ < m.old*(1-tolerance) {
-				status = "REGRESSED"
-				regressions++
-			}
-			fmt.Printf("%-10s %-16s %8.2f -> %8.2f  %s\n", c.Name, m.name, m.old, m.new_, status)
-		}
+		regressions += diffMetrics(w, c.Name, row(b, c), tolerance)
 	}
 	for name := range baseByName {
-		fmt.Printf("%-10s dropped from current run — skipped\n", name)
+		fmt.Fprintf(w, "%-10s dropped from current run — skipped\n", name)
+	}
+	return regressions
+}
+
+// diffSizes gates the incremental-rematch matrix: four dimensionless
+// ratios per size.
+func diffSizes(w io.Writer, base, cur benchFile, tolerance float64) int {
+	return diffBySize(w, base, cur, tolerance, func(b, c sizeRecord) []metric {
+		return []metric{
+			{name: "speedup_warm", old: b.SpeedupWarm, new_: c.SpeedupWarm},
+			{name: "speedup_pin", old: b.SpeedupPin, new_: c.SpeedupPin},
+			{name: "speedup_rename", old: b.SpeedupRename, new_: c.SpeedupRename},
+			{name: "cache_hit_ratio", old: b.CacheHitRatio, new_: c.CacheHitRatio},
+		}
+	})
+}
+
+// diffRegistry gates the registry-match scaling curve: matching quality
+// and speedup per size (all dimensionless), scored_fraction inverted,
+// plus the schema-ranking accuracy columns when both files carry them.
+func diffRegistry(w io.Writer, base, cur benchFile, tolerance float64) int {
+	regressions := diffBySize(w, base, cur, tolerance, func(b, c sizeRecord) []metric {
+		return []metric{
+			{name: "recall_at_k", old: b.RecallAtK, new_: c.RecallAtK},
+			{name: "precision", old: b.Precision, new_: c.Precision},
+			{name: "recall", old: b.Recall, new_: c.Recall},
+			{name: "f1", old: b.F1, new_: c.F1},
+			{name: "speedup", old: b.Speedup, new_: c.Speedup},
+			{name: "scored_fraction", old: b.ScoredFraction, new_: c.ScoredFraction, inverted: true},
+		}
+	})
+	switch {
+	case base.Ranking != nil && cur.Ranking != nil:
+		regressions += diffMetrics(w, "ranking", []metric{
+			{name: "top1_accuracy", old: base.Ranking.Top1Accuracy, new_: cur.Ranking.Top1Accuracy},
+			{name: "mrr", old: base.Ranking.MRR, new_: cur.Ranking.MRR},
+		}, tolerance)
+	case base.Ranking != nil:
+		fmt.Fprintf(w, "%-10s dropped from current run — skipped\n", "ranking")
+	case cur.Ranking != nil:
+		fmt.Fprintf(w, "%-10s new section, no baseline — skipped\n", "ranking")
 	}
 	return regressions
 }
@@ -146,16 +273,12 @@ func diffSizes(base, cur benchFile, tolerance float64) int {
 // diffLoadgen gates the sustained-load report. Only ok_ratio is gated:
 // it is the one column that does not depend on the host. Latencies and
 // throughput are printed side by side as context.
-func diffLoadgen(base, cur benchFile, tolerance float64) int {
-	regressions := 0
-	status := "ok"
-	if cur.OKRatio < base.OKRatio*(1-tolerance) {
-		status = "REGRESSED"
-		regressions++
-	}
-	fmt.Printf("%-16s %8.4f -> %8.4f  %s\n", "ok_ratio", base.OKRatio, cur.OKRatio, status)
-	fmt.Printf("%-16s %8.1f -> %8.1f  context\n", "txns_per_sec", base.TxnsPerSec, cur.TxnsPerSec)
-	fmt.Printf("%-16s %8d -> %8d  context\n", "requests", base.Requests, cur.Requests)
+func diffLoadgen(w io.Writer, base, cur benchFile, tolerance float64) int {
+	regressions := diffMetrics(w, "", []metric{
+		{name: "ok_ratio", old: *base.OKRatio, new_: *cur.OKRatio},
+	}, tolerance)
+	fmt.Fprintf(w, "%-10s %-16s %8.1f -> %8.1f  context\n", "", "txns_per_sec", base.TxnsPerSec, cur.TxnsPerSec)
+	fmt.Fprintf(w, "%-10s %-16s %8d -> %8d  context\n", "", "requests", base.Requests, cur.Requests)
 
 	baseByRoute := map[string]routeStats{}
 	for _, r := range base.Routes {
@@ -164,15 +287,15 @@ func diffLoadgen(base, cur benchFile, tolerance float64) int {
 	for _, c := range cur.Routes {
 		b, ok := baseByRoute[c.Route]
 		if !ok {
-			fmt.Printf("%-16s new route, no baseline — context only\n", c.Route)
+			fmt.Fprintf(w, "%-16s new route, no baseline — context only\n", c.Route)
 			continue
 		}
 		delete(baseByRoute, c.Route)
-		fmt.Printf("%-16s p50 %8.2f -> %8.2fms  p95 %8.2f -> %8.2fms  p99 %8.2f -> %8.2fms  context\n",
+		fmt.Fprintf(w, "%-16s p50 %8.2f -> %8.2fms  p95 %8.2f -> %8.2fms  p99 %8.2f -> %8.2fms  context\n",
 			c.Route, b.P50ms, c.P50ms, b.P95ms, c.P95ms, b.P99ms, c.P99ms)
 	}
 	for route := range baseByRoute {
-		fmt.Printf("%-16s dropped from current run — skipped\n", route)
+		fmt.Fprintf(w, "%-16s dropped from current run — skipped\n", route)
 	}
 	return regressions
 }

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
+
+func mustDecode(t *testing.T, src string) benchFile {
+	t.Helper()
+	var f benchFile
+	if err := json.Unmarshal([]byte(src), &f); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	return f
+}
+
+func TestValidateRejectsMissingBenchmark(t *testing.T) {
+	// Two truncated/empty files must not "pass" by both decoding to the
+	// zero benchFile — this was a real hole: "" == "" satisfied the
+	// mismatch check and fell into the default size comparison with no
+	// rows, reporting "no regressions".
+	f := mustDecode(t, `{"sizes": []}`)
+	err := validate(f, "base.json")
+	if err == nil {
+		t.Fatal("empty benchmark field accepted")
+	}
+	if !strings.Contains(err.Error(), `"benchmark"`) {
+		t.Errorf("diagnostic does not name the field: %v", err)
+	}
+	if _, err := compare(io.Discard, f, f, "base.json", "cur.json", 0.2); err == nil {
+		t.Fatal("compare accepted two empty-discriminator files")
+	}
+}
+
+func TestValidateRejectsUnknownBenchmark(t *testing.T) {
+	f := mustDecode(t, `{"benchmark": "frobnicate"}`)
+	err := validate(f, "base.json")
+	if err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if !strings.Contains(err.Error(), `"benchmark"`) || !strings.Contains(err.Error(), "frobnicate") {
+		t.Errorf("diagnostic does not name field and value: %v", err)
+	}
+}
+
+func TestValidateRejectsMissingOKRatio(t *testing.T) {
+	// ok_ratio decoding to 0 on absence would make every comparison pass
+	// (0 >= anything*(1-tol) is false, but 0 -> 0 passes and a truncated
+	// current file would gate nothing).
+	f := mustDecode(t, `{"benchmark": "loadgen-sustained", "requests": 100}`)
+	err := validate(f, "cur.json")
+	if err == nil {
+		t.Fatal("loadgen report without ok_ratio accepted")
+	}
+	if !strings.Contains(err.Error(), `"ok_ratio"`) {
+		t.Errorf("diagnostic does not name the field: %v", err)
+	}
+	// An explicit 0 is present, and valid.
+	f = mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 0}`)
+	if err := validate(f, "cur.json"); err != nil {
+		t.Fatalf("explicit ok_ratio 0 rejected: %v", err)
+	}
+}
+
+func TestCompareBenchmarkMismatch(t *testing.T) {
+	base := mustDecode(t, `{"benchmark": "incremental-rematch"}`)
+	cur := mustDecode(t, `{"benchmark": "registry-match"}`)
+	_, err := compare(io.Discard, base, cur, "base.json", "cur.json", 0.2)
+	if err == nil {
+		t.Fatal("mismatched benchmarks accepted")
+	}
+	if !strings.Contains(err.Error(), `"benchmark"`) {
+		t.Errorf("diagnostic does not name the field: %v", err)
+	}
+}
+
+func TestDiffSizesGatesRatios(t *testing.T) {
+	base := mustDecode(t, `{"benchmark": "incremental-rematch", "sizes": [
+		{"name": "small", "speedup_warm": 10, "speedup_pin": 8, "speedup_rename": 6, "cache_hit_ratio": 0.9}]}`)
+	same := mustDecode(t, `{"benchmark": "incremental-rematch", "sizes": [
+		{"name": "small", "speedup_warm": 10, "speedup_pin": 8, "speedup_rename": 6, "cache_hit_ratio": 0.9}]}`)
+	if n, err := compare(io.Discard, base, same, "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("identical files: regressions=%d err=%v", n, err)
+	}
+	worse := mustDecode(t, `{"benchmark": "incremental-rematch", "sizes": [
+		{"name": "small", "speedup_warm": 7, "speedup_pin": 8, "speedup_rename": 6, "cache_hit_ratio": 0.9}]}`)
+	if n, _ := compare(io.Discard, base, worse, "b", "c", 0.2); n != 1 {
+		t.Fatalf("30%% speedup drop at 20%% tolerance: regressions=%d; want 1", n)
+	}
+	// New and dropped sizes are reported but never gate.
+	grown := mustDecode(t, `{"benchmark": "incremental-rematch", "sizes": [
+		{"name": "huge", "speedup_warm": 1, "speedup_pin": 1, "speedup_rename": 1, "cache_hit_ratio": 0.1}]}`)
+	if n, _ := compare(io.Discard, base, grown, "b", "c", 0.2); n != 0 {
+		t.Fatalf("disjoint size sets gated: regressions=%d; want 0", n)
+	}
+}
+
+func TestDiffRegistryGatesQualityAndInvertsScoredFraction(t *testing.T) {
+	const baseSrc = `{"benchmark": "registry-match", "sizes": [
+		{"name": "2000elem", "scored_fraction": 0.02, "recall_at_k": 0.99,
+		 "precision": 0.96, "recall": 0.97, "f1": 0.965, "speedup": 7.0}],
+		"ranking": {"queries": 8, "pool": 5, "top1_accuracy": 1.0, "mrr": 1.0}}`
+	base := mustDecode(t, baseSrc)
+	if n, err := compare(io.Discard, base, mustDecode(t, baseSrc), "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("identical registry files: regressions=%d err=%v", n, err)
+	}
+	// Recall collapse gates.
+	worse := mustDecode(t, strings.Replace(baseSrc, `"recall_at_k": 0.99`, `"recall_at_k": 0.5`, 1))
+	if n, _ := compare(io.Discard, base, worse, "b", "c", 0.2); n != 1 {
+		t.Fatalf("recall collapse: regressions=%d; want 1", n)
+	}
+	// scored_fraction gates in the opposite direction: pruning *less* of
+	// the cross product is the regression; pruning more is fine.
+	denser := mustDecode(t, strings.Replace(baseSrc, `"scored_fraction": 0.02`, `"scored_fraction": 0.05`, 1))
+	if n, _ := compare(io.Discard, base, denser, "b", "c", 0.2); n != 1 {
+		t.Fatalf("2.5x denser pattern: regressions=%d; want 1", n)
+	}
+	sparser := mustDecode(t, strings.Replace(baseSrc, `"scored_fraction": 0.02`, `"scored_fraction": 0.01`, 1))
+	if n, _ := compare(io.Discard, base, sparser, "b", "c", 0.2); n != 0 {
+		t.Fatalf("sparser pattern gated: regressions=%d; want 0", n)
+	}
+	// Ranking accuracy gates; a missing ranking section is skipped.
+	blind := mustDecode(t, strings.Replace(baseSrc, `"mrr": 1.0`, `"mrr": 0.4`, 1))
+	if n, _ := compare(io.Discard, base, blind, "b", "c", 0.2); n != 1 {
+		t.Fatalf("MRR collapse: regressions=%d; want 1", n)
+	}
+	var noRank strings.Builder
+	cur := mustDecode(t, `{"benchmark": "registry-match", "sizes": [
+		{"name": "2000elem", "scored_fraction": 0.02, "recall_at_k": 0.99,
+		 "precision": 0.96, "recall": 0.97, "f1": 0.965, "speedup": 7.0}]}`)
+	if n, _ := compare(&noRank, base, cur, "b", "c", 0.2); n != 0 {
+		t.Fatalf("dropped ranking section gated: regressions=%d; want 0", n)
+	}
+	if !strings.Contains(noRank.String(), "dropped") {
+		t.Errorf("dropped ranking section not reported:\n%s", noRank.String())
+	}
+}
+
+func TestDiffLoadgenGatesOKRatio(t *testing.T) {
+	base := mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 1.0, "txns_per_sec": 50}`)
+	ok := mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 0.9, "txns_per_sec": 10}`)
+	if n, err := compare(io.Discard, base, ok, "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("10%% ok_ratio drop at 20%% tolerance: regressions=%d err=%v", n, err)
+	}
+	bad := mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 0.5}`)
+	if n, _ := compare(io.Discard, base, bad, "b", "c", 0.2); n != 1 {
+		t.Fatalf("halved ok_ratio: regressions=%d; want 1", n)
+	}
+}

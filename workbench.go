@@ -106,6 +106,11 @@ type (
 	Correspondence = match.Correspondence
 	// Matrix is a confidence matrix over a schema pair.
 	Matrix = match.Matrix
+	// BlockingOptions configures registry-scale candidate generation
+	// (EngineOptions.Blocking): with Enabled set, an inverted-index
+	// blocking pass prunes the cross product before any voter runs and
+	// the pipeline's matrices are stored sparsely over the survivors.
+	BlockingOptions = match.BlockingOptions
 )
 
 // NewEngine preprocesses a schema pair and returns a Harmony engine. The
