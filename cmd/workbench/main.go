@@ -27,6 +27,8 @@
 //	workbench fsck                           check blackboard/WAL integrity
 //	workbench events [after [timeout]]       long-poll the service event feed (-remote)
 //	workbench snapshot                       force a WAL snapshot (-remote)
+//	workbench promote                        promote a replica to primary (-remote)
+//	workbench repl-status                    replication role/epoch/lag (-remote)
 //	workbench trace [id|slow]                inspect server request traces (-remote)
 //	workbench loadgen [flags]                sustained-load telemetry harness (-remote)
 //
@@ -46,6 +48,13 @@
 // `workbench serve` needs no graceful shutdown: every commit is in the
 // write-ahead log before it is acknowledged, so kill -9 at any instant
 // loses nothing — the next start replays the log (see DESIGN.md §11).
+//
+// Replication: `workbench serve -replica-of URL` tails a primary's WAL
+// into a read-only follower that serves every read route; writes come
+// back 409 pointing at the primary. If the primary dies, `workbench
+// -remote REPLICA promote` bumps the fencing epoch and opens the
+// replica for writes; a surviving old primary is sealed by the epoch
+// and refuses writes until restarted with -replica-of (DESIGN.md §15).
 //
 // Fault injection: -chaos-sites arms failpoints for any subcommand
 // (chaos.ParseSpec syntax, e.g. "all=error:0.2" or
@@ -95,6 +104,7 @@ type opts struct {
 	remote     string
 	addr       string
 	dataDir    string
+	replicaOf  string
 	asJSON     bool
 	serveAddr  string
 	pprof      bool
@@ -124,6 +134,7 @@ func run(argv []string) int {
 	fs.StringVar(&o.remote, "remote", "", "workbench service address; runs the subcommand as a client")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "serve: listen address")
 	fs.StringVar(&o.dataDir, "data-dir", "", "serve/fsck: WAL store directory")
+	fs.StringVar(&o.replicaOf, "replica-of", "", "serve: tail the primary at this URL as a read-only replica")
 	fs.BoolVar(&o.asJSON, "json", false, "metrics: JSON exposition instead of Prometheus text")
 	fs.BoolVar(&o.pprof, "pprof", false, "serve: mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&o.serveAddr, "serve", "", "metrics: serve /metrics and /healthz on this address instead of printing")
@@ -165,7 +176,7 @@ func run(argv []string) int {
 	var err error
 	switch {
 	case cmd == "serve":
-		err = runServe(o)
+		err = runServe(o, rest)
 	case cmd == "fsck":
 		err = runFsck(o)
 	case cmd == "loadgen":
@@ -196,17 +207,38 @@ func report(err error) int {
 
 // runServe starts the durable workbench service and blocks. There is no
 // graceful-shutdown path on purpose: durability comes from the WAL, not
-// from orderly exits.
-func runServe(o opts) error {
+// from orderly exits. Serve flags are accepted on either side of the
+// subcommand (`workbench -replica-of URL serve` and `workbench serve
+// -replica-of URL` are equivalent) — the global flag parser stops at
+// the first non-flag argument, so trailing flags are re-parsed here
+// rather than silently dropped.
+func runServe(o opts, rest []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", o.addr, "listen address")
+	fs.StringVar(&o.dataDir, "data-dir", o.dataDir, "WAL directory for durable state")
+	fs.BoolVar(&o.pprof, "pprof", o.pprof, "mount net/http/pprof under /debug/pprof/")
+	fs.StringVar(&o.replicaOf, "replica-of", o.replicaOf, "tail the primary at this URL as a read-only replica")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"serve [-addr host:port] [-data-dir dir] [-pprof] [-replica-of url]"}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Sprintf("serve: unexpected argument %q", fs.Arg(0))}
+	}
 	if o.dataDir == "" {
 		fmt.Fprintln(os.Stderr, "workbench: serve without -data-dir: state is in-memory only")
 	}
-	srv, err := server.New(server.Config{DataDir: o.dataDir, Metrics: obs.Default(), EnablePprof: o.pprof})
+	srv, err := server.New(server.Config{
+		DataDir: o.dataDir, Metrics: obs.Default(), EnablePprof: o.pprof,
+		ReplicaOf: o.replicaOf,
+	})
 	if err != nil {
 		return err
 	}
 	if o.dataDir != "" {
 		fmt.Printf("workbench: recovered %s: %s\n", o.dataDir, srv.Store().Stats())
+	}
+	if o.replicaOf != "" {
+		fmt.Printf("workbench: replica of %s (read-only until promoted)\n", o.replicaOf)
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
@@ -401,6 +433,28 @@ func runRemote(o opts, cmd string, rest []string) error {
 			return err
 		}
 		fmt.Printf("snapshot taken (%d triples)\n", resp.Triples)
+	case "promote":
+		st, err := c.Promote()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("promoted: role %s, epoch %d, last txn %d\n", st.Role, st.Epoch, st.LastTxn)
+	case "repl-status":
+		st, err := c.ReplStatus()
+		if err != nil {
+			return err
+		}
+		health := "healthy"
+		if !st.Healthy {
+			health = "UNHEALTHY"
+			if st.LastError != "" {
+				health += " (" + st.LastError + ")"
+			}
+		}
+		fmt.Printf("role %s, epoch %d, last txn %d — %s\n", st.Role, st.Epoch, st.LastTxn, health)
+		if st.Role == "replica" {
+			fmt.Printf("  primary %s, lag %d txns / %.1fs\n", st.Primary, st.LagTxns, st.LagSeconds)
+		}
 	case "trace":
 		return runTrace(c, rest)
 	default:
@@ -505,12 +559,14 @@ func runLoadgen(o opts, rest []string) error {
 	duration := fs.Duration("duration", 5*time.Second, "length of the timed mixed phase")
 	seed := fs.Int64("seed", 1, "workload seed (reproducible op streams)")
 	threshold := fs.Float64("threshold", server.DefaultThreshold, "match/rematch threshold")
+	replica := fs.String("replica", "", "replica-read mode: seed writes via -remote, then drive the read mix against this replica address")
 	out := fs.String("out", "", "also write the JSON report (BENCH_6.json shape) to this file")
 	if err := fs.Parse(rest); err != nil {
-		return usageError{"loadgen [-workers n] [-duration d] [-seed n] [-threshold f] [-out file]"}
+		return usageError{"loadgen [-workers n] [-duration d] [-seed n] [-threshold f] [-replica addr] [-out file]"}
 	}
 	rep, err := loadgen.Run(loadgen.Config{
 		Addr:      o.remote,
+		ReadAddr:  *replica,
 		Workers:   *workers,
 		Duration:  *duration,
 		Seed:      *seed,
@@ -859,8 +915,8 @@ func runSim(seed int64, spec string, rest []string) int {
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, trace, loadgen
-serve flags: -addr host:port -data-dir dir -pprof
-loadgen flags: -workers n -duration d -seed n -threshold f -out file (requires -remote)
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, promote, repl-status, trace, loadgen
+serve flags: -addr host:port -data-dir dir -pprof -replica-of url
+loadgen flags: -workers n -duration d -seed n -threshold f -replica addr -out file (requires -remote)
 registry-match flags: -scale f -seed n -k n -queries n -sizes a,b,c -dense-max n -no-blocking -par n -out file`)
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -200,6 +201,21 @@ func (c *Client) Events(after uint64, timeout time.Duration) (evs []server.FeedE
 		return nil, after, false, err
 	}
 	return out.Events, out.Next, out.Gap, nil
+}
+
+// ReplStatus reports the node's replication role, epoch, cursor, and
+// lag (meaningful for replicas; primaries report themselves healthy).
+func (c *Client) ReplStatus() (repl.Status, error) {
+	var out repl.Status
+	return out, c.do("GET", repl.StatusPath, nil, &out)
+}
+
+// Promote asks a replica to take over as primary: it stops tailing,
+// bumps the fencing epoch, opens its WAL for writes, and best-effort
+// fences the old primary. Returns the node's post-promotion status.
+func (c *Client) Promote() (repl.Status, error) {
+	var out repl.Status
+	return out, c.do("POST", repl.PromotePath, nil, &out)
 }
 
 // Fsck asks the server for a blackboard + WAL integrity report.

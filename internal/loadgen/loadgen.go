@@ -29,6 +29,13 @@ import (
 type Config struct {
 	// Addr is the service address ("host:port" or full URL).
 	Addr string
+	// ReadAddr, when set, switches the run to replica-read mode: the
+	// seeding phase still writes through Addr (the primary), the harness
+	// waits for the replica at ReadAddr to replicate the seeded state,
+	// and the timed phase is a read-only mix (cells, mappings, schemas,
+	// events) served entirely by the replica. The report's Benchmark is
+	// "loadgen-replica-read".
+	ReadAddr string
 	// Workers is the number of concurrent clients (default 4).
 	Workers int
 	// Duration is how long the mixed phase runs (default 5s).
@@ -52,7 +59,7 @@ type RouteStats struct {
 // machine-independent column — benchdiff gates it; the latency and
 // throughput numbers are context for the host that produced them.
 type Report struct {
-	Benchmark string  `json:"benchmark"` // always "loadgen-sustained"
+	Benchmark string  `json:"benchmark"` // "loadgen-sustained" or "loadgen-replica-read"
 	Workers   int     `json:"workers"`
 	DurationS float64 `json:"duration_s"`
 	Seed      int64   `json:"seed"`
@@ -96,6 +103,12 @@ type worker struct {
 	cl      *client.Client
 	mapping string
 	thresh  float64
+
+	// rd is the replica-side client in replica-read mode (nil otherwise);
+	// the timed read mix goes through it instead of cl.
+	rd *client.Client
+	// evCursor is the worker's replica event-feed cursor (replica-read mode).
+	evCursor uint64
 
 	// cells is the last published matrix, the pool decide ops draw from.
 	cells   []server.CellInfo
@@ -164,6 +177,17 @@ func Run(cfg Config) (*Report, error) {
 		workers[i] = w
 	}
 
+	// Replica-read mode: wait for the replica to replicate the seeded
+	// state, then point every worker's read mix at it.
+	if cfg.ReadAddr != "" {
+		if err := waitCaughtUp(cfg.Addr, cfg.ReadAddr, 30*time.Second); err != nil {
+			return nil, err
+		}
+		for _, w := range workers {
+			w.rd = client.New(cfg.ReadAddr)
+		}
+	}
+
 	// Mixed phase: every worker loops its op mix until the deadline.
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
@@ -173,7 +197,11 @@ func Run(cfg Config) (*Report, error) {
 		go func(w *worker) {
 			defer wg.Done()
 			for time.Now().Before(deadline) {
-				w.step()
+				if w.rd != nil {
+					w.readStep()
+				} else {
+					w.step()
+				}
 			}
 		}(w)
 	}
@@ -181,6 +209,38 @@ func Run(cfg Config) (*Report, error) {
 	elapsed := time.Since(start)
 
 	return assemble(cfg, workers, elapsed), nil
+}
+
+// waitCaughtUp polls the replica's replication status until its cursor
+// reaches the primary's last txn (bounded by the deadline). It fails
+// fast when the node at readAddr is not actually a replica of addr's
+// primary — a misconfigured benchmark should not silently measure a
+// stale or unrelated node.
+func waitCaughtUp(addr, readAddr string, limit time.Duration) error {
+	pri := client.New(addr)
+	rep := client.New(readAddr)
+	ps, err := pri.ReplStatus()
+	if err != nil {
+		return fmt.Errorf("loadgen: primary repl status: %w", err)
+	}
+	deadline := time.Now().Add(limit)
+	for {
+		rs, err := rep.ReplStatus()
+		if err != nil {
+			return fmt.Errorf("loadgen: replica repl status: %w", err)
+		}
+		if rs.Role != "replica" {
+			return fmt.Errorf("loadgen: %s is role %q, not a replica", readAddr, rs.Role)
+		}
+		if rs.LastTxn >= ps.LastTxn {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: replica %s stuck at txn %d (primary at %d) after %s",
+				readAddr, rs.LastTxn, ps.LastTxn, limit)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // step runs one randomly chosen operation, sampling its latency.
@@ -197,6 +257,41 @@ func (w *worker) step() {
 		w.matchOp()
 	default:
 		w.loadOp()
+	}
+}
+
+// readStep runs one randomly chosen read-only operation against the
+// replica. Mix: cell fetches dominate (the matrix is what analysts
+// watch), list routes keep the catalog paths warm, and a zero-timeout
+// events poll exercises the replica's feed cursor machinery.
+func (w *worker) readStep() {
+	switch p := w.rng.Intn(100); {
+	case p < 50:
+		w.record("cells.get", func() error {
+			cells, err := w.rd.Cells(w.mapping)
+			if err == nil {
+				w.cells = cells
+			}
+			return err
+		})
+	case p < 70:
+		w.record("mappings.list", func() error {
+			_, err := w.rd.Mappings()
+			return err
+		})
+	case p < 85:
+		w.record("schemas.list", func() error {
+			_, err := w.rd.Schemas()
+			return err
+		})
+	default:
+		w.record("events.poll", func() error {
+			_, next, _, err := w.rd.Events(w.evCursor, 0)
+			if err == nil {
+				w.evCursor = next
+			}
+			return err
+		})
 	}
 }
 
@@ -259,8 +354,12 @@ func (w *worker) decideOp() {
 // assemble folds every worker's samples into the report.
 func assemble(cfg Config, workers []*worker, elapsed time.Duration) *Report {
 	byRoute := map[string][]time.Duration{}
+	bench := "loadgen-sustained"
+	if cfg.ReadAddr != "" {
+		bench = "loadgen-replica-read"
+	}
 	rep := &Report{
-		Benchmark: "loadgen-sustained",
+		Benchmark: bench,
 		Workers:   cfg.Workers,
 		DurationS: elapsed.Seconds(),
 		Seed:      cfg.Seed,

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -63,6 +64,71 @@ func TestRunSmoke(t *testing.T) {
 	}
 	if _, ok := decoded["ok_ratio"]; !ok {
 		t.Error("JSON missing ok_ratio (the gated column)")
+	}
+}
+
+// TestRunReplicaReadSmoke drives the split read/write mode against a
+// real primary/replica pair: writes seed the primary, the harness waits
+// for the replica to catch up, and the read mix lands on the replica —
+// every read route must succeed even while the primary keeps committing.
+func TestRunReplicaReadSmoke(t *testing.T) {
+	pri, err := server.New(server.Config{
+		DataDir: t.TempDir(), Metrics: obs.NewRegistry(),
+		ReplPollTimeout: 250 * time.Millisecond, ReplBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("primary server.New: %v", err)
+	}
+	priTS := httptest.NewServer(pri.Handler())
+	defer priTS.Close()
+
+	rep, err := server.New(server.Config{
+		DataDir: t.TempDir(), Metrics: obs.NewRegistry(), ReplicaOf: priTS.URL,
+		ReplPollTimeout: 250 * time.Millisecond, ReplBackoff: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("replica server.New: %v", err)
+	}
+	defer rep.StopReplication()
+	repTS := httptest.NewServer(rep.Handler())
+	defer repTS.Close()
+
+	report, err := Run(Config{
+		Addr: priTS.URL, ReadAddr: repTS.URL,
+		Workers: 2, Duration: 300 * time.Millisecond, Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if report.Benchmark != "loadgen-replica-read" {
+		t.Errorf("benchmark = %q", report.Benchmark)
+	}
+	if report.Requests == 0 {
+		t.Fatal("no requests sampled")
+	}
+	if report.OKRatio < 0.99 {
+		t.Errorf("ok_ratio = %.4f (errors %d/%d)", report.OKRatio, report.Errors, report.Requests)
+	}
+	// The mixed phase must be read-only routes; the write routes appear
+	// only from the seeding phase.
+	readOnly := map[string]bool{"cells.get": true, "mappings.list": true, "schemas.list": true, "events.poll": true}
+	var reads int
+	for _, rt := range report.Routes {
+		if readOnly[rt.Route] {
+			reads += rt.Count
+		}
+	}
+	if reads == 0 {
+		t.Fatalf("no read-route traffic in %+v", report.Routes)
+	}
+
+	// Pointing ReadAddr at a non-replica is a configuration error the
+	// harness must refuse rather than silently benchmark.
+	if _, err := Run(Config{
+		Addr: priTS.URL, ReadAddr: priTS.URL,
+		Workers: 1, Duration: 50 * time.Millisecond,
+	}); err == nil || !strings.Contains(err.Error(), "not a replica") {
+		t.Fatalf("ReadAddr at a primary = %v, want a not-a-replica refusal", err)
 	}
 }
 

@@ -1,18 +1,28 @@
 package obs
 
 import (
-	"fmt"
+	"encoding/json"
 	"net/http"
 	"time"
 )
 
-// Handler returns an HTTP handler for the future service mode:
+// Handler returns an HTTP handler for the service mode:
 //
 //	GET /metrics          Prometheus text format (?format=json for JSON)
 //	GET /healthz          {"status":"ok","uptime_seconds":…}
 //
 // A nil registry serves Default().
 func Handler(r *Registry) http.Handler {
+	return HandlerWithHealth(r, nil)
+}
+
+// HandlerWithHealth is Handler with a liveness callback: health reports
+// the service's condition as a status word plus optional detail. Status
+// "ok" serves 200; anything else (e.g. "degraded" for a stalled
+// replica, "sealed" for a deposed primary) serves 503 so load balancers
+// and probes stop routing to the node while the body says why. A nil
+// health is always "ok".
+func HandlerWithHealth(r *Registry, health func() (status, detail string)) http.Handler {
 	if r == nil {
 		r = Default()
 	}
@@ -27,10 +37,27 @@ func Handler(r *Registry) http.Handler {
 		_ = WritePrometheus(w, r)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		status, detail := "ok", ""
+		if health != nil {
+			status, detail = health()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_seconds\":%.3f}\n", time.Since(startTime).Seconds())
+		if status != "ok" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		body := struct {
+			Status        string  `json:"status"`
+			UptimeSeconds float64 `json:"uptime_seconds"`
+			Detail        string  `json:"detail,omitempty"`
+		}{status, round3(time.Since(startTime).Seconds()), detail}
+		_ = json.NewEncoder(w).Encode(body)
 	})
 	return mux
+}
+
+// round3 keeps the uptime field at the historical millisecond precision.
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
 }
 
 // Serve exposes Handler(r) on addr, blocking like http.ListenAndServe.

@@ -52,3 +52,42 @@ func TestHandlerMetricsAndHealthz(t *testing.T) {
 		t.Errorf("healthz = %+v", health)
 	}
 }
+
+// TestHandlerWithHealthServes503 exercises the liveness callback: any
+// non-"ok" status must flip /healthz to 503 with the status and detail
+// in the body, and flip back when the condition clears.
+func TestHandlerWithHealthServes503(t *testing.T) {
+	status, detail := "degraded", "replication stalled: no primary contact"
+	srv := httptest.NewServer(HandlerWithHealth(NewRegistry(), func() (string, string) {
+		return status, detail
+	}))
+	defer srv.Close()
+
+	check := func(wantCode int, wantStatus, wantDetail string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/healthz = %d, want %d", resp.StatusCode, wantCode)
+		}
+		var body struct {
+			Status string `json:"status"`
+			Detail string `json:"detail"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Status != wantStatus || body.Detail != wantDetail {
+			t.Fatalf("healthz body = %+v, want %q/%q", body, wantStatus, wantDetail)
+		}
+	}
+
+	check(503, "degraded", detail)
+	status, detail = "sealed", "deposed at epoch 3"
+	check(503, "sealed", detail)
+	status, detail = "ok", ""
+	check(200, "ok", "")
+}

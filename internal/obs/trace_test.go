@@ -27,6 +27,59 @@ func TestTraceHeaderRoundtrip(t *testing.T) {
 	}
 }
 
+// TestParseTraceHeaderMalformedTable pins down every reject class of the
+// header parser: the replication and request paths feed it
+// attacker-controlled bytes, so "almost right" shapes must fail closed
+// rather than produce a zero or aliased span context.
+func TestParseTraceHeaderMalformedTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		h     string
+		ok    bool
+		canon string // expected canonical re-render when accepted ("" = h itself)
+	}{
+		{name: "valid", h: "0123456789abcdef-fedcba9876543210", ok: true},
+		{name: "valid all digits", h: "1111111111111111-2222222222222222", ok: true},
+		// ParseUint is case-insensitive; the canonical form is lowercase.
+		{name: "uppercase hex", h: "0123456789ABCDEF-FEDCBA9876543210", ok: true,
+			canon: "0123456789abcdef-fedcba9876543210"},
+		{name: "empty", h: ""},
+		{name: "too short", h: "0123456789abcdef-fedcba987654321"},
+		{name: "too long", h: "0123456789abcdef-fedcba98765432100"},
+		{name: "separator missing", h: "0123456789abcdef0fedcba9876543210"},
+		{name: "separator wrong place", h: "0123456789abcde-ffedcba9876543210"},
+		{name: "underscore separator", h: "0123456789abcdef_fedcba9876543210"},
+		{name: "zero trace id", h: "0000000000000000-fedcba9876543210"},
+		{name: "zero span id", h: "0123456789abcdef-0000000000000000"},
+		{name: "non-hex in trace", h: "0123456789abcdeg-fedcba9876543210"},
+		{name: "non-hex in span", h: "0123456789abcdef-fedcba987654321g"},
+		{name: "signed span", h: "0123456789abcdef-+edcba9876543210"},
+		{name: "whitespace padding", h: " 123456789abcdef-fedcba9876543210"},
+		{name: "two separators", h: "0123456789abcdef--edcba9876543210"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc, ok := ParseTraceHeader(tc.h)
+			if ok != tc.ok {
+				t.Fatalf("ParseTraceHeader(%q) ok = %v, want %v", tc.h, ok, tc.ok)
+			}
+			if !ok {
+				if sc.Trace != 0 || sc.Span != 0 {
+					t.Fatalf("rejected header %q returned non-zero context %+v", tc.h, sc)
+				}
+				return
+			}
+			want := tc.canon
+			if want == "" {
+				want = tc.h
+			}
+			if sc.Header() != want {
+				t.Fatalf("accepted header %q re-renders as %q, want %q", tc.h, sc.Header(), want)
+			}
+		})
+	}
+}
+
 func TestStartSpanWithoutParentIsInert(t *testing.T) {
 	sp, ctx := StartSpan(context.Background(), "orphan")
 	if sp.Recording() {

@@ -28,7 +28,14 @@ import (
 //	GET  /v1/events (Accept: text/event-stream)  SSE event feed
 //	GET  /v1/fsck                         integrity check       → FsckResponse
 //	POST /v1/snapshot                     force a WAL snapshot  → SnapshotResponse
-//	GET  /metrics, /healthz               obs exposition (Prometheus text / JSON)
+//	POST /v1/promote                      replica → primary     → repl.Status
+//	GET  /v1/repl/status                  replication status    → repl.Status
+//	POST /v1/repl/fence                   seal on a newer epoch → repl.FenceResponse
+//	GET  /v1/repl/log?after=N&timeout=25s sealed WAL txn frames (octet-stream;
+//	                                      410 = bootstrap needed; followers only)
+//	GET  /v1/repl/snapshot                bootstrap graph (N-Triples + txn header)
+//	GET  /metrics, /healthz               obs exposition (Prometheus text / JSON;
+//	                                      healthz is 503 when sealed or replication stalls)
 //	GET  /debug/traces?n=20&min=250ms     recent request traces → []TraceInfo
 //	                                      (format=jsonl streams the JSONL export)
 //	GET  /debug/traces/{id}               one trace by hex id   → TraceInfo
@@ -52,6 +59,19 @@ const TraceHeader = "X-Ib-Trace"
 // ErrorResponse is the uniform error body.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// ReadOnlyResponse is the 409 body a replica or sealed node answers
+// mutating requests with: the uniform error shape plus enough routing
+// detail for a client to retry against the acting primary.
+type ReadOnlyResponse struct {
+	Error string `json:"error"`
+	// Role is "replica" or "sealed".
+	Role string `json:"role"`
+	// Primary is the upstream URL to write to ("" on a sealed node —
+	// its deposer's address is unknown to it).
+	Primary string `json:"primary,omitempty"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 // OpenSessionRequest names the connecting client.

@@ -1,0 +1,588 @@
+package server
+
+// Replication wiring: the primary-side shipping routes (/v1/repl/*),
+// the replica mode (Config.ReplicaOf) that tails a primary into the
+// local blackboard while serving read routes, fenced failover
+// (/v1/promote + /v1/repl/fence), and the role-based write guard.
+// The protocol pieces live in internal/repl; this file binds them to
+// the server's store, blackboard, feed, and transaction lock.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/rdf"
+	"repro/internal/repl"
+	"repro/internal/wal"
+	"repro/internal/wbmgr"
+)
+
+// replTool is the provenance name replication applies transactions
+// under; like feedTool it never originates local transactions.
+const replTool = "_repl"
+
+// EventReplTxn is the feed event kind emitted once per applied primary
+// transaction on a replica — a follower's clients see replication
+// progress through the same exactly-once feed as local mutations.
+const EventReplTxn wbmgr.EventKind = "repl-txn"
+
+// replMaxBatch caps how many transactions one /v1/repl/log response
+// carries, bounding response size for a far-behind follower.
+const replMaxBatch = 512
+
+// Node roles. The role is a small state machine: primary ⇄ sealed
+// (fenced by a newer epoch), replica → primary (promote). A sealed node
+// only leaves that state by restarting with -replica-of.
+type replRole int32
+
+const (
+	rolePrimary replRole = iota
+	roleReplica
+	roleSealed
+)
+
+func (r replRole) String() string {
+	switch r {
+	case roleReplica:
+		return repl.RoleReplica
+	case roleSealed:
+		return repl.RoleSealed
+	default:
+		return repl.RolePrimary
+	}
+}
+
+// currentRole reads the node's role.
+func (s *Server) currentRole() replRole { return replRole(s.role.Load()) }
+
+// epoch reads the fencing epoch: durable in the WAL header when a store
+// exists, in-memory otherwise.
+func (s *Server) epoch() uint64 {
+	if s.store != nil {
+		return s.store.Epoch()
+	}
+	return s.memEpoch.Load()
+}
+
+// setEpoch advances the epoch (durably when a store exists).
+func (s *Server) setEpoch(e uint64, sealed bool) error {
+	if s.store != nil {
+		return s.store.SetEpoch(e, sealed)
+	}
+	s.memEpoch.Store(e)
+	return nil
+}
+
+// lastTxn is the node's replication cursor: the store's highest txn, or
+// the in-memory applied counter on a storeless replica.
+func (s *Server) lastTxn() uint64 {
+	if s.store != nil {
+		return s.store.LastTxn()
+	}
+	return s.replApplied.Load()
+}
+
+// initReplication establishes the node's role at startup. A ReplicaOf
+// address makes it a tailing replica (clearing any stale sealed flag —
+// rejoining as a replica is exactly how a deposed primary comes back); a
+// sealed store without ReplicaOf stays sealed; everything else is a
+// primary.
+func (s *Server) initReplication() error {
+	repl.DescribeMetrics(s.reg)
+	s.primaryURL = strings.TrimRight(s.cfg.ReplicaOf, "/")
+	if s.primaryURL != "" && !strings.Contains(s.primaryURL, "://") {
+		s.primaryURL = "http://" + s.primaryURL
+	}
+	switch {
+	case s.primaryURL != "":
+		s.role.Store(int32(roleReplica))
+		if s.store != nil && s.store.Sealed() {
+			if err := s.store.SetEpoch(s.store.Epoch(), false); err != nil {
+				return err
+			}
+			s.log.Info(context.Background(), "unsealing: rejoining as replica", "primary", s.primaryURL)
+		}
+		return s.StartReplication()
+	case s.store != nil && s.store.Sealed():
+		s.role.Store(int32(roleSealed))
+		s.log.Warn(context.Background(), "store is sealed: refusing writes until restarted with -replica-of",
+			"epoch", s.store.Epoch())
+	default:
+		s.role.Store(int32(rolePrimary))
+	}
+	return nil
+}
+
+// StartReplication starts (or restarts) the tail loop against the
+// configured primary. It is the operational hook behind replica startup
+// and the chaos tests' pause/resume; promoting stops it for good.
+func (s *Server) StartReplication() error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.primaryURL == "" {
+		return fmt.Errorf("server: no primary configured (ReplicaOf)")
+	}
+	if s.tailCancel != nil {
+		return fmt.Errorf("server: replication already running")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	t := repl.NewTailer(repl.Config{
+		Primary:     s.primaryURL,
+		Apply:       replApplier{s},
+		Epoch:       s.epoch,
+		Metrics:     s.reg,
+		Log:         s.log,
+		PollTimeout: s.cfg.ReplPollTimeout,
+		Backoff:     s.cfg.ReplBackoff,
+	})
+	s.tailer = t
+	s.tailCancel = cancel
+	s.tailDone = done
+	go func() {
+		defer close(done)
+		t.Run(ctx)
+	}()
+	return nil
+}
+
+// StopReplication halts the tail loop and waits for it to exit. Safe to
+// call when none is running.
+func (s *Server) StopReplication() {
+	s.replMu.Lock()
+	cancel, done := s.tailCancel, s.tailDone
+	s.tailCancel, s.tailDone = nil, nil
+	s.replMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+}
+
+// ---- the replica-side applier ----
+
+// replApplier adapts the server to repl.Applier: shipped transactions
+// become durable in the follower's WAL (preserving the primary's txn
+// ids), then mutate the blackboard graph directly — replay bypasses the
+// manager because provenance, events, and validation already happened on
+// the primary and are encoded in the ops.
+type replApplier struct{ s *Server }
+
+// LastApplied implements repl.Applier.
+func (a replApplier) LastApplied() uint64 { return a.s.lastTxn() }
+
+// ApplyTxn implements repl.Applier: idempotent, durability-first replay
+// of one shipped transaction under the write lock.
+func (a replApplier) ApplyTxn(txn uint64, ops []rdf.ChangeOp) error {
+	s := a.s
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	if s.currentRole() != roleReplica {
+		return fmt.Errorf("server: not a replica (role %s)", s.currentRole())
+	}
+	if txn <= s.lastTxn() {
+		return nil // already applied: a retried batch replays as a no-op
+	}
+	if s.store != nil {
+		if err := s.store.AppendTxnAt(context.Background(), txn, ops); err != nil {
+			if errors.Is(err, wal.ErrTxnApplied) {
+				return nil
+			}
+			return err
+		}
+	}
+	a.applyOpsLocked(txn, ops)
+	s.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
+	return nil
+}
+
+// applyOpsLocked mutates the follower graph and refreshes derived state.
+func (a replApplier) applyOpsLocked(txn uint64, ops []rdf.ChangeOp) {
+	g := a.s.bb.Graph()
+	for _, op := range ops {
+		if op.Add {
+			g.Add(op.T)
+		} else {
+			g.Remove(op.T)
+		}
+	}
+	a.s.bb.SyncMetrics()
+	a.s.replApplied.Store(txn)
+}
+
+// Bootstrap implements repl.Applier: converge the local graph onto a
+// full primary snapshot taken at txn, applied as one WAL transaction
+// under the snapshot's txn id. Diff-based convergence makes re-bootstrap
+// and deposed-primary rejoin work with the same code path: whatever the
+// local graph holds — empty, stale, or ahead by an orphaned
+// unacknowledged txn — it ends rdf.Equal to the snapshot.
+func (a replApplier) Bootstrap(g *rdf.Graph, txn uint64) error {
+	s := a.s
+	s.txnMu.Lock()
+	defer s.txnMu.Unlock()
+	if s.currentRole() != roleReplica {
+		return fmt.Errorf("server: not a replica (role %s)", s.currentRole())
+	}
+	last := s.lastTxn()
+	if txn < last {
+		return fmt.Errorf("server: local txn %d ahead of primary snapshot txn %d (diverged history; wipe the data dir to rejoin)", last, txn)
+	}
+	added, removed := g.Diff(s.bb.Graph())
+	if txn == last {
+		if len(added) == 0 && len(removed) == 0 {
+			return nil
+		}
+		return fmt.Errorf("server: graph diverged from primary at identical txn %d (%d/%d triples differ)", txn, len(added), len(removed))
+	}
+	ops := make([]rdf.ChangeOp, 0, len(added)+len(removed))
+	for _, t := range removed {
+		ops = append(ops, rdf.ChangeOp{Add: false, T: t})
+	}
+	for _, t := range added {
+		ops = append(ops, rdf.ChangeOp{Add: true, T: t})
+	}
+	if s.store != nil {
+		if err := s.store.AppendTxnAt(context.Background(), txn, ops); err != nil {
+			return err
+		}
+	}
+	a.applyOpsLocked(txn, ops)
+	if s.store != nil {
+		// Fold the (potentially huge) bootstrap txn straight into a local
+		// snapshot; failure is harmless — the log replays fine.
+		_ = s.store.SnapshotNow()
+	}
+	s.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
+	return nil
+}
+
+// ObserveEpoch implements repl.Applier: learn a newer primary epoch,
+// reject a stale one (a deposed upstream must not be tailed).
+func (a replApplier) ObserveEpoch(e uint64) error {
+	s := a.s
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	local := s.epoch()
+	switch repl.CompareEpoch(local, e) {
+	case repl.RemoteAhead:
+		return s.setEpoch(e, false)
+	case repl.RemoteBehind:
+		return fmt.Errorf("server: primary epoch %d behind local %d: upstream was deposed", e, local)
+	}
+	return nil
+}
+
+// ---- guards ----
+
+// rejectReadOnly refuses a mutating request on any node that is not the
+// acting primary, with a 409 pointing the client at the right place.
+func (s *Server) rejectReadOnly(w http.ResponseWriter) bool {
+	switch s.currentRole() {
+	case roleReplica:
+		writeJSON(w, http.StatusConflict, ReadOnlyResponse{
+			Error:   fmt.Sprintf("this node is a read-only replica of %s", s.primaryURL),
+			Role:    repl.RoleReplica,
+			Primary: s.primaryURL,
+			Epoch:   s.epoch(),
+		})
+		return true
+	case roleSealed:
+		writeJSON(w, http.StatusConflict, ReadOnlyResponse{
+			Error: fmt.Sprintf("writes refused: node sealed at epoch %d (a newer primary was promoted)", s.epoch()),
+			Role:  repl.RoleSealed,
+			Epoch: s.epoch(),
+		})
+		return true
+	}
+	return false
+}
+
+// replGuard applies the fencing rule to an incoming replication
+// request: a stale epoch claim is refused, a newer one deposes this
+// node (if it was the primary) before refusing, and a sealed node never
+// serves replication. Epoch 0 is "no claim" — a fresh follower — and
+// skips the comparison, since 0 is also the legitimate first epoch.
+func (s *Server) replGuard(w http.ResponseWriter, r *http.Request) bool {
+	remote, ok := repl.ParseEpochHeader(r.Header.Get(repl.EpochHeader))
+	if !ok {
+		fail(w, http.StatusBadRequest, "bad %s header %q", repl.EpochHeader, r.Header.Get(repl.EpochHeader))
+		return true
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	local := s.epoch()
+	if remote != 0 {
+		switch repl.CompareEpoch(local, remote) {
+		case repl.RemoteAhead:
+			s.sealLocked(remote)
+			fail(w, http.StatusConflict, "fenced: remote epoch %d ahead of local %d", remote, local)
+			return true
+		case repl.RemoteBehind:
+			fail(w, http.StatusConflict, "stale epoch %d (current %d)", remote, local)
+			return true
+		}
+	}
+	if s.currentRole() == roleSealed {
+		fail(w, http.StatusConflict, "sealed at epoch %d: a newer primary exists", local)
+		return true
+	}
+	return false
+}
+
+// sealLocked records deposition: a primary that learns of a newer epoch
+// persists it with the sealed flag and stops accepting writes; a
+// replica just learns the epoch (its upstream will be judged by
+// ObserveEpoch). Callers hold replMu.
+func (s *Server) sealLocked(newEpoch uint64) {
+	if s.currentRole() == roleReplica {
+		_ = s.setEpoch(newEpoch, false)
+		return
+	}
+	if err := s.setEpoch(newEpoch, true); err != nil {
+		s.log.Error(context.Background(), "persisting seal failed", "epoch", newEpoch, "err", err)
+	}
+	s.role.Store(int32(roleSealed))
+	s.log.Warn(context.Background(), "sealed: a newer primary exists", "epoch", newEpoch)
+}
+
+// ---- handlers ----
+
+// handleReplLog serves sealed txn frames after the follower's cursor,
+// long-polling when it is caught up. 410 Gone means the ship ring no
+// longer reaches the cursor and the follower must bootstrap.
+func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		fail(w, http.StatusConflict, "replication requires a data dir on the primary")
+		return
+	}
+	if s.replGuard(w, r) {
+		return
+	}
+	after, ok := parseAfter(w, r)
+	if !ok {
+		return
+	}
+	timeout, ok := parsePollTimeout(w, r)
+	if !ok {
+		return
+	}
+	if err := chaos.Inject(repl.SiteShip); err != nil {
+		fail(w, http.StatusInternalServerError, "repl ship: %v", err)
+		return
+	}
+	data, n, last, ok := s.store.WaitFrames(r.Context(), after, timeout, replMaxBatch)
+	if !ok {
+		fail(w, http.StatusGone, "txns after %d are no longer buffered; bootstrap from %s", after, repl.SnapshotPath)
+		return
+	}
+	s.reg.Counter(repl.MetricShippedTxns).Add(int64(n))
+	w.Header().Set(repl.EpochHeader, strconv.FormatUint(s.epoch(), 10))
+	w.Header().Set(repl.LastTxnHeader, strconv.FormatUint(last, 10))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handleReplSnapshot serves the full graph as N-Triples for bootstrap,
+// captured atomically against writers via the transaction lock.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.replGuard(w, r) {
+		return
+	}
+	if err := chaos.Inject(repl.SiteShip); err != nil {
+		fail(w, http.StatusInternalServerError, "repl ship: %v", err)
+		return
+	}
+	s.txnMu.Lock()
+	txn := s.lastTxn()
+	var buf bytes.Buffer
+	err := rdf.WriteNTriples(&buf, s.bb.Graph())
+	s.txnMu.Unlock()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.reg.Counter(repl.MetricSnapshotsServed).Inc()
+	w.Header().Set(repl.EpochHeader, strconv.FormatUint(s.epoch(), 10))
+	w.Header().Set(repl.SnapshotTxnHeader, strconv.FormatUint(txn, 10))
+	w.Header().Set("Content-Type", "application/n-triples")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// replStatus assembles the node's replication status.
+func (s *Server) replStatus() repl.Status {
+	st := repl.Status{
+		Role:    s.currentRole().String(),
+		Epoch:   s.epoch(),
+		LastTxn: s.lastTxn(),
+		Healthy: true,
+	}
+	switch s.currentRole() {
+	case roleSealed:
+		st.Healthy = false
+		st.LastError = "sealed: a newer primary exists"
+	case roleReplica:
+		st.Primary = s.primaryURL
+		s.replMu.Lock()
+		t := s.tailer
+		s.replMu.Unlock()
+		if t == nil {
+			st.Healthy = false
+			st.LastError = "replication not running"
+			break
+		}
+		primaryLast, contact, lastErr := t.Status()
+		if primaryLast > st.LastTxn {
+			st.LagTxns = primaryLast - st.LastTxn
+		}
+		if !contact.IsZero() {
+			st.LagSeconds = time.Since(contact).Seconds()
+		}
+		st.Healthy = t.Healthy()
+		if lastErr != nil {
+			st.LastError = lastErr.Error()
+		}
+	}
+	return st
+}
+
+func (s *Server) handleReplStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.replStatus())
+}
+
+// handleReplFence accepts a promotion notification: a strictly newer
+// epoch seals this node; anything else is refused (fencing must only
+// ever move the epoch forward).
+func (s *Server) handleReplFence(w http.ResponseWriter, r *http.Request) {
+	var req repl.FenceRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	local := s.epoch()
+	if repl.CompareEpoch(local, req.Epoch) != repl.RemoteAhead {
+		fail(w, http.StatusConflict, "fence epoch %d does not advance local epoch %d", req.Epoch, local)
+		return
+	}
+	s.sealLocked(req.Epoch)
+	writeJSON(w, http.StatusOK, repl.FenceResponse{Role: s.currentRole().String(), Epoch: s.epoch()})
+}
+
+// handlePromote turns this replica into the primary: stop tailing, bump
+// the fencing epoch durably, open for writes, and best-effort fence the
+// old primary so a surviving process seals itself immediately (a dead
+// one finds out from the epoch on the next replication exchange).
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.replMu.Lock()
+	if s.currentRole() != roleReplica {
+		role := s.currentRole().String()
+		s.replMu.Unlock()
+		fail(w, http.StatusConflict, "only a replica can be promoted; this node is %s", role)
+		return
+	}
+	s.replMu.Unlock()
+
+	// Stop the tail first (without holding replMu: the tailer's applier
+	// callbacks take it). A concurrent promote loses the re-check below.
+	s.StopReplication()
+
+	s.replMu.Lock()
+	if s.currentRole() != roleReplica {
+		role := s.currentRole().String()
+		s.replMu.Unlock()
+		fail(w, http.StatusConflict, "only a replica can be promoted; this node is %s", role)
+		return
+	}
+	newEpoch := s.epoch() + 1
+	if err := s.setEpoch(newEpoch, false); err != nil {
+		s.replMu.Unlock()
+		fail(w, http.StatusInternalServerError, "persisting promotion epoch: %v", err)
+		return
+	}
+	s.role.Store(int32(rolePrimary))
+	oldPrimary := s.primaryURL
+	s.primaryURL = ""
+	s.tailer = nil
+	s.replMu.Unlock()
+
+	s.log.Info(r.Context(), "promoted to primary", "epoch", newEpoch, "oldPrimary", oldPrimary)
+	if oldPrimary != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		f := repl.NewFetcher(oldPrimary, func() uint64 { return newEpoch })
+		if err := f.Fence(ctx, newEpoch); err != nil {
+			s.log.Warn(r.Context(), "fencing old primary failed (it will seal on next contact)",
+				"oldPrimary", oldPrimary, "err", err)
+		}
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, s.replStatus())
+}
+
+// health backs /healthz: "ok" only when this node is fit to serve its
+// role — a sealed node and a replica whose tail is stalled both degrade.
+func (s *Server) health() (status, detail string) {
+	switch s.currentRole() {
+	case roleSealed:
+		return "sealed", fmt.Sprintf("sealed at epoch %d; a newer primary was promoted", s.epoch())
+	case roleReplica:
+		st := s.replStatus()
+		if !st.Healthy {
+			d := "replication stalled"
+			if st.LastError != "" {
+				d += ": " + st.LastError
+			}
+			return "degraded", d
+		}
+	}
+	return "ok", ""
+}
+
+// ---- request decoding helpers (shared with the events route) ----
+
+// parseAfter decodes the ?after cursor (0 when absent); a malformed or
+// negative value is a 400.
+func parseAfter(w http.ResponseWriter, r *http.Request) (uint64, bool) {
+	v := r.URL.Query().Get("after")
+	if v == "" {
+		return 0, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "bad after cursor %q", v)
+		return 0, false
+	}
+	return n, true
+}
+
+// parsePollTimeout decodes the ?timeout long-poll window (default 25s),
+// rejecting malformed and negative values and capping at
+// maxPollTimeout.
+func parsePollTimeout(w http.ResponseWriter, r *http.Request) (time.Duration, bool) {
+	timeout := 25 * time.Second
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			fail(w, http.StatusBadRequest, "bad timeout %q", v)
+			return 0, false
+		}
+		if d < 0 {
+			fail(w, http.StatusBadRequest, "negative timeout %q", v)
+			return 0, false
+		}
+		timeout = d
+	}
+	if timeout > maxPollTimeout {
+		timeout = maxPollTimeout
+	}
+	return timeout, true
+}

@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/blackboard"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/logx"
 	"repro/internal/rdf"
+	"repro/internal/repl"
 	"repro/internal/sqlddl"
 	"repro/internal/wal"
 	"repro/internal/wbmgr"
@@ -91,6 +93,16 @@ type Config struct {
 	// Log receives request and error diagnostics (nil = the process-wide
 	// logx default, stderr at info).
 	Log *logx.Logger
+	// ReplicaOf makes this node a read-only replica tailing the primary
+	// at the given URL (scheme optional). Empty = primary.
+	ReplicaOf string
+	// ReplPollTimeout and ReplBackoff tune the replica's tail loop
+	// (0 = the repl package defaults; tests shrink them).
+	ReplPollTimeout time.Duration
+	ReplBackoff     time.Duration
+	// ReplBufferTxns forwards to wal.Options: the primary's ship-ring
+	// capacity in transactions (0 = wal.DefaultReplBufferTxns).
+	ReplBufferTxns int
 }
 
 // DefaultSlowRequest is the slow-request log threshold when Config
@@ -144,6 +156,19 @@ type Server struct {
 	matchCache *matchcache.Cache
 	engMu      sync.Mutex // guards engines
 	engines    map[string]*matchSession
+
+	// Replication state (internal/server/repl.go). role is the node's
+	// replication role; replMu serializes role/epoch transitions and
+	// guards the tailer handle; the atomics back the in-memory fallbacks
+	// when no store exists.
+	role        atomic.Int32
+	memEpoch    atomic.Uint64
+	replApplied atomic.Uint64
+	primaryURL  string
+	replMu      sync.Mutex
+	tailer      *repl.Tailer
+	tailCancel  context.CancelFunc
+	tailDone    chan struct{}
 }
 
 // New opens (and, with a DataDir, recovers) a workbench service.
@@ -180,7 +205,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.matchCache.SetMetrics(reg)
 	if cfg.DataDir != "" {
-		store, err := wal.Open(cfg.DataDir, wal.Options{SnapshotEvery: cfg.SnapshotEvery, Metrics: reg})
+		store, err := wal.Open(cfg.DataDir, wal.Options{
+			SnapshotEvery:  cfg.SnapshotEvery,
+			ReplBufferTxns: cfg.ReplBufferTxns,
+			Metrics:        reg,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -211,6 +240,12 @@ func New(cfg Config) (*Server, error) {
 	s.mgr.Subscribe(wbmgr.EventSchemaGraph, matchTool, func(ev wbmgr.Event) {
 		s.markSchemaStale(ev.Subject)
 	})
+	if err := s.initReplication(); err != nil {
+		if s.store != nil {
+			s.store.Close()
+		}
+		return nil, err
+	}
 	s.buildMux()
 	return s, nil
 }
@@ -221,8 +256,10 @@ func (s *Server) Manager() *wbmgr.Manager { return s.mgr }
 // Store exposes the WAL store (nil when in-memory).
 func (s *Server) Store() *wal.Store { return s.store }
 
-// Close folds the WAL into a final snapshot and releases it.
+// Close stops replication, folds the WAL into a final snapshot, and
+// releases it.
 func (s *Server) Close() error {
+	s.StopReplication()
 	if s.store != nil {
 		return s.store.Close()
 	}
@@ -236,7 +273,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
-	obsHandler := obs.Handler(s.reg)
+	obsHandler := obs.HandlerWithHealth(s.reg, s.health)
 	mux.Handle("/metrics", obsHandler)
 	mux.Handle("/healthz", obsHandler)
 
@@ -256,6 +293,14 @@ func (s *Server) buildMux() {
 	s.route(mux, "GET /v1/events", "events", s.handleEvents)
 	s.route(mux, "GET /v1/fsck", "fsck", s.handleFsck)
 	s.route(mux, "POST /v1/snapshot", "snapshot", s.handleSnapshot)
+	s.route(mux, "POST /v1/promote", "promote", s.handlePromote)
+	s.route(mux, "GET "+repl.StatusPath, "repl.status", s.handleReplStatus)
+	s.route(mux, "POST "+repl.FencePath, "repl.fence", s.handleReplFence)
+	// The shipping routes are metrics-only (no tracing): a tailing
+	// replica polls continuously and would evict every analyst trace
+	// from the bounded trace store.
+	s.routeQuiet(mux, "GET "+repl.LogPath, "repl.log", s.handleReplLog)
+	s.routeQuiet(mux, "GET "+repl.SnapshotPath, "repl.snapshot", s.handleReplSnapshot)
 	s.mountDebug(mux)
 	s.mux = mux
 }
@@ -304,6 +349,20 @@ func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerF
 		}
 		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
 			ObserveDuration(d)
+		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code)).Inc()
+	})
+}
+
+// routeQuiet mounts a handler with request metrics but without tracing,
+// for high-frequency machine routes (replication polls) that would
+// otherwise flood the bounded trace store.
+func (s *Server) routeQuiet(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		t0 := time.Now()
+		h(rec, r)
+		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
+			ObserveDuration(time.Since(t0))
 		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code)).Inc()
 	})
 }
@@ -435,6 +494,9 @@ func (s *Server) loadSchema(req LoadSchemaRequest) (*model.Schema, error) {
 }
 
 func (s *Server) handleLoadSchema(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req LoadSchemaRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -492,6 +554,9 @@ func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
 // ---- mappings ----
 
 func (s *Server) handleCreateMapping(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req CreateMappingRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -711,6 +776,9 @@ func (s *Server) cacheStats() CacheStats {
 // engine stays alive as the mapping's match session, so a later rematch
 // can recompute incrementally from its run snapshot.
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req MatchRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -757,6 +825,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 // hints) require, and republishes. Without a prior match it degrades to
 // a cold full run — the response's mode says which path ran.
 func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req RematchRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -833,6 +904,9 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 
 // handleDecide records an analyst accept/reject on one cell.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
 	var req DecideRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -900,31 +974,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 const maxPollTimeout = 60 * time.Second
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	after := uint64(0)
-	if v := r.URL.Query().Get("after"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
-		if err != nil {
-			fail(w, http.StatusBadRequest, "bad after cursor %q", v)
-			return
-		}
-		after = n
+	after, ok := parseAfter(w, r)
+	if !ok {
+		return
 	}
 	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
 		r.URL.Query().Get("stream") == "sse" {
 		s.serveSSE(w, r, after)
 		return
 	}
-	timeout := 25 * time.Second
-	if v := r.URL.Query().Get("timeout"); v != "" {
-		d, err := time.ParseDuration(v)
-		if err != nil {
-			fail(w, http.StatusBadRequest, "bad timeout %q", v)
-			return
-		}
-		timeout = d
-	}
-	if timeout > maxPollTimeout {
-		timeout = maxPollTimeout
+	timeout, ok := parsePollTimeout(w, r)
+	if !ok {
+		return
 	}
 	evs, gap := s.feed.wait(r.Context(), after, timeout)
 	resp := EventsResponse{Next: after, Gap: gap, Events: evs}

@@ -1,0 +1,338 @@
+package wal
+
+// Tests of the store's replication surface: the durable fencing header
+// (epoch + sealed flag), primary-id-preserving appends (AppendTxnAt),
+// the ship ring (FramesSince/WaitFrames), and the strict batch decoder
+// followers run on shipped bytes (DecodeTxnFrames).
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rdf"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	s := newStore(t, Options{})
+	dir := s.Dir()
+	if s.Epoch() != 0 || s.Sealed() {
+		t.Fatalf("fresh store: epoch=%d sealed=%v, want 0/unsealed", s.Epoch(), s.Sealed())
+	}
+	if err := s.SetEpoch(3, true); err != nil {
+		t.Fatalf("SetEpoch: %v", err)
+	}
+	if s.Epoch() != 3 || !s.Sealed() {
+		t.Fatalf("after SetEpoch(3, true): epoch=%d sealed=%v", s.Epoch(), s.Sealed())
+	}
+	// Moving the fence backwards is refused — a deposed primary must not
+	// regain a fresher fence than its deposer.
+	if err := s.SetEpoch(2, false); !errors.Is(err, ErrEpochBehind) {
+		t.Fatalf("SetEpoch(2) after 3: %v, want ErrEpochBehind", err)
+	}
+	// Same epoch, clearing the seal (the rejoin-as-replica path) is fine.
+	if err := s.SetEpoch(3, false); err != nil {
+		t.Fatalf("unseal at same epoch: %v", err)
+	}
+	s.Close()
+
+	// The header survives a restart via the sidecar file.
+	h, err := ReadHeader(dir)
+	if err != nil || h.Epoch != 3 || h.Sealed {
+		t.Fatalf("ReadHeader = %+v, %v; want epoch 3 unsealed", h, err)
+	}
+	s2, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if s2.Epoch() != 3 || s2.Sealed() {
+		t.Fatalf("reopened: epoch=%d sealed=%v", s2.Epoch(), s2.Sealed())
+	}
+}
+
+func TestHeaderParseRejectsCorruption(t *testing.T) {
+	// A corrupt fence must stop the node, not silently reset the epoch.
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"wrong magic", "nope v1 epoch 1 sealed 0 txn 0\n"},
+		{"wrong version", "ibwal v2 epoch 1 sealed 0 txn 0\n"},
+		{"missing fields", "ibwal v1 epoch 1\n"},
+		{"missing txn", "ibwal v1 epoch 1 sealed 0\n"},
+		{"extra fields", "ibwal v1 epoch 1 sealed 0 txn 0 junk\n"},
+		{"bad epoch", "ibwal v1 epoch banana sealed 0 txn 0\n"},
+		{"negative epoch", "ibwal v1 epoch -1 sealed 0 txn 0\n"},
+		{"bad sealed", "ibwal v1 epoch 1 sealed maybe txn 0\n"},
+		{"bad txn", "ibwal v1 epoch 1 sealed 0 txn banana\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseHeader(tc.text); err == nil {
+				t.Fatalf("parseHeader(%q) accepted", tc.text)
+			}
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, HeaderFile), []byte(tc.text), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Open(dir, Options{SnapshotEvery: -1}); err == nil {
+				t.Fatalf("Open over corrupt header %q succeeded", tc.text)
+			}
+		})
+	}
+	// The two legitimate sealed values parse.
+	for _, text := range []string{"ibwal v1 epoch 0 sealed 0 txn 0\n", "ibwal v1 epoch 7 sealed 1 txn 42"} {
+		if _, err := parseHeader(text); err != nil {
+			t.Fatalf("parseHeader(%q): %v", text, err)
+		}
+	}
+}
+
+func TestAppendTxnAtPreservesPrimaryIDs(t *testing.T) {
+	s := newStore(t, Options{})
+	ctx := context.Background()
+	ops := mustOps(t, `<urn:a> <urn:p> <urn:b> .`)
+	// A follower applies the primary's txns 5 and 9 — ids with gaps, as
+	// after a snapshot-bootstrap at txn 4.
+	if err := s.AppendTxnAt(ctx, 5, ops); err != nil {
+		t.Fatalf("AppendTxnAt(5): %v", err)
+	}
+	if err := s.AppendTxnAt(ctx, 9, mustOps(t, `<urn:c> <urn:p> <urn:d> .`)); err != nil {
+		t.Fatalf("AppendTxnAt(9): %v", err)
+	}
+	if s.LastTxn() != 9 {
+		t.Fatalf("LastTxn = %d, want 9", s.LastTxn())
+	}
+	// Replayed or stale ids are refused with the sentinel the replica
+	// treats as "already applied".
+	for _, txn := range []uint64{9, 5, 1} {
+		if err := s.AppendTxnAt(ctx, txn, ops); !errors.Is(err, ErrTxnApplied) {
+			t.Fatalf("AppendTxnAt(%d) after 9: %v, want ErrTxnApplied", txn, err)
+		}
+	}
+	// The cursor survives a restart: recovery lands on the primary's ids.
+	dir := s.Dir()
+	s.Close()
+	s2, err := Open(dir, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.LastTxn() != 9 {
+		t.Fatalf("LastTxn after reopen = %d, want 9", s2.LastTxn())
+	}
+	// And a local append continues the primary's id space.
+	if err := s2.AppendTxn(nil); err != nil {
+		t.Fatal(err)
+	}
+	if s2.LastTxn() != 10 {
+		t.Fatalf("LastTxn after local append = %d, want 10", s2.LastTxn())
+	}
+}
+
+func TestFramesSinceShipsDecodableBatches(t *testing.T) {
+	s := newStore(t, Options{})
+	batches := [][]rdf.ChangeOp{
+		mustOps(t, `<urn:a> <urn:p> <urn:b> .`),
+		mustOps(t, `-<urn:a> <urn:p> <urn:b> .`, `<urn:c> <urn:p> <urn:d> .`),
+		mustOps(t, `<urn:e> <urn:p> <urn:f> .`),
+	}
+	for _, ops := range batches {
+		if err := s.AppendTxn(ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, n, last, ok := s.FramesSince(0, 100)
+	if !ok || n != 3 || last != 3 {
+		t.Fatalf("FramesSince(0) = n=%d last=%d ok=%v", n, last, ok)
+	}
+	frames, err := DecodeTxnFrames(data)
+	if err != nil {
+		t.Fatalf("DecodeTxnFrames: %v", err)
+	}
+	if len(frames) != 3 {
+		t.Fatalf("decoded %d frames, want 3", len(frames))
+	}
+	// A follower replaying the frames lands on the same graph a local
+	// replay of the ops would.
+	want, got := rdf.NewGraph(), rdf.NewGraph()
+	for i, fr := range frames {
+		if fr.Txn != uint64(i+1) {
+			t.Fatalf("frame %d has txn %d", i, fr.Txn)
+		}
+		want, got = applyOps(want, batches[i]), applyOps(got, fr.Ops)
+	}
+	if !rdf.Equal(want, got) {
+		t.Fatal("shipped ops diverge from the appended ops")
+	}
+
+	// Mid-stream cursor: only the tail ships.
+	_, n, last, ok = s.FramesSince(2, 100)
+	if !ok || n != 1 || last != 3 {
+		t.Fatalf("FramesSince(2) = n=%d last=%d ok=%v", n, last, ok)
+	}
+	// Caught up: empty but ok (long-poll would park).
+	data, n, _, ok = s.FramesSince(3, 100)
+	if !ok || n != 0 || len(data) != 0 {
+		t.Fatalf("FramesSince(3) = n=%d len=%d ok=%v", n, len(data), ok)
+	}
+	// maxTxns bounds one batch; last still reports the store's head so
+	// the follower knows it is not caught up yet.
+	data, n, last, ok = s.FramesSince(0, 2)
+	if !ok || n != 2 || last != 3 {
+		t.Fatalf("FramesSince(0, max 2) = n=%d last=%d ok=%v", n, last, ok)
+	}
+	if frames, err := DecodeTxnFrames(data); err != nil || len(frames) != 2 || frames[1].Txn != 2 {
+		t.Fatalf("bounded batch = %d frames, %v", len(frames), err)
+	}
+}
+
+func TestFramesSinceRingEvictionForcesBootstrap(t *testing.T) {
+	s := newStore(t, Options{ReplBufferTxns: 2})
+	for i := 0; i < 4; i++ {
+		if err := s.AppendTxn(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Txns 1 and 2 were evicted from the 2-slot ring: a cursor at 0 can
+	// no longer be served contiguously and must bootstrap.
+	if _, _, _, ok := s.FramesSince(0, 100); ok {
+		t.Fatal("evicted cursor served from the ring")
+	}
+	if _, n, _, ok := s.FramesSince(2, 100); !ok || n != 2 {
+		t.Fatalf("FramesSince(2) = n=%d ok=%v, want the 2 retained txns", n, ok)
+	}
+	// A negative buffer disables the ring entirely: every behind-cursor
+	// poll bootstraps.
+	s2 := newStore(t, Options{ReplBufferTxns: -1})
+	if err := s2.AppendTxn(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := s2.FramesSince(0, 100); ok {
+		t.Fatal("ring-less store served frames")
+	}
+}
+
+func TestWaitFramesWakesOnAppend(t *testing.T) {
+	s := newStore(t, Options{})
+	if err := s.AppendTxn(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A caught-up poll with a tiny timeout returns empty, not an error.
+	start := time.Now()
+	_, n, last, ok := s.WaitFrames(context.Background(), 1, 20*time.Millisecond, 100)
+	if !ok || n != 0 || last != 1 {
+		t.Fatalf("idle WaitFrames = n=%d last=%d ok=%v", n, last, ok)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("idle poll returned before its timeout")
+	}
+
+	// A parked poll wakes when an append lands.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var gotN int
+	var gotOK bool
+	go func() {
+		defer wg.Done()
+		_, gotN, _, gotOK = s.WaitFrames(context.Background(), 1, 5*time.Second, 100)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := s.AppendTxn(mustOps(t, `<urn:a> <urn:p> <urn:b> .`)); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !gotOK || gotN != 1 {
+		t.Fatalf("woken WaitFrames = n=%d ok=%v", gotN, gotOK)
+	}
+
+	// Context cancellation unparks immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, _, _ = s.WaitFrames(ctx, 2, time.Minute, 100)
+	}()
+	cancel()
+	wg.Wait()
+}
+
+func TestDecodeTxnFramesRejectsMalformedStreams(t *testing.T) {
+	// Followers run the strict decoder: anything a healthy primary would
+	// never ship — torn tails, stray records, aborts — is a protocol
+	// error, unlike local recovery which tolerates a torn tail.
+	s := newStore(t, Options{})
+	if err := s.AppendTxn(mustOps(t, `<urn:a> <urn:p> <urn:b> .`)); err != nil {
+		t.Fatal(err)
+	}
+	good, _, _, ok := s.FramesSince(0, 100)
+	if !ok {
+		t.Fatal("FramesSince not ok")
+	}
+	if _, err := DecodeTxnFrames(nil); err != nil {
+		t.Fatalf("empty stream rejected: %v", err)
+	}
+	if _, err := DecodeTxnFrames(good); err != nil {
+		t.Fatalf("well-formed stream rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"torn last frame", good[:len(good)-1], "implausible"},
+		{"truncated header", good[:3], "torn"},
+		{"corrupt byte", corruptLastByte(good), "CRC"},
+		{"stray commit", append(append([]byte{}, good...), appendFrame(nil, Record{Kind: KindCommit, Txn: 2})...), "stray"},
+		{"abort record", txnWith(t, 2, KindAbort), "abort"},
+		{"begin inside txn", doubleBegin(t), "inside"},
+		{"missing commit", txnWithoutCommit(t, 2), "ends inside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeTxnFrames(tc.data)
+			if err == nil {
+				t.Fatal("malformed stream accepted")
+			}
+			if !strings.Contains(strings.ToLower(err.Error()), strings.ToLower(tc.want)) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// corruptLastByte flips a bit in the final record's payload.
+func corruptLastByte(data []byte) []byte {
+	out := append([]byte{}, data...)
+	out[len(out)-1] ^= 0xff
+	return out
+}
+
+// txnWith builds Begin(txn) + one kind record + Commit(txn).
+func txnWith(t *testing.T, txn uint64, kind Kind) []byte {
+	t.Helper()
+	out := appendFrame(nil, Record{Kind: KindBegin, Txn: txn})
+	out = appendFrame(out, Record{Kind: kind, Txn: txn})
+	return appendFrame(out, Record{Kind: KindCommit, Txn: txn})
+}
+
+// txnWithoutCommit builds a Begin with no Commit — a batch a primary
+// would never seal.
+func txnWithoutCommit(t *testing.T, txn uint64) []byte {
+	t.Helper()
+	return appendFrame(nil, Record{Kind: KindBegin, Txn: txn})
+}
+
+// doubleBegin nests a Begin inside an open transaction.
+func doubleBegin(t *testing.T) []byte {
+	t.Helper()
+	out := appendFrame(nil, Record{Kind: KindBegin, Txn: 1})
+	return appendFrame(out, Record{Kind: KindBegin, Txn: 2})
+}

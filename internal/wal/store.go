@@ -2,6 +2,7 @@ package wal
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,6 +14,15 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/logx"
 	"repro/internal/rdf"
+)
+
+// Sentinel errors for the replication paths.
+var (
+	// ErrEpochBehind marks an attempt to move the fencing epoch backwards.
+	ErrEpochBehind = errors.New("wal: fencing epoch would move backwards")
+	// ErrTxnApplied marks an AppendTxnAt whose txn id is not ahead of the
+	// store — the transaction is already durable here (idempotent replay).
+	ErrTxnApplied = errors.New("wal: txn already applied")
 )
 
 // File names inside a store directory.
@@ -28,12 +38,23 @@ const (
 // read-only one never rewrites the snapshot.
 const DefaultSnapshotEvery = 256
 
+// DefaultReplBufferTxns is the default capacity of the in-memory ship
+// ring: how many recent committed transactions a primary can serve to a
+// lagging replica before the replica must fall back to a snapshot
+// bootstrap. The ring holds encoded batches, so memory cost is
+// proportional to recent mutation volume, not graph size.
+const DefaultReplBufferTxns = 1024
+
 // Options tunes a Store. The zero value is production-ready.
 type Options struct {
 	// SnapshotEvery is the number of committed transactions between
 	// automatic snapshots (0 = DefaultSnapshotEvery, negative = never;
 	// explicit SnapshotNow still works).
 	SnapshotEvery int
+	// ReplBufferTxns is the ship-ring capacity in transactions
+	// (0 = DefaultReplBufferTxns, negative = no ring; FramesSince then
+	// always demands a bootstrap unless the follower is fully caught up).
+	ReplBufferTxns int
 	// Metrics receives WAL instrumentation (nil = obs.Default()).
 	Metrics *obs.Registry
 }
@@ -84,7 +105,17 @@ type Store struct {
 	nextTxn          uint64
 	commitsSinceSnap int
 	stats            RecoveryStats
+	hdr              Header
+	ring             []shippedTxn // recent encoded batches, ascending txn
+	replWake         chan struct{}
 	closed           bool
+}
+
+// shippedTxn is one ring entry: a committed transaction's id and its
+// encoded batch, byte-identical to what sits in the log file.
+type shippedTxn struct {
+	txn  uint64
+	data []byte
 }
 
 // Open recovers the store in dir (creating it if absent) and returns a
@@ -107,6 +138,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	hdr, err := ReadHeader(dir)
+	if err != nil {
+		return nil, err
+	}
+	// The txn id space continues from whichever mark is higher: the log's
+	// highest id, or the header's high-water mark from the last snapshot
+	// (snapshots truncate the log, so the log alone under-counts).
+	if hdr.LastTxn > maxTxn {
+		maxTxn = hdr.LastTxn
+	}
 	logPath := filepath.Join(dir, LogFile)
 	if stats.TornTail {
 		if err := os.Truncate(logPath, stats.TornAtOffset); err != nil {
@@ -122,14 +163,16 @@ func Open(dir string, opts Options) (*Store, error) {
 	reg.Counter(MetricRecoveredTxns, "status", "discarded").Add(int64(stats.DiscardedTxns))
 	reg.Gauge(MetricSizeBytes).Set(float64(stats.LogBytes))
 	return &Store{
-		dir:     dir,
-		opts:    opts,
-		reg:     reg,
-		log:     f,
-		logSize: stats.LogBytes,
-		g:       g,
-		nextTxn: maxTxn,
-		stats:   stats,
+		dir:      dir,
+		opts:     opts,
+		reg:      reg,
+		log:      f,
+		logSize:  stats.LogBytes,
+		g:        g,
+		nextTxn:  maxTxn,
+		stats:    stats,
+		hdr:      hdr,
+		replWake: make(chan struct{}),
 	}, nil
 }
 
@@ -269,7 +312,41 @@ func (s *Store) AppendTxnContext(ctx context.Context, ops []rdf.ChangeOp) (err e
 	if s.closed {
 		return fmt.Errorf("wal: store closed")
 	}
-	txn := s.nextTxn + 1
+	return s.appendTxnLocked(ctx, s.nextTxn+1, ops)
+}
+
+// AppendTxnAt durably logs one transaction under an explicit id — the
+// replication apply path, where a replica must preserve the primary's
+// txn numbering so replication cursors survive restarts and a promoted
+// replica continues the same id space. txn must be ahead of everything
+// already in the store; a stale id returns ErrTxnApplied (wrapped), the
+// idempotent-replay signal.
+func (s *Store) AppendTxnAt(ctx context.Context, txn uint64, ops []rdf.ChangeOp) (err error) {
+	sp, ctx := obs.StartSpan(ctx, "wal.append")
+	sp.SetAttr("ops", strconv.Itoa(len(ops)))
+	sp.SetAttr("txn", strconv.FormatUint(txn, 10))
+	defer func() {
+		if err != nil {
+			sp.SetError(err)
+			logx.For("wal").Warn(ctx, "append-at failed", "txn", txn, "err", err)
+		}
+		sp.End()
+	}()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wal: store closed")
+	}
+	if txn <= s.nextTxn {
+		return fmt.Errorf("wal: txn %d not ahead of %d: %w", txn, s.nextTxn, ErrTxnApplied)
+	}
+	return s.appendTxnLocked(ctx, txn, ops)
+}
+
+// appendTxnLocked frames, writes, and fsyncs one transaction batch,
+// then advances the txn counter, feeds the ship ring, and runs the
+// auto-snapshot cadence. Callers hold s.mu and have validated txn.
+func (s *Store) appendTxnLocked(ctx context.Context, txn uint64, ops []rdf.ChangeOp) error {
 	buf := EncodeTxn(txn, ops)
 	if err := chaos.Inject(SiteAppend); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
@@ -298,6 +375,7 @@ func (s *Store) AppendTxnContext(ctx context.Context, ops []rdf.ChangeOp) (err e
 	}
 	s.logSize += int64(len(buf))
 	s.nextTxn = txn
+	s.ringPushLocked(txn, buf)
 	countTxnRecords(s.reg, ops)
 	s.reg.Counter(MetricBatches).Inc()
 	s.reg.Gauge(MetricSizeBytes).Set(float64(s.logSize))
@@ -384,6 +462,16 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
 	syncDir(s.dir)
+	// Persist the txn high-water mark before the log (its only other
+	// home) is truncated. Ordered this way a crash in between is safe:
+	// snapshot + intact log still recover, and Open takes the max of the
+	// two marks.
+	if h := (Header{Epoch: s.hdr.Epoch, Sealed: s.hdr.Sealed, LastTxn: s.nextTxn}); h != s.hdr {
+		if err := writeHeader(s.dir, h); err != nil {
+			return err
+		}
+		s.hdr = h
+	}
 	if err := s.log.Truncate(0); err != nil {
 		return fmt.Errorf("wal: snapshot: truncating log: %w", err)
 	}
@@ -409,6 +497,105 @@ func (s *Store) LogSize() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.logSize
+}
+
+// LastTxn returns the highest committed transaction id in the store.
+func (s *Store) LastTxn() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextTxn
+}
+
+// replBufferTxns resolves the configured ship-ring capacity.
+func (s *Store) replBufferTxns() int {
+	switch {
+	case s.opts.ReplBufferTxns > 0:
+		return s.opts.ReplBufferTxns
+	case s.opts.ReplBufferTxns < 0:
+		return 0
+	default:
+		return DefaultReplBufferTxns
+	}
+}
+
+// ringPushLocked records a freshly durable batch in the ship ring and
+// wakes any long-polling followers. The ring deliberately survives log
+// truncation (snapshots): a follower slightly behind a compaction can
+// still be served frames instead of being forced into a full bootstrap.
+func (s *Store) ringPushLocked(txn uint64, data []byte) {
+	limit := s.replBufferTxns()
+	if limit > 0 {
+		s.ring = append(s.ring, shippedTxn{txn: txn, data: data})
+		if excess := len(s.ring) - limit; excess > 0 {
+			s.ring = append([]shippedTxn(nil), s.ring[excess:]...)
+		}
+	}
+	close(s.replWake)
+	s.replWake = make(chan struct{})
+}
+
+// FramesSince returns the encoded batches of up to maxTxns committed
+// transactions with id > after, concatenated in log order (decodable
+// with DecodeTxnFrames), plus the store's last txn id. ok=false means
+// the ship ring no longer reaches back to after+1 — the follower must
+// bootstrap from a snapshot. A follower at or ahead of last gets an
+// empty ok=true (ahead is the caller's anomaly to surface). The ring is
+// rebuilt empty at Open, so a follower resuming across a primary
+// restart re-bootstraps by design.
+func (s *Store) FramesSince(after uint64, maxTxns int) (data []byte, n int, last uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, n, last, ok, _ = s.framesSinceLocked(after, maxTxns)
+	return data, n, last, ok
+}
+
+func (s *Store) framesSinceLocked(after uint64, maxTxns int) (data []byte, n int, last uint64, ok bool, wake <-chan struct{}) {
+	last = s.nextTxn
+	wake = s.replWake
+	if after >= last {
+		return nil, 0, last, true, wake
+	}
+	if len(s.ring) == 0 || s.ring[0].txn > after+1 {
+		return nil, 0, last, false, wake
+	}
+	if maxTxns <= 0 {
+		maxTxns = DefaultReplBufferTxns
+	}
+	for _, e := range s.ring {
+		if e.txn <= after {
+			continue
+		}
+		if n >= maxTxns {
+			break
+		}
+		data = append(data, e.data...)
+		n++
+	}
+	return data, n, last, true, wake
+}
+
+// WaitFrames is FramesSince with a long-poll: when the follower is
+// caught up it blocks until a new transaction commits, the timeout
+// elapses, or ctx is done (the latter two return empty, ok=true). A
+// bootstrap-needed condition returns immediately.
+func (s *Store) WaitFrames(ctx context.Context, after uint64, timeout time.Duration, maxTxns int) (data []byte, n int, last uint64, ok bool) {
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		data, n, last, ok, wake := s.framesSinceLocked(after, maxTxns)
+		s.mu.Unlock()
+		if !ok || n > 0 {
+			return data, n, last, ok
+		}
+		select {
+		case <-wake:
+		case <-deadline.C:
+			return nil, 0, last, true
+		case <-ctx.Done():
+			return nil, 0, last, true
+		}
+	}
 }
 
 // Close snapshots (folding the log away so the next Open starts clean)

@@ -211,6 +211,79 @@ func EncodeTxn(txn uint64, ops []rdf.ChangeOp) []byte {
 	return buf
 }
 
+// TxnFrame is one commit-sealed transaction as shipped between nodes:
+// the originating txn id, the decoded mutations (ready for idempotent
+// replay into a follower graph), and the raw CRC-framed bytes exactly
+// as they sit in the primary's log.
+type TxnFrame struct {
+	Txn  uint64
+	Ops  []rdf.ChangeOp
+	Data []byte
+}
+
+// DecodeTxnFrames parses a replication batch: a concatenation of whole,
+// commit-sealed transaction frames (the /v1/repl/log body). Unlike
+// local recovery — which tolerates and truncates a torn tail — a
+// shipped batch must be exact: every record must sit inside a
+// Begin..Commit bracket and the stream must end on a commit boundary,
+// because the shipper only ever sends fully durable transactions.
+// Anything else is a protocol error or corruption in transit.
+func DecodeTxnFrames(data []byte) ([]TxnFrame, error) {
+	var out []TxnFrame
+	var cur *TxnFrame
+	start := 0
+	off := 0
+	for off < len(data) {
+		if len(data)-off < frameOverhead {
+			return nil, fmt.Errorf("wal: shipped batch: torn frame header at byte %d", off)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if payloadLen <= 0 || payloadLen > maxPayload || off+frameOverhead+payloadLen > len(data) {
+			return nil, fmt.Errorf("wal: shipped batch: implausible frame length %d at byte %d", payloadLen, off)
+		}
+		payload := data[off+frameOverhead : off+frameOverhead+payloadLen]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			return nil, fmt.Errorf("wal: shipped batch: CRC mismatch at byte %d", off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("wal: shipped batch: %w", err)
+		}
+		end := off + frameOverhead + payloadLen
+		switch rec.Kind {
+		case KindBegin:
+			if cur != nil {
+				return nil, fmt.Errorf("wal: shipped batch: begin of txn %d inside txn %d", rec.Txn, cur.Txn)
+			}
+			cur = &TxnFrame{Txn: rec.Txn}
+			start = off
+		case KindAdd, KindDel:
+			if cur == nil || rec.Txn != cur.Txn {
+				return nil, fmt.Errorf("wal: shipped batch: stray %s record for txn %d", rec.Kind, rec.Txn)
+			}
+			t, perr := rdf.ParseTriple(rec.Triple)
+			if perr != nil {
+				return nil, fmt.Errorf("wal: shipped batch: txn %d: %w", rec.Txn, perr)
+			}
+			cur.Ops = append(cur.Ops, rdf.ChangeOp{Add: rec.Kind == KindAdd, T: t})
+		case KindCommit:
+			if cur == nil || rec.Txn != cur.Txn {
+				return nil, fmt.Errorf("wal: shipped batch: stray commit record for txn %d", rec.Txn)
+			}
+			cur.Data = append([]byte(nil), data[start:end]...)
+			out = append(out, *cur)
+			cur = nil
+		case KindAbort:
+			return nil, fmt.Errorf("wal: shipped batch: abort record for txn %d (only committed txns ship)", rec.Txn)
+		}
+		off = end
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("wal: shipped batch ends inside txn %d", cur.Txn)
+	}
+	return out, nil
+}
+
 // countRecords reports the record kinds in an encoded batch, for the
 // append metrics (len(ops) adds/dels plus the two boundary records).
 func countTxnRecords(reg *obs.Registry, ops []rdf.ChangeOp) {

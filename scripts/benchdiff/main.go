@@ -8,7 +8,8 @@
 // The files' "benchmark" field selects the comparison: the
 // incremental-rematch matrix (from `benchreport -bench-json`) gates its
 // speedup ratios and cache hit ratio per size; the loadgen-sustained
-// report (from `workbench loadgen -out`) gates only ok_ratio; the
+// and loadgen-replica-read reports (from `workbench loadgen -out`,
+// the latter with -replica) gate only ok_ratio; the
 // registry-match curve (from `workbench registry-match -out`) gates its
 // quality columns (recall@k, precision/recall/F1, speedup, ranking
 // accuracy) and inverse-gates scored_fraction (blocking that starts
@@ -112,16 +113,22 @@ func load(path string) (benchFile, error) {
 // both decode to the zero value and "pass" vacuously.
 func validate(f benchFile, path string) error {
 	switch f.Benchmark {
-	case "incremental-rematch", "loadgen-sustained", "registry-match":
+	case "incremental-rematch", "loadgen-sustained", "loadgen-replica-read", "registry-match":
 	case "":
 		return fmt.Errorf("%s: field %q is missing or empty", path, "benchmark")
 	default:
 		return fmt.Errorf("%s: field %q has unknown value %q", path, "benchmark", f.Benchmark)
 	}
-	if f.Benchmark == "loadgen-sustained" && f.OKRatio == nil {
-		return fmt.Errorf("%s: field %q is missing (required for loadgen-sustained; an absent ratio would gate as 0 and pass every comparison)", path, "ok_ratio")
+	if isLoadgen(f.Benchmark) && f.OKRatio == nil {
+		return fmt.Errorf("%s: field %q is missing (required for %s; an absent ratio would gate as 0 and pass every comparison)", path, "ok_ratio", f.Benchmark)
 	}
 	return nil
+}
+
+// isLoadgen reports whether the discriminator names one of the loadgen
+// report shapes (both carry the same columns; only the op mix differs).
+func isLoadgen(benchmark string) bool {
+	return benchmark == "loadgen-sustained" || benchmark == "loadgen-replica-read"
 }
 
 // compare validates both files and runs the matching diff. The error
@@ -138,7 +145,7 @@ func compare(w io.Writer, base, cur benchFile, basePath, curPath string, toleran
 		return 0, fmt.Errorf("field %q mismatch: %q (%s) vs %q (%s)", "benchmark", base.Benchmark, basePath, cur.Benchmark, curPath)
 	}
 	switch base.Benchmark {
-	case "loadgen-sustained":
+	case "loadgen-sustained", "loadgen-replica-read":
 		return diffLoadgen(w, base, cur, tolerance), nil
 	case "registry-match":
 		return diffRegistry(w, base, cur, tolerance), nil

@@ -149,3 +149,28 @@ func TestDiffLoadgenGatesOKRatio(t *testing.T) {
 		t.Fatalf("halved ok_ratio: regressions=%d; want 1", n)
 	}
 }
+
+func TestDiffReplicaReadSameGateAsLoadgen(t *testing.T) {
+	// The replica-read report is the loadgen shape with a different op
+	// mix; it gates ok_ratio identically and requires the field.
+	base := mustDecode(t, `{"benchmark": "loadgen-replica-read", "ok_ratio": 1.0,
+		"routes": [{"route": "cells.get", "count": 100, "p50_ms": 1, "p95_ms": 2, "p99_ms": 3}]}`)
+	if n, err := compare(io.Discard, base, base, "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("identical replica-read files: regressions=%d err=%v", n, err)
+	}
+	bad := mustDecode(t, `{"benchmark": "loadgen-replica-read", "ok_ratio": 0.5}`)
+	if n, _ := compare(io.Discard, base, bad, "b", "c", 0.2); n != 1 {
+		t.Fatalf("halved replica ok_ratio: regressions=%d; want 1", n)
+	}
+	truncated := mustDecode(t, `{"benchmark": "loadgen-replica-read", "requests": 10}`)
+	if err := validate(truncated, "cur.json"); err == nil || !strings.Contains(err.Error(), `"ok_ratio"`) {
+		t.Fatalf("replica-read report without ok_ratio: err=%v; want ok_ratio diagnostic", err)
+	}
+	// The two loadgen shapes are still distinct benchmarks: comparing a
+	// primary-write baseline against a replica-read current is a mistake,
+	// not a gate pass.
+	sustained := mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 1.0}`)
+	if _, err := compare(io.Discard, sustained, base, "b", "c", 0.2); err == nil {
+		t.Fatal("loadgen-sustained vs loadgen-replica-read accepted")
+	}
+}
