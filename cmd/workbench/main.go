@@ -31,12 +31,27 @@
 //	workbench repl-status                    replication role/epoch/lag (-remote)
 //	workbench trace [id|slow]                inspect server request traces (-remote)
 //	workbench loadgen [flags]                sustained-load telemetry harness (-remote)
+//	workbench workspace create|list|rm       manage service workspaces (-remote)
 //
 // Global flags: -state <file> (default workbench.nt) for local mode;
-// -remote <addr> to run a subcommand against a service; -addr,
-// -data-dir and -pprof for serve/fsck; for the metrics subcommand,
-// -json switches to JSON exposition and -serve <addr> blocks serving
-// /metrics and /healthz over HTTP instead of printing.
+// -remote <addr> to run a subcommand against a service; -workspace
+// <name> to scope remote subcommands to one tenant (default:
+// `default`); -addr, -data-dir and -pprof for serve/fsck; for the
+// metrics subcommand, -json switches to JSON exposition and -serve
+// <addr> blocks serving /metrics and /healthz over HTTP instead of
+// printing.
+//
+// Flag placement: subcommands that take flags (serve, fsck, loadgen,
+// promote, trace, metrics, workspace, registry-match) accept them on
+// either side of the subcommand word — the global parser stops at the
+// first non-flag, and the subcommand re-parses what's left. Fixed-arity
+// subcommands reject trailing flags outright; nothing is ever silently
+// ignored.
+//
+// Multi-tenant service: `workbench serve` hosts N isolated workspaces
+// (own blackboard, WAL partition, event feed; per-workspace metrics
+// labels). `workbench -remote ADDR workspace create NAME` adds one;
+// `-workspace NAME` points any remote subcommand at it (DESIGN.md §16).
 //
 // Every -remote request carries an X-Ib-Trace header; after any remote
 // subcommand, `workbench -remote ADDR trace <id>` (or just `trace` for
@@ -102,6 +117,7 @@ func main() {
 type opts struct {
 	state      string
 	remote     string
+	workspace  string
 	addr       string
 	dataDir    string
 	replicaOf  string
@@ -132,6 +148,7 @@ func run(argv []string) int {
 	var o opts
 	fs.StringVar(&o.state, "state", "workbench.nt", "blackboard snapshot file (local mode)")
 	fs.StringVar(&o.remote, "remote", "", "workbench service address; runs the subcommand as a client")
+	fs.StringVar(&o.workspace, "workspace", "", "service workspace remote subcommands address (default: the default workspace)")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "serve: listen address")
 	fs.StringVar(&o.dataDir, "data-dir", "", "serve/fsck: WAL store directory")
 	fs.StringVar(&o.replicaOf, "replica-of", "", "serve: tail the primary at this URL as a read-only replica")
@@ -178,9 +195,17 @@ func run(argv []string) int {
 	case cmd == "serve":
 		err = runServe(o, rest)
 	case cmd == "fsck":
-		err = runFsck(o)
+		err = runFsck(o, rest)
 	case cmd == "loadgen":
 		err = runLoadgen(o, rest)
+	case cmd == "promote":
+		err = runPromote(o, rest)
+	case cmd == "trace":
+		err = runTraceCmd(o, rest)
+	case cmd == "metrics":
+		err = runMetrics(o, rest)
+	case cmd == "workspace":
+		err = runWorkspace(o, rest)
 	case o.remote != "":
 		err = runRemote(o, cmd, rest)
 	default:
@@ -203,6 +228,19 @@ func report(err error) int {
 	return 1
 }
 
+// rejectFlags refuses flag-looking arguments handed to a fixed-arity
+// subcommand: flags after those subcommands are neither parsed nor
+// positional values, and silently treating "-remote" as a schema name
+// (or dropping it) hides user error. Negative numbers ("-0.5") pass.
+func rejectFlags(cmd string, rest []string) error {
+	for _, a := range rest {
+		if len(a) > 1 && a[0] == '-' && a[1] != '.' && (a[1] < '0' || a[1] > '9') {
+			return usageError{fmt.Sprintf("%s: flag %q must come before the subcommand", cmd, a)}
+		}
+	}
+	return nil
+}
+
 // ---- service mode ----
 
 // runServe starts the durable workbench service and blocks. There is no
@@ -218,8 +256,11 @@ func runServe(o opts, rest []string) error {
 	fs.StringVar(&o.dataDir, "data-dir", o.dataDir, "WAL directory for durable state")
 	fs.BoolVar(&o.pprof, "pprof", o.pprof, "mount net/http/pprof under /debug/pprof/")
 	fs.StringVar(&o.replicaOf, "replica-of", o.replicaOf, "tail the primary at this URL as a read-only replica")
+	maxTriples := fs.Int("max-triples", 0, "default per-workspace triple quota (0 = unlimited)")
+	maxWALBytes := fs.Int64("max-wal-bytes", 0, "default per-workspace WAL byte quota (0 = unlimited)")
+	idleTTL := fs.Duration("ws-idle-ttl", 0, "fold idle workspace WALs closed after this long (0 = default, negative = never)")
 	if err := fs.Parse(rest); err != nil {
-		return usageError{"serve [-addr host:port] [-data-dir dir] [-pprof] [-replica-of url]"}
+		return usageError{"serve [-addr host:port] [-data-dir dir] [-pprof] [-replica-of url] [-max-triples n] [-max-wal-bytes n] [-ws-idle-ttl d]"}
 	}
 	if fs.NArg() > 0 {
 		return usageError{fmt.Sprintf("serve: unexpected argument %q", fs.Arg(0))}
@@ -229,13 +270,17 @@ func runServe(o opts, rest []string) error {
 	}
 	srv, err := server.New(server.Config{
 		DataDir: o.dataDir, Metrics: obs.Default(), EnablePprof: o.pprof,
-		ReplicaOf: o.replicaOf,
+		ReplicaOf:        o.replicaOf,
+		MaxTriples:       *maxTriples,
+		MaxWALBytes:      *maxWALBytes,
+		WorkspaceIdleTTL: *idleTTL,
 	})
 	if err != nil {
 		return err
 	}
 	if o.dataDir != "" {
-		fmt.Printf("workbench: recovered %s: %s\n", o.dataDir, srv.Store().Stats())
+		fmt.Printf("workbench: recovered %s: %s (%d workspaces)\n",
+			o.dataDir, srv.Store().Stats(), len(srv.Workspaces().Names()))
 	}
 	if o.replicaOf != "" {
 		fmt.Printf("workbench: replica of %s (read-only until promoted)\n", o.replicaOf)
@@ -248,12 +293,30 @@ func runServe(o opts, rest []string) error {
 	return http.Serve(ln, srv.Handler())
 }
 
-// runFsck checks integrity: of a WAL data dir (-data-dir), of a local
-// snapshot (-state), or of a running service (-remote).
-func runFsck(o opts) error {
+// runFsck checks integrity: of a WAL data dir (-data-dir; every
+// workspace partition under a multi-tenant layout), of a local snapshot
+// (-state), or of a running service (-remote, scoped by -workspace).
+// Its flags are honored on either side of the subcommand word.
+func runFsck(o opts, rest []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.remote, "remote", o.remote, "check a running service instead of local files")
+	fs.StringVar(&o.workspace, "workspace", o.workspace, "service workspace to check (with -remote)")
+	fs.StringVar(&o.dataDir, "data-dir", o.dataDir, "WAL store directory to recover and check")
+	fs.StringVar(&o.state, "state", o.state, "local snapshot file to check")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"fsck [-remote addr [-workspace ws]] [-data-dir dir] [-state file]"}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Sprintf("fsck: unexpected argument %q", fs.Arg(0))}
+	}
 	switch {
 	case o.remote != "":
-		resp, err := client.New(o.remote).Fsck()
+		c := client.New(o.remote)
+		if o.workspace != "" {
+			c = c.ForWorkspace(o.workspace)
+		}
+		resp, err := c.Fsck()
 		if err != nil {
 			return err
 		}
@@ -269,12 +332,38 @@ func runFsck(o opts) error {
 		fmt.Printf("fsck: clean (%d triples)\n", resp.Triples)
 		return nil
 	case o.dataDir != "":
-		g, stats, err := wal.Recover(o.dataDir)
+		// A multi-tenant data dir keeps one partition per workspace under
+		// ws/; the pre-workspace flat layout is a single store at the top.
+		wsRoot := filepath.Join(o.dataDir, "ws")
+		entries, err := os.ReadDir(wsRoot)
 		if err != nil {
-			return fmt.Errorf("fsck: %w", err)
+			g, stats, rerr := wal.Recover(o.dataDir)
+			if rerr != nil {
+				return fmt.Errorf("fsck: %w", rerr)
+			}
+			fmt.Printf("recovery: %s\n", stats)
+			return fsckGraph(blackboard.NewFromGraph(g))
 		}
-		fmt.Printf("recovery: %s\n", stats)
-		return fsckGraph(blackboard.NewFromGraph(g))
+		var firstErr error
+		checked := 0
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			checked++
+			g, stats, rerr := wal.Recover(filepath.Join(wsRoot, e.Name()))
+			if rerr != nil {
+				return fmt.Errorf("fsck: workspace %s: %w", e.Name(), rerr)
+			}
+			fmt.Printf("recovery: [%s] %s\n", e.Name(), stats)
+			if ferr := fsckGraph(blackboard.NewFromGraph(g)); ferr != nil && firstErr == nil {
+				firstErr = fmt.Errorf("workspace %s: %w", e.Name(), ferr)
+			}
+		}
+		if checked == 0 {
+			return fmt.Errorf("fsck: no workspace partitions under %s", wsRoot)
+		}
+		return firstErr
 	default:
 		bb := blackboard.New()
 		if f, err := os.Open(o.state); err == nil {
@@ -308,7 +397,13 @@ func fsckGraph(bb *blackboard.Blackboard) error {
 // printing the same shapes the local path prints so scripts don't care
 // which side of the network the blackboard lives on.
 func runRemote(o opts, cmd string, rest []string) error {
+	if err := rejectFlags(cmd, rest); err != nil {
+		return err
+	}
 	c := client.New(o.remote)
+	if o.workspace != "" {
+		c = c.ForWorkspace(o.workspace)
+	}
 	switch cmd {
 	case "load":
 		if err := need(rest, 1, "load <schema-file>"); err != nil {
@@ -433,12 +528,6 @@ func runRemote(o opts, cmd string, rest []string) error {
 			return err
 		}
 		fmt.Printf("snapshot taken (%d triples)\n", resp.Triples)
-	case "promote":
-		st, err := c.Promote()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("promoted: role %s, epoch %d, last txn %d\n", st.Role, st.Epoch, st.LastTxn)
 	case "repl-status":
 		st, err := c.ReplStatus()
 		if err != nil {
@@ -455,12 +544,173 @@ func runRemote(o opts, cmd string, rest []string) error {
 		if st.Role == "replica" {
 			fmt.Printf("  primary %s, lag %d txns / %.1fs\n", st.Primary, st.LagTxns, st.LagSeconds)
 		}
-	case "trace":
-		return runTrace(c, rest)
 	default:
 		return usageError{fmt.Sprintf("%s is not available in -remote mode", cmd)}
 	}
 	return nil
+}
+
+// runPromote promotes a replica to primary. Promotion is node-level —
+// one epoch fences every workspace — so -workspace is not accepted.
+func runPromote(o opts, rest []string) error {
+	fs := flag.NewFlagSet("promote", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.remote, "remote", o.remote, "replica address to promote")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"promote [-remote addr]"}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Sprintf("promote: unexpected argument %q", fs.Arg(0))}
+	}
+	if o.remote == "" {
+		return usageError{"promote requires -remote ADDR (the replica to promote)"}
+	}
+	st, err := client.New(o.remote).Promote()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: role %s, epoch %d, last txn %d\n", st.Role, st.Epoch, st.LastTxn)
+	return nil
+}
+
+// runTraceCmd inspects a service's request traces; its -remote flag is
+// honored after the subcommand word, and anything flag-shaped after the
+// positional arguments is rejected.
+func runTraceCmd(o opts, rest []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.remote, "remote", o.remote, "workbench service address")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"trace [-remote addr] [id | slow [min]]"}
+	}
+	if o.remote == "" {
+		return usageError{"trace requires -remote ADDR (a running `workbench serve`)"}
+	}
+	args := fs.Args()
+	if err := rejectFlags("trace", args); err != nil {
+		return err
+	}
+	return runTrace(client.New(o.remote), args)
+}
+
+// runWorkspace manages service workspaces:
+//
+//	workbench -remote ADDR workspace create <name> [-max-triples n] [-max-wal-bytes n]
+//	workbench -remote ADDR workspace list
+//	workbench -remote ADDR workspace rm <name>
+func runWorkspace(o opts, rest []string) error {
+	const usageLine = "workspace create <name> [-max-triples n] [-max-wal-bytes n] | workspace list | workspace rm <name> (requires -remote)"
+	fs := flag.NewFlagSet("workspace", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.remote, "remote", o.remote, "workbench service address")
+	maxTriples := fs.Int("max-triples", 0, "create: triple quota (0 = server default)")
+	maxWALBytes := fs.Int64("max-wal-bytes", 0, "create: WAL byte quota (0 = server default)")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{usageLine}
+	}
+	args := fs.Args()
+	if len(args) == 0 {
+		return usageError{usageLine}
+	}
+	sub := args[0]
+	// Accept flags after the verb too (`workspace create ws -max-triples 5`).
+	if err := fs.Parse(args[1:]); err != nil {
+		return usageError{usageLine}
+	}
+	args = fs.Args()
+	if len(args) > 0 {
+		if err := fs.Parse(args[1:]); err != nil {
+			return usageError{usageLine}
+		}
+		args = append(args[:1], fs.Args()...)
+	}
+	if o.remote == "" {
+		return usageError{usageLine}
+	}
+	c := client.New(o.remote)
+	switch sub {
+	case "create":
+		if len(args) != 1 {
+			return usageError{"workspace create <name> [-max-triples n] [-max-wal-bytes n]"}
+		}
+		info, err := c.CreateWorkspace(args[0], *maxTriples, *maxWALBytes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("created workspace %q\n", info.Name)
+	case "list":
+		if len(args) != 0 {
+			return usageError{"workspace list"}
+		}
+		infos, err := c.Workspaces()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-20s %8s %8s %9s %9s %10s %9s\n",
+			"NAME", "TRIPLES", "SCHEMAS", "MAPPINGS", "SESSIONS", "WAL-BYTES", "LAST-TXN")
+		for _, in := range infos {
+			fmt.Printf("  %-20s %8d %8d %9d %9d %10d %9d\n",
+				in.Name, in.Triples, in.Schemas, in.Mappings, in.Sessions, in.WALBytes, in.LastTxn)
+		}
+		fmt.Printf("%d workspaces\n", len(infos))
+	case "rm":
+		if len(args) != 1 {
+			return usageError{"workspace rm <name>"}
+		}
+		resp, err := c.DeleteWorkspace(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted workspace %q\n", resp.Name)
+	default:
+		return usageError{usageLine}
+	}
+	return nil
+}
+
+// runMetrics dumps (or serves) the obs metrics derived from the local
+// blackboard snapshot. Local-only: a service's metrics are scraped from
+// its /metrics endpoint. Read-only — it never rewrites the state file.
+func runMetrics(o opts, rest []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	fs.StringVar(&o.state, "state", o.state, "blackboard snapshot file")
+	fs.BoolVar(&o.asJSON, "json", o.asJSON, "JSON exposition instead of Prometheus text")
+	fs.StringVar(&o.serveAddr, "serve", o.serveAddr, "serve /metrics and /healthz on this address instead of printing")
+	if err := fs.Parse(rest); err != nil {
+		return usageError{"metrics [-state file] [-json] [-serve addr]"}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Sprintf("metrics: unexpected argument %q", fs.Arg(0))}
+	}
+	if o.remote != "" {
+		return usageError{fmt.Sprintf("metrics is not available in -remote mode; scrape http://%s/metrics instead", o.remote)}
+	}
+	bb := blackboard.New()
+	if f, err := os.Open(o.state); err == nil {
+		rerr := bb.Restore(f)
+		f.Close()
+		if rerr != nil {
+			return rerr
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	// Snapshot-derived gauges complement the mutation-path metrics,
+	// which only cover operations performed by this invocation.
+	reg := obs.Default()
+	reg.Describe("ib_schemas", "Schemata stored in the blackboard (current versions).")
+	reg.Describe("ib_mappings", "Mappings stored in the blackboard library.")
+	reg.Gauge("ib_schemas").Set(float64(len(bb.Schemas())))
+	reg.Gauge("ib_mappings").Set(float64(len(bb.Mappings())))
+	if o.serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "workbench: serving /metrics and /healthz on %s\n", o.serveAddr)
+		return obs.Serve(o.serveAddr, reg)
+	}
+	if o.asJSON {
+		return obs.WriteJSON(os.Stdout, reg)
+	}
+	return obs.WritePrometheus(os.Stdout, reg)
 }
 
 // runTrace inspects the service's request traces.
@@ -560,17 +810,19 @@ func runLoadgen(o opts, rest []string) error {
 	seed := fs.Int64("seed", 1, "workload seed (reproducible op streams)")
 	threshold := fs.Float64("threshold", server.DefaultThreshold, "match/rematch threshold")
 	replica := fs.String("replica", "", "replica-read mode: seed writes via -remote, then drive the read mix against this replica address")
+	workspaces := fs.Int("workspaces", 1, "multi-tenant mode: contrast 1 workspace vs this many (loadgen-multitenant report)")
 	out := fs.String("out", "", "also write the JSON report (BENCH_6.json shape) to this file")
 	if err := fs.Parse(rest); err != nil {
-		return usageError{"loadgen [-workers n] [-duration d] [-seed n] [-threshold f] [-replica addr] [-out file]"}
+		return usageError{"loadgen [-workers n] [-duration d] [-seed n] [-threshold f] [-replica addr] [-workspaces n] [-out file]"}
 	}
 	rep, err := loadgen.Run(loadgen.Config{
-		Addr:      o.remote,
-		ReadAddr:  *replica,
-		Workers:   *workers,
-		Duration:  *duration,
-		Seed:      *seed,
-		Threshold: *threshold,
+		Addr:       o.remote,
+		ReadAddr:   *replica,
+		Workers:    *workers,
+		Duration:   *duration,
+		Seed:       *seed,
+		Threshold:  *threshold,
+		Workspaces: *workspaces,
 	})
 	if err != nil {
 		return err
@@ -609,6 +861,9 @@ func schemaNameFormat(path string) (name, format string, err error) {
 // ---- local mode ----
 
 func runLocal(o opts, cmd string, rest []string) error {
+	if err := rejectFlags(cmd, rest); err != nil {
+		return err
+	}
 	bb := blackboard.New()
 	if f, err := os.Open(o.state); err == nil {
 		rerr := bb.Restore(f)
@@ -768,27 +1023,6 @@ func runLocal(o opts, cmd string, rest []string) error {
 			})
 		}
 		fmt.Print(model.MappingToDOT(src, tgt, cells))
-	case "metrics":
-		// Snapshot-derived gauges complement the mutation-path metrics,
-		// which only cover operations performed by this invocation.
-		reg := obs.Default()
-		reg.Describe("ib_schemas", "Schemata stored in the blackboard (current versions).")
-		reg.Describe("ib_mappings", "Mappings stored in the blackboard library.")
-		reg.Gauge("ib_schemas").Set(float64(len(bb.Schemas())))
-		reg.Gauge("ib_mappings").Set(float64(len(bb.Mappings())))
-		if o.serveAddr != "" {
-			fmt.Fprintf(os.Stderr, "workbench: serving /metrics and /healthz on %s\n", o.serveAddr)
-			return obs.Serve(o.serveAddr, reg)
-		}
-		if o.asJSON {
-			if err := obs.WriteJSON(os.Stdout, reg); err != nil {
-				return err
-			}
-		} else {
-			if err := obs.WritePrometheus(os.Stdout, reg); err != nil {
-				return err
-			}
-		}
 	case "query":
 		if err := need(rest, 2, "query '<pattern lines>' v1 [v2 ...]"); err != nil {
 			return err
@@ -914,9 +1148,10 @@ func runSim(seed int64, spec string, rest []string) int {
 }
 
 func usage(w *os.File) {
-	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, promote, repl-status, trace, loadgen
-serve flags: -addr host:port -data-dir dir -pprof -replica-of url
-loadgen flags: -workers n -duration d -seed n -threshold f -replica addr -out file (requires -remote)
+	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-workspace ws] [-chaos-seed n] [-chaos-sites spec] <command> ...
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, promote, repl-status, trace, loadgen, workspace
+serve flags: -addr host:port -data-dir dir -pprof -replica-of url -max-triples n -max-wal-bytes n -ws-idle-ttl d
+workspace subcommands: create <name> [-max-triples n] [-max-wal-bytes n] | list | rm <name> (requires -remote)
+loadgen flags: -workers n -duration d -seed n -threshold f -replica addr -workspaces n -out file (requires -remote)
 registry-match flags: -scale f -seed n -k n -queries n -sizes a,b,c -dense-max n -no-blocking -par n -out file`)
 }

@@ -23,9 +23,10 @@ import (
 
 // Client talks to one workbench service.
 type Client struct {
-	base    string
-	http    *http.Client
-	session string
+	base      string
+	http      *http.Client
+	session   string
+	workspace string
 
 	mu        sync.Mutex
 	lastTrace obs.TraceID
@@ -43,6 +44,19 @@ func New(base string) *Client {
 
 // SetHTTPClient swaps the underlying http.Client (tests, timeouts).
 func (c *Client) SetHTTPClient(hc *http.Client) { c.http = hc }
+
+// ForWorkspace returns a client addressing one workspace: every
+// workspace-scoped request carries the X-Ib-Workspace header, so it
+// lands in that tenant instead of `default`. Node-level routes
+// (promote, replication status, traces, workspace lifecycle) are
+// unaffected. The returned client shares the transport but not the
+// session — open one per workspace.
+func (c *Client) ForWorkspace(ws string) *Client {
+	return &Client{base: c.base, http: c.http, workspace: ws}
+}
+
+// Workspace returns the workspace this client addresses ("" = default).
+func (c *Client) Workspace() string { return c.workspace }
 
 // BaseURL returns the normalized service address this client talks to.
 func (c *Client) BaseURL() string { return c.base }
@@ -75,6 +89,9 @@ func (c *Client) do(method, path string, in, out any) error {
 	}
 	if c.session != "" {
 		req.Header.Set(server.SessionHeader, c.session)
+	}
+	if c.workspace != "" {
+		req.Header.Set(server.WorkspaceHeader, c.workspace)
 	}
 	sc := obs.SpanContext{Trace: obs.NewTraceID(), Span: obs.NewSpanID()}
 	req.Header.Set(server.TraceHeader, sc.Header())
@@ -228,6 +245,31 @@ func (c *Client) Fsck() (server.FsckResponse, error) {
 func (c *Client) SnapshotNow() (server.SnapshotResponse, error) {
 	var out server.SnapshotResponse
 	return out, c.do("POST", "/v1/snapshot", nil, &out)
+}
+
+// CreateWorkspace creates a workspace, optionally with per-tenant
+// quotas (0 = inherit the server default).
+func (c *Client) CreateWorkspace(name string, maxTriples int, maxWALBytes int64) (server.WorkspaceInfo, error) {
+	var out server.WorkspaceInfo
+	err := c.do("POST", "/v1/workspaces", server.CreateWorkspaceRequest{
+		Name: name, MaxTriples: maxTriples, MaxWALBytes: maxWALBytes,
+	}, &out)
+	return out, err
+}
+
+// Workspaces lists every workspace with its per-tenant stats.
+func (c *Client) Workspaces() ([]server.WorkspaceInfo, error) {
+	var out []server.WorkspaceInfo
+	return out, c.do("GET", "/v1/workspaces", nil, &out)
+}
+
+// DeleteWorkspace destroys a workspace and its WAL partition. The
+// confirm token the server demands is the workspace name itself; this
+// wrapper supplies it, so calling this IS the confirmation.
+func (c *Client) DeleteWorkspace(name string) (server.DeleteWorkspaceResponse, error) {
+	var out server.DeleteWorkspaceResponse
+	path := "/v1/workspaces/" + url.PathEscape(name) + "?confirm=" + url.QueryEscape(name)
+	return out, c.do("DELETE", path, nil, &out)
 }
 
 // LastTrace returns the trace ID (16 hex digits) the client attached to

@@ -44,6 +44,16 @@ type Config struct {
 	Seed int64
 	// Threshold forwards to match/rematch (default server.DefaultThreshold).
 	Threshold float64
+	// Workspaces > 1 switches the run to multi-tenant mode: the harness
+	// first drives a decide-heavy write mix with every worker in the
+	// default workspace, then creates Workspaces fresh tenants, spreads
+	// the same workers across them, and repeats the identical mix. The
+	// report's Benchmark is "loadgen-multitenant" and its
+	// throughput_ratio column is the N-workspace/1-workspace aggregate
+	// txns-per-sec ratio — the headline number for per-workspace
+	// transaction serialization (one TxnMu and WAL fsync path per
+	// tenant instead of one per process).
+	Workspaces int
 }
 
 // RouteStats aggregates one route's latency distribution.
@@ -59,7 +69,7 @@ type RouteStats struct {
 // machine-independent column — benchdiff gates it; the latency and
 // throughput numbers are context for the host that produced them.
 type Report struct {
-	Benchmark string  `json:"benchmark"` // "loadgen-sustained" or "loadgen-replica-read"
+	Benchmark string  `json:"benchmark"` // "loadgen-sustained", "loadgen-replica-read" or "loadgen-multitenant"
 	Workers   int     `json:"workers"`
 	DurationS float64 `json:"duration_s"`
 	Seed      int64   `json:"seed"`
@@ -69,6 +79,15 @@ type Report struct {
 	OKRatio    float64      `json:"ok_ratio"`
 	TxnsPerSec float64      `json:"txns_per_sec"`
 	Routes     []RouteStats `json:"routes"`
+
+	// Multi-tenant mode only: the aggregate write throughput with every
+	// worker in one workspace, the same workers spread over Workspaces
+	// tenants, and their ratio (dimensionless, so benchdiff can report
+	// it across hosts).
+	Workspaces      int     `json:"workspaces,omitempty"`
+	TxnsPerSec1WS   float64 `json:"txns_per_sec_1ws,omitempty"`
+	TxnsPerSecNWS   float64 `json:"txns_per_sec_nws,omitempty"`
+	ThroughputRatio float64 `json:"throughput_ratio,omitempty"`
 }
 
 // String renders the human-readable summary.
@@ -77,6 +96,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "loadgen workers=%d duration=%.1fs seed=%d\n", r.Workers, r.DurationS, r.Seed)
 	fmt.Fprintf(&b, "  requests=%d errors=%d ok=%.4f txns/sec=%.1f\n",
 		r.Requests, r.Errors, r.OKRatio, r.TxnsPerSec)
+	if r.Workspaces > 1 {
+		fmt.Fprintf(&b, "  1 workspace: %.1f txns/sec; %d workspaces: %.1f txns/sec (×%.2f)\n",
+			r.TxnsPerSec1WS, r.Workspaces, r.TxnsPerSecNWS, r.ThroughputRatio)
+	}
 	for _, rt := range r.Routes {
 		fmt.Fprintf(&b, "  %-16s n=%-6d p50=%8.2fms p95=%8.2fms p99=%8.2fms\n",
 			rt.Route, rt.Count, rt.P50ms, rt.P95ms, rt.P99ms)
@@ -110,6 +133,11 @@ type worker struct {
 	// evCursor is the worker's replica event-feed cursor (replica-read mode).
 	evCursor uint64
 
+	// decideHeavy switches step() to the multi-tenant contrast mix:
+	// almost all decides, so per-request cost is dominated by the
+	// serialized commit path the benchmark is measuring.
+	decideHeavy bool
+
 	// cells is the last published matrix, the pool decide ops draw from.
 	cells   []server.CellInfo
 	samples []sample
@@ -131,6 +159,9 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.Threshold == 0 {
 		cfg.Threshold = server.DefaultThreshold
+	}
+	if cfg.Workspaces > 1 {
+		return runMultitenant(cfg)
 	}
 
 	// Seeding phase: shared base schemata, then one mapping per worker
@@ -211,6 +242,140 @@ func Run(cfg Config) (*Report, error) {
 	return assemble(cfg, workers, elapsed), nil
 }
 
+// wsClient returns a client addressing one workspace (the default
+// workspace keeps the bare client, which exercises the back-compat
+// routing path).
+func wsClient(addr, ws string) *client.Client {
+	c := client.New(addr)
+	if ws != "" && ws != "default" {
+		c = c.ForWorkspace(ws)
+	}
+	return c
+}
+
+// seedAndRun seeds base schemata into each named workspace, spreads
+// cfg.Workers workers round-robin across them (one mapping and one
+// cold match per worker), and drives the decide-heavy timed mix until
+// the deadline. Returns the workers with their samples plus the timed
+// phase's wall time.
+func seedAndRun(cfg Config, wsNames []string) ([]*worker, time.Duration, error) {
+	seedRng := rand.New(rand.NewSource(cfg.Seed))
+	for _, ws := range wsNames {
+		cl := wsClient(cfg.Addr, ws)
+		if _, err := cl.OpenSession("loadgen-seed"); err != nil {
+			return nil, 0, fmt.Errorf("loadgen: open seed session (%s): %w", ws, err)
+		}
+		for i := 0; i < sim.BaseSchemas; i++ {
+			name := sim.BaseSchemaName(i)
+			if _, err := cl.LoadSchema(name, "sql", sim.SynthSchemaSQL(seedRng)); err != nil {
+				return nil, 0, fmt.Errorf("loadgen: seed schema %s (%s): %w", name, ws, err)
+			}
+		}
+	}
+	workers := make([]*worker, cfg.Workers)
+	for i := range workers {
+		ws := wsNames[i%len(wsNames)]
+		w := &worker{
+			idx:         i,
+			rng:         rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(i) + 1)),
+			cl:          wsClient(cfg.Addr, ws),
+			thresh:      cfg.Threshold,
+			decideHeavy: true,
+		}
+		if _, err := w.cl.OpenSession(fmt.Sprintf("loadgen-%d", i)); err != nil {
+			return nil, 0, fmt.Errorf("loadgen: open session %d (%s): %w", i, ws, err)
+		}
+		w.mapping = fmt.Sprintf("lg%d", i)
+		// Self-map one schema: identical source and target guarantee a
+		// dense pool of above-threshold cells, so decideOp never degrades
+		// to its empty-pool rematch fallback — the timed phase measures
+		// the serialized commit path, not matrix recomputes.
+		src := sim.BaseSchemaName(i % sim.BaseSchemas)
+		if _, err := w.cl.NewMapping(w.mapping, src, src); err != nil {
+			if !strings.Contains(err.Error(), "already exists") {
+				return nil, 0, fmt.Errorf("loadgen: create mapping %s (%s): %w", w.mapping, ws, err)
+			}
+		}
+		resp, err := w.cl.Match(w.mapping, w.thresh)
+		if err != nil {
+			return nil, 0, fmt.Errorf("loadgen: cold match %s (%s): %w", w.mapping, ws, err)
+		}
+		if len(resp.Cells) == 0 {
+			return nil, 0, fmt.Errorf("loadgen: self-match %s published no cells; decide mix would be empty", w.mapping)
+		}
+		w.cells = resp.Cells
+		workers[i] = w
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				w.step()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return workers, time.Since(start), nil
+}
+
+// okPerSec is a phase's aggregate successful-request throughput.
+func okPerSec(workers []*worker, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	ok := 0
+	for _, w := range workers {
+		for _, s := range w.samples {
+			if s.ok {
+				ok++
+			}
+		}
+	}
+	return float64(ok) / elapsed.Seconds()
+}
+
+// runMultitenant measures write-throughput scaling across workspaces:
+// phase 1 runs the decide-heavy mix with every worker in the default
+// workspace (all commits serialized on one per-workspace lock and one
+// WAL partition), phase 2 creates cfg.Workspaces tenants, spreads the
+// same workers across them, and repeats the identical mix.
+func runMultitenant(cfg Config) (*Report, error) {
+	if cfg.ReadAddr != "" {
+		return nil, fmt.Errorf("loadgen: -replica and -workspaces are mutually exclusive")
+	}
+	w1, e1, err := seedAndRun(cfg, []string{"default"})
+	if err != nil {
+		return nil, err
+	}
+	admin := client.New(cfg.Addr)
+	names := make([]string, cfg.Workspaces)
+	for i := range names {
+		names[i] = fmt.Sprintf("lg-ws-%d", i)
+		if _, err := admin.CreateWorkspace(names[i], 0, 0); err != nil &&
+			!strings.Contains(err.Error(), "already exists") {
+			return nil, fmt.Errorf("loadgen: create workspace %s: %w", names[i], err)
+		}
+	}
+	wN, eN, err := seedAndRun(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	all := append(append([]*worker{}, w1...), wN...)
+	rep := assemble(cfg, all, e1+eN)
+	rep.Benchmark = "loadgen-multitenant"
+	rep.Workspaces = cfg.Workspaces
+	rep.TxnsPerSec1WS = okPerSec(w1, e1)
+	rep.TxnsPerSecNWS = okPerSec(wN, eN)
+	if rep.TxnsPerSec1WS > 0 {
+		rep.ThroughputRatio = rep.TxnsPerSecNWS / rep.TxnsPerSec1WS
+	}
+	return rep, nil
+}
+
 // waitCaughtUp polls the replica's replication status until its cursor
 // reaches the primary's last txn (bounded by the deadline). It fails
 // fast when the node at readAddr is not actually a replica of addr's
@@ -248,6 +413,15 @@ func waitCaughtUp(addr, readAddr string, limit time.Duration) error {
 // rematches follow each wave of edits, occasional full matches and
 // schema re-loads keep the cold paths and invalidation honest.
 func (w *worker) step() {
+	if w.decideHeavy {
+		// Multi-tenant contrast mix: pure decides — small transactions
+		// whose cost is the serialized commit + WAL fsync path, exactly
+		// what the 1-vs-N workspace contrast measures. No rematches: a
+		// rematch would replace the decide pool with its incremental
+		// (often empty) cell set and silently turn the mix CPU-bound.
+		w.decideOp()
+		return
+	}
 	switch p := w.rng.Intn(100); {
 	case p < 40:
 		w.decideOp()

@@ -19,7 +19,18 @@ const (
 
 // Registry holds metric families by name. All methods are safe for
 // concurrent use; the returned metric handles are lock-free.
+//
+// A Registry may be a labeled view of another Registry (see WithLabels):
+// views share the same underlying families and differ only in a set of
+// base labels appended to every series they create.
 type Registry struct {
+	st   *registryState
+	base []string // flattened key,value pairs appended to every series
+}
+
+// registryState is the shared storage behind a Registry and all of its
+// WithLabels views.
+type registryState struct {
 	mu       sync.RWMutex
 	families map[string]*family
 }
@@ -45,7 +56,39 @@ type series struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{families: map[string]*family{}}
+	return &Registry{st: &registryState{families: map[string]*family{}}}
+}
+
+// WithLabels returns a view of the registry that appends the given
+// flattened "key", "value" pairs to every series it creates. The view
+// shares families and series storage with its parent: a snapshot of
+// either sees series created through both. Base labels win on key
+// collision with per-call labels, so a tenant-scoped view cannot be
+// escaped by passing its label key explicitly. Panics on an odd-length
+// label list.
+func (r *Registry) WithLabels(labels ...string) *Registry {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd base label list %q (want key, value pairs)", labels))
+	}
+	if len(labels) == 0 {
+		return r
+	}
+	base := make([]string, 0, len(r.base)+len(labels))
+	base = append(base, r.base...)
+	base = append(base, labels...)
+	return &Registry{st: r.st, base: base}
+}
+
+// withBase appends the view's base labels after the per-call labels.
+// canonLabels keeps the last value per key, so base labels override.
+func (r *Registry) withBase(labels []string) []string {
+	if len(r.base) == 0 {
+		return labels
+	}
+	out := make([]string, 0, len(labels)+len(r.base))
+	out = append(out, labels...)
+	out = append(out, r.base...)
+	return out
 }
 
 // Counter returns the counter for name with the given labels (flattened
@@ -53,13 +96,13 @@ func NewRegistry() *Registry {
 // already registered as a different type or the label list is odd —
 // both are programming errors, like prometheus.MustRegister.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	s := r.family(name, TypeCounter, nil).get(labels)
+	s := r.family(name, TypeCounter, nil).get(r.withBase(labels))
 	return s.counter
 }
 
 // Gauge returns the gauge for name with the given labels.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	s := r.family(name, TypeGauge, nil).get(labels)
+	s := r.family(name, TypeGauge, nil).get(r.withBase(labels))
 	return s.gauge
 }
 
@@ -67,39 +110,39 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 // buckets (upper bounds, seconds for latencies) are fixed by the first
 // call for the name; nil means LatencyBuckets.
 func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
-	s := r.family(name, TypeHistogram, buckets).get(labels)
+	s := r.family(name, TypeHistogram, buckets).get(r.withBase(labels))
 	return s.hist
 }
 
 // Describe attaches HELP text to a metric name. Exposition emits a
 // "# HELP" line only for described names.
 func (r *Registry) Describe(name, help string) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if f, ok := r.families[name]; ok {
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	if f, ok := r.st.families[name]; ok {
 		f.help = help
 		return
 	}
 	// Remember the help for a family created later.
-	r.families[name] = &family{name: name, help: help, series: map[string]*series{}}
+	r.st.families[name] = &family{name: name, help: help, series: map[string]*series{}}
 }
 
 // family finds or creates the family for name, enforcing type agreement.
 func (r *Registry) family(name string, typ MetricType, buckets []float64) *family {
-	r.mu.RLock()
-	f, ok := r.families[name]
-	match := ok && f.typ == typ // typ is guarded by r.mu
-	r.mu.RUnlock()
+	r.st.mu.RLock()
+	f, ok := r.st.families[name]
+	match := ok && f.typ == typ // typ is guarded by the registry mutex
+	r.st.mu.RUnlock()
 	if match {
 		return f
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	f, ok = r.families[name]
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	f, ok = r.st.families[name]
 	switch {
 	case !ok:
 		f = &family{name: name, typ: typ, buckets: buckets, series: map[string]*series{}}
-		r.families[name] = f
+		r.st.families[name] = f
 	case f.typ == "":
 		// Placeholder created by Describe: adopt the concrete type.
 		f.typ = typ
@@ -212,13 +255,14 @@ func (r *Registry) Snapshot() []Metric {
 		help string
 		typ  MetricType
 	}
-	r.mu.RLock()
-	fams := make([]famSnap, 0, len(r.families))
-	for _, f := range r.families {
-		// help and typ are guarded by r.mu, not f.mu — capture them here.
+	r.st.mu.RLock()
+	fams := make([]famSnap, 0, len(r.st.families))
+	for _, f := range r.st.families {
+		// help and typ are guarded by the registry mutex, not f.mu —
+		// capture them here.
 		fams = append(fams, famSnap{f, f.help, f.typ})
 	}
-	r.mu.RUnlock()
+	r.st.mu.RUnlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].f.name < fams[j].f.name })
 
 	out := make([]Metric, 0, len(fams))

@@ -41,9 +41,10 @@ type LogBatch struct {
 // one primary. It is stateless beyond the base URL and the epoch claim
 // callback; the Tailer owns retry/bootstrap policy.
 type Fetcher struct {
-	base  string
-	http  *http.Client
-	epoch func() uint64
+	base   string
+	prefix string // "/v1/workspaces/<ws>" for a non-default partition
+	http   *http.Client
+	epoch  func() uint64
 }
 
 // NewFetcher returns a Fetcher for the primary at base (scheme added
@@ -62,6 +63,28 @@ func NewFetcher(base string, epoch func() uint64) *Fetcher {
 
 // BaseURL returns the normalized primary address.
 func (f *Fetcher) BaseURL() string { return f.base }
+
+// ForWorkspace returns a Fetcher whose log and snapshot paths address
+// one workspace partition on the primary. The default workspace (and
+// "") keeps the bare node-level paths, so a multi-tenant follower can
+// tail a pre-workspace primary. Fencing stays node-level either way.
+func (f *Fetcher) ForWorkspace(ws string) *Fetcher {
+	nf := *f
+	if ws == "" || ws == "default" {
+		nf.prefix = ""
+	} else {
+		nf.prefix = "/v1/workspaces/" + ws
+	}
+	return &nf
+}
+
+// path scopes a protocol path to the fetcher's workspace partition.
+func (f *Fetcher) path(p string) string {
+	if f.prefix == "" {
+		return p
+	}
+	return f.prefix + strings.TrimPrefix(p, "/v1")
+}
 
 // SetHTTPClient swaps the underlying http.Client (tests, timeouts).
 func (f *Fetcher) SetHTTPClient(hc *http.Client) { f.http = hc }
@@ -121,7 +144,7 @@ func parseUintHeader(resp *http.Response, name string) (uint64, error) {
 // `after`, waiting up to timeout server-side. An empty batch (timeout
 // with no new txns) is a normal, nil-error result.
 func (f *Fetcher) FetchLog(ctx context.Context, after uint64, timeout time.Duration) (*LogBatch, error) {
-	path := fmt.Sprintf("%s?after=%d&timeout=%s", LogPath, after, timeout)
+	path := fmt.Sprintf("%s?after=%d&timeout=%s", f.path(LogPath), after, timeout)
 	resp, err := f.get(ctx, path)
 	if err != nil {
 		return nil, err
@@ -150,7 +173,7 @@ func (f *Fetcher) FetchLog(ctx context.Context, after uint64, timeout time.Durat
 // returning the graph, the txn id it corresponds to, and the primary's
 // epoch.
 func (f *Fetcher) FetchSnapshot(ctx context.Context) (*rdf.Graph, uint64, uint64, error) {
-	resp, err := f.get(ctx, SnapshotPath)
+	resp, err := f.get(ctx, f.path(SnapshotPath))
 	if err != nil {
 		return nil, 0, 0, err
 	}

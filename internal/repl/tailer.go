@@ -37,6 +37,10 @@ type Applier interface {
 type Config struct {
 	Primary string
 	Apply   Applier
+	// Workspace scopes the tail to one workspace partition on the
+	// primary ("" or "default" = the node-level paths, which a
+	// pre-workspace primary also serves).
+	Workspace string
 	// Epoch supplies the local fencing-epoch claim (nil = claim nothing).
 	Epoch func() uint64
 	// Metrics receives the repl gauges/counters (nil = obs.Default()).
@@ -91,7 +95,7 @@ func NewTailer(cfg Config) *Tailer {
 	DescribeMetrics(cfg.Metrics)
 	return &Tailer{
 		cfg:     cfg,
-		fetcher: NewFetcher(cfg.Primary, cfg.Epoch),
+		fetcher: NewFetcher(cfg.Primary, cfg.Epoch).ForWorkspace(cfg.Workspace),
 		reg:     cfg.Metrics,
 		log:     cfg.Log,
 	}

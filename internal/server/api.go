@@ -28,6 +28,20 @@ import (
 //	GET  /v1/events (Accept: text/event-stream)  SSE event feed
 //	GET  /v1/fsck                         integrity check       → FsckResponse
 //	POST /v1/snapshot                     force a WAL snapshot  → SnapshotResponse
+//	GET  /v1/healthz                      workspace health      → HealthResponse
+//
+// Every route above is workspace-scoped: the bare /v1/... form
+// addresses the `default` workspace (or the one named by the
+// X-Ib-Workspace header), and the same route nested as
+// /v1/workspaces/{ws}/... addresses workspace {ws} explicitly. A
+// request naming an unknown workspace is a 404; workspaces are never
+// created implicitly.
+//
+//	POST   /v1/workspaces                 create a workspace    → WorkspaceInfo
+//	GET    /v1/workspaces                 list + per-tenant stats → []WorkspaceInfo
+//	GET    /v1/workspaces/{ws}            one workspace's stats → WorkspaceInfo
+//	DELETE /v1/workspaces/{ws}?confirm={ws}  destroy a workspace → DeleteWorkspaceResponse
+//	                                      (default is never deletable)
 //	POST /v1/promote                      replica → primary     → repl.Status
 //	GET  /v1/repl/status                  replication status    → repl.Status
 //	POST /v1/repl/fence                   seal on a newer epoch → repl.FenceResponse
@@ -49,6 +63,11 @@ import (
 
 // SessionHeader carries the session id on mutating requests.
 const SessionHeader = "X-Workbench-Session"
+
+// WorkspaceHeader names the workspace a bare /v1/... request addresses
+// (absent = the default workspace). The /v1/workspaces/{ws}/... path
+// form takes precedence over the header.
+const WorkspaceHeader = "X-Ib-Workspace"
 
 // TraceHeader carries the caller's trace context on any request, as
 // "<trace hex16>-<span hex16>" (obs.SpanContext.Header). The server
@@ -83,6 +102,8 @@ type OpenSessionRequest struct {
 type SessionInfo struct {
 	ID     string `json:"id"`
 	Client string `json:"client"`
+	// Workspace is the tenant the session lives in.
+	Workspace string `json:"workspace,omitempty"`
 	// Tool is the provenance name the session's transactions run under.
 	Tool string `json:"tool"`
 	// CreatedRev is the blackboard revision when the session opened.
@@ -219,6 +240,8 @@ type FsckResponse struct {
 	Clean   bool     `json:"clean"`
 	Triples int      `json:"triples"`
 	Errors  []string `json:"errors,omitempty"`
+	// Workspace names the tenant the check ran in.
+	Workspace string `json:"workspace,omitempty"`
 	// Recovery is the WAL recovery summary from startup ("" when the
 	// server runs without a data dir).
 	Recovery string `json:"recovery,omitempty"`
@@ -227,6 +250,49 @@ type FsckResponse struct {
 // SnapshotResponse acknowledges a forced snapshot.
 type SnapshotResponse struct {
 	Triples int `json:"triples"`
+}
+
+// CreateWorkspaceRequest names a new workspace and (optionally) its
+// quotas; a zero quota inherits the server's configured default.
+type CreateWorkspaceRequest struct {
+	Name        string `json:"name"`
+	MaxTriples  int    `json:"max_triples,omitempty"`
+	MaxWALBytes int64  `json:"max_wal_bytes,omitempty"`
+}
+
+// WorkspaceInfo is one tenant's stats row (workspace list/get routes).
+type WorkspaceInfo struct {
+	Name     string `json:"name"`
+	Triples  int    `json:"triples"`
+	Schemas  int    `json:"schemas"`
+	Mappings int    `json:"mappings"`
+	Sessions int    `json:"sessions"`
+	// WALBytes is the partition's live log size (0 when the partition is
+	// folded closed or the server is in-memory).
+	WALBytes int64 `json:"wal_bytes"`
+	// LastTxn is the partition's committed-transaction high-water mark.
+	LastTxn uint64 `json:"last_txn"`
+	// FeedSeq is the workspace feed's highest assigned sequence number.
+	FeedSeq uint64 `json:"feed_seq"`
+	// StoreOpen reports whether the WAL partition is currently open
+	// (false after the idle sweeper folded it closed).
+	StoreOpen   bool  `json:"store_open"`
+	MaxTriples  int   `json:"max_triples,omitempty"`
+	MaxWALBytes int64 `json:"max_wal_bytes,omitempty"`
+}
+
+// DeleteWorkspaceResponse acknowledges a workspace deletion.
+type DeleteWorkspaceResponse struct {
+	Name    string `json:"name"`
+	Deleted bool   `json:"deleted"`
+}
+
+// HealthResponse is the per-workspace healthz body: "ok" with 200, or
+// "degraded"/"sealed" with 503 and a human-readable detail.
+type HealthResponse struct {
+	Status    string `json:"status"`
+	Workspace string `json:"workspace"`
+	Detail    string `json:"detail,omitempty"`
 }
 
 // SpanInfo is one finished span of a request trace, as served by

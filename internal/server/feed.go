@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wbmgr"
 )
 
@@ -29,19 +30,21 @@ const DefaultFeedCapacity = 4096
 // from wbmgr's publish path (the server subscribes to every event kind);
 // readers are long-poll and SSE handlers.
 type feed struct {
-	mu    sync.Mutex
-	buf   []FeedEvent
-	first uint64 // seq of buf[0]
-	next  uint64 // seq the next event will get
-	cap   int
-	wake  chan struct{} // closed and replaced on every append
+	mu     sync.Mutex
+	buf    []FeedEvent
+	first  uint64 // seq of buf[0]
+	next   uint64 // seq the next event will get
+	served uint64 // highest cursor any consumer has acknowledged
+	cap    int
+	wake   chan struct{} // closed and replaced on every append
+	lag    *obs.Gauge    // head − served (nil = not instrumented)
 }
 
-func newFeed(capacity int) *feed {
+func newFeed(capacity int, lag *obs.Gauge) *feed {
 	if capacity <= 0 {
 		capacity = DefaultFeedCapacity
 	}
-	return &feed{first: 1, next: 1, cap: capacity, wake: make(chan struct{})}
+	return &feed{first: 1, next: 1, cap: capacity, wake: make(chan struct{}), lag: lag}
 }
 
 // append assigns the next sequence number and wakes all waiters.
@@ -60,7 +63,38 @@ func (f *feed) append(e wbmgr.Event) {
 	}
 	close(f.wake)
 	f.wake = make(chan struct{})
+	f.updateLagLocked()
 	f.mu.Unlock()
+}
+
+// head returns the highest assigned sequence number.
+func (f *feed) head() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next - 1
+}
+
+// noteServed records the highest cursor a consumer has caught up to and
+// refreshes the lag gauge (head − served): how far the slowest-observed
+// consumer trails the feed.
+func (f *feed) noteServed(cursor uint64) {
+	f.mu.Lock()
+	if cursor > f.served {
+		f.served = cursor
+	}
+	f.updateLagLocked()
+	f.mu.Unlock()
+}
+
+func (f *feed) updateLagLocked() {
+	if f.lag == nil {
+		return
+	}
+	head := f.next - 1
+	if f.served > head {
+		f.served = head
+	}
+	f.lag.Set(float64(head - f.served))
 }
 
 // since returns a copy of the events with seq > after, whether the

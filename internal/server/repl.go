@@ -1,17 +1,27 @@
 package server
 
-// Replication wiring: the primary-side shipping routes (/v1/repl/*),
-// the replica mode (Config.ReplicaOf) that tails a primary into the
-// local blackboard while serving read routes, fenced failover
-// (/v1/promote + /v1/repl/fence), and the role-based write guard.
-// The protocol pieces live in internal/repl; this file binds them to
-// the server's store, blackboard, feed, and transaction lock.
+// Replication wiring: the primary-side shipping routes (/v1/repl/*,
+// served per workspace partition), the replica mode (Config.ReplicaOf)
+// that tails every partition of a primary into the matching local
+// workspace, fenced failover (/v1/promote + /v1/repl/fence), and the
+// role-based write guard. The protocol pieces live in internal/repl;
+// this file binds them to the workspaces' stores, blackboards, feeds,
+// and per-workspace transaction locks.
+//
+// Role and epoch are node-level: one promotion covers every workspace
+// (the epoch is persisted in the default workspace's WAL header, which
+// is never idle-closed). Tail loops are per-workspace — each partition
+// has its own cursor — and a replica-side supervisor polls the
+// primary's workspace list so tenants created on the primary appear,
+// and start tailing, on the replica without a restart.
 
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -22,6 +32,7 @@ import (
 	"repro/internal/repl"
 	"repro/internal/wal"
 	"repro/internal/wbmgr"
+	"repro/internal/workspace"
 )
 
 // replTool is the provenance name replication applies transactions
@@ -36,6 +47,11 @@ const EventReplTxn wbmgr.EventKind = "repl-txn"
 // replMaxBatch caps how many transactions one /v1/repl/log response
 // carries, bounding response size for a far-behind follower.
 const replMaxBatch = 512
+
+// wsSupervisorPolls is how many replication backoff intervals the
+// replica's workspace supervisor sleeps between polls of the primary's
+// workspace list.
+const wsSupervisorPolls = 8
 
 // Node roles. The role is a small state machine: primary ⇄ sealed
 // (fenced by a newer epoch), replica → primary (promote). A sealed node
@@ -62,31 +78,38 @@ func (r replRole) String() string {
 // currentRole reads the node's role.
 func (s *Server) currentRole() replRole { return replRole(s.role.Load()) }
 
-// epoch reads the fencing epoch: durable in the WAL header when a store
-// exists, in-memory otherwise.
+// epochStore returns the default workspace's WAL store, the node's
+// durable epoch authority (nil on an in-memory node). The default
+// partition is exempt from idle-close, so the handle is stable.
+func (s *Server) epochStore() *wal.Store {
+	return s.wsm.Default().StoreIfOpen()
+}
+
+// epoch reads the fencing epoch: durable in the default partition's WAL
+// header when a store exists, in-memory otherwise.
 func (s *Server) epoch() uint64 {
-	if s.store != nil {
-		return s.store.Epoch()
+	if st := s.epochStore(); st != nil {
+		return st.Epoch()
 	}
 	return s.memEpoch.Load()
 }
 
 // setEpoch advances the epoch (durably when a store exists).
 func (s *Server) setEpoch(e uint64, sealed bool) error {
-	if s.store != nil {
-		return s.store.SetEpoch(e, sealed)
+	if st := s.epochStore(); st != nil {
+		return st.SetEpoch(e, sealed)
 	}
 	s.memEpoch.Store(e)
 	return nil
 }
 
-// lastTxn is the node's replication cursor: the store's highest txn, or
-// the in-memory applied counter on a storeless replica.
-func (s *Server) lastTxn() uint64 {
-	if s.store != nil {
-		return s.store.LastTxn()
+// lastTxn is one tenant's replication cursor: the partition's highest
+// txn, or the in-memory applied counter on a storeless replica.
+func (t *tenant) lastTxn() uint64 {
+	if t.ws.Durable() {
+		return t.ws.HighWater()
 	}
-	return s.replApplied.Load()
+	return t.applied.Load()
 }
 
 // initReplication establishes the node's role at startup. A ReplicaOf
@@ -100,98 +123,219 @@ func (s *Server) initReplication() error {
 	if s.primaryURL != "" && !strings.Contains(s.primaryURL, "://") {
 		s.primaryURL = "http://" + s.primaryURL
 	}
+	st := s.epochStore()
 	switch {
 	case s.primaryURL != "":
 		s.role.Store(int32(roleReplica))
-		if s.store != nil && s.store.Sealed() {
-			if err := s.store.SetEpoch(s.store.Epoch(), false); err != nil {
+		if st != nil && st.Sealed() {
+			if err := st.SetEpoch(st.Epoch(), false); err != nil {
 				return err
 			}
 			s.log.Info(context.Background(), "unsealing: rejoining as replica", "primary", s.primaryURL)
 		}
 		return s.StartReplication()
-	case s.store != nil && s.store.Sealed():
+	case st != nil && st.Sealed():
 		s.role.Store(int32(roleSealed))
 		s.log.Warn(context.Background(), "store is sealed: refusing writes until restarted with -replica-of",
-			"epoch", s.store.Epoch())
+			"epoch", st.Epoch())
 	default:
 		s.role.Store(int32(rolePrimary))
 	}
 	return nil
 }
 
-// StartReplication starts (or restarts) the tail loop against the
-// configured primary. It is the operational hook behind replica startup
-// and the chaos tests' pause/resume; promoting stops it for good.
-func (s *Server) StartReplication() error {
-	s.replMu.Lock()
-	defer s.replMu.Unlock()
-	if s.primaryURL == "" {
-		return fmt.Errorf("server: no primary configured (ReplicaOf)")
-	}
-	if s.tailCancel != nil {
-		return fmt.Errorf("server: replication already running")
+// startTenantTail starts the tail loop for one workspace partition.
+// Callers hold replMu (or run before the server serves requests).
+func (s *Server) startTenantTail(t *tenant) {
+	t.tailMu.Lock()
+	defer t.tailMu.Unlock()
+	if t.tailCancel != nil {
+		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
-	t := repl.NewTailer(repl.Config{
+	tl := repl.NewTailer(repl.Config{
 		Primary:     s.primaryURL,
-		Apply:       replApplier{s},
+		Workspace:   t.ws.Name(),
+		Apply:       replApplier{s: s, t: t},
 		Epoch:       s.epoch,
-		Metrics:     s.reg,
-		Log:         s.log,
+		Metrics:     t.reg,
+		Log:         s.log.With("workspace", t.ws.Name()),
 		PollTimeout: s.cfg.ReplPollTimeout,
 		Backoff:     s.cfg.ReplBackoff,
 	})
-	s.tailer = t
-	s.tailCancel = cancel
-	s.tailDone = done
+	t.tailer = tl
+	t.tailCancel = cancel
+	t.tailDone = done
 	go func() {
 		defer close(done)
-		t.Run(ctx)
+		tl.Run(ctx)
 	}()
-	return nil
 }
 
-// StopReplication halts the tail loop and waits for it to exit. Safe to
-// call when none is running.
-func (s *Server) StopReplication() {
-	s.replMu.Lock()
-	cancel, done := s.tailCancel, s.tailDone
-	s.tailCancel, s.tailDone = nil, nil
-	s.replMu.Unlock()
+// stopTenantTail halts one tenant's tail loop and waits for it.
+func (s *Server) stopTenantTail(t *tenant) {
+	t.tailMu.Lock()
+	cancel, done := t.tailCancel, t.tailDone
+	t.tailCancel, t.tailDone = nil, nil
+	t.tailMu.Unlock()
 	if cancel != nil {
 		cancel()
 		<-done
 	}
 }
 
+// StartReplication starts (or restarts) the per-workspace tail loops
+// against the configured primary, plus the workspace supervisor that
+// mirrors the primary's tenant table. It is the operational hook behind
+// replica startup and the chaos tests' pause/resume; promoting stops it
+// for good.
+func (s *Server) StartReplication() error {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if s.primaryURL == "" {
+		return fmt.Errorf("server: no primary configured (ReplicaOf)")
+	}
+	if s.replRunning {
+		return fmt.Errorf("server: replication already running")
+	}
+	s.replRunning = true
+	for _, t := range s.tenants() {
+		s.startTenantTail(t)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	s.supCancel = cancel
+	s.supDone = done
+	go func() {
+		defer close(done)
+		s.superviseWorkspaces(ctx)
+	}()
+	return nil
+}
+
+// StopReplication halts every tail loop and the supervisor and waits
+// for them to exit. Safe to call when none is running.
+func (s *Server) StopReplication() {
+	s.replMu.Lock()
+	cancel, done := s.supCancel, s.supDone
+	s.supCancel, s.supDone = nil, nil
+	s.replRunning = false
+	tenants := s.tenants()
+	s.replMu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-done
+	}
+	for _, t := range tenants {
+		s.stopTenantTail(t)
+	}
+}
+
+// superviseWorkspaces keeps the replica's tenant table converged on the
+// primary's: every workspace listed by the primary exists locally and
+// has a running tail loop. A pre-workspace primary (404 on the list
+// route) degrades gracefully to the default-only behavior.
+func (s *Server) superviseWorkspaces(ctx context.Context) {
+	backoff := s.cfg.ReplBackoff
+	if backoff <= 0 {
+		backoff = 500 * time.Millisecond
+	}
+	interval := backoff * wsSupervisorPolls
+	for {
+		s.syncWorkspaces(ctx)
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// syncWorkspaces performs one supervisor round: list the primary's
+// workspaces, ensure each exists locally, and start missing tails.
+func (s *Server) syncWorkspaces(ctx context.Context) {
+	names, err := s.fetchPrimaryWorkspaces(ctx)
+	if err != nil || len(names) == 0 {
+		return
+	}
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return
+		}
+		ws, err := s.wsm.Ensure(name, workspace.Quota{})
+		if err != nil {
+			s.log.Warn(ctx, "supervisor: ensuring workspace failed", "workspace", name, "err", err)
+			continue
+		}
+		t, ok := ws.Ext.(*tenant)
+		if !ok {
+			continue
+		}
+		s.replMu.Lock()
+		if s.replRunning {
+			s.startTenantTail(t)
+		}
+		s.replMu.Unlock()
+	}
+}
+
+// fetchPrimaryWorkspaces lists the primary's workspace names.
+func (s *Server) fetchPrimaryWorkspaces(ctx context.Context) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.primaryURL+"/v1/workspaces", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("http %d", resp.StatusCode)
+	}
+	var infos []WorkspaceInfo
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&infos); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(infos))
+	for _, in := range infos {
+		names = append(names, in.Name)
+	}
+	return names, nil
+}
+
 // ---- the replica-side applier ----
 
-// replApplier adapts the server to repl.Applier: shipped transactions
-// become durable in the follower's WAL (preserving the primary's txn
-// ids), then mutate the blackboard graph directly — replay bypasses the
-// manager because provenance, events, and validation already happened on
-// the primary and are encoded in the ops.
-type replApplier struct{ s *Server }
+// replApplier adapts one tenant to repl.Applier: shipped transactions
+// become durable in the follower's partition (preserving the primary's
+// txn ids), then mutate the blackboard graph directly — replay bypasses
+// the manager because provenance, events, and validation already
+// happened on the primary and are encoded in the ops.
+type replApplier struct {
+	s *Server
+	t *tenant
+}
 
 // LastApplied implements repl.Applier.
-func (a replApplier) LastApplied() uint64 { return a.s.lastTxn() }
+func (a replApplier) LastApplied() uint64 { return a.t.lastTxn() }
 
 // ApplyTxn implements repl.Applier: idempotent, durability-first replay
-// of one shipped transaction under the write lock.
+// of one shipped transaction under the workspace's write lock.
 func (a replApplier) ApplyTxn(txn uint64, ops []rdf.ChangeOp) error {
-	s := a.s
-	s.txnMu.Lock()
-	defer s.txnMu.Unlock()
+	s, t := a.s, a.t
+	t.ws.TxnMu.Lock()
+	defer t.ws.TxnMu.Unlock()
 	if s.currentRole() != roleReplica {
 		return fmt.Errorf("server: not a replica (role %s)", s.currentRole())
 	}
-	if txn <= s.lastTxn() {
+	if txn <= t.lastTxn() {
 		return nil // already applied: a retried batch replays as a no-op
 	}
-	if s.store != nil {
-		if err := s.store.AppendTxnAt(context.Background(), txn, ops); err != nil {
+	if t.ws.Durable() {
+		if err := t.ws.AppendTxnAt(context.Background(), txn, ops); err != nil {
 			if errors.Is(err, wal.ErrTxnApplied) {
 				return nil
 			}
@@ -199,13 +343,13 @@ func (a replApplier) ApplyTxn(txn uint64, ops []rdf.ChangeOp) error {
 		}
 	}
 	a.applyOpsLocked(txn, ops)
-	s.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
+	t.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
 	return nil
 }
 
 // applyOpsLocked mutates the follower graph and refreshes derived state.
 func (a replApplier) applyOpsLocked(txn uint64, ops []rdf.ChangeOp) {
-	g := a.s.bb.Graph()
+	g := a.t.bb().Graph()
 	for _, op := range ops {
 		if op.Add {
 			g.Add(op.T)
@@ -213,8 +357,8 @@ func (a replApplier) applyOpsLocked(txn uint64, ops []rdf.ChangeOp) {
 			g.Remove(op.T)
 		}
 	}
-	a.s.bb.SyncMetrics()
-	a.s.replApplied.Store(txn)
+	a.t.bb().SyncMetrics()
+	a.t.applied.Store(txn)
 }
 
 // Bootstrap implements repl.Applier: converge the local graph onto a
@@ -224,17 +368,17 @@ func (a replApplier) applyOpsLocked(txn uint64, ops []rdf.ChangeOp) {
 // local graph holds — empty, stale, or ahead by an orphaned
 // unacknowledged txn — it ends rdf.Equal to the snapshot.
 func (a replApplier) Bootstrap(g *rdf.Graph, txn uint64) error {
-	s := a.s
-	s.txnMu.Lock()
-	defer s.txnMu.Unlock()
+	s, t := a.s, a.t
+	t.ws.TxnMu.Lock()
+	defer t.ws.TxnMu.Unlock()
 	if s.currentRole() != roleReplica {
 		return fmt.Errorf("server: not a replica (role %s)", s.currentRole())
 	}
-	last := s.lastTxn()
+	last := t.lastTxn()
 	if txn < last {
 		return fmt.Errorf("server: local txn %d ahead of primary snapshot txn %d (diverged history; wipe the data dir to rejoin)", last, txn)
 	}
-	added, removed := g.Diff(s.bb.Graph())
+	added, removed := g.Diff(t.bb().Graph())
 	if txn == last {
 		if len(added) == 0 && len(removed) == 0 {
 			return nil
@@ -242,24 +386,24 @@ func (a replApplier) Bootstrap(g *rdf.Graph, txn uint64) error {
 		return fmt.Errorf("server: graph diverged from primary at identical txn %d (%d/%d triples differ)", txn, len(added), len(removed))
 	}
 	ops := make([]rdf.ChangeOp, 0, len(added)+len(removed))
-	for _, t := range removed {
-		ops = append(ops, rdf.ChangeOp{Add: false, T: t})
+	for _, tr := range removed {
+		ops = append(ops, rdf.ChangeOp{Add: false, T: tr})
 	}
-	for _, t := range added {
-		ops = append(ops, rdf.ChangeOp{Add: true, T: t})
+	for _, tr := range added {
+		ops = append(ops, rdf.ChangeOp{Add: true, T: tr})
 	}
-	if s.store != nil {
-		if err := s.store.AppendTxnAt(context.Background(), txn, ops); err != nil {
+	if t.ws.Durable() {
+		if err := t.ws.AppendTxnAt(context.Background(), txn, ops); err != nil {
 			return err
 		}
 	}
 	a.applyOpsLocked(txn, ops)
-	if s.store != nil {
+	if t.ws.Durable() {
 		// Fold the (potentially huge) bootstrap txn straight into a local
 		// snapshot; failure is harmless — the log replays fine.
-		_ = s.store.SnapshotNow()
+		_ = t.ws.SnapshotNow()
 	}
-	s.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
+	t.feed.append(wbmgr.Event{Kind: EventReplTxn, Tool: replTool, Subject: strconv.FormatUint(txn, 10)})
 	return nil
 }
 
@@ -354,11 +498,17 @@ func (s *Server) sealLocked(newEpoch uint64) {
 
 // ---- handlers ----
 
-// handleReplLog serves sealed txn frames after the follower's cursor,
-// long-polling when it is caught up. 410 Gone means the ship ring no
-// longer reaches the cursor and the follower must bootstrap.
-func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
+// handleReplLog serves one partition's sealed txn frames after the
+// follower's cursor, long-polling when it is caught up. 410 Gone means
+// the ship ring no longer reaches the cursor and the follower must
+// bootstrap.
+func (s *Server) handleReplLog(t *tenant, w http.ResponseWriter, r *http.Request) {
+	store, err := t.ws.Store()
+	if err != nil {
+		fail(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if store == nil {
 		fail(w, http.StatusConflict, "replication requires a data dir on the primary")
 		return
 	}
@@ -377,7 +527,7 @@ func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusInternalServerError, "repl ship: %v", err)
 		return
 	}
-	data, n, last, ok := s.store.WaitFrames(r.Context(), after, timeout, replMaxBatch)
+	data, n, last, ok := store.WaitFrames(r.Context(), after, timeout, replMaxBatch)
 	if !ok {
 		fail(w, http.StatusGone, "txns after %d are no longer buffered; bootstrap from %s", after, repl.SnapshotPath)
 		return
@@ -390,9 +540,10 @@ func (s *Server) handleReplLog(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(data)
 }
 
-// handleReplSnapshot serves the full graph as N-Triples for bootstrap,
-// captured atomically against writers via the transaction lock.
-func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+// handleReplSnapshot serves one partition's full graph as N-Triples for
+// bootstrap, captured atomically against writers via the workspace's
+// transaction lock.
+func (s *Server) handleReplSnapshot(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.replGuard(w, r) {
 		return
 	}
@@ -400,11 +551,11 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusInternalServerError, "repl ship: %v", err)
 		return
 	}
-	s.txnMu.Lock()
-	txn := s.lastTxn()
+	t.ws.TxnMu.Lock()
+	txn := t.lastTxn()
 	var buf bytes.Buffer
-	err := rdf.WriteNTriples(&buf, s.bb.Graph())
-	s.txnMu.Unlock()
+	err := rdf.WriteNTriples(&buf, t.bb().Graph())
+	t.ws.TxnMu.Unlock()
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "%v", err)
 		return
@@ -417,12 +568,16 @@ func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// replStatus assembles the node's replication status.
+// replStatus assembles the node's replication status. On a replica the
+// txn cursor and lag describe the default workspace's tail (the
+// node-level legacy shape); per-workspace lag is visible in /metrics
+// via the workspace label.
 func (s *Server) replStatus() repl.Status {
+	dt := s.defaultTenant()
 	st := repl.Status{
 		Role:    s.currentRole().String(),
 		Epoch:   s.epoch(),
-		LastTxn: s.lastTxn(),
+		LastTxn: dt.lastTxn(),
 		Healthy: true,
 	}
 	switch s.currentRole() {
@@ -431,24 +586,40 @@ func (s *Server) replStatus() repl.Status {
 		st.LastError = "sealed: a newer primary exists"
 	case roleReplica:
 		st.Primary = s.primaryURL
-		s.replMu.Lock()
-		t := s.tailer
-		s.replMu.Unlock()
-		if t == nil {
+		dt.tailMu.Lock()
+		tl := dt.tailer
+		dt.tailMu.Unlock()
+		if tl == nil {
 			st.Healthy = false
 			st.LastError = "replication not running"
 			break
 		}
-		primaryLast, contact, lastErr := t.Status()
+		primaryLast, contact, lastErr := tl.Status()
 		if primaryLast > st.LastTxn {
 			st.LagTxns = primaryLast - st.LastTxn
 		}
 		if !contact.IsZero() {
 			st.LagSeconds = time.Since(contact).Seconds()
 		}
-		st.Healthy = t.Healthy()
+		st.Healthy = tl.Healthy()
 		if lastErr != nil {
 			st.LastError = lastErr.Error()
+		}
+		// Any other tenant's stalled tail also degrades the node.
+		if st.Healthy {
+			for _, t := range s.tenants() {
+				if t == dt {
+					continue
+				}
+				t.tailMu.Lock()
+				otl := t.tailer
+				t.tailMu.Unlock()
+				if otl != nil && !otl.Healthy() {
+					st.Healthy = false
+					st.LastError = fmt.Sprintf("workspace %q replication stalled", t.ws.Name())
+					break
+				}
+			}
 		}
 	}
 	return st
@@ -478,10 +649,11 @@ func (s *Server) handleReplFence(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, repl.FenceResponse{Role: s.currentRole().String(), Epoch: s.epoch()})
 }
 
-// handlePromote turns this replica into the primary: stop tailing, bump
-// the fencing epoch durably, open for writes, and best-effort fence the
-// old primary so a surviving process seals itself immediately (a dead
-// one finds out from the epoch on the next replication exchange).
+// handlePromote turns this replica into the primary: stop every tail
+// loop, bump the fencing epoch durably (one epoch fences all
+// workspaces), open for writes, and best-effort fence the old primary
+// so a surviving process seals itself immediately (a dead one finds out
+// from the epoch on the next replication exchange).
 func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	s.replMu.Lock()
 	if s.currentRole() != roleReplica {
@@ -492,7 +664,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	s.replMu.Unlock()
 
-	// Stop the tail first (without holding replMu: the tailer's applier
+	// Stop the tails first (without holding replMu: the appliers'
 	// callbacks take it). A concurrent promote loses the re-check below.
 	s.StopReplication()
 
@@ -512,7 +684,6 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	s.role.Store(int32(rolePrimary))
 	oldPrimary := s.primaryURL
 	s.primaryURL = ""
-	s.tailer = nil
 	s.replMu.Unlock()
 
 	s.log.Info(r.Context(), "promoted to primary", "epoch", newEpoch, "oldPrimary", oldPrimary)
@@ -528,8 +699,9 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.replStatus())
 }
 
-// health backs /healthz: "ok" only when this node is fit to serve its
-// role — a sealed node and a replica whose tail is stalled both degrade.
+// health backs the node-level /healthz: "ok" only when this node is fit
+// to serve its role — a sealed node and a replica whose tail is stalled
+// both degrade.
 func (s *Server) health() (status, detail string) {
 	switch s.currentRole() {
 	case roleSealed:
@@ -545,6 +717,31 @@ func (s *Server) health() (status, detail string) {
 		}
 	}
 	return "ok", ""
+}
+
+// tenantHealth backs the per-workspace healthz route: the node-level
+// state first, then the workspace's own fitness — a tenant at or over
+// its WAL quota is degraded (it refuses writes) without affecting its
+// neighbors.
+func (t *tenant) health() (status, detail string) {
+	if st, d := t.srv.health(); st != "ok" {
+		return st, d
+	}
+	if err := t.ws.PreTxnQuota(); err != nil {
+		return "degraded", err.Error()
+	}
+	return "ok", ""
+}
+
+// handleTenantHealth serves GET /v1/healthz and
+// GET /v1/workspaces/{ws}/healthz.
+func (s *Server) handleTenantHealth(t *tenant, w http.ResponseWriter, r *http.Request) {
+	status, detail := t.health()
+	code := http.StatusOK
+	if status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, HealthResponse{Status: status, Workspace: t.ws.Name(), Detail: detail})
 }
 
 // ---- request decoding helpers (shared with the events route) ----

@@ -1,18 +1,25 @@
-// Package server turns the workbench into a long-lived, multi-client
-// service: a stdlib-only HTTP/JSON API over one workbench manager and
-// its integration blackboard, optionally made crash-safe by the
-// write-ahead log store (internal/wal). The paper's manager (§5.2)
+// Package server turns the workbench into a long-lived, multi-client,
+// multi-tenant service: a stdlib-only HTTP/JSON API over N isolated
+// workspaces (internal/workspace), each its own workbench manager,
+// integration blackboard and WAL partition. The paper's manager (§5.2)
 // mediates transactions, events and queries for in-process tools; this
 // package extends the same mediation across the network — sessions
 // stand in for analysts, every mutating route runs as a manager
 // transaction (so the WAL commit hook makes it durable before the
 // response is sent), and the §5.2.2 event kinds reach remote tools via
-// a long-poll or SSE feed with exactly-once, in-order delivery.
+// a long-poll or SSE feed with exactly-once, in-order delivery, one
+// feed per workspace.
+//
+// Routing is tenant-aware twice over: /v1/workspaces/{ws}/... scopes a
+// request explicitly, the X-Ib-Workspace header scopes a bare path, and
+// a bare path with neither is the `default` workspace — so every
+// pre-workspace client keeps working unchanged.
 package server
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -31,22 +38,27 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/obs/logx"
-	"repro/internal/rdf"
 	"repro/internal/repl"
 	"repro/internal/sqlddl"
 	"repro/internal/wal"
 	"repro/internal/wbmgr"
+	"repro/internal/workspace"
 	"repro/internal/xmlschema"
 )
 
-// Metric names emitted by the server (see DESIGN.md §11).
+// Metric names emitted by the server (see DESIGN.md §11). Request and
+// feed metrics carry a `workspace` label.
 const (
-	// MetricRequests counts HTTP requests, labeled route and code.
+	// MetricRequests counts HTTP requests, labeled route, code and
+	// workspace.
 	MetricRequests = "server_requests_total"
 	// MetricRequestDuration is the per-route latency histogram.
 	MetricRequestDuration = "server_request_seconds"
-	// MetricSessions gauges currently open sessions.
+	// MetricSessions gauges currently open sessions per workspace.
 	MetricSessions = "server_sessions"
+	// MetricFeedLag gauges, per workspace, how far the slowest observed
+	// feed consumer trails the feed head.
+	MetricFeedLag = "server_feed_lag_events"
 )
 
 // feedTool is the tool name the server's feed subscription runs under.
@@ -65,20 +77,24 @@ const DefaultThreshold = 0.25
 
 // Config assembles a Server.
 type Config struct {
-	// DataDir is the WAL store directory. Empty means in-memory only:
-	// the API works but nothing survives the process.
+	// DataDir is the service data directory; each workspace's WAL
+	// partition lives under DataDir/ws/<name>/. Empty means in-memory
+	// only: the API works but nothing survives the process.
 	DataDir string
 	// SnapshotEvery forwards to wal.Options (0 = default cadence).
 	SnapshotEvery int
-	// FeedCapacity bounds the event feed (0 = DefaultFeedCapacity).
+	// FeedCapacity bounds each workspace's event feed (0 =
+	// DefaultFeedCapacity).
 	FeedCapacity int
 	// Parallelism forwards to the Harmony engine for match runs.
 	Parallelism int
 	// MatchCacheBytes bounds the shared score-matrix cache that match and
 	// rematch runs warm (0 = matchcache.DefaultMaxBytes). The cache is
-	// content-addressed, so it needs no invalidation on schema edits.
+	// content-addressed, so it is shared across workspaces safely — the
+	// same schema pair loaded by two tenants hits once.
 	MatchCacheBytes int64
 	// Metrics receives server + WAL instrumentation (nil = obs.Default()).
+	// Per-workspace series are labeled through obs.Registry.WithLabels.
 	Metrics *obs.Registry
 	// TraceCapacity bounds the in-memory trace store (0 =
 	// obs.DefaultTraceCapacity traces; oldest evicted first).
@@ -94,15 +110,25 @@ type Config struct {
 	// logx default, stderr at info).
 	Log *logx.Logger
 	// ReplicaOf makes this node a read-only replica tailing the primary
-	// at the given URL (scheme optional). Empty = primary.
+	// at the given URL (scheme optional). Empty = primary. Every
+	// workspace partition tails independently; a workspace supervisor
+	// mirrors the primary's tenant table.
 	ReplicaOf string
-	// ReplPollTimeout and ReplBackoff tune the replica's tail loop
+	// ReplPollTimeout and ReplBackoff tune the replica's tail loops
 	// (0 = the repl package defaults; tests shrink them).
 	ReplPollTimeout time.Duration
 	ReplBackoff     time.Duration
-	// ReplBufferTxns forwards to wal.Options: the primary's ship-ring
-	// capacity in transactions (0 = wal.DefaultReplBufferTxns).
+	// ReplBufferTxns forwards to wal.Options: the primary's per-partition
+	// ship-ring capacity in transactions (0 = wal.DefaultReplBufferTxns).
 	ReplBufferTxns int
+	// WorkspaceIdleTTL is how long a non-default workspace's WAL store
+	// may sit idle before being folded closed (0 =
+	// workspace.DefaultIdleTTL; negative = never).
+	WorkspaceIdleTTL time.Duration
+	// MaxTriples and MaxWALBytes are the default per-workspace quotas
+	// (0 = unlimited); a create request can override them per tenant.
+	MaxTriples  int
+	MaxWALBytes int64
 }
 
 // DefaultSlowRequest is the slow-request log threshold when Config
@@ -127,59 +153,78 @@ type matchSession struct {
 	stale  bool
 }
 
-// Server is the durable workbench service. Create with New, mount
-// Handler on any http.Server, and Close on shutdown (Close folds the
-// WAL into a snapshot; crashes instead rely on recovery).
+// tenant is the server-side request state of one workspace: sessions,
+// match engines, the event feed, and (on a replica) the partition's
+// tail loop. It hangs off workspace.Workspace.Ext.
+type tenant struct {
+	srv *Server
+	ws  *workspace.Workspace
+	reg *obs.Registry // workspace-labeled registry view
+
+	feed *feed
+
+	mu       sync.Mutex // guards sessions
+	sessions map[string]*session
+	sessSeq  uint64
+
+	engMu   sync.Mutex // guards engines
+	engines map[string]*matchSession
+
+	// applied is the in-memory replication cursor for a storeless
+	// replica tenant.
+	applied atomic.Uint64
+
+	tailMu     sync.Mutex
+	tailer     *repl.Tailer
+	tailCancel context.CancelFunc
+	tailDone   chan struct{}
+}
+
+func (t *tenant) bb() *blackboard.Blackboard { return t.ws.Blackboard() }
+func (t *tenant) mgr() *wbmgr.Manager        { return t.ws.Manager() }
+
+// Server is the durable multi-tenant workbench service. Create with
+// New, mount Handler on any http.Server, and Close on shutdown (Close
+// folds every workspace WAL into a snapshot; crashes instead rely on
+// recovery).
 type Server struct {
 	cfg    Config
 	reg    *obs.Registry
-	store  *wal.Store // nil when in-memory
-	bb     *blackboard.Blackboard
-	mgr    *wbmgr.Manager
-	feed   *feed
+	wsm    *workspace.Manager
 	mux    *http.ServeMux
 	traces *obs.TraceStore
 	log    *logx.Logger
 	slow   time.Duration // slow-request log threshold (0 = disabled)
 
-	// txnMu serializes mutating API requests: the manager allows one
-	// active transaction, so concurrent writers queue here rather than
-	// bouncing off ErrTxnActive.
-	txnMu sync.Mutex
-
-	mu       sync.Mutex // guards sessions
-	sessions map[string]*session
-	sessSeq  int
-
 	// matchCache holds per-voter and merged score matrices across match
-	// and rematch runs, shared by every mapping's engine.
+	// and rematch runs, shared by every mapping's engine in every
+	// workspace (content-addressed keys make cross-tenant reuse safe).
 	matchCache *matchcache.Cache
-	engMu      sync.Mutex // guards engines
-	engines    map[string]*matchSession
 
 	// Replication state (internal/server/repl.go). role is the node's
-	// replication role; replMu serializes role/epoch transitions and
-	// guards the tailer handle; the atomics back the in-memory fallbacks
-	// when no store exists.
+	// replication role; the epoch lives in the default workspace's WAL
+	// header (memEpoch backs an in-memory node); replMu serializes
+	// role/epoch transitions; each tenant owns its partition's tailer.
 	role        atomic.Int32
 	memEpoch    atomic.Uint64
-	replApplied atomic.Uint64
 	primaryURL  string
 	replMu      sync.Mutex
-	tailer      *repl.Tailer
-	tailCancel  context.CancelFunc
-	tailDone    chan struct{}
+	replRunning bool
+	supCancel   context.CancelFunc
+	supDone     chan struct{}
 }
 
-// New opens (and, with a DataDir, recovers) a workbench service.
+// New opens (and, with a DataDir, recovers every workspace partition
+// of) a workbench service.
 func New(cfg Config) (*Server, error) {
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.Default()
 	}
-	reg.Describe(MetricRequests, "Workbench API requests, by route and status code.")
+	reg.Describe(MetricRequests, "Workbench API requests, by route, status code and workspace.")
 	reg.Describe(MetricRequestDuration, "Workbench API request latency, by route.")
-	reg.Describe(MetricSessions, "Currently open workbench sessions.")
+	reg.Describe(MetricSessions, "Currently open workbench sessions, by workspace.")
+	reg.Describe(MetricFeedLag, "Feed events the slowest observed consumer trails by, per workspace.")
 
 	slow := cfg.SlowRequest
 	switch {
@@ -195,75 +240,107 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
-		feed:       newFeed(cfg.FeedCapacity),
-		sessions:   map[string]*session{},
 		matchCache: matchcache.New(cfg.MatchCacheBytes),
-		engines:    map[string]*matchSession{},
 		traces:     obs.NewTraceStore(cfg.TraceCapacity),
 		log:        srvLog.With("component", "server"),
 		slow:       slow,
 	}
 	s.matchCache.SetMetrics(reg)
-	if cfg.DataDir != "" {
-		store, err := wal.Open(cfg.DataDir, wal.Options{
-			SnapshotEvery:  cfg.SnapshotEvery,
-			ReplBufferTxns: cfg.ReplBufferTxns,
-			Metrics:        reg,
-		})
-		if err != nil {
-			return nil, err
-		}
-		s.store = store
-		s.bb = blackboard.NewFromGraph(store.Graph())
-	} else {
-		s.bb = blackboard.New()
-	}
-	s.bb.SetMetrics(reg)
-	s.mgr = wbmgr.NewWith(s.bb)
-	s.mgr.SetMetrics(reg)
-	// Durability gate: every committed transaction reaches the WAL (and
-	// fsync) before Commit returns.
-	if s.store != nil {
-		store := s.store
-		s.mgr.SetCommitHook(func(ctx context.Context, _ string, ops []rdf.ChangeOp) error {
-			return store.AppendTxnContext(ctx, ops)
-		})
-	}
-	for _, kind := range []wbmgr.EventKind{
-		wbmgr.EventSchemaGraph, wbmgr.EventMappingCell,
-		wbmgr.EventMappingVector, wbmgr.EventMappingMatrix,
-	} {
-		s.mgr.Subscribe(kind, feedTool, s.feed.append)
-	}
-	// Event-driven invalidation: a re-loaded schema marks every match
-	// session over it stale, so the next rematch re-reads the blackboard.
-	s.mgr.Subscribe(wbmgr.EventSchemaGraph, matchTool, func(ev wbmgr.Event) {
-		s.markSchemaStale(ev.Subject)
+	wsm, err := workspace.NewManager(workspace.Options{
+		Root:           cfg.DataDir,
+		SnapshotEvery:  cfg.SnapshotEvery,
+		ReplBufferTxns: cfg.ReplBufferTxns,
+		Metrics:        reg,
+		IdleTTL:        cfg.WorkspaceIdleTTL,
+		DefaultQuota:   workspace.Quota{MaxTriples: cfg.MaxTriples, MaxWALBytes: cfg.MaxWALBytes},
+		OnOpen:         s.attachTenant,
 	})
+	if err != nil {
+		return nil, err
+	}
+	s.wsm = wsm
 	if err := s.initReplication(); err != nil {
-		if s.store != nil {
-			s.store.Close()
-		}
+		s.wsm.Close()
 		return nil, err
 	}
 	s.buildMux()
 	return s, nil
 }
 
-// Manager exposes the underlying workbench manager (tests, embedding).
-func (s *Server) Manager() *wbmgr.Manager { return s.mgr }
+// attachTenant wires the server's per-workspace request state onto a
+// workspace as the workspace manager opens or creates it.
+func (s *Server) attachTenant(ws *workspace.Workspace) error {
+	t := &tenant{
+		srv:      s,
+		ws:       ws,
+		reg:      ws.Metrics(),
+		sessions: map[string]*session{},
+		engines:  map[string]*matchSession{},
+		// Session IDs restart from the recovered txn high-water mark, so
+		// a stale pre-restart session ID can never collide with one
+		// minted after the restart.
+		sessSeq: ws.OpenHighWater(),
+	}
+	t.feed = newFeed(s.cfg.FeedCapacity, ws.Metrics().Gauge(MetricFeedLag))
+	mgr := ws.Manager()
+	for _, kind := range []wbmgr.EventKind{
+		wbmgr.EventSchemaGraph, wbmgr.EventMappingCell,
+		wbmgr.EventMappingVector, wbmgr.EventMappingMatrix,
+	} {
+		mgr.Subscribe(kind, feedTool, t.feed.append)
+	}
+	// Event-driven invalidation: a re-loaded schema marks every match
+	// session over it stale, so the next rematch re-reads the blackboard.
+	mgr.Subscribe(wbmgr.EventSchemaGraph, matchTool, func(ev wbmgr.Event) {
+		t.markSchemaStale(ev.Subject)
+	})
+	ws.Ext = t
+	return nil
+}
 
-// Store exposes the WAL store (nil when in-memory).
-func (s *Server) Store() *wal.Store { return s.store }
+// defaultTenant returns the tenant behind the default workspace.
+func (s *Server) defaultTenant() *tenant {
+	t, _ := s.wsm.Default().Ext.(*tenant)
+	return t
+}
 
-// Close stops replication, folds the WAL into a final snapshot, and
-// releases it.
+// tenantOf resolves a workspace name to its tenant.
+func (s *Server) tenantOf(name string) (*tenant, bool) {
+	ws, ok := s.wsm.Get(name)
+	if !ok {
+		return nil, false
+	}
+	t, ok := ws.Ext.(*tenant)
+	return t, ok
+}
+
+// tenants snapshots every live tenant, sorted by workspace name.
+func (s *Server) tenants() []*tenant {
+	wss := s.wsm.List()
+	out := make([]*tenant, 0, len(wss))
+	for _, ws := range wss {
+		if t, ok := ws.Ext.(*tenant); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Manager exposes the default workspace's manager (tests, embedding).
+func (s *Server) Manager() *wbmgr.Manager { return s.wsm.Default().Manager() }
+
+// Store exposes the default workspace's WAL store (nil when in-memory).
+// The default partition is never idle-closed, so the handle is stable.
+func (s *Server) Store() *wal.Store { return s.wsm.Default().StoreIfOpen() }
+
+// Workspaces exposes the workspace manager (tests, embedding).
+func (s *Server) Workspaces() *workspace.Manager { return s.wsm }
+
+// Close stops replication, folds every workspace's WAL into a final
+// snapshot, and releases them.
 func (s *Server) Close() error {
 	s.StopReplication()
-	if s.store != nil {
-		return s.store.Close()
-	}
-	return nil
+	return s.wsm.Close()
 }
 
 // Handler returns the service's HTTP handler.
@@ -271,36 +348,49 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // ---- routing & plumbing ----
 
+// tenantHandler is a request handler bound to the resolved workspace.
+type tenantHandler func(t *tenant, w http.ResponseWriter, r *http.Request)
+
 func (s *Server) buildMux() {
 	mux := http.NewServeMux()
 	obsHandler := obs.HandlerWithHealth(s.reg, s.health)
 	mux.Handle("/metrics", obsHandler)
 	mux.Handle("/healthz", obsHandler)
 
-	s.route(mux, "POST /v1/sessions", "sessions.open", s.handleOpenSession)
-	s.route(mux, "GET /v1/sessions", "sessions.list", s.handleListSessions)
-	s.route(mux, "POST /v1/schemas", "schemas.load", s.handleLoadSchema)
-	s.route(mux, "GET /v1/schemas", "schemas.list", s.handleListSchemas)
-	s.route(mux, "GET /v1/schemas/{name}", "schemas.get", s.handleGetSchema)
-	s.route(mux, "POST /v1/mappings", "mappings.create", s.handleCreateMapping)
-	s.route(mux, "GET /v1/mappings", "mappings.list", s.handleListMappings)
-	s.route(mux, "GET /v1/mappings/{id}", "mappings.get", s.handleGetMapping)
-	s.route(mux, "GET /v1/mappings/{id}/cells", "cells.list", s.handleCells)
-	s.route(mux, "POST /v1/mappings/{id}/match", "match.run", s.handleMatch)
-	s.route(mux, "POST /v1/mappings/{id}/rematch", "match.rematch", s.handleRematch)
-	s.route(mux, "POST /v1/mappings/{id}/decide", "cells.decide", s.handleDecide)
-	s.route(mux, "POST /v1/query", "query", s.handleQuery)
-	s.route(mux, "GET /v1/events", "events", s.handleEvents)
-	s.route(mux, "GET /v1/fsck", "fsck", s.handleFsck)
-	s.route(mux, "POST /v1/snapshot", "snapshot", s.handleSnapshot)
-	s.route(mux, "POST /v1/promote", "promote", s.handlePromote)
-	s.route(mux, "GET "+repl.StatusPath, "repl.status", s.handleReplStatus)
-	s.route(mux, "POST "+repl.FencePath, "repl.fence", s.handleReplFence)
+	s.route(mux, "POST", "/sessions", "sessions.open", s.handleOpenSession)
+	s.route(mux, "GET", "/sessions", "sessions.list", s.handleListSessions)
+	s.route(mux, "POST", "/schemas", "schemas.load", s.handleLoadSchema)
+	s.route(mux, "GET", "/schemas", "schemas.list", s.handleListSchemas)
+	s.route(mux, "GET", "/schemas/{name}", "schemas.get", s.handleGetSchema)
+	s.route(mux, "POST", "/mappings", "mappings.create", s.handleCreateMapping)
+	s.route(mux, "GET", "/mappings", "mappings.list", s.handleListMappings)
+	s.route(mux, "GET", "/mappings/{id}", "mappings.get", s.handleGetMapping)
+	s.route(mux, "GET", "/mappings/{id}/cells", "cells.list", s.handleCells)
+	s.route(mux, "POST", "/mappings/{id}/match", "match.run", s.handleMatch)
+	s.route(mux, "POST", "/mappings/{id}/rematch", "match.rematch", s.handleRematch)
+	s.route(mux, "POST", "/mappings/{id}/decide", "cells.decide", s.handleDecide)
+	s.route(mux, "POST", "/query", "query", s.handleQuery)
+	s.route(mux, "GET", "/events", "events", s.handleEvents)
+	s.route(mux, "GET", "/fsck", "fsck", s.handleFsck)
+	s.route(mux, "POST", "/snapshot", "snapshot", s.handleSnapshot)
+	s.route(mux, "GET", "/healthz", "workspace.healthz", s.handleTenantHealth)
+
+	// Workspace lifecycle (node-level: they act on the tenant table).
+	s.routePlain(mux, "POST /v1/workspaces", "workspaces.create", s.handleWorkspaceCreate)
+	s.routePlain(mux, "GET /v1/workspaces", "workspaces.list", s.handleWorkspaceList)
+	s.routePlain(mux, "GET /v1/workspaces/{ws}", "workspaces.get", s.handleWorkspaceGet)
+	s.routePlain(mux, "DELETE /v1/workspaces/{ws}", "workspaces.rm", s.handleWorkspaceDelete)
+
+	// Failover + fencing are node-level: one role and one epoch cover
+	// every partition.
+	s.routePlain(mux, "POST /v1/promote", "promote", s.handlePromote)
+	s.routePlain(mux, "GET "+repl.StatusPath, "repl.status", s.handleReplStatus)
+	s.routePlain(mux, "POST "+repl.FencePath, "repl.fence", s.handleReplFence)
 	// The shipping routes are metrics-only (no tracing): a tailing
 	// replica polls continuously and would evict every analyst trace
-	// from the bounded trace store.
-	s.routeQuiet(mux, "GET "+repl.LogPath, "repl.log", s.handleReplLog)
-	s.routeQuiet(mux, "GET "+repl.SnapshotPath, "repl.snapshot", s.handleReplSnapshot)
+	// from the bounded trace store. They ship per workspace partition.
+	s.routeQuiet(mux, "GET", "/repl/log", "repl.log", s.handleReplLog)
+	s.routeQuiet(mux, "GET", "/repl/snapshot", "repl.snapshot", s.handleReplSnapshot)
 	s.mountDebug(mux)
 	s.mux = mux
 }
@@ -324,13 +414,65 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
-// route mounts a handler under the request metrics + tracing
+// requestWorkspace names the workspace a request addresses: the
+// /v1/workspaces/{ws}/ path segment, the X-Ib-Workspace header, or the
+// default workspace, in that order.
+func (s *Server) requestWorkspace(r *http.Request) string {
+	if ws := r.PathValue("ws"); ws != "" {
+		return ws
+	}
+	if ws := r.Header.Get(WorkspaceHeader); ws != "" {
+		return ws
+	}
+	return workspace.DefaultName
+}
+
+// route mounts a tenant handler twice — bare /v1<suffix> (default
+// workspace, or the X-Ib-Workspace header) and
+// /v1/workspaces/{ws}<suffix> — under the request metrics + tracing
 // middleware: every request gets a root span in the server's trace
 // store (continuing the client's trace when the X-Ib-Trace header names
 // one), carried down through r.Context() so transactions, match stages
 // and WAL writes join the same trace. Requests slower than the
-// configured threshold are logged with their trace ID.
-func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+// configured threshold are logged with their trace ID. A request naming
+// an unknown workspace is a 404 carrying the name; workspaces are never
+// created as a routing side effect.
+func (s *Server) route(mux *http.ServeMux, method, suffix, name string, h tenantHandler) {
+	fn := func(w http.ResponseWriter, r *http.Request) {
+		wsName := s.requestWorkspace(r)
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		remote, _ := obs.ParseTraceHeader(r.Header.Get(TraceHeader))
+		sp, ctx := s.traces.StartRoot(r.Context(), name, remote)
+		sp.SetAttr("route", name)
+		sp.SetAttr("workspace", wsName)
+		if t, ok := s.tenantOf(wsName); ok {
+			t.ws.Touch()
+			h(t, rec, r.WithContext(ctx))
+		} else {
+			fail(rec, http.StatusNotFound, "workspace %q not found", wsName)
+		}
+		sp.SetAttr("code", strconv.Itoa(rec.code))
+		if rec.code >= 500 {
+			sp.SetError(fmt.Errorf("http %d", rec.code))
+		}
+		d := sp.End()
+		if s.slow > 0 && d >= s.slow {
+			s.log.Warn(ctx, "slow request", "route", name, "workspace", wsName, "code", rec.code, "duration", d)
+		} else {
+			s.log.Debug(ctx, "request", "route", name, "workspace", wsName, "code", rec.code, "duration", d)
+		}
+		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
+			ObserveDuration(d)
+		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code),
+			"workspace", wsName).Inc()
+	}
+	mux.HandleFunc(method+" /v1"+suffix, fn)
+	mux.HandleFunc(method+" /v1/workspaces/{ws}"+suffix, fn)
+}
+
+// routePlain mounts a node-level handler (no workspace resolution)
+// under the same metrics + tracing middleware.
+func (s *Server) routePlain(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		remote, _ := obs.ParseTraceHeader(r.Header.Get(TraceHeader))
@@ -353,18 +495,28 @@ func (s *Server) route(mux *http.ServeMux, pattern, name string, h http.HandlerF
 	})
 }
 
-// routeQuiet mounts a handler with request metrics but without tracing,
-// for high-frequency machine routes (replication polls) that would
-// otherwise flood the bounded trace store.
-func (s *Server) routeQuiet(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
-	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+// routeQuiet mounts a tenant handler (both path forms) with request
+// metrics but without tracing, for high-frequency machine routes
+// (replication polls) that would otherwise flood the bounded trace
+// store.
+func (s *Server) routeQuiet(mux *http.ServeMux, method, suffix, name string, h tenantHandler) {
+	fn := func(w http.ResponseWriter, r *http.Request) {
+		wsName := s.requestWorkspace(r)
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		t0 := time.Now()
-		h(rec, r)
+		if t, ok := s.tenantOf(wsName); ok {
+			t.ws.Touch()
+			h(t, rec, r)
+		} else {
+			fail(rec, http.StatusNotFound, "workspace %q not found", wsName)
+		}
 		s.reg.Histogram(MetricRequestDuration, obs.LatencyBuckets, "route", name).
 			ObserveDuration(time.Since(t0))
-		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code)).Inc()
-	})
+		s.reg.Counter(MetricRequests, "route", name, "code", strconv.Itoa(rec.code),
+			"workspace", wsName).Inc()
+	}
+	mux.HandleFunc(method+" /v1"+suffix, fn)
+	mux.HandleFunc(method+" /v1/workspaces/{ws}"+suffix, fn)
 }
 
 // writeJSON sends v with the given status.
@@ -381,6 +533,17 @@ func fail(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// failTxn maps a transaction error to its status: quota refusals are
+// 429 (naming the limit), everything else takes the fallback.
+func failTxn(w http.ResponseWriter, err error, fallback int) {
+	var qe *workspace.QuotaError
+	if errors.As(err, &qe) {
+		fail(w, http.StatusTooManyRequests, "%v", qe)
+		return
+	}
+	fail(w, fallback, "%v", err)
+}
+
 // readJSON decodes the request body into v (empty bodies decode to the
 // zero value so optional-body POSTs stay ergonomic).
 func readJSON(r *http.Request, v any) error {
@@ -395,15 +558,16 @@ func readJSON(r *http.Request, v any) error {
 }
 
 // toolFor resolves the provenance name for a mutating request: the
-// session named in the header if it exists, else "remote".
-func (s *Server) toolFor(r *http.Request) string {
+// session named in the header if it exists in this workspace, else
+// "remote".
+func (t *tenant) toolFor(r *http.Request) string {
 	id := r.Header.Get(SessionHeader)
 	if id == "" {
 		return "remote"
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if sess, ok := s.sessions[id]; ok {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sess, ok := t.sessions[id]; ok {
 		sess.info.Ops++
 		return sess.info.Tool
 	}
@@ -411,24 +575,34 @@ func (s *Server) toolFor(r *http.Request) string {
 }
 
 // inTxn runs fn inside one manager transaction attributed to the
-// request's session, serialized against other mutating requests. A fn
-// error aborts; otherwise the commit (and, when durable, the WAL
-// append + fsync) completes before inTxn returns. The request's trace
-// context flows into the transaction, so the txn span — and the WAL
-// spans under it — join the request trace.
-func (s *Server) inTxn(r *http.Request, fn func(txn *wbmgr.Txn) error) error {
-	return s.inTxnAs(r.Context(), s.toolFor(r), fn)
+// request's session, serialized against the workspace's other mutating
+// requests — per workspace, so tenants never queue behind each other's
+// commits. A fn error aborts; otherwise the commit (and, when durable,
+// the WAL append + fsync) completes before inTxn returns. The request's
+// trace context flows into the transaction, so the txn span — and the
+// WAL spans under it — join the request trace.
+func (s *Server) inTxn(t *tenant, r *http.Request, fn func(txn *wbmgr.Txn) error) error {
+	return s.inTxnAs(r.Context(), t, t.toolFor(r), fn)
 }
 
-// inTxnAs is inTxn with the provenance name already resolved.
-func (s *Server) inTxnAs(ctx context.Context, tool string, fn func(txn *wbmgr.Txn) error) error {
-	s.txnMu.Lock()
-	defer s.txnMu.Unlock()
-	txn, err := s.mgr.BeginContext(ctx, tool)
+// inTxnAs is inTxn with the provenance name already resolved. Quotas
+// bracket the transaction: the WAL-bytes quota refuses entry, the
+// triple quota aborts (and rolls back) an over-limit commit.
+func (s *Server) inTxnAs(ctx context.Context, t *tenant, tool string, fn func(txn *wbmgr.Txn) error) error {
+	if err := t.ws.PreTxnQuota(); err != nil {
+		return err
+	}
+	t.ws.TxnMu.Lock()
+	defer t.ws.TxnMu.Unlock()
+	txn, err := t.mgr().BeginContext(ctx, tool)
 	if err != nil {
 		return err
 	}
 	if err := fn(txn); err != nil {
+		txn.Abort()
+		return err
+	}
+	if err := t.ws.PostTxnQuota(); err != nil {
 		txn.Abort()
 		return err
 	}
@@ -437,7 +611,7 @@ func (s *Server) inTxnAs(ctx context.Context, tool string, fn func(txn *wbmgr.Tx
 
 // ---- sessions ----
 
-func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleOpenSession(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req OpenSessionRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -447,35 +621,36 @@ func (s *Server) handleOpenSession(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = "anonymous"
 	}
-	s.mu.Lock()
-	s.sessSeq++
-	id := fmt.Sprintf("s%d", s.sessSeq)
+	t.mu.Lock()
+	t.sessSeq++
+	id := fmt.Sprintf("ws-%s-%d", t.ws.Name(), t.sessSeq)
 	info := SessionInfo{
 		ID:         id,
 		Client:     client,
+		Workspace:  t.ws.Name(),
 		Tool:       fmt.Sprintf("session:%s/%s", id, client),
-		CreatedRev: s.bb.Revision(),
+		CreatedRev: t.bb().Revision(),
 	}
-	s.sessions[id] = &session{info: info}
-	s.reg.Gauge(MetricSessions).Set(float64(len(s.sessions)))
-	s.mu.Unlock()
+	t.sessions[id] = &session{info: info}
+	t.reg.Gauge(MetricSessions).Set(float64(len(t.sessions)))
+	t.mu.Unlock()
 	writeJSON(w, http.StatusCreated, info)
 }
 
-func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	out := make([]SessionInfo, 0, len(s.sessions))
-	for _, sess := range s.sessions {
+func (s *Server) handleListSessions(t *tenant, w http.ResponseWriter, r *http.Request) {
+	t.mu.Lock()
+	out := make([]SessionInfo, 0, len(t.sessions))
+	for _, sess := range t.sessions {
 		out = append(out, sess.info)
 	}
-	s.mu.Unlock()
+	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	writeJSON(w, http.StatusOK, out)
 }
 
 // ---- schemata ----
 
-func (s *Server) loadSchema(req LoadSchemaRequest) (*model.Schema, error) {
+func loadSchema(req LoadSchemaRequest) (*model.Schema, error) {
 	name := strings.TrimSpace(req.Name)
 	if name == "" {
 		return nil, fmt.Errorf("schema name required")
@@ -493,7 +668,7 @@ func (s *Server) loadSchema(req LoadSchemaRequest) (*model.Schema, error) {
 	}
 }
 
-func (s *Server) handleLoadSchema(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLoadSchema(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
@@ -502,14 +677,14 @@ func (s *Server) handleLoadSchema(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	schema, err := s.loadSchema(req)
+	schema, err := loadSchema(req)
 	if err != nil {
 		fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	var version int
-	err = s.inTxn(r, func(txn *wbmgr.Txn) error {
-		v, perr := s.bb.PutSchema(schema)
+	err = s.inTxn(t, r, func(txn *wbmgr.Txn) error {
+		v, perr := t.bb().PutSchema(schema)
 		if perr != nil {
 			return perr
 		}
@@ -518,32 +693,32 @@ func (s *Server) handleLoadSchema(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
+		failTxn(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusCreated, SchemaInfo{Name: schema.Name, Version: version, Elements: schema.Len()})
 }
 
-func (s *Server) schemaInfo(name string) (SchemaInfo, error) {
-	sc, err := s.bb.GetSchema(name)
+func (t *tenant) schemaInfo(name string) (SchemaInfo, error) {
+	sc, err := t.bb().GetSchema(name)
 	if err != nil {
 		return SchemaInfo{}, err
 	}
-	return SchemaInfo{Name: name, Version: s.bb.SchemaVersion(name), Elements: sc.Len()}, nil
+	return SchemaInfo{Name: name, Version: t.bb().SchemaVersion(name), Elements: sc.Len()}, nil
 }
 
-func (s *Server) handleListSchemas(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListSchemas(t *tenant, w http.ResponseWriter, r *http.Request) {
 	out := []SchemaInfo{}
-	for _, n := range s.bb.Schemas() {
-		if info, err := s.schemaInfo(n); err == nil {
+	for _, n := range t.bb().Schemas() {
+		if info, err := t.schemaInfo(n); err == nil {
 			out = append(out, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
-	info, err := s.schemaInfo(r.PathValue("name"))
+func (s *Server) handleGetSchema(t *tenant, w http.ResponseWriter, r *http.Request) {
+	info, err := t.schemaInfo(r.PathValue("name"))
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -553,7 +728,7 @@ func (s *Server) handleGetSchema(w http.ResponseWriter, r *http.Request) {
 
 // ---- mappings ----
 
-func (s *Server) handleCreateMapping(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCreateMapping(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
@@ -566,8 +741,8 @@ func (s *Server) handleCreateMapping(w http.ResponseWriter, r *http.Request) {
 		fail(w, http.StatusBadRequest, "id, source and target are required")
 		return
 	}
-	err := s.inTxn(r, func(txn *wbmgr.Txn) error {
-		_, merr := s.bb.NewMapping(req.ID, req.Source, req.Target)
+	err := s.inTxn(t, r, func(txn *wbmgr.Txn) error {
+		_, merr := t.bb().NewMapping(req.ID, req.Source, req.Target)
 		if merr != nil {
 			return merr
 		}
@@ -575,14 +750,14 @@ func (s *Server) handleCreateMapping(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		fail(w, http.StatusBadRequest, "%v", err)
+		failTxn(w, err, http.StatusBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusCreated, MappingInfo{ID: req.ID, Source: req.Source, Target: req.Target})
 }
 
-func (s *Server) mappingInfo(id string) (MappingInfo, error) {
-	mp, err := s.bb.GetMapping(id)
+func (t *tenant) mappingInfo(id string) (MappingInfo, error) {
+	mp, err := t.bb().GetMapping(id)
 	if err != nil {
 		return MappingInfo{}, err
 	}
@@ -592,18 +767,18 @@ func (s *Server) mappingInfo(id string) (MappingInfo, error) {
 	}, nil
 }
 
-func (s *Server) handleListMappings(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleListMappings(t *tenant, w http.ResponseWriter, r *http.Request) {
 	out := []MappingInfo{}
-	for _, id := range s.bb.Mappings() {
-		if info, err := s.mappingInfo(id); err == nil {
+	for _, id := range t.bb().Mappings() {
+		if info, err := t.mappingInfo(id); err == nil {
 			out = append(out, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
-	info, err := s.mappingInfo(r.PathValue("id"))
+func (s *Server) handleGetMapping(t *tenant, w http.ResponseWriter, r *http.Request) {
+	info, err := t.mappingInfo(r.PathValue("id"))
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -620,8 +795,8 @@ func cellInfo(c blackboard.Cell) CellInfo {
 	}
 }
 
-func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
-	mp, err := s.bb.GetMapping(r.PathValue("id"))
+func (s *Server) handleCells(t *tenant, w http.ResponseWriter, r *http.Request) {
+	mp, err := t.bb().GetMapping(r.PathValue("id"))
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -635,23 +810,23 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 
 // matchSessionFor returns the long-lived engine session for a mapping,
 // creating the record (not the engine) on first use.
-func (s *Server) matchSessionFor(id string, mp *blackboard.Mapping) *matchSession {
-	s.engMu.Lock()
-	defer s.engMu.Unlock()
-	sess, ok := s.engines[id]
+func (t *tenant) matchSessionFor(id string, mp *blackboard.Mapping) *matchSession {
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	sess, ok := t.engines[id]
 	if !ok {
 		sess = &matchSession{source: mp.SourceSchema, target: mp.TargetSchema}
-		s.engines[id] = sess
+		t.engines[id] = sess
 	}
 	return sess
 }
 
 // markSchemaStale flags every match session over the named schema; the
 // next rematch re-reads both schemas from the blackboard.
-func (s *Server) markSchemaStale(name string) {
-	s.engMu.Lock()
-	defer s.engMu.Unlock()
-	for _, sess := range s.engines {
+func (t *tenant) markSchemaStale(name string) {
+	t.engMu.Lock()
+	defer t.engMu.Unlock()
+	for _, sess := range t.engines {
 		if sess.source == name || sess.target == name {
 			sess.stale = true
 		}
@@ -659,27 +834,27 @@ func (s *Server) markSchemaStale(name string) {
 }
 
 // mappingPair loads the mapping and both of its schemas.
-func (s *Server) mappingPair(id string) (*blackboard.Mapping, *model.Schema, *model.Schema, error) {
-	mp, err := s.bb.GetMapping(id)
+func (t *tenant) mappingPair(id string) (*blackboard.Mapping, *model.Schema, *model.Schema, error) {
+	mp, err := t.bb().GetMapping(id)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	src, err := s.bb.GetSchema(mp.SourceSchema)
+	src, err := t.bb().GetSchema(mp.SourceSchema)
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	tgt, err := s.bb.GetSchema(mp.TargetSchema)
+	tgt, err := t.bb().GetSchema(mp.TargetSchema)
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	return mp, src, tgt, nil
 }
 
-// newMatchEngine builds a Harmony engine wired to the server's metrics
-// registry and shared matrix cache.
-func (s *Server) newMatchEngine(src, tgt *model.Schema) *harmony.Engine {
+// newMatchEngine builds a Harmony engine wired to the tenant's labeled
+// metrics view and the process-shared matrix cache.
+func (s *Server) newMatchEngine(t *tenant, src, tgt *model.Schema) *harmony.Engine {
 	return harmony.NewEngine(src, tgt, harmony.Options{
-		Flooding: true, Metrics: s.reg, Parallelism: s.cfg.Parallelism,
+		Flooding: true, Metrics: t.reg, Parallelism: s.cfg.Parallelism,
 		Cache: s.matchCache,
 	})
 }
@@ -735,8 +910,8 @@ func retryDecisions(eng *harmony.Engine, failed [][3]string) {
 // carrying an engine pin are an analyst's decision already recorded via
 // the decide route; republishing them as machine cells would clobber
 // their user-defined annotation, so they are skipped.
-func (s *Server) publishMatrix(r *http.Request, id string, mp *blackboard.Mapping, links []match.Correspondence, pinned map[[2]string]harmony.Decision) ([]CellInfo, error) {
-	err := s.inTxn(r, func(txn *wbmgr.Txn) error {
+func (s *Server) publishMatrix(t *tenant, r *http.Request, id string, mp *blackboard.Mapping, links []match.Correspondence, pinned map[[2]string]harmony.Decision) ([]CellInfo, error) {
+	err := s.inTxn(t, r, func(txn *wbmgr.Txn) error {
 		for _, l := range links {
 			if _, ok := pinned[[2]string{l.Source.ID, l.Target.ID}]; ok {
 				continue
@@ -775,7 +950,7 @@ func (s *Server) cacheStats() CacheStats {
 // every correspondence above the threshold, as one transaction. The
 // engine stays alive as the mapping's match session, so a later rematch
 // can recompute incrementally from its run snapshot.
-func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
@@ -789,7 +964,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		threshold = *req.Threshold
 	}
 	id := r.PathValue("id")
-	mp, src, tgt, err := s.mappingPair(id)
+	mp, src, tgt, err := t.mappingPair(id)
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -799,9 +974,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	// The engine run is read-only and can be slow; keep it outside the
 	// transaction so concurrent mutators aren't blocked by matching.
-	sess := s.matchSessionFor(id, mp)
+	sess := t.matchSessionFor(id, mp)
 	sess.mu.Lock()
-	engine := s.newMatchEngine(src, tgt)
+	engine := s.newMatchEngine(t, src, tgt)
 	syncDecisions(engine, mp)
 	engine.RunContext(r.Context())
 	sess.eng = engine
@@ -809,9 +984,9 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	links := engine.Matrix().Above(threshold)
 	pinned := engine.Decisions()
 	sess.mu.Unlock()
-	cells, err := s.publishMatrix(r, id, mp, links, pinned)
+	cells, err := s.publishMatrix(t, r, id, mp, links, pinned)
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
+		failTxn(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, MatchResponse{
@@ -824,7 +999,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 // only what its change signatures (plus the request's optional dirty
 // hints) require, and republishes. Without a prior match it degrades to
 // a cold full run — the response's mode says which path ran.
-func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRematch(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
@@ -838,7 +1013,7 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 		threshold = *req.Threshold
 	}
 	id := r.PathValue("id")
-	mp, err := s.bb.GetMapping(id)
+	mp, err := t.bb().GetMapping(id)
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
@@ -848,7 +1023,7 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 	if reqSpan != nil {
 		reqSpan.SetAttr("mapping", id)
 	}
-	sess := s.matchSessionFor(id, mp)
+	sess := t.matchSessionFor(id, mp)
 	sess.mu.Lock()
 	var mode string
 	if sess.eng != nil && !sess.stale {
@@ -860,13 +1035,13 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 		retryDecisions(sess.eng, failed)
 		mode = sess.eng.LastRematchMode()
 	} else {
-		src, serr := s.bb.GetSchema(mp.SourceSchema)
+		src, serr := t.bb().GetSchema(mp.SourceSchema)
 		if serr == nil {
 			var tgt *model.Schema
-			tgt, serr = s.bb.GetSchema(mp.TargetSchema)
+			tgt, serr = t.bb().GetSchema(mp.TargetSchema)
 			if serr == nil {
 				if sess.eng == nil {
-					sess.eng = s.newMatchEngine(src, tgt)
+					sess.eng = s.newMatchEngine(t, src, tgt)
 					syncDecisions(sess.eng, mp)
 					sess.eng.RunContext(r.Context())
 					mode = harmony.RematchCold
@@ -891,9 +1066,9 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 	if reqSpan != nil {
 		reqSpan.SetAttr("rematch_mode", mode)
 	}
-	cells, err := s.publishMatrix(r, id, mp, links, pinned)
+	cells, err := s.publishMatrix(t, r, id, mp, links, pinned)
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
+		failTxn(w, err, http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, http.StatusOK, RematchResponse{
@@ -903,7 +1078,7 @@ func (s *Server) handleRematch(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleDecide records an analyst accept/reject on one cell.
-func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDecide(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if s.rejectReadOnly(w) {
 		return
 	}
@@ -927,13 +1102,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("id")
-	mp, err := s.bb.GetMapping(id)
+	mp, err := t.bb().GetMapping(id)
 	if err != nil {
 		fail(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	tool := s.toolFor(r)
-	err = s.inTxnAs(r.Context(), tool, func(txn *wbmgr.Txn) error {
+	tool := t.toolFor(r)
+	err = s.inTxnAs(r.Context(), t, tool, func(txn *wbmgr.Txn) error {
 		if cerr := mp.SetCell(req.Source, req.Target, conf, true, tool); cerr != nil {
 			return cerr
 		}
@@ -941,7 +1116,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		return nil
 	})
 	if err != nil {
-		fail(w, http.StatusInternalServerError, "%v", err)
+		failTxn(w, err, http.StatusInternalServerError)
 		return
 	}
 	c, _ := mp.GetCell(req.Source, req.Target)
@@ -950,13 +1125,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 // ---- queries ----
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := readJSON(r, &req); err != nil {
 		fail(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	rows, err := s.mgr.Query(req.Query, req.Vars...)
+	rows, err := t.mgr().Query(req.Query, req.Vars...)
 	if err != nil {
 		fail(w, http.StatusBadRequest, "%v", err)
 		return
@@ -973,45 +1148,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handlers forever.
 const maxPollTimeout = 60 * time.Second
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEvents(t *tenant, w http.ResponseWriter, r *http.Request) {
 	after, ok := parseAfter(w, r)
 	if !ok {
 		return
 	}
 	if strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
 		r.URL.Query().Get("stream") == "sse" {
-		s.serveSSE(w, r, after)
+		s.serveSSE(t, w, r, after)
 		return
 	}
 	timeout, ok := parsePollTimeout(w, r)
 	if !ok {
 		return
 	}
-	evs, gap := s.feed.wait(r.Context(), after, timeout)
+	evs, gap := t.feed.wait(r.Context(), after, timeout)
 	resp := EventsResponse{Next: after, Gap: gap, Events: evs}
 	if len(evs) > 0 {
 		resp.Next = evs[len(evs)-1].Seq
 	} else if gap {
 		// Everything the client missed is gone; restart from the head.
-		resp.Next = s.feedHead()
+		resp.Next = t.feed.head()
 	}
 	if resp.Events == nil {
 		resp.Events = []FeedEvent{}
 	}
+	t.feed.noteServed(resp.Next)
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// feedHead returns the highest assigned sequence number.
-func (s *Server) feedHead() uint64 {
-	s.feed.mu.Lock()
-	defer s.feed.mu.Unlock()
-	return s.feed.next - 1
 }
 
 // serveSSE streams the feed as Server-Sent Events: each event carries
 // its sequence number as the SSE id, so Last-Event-ID style resumption
 // maps directly onto the after cursor.
-func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, after uint64) {
+func (s *Server) serveSSE(t *tenant, w http.ResponseWriter, r *http.Request, after uint64) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		fail(w, http.StatusNotImplemented, "streaming unsupported")
@@ -1023,7 +1192,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, after uint64) 
 	flusher.Flush()
 	cursor := after
 	for {
-		evs, gap, wake := s.feed.since(cursor)
+		evs, gap, wake := t.feed.since(cursor)
 		if gap {
 			fmt.Fprintf(w, "event: gap\ndata: {}\n\n")
 		}
@@ -1034,6 +1203,7 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, after uint64) 
 		}
 		if len(evs) > 0 || gap {
 			flusher.Flush()
+			t.feed.noteServed(cursor)
 		}
 		select {
 		case <-wake:
@@ -1045,29 +1215,27 @@ func (s *Server) serveSSE(w http.ResponseWriter, r *http.Request, after uint64) 
 
 // ---- integrity & durability ----
 
-func (s *Server) handleFsck(w http.ResponseWriter, r *http.Request) {
-	errs := s.bb.CheckIntegrity()
-	resp := FsckResponse{Clean: len(errs) == 0, Triples: s.bb.Graph().Len()}
+func (s *Server) handleFsck(t *tenant, w http.ResponseWriter, r *http.Request) {
+	errs := t.bb().CheckIntegrity()
+	resp := FsckResponse{Clean: len(errs) == 0, Triples: t.bb().Graph().Len(), Workspace: t.ws.Name()}
 	for _, e := range errs {
 		resp.Errors = append(resp.Errors, e.Error())
 	}
-	if s.store != nil {
-		resp.Recovery = s.store.Stats().String()
-	}
+	resp.Recovery = t.ws.Recovery()
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
-	if s.store == nil {
+func (s *Server) handleSnapshot(t *tenant, w http.ResponseWriter, r *http.Request) {
+	if !t.ws.Durable() {
 		fail(w, http.StatusConflict, "server is running without a data dir")
 		return
 	}
-	s.txnMu.Lock()
-	err := s.store.SnapshotNow()
-	s.txnMu.Unlock()
+	t.ws.TxnMu.Lock()
+	err := t.ws.SnapshotNow()
+	t.ws.TxnMu.Unlock()
 	if err != nil {
 		fail(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, SnapshotResponse{Triples: s.bb.Graph().Len()})
+	writeJSON(w, http.StatusOK, SnapshotResponse{Triples: t.bb().Graph().Len()})
 }

@@ -1,0 +1,392 @@
+package server_test
+
+// Multi-tenant end-to-end tests: cross-workspace isolation (state,
+// feeds, health), the lifecycle routes' error shapes, quota
+// enforcement, and per-partition crash recovery. The concurrent tests
+// are meaningful under -race: each workspace has its own txn lock, so
+// the only safe cross-tenant sharing is what these tests assert.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/obs"
+	"repro/internal/rdf"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// rawReq performs one request outside the typed client, for tests that
+// assert on status codes and raw bodies.
+func rawReq(t *testing.T, method, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestWorkspaceIsolation(t *testing.T) {
+	c, _ := startServer(t, "", false)
+
+	for _, ws := range []string{"alpha", "beta"} {
+		if _, err := c.CreateWorkspace(ws, 0, 0); err != nil {
+			t.Fatalf("CreateWorkspace(%s): %v", ws, err)
+		}
+	}
+
+	// Concurrent writers in three tenants (default included), each
+	// loading schemas named after its own workspace.
+	clients := map[string]*client.Client{
+		"default": c,
+		"alpha":   c.ForWorkspace("alpha"),
+		"beta":    c.ForWorkspace("beta"),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(clients)*3)
+	for ws, cl := range clients {
+		wg.Add(1)
+		go func(ws string, cl *client.Client) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				name := fmt.Sprintf("%s-s%d", ws, i)
+				if _, err := cl.LoadSchema(name, "sql", "CREATE TABLE t (id INT);"); err != nil {
+					errs <- fmt.Errorf("LoadSchema %s: %w", name, err)
+				}
+			}
+		}(ws, cl)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Schema listings are disjoint: every workspace sees exactly its own
+	// three schemas, prefixed with its own name.
+	for ws, cl := range clients {
+		schemas, err := cl.Schemas()
+		if err != nil {
+			t.Fatalf("Schemas(%s): %v", ws, err)
+		}
+		if len(schemas) != 3 {
+			t.Fatalf("workspace %s lists %d schemas, want 3: %+v", ws, len(schemas), schemas)
+		}
+		for _, s := range schemas {
+			if !strings.HasPrefix(s.Name, ws+"-") {
+				t.Fatalf("workspace %s leaked schema %q", ws, s.Name)
+			}
+		}
+	}
+
+	// Feeds are per-tenant: each starts at seq 1 and carries only its own
+	// workspace's events. Identical op counts ⇒ identical cursors; a
+	// shared feed would have interleaved all three tenants' seqs.
+	var nexts []uint64
+	for ws, cl := range clients {
+		evs, next, gap, err := cl.Events(0, 50*time.Millisecond)
+		if err != nil || gap {
+			t.Fatalf("Events(%s): gap=%v err=%v", ws, gap, err)
+		}
+		if len(evs) == 0 || evs[0].Seq != 1 {
+			t.Fatalf("workspace %s feed does not start at seq 1: %+v", ws, evs)
+		}
+		for _, ev := range evs {
+			if !strings.HasPrefix(ev.Subject, ws+"-") {
+				t.Fatalf("workspace %s feed leaked event %+v", ws, ev)
+			}
+		}
+		nexts = append(nexts, next)
+	}
+	for _, n := range nexts[1:] {
+		if n != nexts[0] {
+			t.Fatalf("same ops, different feed cursors %v — feeds are not independent", nexts)
+		}
+	}
+}
+
+func TestWorkspaceUnknownIs404NeverCreated(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	ts := c.BaseURL()
+
+	// Path-scoped and header-scoped requests to an unknown workspace both
+	// 404, with the name in the body.
+	code, body := rawReq(t, "GET", ts+"/v1/workspaces/ghost/schemas")
+	if code != http.StatusNotFound || !strings.Contains(body, `workspace \"ghost\" not found`) {
+		t.Fatalf("path-scoped unknown workspace: %d %q", code, body)
+	}
+	if _, err := c.ForWorkspace("ghost").Schemas(); err == nil ||
+		!strings.Contains(err.Error(), `workspace "ghost" not found`) {
+		t.Fatalf("header-scoped unknown workspace: err=%v", err)
+	}
+
+	// The 404s must not have lazily created the tenant.
+	wss, err := c.Workspaces()
+	if err != nil {
+		t.Fatalf("Workspaces: %v", err)
+	}
+	for _, ws := range wss {
+		if ws.Name == "ghost" {
+			t.Fatalf("404 lazily created workspace: %+v", wss)
+		}
+	}
+	if len(wss) != 1 || wss[0].Name != "default" {
+		t.Fatalf("fresh server workspaces = %+v, want [default]", wss)
+	}
+}
+
+func TestWorkspaceLifecycleErrorShapes(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	ts := c.BaseURL()
+
+	if _, err := c.CreateWorkspace("Bad Name!", 0, 0); err == nil {
+		t.Fatal("invalid workspace name accepted")
+	}
+	if _, err := c.CreateWorkspace("dup", 0, 0); err != nil {
+		t.Fatalf("CreateWorkspace(dup): %v", err)
+	}
+	if _, err := c.CreateWorkspace("dup", 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "already exists") {
+		t.Fatalf("duplicate create: err=%v", err)
+	}
+
+	// The default workspace is never deletable, even with the token.
+	if _, err := c.DeleteWorkspace("default"); err == nil ||
+		!strings.Contains(err.Error(), "cannot be deleted") {
+		t.Fatalf("rm default: err=%v", err)
+	}
+
+	// Deletion without the confirm token is refused with instructions.
+	code, body := rawReq(t, "DELETE", ts+"/v1/workspaces/dup")
+	if code != http.StatusBadRequest || !strings.Contains(body, "?confirm=dup") {
+		t.Fatalf("unconfirmed delete: %d %q", code, body)
+	}
+	// A mismatched token is the same refusal.
+	code, _ = rawReq(t, "DELETE", ts+"/v1/workspaces/dup?confirm=other")
+	if code != http.StatusBadRequest {
+		t.Fatalf("mismatched confirm token: %d", code)
+	}
+
+	del, err := c.DeleteWorkspace("dup")
+	if err != nil || !del.Deleted {
+		t.Fatalf("confirmed delete: %+v, %v", del, err)
+	}
+	if _, err := c.ForWorkspace("dup").Schemas(); err == nil ||
+		!strings.Contains(err.Error(), "not found") {
+		t.Fatalf("deleted workspace still routable: err=%v", err)
+	}
+	if _, err := c.DeleteWorkspace("ghost"); err == nil ||
+		!strings.Contains(err.Error(), `workspace "ghost" not found`) {
+		t.Fatalf("delete unknown: err=%v", err)
+	}
+}
+
+func TestWorkspaceTripleQuota429(t *testing.T) {
+	c, _ := startServer(t, "", false)
+
+	if _, err := c.CreateWorkspace("small", 1, 0); err != nil {
+		t.Fatalf("CreateWorkspace: %v", err)
+	}
+	cw := c.ForWorkspace("small")
+
+	// Any schema publishes more than one triple, so the txn must be
+	// rolled back and refused with 429 naming the limit.
+	req, _ := http.NewRequest("POST", c.BaseURL()+"/v1/schemas",
+		strings.NewReader(`{"name":"s","format":"sql","text":"CREATE TABLE t (id INT);"}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(server.WorkspaceHeader, "small")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST schemas: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota load = %d %s, want 429", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "max_triples") {
+		t.Fatalf("429 body does not name the limit: %s", body)
+	}
+
+	// The aborted txn left nothing behind.
+	schemas, err := cw.Schemas()
+	if err != nil || len(schemas) != 0 {
+		t.Fatalf("after rollback: %d schemas, %v", len(schemas), err)
+	}
+	fsck, err := cw.Fsck()
+	if err != nil || !fsck.Clean || fsck.Triples != 0 {
+		t.Fatalf("after rollback fsck = %+v, %v", fsck, err)
+	}
+
+	// The default workspace is unconstrained by the tenant's quota.
+	if _, err := c.LoadSchema("big", "sql", "CREATE TABLE t (id INT);"); err != nil {
+		t.Fatalf("default workspace hit tenant quota: %v", err)
+	}
+}
+
+func TestWorkspaceWALQuotaDegradesOnlyThatTenant(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := startServer(t, dir, true)
+	ts := c.BaseURL()
+
+	if _, err := c.CreateWorkspace("full", 0, 1); err != nil {
+		t.Fatalf("CreateWorkspace: %v", err)
+	}
+	cw := c.ForWorkspace("full")
+	// The first write is admitted (log starts empty) and pushes the WAL
+	// past its one-byte budget; from then on the tenant refuses writes.
+	if _, err := cw.LoadSchema("s0", "sql", "CREATE TABLE t (id INT);"); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := cw.LoadSchema("s1", "sql", "CREATE TABLE u (id INT);"); err == nil ||
+		!strings.Contains(err.Error(), "max_wal_bytes") {
+		t.Fatalf("second write past WAL quota: err=%v", err)
+	}
+
+	// The exhausted tenant's healthz degrades to 503; the default
+	// workspace's stays 200 — quota pressure does not cross tenants.
+	code, body := rawReq(t, "GET", ts+"/v1/workspaces/full/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("exhausted tenant healthz = %d %q, want 503 degraded", code, body)
+	}
+	code, body = rawReq(t, "GET", ts+"/v1/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("default healthz = %d %q, want 200 ok", code, body)
+	}
+}
+
+func TestWorkspacePartitionedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	c1, srv1 := startServer(t, dir, false)
+
+	if _, err := c1.CreateWorkspace("alpha", 0, 0); err != nil {
+		t.Fatalf("CreateWorkspace: %v", err)
+	}
+	sess, err := c1.OpenSession("pre-crash")
+	if err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	if !strings.HasPrefix(sess.ID, "ws-default-") {
+		t.Fatalf("session id %q not workspace-scoped", sess.ID)
+	}
+	if _, err := c1.LoadSchema("d0", "sql", "CREATE TABLE d (id INT);"); err != nil {
+		t.Fatalf("default load: %v", err)
+	}
+	ca := c1.ForWorkspace("alpha")
+	if _, err := ca.LoadSchema("a0", "sql", "CREATE TABLE a (id INT, note TEXT);"); err != nil {
+		t.Fatalf("alpha load: %v", err)
+	}
+	wsDefault, _ := srv1.Workspaces().Get("default")
+	wsAlpha, _ := srv1.Workspaces().Get("alpha")
+	wantDefault := wsDefault.Blackboard().Graph().Clone()
+	wantAlpha := wsAlpha.Blackboard().Graph().Clone()
+
+	// Reopen the data dir as if the process had been killed — the first
+	// server's stores are never closed.
+	c2, srv2 := startServer(t, dir, true)
+	defer srv2.Close()
+
+	gotNames := srv2.Workspaces().Names()
+	if len(gotNames) != 2 {
+		t.Fatalf("recovered workspaces = %v, want default+alpha", gotNames)
+	}
+	wsDefault2, _ := srv2.Workspaces().Get("default")
+	wsAlpha2, ok := srv2.Workspaces().Get("alpha")
+	if !ok {
+		t.Fatal("alpha partition not recovered")
+	}
+	if !rdf.Equal(wantDefault, wsDefault2.Blackboard().Graph()) {
+		t.Fatal("default workspace graph differs after recovery")
+	}
+	if !rdf.Equal(wantAlpha, wsAlpha2.Blackboard().Graph()) {
+		t.Fatal("alpha workspace graph differs after recovery")
+	}
+
+	// Session IDs are seeded from the recovered txn high-water mark, so a
+	// post-restart session never reuses a pre-crash ID.
+	sess2, err := c2.OpenSession("post-crash")
+	if err != nil {
+		t.Fatalf("OpenSession after restart: %v", err)
+	}
+	if sess2.ID == sess.ID {
+		t.Fatalf("post-restart session reused pre-crash id %q", sess.ID)
+	}
+	if !strings.HasPrefix(sess2.ID, "ws-default-") {
+		t.Fatalf("post-restart session id %q not workspace-scoped", sess2.ID)
+	}
+}
+
+func TestLegacyFlatLayoutAdoptedAsDefault(t *testing.T) {
+	// A pre-workspace data dir holds wal.log (and friends) at the top
+	// level. Boot must migrate it into ws/default and recover it there.
+	dir := t.TempDir()
+	st, err := wal.Open(dir, wal.Options{Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("wal.Open flat: %v", err)
+	}
+	tr, err := rdf.ParseTriple(`<urn:legacy:s> <urn:legacy:p> "kept"`)
+	if err != nil {
+		t.Fatalf("ParseTriple: %v", err)
+	}
+	// Mirror the commit-hook contract: the graph is mutated first, then
+	// the ops are logged (Close folds the graph into the snapshot).
+	st.Graph().Add(tr)
+	if err := st.AppendTxn([]rdf.ChangeOp{{Add: true, T: tr}}); err != nil {
+		t.Fatalf("AppendTxn: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c, srv := startServer(t, dir, true)
+	defer srv.Close()
+	ws, _ := srv.Workspaces().Get("default")
+	if ws.Blackboard().Graph().Len() != 1 {
+		t.Fatalf("adopted default graph has %d triples, want 1", ws.Blackboard().Graph().Len())
+	}
+	if !strings.Contains(ws.Dir(), "ws") {
+		t.Fatalf("default partition dir %q not under ws/", ws.Dir())
+	}
+	rows, err := c.Query(`?s <urn:legacy:p> "kept"`, "s")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("legacy triple query = %v, %v", rows, err)
+	}
+}
+
+func TestWorkspaceListStats(t *testing.T) {
+	c, _ := startServer(t, "", false)
+	if _, err := c.CreateWorkspace("alpha", 7, 0); err != nil {
+		t.Fatalf("CreateWorkspace: %v", err)
+	}
+	if _, err := c.ForWorkspace("alpha").OpenSession("x"); err != nil {
+		t.Fatalf("OpenSession: %v", err)
+	}
+	wss, err := c.Workspaces()
+	if err != nil {
+		t.Fatalf("Workspaces: %v", err)
+	}
+	byName := map[string]server.WorkspaceInfo{}
+	for _, ws := range wss {
+		byName[ws.Name] = ws
+	}
+	a, ok := byName["alpha"]
+	if !ok || a.Sessions != 1 || a.MaxTriples != 7 {
+		t.Fatalf("alpha stats = %+v", a)
+	}
+	if d := byName["default"]; d.Sessions != 0 {
+		t.Fatalf("default stats leaked alpha's session: %+v", d)
+	}
+}

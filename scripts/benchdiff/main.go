@@ -7,9 +7,12 @@
 //
 // The files' "benchmark" field selects the comparison: the
 // incremental-rematch matrix (from `benchreport -bench-json`) gates its
-// speedup ratios and cache hit ratio per size; the loadgen-sustained
-// and loadgen-replica-read reports (from `workbench loadgen -out`,
-// the latter with -replica) gate only ok_ratio; the
+// speedup ratios and cache hit ratio per size; the loadgen-sustained,
+// loadgen-replica-read and loadgen-multitenant reports (from
+// `workbench loadgen -out`, the latter two with -replica and
+// -workspaces) gate only ok_ratio — the multitenant report's
+// throughput_ratio (N-workspace vs 1-workspace txns/sec on the same
+// host, dimensionless) is printed as context; the
 // registry-match curve (from `workbench registry-match -out`) gates its
 // quality columns (recall@k, precision/recall/F1, speedup, ranking
 // accuracy) and inverse-gates scored_fraction (blocking that starts
@@ -90,6 +93,12 @@ type benchFile struct {
 	TxnsPerSec float64      `json:"txns_per_sec"`
 	Routes     []routeStats `json:"routes"`
 
+	// loadgen-multitenant extras: the 1-vs-N workspace contrast. The
+	// ratio is dimensionless but still host-resident state (it depends
+	// on core count), so it is context, not a gate.
+	Workspaces      int     `json:"workspaces"`
+	ThroughputRatio float64 `json:"throughput_ratio"`
+
 	// registry-match fields (internal/regmatch.Report).
 	Ranking *rankingStats `json:"ranking"`
 }
@@ -113,7 +122,7 @@ func load(path string) (benchFile, error) {
 // both decode to the zero value and "pass" vacuously.
 func validate(f benchFile, path string) error {
 	switch f.Benchmark {
-	case "incremental-rematch", "loadgen-sustained", "loadgen-replica-read", "registry-match":
+	case "incremental-rematch", "loadgen-sustained", "loadgen-replica-read", "loadgen-multitenant", "registry-match":
 	case "":
 		return fmt.Errorf("%s: field %q is missing or empty", path, "benchmark")
 	default:
@@ -126,9 +135,13 @@ func validate(f benchFile, path string) error {
 }
 
 // isLoadgen reports whether the discriminator names one of the loadgen
-// report shapes (both carry the same columns; only the op mix differs).
+// report shapes (all carry the same columns; only the op mix differs).
 func isLoadgen(benchmark string) bool {
-	return benchmark == "loadgen-sustained" || benchmark == "loadgen-replica-read"
+	switch benchmark {
+	case "loadgen-sustained", "loadgen-replica-read", "loadgen-multitenant":
+		return true
+	}
+	return false
 }
 
 // compare validates both files and runs the matching diff. The error
@@ -145,7 +158,7 @@ func compare(w io.Writer, base, cur benchFile, basePath, curPath string, toleran
 		return 0, fmt.Errorf("field %q mismatch: %q (%s) vs %q (%s)", "benchmark", base.Benchmark, basePath, cur.Benchmark, curPath)
 	}
 	switch base.Benchmark {
-	case "loadgen-sustained", "loadgen-replica-read":
+	case "loadgen-sustained", "loadgen-replica-read", "loadgen-multitenant":
 		return diffLoadgen(w, base, cur, tolerance), nil
 	case "registry-match":
 		return diffRegistry(w, base, cur, tolerance), nil
@@ -286,6 +299,10 @@ func diffLoadgen(w io.Writer, base, cur benchFile, tolerance float64) int {
 	}, tolerance)
 	fmt.Fprintf(w, "%-10s %-16s %8.1f -> %8.1f  context\n", "", "txns_per_sec", base.TxnsPerSec, cur.TxnsPerSec)
 	fmt.Fprintf(w, "%-10s %-16s %8d -> %8d  context\n", "", "requests", base.Requests, cur.Requests)
+	if base.Workspaces > 1 || cur.Workspaces > 1 {
+		fmt.Fprintf(w, "%-10s %-16s %8.2f -> %8.2f  context (%d vs 1 workspaces)\n",
+			"", "throughput_ratio", base.ThroughputRatio, cur.ThroughputRatio, cur.Workspaces)
+	}
 
 	baseByRoute := map[string]routeStats{}
 	for _, r := range base.Routes {

@@ -174,3 +174,39 @@ func TestDiffReplicaReadSameGateAsLoadgen(t *testing.T) {
 		t.Fatal("loadgen-sustained vs loadgen-replica-read accepted")
 	}
 }
+
+func TestDiffMultitenantGatesOKRatioReportsRatioAsContext(t *testing.T) {
+	// The multitenant report gates ok_ratio only; throughput_ratio (the
+	// 4-vs-1 workspace scaling factor) depends on core count, so a drop
+	// there is reported as context, never a gate failure.
+	const baseSrc = `{"benchmark": "loadgen-multitenant", "ok_ratio": 1.0,
+		"workspaces": 4, "throughput_ratio": 2.8,
+		"txns_per_sec_1ws": 100, "txns_per_sec_nws": 280}`
+	base := mustDecode(t, baseSrc)
+	if n, err := compare(io.Discard, base, base, "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("identical multitenant files: regressions=%d err=%v", n, err)
+	}
+	// A collapsed scaling ratio alone must not gate.
+	var out strings.Builder
+	flat := mustDecode(t, strings.Replace(baseSrc, `"throughput_ratio": 2.8`, `"throughput_ratio": 1.1`, 1))
+	if n, _ := compare(&out, base, flat, "b", "c", 0.2); n != 0 {
+		t.Fatalf("throughput_ratio drop gated: regressions=%d; want 0 (context only)", n)
+	}
+	if !strings.Contains(out.String(), "throughput_ratio") {
+		t.Errorf("throughput_ratio not reported as context:\n%s", out.String())
+	}
+	// ok_ratio still gates, and is still required.
+	bad := mustDecode(t, strings.Replace(baseSrc, `"ok_ratio": 1.0`, `"ok_ratio": 0.5`, 1))
+	if n, _ := compare(io.Discard, base, bad, "b", "c", 0.2); n != 1 {
+		t.Fatalf("halved multitenant ok_ratio: regressions=%d; want 1", n)
+	}
+	truncated := mustDecode(t, `{"benchmark": "loadgen-multitenant", "workspaces": 4}`)
+	if err := validate(truncated, "cur.json"); err == nil || !strings.Contains(err.Error(), `"ok_ratio"`) {
+		t.Fatalf("multitenant report without ok_ratio: err=%v; want ok_ratio diagnostic", err)
+	}
+	// Still a distinct benchmark from the single-tenant shape.
+	sustained := mustDecode(t, `{"benchmark": "loadgen-sustained", "ok_ratio": 1.0}`)
+	if _, err := compare(io.Discard, sustained, base, "b", "c", 0.2); err == nil {
+		t.Fatal("loadgen-sustained vs loadgen-multitenant accepted")
+	}
+}
