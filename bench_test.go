@@ -10,8 +10,10 @@ package workbench
 // suites; benchmarks only measure.
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/blackboard"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/harmony"
@@ -20,6 +22,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/registry"
+	"repro/internal/schemaset"
+	"repro/internal/wbmgr"
 )
 
 // benchPairs builds the standard evaluation pair set once per benchmark.
@@ -141,6 +145,109 @@ func BenchmarkEngineRematch(b *testing.B) {
 			}
 			b.StopTimer()
 			leaf.Name = base
+		})
+	}
+}
+
+// benchCloneSchema deep-copies a schema, re-deriving element IDs from
+// names — the canonical form a freshly parsed schema file carries, and
+// the form every declared schema-set version arrives in.
+func benchCloneSchema(in *model.Schema) *model.Schema {
+	out := model.NewSchema(in.Name, in.Format)
+	out.Doc = in.Doc
+	for name, d := range in.Domains {
+		out.Domains[name] = &model.Domain{Name: d.Name, Doc: d.Doc, Values: append([]model.DomainValue(nil), d.Values...)}
+	}
+	var walk func(src, dstParent *model.Element)
+	walk = func(src, dstParent *model.Element) {
+		for _, c := range src.Children() {
+			n := out.AddElement(dstParent, c.Name, c.Kind, c.EdgeFromParent)
+			n.DataType = c.DataType
+			n.Doc = c.Doc
+			n.DomainRef = c.DomainRef
+			n.Key = c.Key
+			n.Required = c.Required
+			walk(c, n)
+		}
+	}
+	walk(in.Root(), nil)
+	return out
+}
+
+// BenchmarkApplyVersionBump measures the full schema-set apply path
+// (DESIGN.md §17) in the steady state: a blackboard carrying an applied
+// set and one mapping takes version bumps that rename a single element,
+// and the warm applier plans, commits, and re-matches incrementally.
+// This is the end-to-end cost behind BENCH_10.json's
+// apply_incremental_ms; the cold reference is BenchmarkEngineRun.
+func BenchmarkApplyVersionBump(b *testing.B) {
+	sizes := []struct {
+		name                        string
+		entities, attributes, codes int
+	}{
+		{"100elem", 12, 88, 120},
+		{"1000elem", 100, 900, 1200},
+	}
+	for _, sz := range sizes {
+		src, tgt := benchRegistryPair(sz.entities, sz.attributes, sz.codes)
+		b.Run(sz.name, func(b *testing.B) {
+			reg := obs.NewRegistry()
+			bb := blackboard.New()
+			bb.SetMetrics(reg)
+			ap := &schemaset.Applier{
+				BB:      bb,
+				Mgr:     wbmgr.NewWith(bb),
+				Metrics: reg,
+				Engine:  harmony.Options{Flooding: true, Metrics: reg},
+			}
+			lock := &schemaset.Lockfile{}
+			set := &schemaset.Set{Name: "bench", Version: "v1"}
+			version := 1
+			var rematchNs int64
+			bump := func(schemas ...*model.Schema) {
+				set.Version = fmt.Sprintf("v%d", version)
+				version++
+				plan, err := ap.Plan(set, schemas, lock)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := ap.Apply(plan)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, rm := range res.Rematches {
+					rematchNs += int64(rm.Duration)
+				}
+				lock.Upsert(plan.LockSet())
+			}
+			bump(src, tgt)
+			if _, err := bb.NewMapping("m", src.Name, tgt.Name); err != nil {
+				b.Fatal(err)
+			}
+
+			// Two canonical source variants, one leaf renamed; alternating
+			// them makes every bump a real single-element change.
+			variantA := benchCloneSchema(src)
+			edited := benchCloneSchema(src)
+			leaf := edited.Elements()[len(edited.Elements())-1]
+			leaf.Name = leaf.Name + "Edited"
+			variantB := benchCloneSchema(edited)
+
+			// First bump with the mapping present runs the engine cold; the
+			// timed bumps after it are the steady state.
+			bump(variantB, tgt)
+			rematchNs = 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The warmup applied variantB, so start from variantA: every
+				// timed bump must be a real change, never a no-op plan.
+				next := variantA
+				if version%2 == 0 {
+					next = variantB
+				}
+				bump(next, tgt)
+			}
+			b.ReportMetric(float64(rematchNs)/1e6/float64(b.N), "rematch-ms/op")
 		})
 	}
 }

@@ -6,13 +6,15 @@
 //
 //	benchreport [-scale f] [-pairs n] [-quick]
 //	benchreport -bench-json BENCH_5.json
+//	benchreport -apply-json BENCH_10.json
 //
 // -scale sets the Table 1 corpus scale (default 0.05; 1.0 regenerates
 // the full 13k/164k/282k corpus). -pairs sets the number of evaluation
 // schema pairs for the matcher-quality experiments. -quick shrinks
 // everything for smoke runs. -bench-json skips the report and instead
 // measures the incremental re-match scenarios, writing the BENCH file
-// scripts/benchdiff gates regressions against.
+// scripts/benchdiff gates regressions against; -apply-json does the
+// same for the schema-set apply version-bump scenario (BENCH_10.json).
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	pairs := flag.Int("pairs", 6, "evaluation schema pairs")
 	quick := flag.Bool("quick", false, "tiny smoke-run sizes")
 	benchJSON := flag.String("bench-json", "", "write incremental re-match benchmark results to this file and exit")
+	applyJSON := flag.String("apply-json", "", "write schema-set apply benchmark results to this file and exit")
 	flag.Parse()
 	if *quick {
 		*scale = 0.01
@@ -40,6 +43,13 @@ func main() {
 	}
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *applyJSON != "" {
+		if err := runApplyJSON(*applyJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}

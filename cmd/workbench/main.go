@@ -23,6 +23,8 @@
 //	workbench metrics                        dump obs metrics for this blackboard
 //	workbench sim [tools] [ops]              chaos-simulate a workbench in memory
 //	workbench registry-match [flags]         registry-scale matching quality/speed harness
+//	workbench plan [flags]                   show what `apply` would change (schema sets)
+//	workbench apply [flags]                  apply a versioned schema set (diff, confirm, re-match)
 //	workbench serve                          serve the durable workbench service
 //	workbench fsck                           check blackboard/WAL integrity
 //	workbench events [after [timeout]]       long-poll the service event feed (-remote)
@@ -42,7 +44,7 @@
 // printing.
 //
 // Flag placement: subcommands that take flags (serve, fsck, loadgen,
-// promote, trace, metrics, workspace, registry-match) accept them on
+// promote, trace, metrics, workspace, registry-match, plan, apply) accept them on
 // either side of the subcommand word — the global parser stops at the
 // first non-flag, and the subcommand re-parses what's left. Fixed-arity
 // subcommands reject trailing flags outright; nothing is ever silently
@@ -206,6 +208,8 @@ func run(argv []string) int {
 		err = runMetrics(o, rest)
 	case cmd == "workspace":
 		err = runWorkspace(o, rest)
+	case cmd == "plan" || cmd == "apply":
+		err = runSchemaSet(o, cmd, rest)
 	case o.remote != "":
 		err = runRemote(o, cmd, rest)
 	default:
@@ -1149,8 +1153,9 @@ func runSim(seed int64, spec string, rest []string) int {
 
 func usage(w *os.File) {
 	fmt.Fprintln(w, `usage: workbench [-state file] [-remote addr] [-workspace ws] [-chaos-seed n] [-chaos-sites spec] <command> ...
-commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, serve, fsck, events, snapshot, promote, repl-status, trace, loadgen, workspace
+commands: load, schemas, map, match, accept, reject, cells, code, gen, dot, query, metrics, sim, registry-match, plan, apply, serve, fsck, events, snapshot, promote, repl-status, trace, loadgen, workspace
 serve flags: -addr host:port -data-dir dir -pprof -replica-of url -max-triples n -max-wal-bytes n -ws-idle-ttl d
+plan/apply flags: -config file -lock file -set name -yes -dry-run -threshold f (local or -remote)
 workspace subcommands: create <name> [-max-triples n] [-max-wal-bytes n] | list | rm <name> (requires -remote)
 loadgen flags: -workers n -duration d -seed n -threshold f -replica addr -workspaces n -out file (requires -remote)
 registry-match flags: -scale f -seed n -k n -queries n -sizes a,b,c -dense-max n -no-blocking -par n -out file`)

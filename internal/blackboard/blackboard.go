@@ -358,22 +358,21 @@ type Cell struct {
 	Revision int
 }
 
-// cellNode finds or creates the cell node for a pair.
+// cellNode finds or creates the cell node for a pair. Cell IRIs are
+// deterministic in (mapping, srcID, tgtID), so lookup is a single
+// indexed membership test on the has-cell edge rather than a scan over
+// the matrix — bulk publishes stay linear in the number of cells.
 func (m *Mapping) cellNode(srcID, tgtID string, create bool) rdf.Term {
-	srcElem := model.ElementIRI(m.SourceSchema, srcID)
-	tgtElem := model.ElementIRI(m.TargetSchema, tgtID)
-	for _, c := range m.b.g.Objects(m.node, predHasCell) {
-		if m.b.g.One(c, predCellRow) == srcElem && m.b.g.One(c, predCellCol) == tgtElem {
-			return c
-		}
+	c := rdf.IRI(m.node.Value() + "/cell/" + srcID + "|" + tgtID)
+	if m.b.g.Has(rdf.Triple{S: m.node, P: predHasCell, O: c}) {
+		return c
 	}
 	if !create {
 		return rdf.Term{}
 	}
-	c := rdf.IRI(m.node.Value() + "/cell/" + srcID + "|" + tgtID)
 	m.b.g.Add(rdf.Triple{S: c, P: rdf.RDFType, O: classCell})
-	m.b.g.SetOne(c, predCellRow, srcElem)
-	m.b.g.SetOne(c, predCellCol, tgtElem)
+	m.b.g.SetOne(c, predCellRow, model.ElementIRI(m.SourceSchema, srcID))
+	m.b.g.SetOne(c, predCellCol, model.ElementIRI(m.TargetSchema, tgtID))
 	m.b.g.Add(rdf.Triple{S: m.node, P: predHasCell, O: c})
 	return c
 }

@@ -185,6 +185,16 @@ func (c *Client) Rematch(id string, threshold float64, dirtySource, dirtyTarget 
 	return out, err
 }
 
+// Apply plans (req.DryRun) or applies a versioned schema set
+// server-side: the server diffs every declared schema against its
+// blackboard copy and, on a real apply, puts the changes as one
+// transaction and incrementally re-matches every affected mapping.
+func (c *Client) Apply(req server.ApplyRequest) (server.ApplyResponse, error) {
+	var out server.ApplyResponse
+	err := c.do("POST", "/v1/apply", req, &out)
+	return out, err
+}
+
 // Decide accepts or rejects one correspondence (verdict: "accept" or
 // "reject").
 func (c *Client) Decide(id, source, target, verdict string) (server.CellInfo, error) {

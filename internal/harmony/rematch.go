@@ -422,6 +422,19 @@ func schemaSignature(sch *model.Schema) (map[string]uint64, map[string]string, s
 	return sigs, parents, fmt.Sprintf("%016x", whole.Sum64())
 }
 
+// SchemaHash returns the whole-schema content hash used as the match
+// cache revision key: a 16-hex-digit fnv-1a digest over every field any
+// built-in voter reads (element names, kinds, types, docs, structural
+// edges, flags, and referenced coding schemes) in deterministic
+// pre-order. Two schemas hash equal iff a matcher would see identical
+// input for every element. Schema sets use it as the lockfile content
+// hash so "did anything change" agrees exactly with what Rematch would
+// recompute.
+func SchemaHash(s *model.Schema) string {
+	_, _, whole := schemaSignature(s)
+	return whole
+}
+
 // corpusSignature hashes both schemas' preprocessed documentation bags
 // in element order. Any difference means the TF-IDF corpus — and with
 // it every IDF weight — changed, so corpus-sensitive voters cannot be

@@ -20,6 +20,7 @@ const (
 	ElementAdded   DiffKind = "element-added"
 	ElementRemoved DiffKind = "element-removed"
 	ElementChanged DiffKind = "element-changed"
+	ElementRenamed DiffKind = "element-renamed"
 	DomainAdded    DiffKind = "domain-added"
 	DomainRemoved  DiffKind = "domain-removed"
 	DomainChanged  DiffKind = "domain-changed"
@@ -58,10 +59,11 @@ func Diff(old, new *Schema) []DiffEntry {
 	for _, e := range new.Elements() {
 		newElems[pathKey(e)] = e
 	}
+	var removed, added []string
 	for id, oe := range oldElems {
 		ne, ok := newElems[id]
 		if !ok {
-			out = append(out, DiffEntry{ElementRemoved, id, ""})
+			removed = append(removed, id)
 			continue
 		}
 		if detail := elementDelta(oe, ne); detail != "" {
@@ -70,6 +72,44 @@ func Diff(old, new *Schema) []DiffEntry {
 	}
 	for id := range newElems {
 		if _, ok := oldElems[id]; !ok {
+			added = append(added, id)
+		}
+	}
+
+	// A removed path and an added path that differ only by letter case
+	// are one rename, not a drop+add: "ShipTo" → "shipTo" keeps the
+	// element's identity for mapping review, and apply plans should not
+	// churn a whole subtree over a casing fix. Only unambiguous 1:1
+	// folds pair up; anything else stays removed/added.
+	foldOld := map[string][]string{}
+	for _, id := range removed {
+		foldOld[strings.ToLower(id)] = append(foldOld[strings.ToLower(id)], id)
+	}
+	foldNew := map[string][]string{}
+	for _, id := range added {
+		foldNew[strings.ToLower(id)] = append(foldNew[strings.ToLower(id)], id)
+	}
+	renamedTo := map[string]string{} // old path → new path
+	renamedNew := map[string]bool{}  // new paths consumed by a rename
+	for fold, olds := range foldOld {
+		if news := foldNew[fold]; len(olds) == 1 && len(news) == 1 {
+			renamedTo[olds[0]] = news[0]
+			renamedNew[news[0]] = true
+		}
+	}
+	for _, id := range removed {
+		if newID, ok := renamedTo[id]; ok {
+			detail := "casing → " + newID
+			if d := elementDelta(oldElems[id], newElems[newID]); d != "" {
+				detail += ", " + d
+			}
+			out = append(out, DiffEntry{ElementRenamed, id, detail})
+			continue
+		}
+		out = append(out, DiffEntry{ElementRemoved, id, ""})
+	}
+	for _, id := range added {
+		if !renamedNew[id] {
 			out = append(out, DiffEntry{ElementAdded, id, ""})
 		}
 	}
@@ -176,11 +216,13 @@ func join(parts []string) string {
 }
 
 // AffectedMappingRows lists the element IDs in a diff that a mapping
-// over the old schema should re-review: removed and changed elements.
+// over the old schema should re-review: removed, changed, and renamed
+// elements (a rename keeps identity but changes every name-derived
+// matcher input, so its rows need re-scoring too).
 func AffectedMappingRows(diff []DiffEntry) []string {
 	var out []string
 	for _, d := range diff {
-		if d.Kind == ElementRemoved || d.Kind == ElementChanged {
+		if d.Kind == ElementRemoved || d.Kind == ElementChanged || d.Kind == ElementRenamed {
 			out = append(out, d.ID)
 		}
 	}

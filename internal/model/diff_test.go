@@ -144,6 +144,58 @@ func TestDiffKindChange(t *testing.T) {
 	}
 }
 
+func TestDiffCaseOnlyRename(t *testing.T) {
+	// A casing fix used to report as drop+add, churning apply plans and
+	// losing the element's identity for mapping review. It must report
+	// as one element-renamed entry — and so must every descendant whose
+	// path changed only because an ancestor was re-cased.
+	old := diffBase()
+	new_ := diffBase()
+	new_.Element("app/orders/status").Name = "Status"
+	d := Diff(old, new_)
+	if len(d) != 1 {
+		t.Fatalf("diff = %v, want exactly one entry", d)
+	}
+	got := d[0]
+	if got.Kind != ElementRenamed || got.ID != "orders/status" {
+		t.Errorf("entry = %v, want element-renamed orders/status", got)
+	}
+	if !strings.Contains(got.Detail, "casing → orders/Status") {
+		t.Errorf("detail = %q, want new path named", got.Detail)
+	}
+	rows := AffectedMappingRows(d)
+	if len(rows) != 1 || rows[0] != "orders/status" {
+		t.Errorf("affected rows = %v, want the renamed row", rows)
+	}
+
+	// Renaming an entity re-cases every descendant path: each pairs up
+	// as its own rename, none report as drop+add.
+	new2 := diffBase()
+	new2.Element("app/orders").Name = "Orders"
+	d2 := Diff(old, new2)
+	for _, e := range d2 {
+		if e.Kind == ElementAdded || e.Kind == ElementRemoved {
+			t.Errorf("case-only entity rename produced %v", e)
+		}
+	}
+	if len(d2) != 4 { // orders + 3 attributes
+		t.Errorf("diff = %v, want 4 renames", d2)
+	}
+
+	// An ambiguous fold (two new paths case-folding to one old path)
+	// must NOT pair: identity is unclear, so report drop+adds.
+	new3 := diffBase()
+	tbl := new3.Element("app/orders")
+	new3.Element("app/orders/status").Name = "STATUS"
+	new3.AddElement(tbl, "Status", KindAttribute, ContainsAttribute)
+	d3 := Diff(old, new3)
+	for _, e := range d3 {
+		if e.Kind == ElementRenamed {
+			t.Errorf("ambiguous fold paired as rename: %v", e)
+		}
+	}
+}
+
 func TestDiffDocChangeOnly(t *testing.T) {
 	old := NewSchema("s", "er")
 	e := old.AddElement(nil, "x", KindEntity, ContainsElement)

@@ -1,0 +1,63 @@
+package schemaset
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzParseSchemaSet asserts the config parser's crash-safety contract:
+// parse or error, never panic, and accepted configs validate.
+func FuzzParseSchemaSet(f *testing.F) {
+	if seed, err := os.ReadFile("testdata/schemasets.json"); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"root": "r", "sets": [{"name": "a", "version": "v1", "schemas": ["x.sql"]}]}`))
+	f.Add([]byte(`{"sets": [{"name": "a", "version": "v1", "schemas": ["po.xsd", "db.ddl", "flight.er"]}]}`))
+	f.Add([]byte(`{"sets": []}`))
+	f.Add([]byte(`{"sets": [{"name": "../up", "version": "v1", "schemas": ["x.sql"]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"sets": [{"name": "a"`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		if c == nil {
+			t.Fatal("nil config with nil error")
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("ParseConfig accepted a config Validate rejects: %v\ninput: %q", verr, data)
+		}
+	})
+}
+
+// FuzzParseLockfile asserts the same for the lockfile parser, plus that
+// every accepted lockfile survives a canonical Marshal→Parse round trip.
+func FuzzParseLockfile(f *testing.F) {
+	if seed, err := os.ReadFile("testdata/lockfile.golden.json"); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"sets": []}`))
+	f.Add([]byte(`{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "sql", "hash": "0123456789abcdef"}]}]}`))
+	f.Add([]byte(`{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "sql", "hash": "XYZ"}]}]}`))
+	f.Add([]byte(`{"sets": [{"name": "a", "version": "v1", "schemas": null}]}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ParseLockfile(data)
+		if err != nil {
+			return
+		}
+		if l == nil {
+			t.Fatal("nil lockfile with nil error")
+		}
+		canon := l.Marshal()
+		re, err := ParseLockfile(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\ncanonical: %q", err, canon)
+		}
+		if !bytes.Equal(canon, re.Marshal()) {
+			t.Fatalf("Marshal→Parse→Marshal not the identity for input %q", data)
+		}
+	})
+}

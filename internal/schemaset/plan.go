@@ -1,0 +1,211 @@
+package schemaset
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/blackboard"
+	"repro/internal/harmony"
+	"repro/internal/model"
+)
+
+// Action classifies what apply would do to one schema.
+type Action string
+
+// Per-schema plan actions.
+const (
+	// ActionCreate: the blackboard has no schema under this name.
+	ActionCreate Action = "create"
+	// ActionUpdate: the blackboard copy differs from the declared file.
+	ActionUpdate Action = "update"
+	// ActionNoop: declared content hash equals the blackboard copy's.
+	ActionNoop Action = "no-op"
+)
+
+// SchemaPlan is the computed plan for one declared schema.
+type SchemaPlan struct {
+	Name   string
+	Format string
+	Action Action
+	// Hash is the declared file's content hash; LockHash what the
+	// lockfile recorded at the last apply ("" = never locked); BBHash
+	// the blackboard's current copy ("" = absent).
+	Hash     string
+	LockHash string
+	BBHash   string
+	// Drift is out-of-band change: the blackboard copy no longer
+	// matches the lockfile — someone mutated shared state since the
+	// last apply, and this apply will overwrite their change.
+	Drift bool
+	// Diff details an update (old blackboard copy → declared file).
+	Diff []model.DiffEntry
+
+	// Schema is the loaded declared schema apply will put.
+	Schema *model.Schema
+}
+
+// Plan is the full change plan for one schema set: what apply would do,
+// computed without mutating anything.
+type Plan struct {
+	Set     string
+	Version string
+	// LockVersion is the set version the lockfile recorded ("" = the
+	// set was never applied).
+	LockVersion string
+	// Schemas is the per-schema plan, sorted by schema name.
+	Schemas []SchemaPlan
+}
+
+// NewPlan diffs a set's declared schemas against the blackboard and the
+// lockfile. schemas are the set's loaded declared files (LoadSet, or
+// built programmatically); the blackboard is only read.
+func NewPlan(bb *blackboard.Blackboard, set *Set, schemas []*model.Schema, lock *Lockfile) (*Plan, error) {
+	if lock == nil {
+		lock = &Lockfile{}
+	}
+	p := &Plan{Set: set.Name, Version: set.Version}
+	ls := lock.Set(set.Name)
+	if ls != nil {
+		p.LockVersion = ls.Version
+	}
+	for _, sch := range schemas {
+		if err := sch.Validate(); err != nil {
+			return nil, fmt.Errorf("schemaset: set %q schema %q: %v", set.Name, sch.Name, err)
+		}
+		sp := SchemaPlan{
+			Name:   sch.Name,
+			Format: sch.Format,
+			Hash:   harmony.SchemaHash(sch),
+			Schema: sch,
+		}
+		if ls != nil {
+			if lsc := ls.Schema(sch.Name); lsc != nil {
+				sp.LockHash = lsc.Hash
+			}
+		}
+		cur, err := bb.GetSchema(sch.Name)
+		if err != nil {
+			sp.Action = ActionCreate
+		} else {
+			sp.BBHash = harmony.SchemaHash(cur)
+			if sp.BBHash == sp.Hash {
+				sp.Action = ActionNoop
+			} else {
+				sp.Action = ActionUpdate
+				sp.Diff = model.Diff(cur, sch)
+			}
+			if sp.LockHash != "" && sp.BBHash != sp.LockHash {
+				sp.Drift = true
+			}
+		}
+		p.Schemas = append(p.Schemas, sp)
+	}
+	sort.Slice(p.Schemas, func(i, j int) bool { return p.Schemas[i].Name < p.Schemas[j].Name })
+	return p, nil
+}
+
+// NoOp reports whether apply would change nothing: every schema hashes
+// equal to its blackboard copy. A no-op apply runs zero transactions.
+func (p *Plan) NoOp() bool {
+	for i := range p.Schemas {
+		if p.Schemas[i].Action != ActionNoop {
+			return false
+		}
+	}
+	return true
+}
+
+// Changed counts schemas apply would create or update.
+func (p *Plan) Changed() int {
+	n := 0
+	for i := range p.Schemas {
+		if p.Schemas[i].Action != ActionNoop {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyFor returns the element IDs a mapping over the named schema
+// should treat as dirty after this plan applies: the diff's removed,
+// changed and renamed rows (old IDs) plus renamed/added new paths, each
+// prefixed with the schema name to form full element IDs. The hints are
+// advisory — Engine.Rematch unions them with its own signature diff —
+// but naming them keeps apply's intent explicit in traces and tests.
+func (p *Plan) DirtyFor(schemaName string) []string {
+	var out []string
+	for i := range p.Schemas {
+		sp := &p.Schemas[i]
+		if sp.Name != schemaName {
+			continue
+		}
+		for _, d := range sp.Diff {
+			switch d.Kind {
+			case model.ElementRemoved, model.ElementChanged, model.ElementRenamed, model.ElementAdded:
+				out = append(out, schemaName+"/"+d.ID)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shortHash abbreviates a 16-hex hash for plan rendering.
+func shortHash(h string) string {
+	if h == "" {
+		return "(none)"
+	}
+	if len(h) > 8 {
+		return h[:8]
+	}
+	return h
+}
+
+// Render prints the human-readable change plan the CLI shows before the
+// confirmation prompt. The output is deterministic for a given plan
+// (schemas sorted by name, diff entries in model.Diff order) and is
+// covered by a golden-file test — change it deliberately.
+func (p *Plan) Render(w io.Writer) {
+	if p.LockVersion == "" {
+		fmt.Fprintf(w, "set %s → %s (not locked)\n", p.Set, p.Version)
+	} else if p.LockVersion == p.Version {
+		fmt.Fprintf(w, "set %s @ %s\n", p.Set, p.Version)
+	} else {
+		fmt.Fprintf(w, "set %s: %s → %s\n", p.Set, p.LockVersion, p.Version)
+	}
+	creates, updates, noops := 0, 0, 0
+	for i := range p.Schemas {
+		sp := &p.Schemas[i]
+		switch sp.Action {
+		case ActionCreate:
+			creates++
+			fmt.Fprintf(w, "  + %s (%s) create  %s\n", sp.Name, sp.Format, shortHash(sp.Hash))
+		case ActionUpdate:
+			updates++
+			fmt.Fprintf(w, "  ~ %s (%s) update  %s → %s\n", sp.Name, sp.Format, shortHash(sp.BBHash), shortHash(sp.Hash))
+			for _, d := range sp.Diff {
+				fmt.Fprintf(w, "      %s\n", d)
+			}
+		case ActionNoop:
+			noops++
+			fmt.Fprintf(w, "  = %s (%s) no-op\n", sp.Name, sp.Format)
+		}
+		if sp.Drift {
+			fmt.Fprintf(w, "  ! %s: blackboard copy (%s) drifted from lockfile (%s); apply overwrites it\n",
+				sp.Name, shortHash(sp.BBHash), shortHash(sp.LockHash))
+		}
+	}
+	fmt.Fprintf(w, "plan: %d to create, %d to update, %d unchanged\n", creates, updates, noops)
+}
+
+// LockSet converts the plan into the lock entry a successful apply
+// records: every declared schema at its declared hash.
+func (p *Plan) LockSet() LockSet {
+	ls := LockSet{Name: p.Set, Version: p.Version}
+	for i := range p.Schemas {
+		sp := &p.Schemas[i]
+		ls.Schemas = append(ls.Schemas, LockSchema{Name: sp.Name, Format: sp.Format, Hash: sp.Hash})
+	}
+	return ls
+}

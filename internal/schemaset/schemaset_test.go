@@ -1,0 +1,415 @@
+package schemaset
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/blackboard"
+	"repro/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenCompare asserts got matches the committed golden file byte for
+// byte; `go test ./internal/schemaset -update` rewrites the goldens.
+func goldenCompare(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create it)", err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Errorf("%s: output drifted from golden file.\n--- golden ---\n%s\n--- got ---\n%s", path, want, got)
+	}
+}
+
+// loadTestSet loads the committed core set at a version.
+func loadTestSet(t *testing.T, version string) (*Config, *Set, []*model.Schema) {
+	t.Helper()
+	cfg, err := LoadConfig(filepath.Join("testdata", "schemasets.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := cfg.Set("core")
+	if set == nil {
+		t.Fatal("testdata config lost its core set")
+	}
+	set.Version = version
+	schemas, err := LoadSet(cfg.Root, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, set, schemas
+}
+
+func TestParseConfigValid(t *testing.T) {
+	c, err := ParseConfig([]byte(`{"root": "r", "sets": [{"name": "a", "version": "v1", "schemas": ["x.sql"]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Root != "r" || len(c.Sets) != 1 || c.Sets[0].Name != "a" || c.Sets[0].Version != "v1" {
+		t.Fatalf("parsed config = %+v", c)
+	}
+	if got := c.SetNames(); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("SetNames = %v", got)
+	}
+	if c.Set("missing") != nil {
+		t.Fatal("Set(missing) != nil")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"not json", `{`, "parse config"},
+		{"unknown field", `{"sets": [], "typo": 1}`, "unknown field"},
+		{"trailing data", `{"sets": [{"name": "a", "version": "v1", "schemas": ["x.sql"]}]} {}`, "trailing data"},
+		{"no sets", `{"sets": []}`, "declares no sets"},
+		{"empty set name", `{"sets": [{"name": "", "version": "v1", "schemas": ["x.sql"]}]}`, "empty name"},
+		{"path set name", `{"sets": [{"name": "a/b", "version": "v1", "schemas": ["x.sql"]}]}`, "bare name"},
+		{"dotdot version", `{"sets": [{"name": "a", "version": "..", "schemas": ["x.sql"]}]}`, "bare name"},
+		{"duplicate set", `{"sets": [{"name": "a", "version": "v1", "schemas": ["x.sql"]}, {"name": "a", "version": "v2", "schemas": ["x.sql"]}]}`, "duplicate set"},
+		{"no schemas", `{"sets": [{"name": "a", "version": "v1", "schemas": []}]}`, "declares no schemas"},
+		{"bad extension", `{"sets": [{"name": "a", "version": "v1", "schemas": ["x.csv"]}]}`, "unknown schema extension"},
+		{"schema path escape", `{"sets": [{"name": "a", "version": "v1", "schemas": ["../x.sql"]}]}`, "bare name"},
+		{"stem collision", `{"sets": [{"name": "a", "version": "v1", "schemas": ["x.sql", "x.ddl"]}]}`, "both load as schema"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseConfig([]byte(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v; want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadConfigResolvesRoot(t *testing.T) {
+	cfg, _, _ := loadTestSet(t, "v1")
+	if want := filepath.Join("testdata", "sets"); cfg.Root != want {
+		t.Fatalf("Root = %q; want %q", cfg.Root, want)
+	}
+}
+
+func TestLoadSet(t *testing.T) {
+	_, _, schemas := loadTestSet(t, "v1")
+	if len(schemas) != 2 {
+		t.Fatalf("LoadSet returned %d schemas; want 2", len(schemas))
+	}
+	if schemas[0].Name != "orders" || schemas[0].Format != "sql" {
+		t.Fatalf("schema 0 = %s (%s)", schemas[0].Name, schemas[0].Format)
+	}
+	if schemas[1].Name != "shipping" || schemas[1].Format != "xsd" {
+		t.Fatalf("schema 1 = %s (%s)", schemas[1].Name, schemas[1].Format)
+	}
+
+	cfg, set, _ := loadTestSet(t, "v1")
+	set.Version = "v9"
+	if _, err := LoadSet(cfg.Root, set); err == nil {
+		t.Fatal("LoadSet with a missing version directory did not fail")
+	}
+}
+
+func TestSchemaNameFormat(t *testing.T) {
+	cases := []struct {
+		file, name, format string
+		ok                 bool
+	}{
+		{"orders.sql", "orders", "sql", true},
+		{"orders.DDL", "orders", "sql", true},
+		{"po.xsd", "po", "xsd", true},
+		{"po.XML", "po", "xsd", true},
+		{"flight.er", "flight", "er", true},
+		{"notes.txt", "", "", false},
+		{"plain", "", "", false},
+	}
+	for _, tc := range cases {
+		name, format, err := SchemaNameFormat(tc.file)
+		if tc.ok != (err == nil) || name != tc.name || format != tc.format {
+			t.Errorf("SchemaNameFormat(%q) = %q, %q, %v; want %q, %q, ok=%t",
+				tc.file, name, format, err, tc.name, tc.format, tc.ok)
+		}
+	}
+}
+
+func TestLockfileValidateErrors(t *testing.T) {
+	cases := []struct {
+		name, input, want string
+	}{
+		{"unknown field", `{"sets": [], "extra": true}`, "unknown field"},
+		{"trailing data", `{"sets": []} []`, "trailing data"},
+		{"empty set name", `{"sets": [{"name": "", "version": "v1", "schemas": []}]}`, "empty name"},
+		{"duplicate set", `{"sets": [{"name": "a", "version": "v1", "schemas": []}, {"name": "a", "version": "v1", "schemas": []}]}`, "duplicate set"},
+		{"no version", `{"sets": [{"name": "a", "version": "", "schemas": []}]}`, "has no version"},
+		{"duplicate schema", `{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "sql", "hash": "0123456789abcdef"}, {"name": "x", "format": "sql", "hash": "0123456789abcdef"}]}]}`, "duplicate schema"},
+		{"bad format", `{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "csv", "hash": "0123456789abcdef"}]}]}`, "unknown format"},
+		{"short hash", `{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "sql", "hash": "abc"}]}]}`, "malformed hash"},
+		{"uppercase hash", `{"sets": [{"name": "a", "version": "v1", "schemas": [{"name": "x", "format": "sql", "hash": "0123456789ABCDEF"}]}]}`, "malformed hash"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLockfile([]byte(tc.input))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v; want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestLockfileMarshalGolden pins the canonical serialized form: sets and
+// schemas sorted by name regardless of insertion order, two-space
+// indent, trailing newline.
+func TestLockfileMarshalGolden(t *testing.T) {
+	l := &Lockfile{}
+	l.Upsert(LockSet{Name: "warehouse", Version: "2024.2", Schemas: []LockSchema{
+		{Name: "stock", Format: "sql", Hash: "00112233aabbccdd"},
+	}})
+	l.Upsert(LockSet{Name: "core", Version: "v2", Schemas: []LockSchema{
+		{Name: "shipping", Format: "xsd", Hash: "ffeeddccbbaa9988"},
+		{Name: "orders", Format: "sql", Hash: "0123456789abcdef"},
+	}})
+	goldenCompare(t, filepath.Join("testdata", "lockfile.golden.json"), l.Marshal())
+
+	// Marshal → Parse → Marshal is the identity on the bytes.
+	first := l.Marshal()
+	parsed, err := ParseLockfile(first)
+	if err != nil {
+		t.Fatalf("canonical form does not re-parse: %v", err)
+	}
+	if !bytes.Equal(first, parsed.Marshal()) {
+		t.Error("Marshal→Parse→Marshal is not the identity")
+	}
+
+	empty := (&Lockfile{}).Marshal()
+	if want := "{\n  \"sets\": []\n}\n"; string(empty) != want {
+		t.Errorf("empty lockfile marshals as %q; want %q", empty, want)
+	}
+}
+
+func TestLoadLockfileMissing(t *testing.T) {
+	l, err := LoadLockfile(filepath.Join(t.TempDir(), "nope.lock.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Sets) != 0 {
+		t.Fatalf("missing lockfile loaded as %+v", l)
+	}
+}
+
+func TestWriteLockfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sets.lock.json")
+	l := &Lockfile{Sets: []LockSet{{Name: "a", Version: "v1", Schemas: []LockSchema{
+		{Name: "x", Format: "sql", Hash: "0123456789abcdef"},
+	}}}}
+	if err := WriteLockfile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, l.Marshal()) {
+		t.Error("written lockfile differs from Marshal output")
+	}
+
+	// Overwrite replaces atomically and leaves no temp files behind.
+	l.Upsert(LockSet{Name: "a", Version: "v2", Schemas: l.Sets[0].Schemas})
+	if err := WriteLockfile(path, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadLockfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Set("a").Version != "v2" {
+		t.Fatalf("reloaded version = %q; want v2", got.Set("a").Version)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("lock dir has %d entries after rewrite; want 1", len(entries))
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	l := &Lockfile{}
+	l.Upsert(LockSet{Name: "b", Version: "v1"})
+	l.Upsert(LockSet{Name: "a", Version: "v1"})
+	l.Upsert(LockSet{Name: "b", Version: "v2"})
+	if len(l.Sets) != 2 || l.Sets[0].Name != "a" || l.Sets[1].Name != "b" || l.Sets[1].Version != "v2" {
+		t.Fatalf("after upserts: %+v", l.Sets)
+	}
+}
+
+// seedBlackboard puts the v1 core set on a fresh blackboard and returns
+// it with the lock entry a v1 apply would have recorded.
+func seedBlackboard(t *testing.T) (*blackboard.Blackboard, *Lockfile) {
+	t.Helper()
+	_, set, schemas := loadTestSet(t, "v1")
+	bb := blackboard.New()
+	for _, s := range schemas {
+		if _, err := bb.PutSchema(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := NewPlan(bb, set, schemas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lock := &Lockfile{}
+	lock.Upsert(p.LockSet())
+	return bb, lock
+}
+
+func TestPlanActions(t *testing.T) {
+	_, set, v1 := loadTestSet(t, "v1")
+
+	// Empty blackboard: everything is a create.
+	p, err := NewPlan(blackboard.New(), set, v1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range p.Schemas {
+		if sp.Action != ActionCreate || sp.BBHash != "" {
+			t.Fatalf("fresh plan: %s action=%s bbhash=%q", sp.Name, sp.Action, sp.BBHash)
+		}
+	}
+	if p.NoOp() || p.Changed() != 2 || p.LockVersion != "" {
+		t.Fatalf("fresh plan: noop=%t changed=%d lockVersion=%q", p.NoOp(), p.Changed(), p.LockVersion)
+	}
+
+	// Re-planning the applied version is a pure no-op.
+	bb, lock := seedBlackboard(t)
+	p, err = NewPlan(bb, set, v1, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.NoOp() || p.Changed() != 0 || p.LockVersion != "v1" {
+		t.Fatalf("steady-state plan: noop=%t changed=%d lockVersion=%q", p.NoOp(), p.Changed(), p.LockVersion)
+	}
+
+	// The v2 bump updates orders (shipping's content is unchanged).
+	_, set2, v2 := loadTestSet(t, "v2")
+	p, err = NewPlan(bb, set2, v2, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NoOp() || p.Changed() != 1 {
+		t.Fatalf("v2 plan: noop=%t changed=%d", p.NoOp(), p.Changed())
+	}
+	var orders *SchemaPlan
+	for i := range p.Schemas {
+		if p.Schemas[i].Name == "orders" {
+			orders = &p.Schemas[i]
+		}
+	}
+	if orders == nil || orders.Action != ActionUpdate || len(orders.Diff) == 0 || orders.Drift {
+		t.Fatalf("orders plan = %+v", orders)
+	}
+	renamed := false
+	for _, d := range orders.Diff {
+		if d.Kind == model.ElementRenamed {
+			renamed = true
+		}
+	}
+	if !renamed {
+		t.Error("v2 diff misses the ShipTo → shipTo case rename")
+	}
+
+	dirty := p.DirtyFor("orders")
+	if len(dirty) == 0 {
+		t.Fatal("DirtyFor(orders) is empty for an update")
+	}
+	for _, id := range dirty {
+		if !strings.HasPrefix(id, "orders/") {
+			t.Fatalf("dirty hint %q lacks the schema prefix", id)
+		}
+	}
+	if !sortedStrings(dirty) {
+		t.Fatalf("dirty hints not sorted: %v", dirty)
+	}
+	if got := p.DirtyFor("shipping"); len(got) != 0 {
+		t.Fatalf("DirtyFor(shipping) = %v; want none for a no-op schema", got)
+	}
+
+	ls := p.LockSet()
+	if ls.Name != "core" || ls.Version != "v2" || len(ls.Schemas) != 2 {
+		t.Fatalf("LockSet = %+v", ls)
+	}
+	for _, sc := range ls.Schemas {
+		if !validHash(sc.Hash) {
+			t.Fatalf("LockSet hash %q not canonical", sc.Hash)
+		}
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] < s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPlanDrift(t *testing.T) {
+	bb, lock := seedBlackboard(t)
+	// Someone changed the blackboard behind the lockfile's back:
+	// simulate by corrupting the recorded hash.
+	lock.Set("core").Schema("orders").Hash = strings.Repeat("0", 16)
+	_, set, v1 := loadTestSet(t, "v1")
+	p, err := NewPlan(bb, set, v1, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var orders *SchemaPlan
+	for i := range p.Schemas {
+		if p.Schemas[i].Name == "orders" {
+			orders = &p.Schemas[i]
+		}
+	}
+	if orders == nil || !orders.Drift {
+		t.Fatalf("orders plan = %+v; want Drift", orders)
+	}
+	var buf bytes.Buffer
+	p.Render(&buf)
+	if !strings.Contains(buf.String(), "drifted from lockfile") {
+		t.Errorf("drift warning missing from render:\n%s", buf.String())
+	}
+}
+
+// TestPlanRenderGolden pins the human-readable plan output the CLI shows
+// before the confirmation prompt.
+func TestPlanRenderGolden(t *testing.T) {
+	_, set, v1 := loadTestSet(t, "v1")
+	p, err := NewPlan(blackboard.New(), set, v1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var create bytes.Buffer
+	p.Render(&create)
+	goldenCompare(t, filepath.Join("testdata", "plan_create.golden"), create.Bytes())
+
+	bb, lock := seedBlackboard(t)
+	_, set2, v2 := loadTestSet(t, "v2")
+	p, err = NewPlan(bb, set2, v2, lock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upd bytes.Buffer
+	p.Render(&upd)
+	goldenCompare(t, filepath.Join("testdata", "plan_update.golden"), upd.Bytes())
+}

@@ -1,0 +1,8 @@
+-- Schema-set fixture: version v1 of the core orders schema.
+CREATE TABLE orders (
+  id     INTEGER PRIMARY KEY,
+  status VARCHAR(16),
+  ShipTo VARCHAR(64)
+);
+COMMENT ON TABLE orders IS 'Customer purchase orders';
+COMMENT ON COLUMN orders.status IS 'Order fulfilment status code';

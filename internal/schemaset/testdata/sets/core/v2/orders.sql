@@ -1,0 +1,10 @@
+-- Schema-set fixture: version v2 bumps orders — status narrows, ShipTo
+-- is re-cased, created_at is new.
+CREATE TABLE orders (
+  id         INTEGER PRIMARY KEY,
+  status     CHAR(8),
+  shipTo     VARCHAR(64),
+  created_at DATE
+);
+COMMENT ON TABLE orders IS 'Customer purchase orders';
+COMMENT ON COLUMN orders.status IS 'Order fulfilment status code';

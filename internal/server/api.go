@@ -23,6 +23,7 @@ import (
 //	POST /v1/mappings/{id}/match          run Harmony           → MatchResponse
 //	POST /v1/mappings/{id}/rematch        incremental re-match  → RematchResponse
 //	POST /v1/mappings/{id}/decide         accept/reject a cell  → CellInfo
+//	POST /v1/apply                        schema-set plan/apply → ApplyResponse
 //	POST /v1/query                        ad hoc IB query       → QueryResponse
 //	GET  /v1/events?after=N&timeout=30s   long-poll event feed  → EventsResponse
 //	GET  /v1/events (Accept: text/event-stream)  SSE event feed
@@ -200,6 +201,71 @@ type RematchResponse struct {
 	Published int        `json:"published"`
 	Cells     []CellInfo `json:"cells"`
 	Cache     CacheStats `json:"cache"`
+}
+
+// ApplySchema is one declared schema in a schema-set apply request: the
+// raw document travels to the server, which parses, hashes and diffs it
+// against its blackboard copy (the files live client-side, the shared
+// state server-side).
+type ApplySchema struct {
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	Text   string `json:"text"`
+}
+
+// ApplyRequest plans (DryRun) or applies one versioned schema set. The
+// lock fields carry the client's lockfile entry for the set so the
+// server can report out-of-band drift (blackboard ≠ lockfile).
+type ApplyRequest struct {
+	Set     string        `json:"set"`
+	Version string        `json:"version"`
+	Schemas []ApplySchema `json:"schemas"`
+	// LockVersion/LockHashes mirror the client's lockfile entry for
+	// this set ("" / nil when the set was never applied).
+	LockVersion string            `json:"lockVersion,omitempty"`
+	LockHashes  map[string]string `json:"lockHashes,omitempty"`
+	// DryRun computes and returns the plan without mutating anything.
+	DryRun bool `json:"dryRun,omitempty"`
+	// Threshold filters republished correspondences (default 0.25).
+	Threshold *float64 `json:"threshold,omitempty"`
+}
+
+// ApplySchemaPlan is one schema's computed plan row.
+type ApplySchemaPlan struct {
+	Name   string `json:"name"`
+	Format string `json:"format"`
+	// Action is "create", "update" or "no-op".
+	Action   string `json:"action"`
+	Hash     string `json:"hash"`
+	LockHash string `json:"lockHash,omitempty"`
+	BBHash   string `json:"bbHash,omitempty"`
+	Drift    bool   `json:"drift,omitempty"`
+	// Diff renders the update's model.Diff entries.
+	Diff []string `json:"diff,omitempty"`
+}
+
+// ApplyRematch reports one mapping's re-match during an apply.
+type ApplyRematch struct {
+	Mapping   string `json:"mapping"`
+	Mode      string `json:"mode"`
+	Published int    `json:"published"`
+}
+
+// ApplyResponse carries the change plan and, unless DryRun or a no-op,
+// what the apply did: schemas put (one transaction) and the affected
+// mappings' incremental re-matches.
+type ApplyResponse struct {
+	Set     string            `json:"set"`
+	Version string            `json:"version"`
+	Plan    []ApplySchemaPlan `json:"plan"`
+	// PlanText is the rendered human-readable plan, identical to what
+	// a local `workbench plan` would print.
+	PlanText  string         `json:"planText"`
+	NoOp      bool           `json:"noop"`
+	DryRun    bool           `json:"dryRun,omitempty"`
+	Txns      int            `json:"txns"`
+	Applied   []string       `json:"applied,omitempty"`
+	Rematches []ApplyRematch `json:"rematches,omitempty"`
 }
 
 // DecideRequest accepts or rejects one correspondence.

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/blackboard"
+	"repro/internal/chaos"
 	"repro/internal/erwin"
 	"repro/internal/harmony"
 	"repro/internal/match"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/logx"
 	"repro/internal/repl"
+	"repro/internal/schemaset"
 	"repro/internal/sqlddl"
 	"repro/internal/wal"
 	"repro/internal/wbmgr"
@@ -369,6 +371,7 @@ func (s *Server) buildMux() {
 	s.route(mux, "POST", "/mappings/{id}/match", "match.run", s.handleMatch)
 	s.route(mux, "POST", "/mappings/{id}/rematch", "match.rematch", s.handleRematch)
 	s.route(mux, "POST", "/mappings/{id}/decide", "cells.decide", s.handleDecide)
+	s.route(mux, "POST", "/apply", "apply", s.handleApply)
 	s.route(mux, "POST", "/query", "query", s.handleQuery)
 	s.route(mux, "GET", "/events", "events", s.handleEvents)
 	s.route(mux, "GET", "/fsck", "fsck", s.handleFsck)
@@ -916,6 +919,13 @@ func (s *Server) publishMatrix(t *tenant, r *http.Request, id string, mp *blackb
 			if _, ok := pinned[[2]string{l.Source.ID, l.Target.ID}]; ok {
 				continue
 			}
+			// An incremental rematch leaves most scores untouched; skipping
+			// the bit-identical cells keeps publish (and its WAL record)
+			// proportional to the change, not the matrix.
+			if c, ok := mp.GetCell(l.Source.ID, l.Target.ID); ok &&
+				!c.UserDefined && c.SetBy == "harmony" && c.Confidence == l.Confidence {
+				continue
+			}
 			if cerr := mp.SetCell(l.Source.ID, l.Target.ID, l.Confidence, false, "harmony"); cerr != nil {
 				return cerr
 			}
@@ -1019,17 +1029,31 @@ func (s *Server) handleRematch(t *tenant, w http.ResponseWriter, r *http.Request
 		return
 	}
 	dirty := harmony.Dirty{Source: req.DirtySource, Target: req.DirtyTarget}
-	reqSpan := obs.SpanFromContext(r.Context())
-	if reqSpan != nil {
+	if reqSpan := obs.SpanFromContext(r.Context()); reqSpan != nil {
 		reqSpan.SetAttr("mapping", id)
 	}
+	mode, cells, err := s.rematchMapping(t, r, id, mp, dirty, threshold)
+	if err != nil {
+		failTxn(w, err, http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, RematchResponse{
+		Mode: mode, Threshold: threshold, Published: len(cells),
+		Cells: cells, Cache: s.cacheStats(),
+	})
+}
+
+// rematchMapping re-runs a mapping's match session on its cheapest
+// applicable path and republishes the matrix — the shared core of the
+// rematch and apply routes. When the session's engine is live and not
+// stale (no schema-graph event since its last run) the blackboard
+// re-read is skipped; otherwise the schemas are re-read and the engine
+// rematches against them (or runs cold on a mapping's first match).
+func (s *Server) rematchMapping(t *tenant, r *http.Request, id string, mp *blackboard.Mapping, dirty harmony.Dirty, threshold float64) (string, []CellInfo, error) {
 	sess := t.matchSessionFor(id, mp)
 	sess.mu.Lock()
 	var mode string
 	if sess.eng != nil && !sess.stale {
-		// No schema-graph event since the last run: the engine's schema
-		// copies are current, so skip the blackboard re-read and let the
-		// in-place rematch take its cheapest applicable path.
 		failed := syncDecisions(sess.eng, mp)
 		sess.eng.RematchContext(r.Context(), dirty)
 		retryDecisions(sess.eng, failed)
@@ -1055,26 +1079,156 @@ func (s *Server) handleRematch(t *tenant, w http.ResponseWriter, r *http.Request
 		}
 		if serr != nil {
 			sess.mu.Unlock()
-			fail(w, http.StatusInternalServerError, "%v", serr)
-			return
+			return "", nil, serr
 		}
 		sess.stale = false
 	}
 	links := sess.eng.Matrix().Above(threshold)
 	pinned := sess.eng.Decisions()
 	sess.mu.Unlock()
-	if reqSpan != nil {
+	if reqSpan := obs.SpanFromContext(r.Context()); reqSpan != nil {
 		reqSpan.SetAttr("rematch_mode", mode)
 	}
 	cells, err := s.publishMatrix(t, r, id, mp, links, pinned)
 	if err != nil {
+		return mode, nil, err
+	}
+	return mode, cells, nil
+}
+
+// handleApply plans or applies one versioned schema set (DESIGN.md
+// §17): parse every declared schema, diff against the blackboard and
+// the client's lockfile entry, and — unless the request is a dry run or
+// the plan a no-op — put every changed schema in a single transaction
+// (all-or-nothing through the apply.commit failpoint) and re-match each
+// affected mapping incrementally with the plan's diff as the dirty
+// hint.
+func (s *Server) handleApply(t *tenant, w http.ResponseWriter, r *http.Request) {
+	if s.rejectReadOnly(w) {
+		return
+	}
+	var req ApplyRequest
+	if err := readJSON(r, &req); err != nil {
+		fail(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.Set) == "" || strings.TrimSpace(req.Version) == "" {
+		fail(w, http.StatusBadRequest, "apply: set and version required")
+		return
+	}
+	if len(req.Schemas) == 0 {
+		fail(w, http.StatusBadRequest, "apply: no schemas declared")
+		return
+	}
+	threshold := DefaultThreshold
+	if req.Threshold != nil {
+		threshold = *req.Threshold
+	}
+	schemas := make([]*model.Schema, 0, len(req.Schemas))
+	for _, as := range req.Schemas {
+		sch, err := loadSchema(LoadSchemaRequest{Name: as.Name, Format: as.Format, Text: as.Text})
+		if err != nil {
+			fail(w, http.StatusBadRequest, "apply: schema %q: %v", as.Name, err)
+			return
+		}
+		schemas = append(schemas, sch)
+	}
+	set := schemaset.Set{Name: req.Set, Version: req.Version}
+	lock := &schemaset.Lockfile{}
+	if req.LockVersion != "" || len(req.LockHashes) > 0 {
+		ls := schemaset.LockSet{Name: req.Set, Version: req.LockVersion}
+		for name, hash := range req.LockHashes {
+			ls.Schemas = append(ls.Schemas, schemaset.LockSchema{Name: name, Hash: hash})
+		}
+		lock.Upsert(ls)
+	}
+	t.reg.Describe(schemaset.MetricPlans, "Schema-set change plans computed.")
+	t.reg.Counter(schemaset.MetricPlans).Inc()
+	plan, err := schemaset.NewPlan(t.bb(), &set, schemas, lock)
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if reqSpan := obs.SpanFromContext(r.Context()); reqSpan != nil {
+		reqSpan.SetAttr("set", req.Set)
+		reqSpan.SetAttr("version", req.Version)
+	}
+	resp := ApplyResponse{Set: req.Set, Version: req.Version, NoOp: plan.NoOp(), DryRun: req.DryRun}
+	var planText strings.Builder
+	plan.Render(&planText)
+	resp.PlanText = planText.String()
+	for i := range plan.Schemas {
+		sp := &plan.Schemas[i]
+		row := ApplySchemaPlan{
+			Name: sp.Name, Format: sp.Format, Action: string(sp.Action),
+			Hash: sp.Hash, LockHash: sp.LockHash, BBHash: sp.BBHash, Drift: sp.Drift,
+		}
+		for _, d := range sp.Diff {
+			row.Diff = append(row.Diff, d.String())
+		}
+		resp.Plan = append(resp.Plan, row)
+	}
+	if req.DryRun {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	t.reg.Describe(schemaset.MetricTxns, "Schema-set apply transactions, labeled by outcome.")
+	if resp.NoOp {
+		t.reg.Counter(schemaset.MetricTxns, "outcome", "no-op").Inc()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	changed := map[string]bool{}
+	err = s.inTxn(t, r, func(txn *wbmgr.Txn) error {
+		for i := range plan.Schemas {
+			sp := &plan.Schemas[i]
+			if sp.Action == schemaset.ActionNoop {
+				continue
+			}
+			if _, perr := t.bb().PutSchema(sp.Schema); perr != nil {
+				return perr
+			}
+			txn.Emit(wbmgr.EventSchemaGraph, sp.Name)
+			changed[sp.Name] = true
+		}
+		return chaos.Inject(schemaset.SiteApplyCommit)
+	})
+	if err != nil {
+		t.reg.Counter(schemaset.MetricTxns, "outcome", "rolled-back").Inc()
 		failTxn(w, err, http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, http.StatusOK, RematchResponse{
-		Mode: mode, Threshold: threshold, Published: len(cells),
-		Cells: cells, Cache: s.cacheStats(),
-	})
+	t.reg.Counter(schemaset.MetricTxns, "outcome", "committed").Inc()
+	resp.Txns++
+	for name := range changed {
+		resp.Applied = append(resp.Applied, name)
+	}
+	sort.Strings(resp.Applied)
+
+	ids := t.bb().Mappings()
+	sort.Strings(ids)
+	for _, id := range ids {
+		mp, merr := t.bb().GetMapping(id)
+		if merr != nil {
+			continue
+		}
+		if !changed[mp.SourceSchema] && !changed[mp.TargetSchema] {
+			continue
+		}
+		dirty := harmony.Dirty{
+			Source: plan.DirtyFor(mp.SourceSchema),
+			Target: plan.DirtyFor(mp.TargetSchema),
+		}
+		mode, cells, rerr := s.rematchMapping(t, r, id, mp, dirty, threshold)
+		if rerr != nil {
+			failTxn(w, rerr, http.StatusInternalServerError)
+			return
+		}
+		resp.Txns++
+		resp.Rematches = append(resp.Rematches, ApplyRematch{Mapping: id, Mode: mode, Published: len(cells)})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleDecide records an analyst accept/reject on one cell.

@@ -16,7 +16,11 @@
 // registry-match curve (from `workbench registry-match -out`) gates its
 // quality columns (recall@k, precision/recall/F1, speedup, ranking
 // accuracy) and inverse-gates scored_fraction (blocking that starts
-// scoring *more* of the cross product is the regression). In every case
+// scoring *more* of the cross product is the regression); the apply
+// report (from `benchreport -apply-json`) gates speedup_incremental
+// (incremental apply re-match vs a cold run) and inverse-gates
+// apply_txns (a steady-state version bump that commits more
+// transactions has stopped batching its schema puts). In every case
 // only dimensionless columns are gated — wall-clock milliseconds and
 // throughput are machine-dependent and would make the committed
 // baseline meaningless on any other host; they are printed as context.
@@ -59,6 +63,10 @@ type sizeRecord struct {
 	Recall         float64 `json:"recall"`
 	F1             float64 `json:"f1"`
 	Speedup        float64 `json:"speedup"`
+
+	// apply columns (from `benchreport -apply-json`).
+	SpeedupIncremental float64 `json:"speedup_incremental"`
+	ApplyTxns          int     `json:"apply_txns"`
 }
 
 // routeStats mirrors internal/loadgen.RouteStats.
@@ -122,7 +130,7 @@ func load(path string) (benchFile, error) {
 // both decode to the zero value and "pass" vacuously.
 func validate(f benchFile, path string) error {
 	switch f.Benchmark {
-	case "incremental-rematch", "loadgen-sustained", "loadgen-replica-read", "loadgen-multitenant", "registry-match":
+	case "incremental-rematch", "loadgen-sustained", "loadgen-replica-read", "loadgen-multitenant", "registry-match", "apply":
 	case "":
 		return fmt.Errorf("%s: field %q is missing or empty", path, "benchmark")
 	default:
@@ -162,6 +170,8 @@ func compare(w io.Writer, base, cur benchFile, basePath, curPath string, toleran
 		return diffLoadgen(w, base, cur, tolerance), nil
 	case "registry-match":
 		return diffRegistry(w, base, cur, tolerance), nil
+	case "apply":
+		return diffApply(w, base, cur, tolerance), nil
 	default:
 		return diffSizes(w, base, cur, tolerance), nil
 	}
@@ -258,6 +268,19 @@ func diffSizes(w io.Writer, base, cur benchFile, tolerance float64) int {
 			{name: "speedup_pin", old: b.SpeedupPin, new_: c.SpeedupPin},
 			{name: "speedup_rename", old: b.SpeedupRename, new_: c.SpeedupRename},
 			{name: "cache_hit_ratio", old: b.CacheHitRatio, new_: c.CacheHitRatio},
+		}
+	})
+}
+
+// diffApply gates the schema-set apply report (from `benchreport
+// -apply-json`): the incremental-apply-vs-cold-run speedup per size, and
+// — inverted — the transactions a steady-state version bump commits
+// (more transactions per bump means apply stopped batching its puts).
+func diffApply(w io.Writer, base, cur benchFile, tolerance float64) int {
+	return diffBySize(w, base, cur, tolerance, func(b, c sizeRecord) []metric {
+		return []metric{
+			{name: "speedup_incremental", old: b.SpeedupIncremental, new_: c.SpeedupIncremental},
+			{name: "apply_txns", old: float64(b.ApplyTxns), new_: float64(c.ApplyTxns), inverted: true},
 		}
 	})
 }

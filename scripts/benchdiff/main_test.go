@@ -97,6 +97,32 @@ func TestDiffSizesGatesRatios(t *testing.T) {
 	}
 }
 
+func TestDiffApplyGatesSpeedupAndInvertsTxns(t *testing.T) {
+	const baseSrc = `{"benchmark": "apply", "sizes": [
+		{"name": "1000elem", "cold_ms": 600, "apply_incremental_ms": 40,
+		 "speedup_incremental": 15.0, "apply_txns": 2, "rematch_mode": "incremental"}]}`
+	base := mustDecode(t, baseSrc)
+	if n, err := compare(io.Discard, base, mustDecode(t, baseSrc), "b", "c", 0.2); err != nil || n != 0 {
+		t.Fatalf("identical apply files: regressions=%d err=%v", n, err)
+	}
+	// A collapsed incremental speedup gates.
+	worse := mustDecode(t, strings.Replace(baseSrc, `"speedup_incremental": 15.0`, `"speedup_incremental": 4.0`, 1))
+	if n, _ := compare(io.Discard, base, worse, "b", "c", 0.2); n != 1 {
+		t.Fatalf("speedup collapse: regressions=%d; want 1", n)
+	}
+	// apply_txns gates in the opposite direction: a version bump that
+	// commits more transactions has stopped batching; fewer is fine.
+	chatty := mustDecode(t, strings.Replace(baseSrc, `"apply_txns": 2`, `"apply_txns": 5`, 1))
+	if n, _ := compare(io.Discard, base, chatty, "b", "c", 0.2); n != 1 {
+		t.Fatalf("unbatched apply: regressions=%d; want 1", n)
+	}
+	// Still a distinct benchmark from the engine rematch matrix.
+	rematch := mustDecode(t, `{"benchmark": "incremental-rematch"}`)
+	if _, err := compare(io.Discard, rematch, base, "b", "c", 0.2); err == nil {
+		t.Fatal("incremental-rematch vs apply accepted")
+	}
+}
+
 func TestDiffRegistryGatesQualityAndInvertsScoredFraction(t *testing.T) {
 	const baseSrc = `{"benchmark": "registry-match", "sizes": [
 		{"name": "2000elem", "scored_fraction": 0.02, "recall_at_k": 0.99,
